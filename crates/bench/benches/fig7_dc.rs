@@ -1,0 +1,43 @@
+//! Figure 7 timing companion: the DC sweeps of the RTD and nanowire
+//! dividers under SWEC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanosim::prelude::*;
+use nanosim_bench::swec_options;
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_dc");
+    group.sample_size(30);
+    let rtd = nanosim::workloads::rtd_divider(50.0);
+    group.bench_function("rtd_divider_sweep", |b| {
+        b.iter(|| {
+            SwecDcSweep::new(swec_options())
+                .run(black_box(&rtd), "V1", 0.0, 5.0, 0.05)
+                .expect("runs")
+        })
+    });
+    let nw = nanosim::workloads::nanowire_divider(100.0);
+    group.bench_function("nanowire_divider_sweep", |b| {
+        b.iter(|| {
+            SwecDcSweep::new(swec_options())
+                .run(black_box(&nw), "V1", -2.5, 2.5, 0.05)
+                .expect("runs")
+        })
+    });
+    // Fixed-point refinement mode as the accuracy-vs-cost contrast.
+    group.bench_function("rtd_divider_sweep_fixed_point", |b| {
+        b.iter(|| {
+            SwecDcSweep::new(SwecOptions {
+                dc_mode: DcMode::FixedPoint,
+                ..swec_options()
+            })
+            .run(black_box(&rtd), "V1", 0.0, 5.0, 0.05)
+            .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

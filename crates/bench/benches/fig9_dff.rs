@@ -1,0 +1,23 @@
+//! Figure 9 timing companion: one clock cycle of the RTD D-flip-flop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanosim::prelude::*;
+use nanosim_bench::swec_options;
+use std::hint::black_box;
+
+fn bench_dff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_dff");
+    group.sample_size(10);
+    let ckt = nanosim::workloads::rtd_d_flip_flop();
+    group.bench_function("swec_one_cycle", |b| {
+        b.iter(|| {
+            SwecTransient::new(swec_options())
+                .run(black_box(&ckt), 0.2e-9, 100e-9)
+                .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dff);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! §5 headline timing: SWEC vs MLA wall-clock on the Table I DC sweep
+//! (the FLOP-count version is `report_speedup` / `report_table1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanosim::prelude::*;
+use nanosim_bench::{mla_options, swec_fixed_step_options, swec_options};
+use std::hint::black_box;
+
+fn bench_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speedup");
+    group.sample_size(10);
+    let ckt = nanosim::workloads::rtd_chain(4);
+    group.bench_function("dc_swec", |b| {
+        b.iter(|| {
+            SwecDcSweep::new(swec_options())
+                .run(black_box(&ckt), "V1", 0.0, 5.0, 0.05)
+                .expect("runs")
+        })
+    });
+    group.bench_function("dc_mla", |b| {
+        b.iter(|| {
+            MlaEngine::new(mla_options())
+                .run_dc_sweep(black_box(&ckt), "V1", 0.0, 5.0, 0.05)
+                .expect("runs")
+        })
+    });
+
+    // Fixed-step transient comparison (same accepted-step count).
+    let mut tr = Circuit::new();
+    let a = tr.node("in");
+    let b_ = tr.node("mid");
+    tr.add_voltage_source(
+        "V1",
+        a,
+        Circuit::GROUND,
+        SourceWaveform::pwl(vec![(0.0, 0.0), (10e-9, 5.0), (20e-9, 5.0)]).expect("valid"),
+    )
+    .expect("fresh");
+    tr.add_resistor("R1", a, b_, 50.0).expect("fresh");
+    tr.add_rtd("X1", b_, Circuit::GROUND, Rtd::date2005())
+        .expect("fresh");
+    tr.add_capacitor("C1", b_, Circuit::GROUND, 1e-13).expect("fresh");
+    group.bench_function("tran_swec_fixed", |b| {
+        b.iter(|| {
+            SwecTransient::new(swec_fixed_step_options())
+                .run(black_box(&tr), 0.05e-9, 20e-9)
+                .expect("runs")
+        })
+    });
+    group.bench_function("tran_mla_fixed", |b| {
+        b.iter(|| {
+            MlaEngine::new(mla_options())
+                .run_transient(black_box(&tr), 0.05e-9, 20e-9)
+                .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Table I timing companion: wall-clock of the DC sweeps whose FLOP counts
+//! `report_table1` prints (SWEC vs MLA on the RTD divider).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanosim::prelude::*;
+use nanosim_bench::{mla_options, swec_options};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_dc");
+    group.sample_size(20);
+    let ckt = nanosim::workloads::rtd_divider(50.0);
+    group.bench_function("swec_rtd_divider", |b| {
+        b.iter(|| {
+            SwecDcSweep::new(swec_options())
+                .run(black_box(&ckt), "V1", 0.0, 5.0, 0.05)
+                .expect("sweep runs")
+        })
+    });
+    group.bench_function("mla_rtd_divider", |b| {
+        b.iter(|| {
+            MlaEngine::new(mla_options())
+                .run_dc_sweep(black_box(&ckt), "V1", 0.0, 5.0, 0.05)
+                .expect("sweep runs")
+        })
+    });
+    let chain = nanosim::workloads::rtd_chain(4);
+    group.bench_function("swec_rtd_chain4", |b| {
+        b.iter(|| {
+            SwecDcSweep::new(swec_options())
+                .run(black_box(&chain), "V1", 0.0, 5.0, 0.05)
+                .expect("sweep runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

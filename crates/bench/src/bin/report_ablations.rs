@@ -1,0 +1,170 @@
+//! Ablation report for the design choices DESIGN.md calls out:
+//! Geq Taylor extrapolation (paper eq. 5) on/off, backward-Euler vs
+//! trapezoidal, local-error vs paper-constraint step control, DC
+//! non-iterative vs fixed point, MLA cold vs warm start, and the EM
+//! integrator's convergence orders.
+
+use nanosim::prelude::*;
+use nanosim::core::swec::StepControl;
+use nanosim::sde::convergence::{em_strong_order, em_weak_order};
+use nanosim::sde::gbm::GeometricBrownianMotion;
+use nanosim_bench::{eng, row, rule};
+use nanosim_numeric::rng::Pcg64;
+
+fn rtd_ramp(cap: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("in");
+    let b = ckt.node("mid");
+    ckt.add_voltage_source(
+        "V1",
+        a,
+        Circuit::GROUND,
+        SourceWaveform::pwl(vec![(0.0, 0.0), (10e-9, 5.0), (20e-9, 5.0)]).expect("valid"),
+    )
+    .expect("fresh");
+    ckt.add_resistor("R1", a, b, 50.0).expect("fresh");
+    ckt.add_rtd("X1", b, Circuit::GROUND, Rtd::date2005())
+        .expect("fresh");
+    ckt.add_capacitor("C1", b, Circuit::GROUND, cap).expect("fresh");
+    ckt
+}
+
+fn main() -> Result<(), SimError> {
+    let ckt = rtd_ramp(1e-12);
+    let (tstep, tstop) = (0.1e-9, 20e-9);
+
+    // Reference: tight-tolerance run.
+    let reference = SwecTransient::new(SwecOptions {
+        epsilon: 0.002,
+        ..SwecOptions::default()
+    })
+    .run(&ckt, tstep / 4.0, tstop)?;
+    let ref_mid = reference.waveform("mid").expect("node exists");
+
+    println!("Ablation 1: SWEC transient variants on the RTD ramp (20 ns)\n");
+    let widths = [26, 9, 10, 12, 12];
+    row(
+        &[
+            "variant".into(),
+            "steps".into(),
+            "rejected".into(),
+            "flops".into(),
+            "rms vs ref".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+    let variants: Vec<(&str, SwecOptions)> = vec![
+        ("taylor on (default)", SwecOptions::default()),
+        (
+            "taylor off",
+            SwecOptions {
+                taylor_extrapolation: false,
+                ..SwecOptions::default()
+            },
+        ),
+        (
+            "trapezoidal",
+            SwecOptions {
+                integration: IntegrationMethod::Trapezoidal,
+                ..SwecOptions::default()
+            },
+        ),
+        (
+            "paper eq.11/12 control",
+            SwecOptions {
+                step_control: StepControl::PaperConstraints,
+                ..SwecOptions::default()
+            },
+        ),
+    ];
+    for (name, opts) in variants {
+        let r = SwecTransient::new(opts).run(&ckt, tstep, tstop)?;
+        let rms = r
+            .waveform("mid")
+            .expect("node exists")
+            .rms_difference(&ref_mid);
+        row(
+            &[
+                name.into(),
+                format!("{}", r.stats.steps),
+                format!("{}", r.stats.rejected_steps),
+                eng(r.stats.flops.total() as f64),
+                format!("{rms:.4} V"),
+            ],
+            &widths,
+        );
+    }
+
+    println!("\nAblation 2: DC modes on the RTD divider sweep (0..5 V, 10 mV)\n");
+    let dc_ckt = nanosim::workloads::rtd_divider(50.0);
+    let widths = [26, 9, 12, 12];
+    row(
+        &[
+            "mode".into(),
+            "points".into(),
+            "solves".into(),
+            "flops".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+    for (name, mode) in [
+        ("non-iterative (paper)", DcMode::NonIterative),
+        ("fixed point", DcMode::FixedPoint),
+    ] {
+        let r = SwecDcSweep::new(SwecOptions {
+            dc_mode: mode,
+            ..SwecOptions::default()
+        })
+        .run(&dc_ckt, "V1", 0.0, 5.0, 0.01)?;
+        row(
+            &[
+                name.into(),
+                format!("{}", r.points()),
+                format!("{}", r.stats.linear_solves),
+                eng(r.stats.flops.total() as f64),
+            ],
+            &widths,
+        );
+    }
+
+    println!("\nAblation 3: MLA cold-start (per [1]) vs warm continuation\n");
+    let widths = [26, 12, 12];
+    row(&["variant".into(), "flops".into(), "iters".into()], &widths);
+    rule(&widths);
+    for (name, opts) in [
+        ("cold start + ramp", MlaOptions::default()),
+        ("warm continuation", MlaOptions::warm_start()),
+    ] {
+        let r = MlaEngine::new(opts).run_dc_sweep(&dc_ckt, "V1", 0.0, 5.0, 0.05)?;
+        row(
+            &[
+                name.into(),
+                eng(r.stats.flops.total() as f64),
+                format!("{}", r.stats.iterations),
+            ],
+            &widths,
+        );
+    }
+
+    println!("\nAblation 4: Euler–Maruyama convergence orders (GBM reference)\n");
+    let gbm = GeometricBrownianMotion::new(2.0, 1.0);
+    let mut rng = Pcg64::seed_from_u64(42);
+    let strong = em_strong_order(&gbm, 1.0, 1.0, 512, 5, 300, &mut rng);
+    let weak = em_weak_order(
+        &GeometricBrownianMotion::new(2.0, 0.1),
+        1.0,
+        1.0,
+        256,
+        4,
+        20_000,
+        &mut rng,
+    );
+    println!("  strong order: {:.2}  (theory: 0.5)", strong.order);
+    println!("  weak order:   {:.2}  (theory: 1.0)", weak.order);
+    for p in &strong.points {
+        println!("    strong err @ dt={:.1e}: {:.3e}", p.dt, p.error);
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Figure 1 reproduction: (a) the RTT's multi-peak collector I-V and
+//! (b) the CNT quantum wire's staircase I-V / quantized conductance.
+
+use nanosim::devices::constants::QUANTUM_CONDUCTANCE;
+use nanosim::prelude::*;
+use nanosim_bench::{row, rule};
+
+fn main() {
+    let mut flops = FlopCounter::new();
+
+    println!("Figure 1(a): RTT collector current vs V_CE (multi-peak staircase)");
+    let rtt = Rtt::three_peak();
+    let peaks = rtt.peak_voltages();
+    println!(
+        "resonant peaks at: {}",
+        peaks
+            .iter()
+            .map(|v| format!("{v:.2} V"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let widths = [8, 14, 14];
+    row(
+        &["V_CE".into(), "I_C (mA)".into(), "gd (mS)".into()],
+        &widths,
+    );
+    rule(&widths);
+    let mut v = 0.0;
+    while v <= 5.0 + 1e-9 {
+        let i = rtt.current(v, &mut flops);
+        let g = rtt.differential_conductance(v, &mut flops);
+        row(
+            &[
+                format!("{v:.2}"),
+                format!("{:.4}", i * 1e3),
+                format!("{:.4}", g * 1e3),
+            ],
+            &widths,
+        );
+        v += 0.25;
+    }
+    assert!(peaks.len() >= 3, "Figure 1(a) requires >= 3 peaks");
+
+    println!("\ngate control (collector current at V_CE = first peak):");
+    let mut gated = Rtt::three_peak();
+    let v_probe = peaks[0];
+    for vbe in [0.0, 0.4, 0.8, 1.2, 1.6] {
+        gated.set_vbe(vbe);
+        println!(
+            "  V_BE = {vbe:.1} V -> I_C = {:.4} mA (gate factor {:.3})",
+            gated.current(v_probe, &mut flops) * 1e3,
+            gated.gate_factor(vbe)
+        );
+    }
+
+    println!("\nFigure 1(b): CNT I-V and conductance staircase (G0 = 2e^2/h)");
+    let wire = Nanowire::metallic_cnt();
+    let widths = [8, 14, 14, 12];
+    row(
+        &[
+            "V".into(),
+            "I (uA)".into(),
+            "G (uS)".into(),
+            "G/G0".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+    let mut v: f64 = -2.5;
+    while v <= 2.5 + 1e-9 {
+        let i = wire.current(v, &mut flops);
+        let g = wire.differential_conductance(v, &mut flops);
+        row(
+            &[
+                format!("{v:.2}"),
+                format!("{:.3}", i * 1e6),
+                format!("{:.3}", g * 1e6),
+                format!("{:.2}", g / QUANTUM_CONDUCTANCE),
+            ],
+            &widths,
+        );
+        v += 0.25;
+    }
+    println!("\nconductance plateaus sit at integer multiples of G0 — the");
+    println!("\"staircase characteristics ... confirms that the carbon nanotubes");
+    println!("behave as quantum wires\" (paper §2.1.1).");
+}

@@ -1,0 +1,56 @@
+//! Figure 4 reproduction: the Schulman RTD I-V characteristics with the
+//! PDR1 / NDR / PDR2 regions annotated, for both the paper's §5.2
+//! parameter set and the sharp-valley rendering set.
+
+use nanosim::prelude::*;
+use nanosim_bench::{row, rule};
+
+fn print_curve(label: &str, rtd: &Rtd, v_max: f64, step: f64) {
+    let mut flops = FlopCounter::new();
+    println!("{label}");
+    let peak = rtd.peak();
+    let valley = rtd.valley();
+    if let (Some(p), Some(v)) = (&peak, &valley) {
+        println!(
+            "  peak {:.3} mA @ {:.2} V | valley {:.3} mA @ {:.2} V | PVR {:.2}",
+            p.current * 1e3,
+            p.voltage,
+            v.current * 1e3,
+            v.voltage,
+            rtd.peak_to_valley_ratio().unwrap_or(f64::NAN)
+        );
+    }
+    let widths = [8, 14, 10];
+    row(&["V".into(), "J (mA)".into(), "region".into()], &widths);
+    rule(&widths);
+    let mut v = 0.0;
+    while v <= v_max + 1e-9 {
+        let i = rtd.current(v, &mut flops);
+        row(
+            &[
+                format!("{v:.2}"),
+                format!("{:.4}", i * 1e3),
+                format!("{:?}", rtd.region(v)),
+            ],
+            &widths,
+        );
+        v += step;
+    }
+    println!();
+}
+
+fn main() {
+    println!("Figure 4: RTD I-V characteristics (Schulman model, paper eq. 4)\n");
+    print_curve(
+        "paper §5.2 parameters (A=1e-4 B=2 C=1.5 D=0.3 n1=0.35 n2=0.0172 H=1.43e-8):",
+        &Rtd::date2005(),
+        6.0,
+        0.4,
+    );
+    print_curve(
+        "sharp-valley rendering set (all three regions within 0..4 V):",
+        &Rtd::sharp_valley(),
+        4.0,
+        0.2,
+    );
+}

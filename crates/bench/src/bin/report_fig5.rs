@@ -1,0 +1,51 @@
+//! Figure 5 reproduction: RTD conductance as a function of applied bias —
+//! the differential conductance (which plunges negative in the
+//! resistance-decreasing region) against the step-wise equivalent
+//! conductance (positive everywhere).
+
+use nanosim::prelude::*;
+use nanosim_bench::{row, rule};
+
+fn main() {
+    let rtd = Rtd::date2005();
+    let mut flops = FlopCounter::new();
+    println!("Figure 5: RTD conductance vs applied bias\n");
+    let widths = [8, 18, 18];
+    row(
+        &[
+            "V".into(),
+            "gd = dJ/dV (mS)".into(),
+            "Geq = J/V (mS)".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+    let mut min_gd = f64::INFINITY;
+    let mut min_geq = f64::INFINITY;
+    let mut v = 0.0;
+    while v <= 6.0 + 1e-9 {
+        let gd = rtd.differential_conductance(v, &mut flops);
+        let geq = rtd.equivalent_conductance(v, &mut flops);
+        min_gd = min_gd.min(gd);
+        min_geq = min_geq.min(geq);
+        row(
+            &[
+                format!("{v:.2}"),
+                format!("{:+.4}", gd * 1e3),
+                format!("{:+.4}", geq * 1e3),
+            ],
+            &widths,
+        );
+        v += 0.25;
+    }
+    println!(
+        "\nmost negative differential conductance: {:.3} mS",
+        min_gd * 1e3
+    );
+    println!(
+        "smallest SWEC equivalent conductance:    {:+.3} mS (never <= 0)",
+        min_geq * 1e3
+    );
+    assert!(min_gd < 0.0, "the NDR region exists");
+    assert!(min_geq > 0.0, "SWEC stays positive (the paper's claim)");
+}

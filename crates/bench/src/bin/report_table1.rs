@@ -1,0 +1,106 @@
+//! Table I reproduction: "Comparison of DC simulations performance" —
+//! floating point operations needed by SWEC versus the MLA
+//! re-implementation for DC analyses of several nano-circuits. The paper
+//! reports a 20–30x advantage for SWEC; FLOPs are counted with identical
+//! rules in both engines (sparse LU + device-model evaluations).
+
+use nanosim::prelude::*;
+use nanosim_bench::{eng, mla_options, row, rule, swec_options};
+
+struct Workload {
+    name: &'static str,
+    circuit: Circuit,
+    source: &'static str,
+    start: f64,
+    stop: f64,
+    step: f64,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "rtd divider",
+            circuit: nanosim::workloads::rtd_divider(50.0),
+            source: "V1",
+            start: 0.0,
+            stop: 5.0,
+            step: 0.05,
+        },
+        Workload {
+            name: "nanowire divider",
+            circuit: nanosim::workloads::nanowire_divider(100.0),
+            source: "V1",
+            start: -2.5,
+            stop: 2.5,
+            step: 0.05,
+        },
+        Workload {
+            name: "rtd chain x4",
+            circuit: nanosim::workloads::rtd_chain(4),
+            source: "V1",
+            start: 0.0,
+            stop: 5.0,
+            step: 0.05,
+        },
+        Workload {
+            name: "rtd mesh 3x3",
+            circuit: nanosim::workloads::rtd_mesh(3),
+            source: "V1",
+            start: 0.0,
+            stop: 5.0,
+            step: 0.05,
+        },
+    ]
+}
+
+fn main() -> Result<(), SimError> {
+    println!("Table I: Comparison of DC simulation performance (flops)\n");
+    let widths = [18, 8, 12, 12, 12, 12, 9];
+    row(
+        &[
+            "circuit".into(),
+            "points".into(),
+            "swec flops".into(),
+            "mla flops".into(),
+            "swec slv".into(),
+            "mla slv".into(),
+            "ratio".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+    let mut ratios = Vec::new();
+    for w in workloads() {
+        let swec =
+            SwecDcSweep::new(swec_options()).run(&w.circuit, w.source, w.start, w.stop, w.step)?;
+        let mla = MlaEngine::new(mla_options())
+            .run_dc_sweep(&w.circuit, w.source, w.start, w.stop, w.step)?;
+        let ratio = mla.stats.flops.total() as f64 / swec.stats.flops.total() as f64;
+        ratios.push(ratio);
+        row(
+            &[
+                w.name.into(),
+                format!("{}", swec.points()),
+                eng(swec.stats.flops.total() as f64),
+                eng(mla.stats.flops.total() as f64),
+                format!("{}", swec.stats.linear_solves),
+                format!("{}", mla.stats.linear_solves),
+                format!("{ratio:.1}x"),
+            ],
+            &widths,
+        );
+    }
+    rule(&widths);
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let (lo, hi) = ratios
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(l, h), &r| (l.min(r), h.max(r)));
+    println!("\nmeasured advantage: {lo:.0}x .. {hi:.0}x (mean {mean:.0}x)");
+    println!("paper's Table I:    20x .. 30x");
+    println!("\nnotes: SWEC is non-iterative (~1 solve/point); MLA pays a");
+    println!("current-stepping ramp with Newton iterations at every point, each");
+    println!("iteration one LU plus I(V) and dI/dV evaluations. With warm-start");
+    println!("continuation (MlaOptions::warm_start) the gap narrows to ~3-5x —");
+    println!("see the ablations bench.");
+    Ok(())
+}

@@ -1,0 +1,206 @@
+//! Circuit elements.
+
+use crate::node::NodeId;
+use nanosim_devices::mosfet::Mosfet;
+use nanosim_devices::sources::SourceWaveform;
+use nanosim_devices::traits::NonlinearTwoTerminal;
+use std::fmt;
+use std::sync::Arc;
+
+/// A shareable nonlinear two-terminal device (RTD, nanowire, diode, RTT).
+pub type SharedDevice = Arc<dyn NonlinearTwoTerminal + Send + Sync>;
+
+/// The electrical behavior of an element.
+#[derive(Debug, Clone)]
+pub enum ElementKind {
+    /// Linear resistor (ohms).
+    Resistor {
+        /// Resistance in ohms, strictly positive.
+        resistance: f64,
+    },
+    /// Linear capacitor (farads).
+    Capacitor {
+        /// Capacitance in farads, strictly positive.
+        capacitance: f64,
+        /// Optional initial voltage for transient analysis (volts).
+        initial_voltage: Option<f64>,
+    },
+    /// Linear inductor (henries); adds one MNA branch current.
+    Inductor {
+        /// Inductance in henries, strictly positive.
+        inductance: f64,
+    },
+    /// Independent voltage source; adds one MNA branch current.
+    VoltageSource {
+        /// Source waveform.
+        waveform: SourceWaveform,
+    },
+    /// Independent current source (positive current flows from the first
+    /// terminal through the source to the second).
+    CurrentSource {
+        /// Source waveform.
+        waveform: SourceWaveform,
+    },
+    /// A nonlinear two-terminal nano-device between the two terminals.
+    Nonlinear {
+        /// The device model.
+        device: SharedDevice,
+    },
+    /// A level-1 MOSFET; terminals are `(drain, gate, source)`.
+    Mosfet {
+        /// The device model.
+        model: Mosfet,
+    },
+}
+
+impl ElementKind {
+    /// Short type tag used in reports ("R", "C", "V", ...).
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            ElementKind::Resistor { .. } => "R",
+            ElementKind::Capacitor { .. } => "C",
+            ElementKind::Inductor { .. } => "L",
+            ElementKind::VoltageSource { .. } => "V",
+            ElementKind::CurrentSource { .. } => "I",
+            ElementKind::Nonlinear { .. } => "Y",
+            ElementKind::Mosfet { .. } => "M",
+        }
+    }
+
+    /// Number of terminals this element kind requires.
+    pub fn terminal_count(&self) -> usize {
+        match self {
+            ElementKind::Mosfet { .. } => 3,
+            _ => 2,
+        }
+    }
+
+    /// Whether this element adds an MNA branch-current variable.
+    pub fn needs_branch_current(&self) -> bool {
+        matches!(
+            self,
+            ElementKind::VoltageSource { .. } | ElementKind::Inductor { .. }
+        )
+    }
+}
+
+/// A named, connected circuit element.
+#[derive(Debug, Clone)]
+pub struct Element {
+    name: String,
+    nodes: Vec<NodeId>,
+    kind: ElementKind,
+}
+
+impl Element {
+    /// Creates an element; terminal-count consistency is checked by the
+    /// [`crate::netlist::Circuit`] builder methods, which are the public way
+    /// to construct elements.
+    pub(crate) fn new(name: String, nodes: Vec<NodeId>, kind: ElementKind) -> Self {
+        debug_assert_eq!(nodes.len(), kind.terminal_count());
+        Element { name, nodes, kind }
+    }
+
+    /// User-visible element name ("R1", "Vclk", ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Connected nodes; two-terminal elements are `(n+, n-)`, MOSFETs are
+    /// `(drain, gate, source)`.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The element's behavior.
+    pub fn kind(&self) -> &ElementKind {
+        &self.kind
+    }
+
+    /// Positive terminal (or drain).
+    pub fn node_plus(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Negative terminal (or gate for MOSFETs — prefer [`Element::nodes`]
+    /// for three-terminal devices).
+    pub fn node_minus(&self) -> NodeId {
+        self.nodes[1]
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.name, self.kind.type_tag())?;
+        for n in &self.nodes {
+            write!(f, " {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanosim_devices::rtd::Rtd;
+
+    #[test]
+    fn type_tags() {
+        assert_eq!(
+            ElementKind::Resistor { resistance: 1.0 }.type_tag(),
+            "R"
+        );
+        assert_eq!(
+            ElementKind::VoltageSource {
+                waveform: SourceWaveform::dc(1.0)
+            }
+            .type_tag(),
+            "V"
+        );
+        let rtd: SharedDevice = Arc::new(Rtd::date2005());
+        assert_eq!(ElementKind::Nonlinear { device: rtd }.type_tag(), "Y");
+    }
+
+    #[test]
+    fn terminal_counts() {
+        assert_eq!(
+            ElementKind::Resistor { resistance: 1.0 }.terminal_count(),
+            2
+        );
+        assert_eq!(
+            ElementKind::Mosfet {
+                model: nanosim_devices::mosfet::Mosfet::nmos()
+            }
+            .terminal_count(),
+            3
+        );
+    }
+
+    #[test]
+    fn branch_current_needs() {
+        assert!(ElementKind::VoltageSource {
+            waveform: SourceWaveform::dc(0.0)
+        }
+        .needs_branch_current());
+        assert!(ElementKind::Inductor { inductance: 1e-9 }.needs_branch_current());
+        assert!(!ElementKind::Resistor { resistance: 1.0 }.needs_branch_current());
+        assert!(!ElementKind::CurrentSource {
+            waveform: SourceWaveform::dc(0.0)
+        }
+        .needs_branch_current());
+    }
+
+    #[test]
+    fn element_accessors_and_display() {
+        let e = Element::new(
+            "R1".into(),
+            vec![NodeId::from_index(1), NodeId::GROUND],
+            ElementKind::Resistor { resistance: 50.0 },
+        );
+        assert_eq!(e.name(), "R1");
+        assert_eq!(e.node_plus().index(), 1);
+        assert!(e.node_minus().is_ground());
+        assert!(e.to_string().contains("R1"));
+        assert!(e.to_string().contains("[R]"));
+    }
+}

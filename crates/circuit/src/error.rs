@@ -1,0 +1,129 @@
+//! Circuit construction, validation and parsing errors.
+
+use nanosim_devices::DeviceError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing a circuit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// An element value was out of range (negative resistance, ...).
+    InvalidValue {
+        /// Element name as given by the user.
+        element: String,
+        /// Description of the violated requirement.
+        reason: String,
+    },
+    /// Two elements share a name.
+    DuplicateElement {
+        /// The offending name.
+        name: String,
+    },
+    /// An element was connected with both terminals on the same node.
+    DegenerateConnection {
+        /// The offending element.
+        element: String,
+    },
+    /// The circuit has no ground reference.
+    NoGroundReference,
+    /// A node has no connection to ground through any element.
+    FloatingNode {
+        /// Name of the disconnected node.
+        node: String,
+    },
+    /// The circuit contains no elements.
+    EmptyCircuit,
+    /// A loop of voltage sources (or an inductor loop) makes MNA singular.
+    VoltageSourceLoop {
+        /// Description of the loop membership.
+        context: String,
+    },
+    /// Netlist text could not be parsed.
+    Parse {
+        /// 1-based source line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A device model rejected its parameters.
+    Device(DeviceError),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidValue { element, reason } => {
+                write!(f, "invalid value for element {element}: {reason}")
+            }
+            CircuitError::DuplicateElement { name } => {
+                write!(f, "duplicate element name {name}")
+            }
+            CircuitError::DegenerateConnection { element } => {
+                write!(f, "element {element} has both terminals on the same node")
+            }
+            CircuitError::NoGroundReference => {
+                write!(f, "circuit has no connection to ground (node 0)")
+            }
+            CircuitError::FloatingNode { node } => {
+                write!(f, "node {node} has no path to ground")
+            }
+            CircuitError::EmptyCircuit => write!(f, "circuit contains no elements"),
+            CircuitError::VoltageSourceLoop { context } => {
+                write!(f, "voltage source loop: {context}")
+            }
+            CircuitError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            CircuitError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl Error for CircuitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CircuitError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for CircuitError {
+    fn from(e: DeviceError) -> Self {
+        CircuitError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = CircuitError::Parse {
+            line: 12,
+            message: "unknown element".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+        let e = CircuitError::FloatingNode {
+            node: "n3".into(),
+        };
+        assert!(e.to_string().contains("n3"));
+    }
+
+    #[test]
+    fn device_error_wraps_with_source() {
+        let inner = DeviceError::InvalidWaveform {
+            context: "bad".into(),
+        };
+        let e = CircuitError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

@@ -1,0 +1,603 @@
+//! The [`Circuit`] netlist builder.
+
+use crate::element::{Element, ElementKind, SharedDevice};
+use crate::error::CircuitError;
+use crate::node::{NodeId, NodeMap};
+use crate::Result;
+use nanosim_devices::diode::Diode;
+use nanosim_devices::mosfet::Mosfet;
+use nanosim_devices::nanowire::Nanowire;
+use nanosim_devices::rtd::Rtd;
+use nanosim_devices::rtt::Rtt;
+use nanosim_devices::sources::SourceWaveform;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A circuit netlist: a set of named nodes and connected elements.
+///
+/// Built incrementally with the `add_*` methods; call [`Circuit::validate`]
+/// before handing the circuit to an engine.
+///
+/// # Example
+/// ```
+/// use nanosim_circuit::Circuit;
+/// use nanosim_devices::sources::SourceWaveform;
+///
+/// # fn main() -> Result<(), nanosim_circuit::CircuitError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(1.0))?;
+/// ckt.add_resistor("R1", a, Circuit::GROUND, 1e3)?;
+/// ckt.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    nodes: NodeMap,
+    elements: Vec<Element>,
+    names: HashSet<String>,
+    title: Option<String>,
+}
+
+impl Circuit {
+    /// The ground node, shared by every circuit.
+    pub const GROUND: NodeId = NodeId::GROUND;
+
+    /// Creates an empty circuit.
+    pub fn new() -> Self {
+        Circuit {
+            nodes: NodeMap::new(),
+            elements: Vec::new(),
+            names: HashSet::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a human-readable title (netlist first line).
+    pub fn set_title(&mut self, title: impl Into<String>) {
+        self.title = Some(title.into());
+    }
+
+    /// The title, if set.
+    pub fn title(&self) -> Option<&str> {
+        self.title.as_deref()
+    }
+
+    /// Returns (creating on first use) the node named `name`.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        self.nodes.intern(name)
+    }
+
+    /// Looks up an existing node.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.nodes.get(name)
+    }
+
+    /// Display name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        self.nodes.name(id)
+    }
+
+    /// Total node count including ground.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node map (id ↔ name), ground first.
+    pub fn nodes(&self) -> &NodeMap {
+        &self.nodes
+    }
+
+    /// The elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Looks up an element by name.
+    pub fn element(&self, name: &str) -> Option<&Element> {
+        self.elements.iter().find(|e| e.name() == name)
+    }
+
+    fn register_name(&mut self, name: &str) -> Result<()> {
+        if !self.names.insert(name.to_string()) {
+            return Err(CircuitError::DuplicateElement {
+                name: name.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_distinct(&self, name: &str, n1: NodeId, n2: NodeId) -> Result<()> {
+        if n1 == n2 {
+            return Err(CircuitError::DegenerateConnection {
+                element: name.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    /// Rejects non-positive/non-finite resistance, duplicate names and
+    /// degenerate connections.
+    pub fn add_resistor(
+        &mut self,
+        name: &str,
+        n1: NodeId,
+        n2: NodeId,
+        ohms: f64,
+    ) -> Result<&mut Self> {
+        if !(ohms > 0.0 && ohms.is_finite()) {
+            return Err(CircuitError::InvalidValue {
+                element: name.to_string(),
+                reason: format!("resistance must be positive and finite, got {ohms}"),
+            });
+        }
+        self.check_distinct(name, n1, n2)?;
+        self.register_name(name)?;
+        self.elements.push(Element::new(
+            name.to_string(),
+            vec![n1, n2],
+            ElementKind::Resistor { resistance: ohms },
+        ));
+        Ok(self)
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    /// Rejects non-positive/non-finite capacitance, duplicate names and
+    /// degenerate connections.
+    pub fn add_capacitor(
+        &mut self,
+        name: &str,
+        n1: NodeId,
+        n2: NodeId,
+        farads: f64,
+    ) -> Result<&mut Self> {
+        self.add_capacitor_ic(name, n1, n2, farads, None)
+    }
+
+    /// Adds a capacitor with an optional initial voltage.
+    ///
+    /// # Errors
+    /// Same as [`Circuit::add_capacitor`].
+    pub fn add_capacitor_ic(
+        &mut self,
+        name: &str,
+        n1: NodeId,
+        n2: NodeId,
+        farads: f64,
+        initial_voltage: Option<f64>,
+    ) -> Result<&mut Self> {
+        if !(farads > 0.0 && farads.is_finite()) {
+            return Err(CircuitError::InvalidValue {
+                element: name.to_string(),
+                reason: format!("capacitance must be positive and finite, got {farads}"),
+            });
+        }
+        self.check_distinct(name, n1, n2)?;
+        self.register_name(name)?;
+        self.elements.push(Element::new(
+            name.to_string(),
+            vec![n1, n2],
+            ElementKind::Capacitor {
+                capacitance: farads,
+                initial_voltage,
+            },
+        ));
+        Ok(self)
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Errors
+    /// Rejects non-positive/non-finite inductance, duplicate names and
+    /// degenerate connections.
+    pub fn add_inductor(
+        &mut self,
+        name: &str,
+        n1: NodeId,
+        n2: NodeId,
+        henries: f64,
+    ) -> Result<&mut Self> {
+        if !(henries > 0.0 && henries.is_finite()) {
+            return Err(CircuitError::InvalidValue {
+                element: name.to_string(),
+                reason: format!("inductance must be positive and finite, got {henries}"),
+            });
+        }
+        self.check_distinct(name, n1, n2)?;
+        self.register_name(name)?;
+        self.elements.push(Element::new(
+            name.to_string(),
+            vec![n1, n2],
+            ElementKind::Inductor {
+                inductance: henries,
+            },
+        ));
+        Ok(self)
+    }
+
+    /// Adds an independent voltage source (`n1` is the positive terminal).
+    ///
+    /// # Errors
+    /// Rejects duplicate names and degenerate connections.
+    pub fn add_voltage_source(
+        &mut self,
+        name: &str,
+        n1: NodeId,
+        n2: NodeId,
+        waveform: SourceWaveform,
+    ) -> Result<&mut Self> {
+        self.check_distinct(name, n1, n2)?;
+        self.register_name(name)?;
+        self.elements.push(Element::new(
+            name.to_string(),
+            vec![n1, n2],
+            ElementKind::VoltageSource { waveform },
+        ));
+        Ok(self)
+    }
+
+    /// Adds an independent current source (positive current flows from `n1`
+    /// through the source to `n2`).
+    ///
+    /// # Errors
+    /// Rejects duplicate names and degenerate connections.
+    pub fn add_current_source(
+        &mut self,
+        name: &str,
+        n1: NodeId,
+        n2: NodeId,
+        waveform: SourceWaveform,
+    ) -> Result<&mut Self> {
+        self.check_distinct(name, n1, n2)?;
+        self.register_name(name)?;
+        self.elements.push(Element::new(
+            name.to_string(),
+            vec![n1, n2],
+            ElementKind::CurrentSource { waveform },
+        ));
+        Ok(self)
+    }
+
+    /// Adds an arbitrary nonlinear two-terminal device.
+    ///
+    /// # Errors
+    /// Rejects duplicate names and degenerate connections.
+    pub fn add_nonlinear(
+        &mut self,
+        name: &str,
+        n1: NodeId,
+        n2: NodeId,
+        device: SharedDevice,
+    ) -> Result<&mut Self> {
+        self.check_distinct(name, n1, n2)?;
+        self.register_name(name)?;
+        self.elements.push(Element::new(
+            name.to_string(),
+            vec![n1, n2],
+            ElementKind::Nonlinear { device },
+        ));
+        Ok(self)
+    }
+
+    /// Adds a resonant tunneling diode.
+    ///
+    /// # Errors
+    /// Rejects duplicate names and degenerate connections.
+    pub fn add_rtd(&mut self, name: &str, n1: NodeId, n2: NodeId, rtd: Rtd) -> Result<&mut Self> {
+        self.add_nonlinear(name, n1, n2, Arc::new(rtd))
+    }
+
+    /// Adds a quantum-wire / CNT device.
+    ///
+    /// # Errors
+    /// Rejects duplicate names and degenerate connections.
+    pub fn add_nanowire(
+        &mut self,
+        name: &str,
+        n1: NodeId,
+        n2: NodeId,
+        wire: Nanowire,
+    ) -> Result<&mut Self> {
+        self.add_nonlinear(name, n1, n2, Arc::new(wire))
+    }
+
+    /// Adds a resonant tunneling transistor (collector-emitter branch at its
+    /// stored base bias).
+    ///
+    /// # Errors
+    /// Rejects duplicate names and degenerate connections.
+    pub fn add_rtt(&mut self, name: &str, n1: NodeId, n2: NodeId, rtt: Rtt) -> Result<&mut Self> {
+        self.add_nonlinear(name, n1, n2, Arc::new(rtt))
+    }
+
+    /// Adds a diode.
+    ///
+    /// # Errors
+    /// Rejects duplicate names and degenerate connections.
+    pub fn add_diode(
+        &mut self,
+        name: &str,
+        n1: NodeId,
+        n2: NodeId,
+        diode: Diode,
+    ) -> Result<&mut Self> {
+        self.add_nonlinear(name, n1, n2, Arc::new(diode))
+    }
+
+    /// Adds a MOSFET with terminals `(drain, gate, source)`.
+    ///
+    /// # Errors
+    /// Rejects duplicate names and drain shorted to source.
+    pub fn add_mosfet(
+        &mut self,
+        name: &str,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        model: Mosfet,
+    ) -> Result<&mut Self> {
+        self.check_distinct(name, drain, source)?;
+        self.register_name(name)?;
+        self.elements.push(Element::new(
+            name.to_string(),
+            vec![drain, gate, source],
+            ElementKind::Mosfet { model },
+        ));
+        Ok(self)
+    }
+
+    /// Validates the circuit: non-empty, referenced to ground, and every
+    /// node reachable from ground through element connections.
+    ///
+    /// # Errors
+    /// Returns the specific [`CircuitError`] for the first violation found.
+    pub fn validate(&self) -> Result<()> {
+        if self.elements.is_empty() {
+            return Err(CircuitError::EmptyCircuit);
+        }
+        let grounded = self
+            .elements
+            .iter()
+            .any(|e| e.nodes().iter().any(|n| n.is_ground()));
+        if !grounded {
+            return Err(CircuitError::NoGroundReference);
+        }
+        // Connectivity: BFS from ground over element adjacency.
+        let n = self.nodes.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.elements {
+            let ns = e.nodes();
+            for i in 0..ns.len() {
+                for j in (i + 1)..ns.len() {
+                    adj[ns[i].index()].push(ns[j].index());
+                    adj[ns[j].index()].push(ns[i].index());
+                }
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut queue = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = queue.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push(v);
+                }
+            }
+        }
+        for (id, name) in self.nodes.iter() {
+            if !seen[id.index()] {
+                return Err(CircuitError::FloatingNode {
+                    node: name.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Statistics string used by reports: nodes / elements / by-type counts.
+    pub fn summary(&self) -> String {
+        let mut r = 0;
+        let mut c = 0;
+        let mut l = 0;
+        let mut v = 0;
+        let mut i = 0;
+        let mut y = 0;
+        let mut m = 0;
+        for e in &self.elements {
+            match e.kind() {
+                ElementKind::Resistor { .. } => r += 1,
+                ElementKind::Capacitor { .. } => c += 1,
+                ElementKind::Inductor { .. } => l += 1,
+                ElementKind::VoltageSource { .. } => v += 1,
+                ElementKind::CurrentSource { .. } => i += 1,
+                ElementKind::Nonlinear { .. } => y += 1,
+                ElementKind::Mosfet { .. } => m += 1,
+            }
+        }
+        format!(
+            "{} nodes, {} elements (R:{r} C:{c} L:{l} V:{v} I:{i} nano:{y} MOS:{m})",
+            self.nodes.len(),
+            self.elements.len()
+        )
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(t) = &self.title {
+            writeln!(f, "* {t}")?;
+        }
+        for e in &self.elements {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn divider() -> Circuit {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn builder_chains_and_counts() {
+        let ckt = divider();
+        assert_eq!(ckt.node_count(), 3);
+        assert_eq!(ckt.elements().len(), 3);
+        assert!(ckt.validate().is_ok());
+        assert!(ckt.element("R1").is_some());
+        assert!(ckt.element("Rx").is_none());
+    }
+
+    #[test]
+    fn rejects_nonpositive_values() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        assert!(ckt.add_resistor("R1", a, Circuit::GROUND, 0.0).is_err());
+        assert!(ckt.add_resistor("R1", a, Circuit::GROUND, -5.0).is_err());
+        assert!(ckt
+            .add_capacitor("C1", a, Circuit::GROUND, f64::NAN)
+            .is_err());
+        assert!(ckt.add_inductor("L1", a, Circuit::GROUND, 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_resistor("R1", a, b, 1.0).unwrap();
+        match ckt.add_resistor("R1", a, Circuit::GROUND, 1.0) {
+            Err(CircuitError::DuplicateElement { name }) => assert_eq!(name, "R1"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_connection() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        assert!(matches!(
+            ckt.add_resistor("R1", a, a, 1.0),
+            Err(CircuitError::DegenerateConnection { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_circuit_invalid() {
+        let ckt = Circuit::new();
+        assert!(matches!(ckt.validate(), Err(CircuitError::EmptyCircuit)));
+    }
+
+    #[test]
+    fn ungrounded_circuit_invalid() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_resistor("R1", a, b, 1.0).unwrap();
+        assert!(matches!(
+            ckt.validate(),
+            Err(CircuitError::NoGroundReference)
+        ));
+    }
+
+    #[test]
+    fn floating_node_detected() {
+        let mut ckt = divider();
+        let x = ckt.node("floating");
+        let y = ckt.node("floating2");
+        ckt.add_resistor("R3", x, y, 1.0).unwrap();
+        match ckt.validate() {
+            Err(CircuitError::FloatingNode { node }) => {
+                assert!(node.starts_with("floating"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mosfet_three_terminals() {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let g = ckt.node("g");
+        ckt.add_mosfet("M1", d, g, Circuit::GROUND, Mosfet::nmos())
+            .unwrap();
+        ckt.add_voltage_source("Vd", d, Circuit::GROUND, SourceWaveform::dc(5.0))
+            .unwrap();
+        ckt.add_voltage_source("Vg", g, Circuit::GROUND, SourceWaveform::dc(5.0))
+            .unwrap();
+        assert!(ckt.validate().is_ok());
+        let m = ckt.element("M1").unwrap();
+        assert_eq!(m.nodes().len(), 3);
+    }
+
+    #[test]
+    fn mosfet_drain_source_short_rejected() {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let g = ckt.node("g");
+        assert!(ckt.add_mosfet("M1", d, g, d, Mosfet::nmos()).is_err());
+    }
+
+    #[test]
+    fn nano_device_builders() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let c = ckt.node("c");
+        let d = ckt.node("d");
+        ckt.add_rtd("X1", a, Circuit::GROUND, Rtd::date2005())
+            .unwrap();
+        ckt.add_nanowire("X2", b, Circuit::GROUND, Nanowire::metallic_cnt())
+            .unwrap();
+        ckt.add_rtt("X3", c, Circuit::GROUND, Rtt::three_peak())
+            .unwrap();
+        ckt.add_diode("X4", d, Circuit::GROUND, Diode::silicon())
+            .unwrap();
+        assert_eq!(ckt.elements().len(), 4);
+        let summary = ckt.summary();
+        assert!(summary.contains("nano:4"), "{summary}");
+    }
+
+    #[test]
+    fn display_and_title() {
+        let mut ckt = divider();
+        ckt.set_title("voltage divider");
+        assert_eq!(ckt.title(), Some("voltage divider"));
+        let s = ckt.to_string();
+        assert!(s.contains("* voltage divider"));
+        assert!(s.contains("V1"));
+    }
+
+    #[test]
+    fn capacitor_initial_condition_stored() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_capacitor_ic("C1", a, Circuit::GROUND, 1e-12, Some(2.5))
+            .unwrap();
+        match ckt.element("C1").unwrap().kind() {
+            ElementKind::Capacitor {
+                initial_voltage, ..
+            } => assert_eq!(*initial_voltage, Some(2.5)),
+            _ => panic!("wrong kind"),
+        }
+    }
+}

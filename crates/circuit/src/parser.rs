@@ -1,0 +1,890 @@
+//! SPICE-like netlist parser.
+//!
+//! Supports the subset of the SPICE language the Nano-Sim experiments need,
+//! plus `Y`-prefixed nano-devices:
+//!
+//! ```text
+//! * comment lines and trailing ; comments
+//! R<name> n+ n- value            resistor
+//! C<name> n+ n- value [IC=v0]    capacitor
+//! L<name> n+ n- value            inductor
+//! V<name> n+ n- <source>         voltage source
+//! I<name> n+ n- <source>         current source
+//! D<name> n+ n- [model]          diode
+//! M<name> nd ng ns <model>       level-1 MOSFET
+//! YRTD<name> n+ n- [model]       resonant tunneling diode
+//! YNW<name>  n+ n- [model]       quantum wire / CNT
+//! YRTT<name> nc ne [model]       resonant tunneling transistor
+//!
+//! <source> ::= [DC] value
+//!            | PULSE(v1 v2 td tr tf pw per)
+//!            | SIN(vo va freq [td [theta]])
+//!            | PWL(t1 v1 t2 v2 ...)
+//!            | NOISE(mean intensity)
+//!
+//! .model <name> RTD  (a=.. b=.. c=.. d=.. h=.. n1=.. n2=.. [temp=..])
+//! .model <name> NMOS (kp=.. w=.. l=.. vto=.. [lambda=..])
+//! .model <name> PMOS (kp=.. w=.. l=.. vto=.. [lambda=..])
+//! .model <name> D    (is=.. [n=..] [temp=..])
+//! .model <name> NW   ([g0=..] [base=..] [step=..] [steps=..] [smear=..])
+//! .model <name> RTT  ([vbe=..])
+//!
+//! .tran tstep tstop
+//! .dc <source> start stop step
+//! .op
+//! .end
+//! ```
+//!
+//! Values accept SPICE magnitude suffixes (`t g meg k m u n p f`) and
+//! trailing unit letters (`10pF`, `5V`, `1k`).
+
+use crate::error::CircuitError;
+use crate::netlist::Circuit;
+use crate::Result;
+use nanosim_devices::diode::{Diode, DiodeParams};
+use nanosim_devices::mosfet::{MosType, Mosfet, MosfetParams};
+use nanosim_devices::nanowire::{Nanowire, NanowireParams};
+use nanosim_devices::rtd::{Rtd, RtdParams};
+use nanosim_devices::rtt::Rtt;
+use nanosim_devices::sources::{PulseParams, SinParams, SourceWaveform};
+use std::collections::HashMap;
+
+/// An analysis request found in the netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisDirective {
+    /// `.op` — DC operating point.
+    Op,
+    /// `.tran tstep tstop` — transient analysis.
+    Tran {
+        /// Suggested (maximum) time step in seconds.
+        tstep: f64,
+        /// Stop time in seconds.
+        tstop: f64,
+    },
+    /// `.dc source start stop step` — DC sweep of a named source.
+    Dc {
+        /// Name of the swept V/I source.
+        source: String,
+        /// Sweep start value.
+        start: f64,
+        /// Sweep end value.
+        stop: f64,
+        /// Sweep increment.
+        step: f64,
+    },
+}
+
+/// Result of parsing a netlist: the circuit plus its analysis directives.
+#[derive(Debug, Clone)]
+pub struct ParsedDeck {
+    /// The parsed circuit.
+    pub circuit: Circuit,
+    /// Analyses in file order.
+    pub analyses: Vec<AnalysisDirective>,
+}
+
+#[derive(Debug, Clone)]
+struct ModelCard {
+    type_name: String,
+    params: HashMap<String, f64>,
+    /// Definition line, kept for duplicate-model diagnostics.
+    #[allow(dead_code)]
+    line: usize,
+}
+
+/// Parses SPICE-like netlist text.
+///
+/// # Errors
+/// Returns [`CircuitError::Parse`] with a 1-based line number for syntax
+/// errors and propagates element/model validation failures.
+///
+/// # Example
+/// ```
+/// let deck = nanosim_circuit::parse_netlist(
+///     "* rtd divider\n\
+///      V1 in 0 DC 1.0\n\
+///      R1 in out 50\n\
+///      YRTD1 out 0\n\
+///      .dc V1 0 2.5 0.01\n\
+///      .end\n",
+/// )?;
+/// assert_eq!(deck.circuit.elements().len(), 3);
+/// assert_eq!(deck.analyses.len(), 1);
+/// # Ok::<(), nanosim_circuit::CircuitError>(())
+/// ```
+pub fn parse_netlist(text: &str) -> Result<ParsedDeck> {
+    let lines = preprocess(text);
+    // Pass 1: collect .model cards (they may be referenced before defined).
+    let mut models: HashMap<String, ModelCard> = HashMap::new();
+    for (line_no, line) in &lines {
+        let tokens = tokenize(line);
+        if tokens.is_empty() {
+            continue;
+        }
+        if tokens[0].eq_ignore_ascii_case(".model") {
+            if tokens.len() < 3 {
+                return Err(parse_err(*line_no, "`.model` needs a name and a type"));
+            }
+            let name = tokens[1].to_ascii_lowercase();
+            let type_name = tokens[2].to_ascii_lowercase();
+            let mut params = HashMap::new();
+            let rest = &tokens[3..];
+            if rest.len() % 2 != 0 {
+                return Err(parse_err(
+                    *line_no,
+                    "`.model` parameters must be key=value pairs",
+                ));
+            }
+            for pair in rest.chunks(2) {
+                let key = pair[0].to_ascii_lowercase();
+                let value = parse_value(&pair[1])
+                    .ok_or_else(|| parse_err(*line_no, &format!("bad value `{}`", pair[1])))?;
+                params.insert(key, value);
+            }
+            models.insert(
+                name,
+                ModelCard {
+                    type_name,
+                    params,
+                    line: *line_no,
+                },
+            );
+        }
+    }
+
+    // Pass 2: elements and directives.
+    let mut circuit = Circuit::new();
+    let mut analyses = Vec::new();
+    let mut first_content_line = true;
+    for (line_no, line) in &lines {
+        let tokens = tokenize(line);
+        if tokens.is_empty() {
+            continue;
+        }
+        let head = tokens[0].to_ascii_uppercase();
+        // SPICE-style title line: the first line that is neither a directive
+        // nor an element becomes the title.
+        if first_content_line && !head.starts_with('.') && !is_element_head(&head) {
+            circuit.set_title(line.trim());
+            first_content_line = false;
+            continue;
+        }
+        first_content_line = false;
+        if head.starts_with('.') {
+            match head.as_str() {
+                ".MODEL" => {} // handled in pass 1
+                ".END" => break,
+                ".TITLE" => {
+                    let title = line
+                        .trim_start()
+                        .get(6..)
+                        .map(str::trim)
+                        .unwrap_or_default();
+                    circuit.set_title(title);
+                }
+                ".OP" => analyses.push(AnalysisDirective::Op),
+                ".TRAN" => {
+                    if tokens.len() < 3 {
+                        return Err(parse_err(*line_no, "`.tran` needs tstep and tstop"));
+                    }
+                    let tstep = parse_value(&tokens[1])
+                        .ok_or_else(|| parse_err(*line_no, "bad tstep"))?;
+                    let tstop = parse_value(&tokens[2])
+                        .ok_or_else(|| parse_err(*line_no, "bad tstop"))?;
+                    if !(tstep > 0.0 && tstop > tstep) {
+                        return Err(parse_err(*line_no, "`.tran` needs 0 < tstep < tstop"));
+                    }
+                    analyses.push(AnalysisDirective::Tran { tstep, tstop });
+                }
+                ".DC" => {
+                    if tokens.len() < 5 {
+                        return Err(parse_err(
+                            *line_no,
+                            "`.dc` needs source, start, stop, step",
+                        ));
+                    }
+                    let start = parse_value(&tokens[2])
+                        .ok_or_else(|| parse_err(*line_no, "bad start"))?;
+                    let stop = parse_value(&tokens[3])
+                        .ok_or_else(|| parse_err(*line_no, "bad stop"))?;
+                    let step = parse_value(&tokens[4])
+                        .ok_or_else(|| parse_err(*line_no, "bad step"))?;
+                    if step == 0.0 {
+                        return Err(parse_err(*line_no, "`.dc` step must be nonzero"));
+                    }
+                    analyses.push(AnalysisDirective::Dc {
+                        source: tokens[1].clone(),
+                        start,
+                        stop,
+                        step,
+                    });
+                }
+                other => {
+                    return Err(parse_err(*line_no, &format!("unknown directive `{other}`")));
+                }
+            }
+            continue;
+        }
+        parse_element(&mut circuit, &tokens, *line_no, &models)?;
+    }
+    Ok(ParsedDeck { circuit, analyses })
+}
+
+fn is_element_head(head: &str) -> bool {
+    matches!(
+        head.chars().next(),
+        Some('R' | 'C' | 'L' | 'V' | 'I' | 'D' | 'M' | 'Y')
+    )
+}
+
+/// Strips comments, joins `+` continuations, returns `(line_no, text)`.
+fn preprocess(text: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let mut line = raw.trim().to_string();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        for sep in [';', '$'] {
+            if let Some(pos) = line.find(sep) {
+                line.truncate(pos);
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('+') {
+            if let Some(last) = out.last_mut() {
+                last.1.push(' ');
+                last.1.push_str(rest.trim());
+                continue;
+            }
+        }
+        out.push((line_no, line.to_string()));
+    }
+    out
+}
+
+/// Splits a line into tokens, treating `(`, `)`, `,` and `=` as whitespace.
+fn tokenize(line: &str) -> Vec<String> {
+    line.replace(['(', ')', ',', '='], " ")
+        .split_whitespace()
+        .map(str::to_string)
+        .collect()
+}
+
+/// Parses a SPICE value with magnitude suffix and optional trailing units.
+fn parse_value(token: &str) -> Option<f64> {
+    let t = token.trim().to_ascii_lowercase();
+    if t.is_empty() {
+        return None;
+    }
+    // Split numeric prefix from alphabetic suffix.
+    let mut split = t.len();
+    for (i, ch) in t.char_indices() {
+        if ch.is_ascii_alphabetic() && !(i > 0 && (ch == 'e') && has_digit_after(&t, i)) {
+            split = i;
+            break;
+        }
+    }
+    let (num, suffix) = t.split_at(split);
+    let base: f64 = num.parse().ok()?;
+    let mult = if suffix.starts_with("meg") {
+        1e6
+    } else {
+        match suffix.chars().next() {
+            None => 1.0,
+            Some('t') => 1e12,
+            Some('g') => 1e9,
+            Some('k') => 1e3,
+            Some('m') => 1e-3,
+            Some('u') => 1e-6,
+            Some('n') => 1e-9,
+            Some('p') => 1e-12,
+            Some('f') => 1e-15,
+            // Bare unit letters like "5v" or "2a".
+            Some(_) => 1.0,
+        }
+    };
+    Some(base * mult)
+}
+
+fn has_digit_after(s: &str, i: usize) -> bool {
+    s[i + 1..]
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_digit() || c == '-' || c == '+')
+        .unwrap_or(false)
+}
+
+fn parse_err(line: usize, message: &str) -> CircuitError {
+    CircuitError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+fn parse_element(
+    circuit: &mut Circuit,
+    tokens: &[String],
+    line_no: usize,
+    models: &HashMap<String, ModelCard>,
+) -> Result<()> {
+    let name = &tokens[0];
+    let upper = name.to_ascii_uppercase();
+    let kind_char = upper.chars().next().expect("nonempty token");
+    let need = |n: usize| -> Result<()> {
+        if tokens.len() < n {
+            Err(parse_err(
+                line_no,
+                &format!("element {name} needs at least {} fields", n - 1),
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    match kind_char {
+        'R' => {
+            need(4)?;
+            let n1 = circuit.node(&tokens[1]);
+            let n2 = circuit.node(&tokens[2]);
+            let v = parse_value(&tokens[3])
+                .ok_or_else(|| parse_err(line_no, &format!("bad value `{}`", tokens[3])))?;
+            circuit.add_resistor(name, n1, n2, v)?;
+        }
+        'C' => {
+            need(4)?;
+            let n1 = circuit.node(&tokens[1]);
+            let n2 = circuit.node(&tokens[2]);
+            let v = parse_value(&tokens[3])
+                .ok_or_else(|| parse_err(line_no, &format!("bad value `{}`", tokens[3])))?;
+            let mut ic = None;
+            if tokens.len() >= 6 && tokens[4].eq_ignore_ascii_case("ic") {
+                ic = Some(
+                    parse_value(&tokens[5])
+                        .ok_or_else(|| parse_err(line_no, "bad IC value"))?,
+                );
+            }
+            circuit.add_capacitor_ic(name, n1, n2, v, ic)?;
+        }
+        'L' => {
+            need(4)?;
+            let n1 = circuit.node(&tokens[1]);
+            let n2 = circuit.node(&tokens[2]);
+            let v = parse_value(&tokens[3])
+                .ok_or_else(|| parse_err(line_no, &format!("bad value `{}`", tokens[3])))?;
+            circuit.add_inductor(name, n1, n2, v)?;
+        }
+        'V' | 'I' => {
+            need(4)?;
+            let n1 = circuit.node(&tokens[1]);
+            let n2 = circuit.node(&tokens[2]);
+            let wf = parse_source(&tokens[3..], line_no)?;
+            if kind_char == 'V' {
+                circuit.add_voltage_source(name, n1, n2, wf)?;
+            } else {
+                circuit.add_current_source(name, n1, n2, wf)?;
+            }
+        }
+        'D' => {
+            need(3)?;
+            let n1 = circuit.node(&tokens[1]);
+            let n2 = circuit.node(&tokens[2]);
+            let diode = match tokens.get(3) {
+                Some(m) => diode_from_model(lookup(models, m, line_no)?, line_no)?,
+                None => Diode::silicon(),
+            };
+            circuit.add_diode(name, n1, n2, diode)?;
+        }
+        'M' => {
+            need(5)?;
+            let d = circuit.node(&tokens[1]);
+            let g = circuit.node(&tokens[2]);
+            let s = circuit.node(&tokens[3]);
+            let model = lookup(models, &tokens[4], line_no)?;
+            let fet = mosfet_from_model(model, line_no)?;
+            circuit.add_mosfet(name, d, g, s, fet)?;
+        }
+        'Y' => {
+            // YRTD / YNW / YCNT / YRTT prefix selects the device family.
+            need(3)?;
+            let n1 = circuit.node(&tokens[1]);
+            let n2 = circuit.node(&tokens[2]);
+            let model = match tokens.get(3) {
+                Some(m) => Some(lookup(models, m, line_no)?),
+                None => None,
+            };
+            if upper.starts_with("YRTD") {
+                let rtd = match model {
+                    Some(card) => rtd_from_model(card, line_no)?,
+                    None => Rtd::date2005(),
+                };
+                circuit.add_rtd(name, n1, n2, rtd)?;
+            } else if upper.starts_with("YNW") || upper.starts_with("YCNT") {
+                let wire = match model {
+                    Some(card) => nanowire_from_model(card, line_no)?,
+                    None => Nanowire::metallic_cnt(),
+                };
+                circuit.add_nanowire(name, n1, n2, wire)?;
+            } else if upper.starts_with("YRTT") {
+                let mut rtt = Rtt::three_peak();
+                if let Some(card) = model {
+                    if let Some(&vbe) = card.params.get("vbe") {
+                        rtt.set_vbe(vbe);
+                    }
+                }
+                circuit.add_rtt(name, n1, n2, rtt)?;
+            } else {
+                return Err(parse_err(
+                    line_no,
+                    &format!("unknown nano-device `{name}` (expected YRTD/YNW/YRTT prefix)"),
+                ));
+            }
+        }
+        other => {
+            return Err(parse_err(
+                line_no,
+                &format!("unknown element type `{other}` in `{name}`"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn lookup<'m>(
+    models: &'m HashMap<String, ModelCard>,
+    name: &str,
+    line_no: usize,
+) -> Result<&'m ModelCard> {
+    models
+        .get(&name.to_ascii_lowercase())
+        .ok_or_else(|| parse_err(line_no, &format!("unknown model `{name}`")))
+}
+
+fn parse_source(tokens: &[String], line_no: usize) -> Result<SourceWaveform> {
+    if tokens.is_empty() {
+        return Err(parse_err(line_no, "source needs a value or a waveform"));
+    }
+    let head = tokens[0].to_ascii_uppercase();
+    let values = |from: usize, n: usize| -> Result<Vec<f64>> {
+        if tokens.len() < from + n {
+            return Err(parse_err(
+                line_no,
+                &format!("waveform {head} needs {n} parameters"),
+            ));
+        }
+        tokens[from..from + n]
+            .iter()
+            .map(|t| {
+                parse_value(t).ok_or_else(|| parse_err(line_no, &format!("bad value `{t}`")))
+            })
+            .collect()
+    };
+    let wf = match head.as_str() {
+        "DC" => SourceWaveform::dc(values(1, 1)?[0]),
+        "PULSE" => {
+            let v = values(1, 7)?;
+            SourceWaveform::pulse(PulseParams {
+                v1: v[0],
+                v2: v[1],
+                delay: v[2],
+                rise: v[3],
+                fall: v[4],
+                width: v[5],
+                period: v[6],
+            })?
+        }
+        "SIN" => {
+            let n = (tokens.len() - 1).min(5);
+            if n < 3 {
+                return Err(parse_err(line_no, "SIN needs at least vo, va, freq"));
+            }
+            let v = values(1, n)?;
+            SourceWaveform::sin(SinParams {
+                offset: v[0],
+                amplitude: v[1],
+                frequency: v[2],
+                delay: v.get(3).copied().unwrap_or(0.0),
+                theta: v.get(4).copied().unwrap_or(0.0),
+            })?
+        }
+        "PWL" => {
+            let rest = &tokens[1..];
+            if rest.len() < 4 || rest.len() % 2 != 0 {
+                return Err(parse_err(line_no, "PWL needs pairs: t1 v1 t2 v2 ..."));
+            }
+            let mut pts = Vec::with_capacity(rest.len() / 2);
+            for pair in rest.chunks(2) {
+                let t = parse_value(&pair[0])
+                    .ok_or_else(|| parse_err(line_no, &format!("bad time `{}`", pair[0])))?;
+                let v = parse_value(&pair[1])
+                    .ok_or_else(|| parse_err(line_no, &format!("bad value `{}`", pair[1])))?;
+                pts.push((t, v));
+            }
+            SourceWaveform::pwl(pts)?
+        }
+        "NOISE" => {
+            let v = values(1, 2)?;
+            SourceWaveform::white_noise(v[0], v[1])?
+        }
+        _ => {
+            // Bare numeric value = DC.
+            let v = parse_value(&tokens[0])
+                .ok_or_else(|| parse_err(line_no, &format!("bad source spec `{}`", tokens[0])))?;
+            SourceWaveform::dc(v)
+        }
+    };
+    Ok(wf)
+}
+
+fn rtd_from_model(card: &ModelCard, line_no: usize) -> Result<Rtd> {
+    if card.type_name != "rtd" {
+        return Err(parse_err(
+            line_no,
+            &format!("model is `{}`, expected `rtd`", card.type_name),
+        ));
+    }
+    let d = RtdParams::date2005();
+    let p = &card.params;
+    let params = RtdParams {
+        a: *p.get("a").unwrap_or(&d.a),
+        b: *p.get("b").unwrap_or(&d.b),
+        c: *p.get("c").unwrap_or(&d.c),
+        d: *p.get("d").unwrap_or(&d.d),
+        h: *p.get("h").unwrap_or(&d.h),
+        n1: *p.get("n1").unwrap_or(&d.n1),
+        n2: *p.get("n2").unwrap_or(&d.n2),
+        temperature: *p.get("temp").unwrap_or(&d.temperature),
+    };
+    Ok(Rtd::new(params)?)
+}
+
+fn nanowire_from_model(card: &ModelCard, line_no: usize) -> Result<Nanowire> {
+    if card.type_name != "nw" && card.type_name != "cnt" {
+        return Err(parse_err(
+            line_no,
+            &format!("model is `{}`, expected `nw`", card.type_name),
+        ));
+    }
+    let d = NanowireParams::metallic_cnt();
+    let p = &card.params;
+    let params = NanowireParams {
+        g_quantum: *p.get("g0").unwrap_or(&d.g_quantum),
+        base_channels: p
+            .get("base")
+            .map(|&v| v as u32)
+            .unwrap_or(d.base_channels),
+        step_voltage: *p.get("step").unwrap_or(&d.step_voltage),
+        num_steps: p.get("steps").map(|&v| v as u32).unwrap_or(d.num_steps),
+        smearing: *p.get("smear").unwrap_or(&d.smearing),
+    };
+    Ok(Nanowire::new(params)?)
+}
+
+fn diode_from_model(card: &ModelCard, line_no: usize) -> Result<Diode> {
+    if card.type_name != "d" {
+        return Err(parse_err(
+            line_no,
+            &format!("model is `{}`, expected `d`", card.type_name),
+        ));
+    }
+    let dflt = DiodeParams::silicon();
+    let p = &card.params;
+    let params = DiodeParams {
+        saturation_current: *p.get("is").unwrap_or(&dflt.saturation_current),
+        ideality: *p.get("n").unwrap_or(&dflt.ideality),
+        temperature: *p.get("temp").unwrap_or(&dflt.temperature),
+    };
+    Ok(Diode::new(params)?)
+}
+
+fn mosfet_from_model(card: &ModelCard, line_no: usize) -> Result<Mosfet> {
+    let mos_type = match card.type_name.as_str() {
+        "nmos" => MosType::Nmos,
+        "pmos" => MosType::Pmos,
+        other => {
+            return Err(parse_err(
+                line_no,
+                &format!("model is `{other}`, expected `nmos` or `pmos`"),
+            ));
+        }
+    };
+    let d = match mos_type {
+        MosType::Nmos => MosfetParams::nmos_default(),
+        MosType::Pmos => MosfetParams::pmos_default(),
+    };
+    let p = &card.params;
+    let params = MosfetParams {
+        mos_type,
+        k: *p.get("kp").or(p.get("k")).unwrap_or(&d.k),
+        w: *p.get("w").unwrap_or(&d.w),
+        l: *p.get("l").unwrap_or(&d.l),
+        vth: *p.get("vto").or(p.get("vth")).unwrap_or(&d.vth),
+        lambda: *p.get("lambda").unwrap_or(&d.lambda),
+    };
+    Ok(Mosfet::new(params)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::ElementKind;
+
+    #[test]
+    fn value_suffixes() {
+        assert_eq!(parse_value("1k"), Some(1e3));
+        assert_eq!(parse_value("1K"), Some(1e3));
+        assert_eq!(parse_value("2.5meg"), Some(2.5e6));
+        assert_eq!(parse_value("10p"), Some(10.0 * 1e-12));
+        assert_eq!(parse_value("10pF"), Some(10.0 * 1e-12));
+        assert_eq!(parse_value("100n"), Some(100.0 * 1e-9));
+        assert_eq!(parse_value("3m"), Some(3.0 * 1e-3));
+        assert_eq!(parse_value("5u"), Some(5.0 * 1e-6));
+        assert_eq!(parse_value("2f"), Some(2.0 * 1e-15));
+        assert_eq!(parse_value("1t"), Some(1e12));
+        assert_eq!(parse_value("4g"), Some(4e9));
+        assert_eq!(parse_value("5"), Some(5.0));
+        assert_eq!(parse_value("5V"), Some(5.0));
+        assert_eq!(parse_value("-1.5e-3"), Some(-1.5e-3));
+        assert_eq!(parse_value("1e3k"), Some(1e6));
+        assert_eq!(parse_value("abc"), None);
+        assert_eq!(parse_value(""), None);
+    }
+
+    #[test]
+    fn minimal_divider_parses() {
+        let deck = parse_netlist(
+            "test divider\n\
+             V1 in 0 DC 5\n\
+             R1 in out 1k\n\
+             R2 out 0 1k\n\
+             .op\n\
+             .end\n",
+        )
+        .unwrap();
+        assert_eq!(deck.circuit.title(), Some("test divider"));
+        assert_eq!(deck.circuit.elements().len(), 3);
+        assert_eq!(deck.analyses, vec![AnalysisDirective::Op]);
+        assert!(deck.circuit.validate().is_ok());
+    }
+
+    #[test]
+    fn comments_and_continuations() {
+        let deck = parse_netlist(
+            "* full-line comment\n\
+             V1 a 0 PULSE(0 5 0\n\
+             + 1n 1n 99n\n\
+             + 200n) ; inline comment\n\
+             R1 a 0 50 $ another comment\n",
+        )
+        .unwrap();
+        assert_eq!(deck.circuit.elements().len(), 2);
+        match deck.circuit.element("V1").unwrap().kind() {
+            ElementKind::VoltageSource { waveform } => {
+                assert_eq!(waveform.value(50e-9), 5.0);
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn all_source_kinds() {
+        let deck = parse_netlist(
+            "V1 a 0 3.3\n\
+             V2 b 0 DC 1\n\
+             V3 c 0 SIN(0 1 1meg)\n\
+             V4 d 0 PWL(0 0 1n 5 2n 5)\n\
+             I1 e 0 NOISE(0 1m)\n\
+             R1 a b 1\nR2 b c 1\nR3 c d 1\nR4 d e 1\nR5 e 0 1\n",
+        )
+        .unwrap();
+        assert_eq!(deck.circuit.elements().len(), 10);
+        match deck.circuit.element("I1").unwrap().kind() {
+            ElementKind::CurrentSource { waveform } => {
+                assert!(waveform.is_stochastic());
+                assert_eq!(waveform.noise_intensity(), 1e-3);
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn rtd_with_model_card() {
+        let deck = parse_netlist(
+            "* paper parameters\n\
+             .model mrtd RTD (a=1e-4 b=2 c=1.5 d=0.3 n1=0.35 n2=0.0172 h=1.43e-8)\n\
+             V1 in 0 DC 1\n\
+             R1 in x 50\n\
+             YRTD1 x 0 mrtd\n",
+        )
+        .unwrap();
+        let e = deck.circuit.element("YRTD1").unwrap();
+        match e.kind() {
+            ElementKind::Nonlinear { device } => assert_eq!(device.device_kind(), "rtd"),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn model_referenced_before_definition() {
+        let deck = parse_netlist(
+            "YRTD1 x 0 late\n\
+             R1 x 0 50\n\
+             .model late RTD (a=2e-4)\n",
+        )
+        .unwrap();
+        assert_eq!(deck.circuit.elements().len(), 2);
+    }
+
+    #[test]
+    fn nanowire_and_rtt_and_diode() {
+        let deck = parse_netlist(
+            ".model wire NW (steps=3 step=0.4 smear=0.02)\n\
+             .model dd D (is=1e-12 n=1.5)\n\
+             YNW1 a 0 wire\n\
+             YCNT2 a 0\n\
+             YRTT1 b 0\n\
+             D1 c 0 dd\n\
+             D2 c 0\n\
+             R1 a b 1\nR2 b c 1\n",
+        )
+        .unwrap();
+        assert_eq!(deck.circuit.elements().len(), 7);
+    }
+
+    #[test]
+    fn mosfet_with_model() {
+        let deck = parse_netlist(
+            ".model mn NMOS (kp=2e-4 w=20 l=2 vto=0.7)\n\
+             M1 d g 0 mn\n\
+             V1 d 0 5\nV2 g 0 5\n",
+        )
+        .unwrap();
+        match deck.circuit.element("M1").unwrap().kind() {
+            ElementKind::Mosfet { model } => {
+                assert_eq!(model.params().vth, 0.7);
+                assert_eq!(model.params().w, 20.0);
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn tran_and_dc_directives() {
+        let deck = parse_netlist(
+            "V1 a 0 1\nR1 a 0 1\n\
+             .tran 1n 500n\n\
+             .dc V1 0 2.5 0.01\n",
+        )
+        .unwrap();
+        assert_eq!(
+            deck.analyses,
+            vec![
+                AnalysisDirective::Tran {
+                    tstep: 1e-9,
+                    tstop: 500.0 * 1e-9
+                },
+                AnalysisDirective::Dc {
+                    source: "V1".into(),
+                    start: 0.0,
+                    stop: 2.5,
+                    step: 0.01
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn end_stops_parsing() {
+        let deck = parse_netlist("V1 a 0 1\nR1 a 0 1\n.end\nR2 a 0 broken").unwrap();
+        assert_eq!(deck.circuit.elements().len(), 2);
+    }
+
+    #[test]
+    fn capacitor_initial_condition() {
+        let deck = parse_netlist("C1 a 0 10p IC=2.5\nR1 a 0 1k\n").unwrap();
+        match deck.circuit.element("C1").unwrap().kind() {
+            ElementKind::Capacitor {
+                capacitance,
+                initial_voltage,
+            } => {
+                assert_eq!(*capacitance, 1e-11);
+                assert_eq!(*initial_voltage, Some(2.5));
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn error_line_numbers() {
+        let err = parse_netlist("V1 a 0 1\nR1 a 0 bogus\n").unwrap_err();
+        match err {
+            CircuitError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_model_is_error() {
+        let err = parse_netlist("YRTD1 a 0 nosuch\nR1 a 0 1\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { .. }));
+        assert!(err.to_string().contains("nosuch"));
+    }
+
+    #[test]
+    fn wrong_model_type_is_error() {
+        let err = parse_netlist(
+            ".model mn NMOS (kp=1e-4)\n\
+             YRTD1 a 0 mn\nR1 a 0 1\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("expected `rtd`"));
+    }
+
+    #[test]
+    fn bad_directives_are_errors() {
+        assert!(parse_netlist("V1 a 0 1\n.tran 1n\n").is_err());
+        assert!(parse_netlist("V1 a 0 1\n.tran 2n 1n\n").is_err());
+        assert!(parse_netlist("V1 a 0 1\n.dc V1 0 1 0\n").is_err());
+        assert!(parse_netlist("V1 a 0 1\n.bogus\n").is_err());
+        // An unknown element letter after the first content line is an
+        // error (the first line would have been taken as the title).
+        assert!(parse_netlist("V1 a 0 1\nQ1 a 0 1\n").is_err());
+    }
+
+    #[test]
+    fn model_with_odd_params_is_error() {
+        assert!(parse_netlist(".model m RTD (a)\n").is_err());
+        assert!(parse_netlist(".model m\n").is_err());
+    }
+
+    #[test]
+    fn pulse_needs_seven_params() {
+        assert!(parse_netlist("V1 a 0 PULSE(0 5 0 1n 1n 99n)\nR1 a 0 1\n").is_err());
+    }
+
+    #[test]
+    fn pwl_needs_pairs() {
+        assert!(parse_netlist("V1 a 0 PWL(0 0 1n)\nR1 a 0 1\n").is_err());
+    }
+
+    #[test]
+    fn sin_defaults_optional_params() {
+        let deck = parse_netlist("V1 a 0 SIN(1 2 1meg)\nR1 a 0 1\n").unwrap();
+        match deck.circuit.element("V1").unwrap().kind() {
+            ElementKind::VoltageSource { waveform } => {
+                assert!((waveform.value(0.0) - 1.0).abs() < 1e-12);
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn case_insensitive_elements_and_nodes() {
+        let deck = parse_netlist("v1 VDD 0 5\nr1 vdd 0 1K\n").unwrap();
+        assert_eq!(deck.circuit.elements().len(), 2);
+        assert_eq!(deck.circuit.node_count(), 2); // VDD == vdd
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the circuit substrate: random ladder networks
+//! must satisfy Kirchhoff's laws through the MNA assembly, and random
+//! circuits must round-trip through the netlist writer/parser.
+
+use nanosim_circuit::{parse_netlist, write_netlist, Circuit, ElementKind, MnaSystem};
+use nanosim_devices::sources::SourceWaveform;
+use nanosim_numeric::sparse::{SparseLu, TripletMatrix};
+use nanosim_numeric::FlopCounter;
+use proptest::prelude::*;
+
+/// A random resistive ladder: V source into a chain of nodes, each with a
+/// series resistor and a shunt resistor to ground.
+fn ladder_strategy() -> impl Strategy<Value = (f64, Vec<(f64, f64)>)> {
+    (
+        0.1f64..10.0,
+        proptest::collection::vec((1.0f64..1e4, 1.0f64..1e4), 1..8),
+    )
+}
+
+fn build_ladder(vs: f64, sections: &[(f64, f64)]) -> Circuit {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    ckt.add_voltage_source("V1", prev, Circuit::GROUND, SourceWaveform::dc(vs))
+        .unwrap();
+    for (k, &(rs, rp)) in sections.iter().enumerate() {
+        let node = ckt.node(&format!("n{k}"));
+        ckt.add_resistor(&format!("Rs{k}"), prev, node, rs).unwrap();
+        ckt.add_resistor(&format!("Rp{k}"), node, Circuit::GROUND, rp)
+            .unwrap();
+        prev = node;
+    }
+    ckt
+}
+
+proptest! {
+    /// MNA solution of a resistive ladder satisfies KCL at every node:
+    /// currents into each node sum to zero.
+    #[test]
+    fn ladder_satisfies_kcl((vs, sections) in ladder_strategy()) {
+        let ckt = build_ladder(vs, &sections);
+        let mna = MnaSystem::new(&ckt).unwrap();
+        let dim = mna.dim();
+        let mut g = TripletMatrix::new(dim, dim);
+        mna.stamp_linear_g(&mut g);
+        let mut rhs = vec![0.0; dim];
+        mna.stamp_rhs(0.0, &mut rhs);
+        let mut flops = FlopCounter::new();
+        let lu = SparseLu::factor(&g.to_csr(), &mut flops).unwrap();
+        let x = lu.solve(&rhs, &mut flops).unwrap();
+        // Voltage at the source node equals the source.
+        let vin = mna.var_of_node_name("in").unwrap();
+        prop_assert!((x[vin] - vs).abs() < 1e-9 * (1.0 + vs.abs()));
+        // KCL at every internal node.
+        for (k, &(rs, rp)) in sections.iter().enumerate() {
+            let v_here = x[mna.var_of_node_name(&format!("n{k}")).unwrap()];
+            let v_prev = if k == 0 {
+                x[vin]
+            } else {
+                x[mna.var_of_node_name(&format!("n{}", k - 1)).unwrap()]
+            };
+            let v_next = sections.get(k + 1).map(|&(rs_next, _)| {
+                let vn = x[mna.var_of_node_name(&format!("n{}", k + 1)).unwrap()];
+                (vn - v_here) / rs_next
+            });
+            let i_in = (v_prev - v_here) / rs;
+            let i_shunt = v_here / rp;
+            let i_out = v_next.unwrap_or(0.0);
+            prop_assert!(
+                (i_in - i_shunt + i_out).abs() < 1e-9 * (1.0 + i_in.abs()),
+                "kcl violated at node {k}"
+            );
+        }
+        // Voltages decay monotonically along the ladder.
+        let mut last = x[vin].abs();
+        for k in 0..sections.len() {
+            let v = x[mna.var_of_node_name(&format!("n{k}")).unwrap()].abs();
+            prop_assert!(v <= last + 1e-9);
+            last = v;
+        }
+    }
+
+    /// write -> parse round-trips the ladder topology and values.
+    #[test]
+    fn ladder_roundtrips_through_netlist((vs, sections) in ladder_strategy()) {
+        let ckt = build_ladder(vs, &sections);
+        let text = write_netlist(&ckt);
+        let deck = parse_netlist(&text).unwrap();
+        prop_assert_eq!(deck.circuit.elements().len(), ckt.elements().len());
+        prop_assert_eq!(deck.circuit.node_count(), ckt.node_count());
+        for e in ckt.elements() {
+            let round = deck.circuit.element(e.name());
+            prop_assert!(round.is_some(), "element {} lost", e.name());
+            match (e.kind(), round.unwrap().kind()) {
+                (
+                    ElementKind::Resistor { resistance: a },
+                    ElementKind::Resistor { resistance: b },
+                ) => {
+                    prop_assert!((a - b).abs() < 1e-12 * a.abs());
+                }
+                (ElementKind::VoltageSource { waveform: a },
+                 ElementKind::VoltageSource { waveform: b }) => {
+                    prop_assert!((a.value(0.0) - b.value(0.0)).abs() < 1e-12);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The two MNA solve paths (dense reference vs sparse) agree on random
+    /// ladders.
+    #[test]
+    fn dense_sparse_mna_agree((vs, sections) in ladder_strategy()) {
+        let ckt = build_ladder(vs, &sections);
+        let mna = MnaSystem::new(&ckt).unwrap();
+        let dim = mna.dim();
+        let mut g = TripletMatrix::new(dim, dim);
+        mna.stamp_linear_g(&mut g);
+        let mut rhs = vec![0.0; dim];
+        mna.stamp_rhs(0.0, &mut rhs);
+        let mut flops = FlopCounter::new();
+        let xs = SparseLu::factor(&g.to_csr(), &mut flops)
+            .unwrap()
+            .solve(&rhs, &mut flops)
+            .unwrap();
+        let xd = g.to_dense().solve(&rhs, &mut flops).unwrap();
+        for (a, b) in xs.iter().zip(xd.iter()) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Superposition: solutions scale linearly with the source value.
+    #[test]
+    fn mna_is_linear_in_source((vs, sections) in ladder_strategy(), scale in 0.1f64..5.0) {
+        let solve = |v: f64| -> Vec<f64> {
+            let ckt = build_ladder(v, &sections);
+            let mna = MnaSystem::new(&ckt).unwrap();
+            let dim = mna.dim();
+            let mut g = TripletMatrix::new(dim, dim);
+            mna.stamp_linear_g(&mut g);
+            let mut rhs = vec![0.0; dim];
+            mna.stamp_rhs(0.0, &mut rhs);
+            let mut flops = FlopCounter::new();
+            SparseLu::factor(&g.to_csr(), &mut flops)
+                .unwrap()
+                .solve(&rhs, &mut flops)
+                .unwrap()
+        };
+        let base = solve(vs);
+        let scaled = solve(vs * scale);
+        for (a, b) in base.iter().zip(scaled.iter()) {
+            prop_assert!((a * scale - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! High-level analysis runner: execute every directive of a parsed netlist
+//! deck with the SWEC engines and collect the results.
+//!
+//! This is the "just run my deck" entry point a downstream user reaches for
+//! first:
+//!
+//! ```
+//! use nanosim_circuit::parse_netlist;
+//! use nanosim_core::analysis::{run_deck, AnalysisResult};
+//!
+//! # fn main() -> Result<(), nanosim_core::SimError> {
+//! let deck = parse_netlist(
+//!     "* rc lowpass\n\
+//!      V1 in 0 PWL(0 0 1p 1 1 1)\n\
+//!      R1 in out 1k\n\
+//!      C1 out 0 1p\n\
+//!      .op\n\
+//!      .tran 0.05n 5n\n\
+//!      .end",
+//! )?;
+//! let results = run_deck(&deck)?;
+//! assert_eq!(results.len(), 2);
+//! match &results[1] {
+//!     AnalysisResult::Transient(tr) => {
+//!         let out = tr.waveform("out").expect("node exists");
+//!         assert!((out.final_value() - 1.0).abs() < 0.02);
+//!     }
+//!     other => panic!("expected transient, got {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::swec::{SwecDcSweep, SwecOptions, SwecTransient};
+use crate::waveform::{DcSweepResult, TransientResult};
+use crate::Result;
+use nanosim_circuit::{AnalysisDirective, ParsedDeck};
+
+/// The outcome of one analysis directive.
+#[derive(Debug, Clone)]
+pub enum AnalysisResult {
+    /// `.op` — the MNA solution vector paired with its variable names.
+    OperatingPoint {
+        /// Variable names (node voltages, then branch currents).
+        names: Vec<String>,
+        /// Solved values.
+        values: Vec<f64>,
+    },
+    /// `.dc` — the sweep result.
+    DcSweep(DcSweepResult),
+    /// `.tran` — the transient result.
+    Transient(TransientResult),
+}
+
+impl AnalysisResult {
+    /// Short tag for reports ("op", "dc", "tran").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AnalysisResult::OperatingPoint { .. } => "op",
+            AnalysisResult::DcSweep(_) => "dc",
+            AnalysisResult::Transient(_) => "tran",
+        }
+    }
+}
+
+/// Runs every directive in `deck` with default SWEC options.
+///
+/// # Errors
+/// Propagates the first engine failure.
+pub fn run_deck(deck: &ParsedDeck) -> Result<Vec<AnalysisResult>> {
+    run_deck_with(deck, &SwecOptions::default())
+}
+
+/// Runs every directive in `deck` with explicit SWEC options.
+///
+/// # Errors
+/// Propagates the first engine failure.
+pub fn run_deck_with(deck: &ParsedDeck, opts: &SwecOptions) -> Result<Vec<AnalysisResult>> {
+    let mut out = Vec::with_capacity(deck.analyses.len());
+    for directive in &deck.analyses {
+        let result = match directive {
+            AnalysisDirective::Op => {
+                let engine = SwecDcSweep::new(opts.clone());
+                let values = engine.solve_op(&deck.circuit)?;
+                let names = op_names(&deck.circuit)?;
+                AnalysisResult::OperatingPoint { names, values }
+            }
+            AnalysisDirective::Dc {
+                source,
+                start,
+                stop,
+                step,
+            } => {
+                let engine = SwecDcSweep::new(opts.clone());
+                AnalysisResult::DcSweep(engine.run(&deck.circuit, source, *start, *stop, *step)?)
+            }
+            AnalysisDirective::Tran { tstep, tstop } => {
+                let engine = SwecTransient::new(opts.clone());
+                AnalysisResult::Transient(engine.run(&deck.circuit, *tstep, *tstop)?)
+            }
+        };
+        out.push(result);
+    }
+    Ok(out)
+}
+
+fn op_names(circuit: &nanosim_circuit::Circuit) -> Result<Vec<String>> {
+    let mna = nanosim_circuit::MnaSystem::new(circuit)?;
+    Ok(crate::assemble::mna_var_names(&mna))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanosim_circuit::parse_netlist;
+
+    const DECK: &str = "* analysis runner test\n\
+        V1 in 0 DC 2\n\
+        R1 in out 1k\n\
+        R2 out 0 1k\n\
+        C1 out 0 1p\n\
+        .op\n\
+        .dc V1 0 2 0.5\n\
+        .tran 0.05n 5n\n\
+        .end";
+
+    #[test]
+    fn runs_all_three_directive_kinds() {
+        let deck = parse_netlist(DECK).unwrap();
+        let results = run_deck(&deck).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].kind(), "op");
+        assert_eq!(results[1].kind(), "dc");
+        assert_eq!(results[2].kind(), "tran");
+    }
+
+    #[test]
+    fn operating_point_names_align_with_values() {
+        let deck = parse_netlist(DECK).unwrap();
+        let results = run_deck(&deck).unwrap();
+        match &results[0] {
+            AnalysisResult::OperatingPoint { names, values } => {
+                assert_eq!(names.len(), values.len());
+                let out_idx = names.iter().position(|n| n == "out").unwrap();
+                assert!((values[out_idx] - 1.0).abs() < 1e-9, "divider midpoint");
+            }
+            other => panic!("expected op, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dc_sweep_respects_directive_parameters() {
+        let deck = parse_netlist(DECK).unwrap();
+        let results = run_deck(&deck).unwrap();
+        match &results[1] {
+            AnalysisResult::DcSweep(sweep) => {
+                assert_eq!(sweep.points(), 5);
+                let out = sweep.curve("out").unwrap();
+                assert!((out.value_at(2.0) - 1.0).abs() < 1e-9);
+            }
+            other => panic!("expected dc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_options_are_used() {
+        let deck = parse_netlist(DECK).unwrap();
+        let strict = SwecOptions {
+            epsilon: 0.001,
+            ..SwecOptions::default()
+        };
+        let loose = SwecOptions {
+            epsilon: 0.2,
+            ..SwecOptions::default()
+        };
+        let a = run_deck_with(&deck, &strict).unwrap();
+        let b = run_deck_with(&deck, &loose).unwrap();
+        let (AnalysisResult::Transient(ta), AnalysisResult::Transient(tb)) = (&a[2], &b[2])
+        else {
+            panic!("expected transients");
+        };
+        assert!(
+            ta.stats.steps >= tb.stats.steps,
+            "tighter epsilon cannot take fewer steps ({} vs {})",
+            ta.stats.steps,
+            tb.stats.steps
+        );
+    }
+
+    #[test]
+    fn empty_deck_yields_empty_results() {
+        let deck = parse_netlist("* nothing\nR1 a 0 1\n").unwrap();
+        let results = run_deck(&deck).unwrap();
+        assert!(results.is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Shared matrix-assembly state used by every engine.
+
+use crate::Result;
+use nanosim_circuit::{Circuit, MnaSystem};
+use nanosim_numeric::sparse::{CsrMatrix, TripletMatrix};
+
+/// Pre-stamped circuit matrices: the linear part of `G`, the full `C`, and
+/// the MNA structure. Engines clone `g_lin` each step/iteration and append
+/// their device linearization stamps.
+#[derive(Debug, Clone)]
+pub(crate) struct CircuitMatrices {
+    pub mna: MnaSystem,
+    /// Linear (time-invariant) part of `G` as triplets.
+    pub g_lin: TripletMatrix,
+    /// Capacitance/inductance matrix `C` as triplets (for re-stamping).
+    pub c_triplets: TripletMatrix,
+    /// `C` in CSR form (for `C·x` products).
+    pub c_csr: CsrMatrix,
+}
+
+impl CircuitMatrices {
+    pub fn new(circuit: &Circuit) -> Result<Self> {
+        let mna = MnaSystem::new(circuit)?;
+        let dim = mna.dim();
+        let mut g_lin = TripletMatrix::new(dim, dim);
+        mna.stamp_linear_g(&mut g_lin);
+        let mut c_triplets = TripletMatrix::new(dim, dim);
+        mna.stamp_c(&mut c_triplets);
+        let c_csr = c_triplets.to_csr();
+        Ok(CircuitMatrices {
+            mna,
+            g_lin,
+            c_triplets,
+            c_csr,
+        })
+    }
+}
+
+/// Names of all MNA variables in column order: non-ground node names first,
+/// then `I(<element>)` for every branch-current variable.
+pub(crate) fn mna_var_names(mna: &MnaSystem) -> Vec<String> {
+    let circuit = mna.circuit();
+    let mut names: Vec<String> = Vec::with_capacity(mna.dim());
+    for (id, name) in circuit.nodes().iter() {
+        if !id.is_ground() {
+            names.push(name.to_string());
+        }
+    }
+    for (i, e) in circuit.elements().iter().enumerate() {
+        if mna.branch_var(i).is_some() {
+            names.push(format!("I({})", e.name()));
+        }
+    }
+    names
+}
+
+/// Branch voltage `v(+) - v(-)` of a two-terminal binding given the MNA
+/// solution vector.
+#[inline]
+pub(crate) fn branch_voltage(x: &[f64], var_plus: Option<usize>, var_minus: Option<usize>) -> f64 {
+    let vp = var_plus.map_or(0.0, |i| x[i]);
+    let vm = var_minus.map_or(0.0, |i| x[i]);
+    vp - vm
+}
+
+/// Adjusts an already-stamped right-hand side so the named independent
+/// source takes `value` instead of its waveform value at `time`. Used by the
+/// DC sweep engines.
+pub(crate) fn override_source_rhs(
+    mna: &MnaSystem,
+    element_name: &str,
+    value: f64,
+    time: f64,
+    rhs: &mut [f64],
+) -> bool {
+    let circuit = mna.circuit();
+    for (i, e) in circuit.elements().iter().enumerate() {
+        if e.name() != element_name {
+            continue;
+        }
+        if let Some(wf) = mna.source_waveform(i) {
+            let delta = value - wf.value(time);
+            if let Some(br) = mna.branch_var(i) {
+                // Voltage source: branch row carries the source value.
+                rhs[br] += delta;
+            } else {
+                // Current source: node injections.
+                if let Some(p) = mna.var_of_node(e.node_plus()) {
+                    rhs[p] -= delta;
+                }
+                if let Some(m) = mna.var_of_node(e.nodes()[1]) {
+                    rhs[m] += delta;
+                }
+            }
+            return true;
+        }
+        return false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanosim_devices::sources::SourceWaveform;
+
+    fn divider() -> Circuit {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-12).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn matrices_have_consistent_shapes() {
+        let m = CircuitMatrices::new(&divider()).unwrap();
+        assert_eq!(m.mna.dim(), 3);
+        assert_eq!(m.g_lin.rows(), 3);
+        assert_eq!(m.c_csr.rows(), 3);
+        assert_eq!(m.c_csr.get(1, 1), 1e-12);
+    }
+
+    #[test]
+    fn branch_voltage_handles_ground() {
+        let x = [2.0, 0.5];
+        assert_eq!(branch_voltage(&x, Some(0), Some(1)), 1.5);
+        assert_eq!(branch_voltage(&x, Some(0), None), 2.0);
+        assert_eq!(branch_voltage(&x, None, Some(1)), -0.5);
+        assert_eq!(branch_voltage(&x, None, None), 0.0);
+    }
+
+    #[test]
+    fn override_voltage_source() {
+        let ckt = divider();
+        let m = CircuitMatrices::new(&ckt).unwrap();
+        let mut rhs = vec![0.0; 3];
+        m.mna.stamp_rhs(0.0, &mut rhs);
+        assert_eq!(rhs[2], 1.0);
+        assert!(override_source_rhs(&m.mna, "V1", 2.5, 0.0, &mut rhs));
+        assert_eq!(rhs[2], 2.5);
+        assert!(!override_source_rhs(&m.mna, "R1", 2.5, 0.0, &mut rhs));
+        assert!(!override_source_rhs(&m.mna, "nope", 2.5, 0.0, &mut rhs));
+    }
+
+    #[test]
+    fn override_current_source() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_current_source("I1", a, Circuit::GROUND, SourceWaveform::dc(1e-3))
+            .unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let m = CircuitMatrices::new(&ckt).unwrap();
+        let mut rhs = vec![0.0; 1];
+        m.mna.stamp_rhs(0.0, &mut rhs);
+        assert_eq!(rhs[0], -1e-3);
+        assert!(override_source_rhs(&m.mna, "I1", 3e-3, 0.0, &mut rhs));
+        assert_eq!(rhs[0], -3e-3);
+    }
+}

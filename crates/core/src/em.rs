@@ -1,0 +1,647 @@
+//! Euler–Maruyama stochastic transient engine (paper §4, Figure 10).
+//!
+//! Circuits with white-noise ("uncertain") inputs obey the nodal SDE of
+//! paper eq. (13)/(17),
+//!
+//! ```text
+//! C·dx = (b(t) - G(x,t)·x)·dt + B·dW
+//! ```
+//!
+//! which the EM method (eq. 18) discretizes as
+//!
+//! ```text
+//! x_{j+1} = x_j + C⁻¹·(b - G·x_j)·Δt + C⁻¹·B·ΔW_j .
+//! ```
+//!
+//! `G` is re-evaluated each step with the SWEC equivalent conductance, so
+//! nonlinear nano-devices are handled exactly as the paper notes ("Since G
+//! is time variant, Equation (13) also includes cases with the nonlinear
+//! nanodevices"). The engine factors `C` once, runs a ensembles of Wiener
+//! paths, and reports per-node mean/std envelopes, a sample path, and
+//! running-maximum ("peak performance") statistics.
+//!
+//! **Supported circuits**: every MNA unknown must be a node voltage with
+//! capacitance to ground (no voltage sources, no inductors) — the standard
+//! state-space form. Drive the circuit with current sources; a Thevenin
+//! source becomes a Norton equivalent.
+
+use crate::assemble::{branch_voltage, mna_var_names, CircuitMatrices};
+use crate::report::EngineStats;
+use crate::waveform::{TransientResult, Waveform};
+use crate::{Result, SimError};
+use nanosim_circuit::Circuit;
+use nanosim_numeric::rng::Pcg64;
+use nanosim_numeric::sparse::SparseLu;
+use nanosim_numeric::stats::{percentile, RunningStats};
+use nanosim_numeric::FlopCounter;
+use nanosim_sde::wiener::WienerPath;
+use std::time::Instant;
+
+/// Options of the EM engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmOptions {
+    /// Fixed integration step `Δt` (s).
+    pub dt: f64,
+    /// Number of Monte-Carlo paths.
+    pub paths: usize,
+    /// RNG seed (runs are reproducible).
+    pub seed: u64,
+    /// Re-evaluate nonlinear `Geq` every step (`true`) or freeze it at the
+    /// initial state (`false`, linear-circuit fast path).
+    pub update_geq: bool,
+    /// Parallel conductance across nonlinear devices.
+    pub gmin: f64,
+}
+
+impl Default for EmOptions {
+    fn default() -> Self {
+        EmOptions {
+            dt: 1e-12,
+            paths: 200,
+            seed: 0x5eed_cafe,
+            update_geq: true,
+            gmin: 1e-12,
+        }
+    }
+}
+
+/// Peak ("performance") summary of one node over the ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeakSummary {
+    /// Mean of per-path running maxima.
+    pub mean_peak: f64,
+    /// 95th percentile of per-path maxima.
+    pub p95_peak: f64,
+    /// Largest maximum seen in the ensemble.
+    pub worst_peak: f64,
+}
+
+/// Ensemble result of a stochastic transient.
+#[derive(Debug, Clone)]
+pub struct EmResult {
+    times: Vec<f64>,
+    names: Vec<String>,
+    mean: Vec<Vec<f64>>,
+    std_dev: Vec<Vec<f64>>,
+    maxima: Vec<Vec<f64>>,
+    sample: TransientResult,
+    /// Work accounting over the whole ensemble.
+    pub stats: EngineStats,
+}
+
+impl EmResult {
+    /// The shared time axis.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Node/variable names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of paths simulated.
+    pub fn paths(&self) -> usize {
+        self.maxima.first().map_or(0, Vec::len)
+    }
+
+    /// Ensemble-mean waveform of a node.
+    pub fn mean_waveform(&self, name: &str) -> Option<Waveform> {
+        let i = self.names.iter().position(|n| n == name)?;
+        Some(Waveform::from_samples(
+            self.times.clone(),
+            self.mean[i].clone(),
+        ))
+    }
+
+    /// Ensemble standard-deviation envelope of a node.
+    pub fn std_waveform(&self, name: &str) -> Option<Waveform> {
+        let i = self.names.iter().position(|n| n == name)?;
+        Some(Waveform::from_samples(
+            self.times.clone(),
+            self.std_dev[i].clone(),
+        ))
+    }
+
+    /// The first simulated path (the "one realization" plotted in
+    /// Figure 10).
+    pub fn sample_path(&self) -> &TransientResult {
+        &self.sample
+    }
+
+    /// Running-maximum statistics of a node over the ensemble.
+    pub fn peak_summary(&self, name: &str) -> Option<PeakSummary> {
+        let i = self.names.iter().position(|n| n == name)?;
+        let maxima = &self.maxima[i];
+        let stats: RunningStats = maxima.iter().copied().collect();
+        Some(PeakSummary {
+            mean_peak: stats.mean(),
+            p95_peak: percentile(maxima, 0.95)?,
+            worst_peak: stats.max(),
+        })
+    }
+
+    /// Fraction of paths whose running maximum of `name` reached `level`.
+    pub fn exceedance(&self, name: &str, level: f64) -> Option<f64> {
+        let i = self.names.iter().position(|n| n == name)?;
+        let maxima = &self.maxima[i];
+        let hits = maxima.iter().filter(|&&m| m >= level).count();
+        Some(hits as f64 / maxima.len() as f64)
+    }
+}
+
+/// The Euler–Maruyama circuit engine.
+#[derive(Debug, Clone, Default)]
+pub struct EmEngine {
+    opts: EmOptions,
+}
+
+impl EmEngine {
+    /// Creates the engine with the given options.
+    pub fn new(opts: EmOptions) -> Self {
+        EmEngine { opts }
+    }
+
+    /// The engine options.
+    pub fn options(&self) -> &EmOptions {
+        &self.opts
+    }
+
+    /// Checks the circuit satisfies the state-space restrictions and
+    /// returns its matrices.
+    fn prepare(&self, circuit: &Circuit) -> Result<CircuitMatrices> {
+        let mats = CircuitMatrices::new(circuit)?;
+        if mats.mna.num_branches() > 0 {
+            return Err(SimError::UnsupportedCircuit {
+                reason: "EM engine needs a pure state-space circuit: replace voltage sources \
+                         with Norton equivalents and remove inductors"
+                    .into(),
+            });
+        }
+        // Every node needs capacitance for C to be invertible.
+        let caps = mats.mna.node_capacitance();
+        if let Some(j) = caps.iter().position(|&c| c <= 0.0) {
+            let name = mna_var_names(&mats.mna)[j].clone();
+            return Err(SimError::UnsupportedCircuit {
+                reason: format!("node {name} has no capacitance; C must be nonsingular"),
+            });
+        }
+        Ok(mats)
+    }
+
+    /// Runs the Monte-Carlo ensemble from `t = 0` to `horizon`.
+    ///
+    /// # Errors
+    /// Fails on unsupported circuits, invalid options or singular matrices.
+    pub fn run(&self, circuit: &Circuit, horizon: f64) -> Result<EmResult> {
+        if !(self.opts.dt > 0.0 && horizon > self.opts.dt) {
+            return Err(SimError::InvalidConfig {
+                context: format!("em needs 0 < dt < horizon (dt={}, horizon={horizon})", self.opts.dt),
+            });
+        }
+        if self.opts.paths == 0 {
+            return Err(SimError::InvalidConfig {
+                context: "em needs at least one path".into(),
+            });
+        }
+        let t0 = Instant::now();
+        let mats = self.prepare(circuit)?;
+        let dim = mats.mna.dim();
+        let steps = (horizon / self.opts.dt).round() as usize;
+        let mut stats = EngineStats::new();
+        let mut flops = FlopCounter::new();
+
+        // Factor C once.
+        let c_lu = SparseLu::factor(&mats.c_csr, &mut flops)?;
+        let names = mna_var_names(&mats.mna);
+        let times: Vec<f64> = (0..=steps).map(|k| k as f64 * self.opts.dt).collect();
+
+        let mut welford: Vec<Vec<RunningStats>> =
+            vec![vec![RunningStats::new(); steps + 1]; dim];
+        let mut maxima: Vec<Vec<f64>> = vec![Vec::with_capacity(self.opts.paths); dim];
+        let mut sample_columns: Vec<Vec<f64>> = Vec::new();
+
+        let mut rng = Pcg64::seed_from_u64(self.opts.seed);
+        for p in 0..self.opts.paths {
+            let mut path_rng = rng.split();
+            let xs = self.simulate_path(&mats, &c_lu, steps, &mut path_rng, &mut stats, &mut flops)?;
+            for (i, series) in xs.iter().enumerate() {
+                let mut m = f64::NEG_INFINITY;
+                for (k, &v) in series.iter().enumerate() {
+                    welford[i][k].push(v);
+                    m = m.max(v);
+                }
+                maxima[i].push(m);
+            }
+            if p == 0 {
+                sample_columns = xs;
+            }
+        }
+
+        let mean: Vec<Vec<f64>> = welford
+            .iter()
+            .map(|row| row.iter().map(RunningStats::mean).collect())
+            .collect();
+        let std_dev: Vec<Vec<f64>> = welford
+            .iter()
+            .map(|row| row.iter().map(RunningStats::std_dev).collect())
+            .collect();
+
+        stats.flops += flops;
+        stats.steps = steps * self.opts.paths;
+        stats.elapsed = t0.elapsed();
+        let sample = TransientResult::new(
+            times.clone(),
+            names.clone(),
+            sample_columns,
+            EngineStats::new(),
+        );
+        Ok(EmResult {
+            times,
+            names,
+            mean,
+            std_dev,
+            maxima,
+            sample,
+            stats,
+        })
+    }
+
+    /// Integrates a single realization along caller-provided Wiener paths
+    /// (one per stochastic source, in binding order). This is how Figure 10
+    /// compares EM against the exact solution *of the same path*.
+    ///
+    /// # Errors
+    /// Fails when the number or shape of the paths does not match the
+    /// circuit's noise sources.
+    pub fn run_with_paths(
+        &self,
+        circuit: &Circuit,
+        wieners: &[WienerPath],
+    ) -> Result<TransientResult> {
+        let t0 = Instant::now();
+        let mats = self.prepare(circuit)?;
+        let noise_count = mats.mna.noise_bindings().len();
+        if wieners.len() != noise_count {
+            return Err(SimError::InvalidConfig {
+                context: format!(
+                    "{} wiener paths supplied for {} stochastic sources",
+                    wieners.len(),
+                    noise_count
+                ),
+            });
+        }
+        let steps = wieners.first().map_or(0, WienerPath::steps);
+        if steps == 0 || wieners.iter().any(|w| w.steps() != steps) {
+            return Err(SimError::InvalidConfig {
+                context: "wiener paths must be nonempty and equal length".into(),
+            });
+        }
+        let dt = wieners[0].dt();
+        let mut stats = EngineStats::new();
+        let mut flops = FlopCounter::new();
+        let c_lu = SparseLu::factor(&mats.c_csr, &mut flops)?;
+        let dim = mats.mna.dim();
+        let mut x = vec![0.0; dim];
+        let mut columns: Vec<Vec<f64>> = (0..dim).map(|i| vec![x[i]]).collect();
+        let mut times = vec![0.0];
+        for k in 0..steps {
+            let t = k as f64 * dt;
+            let dws: Vec<f64> = wieners.iter().map(|w| w.increment(k)).collect();
+            x = self.em_step(&mats, &c_lu, &x, t, dt, &dws, &mut stats, &mut flops)?;
+            times.push(t + dt);
+            for (i, c) in columns.iter_mut().enumerate() {
+                c.push(x[i]);
+            }
+        }
+        stats.steps = steps;
+        stats.flops += flops;
+        stats.elapsed = t0.elapsed();
+        Ok(TransientResult::new(
+            times,
+            mna_var_names(&mats.mna),
+            columns,
+            stats,
+        ))
+    }
+
+    fn simulate_path(
+        &self,
+        mats: &CircuitMatrices,
+        c_lu: &SparseLu,
+        steps: usize,
+        rng: &mut Pcg64,
+        stats: &mut EngineStats,
+        flops: &mut FlopCounter,
+    ) -> Result<Vec<Vec<f64>>> {
+        let dim = mats.mna.dim();
+        let noise_count = mats.mna.noise_bindings().len();
+        let sqrt_dt = self.opts.dt.sqrt();
+        let mut x = vec![0.0; dim];
+        let mut out: Vec<Vec<f64>> = (0..dim).map(|i| vec![x[i]]).collect();
+        for k in 0..steps {
+            let t = k as f64 * self.opts.dt;
+            let dws: Vec<f64> = (0..noise_count)
+                .map(|_| sqrt_dt * rng.next_gaussian())
+                .collect();
+            x = self.em_step(mats, c_lu, &x, t, self.opts.dt, &dws, stats, flops)?;
+            for (i, c) in out.iter_mut().enumerate() {
+                c.push(x[i]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// One EM step: `x + C^{-1}[(b - Gx)·dt + B·dW]`.
+    #[allow(clippy::too_many_arguments)]
+    fn em_step(
+        &self,
+        mats: &CircuitMatrices,
+        c_lu: &SparseLu,
+        x: &[f64],
+        t: f64,
+        dt: f64,
+        dws: &[f64],
+        stats: &mut EngineStats,
+        flops: &mut FlopCounter,
+    ) -> Result<Vec<f64>> {
+        let mna = &mats.mna;
+        let dim = mna.dim();
+        // Assemble G (linear + SWEC conductances at the current state).
+        let mut g = mats.g_lin.clone();
+        for b in mna.nonlinear_bindings() {
+            let v = branch_voltage(x, b.var_plus, b.var_minus);
+            let geq = if self.opts.update_geq {
+                stats.device_evals += 1;
+                b.device.equivalent_conductance(v, flops) + self.opts.gmin
+            } else {
+                self.opts.gmin
+            };
+            nanosim_circuit::MnaSystem::stamp_conductance(&mut g, b.var_plus, b.var_minus, geq);
+        }
+        for m in mna.mosfet_bindings() {
+            let vd = m.var_drain.map_or(0.0, |i| x[i]);
+            let vg = m.var_gate.map_or(0.0, |i| x[i]);
+            let vs = m.var_source.map_or(0.0, |i| x[i]);
+            let geq = m.model.geq(vg - vs, vd - vs, flops) + self.opts.gmin;
+            stats.device_evals += 1;
+            nanosim_circuit::MnaSystem::stamp_conductance(&mut g, m.var_drain, m.var_source, geq);
+        }
+        // rhs = (b - G x) dt + B dW.
+        let mut rhs = vec![0.0; dim];
+        mna.stamp_rhs(t, &mut rhs);
+        let gx = g.to_csr().matvec(x, flops)?;
+        for i in 0..dim {
+            rhs[i] = (rhs[i] - gx[i]) * dt;
+        }
+        flops.fma(dim as u64);
+        for (nb, &dw) in mna.noise_bindings().iter().zip(dws.iter()) {
+            for &(row, coeff) in &nb.rows {
+                rhs[row] += coeff * dw;
+                flops.fma(1);
+            }
+        }
+        // delta = C^{-1} rhs.
+        let delta = c_lu.solve(&rhs, flops)?;
+        stats.linear_solves += 1;
+        let mut x_new = x.to_vec();
+        for i in 0..dim {
+            x_new[i] += delta[i];
+        }
+        flops.add(dim as u64);
+        Ok(x_new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanosim_devices::sources::SourceWaveform;
+    use nanosim_sde::ou::OrnsteinUhlenbeck;
+
+    /// Noisy RC node: g = 1 mS, c = 1 pF, mean drive 0, noise intensity
+    /// sigma_i.
+    fn noisy_rc(sigma_i: f64, i_dc: f64) -> Circuit {
+        let mut ckt = Circuit::new();
+        let n = ckt.node("v");
+        ckt.add_current_source(
+            "In",
+            Circuit::GROUND,
+            n,
+            SourceWaveform::white_noise(i_dc, sigma_i).unwrap(),
+        )
+        .unwrap();
+        ckt.add_resistor("R1", n, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_capacitor("C1", n, Circuit::GROUND, 1e-12).unwrap();
+        ckt
+    }
+
+    fn ou_equivalent(sigma_i: f64, i_dc: f64) -> OrnsteinUhlenbeck {
+        // theta = G/C, mu = i_dc/G, sigma = sigma_i/C.
+        OrnsteinUhlenbeck::from_rc_node(1e-3, 1e-12, i_dc, sigma_i)
+    }
+
+    #[test]
+    fn rejects_unsupported_circuits() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        ckt.add_capacitor("C1", a, Circuit::GROUND, 1e-12).unwrap();
+        let e = EmEngine::new(EmOptions::default());
+        assert!(matches!(
+            e.run(&ckt, 1e-9),
+            Err(SimError::UnsupportedCircuit { .. })
+        ));
+        // Node without capacitance.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_current_source("I1", Circuit::GROUND, a, SourceWaveform::dc(1e-3))
+            .unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        assert!(matches!(
+            e.run(&ckt, 1e-9),
+            Err(SimError::UnsupportedCircuit { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let ckt = noisy_rc(1e-9, 0.0);
+        let e = EmEngine::new(EmOptions {
+            dt: 0.0,
+            ..EmOptions::default()
+        });
+        assert!(e.run(&ckt, 1e-9).is_err());
+        let e = EmEngine::new(EmOptions {
+            paths: 0,
+            ..EmOptions::default()
+        });
+        assert!(e.run(&ckt, 1e-9).is_err());
+    }
+
+    #[test]
+    fn ensemble_statistics_match_ou_theory() {
+        // Var[X(t)] -> sigma^2/(2 theta); tau = 1 ns, run 3 tau.
+        let sigma_i = 2e-9; // A sqrt(s)
+        let ckt = noisy_rc(sigma_i, 0.0);
+        let engine = EmEngine::new(EmOptions {
+            dt: 5e-12,
+            paths: 400,
+            seed: 42,
+            ..EmOptions::default()
+        });
+        let r = engine.run(&ckt, 3e-9).unwrap();
+        let ou = ou_equivalent(sigma_i, 0.0);
+        let sd = r.std_waveform("v").unwrap();
+        let expected_sd = ou.variance(3e-9).sqrt();
+        let got = sd.final_value();
+        assert!(
+            (got - expected_sd).abs() < 0.15 * expected_sd,
+            "sd {got} vs {expected_sd}"
+        );
+        // Mean stays near zero.
+        let mean = r.mean_waveform("v").unwrap();
+        assert!(mean.final_value().abs() < 0.2 * expected_sd);
+        assert_eq!(r.paths(), 400);
+    }
+
+    #[test]
+    fn deterministic_drive_reaches_dc_level() {
+        // i_dc = 1 mA into 1 kOhm -> 1 V, no noise.
+        let ckt = noisy_rc(0.0, 1e-3);
+        let engine = EmEngine::new(EmOptions {
+            dt: 5e-12,
+            paths: 3,
+            ..EmOptions::default()
+        });
+        let r = engine.run(&ckt, 5e-9).unwrap();
+        let mean = r.mean_waveform("v").unwrap();
+        assert!((mean.final_value() - 1.0).abs() < 0.02, "{}", mean.final_value());
+        // All paths identical without noise.
+        let sd = r.std_waveform("v").unwrap();
+        assert!(sd.final_value() < 1e-12);
+    }
+
+    #[test]
+    fn em_path_matches_ou_em_on_same_wiener_path() {
+        // Integrating the circuit along an explicit Wiener path must equal
+        // the scalar OU EM integration of the same path (the engine *is*
+        // that equation in matrix form).
+        let sigma_i = 1e-9;
+        let ckt = noisy_rc(sigma_i, 0.0);
+        let engine = EmEngine::new(EmOptions {
+            dt: 1e-12,
+            ..EmOptions::default()
+        });
+        let mut rng = Pcg64::seed_from_u64(7);
+        let path = WienerPath::generate(1e-9, 1000, &mut rng);
+        let r = engine.run_with_paths(&ckt, &[path.clone()]).unwrap();
+        let ou = ou_equivalent(sigma_i, 0.0);
+        let scalar = ou.em_path(0.0, &path);
+        let circuit_v = r.column("v").unwrap();
+        for (a, b) in circuit_v.iter().zip(scalar.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn run_with_paths_validates_shape() {
+        let ckt = noisy_rc(1e-9, 0.0);
+        let engine = EmEngine::new(EmOptions::default());
+        assert!(engine.run_with_paths(&ckt, &[]).is_err());
+        let mut rng = Pcg64::seed_from_u64(1);
+        let p1 = WienerPath::generate(1e-9, 100, &mut rng);
+        let p2 = WienerPath::generate(1e-9, 50, &mut rng);
+        assert!(engine.run_with_paths(&ckt, &[p1.clone(), p2]).is_err());
+        assert!(engine.run_with_paths(&ckt, &[p1]).is_ok());
+    }
+
+    #[test]
+    fn peak_summary_and_exceedance() {
+        let ckt = noisy_rc(2e-9, 0.0);
+        let engine = EmEngine::new(EmOptions {
+            dt: 5e-12,
+            paths: 100,
+            seed: 9,
+            ..EmOptions::default()
+        });
+        let r = engine.run(&ckt, 2e-9).unwrap();
+        let peak = r.peak_summary("v").unwrap();
+        assert!(peak.mean_peak > 0.0, "noise pushes the max above 0");
+        assert!(peak.p95_peak >= peak.mean_peak);
+        assert!(peak.worst_peak >= peak.p95_peak);
+        let p_low = r.exceedance("v", 0.0).unwrap();
+        assert!(p_low > 0.9, "almost every path exceeds 0 at some point");
+        let p_high = r.exceedance("v", peak.worst_peak * 1.01).unwrap();
+        assert_eq!(p_high, 0.0);
+        assert!(r.peak_summary("zz").is_none());
+    }
+
+    #[test]
+    fn nonlinear_devices_enter_through_swec_geq() {
+        // A noisy node loaded by an RTD: "Since G is time variant, Equation
+        // (13) also includes cases with the nonlinear nanodevices" (§4.1).
+        // Drive the node near 1 V where the RTD conducts strongly; the
+        // mean must settle where I_rtd(v) + v/R = i_dc.
+        use nanosim_devices::rtd::Rtd;
+        use nanosim_devices::traits::NonlinearTwoTerminal as _;
+        let mut ckt = Circuit::new();
+        let n = ckt.node("v");
+        ckt.add_current_source(
+            "In",
+            Circuit::GROUND,
+            n,
+            SourceWaveform::white_noise(8e-3, 1e-9).unwrap(),
+        )
+        .unwrap();
+        ckt.add_rtd("X1", n, Circuit::GROUND, Rtd::date2005())
+            .unwrap();
+        ckt.add_resistor("R1", n, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_capacitor("C1", n, Circuit::GROUND, 1e-12).unwrap();
+        let engine = EmEngine::new(EmOptions {
+            dt: 2e-12,
+            paths: 60,
+            seed: 11,
+            ..EmOptions::default()
+        });
+        let r = engine.run(&ckt, 3e-9).unwrap();
+        let v_end = r.mean_waveform("v").unwrap().final_value();
+        // Self-consistency of the mean operating point.
+        let mut f = nanosim_numeric::FlopCounter::new();
+        let residual = Rtd::date2005().current(v_end, &mut f) + v_end / 1e3 - 8e-3;
+        assert!(
+            residual.abs() < 8e-4,
+            "operating point residual {residual} at v = {v_end}"
+        );
+        // Frozen-Geq mode solves the same circuit but linearized at 0 —
+        // a different (higher) voltage, demonstrating the update matters.
+        let frozen = EmEngine::new(EmOptions {
+            dt: 2e-12,
+            paths: 20,
+            seed: 11,
+            update_geq: false,
+            ..EmOptions::default()
+        });
+        let rf = frozen.run(&ckt, 3e-9).unwrap();
+        let v_frozen = rf.mean_waveform("v").unwrap().final_value();
+        assert!(
+            (v_frozen - v_end).abs() > 0.05,
+            "frozen {v_frozen} vs updated {v_end} should differ"
+        );
+    }
+
+    #[test]
+    fn sample_path_is_recorded() {
+        let ckt = noisy_rc(1e-9, 0.0);
+        let engine = EmEngine::new(EmOptions {
+            dt: 1e-11,
+            paths: 5,
+            ..EmOptions::default()
+        });
+        let r = engine.run(&ckt, 1e-9).unwrap();
+        assert_eq!(r.sample_path().points(), r.times().len());
+        assert_eq!(r.names(), r.sample_path().names());
+    }
+}

@@ -1,0 +1,113 @@
+//! Simulation engine errors.
+
+use nanosim_circuit::CircuitError;
+use nanosim_numeric::NumericError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the simulation engines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The circuit failed validation or MNA construction.
+    Circuit(CircuitError),
+    /// A linear solve failed (singular matrix, shape mismatch).
+    Numeric(NumericError),
+    /// A nonlinear solve did not converge.
+    NonConvergence {
+        /// Simulation time (or sweep value) at which it failed.
+        at: f64,
+        /// Engine-specific description (oscillation, max iterations, ...).
+        context: String,
+    },
+    /// Adaptive step control pushed the time step below its minimum.
+    StepSizeUnderflow {
+        /// Simulation time at which the step collapsed.
+        time: f64,
+        /// The offending step size.
+        step: f64,
+    },
+    /// The circuit shape is outside what this engine supports.
+    UnsupportedCircuit {
+        /// What is missing or extra.
+        reason: String,
+    },
+    /// Engine options were inconsistent.
+    InvalidConfig {
+        /// Description of the inconsistency.
+        context: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Circuit(e) => write!(f, "circuit error: {e}"),
+            SimError::Numeric(e) => write!(f, "numeric error: {e}"),
+            SimError::NonConvergence { at, context } => {
+                write!(f, "no convergence at {at:.6e}: {context}")
+            }
+            SimError::StepSizeUnderflow { time, step } => {
+                write!(f, "time step underflow at t = {time:.6e} (h = {step:.3e})")
+            }
+            SimError::UnsupportedCircuit { reason } => {
+                write!(f, "unsupported circuit: {reason}")
+            }
+            SimError::InvalidConfig { context } => write!(f, "invalid config: {context}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Circuit(e) => Some(e),
+            SimError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for SimError {
+    fn from(e: CircuitError) -> Self {
+        SimError::Circuit(e)
+    }
+}
+
+impl From<NumericError> for SimError {
+    fn from(e: NumericError) -> Self {
+        SimError::Numeric(e)
+    }
+}
+
+impl From<nanosim_devices::DeviceError> for SimError {
+    fn from(e: nanosim_devices::DeviceError) -> Self {
+        SimError::Circuit(CircuitError::Device(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = SimError::from(CircuitError::EmptyCircuit);
+        assert!(e.to_string().contains("circuit error"));
+        assert!(e.source().is_some());
+        let e = SimError::from(NumericError::SingularMatrix { pivot: 1 });
+        assert!(e.source().is_some());
+        let e = SimError::NonConvergence {
+            at: 1e-9,
+            context: "oscillating".into(),
+        };
+        assert!(e.to_string().contains("oscillating"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

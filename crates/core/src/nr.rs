@@ -1,0 +1,833 @@
+//! Newton–Raphson baseline engine (the SPICE-like simulator of §3.1).
+//!
+//! Devices are linearized with their **differential** conductance
+//! `gd = dI/dV` and a companion current source — the classic SPICE companion
+//! model. On monotone devices this converges quadratically; on
+//! non-monotonic nano-devices `gd` is negative inside the NDR region and
+//! the iteration oscillates between two operating points or converges to a
+//! wrong solution, exactly as the paper's Figure 2/Figure 8(c) show. The
+//! engine therefore *reports* oscillation and false convergence instead of
+//! hiding them, and implements the standard SPICE rescue strategies (Newton
+//! damping, gmin stepping, source stepping) plus the per-device voltage
+//! limiting that the MLA baseline builds on.
+
+use crate::assemble::{branch_voltage, mna_var_names, override_source_rhs, CircuitMatrices};
+use crate::report::EngineStats;
+use crate::waveform::{DcSweepResult, TransientResult};
+use crate::{Result, SimError};
+use nanosim_circuit::{Circuit, MnaSystem};
+use nanosim_numeric::sparse::SparseLu;
+use nanosim_numeric::{FlopCounter, NumericError};
+use std::time::Instant;
+
+/// Outcome of one Newton solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NrOutcome {
+    /// Converged within tolerances.
+    Converged {
+        /// Newton iterations used.
+        iterations: usize,
+    },
+    /// The iterates entered a cycle (the Figure 2 NDR failure mode).
+    Oscillating {
+        /// Detected cycle period (2..4).
+        period: usize,
+    },
+    /// Iteration budget exhausted without convergence.
+    MaxIterations,
+    /// The Jacobian became singular (negative conductance canceling a
+    /// load).
+    Singular,
+}
+
+impl NrOutcome {
+    /// Whether the solve produced a trustworthy solution.
+    pub fn is_converged(&self) -> bool {
+        matches!(self, NrOutcome::Converged { .. })
+    }
+}
+
+/// What a transient step does when Newton fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FailurePolicy {
+    /// Keep the last iterate and move on — reproduces SPICE3's wrong
+    /// waveform in Figure 8(c).
+    #[default]
+    AcceptLast,
+    /// Halve the time step and retry (the MLA "automatic time-step
+    /// reduction"); abort on underflow.
+    ReduceStep,
+    /// Abort the analysis with [`SimError::NonConvergence`].
+    Abort,
+}
+
+/// Newton–Raphson engine options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NrOptions {
+    /// Maximum Newton iterations per solve.
+    pub max_iterations: usize,
+    /// Absolute node-voltage tolerance (V).
+    pub v_abstol: f64,
+    /// Relative node-voltage tolerance.
+    pub v_reltol: f64,
+    /// Step damping in `(0, 1]` (1 = full Newton, SPICE3 default).
+    pub damping: f64,
+    /// Per-iteration clamp on each nonlinear device's voltage change (V);
+    /// `None` disables limiting. The MLA baseline sets this.
+    pub device_v_limit: Option<f64>,
+    /// Conductance added across nonlinear devices (SPICE gmin).
+    pub gmin: f64,
+    /// DC source-stepping substeps used when a point fails directly
+    /// (1 = disabled).
+    pub source_steps: usize,
+    /// When `true`, every DC sweep point is solved from a zero initial
+    /// guess through a full source-stepping ramp — how \[1\]'s current
+    /// stepping obtains each bias independently. When `false`, points are
+    /// warm-started from the previous solution (cheaper, SPICE `.dc`
+    /// style).
+    pub cold_start: bool,
+    /// Transient failure policy.
+    pub failure_policy: FailurePolicy,
+    /// Minimum transient step for [`FailurePolicy::ReduceStep`].
+    pub h_min: f64,
+}
+
+impl Default for NrOptions {
+    fn default() -> Self {
+        NrOptions {
+            max_iterations: 100,
+            v_abstol: 1e-6,
+            v_reltol: 1e-3,
+            damping: 1.0,
+            device_v_limit: None,
+            gmin: 1e-12,
+            source_steps: 1,
+            cold_start: false,
+            failure_policy: FailurePolicy::default(),
+            h_min: 1e-18,
+        }
+    }
+}
+
+impl NrOptions {
+    /// SPICE3-like configuration: plain full-step Newton, no device
+    /// limiting, no source stepping — the configuration that fails on NDR
+    /// circuits (Figure 8(c)).
+    pub fn spice3() -> Self {
+        NrOptions::default()
+    }
+}
+
+/// A DC sweep result annotated with the per-point Newton outcome.
+#[derive(Debug, Clone)]
+pub struct NrSweepResult {
+    /// The numeric sweep data (whatever Newton produced, converged or not).
+    pub sweep: DcSweepResult,
+    /// Outcome at each sweep point.
+    pub outcomes: Vec<NrOutcome>,
+}
+
+impl NrSweepResult {
+    /// Number of points that failed to converge.
+    pub fn failures(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.is_converged()).count()
+    }
+}
+
+/// A transient result annotated with Newton failures.
+#[derive(Debug, Clone)]
+pub struct NrTransientResult {
+    /// The waveform data.
+    pub result: TransientResult,
+    /// `(time, outcome)` for every step where Newton did not converge.
+    pub failures: Vec<(f64, NrOutcome)>,
+}
+
+/// The Newton–Raphson engine.
+#[derive(Debug, Clone, Default)]
+pub struct NrEngine {
+    opts: NrOptions,
+}
+
+impl NrEngine {
+    /// Creates the engine with the given options.
+    pub fn new(opts: NrOptions) -> Self {
+        NrEngine { opts }
+    }
+
+    /// The engine options.
+    pub fn options(&self) -> &NrOptions {
+        &self.opts
+    }
+
+    /// DC sweep of a named source; never errors on non-convergence — the
+    /// outcome of every point is reported instead (so failures can be
+    /// plotted, as the paper does for SPICE3).
+    ///
+    /// # Errors
+    /// Fails only on invalid parameters or structurally singular circuits.
+    pub fn run_dc_sweep(
+        &self,
+        circuit: &Circuit,
+        source: &str,
+        start: f64,
+        stop: f64,
+        step: f64,
+    ) -> Result<NrSweepResult> {
+        if step == 0.0 || !step.is_finite() || (stop - start) * step < 0.0 {
+            return Err(SimError::InvalidConfig {
+                context: format!("dc sweep {start}..{stop} with step {step}"),
+            });
+        }
+        let t0 = Instant::now();
+        let mats = CircuitMatrices::new(circuit)?;
+        if mats.mna.circuit().element(source).is_none() {
+            return Err(SimError::InvalidConfig {
+                context: format!("unknown sweep source `{source}`"),
+            });
+        }
+        let mut stats = EngineStats::new();
+        let n_points = (((stop - start) / step).round() as i64 + 1).max(1) as usize;
+
+        let var_names = mna_var_names(&mats.mna);
+        let mut names = var_names.clone();
+        for b in mats.mna.nonlinear_bindings() {
+            names.push(format!("I({})", b.name));
+        }
+        for m in mats.mna.mosfet_bindings() {
+            names.push(format!("I({})", m.name));
+        }
+        let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(n_points); names.len()];
+        let mut sweep = Vec::with_capacity(n_points);
+        let mut outcomes = Vec::with_capacity(n_points);
+
+        let mut x = vec![0.0; mats.mna.dim()];
+        for k in 0..n_points {
+            let value = start + step * k as f64;
+            let (mut x_new, mut outcome) = if self.opts.cold_start {
+                // Current/source stepping from zero at every point, as the
+                // MLA description in [1] prescribes.
+                let ramp = self.opts.source_steps.max(1);
+                let mut xs = vec![0.0; mats.mna.dim()];
+                let mut oc = NrOutcome::MaxIterations;
+                for s in 1..=ramp {
+                    let v = value * s as f64 / ramp as f64;
+                    let (xi, oi) =
+                        self.solve_dc(&mats, Some((source, v)), &xs, None, &mut stats)?;
+                    xs = xi;
+                    oc = oi;
+                    if !oc.is_converged() {
+                        break;
+                    }
+                }
+                (xs, oc)
+            } else {
+                self.solve_dc(&mats, Some((source, value)), &x, None, &mut stats)?
+            };
+            if !outcome.is_converged() && self.opts.source_steps > 1 {
+                // Source stepping: approach this point gradually from the
+                // previous one.
+                let prev = sweep.last().copied().unwrap_or(0.0);
+                let mut xs = x.clone();
+                let mut last_outcome = outcome.clone();
+                let mut ok = true;
+                for s in 1..=self.opts.source_steps {
+                    let frac = s as f64 / self.opts.source_steps as f64;
+                    let v = prev + (value - prev) * frac;
+                    let (xi, oi) =
+                        self.solve_dc(&mats, Some((source, v)), &xs, None, &mut stats)?;
+                    xs = xi;
+                    ok = oi.is_converged();
+                    last_outcome = oi;
+                    if !ok {
+                        break;
+                    }
+                }
+                if ok {
+                    x_new = xs;
+                    outcome = last_outcome;
+                }
+            }
+            x = x_new;
+            sweep.push(value);
+            outcomes.push(outcome);
+            for (i, &xi) in x.iter().enumerate() {
+                columns[i].push(xi);
+            }
+            let mut col = var_names.len();
+            let mut flops = FlopCounter::new();
+            for b in mats.mna.nonlinear_bindings() {
+                let v = branch_voltage(&x, b.var_plus, b.var_minus);
+                columns[col].push(b.device.current(v, &mut flops));
+                col += 1;
+            }
+            for m in mats.mna.mosfet_bindings() {
+                let vd = m.var_drain.map_or(0.0, |i| x[i]);
+                let vg = m.var_gate.map_or(0.0, |i| x[i]);
+                let vs = m.var_source.map_or(0.0, |i| x[i]);
+                columns[col].push(m.model.ids(vg - vs, vd - vs, &mut flops));
+                col += 1;
+            }
+            stats.flops += flops;
+            stats.steps += 1;
+        }
+        stats.elapsed = t0.elapsed();
+        Ok(NrSweepResult {
+            sweep: DcSweepResult::new(sweep, names, columns, stats),
+            outcomes,
+        })
+    }
+
+    /// Transient analysis with fixed print step `tstep` and the configured
+    /// failure policy.
+    ///
+    /// # Errors
+    /// Fails on invalid parameters, singular structure, or (with
+    /// [`FailurePolicy::Abort`] / step underflow) Newton failure.
+    pub fn run_transient(
+        &self,
+        circuit: &Circuit,
+        tstep: f64,
+        tstop: f64,
+    ) -> Result<NrTransientResult> {
+        if !(tstep > 0.0 && tstop > 0.0 && tstep <= tstop) {
+            return Err(SimError::InvalidConfig {
+                context: format!("transient needs 0 < tstep <= tstop (got {tstep}, {tstop})"),
+            });
+        }
+        let t0 = Instant::now();
+        let mats = CircuitMatrices::new(circuit)?;
+        let mna = &mats.mna;
+        let dim = mna.dim();
+        let mut stats = EngineStats::new();
+
+        // DC operating point at t = 0 (with source stepping as fallback).
+        let (mut x, op_outcome) =
+            self.solve_dc(&mats, None, &vec![0.0; dim], None, &mut stats)?;
+        if !op_outcome.is_converged() {
+            let mut xs = vec![0.0; dim];
+            let steps = self.opts.source_steps.max(10);
+            for s in 1..=steps {
+                let scale = s as f64 / steps as f64;
+                let (xi, _) = self.solve_dc(&mats, None, &xs, Some(scale), &mut stats)?;
+                xs = xi;
+            }
+            x = xs;
+        }
+
+        let names = mna_var_names(mna);
+        let mut times = vec![0.0];
+        let mut columns: Vec<Vec<f64>> = (0..dim).map(|i| vec![x[i]]).collect();
+        let mut failures = Vec::new();
+
+        let mut t = 0.0;
+        let t_end = tstop * (1.0 - 1e-12);
+        while t < t_end {
+            let mut h = tstep.min(tstop - t);
+            loop {
+                let (x_new, outcome) = self.solve_transient_step(&mats, &x, t, h, &mut stats)?;
+                if outcome.is_converged() {
+                    x = x_new;
+                    break;
+                }
+                match self.opts.failure_policy {
+                    FailurePolicy::AcceptLast => {
+                        failures.push((t + h, outcome));
+                        x = x_new;
+                        break;
+                    }
+                    FailurePolicy::ReduceStep => {
+                        stats.rejected_steps += 1;
+                        h *= 0.5;
+                        if h < self.opts.h_min {
+                            return Err(SimError::StepSizeUnderflow { time: t, step: h });
+                        }
+                    }
+                    FailurePolicy::Abort => {
+                        return Err(SimError::NonConvergence {
+                            at: t + h,
+                            context: format!("newton transient: {outcome:?}"),
+                        });
+                    }
+                }
+            }
+            t += h;
+            stats.steps += 1;
+            times.push(t);
+            for (i, c) in columns.iter_mut().enumerate() {
+                c.push(x[i]);
+            }
+        }
+        stats.elapsed = t0.elapsed();
+        Ok(NrTransientResult {
+            result: TransientResult::new(times, names, columns, stats),
+            failures,
+        })
+    }
+
+    /// One Newton DC solve. `override_src` replaces a named source value;
+    /// `source_scale` scales *all* sources (source stepping).
+    pub(crate) fn solve_dc(
+        &self,
+        mats: &CircuitMatrices,
+        override_src: Option<(&str, f64)>,
+        x0: &[f64],
+        source_scale: Option<f64>,
+        stats: &mut EngineStats,
+    ) -> Result<(Vec<f64>, NrOutcome)> {
+        self.newton_loop(mats, x0, stats, |mna, rhs, flops| {
+            mna.stamp_rhs(0.0, rhs);
+            if let Some((name, value)) = override_src {
+                override_source_rhs(mna, name, value, 0.0, rhs);
+            }
+            if let Some(scale) = source_scale {
+                for r in rhs.iter_mut() {
+                    *r *= scale;
+                }
+                flops.mul(rhs.len() as u64);
+            }
+            None
+        })
+    }
+
+    /// One backward-Euler transient step solved with Newton.
+    fn solve_transient_step(
+        &self,
+        mats: &CircuitMatrices,
+        x_prev: &[f64],
+        t: f64,
+        h: f64,
+        stats: &mut EngineStats,
+    ) -> Result<(Vec<f64>, NrOutcome)> {
+        self.newton_loop(mats, x_prev, stats, |mna, rhs, flops| {
+            mna.stamp_rhs(t + h, rhs);
+            // rhs += (C/h) x_prev; the matrix side adds C/h stamps.
+            mats.c_csr
+                .matvec_acc(1.0 / h, x_prev, rhs, flops)
+                .expect("shape checked at construction");
+            Some(h)
+        })
+    }
+
+    /// The shared Newton iteration. `prepare` fills the source right-hand
+    /// side and returns `Some(h)` when `C/h` companion stamps are needed
+    /// (transient) or `None` for DC.
+    fn newton_loop<F>(
+        &self,
+        mats: &CircuitMatrices,
+        x0: &[f64],
+        stats: &mut EngineStats,
+        prepare: F,
+    ) -> Result<(Vec<f64>, NrOutcome)>
+    where
+        F: Fn(&MnaSystem, &mut [f64], &mut FlopCounter) -> Option<f64>,
+    {
+        let mna = &mats.mna;
+        let dim = mna.dim();
+        let mut flops = FlopCounter::new();
+        let mut x = x0.to_vec();
+        // Linearization voltages per nonlinear device (for limiting).
+        let mut v_lin: Vec<f64> = mna
+            .nonlinear_bindings()
+            .iter()
+            .map(|b| branch_voltage(&x, b.var_plus, b.var_minus))
+            .collect();
+        let mut history: Vec<Vec<f64>> = vec![x.clone()];
+
+        for iter in 0..self.opts.max_iterations {
+            let mut g = mats.g_lin.clone();
+            let mut rhs = vec![0.0; dim];
+            let h = prepare(mna, &mut rhs, &mut flops);
+            if let Some(h) = h {
+                for &(r, c, v) in mats.c_triplets.iter() {
+                    g.push(r, c, v / h);
+                }
+                flops.div(mats.c_triplets.len() as u64);
+            }
+            // Companion models at the linearization voltages.
+            for (i, b) in mna.nonlinear_bindings().iter().enumerate() {
+                let v = v_lin[i];
+                let id = b.device.current(v, &mut flops);
+                let gd = b.device.differential_conductance(v, &mut flops) + self.opts.gmin;
+                stats.device_evals += 2;
+                let ieq = id - gd * v;
+                flops.fma(1);
+                MnaSystem::stamp_conductance(&mut g, b.var_plus, b.var_minus, gd);
+                if let Some(p) = b.var_plus {
+                    rhs[p] -= ieq;
+                }
+                if let Some(m) = b.var_minus {
+                    rhs[m] += ieq;
+                }
+                flops.add(2);
+            }
+            for m in mna.mosfet_bindings() {
+                let vd = m.var_drain.map_or(0.0, |i| x[i]);
+                let vg = m.var_gate.map_or(0.0, |i| x[i]);
+                let vs = m.var_source.map_or(0.0, |i| x[i]);
+                let (vgs, vds) = (vg - vs, vd - vs);
+                let id = m.model.ids(vgs, vds, &mut flops);
+                let gds = m.model.gds(vgs, vds, &mut flops) + self.opts.gmin;
+                let gm = m.model.gm(vgs, vds, &mut flops);
+                stats.device_evals += 3;
+                // i_d = ieq + gds*vds + gm*vgs with ieq from the expansion.
+                let ieq = id - gds * vds - gm * vgs;
+                flops.fma(2);
+                MnaSystem::stamp_conductance(&mut g, m.var_drain, m.var_source, gds);
+                // Transconductance stamps (drain current driven by vgs).
+                if let Some(d) = m.var_drain {
+                    if let Some(gn) = m.var_gate {
+                        g.push(d, gn, gm);
+                    }
+                    if let Some(s) = m.var_source {
+                        g.push(d, s, -gm);
+                    }
+                    rhs[d] -= ieq;
+                }
+                if let Some(s) = m.var_source {
+                    if let Some(gn) = m.var_gate {
+                        g.push(s, gn, -gm);
+                    }
+                    g.push(s, s, gm);
+                    rhs[s] += ieq;
+                }
+                flops.add(2);
+            }
+
+            let lu = match SparseLu::factor(&g.to_csr(), &mut flops) {
+                Ok(lu) => lu,
+                Err(NumericError::SingularMatrix { .. }) => {
+                    stats.flops += flops;
+                    return Ok((x, NrOutcome::Singular));
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let x_full = lu.solve(&rhs, &mut flops)?;
+            stats.linear_solves += 1;
+            stats.iterations += 1;
+
+            // Damped update.
+            let lambda = self.opts.damping;
+            let mut x_new = vec![0.0; dim];
+            for i in 0..dim {
+                x_new[i] = x[i] + lambda * (x_full[i] - x[i]);
+            }
+            flops.fma(dim as u64);
+
+            // Device voltage limiting (the MLA augmentation).
+            let mut v_next: Vec<f64> = mna
+                .nonlinear_bindings()
+                .iter()
+                .map(|b| branch_voltage(&x_new, b.var_plus, b.var_minus))
+                .collect();
+            if let Some(limit) = self.opts.device_v_limit {
+                for (i, v) in v_next.iter_mut().enumerate() {
+                    let dv = *v - v_lin[i];
+                    if dv.abs() > limit {
+                        *v = v_lin[i] + limit * dv.signum();
+                    }
+                }
+            }
+
+            // Convergence: node voltages between successive iterates.
+            let mut converged = true;
+            for i in 0..mna.num_nodes() {
+                let tol = self.opts.v_abstol + self.opts.v_reltol * x_new[i].abs();
+                if (x_new[i] - x[i]).abs() > tol {
+                    converged = false;
+                    break;
+                }
+            }
+            // Device linearization voltages must also have settled.
+            if converged {
+                for (i, &v) in v_next.iter().enumerate() {
+                    let tol = self.opts.v_abstol + self.opts.v_reltol * v.abs();
+                    if (v - v_lin[i]).abs() > tol {
+                        converged = false;
+                        break;
+                    }
+                }
+            }
+            x = x_new;
+            v_lin = v_next;
+            history.push(x.clone());
+            if converged {
+                stats.flops += flops;
+                return Ok((
+                    x,
+                    NrOutcome::Converged {
+                        iterations: iter + 1,
+                    },
+                ));
+            }
+            if let Some(period) = detect_vector_cycle(&history, self.opts.v_abstol) {
+                stats.flops += flops;
+                return Ok((x, NrOutcome::Oscillating { period }));
+            }
+        }
+        stats.flops += flops;
+        Ok((x, NrOutcome::MaxIterations))
+    }
+}
+
+/// Detects a period-2..4 cycle at the tail of the iterate history (the
+/// vector analogue of the scalar detection in `nanosim-numeric`).
+fn detect_vector_cycle(history: &[Vec<f64>], abstol: f64) -> Option<usize> {
+    let n = history.len();
+    for period in 2..=4usize {
+        if n < 2 * period + 1 {
+            continue;
+        }
+        let same = |a: &[f64], b: &[f64]| {
+            a.iter()
+                .zip(b.iter())
+                .all(|(x, y)| (x - y).abs() <= abstol * 10.0 + 1e-3 * x.abs().max(y.abs()))
+        };
+        let mut is_cycle = true;
+        for i in 0..period {
+            if !same(&history[n - 1 - i], &history[n - 1 - i - period]) {
+                is_cycle = false;
+                break;
+            }
+        }
+        if is_cycle {
+            // Require genuine movement within the cycle.
+            let a = &history[n - 1];
+            let b = &history[n - 2];
+            let moved = a
+                .iter()
+                .zip(b.iter())
+                .any(|(x, y)| (x - y).abs() > abstol * 100.0 + 1e-2 * x.abs().max(y.abs()));
+            if moved {
+                return Some(period);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanosim_devices::diode::Diode;
+    use nanosim_devices::mosfet::Mosfet;
+    use nanosim_devices::rtd::Rtd;
+    use nanosim_devices::sources::SourceWaveform;
+    use nanosim_devices::traits::NonlinearTwoTerminal;
+    use nanosim_numeric::approx_eq;
+
+    fn engine() -> NrEngine {
+        NrEngine::new(NrOptions::default())
+    }
+
+    fn diode_divider() -> Circuit {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("mid");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(5.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_diode("D1", b, Circuit::GROUND, Diode::silicon())
+            .unwrap();
+        ckt
+    }
+
+    fn rtd_divider(r: f64) -> Circuit {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("mid");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(0.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, b, r).unwrap();
+        ckt.add_rtd("X1", b, Circuit::GROUND, Rtd::date2005())
+            .unwrap();
+        ckt
+    }
+
+    #[test]
+    fn diode_dc_converges() {
+        let mats = CircuitMatrices::new(&diode_divider()).unwrap();
+        let mut stats = EngineStats::new();
+        let (x, outcome) = engine()
+            .solve_dc(&mats, None, &vec![0.0; 3], None, &mut stats)
+            .unwrap();
+        match outcome {
+            NrOutcome::Converged { iterations } => assert!(iterations < 60),
+            other => panic!("unexpected {other:?}"),
+        }
+        // KCL: (5 - v)/1k = I_d(v).
+        let v = x[1];
+        let mut f = FlopCounter::new();
+        let i_d = Diode::silicon().current(v, &mut f);
+        assert!(approx_eq((5.0 - v) / 1e3, i_d, 1e-3), "v={v}");
+    }
+
+    #[test]
+    fn linear_circuit_converges_immediately() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let mats = CircuitMatrices::new(&ckt).unwrap();
+        let mut stats = EngineStats::new();
+        let (x, outcome) = engine()
+            .solve_dc(&mats, None, &vec![0.0; 2], None, &mut stats)
+            .unwrap();
+        assert!(outcome.is_converged());
+        assert!(approx_eq(x[0], 1.0, 1e-9));
+    }
+
+    #[test]
+    fn rtd_in_pdr1_converges() {
+        let mats = CircuitMatrices::new(&rtd_divider(50.0)).unwrap();
+        let mut stats = EngineStats::new();
+        let (_, outcome) = engine()
+            .solve_dc(&mats, Some(("V1", 1.0)), &vec![0.0; 3], None, &mut stats)
+            .unwrap();
+        assert!(outcome.is_converged(), "{outcome:?}");
+    }
+
+    /// Current-driven sharp RTD: `I_rtd(v) = I` with `I` above the valley
+    /// current puts the Newton iterates in the non-monotone trap of the
+    /// paper's Figure 2 (tiny `gd` in the valley catapults the iterate).
+    fn current_driven_rtd() -> Circuit {
+        let mut ckt = Circuit::new();
+        let b = ckt.node("mid");
+        ckt.add_current_source("I1", Circuit::GROUND, b, SourceWaveform::dc(0.0))
+            .unwrap();
+        ckt.add_rtd("X1", b, Circuit::GROUND, Rtd::sharp_valley())
+            .unwrap();
+        ckt.add_resistor("Rsh", b, Circuit::GROUND, 1e6).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn rtd_ndr_from_cold_start_fails_plain_nr() {
+        // Bias between the valley (~0.34 mA) and peak (~1.4 mA) currents
+        // from a zero initial guess: plain differential-conductance NR must
+        // NOT converge to a physical solution — the NDR problem of §3.1.
+        let mats = CircuitMatrices::new(&current_driven_rtd()).unwrap();
+        let mut stats = EngineStats::new();
+        let (x, outcome) = engine()
+            .solve_dc(&mats, Some(("I1", 1e-3)), &vec![0.0; 1], None, &mut stats)
+            .unwrap();
+        let physical = outcome.is_converged() && x[0].abs() < 10.0;
+        assert!(
+            !physical,
+            "plain NR unexpectedly found a physical solution: {outcome:?}, v={}",
+            x[0]
+        );
+    }
+
+    #[test]
+    fn device_limiting_rescues_ndr_point() {
+        // The same point with MLA-style voltage limiting converges to a
+        // genuine intersection of the I-V curve.
+        let limited = NrEngine::new(NrOptions {
+            device_v_limit: Some(0.05),
+            max_iterations: 500,
+            ..NrOptions::default()
+        });
+        let mats = CircuitMatrices::new(&current_driven_rtd()).unwrap();
+        let mut stats = EngineStats::new();
+        let (x, outcome) = limited
+            .solve_dc(&mats, Some(("I1", 1e-3)), &vec![0.0; 1], None, &mut stats)
+            .unwrap();
+        assert!(outcome.is_converged(), "{outcome:?}");
+        let v = x[0];
+        assert!(v > 0.0 && v < 10.0, "physical bias, got {v}");
+        let mut f = FlopCounter::new();
+        let i_rtd = Rtd::sharp_valley().current(v, &mut f) + v / 1e6;
+        assert!(approx_eq(i_rtd, 1e-3, 1e-3), "KCL: {i_rtd} at v={v}");
+    }
+
+    #[test]
+    fn dc_sweep_reports_outcomes() {
+        let r = engine()
+            .run_dc_sweep(&rtd_divider(50.0), "V1", 0.0, 2.0, 0.1)
+            .unwrap();
+        assert_eq!(r.outcomes.len(), 21);
+        assert_eq!(r.failures(), 0, "continuation keeps early points easy");
+        assert!(r.sweep.stats.iterations > 21);
+    }
+
+    #[test]
+    fn mosfet_pulldown_dc() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let out = ckt.node("out");
+        let gate = ckt.node("g");
+        ckt.add_voltage_source("Vdd", vdd, Circuit::GROUND, SourceWaveform::dc(5.0))
+            .unwrap();
+        ckt.add_voltage_source("Vg", gate, Circuit::GROUND, SourceWaveform::dc(5.0))
+            .unwrap();
+        ckt.add_resistor("RL", vdd, out, 10e3).unwrap();
+        ckt.add_mosfet("M1", out, gate, Circuit::GROUND, Mosfet::nmos())
+            .unwrap();
+        let mats = CircuitMatrices::new(&ckt).unwrap();
+        let mut stats = EngineStats::new();
+        let (x, outcome) = engine()
+            .solve_dc(&mats, None, &vec![0.0; 5], None, &mut stats)
+            .unwrap();
+        assert!(outcome.is_converged(), "{outcome:?}");
+        let out_var = mats.mna.var_of_node_name("out").unwrap();
+        assert!(x[out_var] < 1.0, "out = {}", x[out_var]);
+    }
+
+    #[test]
+    fn transient_rc_matches_analytic() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("out");
+        ckt.add_voltage_source(
+            "V1",
+            a,
+            Circuit::GROUND,
+            SourceWaveform::pwl(vec![(0.0, 0.0), (1e-12, 1.0), (1.0, 1.0)]).unwrap(),
+        )
+        .unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-12).unwrap();
+        let r = engine().run_transient(&ckt, 0.02e-9, 5e-9).unwrap();
+        assert!(r.failures.is_empty());
+        let out = r.result.waveform("out").unwrap();
+        let got = out.value_at(1e-9);
+        let expected = 1.0 - (-1.0f64).exp();
+        assert!((got - expected).abs() < 0.02, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let ckt = diode_divider();
+        let e = engine();
+        assert!(e.run_dc_sweep(&ckt, "V1", 0.0, 1.0, 0.0).is_err());
+        assert!(e.run_dc_sweep(&ckt, "nope", 0.0, 1.0, 0.1).is_err());
+        assert!(e.run_transient(&ckt, 0.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn cycle_detector_finds_period_two() {
+        let a = vec![0.0, 0.0];
+        let b = vec![1.0, 1.0];
+        let history = vec![
+            a.clone(),
+            b.clone(),
+            a.clone(),
+            b.clone(),
+            a.clone(),
+            b.clone(),
+        ];
+        assert_eq!(detect_vector_cycle(&history, 1e-6), Some(2));
+        let history = vec![a.clone(); 6];
+        assert_eq!(detect_vector_cycle(&history, 1e-6), None);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(NrOutcome::Converged { iterations: 3 }.is_converged());
+        assert!(!NrOutcome::MaxIterations.is_converged());
+        assert!(!NrOutcome::Oscillating { period: 2 }.is_converged());
+        assert!(!NrOutcome::Singular.is_converged());
+    }
+}

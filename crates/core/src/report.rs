@@ -1,0 +1,120 @@
+//! Engine statistics — the accounting behind the paper's Table I.
+
+use nanosim_numeric::FlopCounter;
+use std::fmt;
+use std::time::Duration;
+
+/// Work performed by one engine run.
+///
+/// The floating point counts are gathered with the same rules in every
+/// engine (solver FLOPs via `nanosim-numeric`, model-evaluation FLOPs via
+/// the device implementations), so SWEC-vs-baseline ratios are meaningful.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineStats {
+    /// Accepted time points / sweep points.
+    pub steps: usize,
+    /// Rejected (redone) steps.
+    pub rejected_steps: usize,
+    /// Newton (or fixed-point) iterations summed over all points.
+    pub iterations: u64,
+    /// Sparse/dense LU factorizations + solves performed.
+    pub linear_solves: u64,
+    /// Nonlinear device model evaluations.
+    pub device_evals: u64,
+    /// Floating point operations (solves + model evaluations).
+    pub flops: FlopCounter,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl EngineStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        EngineStats::default()
+    }
+
+    /// Average nonlinear iterations per accepted point (0 when no points).
+    pub fn iterations_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.steps as f64
+        }
+    }
+
+    /// Merges another run's statistics into this one.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.steps += other.steps;
+        self.rejected_steps += other.rejected_steps;
+        self.iterations += other.iterations;
+        self.linear_solves += other.linear_solves;
+        self.device_evals += other.device_evals;
+        self.flops += other.flops;
+        self.elapsed += other.elapsed;
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} steps ({} rejected), {} iterations, {} solves, {} device evals, {}, {:.3} ms",
+            self.steps,
+            self.rejected_steps,
+            self.iterations,
+            self.linear_solves,
+            self.device_evals,
+            self.flops,
+            self.elapsed.as_secs_f64() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zero() {
+        let s = EngineStats::new();
+        assert_eq!(s.steps, 0);
+        assert_eq!(s.flops.total(), 0);
+        assert_eq!(s.iterations_per_step(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EngineStats::new();
+        a.steps = 10;
+        a.iterations = 30;
+        a.flops.add(100);
+        let mut b = EngineStats::new();
+        b.steps = 5;
+        b.iterations = 10;
+        b.rejected_steps = 2;
+        b.flops.mul(50);
+        a.merge(&b);
+        assert_eq!(a.steps, 15);
+        assert_eq!(a.iterations, 40);
+        assert_eq!(a.rejected_steps, 2);
+        assert_eq!(a.flops.total(), 150);
+    }
+
+    #[test]
+    fn iterations_per_step_average() {
+        let mut s = EngineStats::new();
+        s.steps = 4;
+        s.iterations = 10;
+        assert!((s.iterations_per_step() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let mut s = EngineStats::new();
+        s.steps = 7;
+        s.device_evals = 3;
+        let out = s.to_string();
+        assert!(out.contains("7 steps"));
+        assert!(out.contains("3 device evals"));
+    }
+}

@@ -1,0 +1,505 @@
+//! SWEC DC analysis: damped equivalent-conductance fixed point with source
+//! continuation.
+//!
+//! At each sweep value the nonlinear devices are replaced by
+//! `Geq(v) = I(v)/v` evaluated at the current iterate, the resulting
+//! *linear* system is solved, and the iterate is relaxed toward the
+//! solution until self-consistent. No Jacobian is ever formed, and every
+//! stamped conductance is positive — even when the operating point sits in
+//! an NDR region, which is where Newton-based solvers oscillate (paper
+//! §3.1/§5.1, Figure 7). Each sweep point starts from the previous point's
+//! solution (continuation), so a handful of iterations usually suffice.
+
+use crate::assemble::{branch_voltage, mna_var_names, override_source_rhs, CircuitMatrices};
+use crate::report::EngineStats;
+use crate::swec::SwecOptions;
+use crate::waveform::DcSweepResult;
+use crate::{Result, SimError};
+use nanosim_circuit::Circuit;
+use nanosim_numeric::sparse::SparseLu;
+use nanosim_numeric::FlopCounter;
+use std::time::Instant;
+
+/// The SWEC DC sweep engine.
+///
+/// See the crate-level example for usage; [`SwecDcSweep::solve_op`] exposes
+/// the single-point solver used for operating points.
+#[derive(Debug, Clone, Default)]
+pub struct SwecDcSweep {
+    opts: SwecOptions,
+}
+
+impl SwecDcSweep {
+    /// Creates the engine with the given options.
+    pub fn new(opts: SwecOptions) -> Self {
+        SwecDcSweep { opts }
+    }
+
+    /// The engine options.
+    pub fn options(&self) -> &SwecOptions {
+        &self.opts
+    }
+
+    /// Sweeps the named V/I source from `start` to `stop` (inclusive) in
+    /// increments of `step`.
+    ///
+    /// # Errors
+    /// Fails on invalid sweep parameters, unknown source names, singular
+    /// matrices, or fixed-point non-convergence.
+    pub fn run(
+        &self,
+        circuit: &Circuit,
+        source: &str,
+        start: f64,
+        stop: f64,
+        step: f64,
+    ) -> Result<DcSweepResult> {
+        if step == 0.0 || !step.is_finite() || (stop - start) * step < 0.0 {
+            return Err(SimError::InvalidConfig {
+                context: format!("dc sweep {start}..{stop} with step {step}"),
+            });
+        }
+        let t0 = Instant::now();
+        let mats = CircuitMatrices::new(circuit)?;
+        if mats
+            .mna
+            .circuit()
+            .element(source)
+            .is_none()
+        {
+            return Err(SimError::InvalidConfig {
+                context: format!("unknown sweep source `{source}`"),
+            });
+        }
+        let mut stats = EngineStats::new();
+        let n_points = ((stop - start) / step).round() as i64 + 1;
+        let n_points = n_points.max(1) as usize;
+
+        let var_names = mna_var_names(&mats.mna);
+        let mut names = var_names.clone();
+        for b in mats.mna.nonlinear_bindings() {
+            names.push(format!("I({})", b.name));
+        }
+        for m in mats.mna.mosfet_bindings() {
+            names.push(format!("I({})", m.name));
+        }
+        let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(n_points); names.len()];
+        let mut sweep = Vec::with_capacity(n_points);
+
+        let mut x = vec![0.0; mats.mna.dim()];
+        for k in 0..n_points {
+            let value = start + step * k as f64;
+            // The first point is always solved to self-consistency (there is
+            // no previous point to borrow Geq from); afterwards the
+            // non-iterative mode performs exactly one solve per point.
+            x = if k == 0 || self.opts.dc_mode == crate::swec::DcMode::FixedPoint {
+                match self.solve_point(&mats, Some((source, value)), &x, &mut stats) {
+                    Ok(x_new) => x_new,
+                    // At a genuine bistability fold the fixed point has no
+                    // single answer; step across it like the quasi-transient
+                    // the paper runs.
+                    Err(SimError::NonConvergence { .. }) if k > 0 => {
+                        self.solve_noniterative(&mats, Some((source, value)), &x, &mut stats)?
+                    }
+                    Err(e) => return Err(e),
+                }
+            } else {
+                self.solve_noniterative(&mats, Some((source, value)), &x, &mut stats)?
+            };
+            sweep.push(value);
+            for (i, &xi) in x.iter().enumerate() {
+                columns[i].push(xi);
+            }
+            let mut col = var_names.len();
+            let mut flops = FlopCounter::new();
+            for b in mats.mna.nonlinear_bindings() {
+                let v = branch_voltage(&x, b.var_plus, b.var_minus);
+                columns[col].push(b.device.current(v, &mut flops));
+                col += 1;
+            }
+            for m in mats.mna.mosfet_bindings() {
+                let vd = m.var_drain.map_or(0.0, |i| x[i]);
+                let vg = m.var_gate.map_or(0.0, |i| x[i]);
+                let vs = m.var_source.map_or(0.0, |i| x[i]);
+                columns[col].push(m.model.ids(vg - vs, vd - vs, &mut flops));
+                col += 1;
+            }
+            stats.flops += flops;
+            stats.steps += 1;
+        }
+        stats.elapsed = t0.elapsed();
+        Ok(DcSweepResult::new(sweep, names, columns, stats))
+    }
+
+    /// Solves the operating point of a circuit with all sources at their
+    /// `t = 0` values, returning the MNA solution vector. Falls back to
+    /// source-ramp continuation (the paper's quasi-transient start) when
+    /// the direct fixed point cycles between branches of a bistable
+    /// circuit.
+    ///
+    /// # Errors
+    /// Fails on singular matrices or fixed-point non-convergence even
+    /// under continuation.
+    pub fn solve_op(&self, circuit: &Circuit) -> Result<Vec<f64>> {
+        let mats = CircuitMatrices::new(circuit)?;
+        let mut stats = EngineStats::new();
+        self.solve_op_inner(&mats, &mut stats)
+    }
+
+    /// Operating point with continuation fallback (internal; shares stats
+    /// with the calling engine).
+    pub(crate) fn solve_op_inner(
+        &self,
+        mats: &CircuitMatrices,
+        stats: &mut EngineStats,
+    ) -> Result<Vec<f64>> {
+        let x0 = vec![0.0; mats.mna.dim()];
+        match self.solve_point(mats, None, &x0, stats) {
+            Ok(x) => Ok(x),
+            Err(SimError::NonConvergence { .. }) => {
+                // Source-ramp continuation: approach the bias from zero the
+                // way a power-up transient would, so bistable circuits land
+                // on the continuation branch.
+                let ramp_steps = 25;
+                let mut x = x0;
+                for s in 1..=ramp_steps {
+                    let scale = s as f64 / ramp_steps as f64;
+                    x = self.solve_point_scaled(mats, None, &x, Some(scale), stats)?;
+                }
+                Ok(x)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// One non-iterative SWEC step: stamp `Geq` at the previous solution
+    /// `x0` and solve once — the paper's DC procedure ("a range of voltages
+    /// were applied ... SWEC is a non iterative method").
+    pub(crate) fn solve_noniterative(
+        &self,
+        mats: &CircuitMatrices,
+        override_src: Option<(&str, f64)>,
+        x0: &[f64],
+        stats: &mut EngineStats,
+    ) -> Result<Vec<f64>> {
+        let mna = &mats.mna;
+        let dim = mna.dim();
+        let mut flops = FlopCounter::new();
+        let mut g = mats.g_lin.clone();
+        for b in mna.nonlinear_bindings() {
+            let v = branch_voltage(x0, b.var_plus, b.var_minus);
+            let geq = b.device.equivalent_conductance(v, &mut flops) + self.opts.gmin;
+            stats.device_evals += 1;
+            nanosim_circuit::MnaSystem::stamp_conductance(&mut g, b.var_plus, b.var_minus, geq);
+        }
+        for m in mna.mosfet_bindings() {
+            let vd = m.var_drain.map_or(0.0, |i| x0[i]);
+            let vg = m.var_gate.map_or(0.0, |i| x0[i]);
+            let vs = m.var_source.map_or(0.0, |i| x0[i]);
+            let geq = m.model.geq(vg - vs, vd - vs, &mut flops) + self.opts.gmin;
+            stats.device_evals += 1;
+            nanosim_circuit::MnaSystem::stamp_conductance(&mut g, m.var_drain, m.var_source, geq);
+        }
+        let mut rhs = vec![0.0; dim];
+        mna.stamp_rhs(0.0, &mut rhs);
+        if let Some((name, value)) = override_src {
+            override_source_rhs(mna, name, value, 0.0, &mut rhs);
+        }
+        let lu = SparseLu::factor(&g.to_csr(), &mut flops)?;
+        let x = lu.solve(&rhs, &mut flops)?;
+        stats.linear_solves += 1;
+        stats.iterations += 1;
+        stats.flops += flops;
+        Ok(x)
+    }
+
+    /// Damped Geq fixed point at one bias point. `override_src` optionally
+    /// replaces a named source's value; `x0` seeds the iteration
+    /// (continuation).
+    pub(crate) fn solve_point(
+        &self,
+        mats: &CircuitMatrices,
+        override_src: Option<(&str, f64)>,
+        x0: &[f64],
+        stats: &mut EngineStats,
+    ) -> Result<Vec<f64>> {
+        self.solve_point_scaled(mats, override_src, x0, None, stats)
+    }
+
+    /// [`SwecDcSweep::solve_point`] with all sources scaled by
+    /// `source_scale` (continuation ramp).
+    pub(crate) fn solve_point_scaled(
+        &self,
+        mats: &CircuitMatrices,
+        override_src: Option<(&str, f64)>,
+        x0: &[f64],
+        source_scale: Option<f64>,
+        stats: &mut EngineStats,
+    ) -> Result<Vec<f64>> {
+        let mna = &mats.mna;
+        let dim = mna.dim();
+        let mut x = x0.to_vec();
+        let mut flops = FlopCounter::new();
+        let mut lambda: f64 = 1.0;
+        let mut prev_delta = f64::INFINITY;
+        // Best (smallest-residual) iterate seen: at a bistability fold the
+        // damped map can cycle between branches without ever meeting the
+        // tight tolerance; a near-converged iterate is still useful.
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        let is_linear =
+            mna.nonlinear_bindings().is_empty() && mna.mosfet_bindings().is_empty();
+        for iter in 0..self.opts.dc_max_iterations {
+            // Stamp G with Geq at the current iterate.
+            let mut g = mats.g_lin.clone();
+            for b in mna.nonlinear_bindings() {
+                let v = branch_voltage(&x, b.var_plus, b.var_minus);
+                let geq = b.device.equivalent_conductance(v, &mut flops) + self.opts.gmin;
+                stats.device_evals += 1;
+                nanosim_circuit::MnaSystem::stamp_conductance(
+                    &mut g,
+                    b.var_plus,
+                    b.var_minus,
+                    geq,
+                );
+            }
+            for m in mna.mosfet_bindings() {
+                let vd = m.var_drain.map_or(0.0, |i| x[i]);
+                let vg = m.var_gate.map_or(0.0, |i| x[i]);
+                let vs = m.var_source.map_or(0.0, |i| x[i]);
+                let geq = m.model.geq(vg - vs, vd - vs, &mut flops) + self.opts.gmin;
+                stats.device_evals += 1;
+                nanosim_circuit::MnaSystem::stamp_conductance(
+                    &mut g,
+                    m.var_drain,
+                    m.var_source,
+                    geq,
+                );
+            }
+            let mut rhs = vec![0.0; dim];
+            mna.stamp_rhs(0.0, &mut rhs);
+            if let Some((name, value)) = override_src {
+                override_source_rhs(mna, name, value, 0.0, &mut rhs);
+            }
+            if let Some(scale) = source_scale {
+                for r in rhs.iter_mut() {
+                    *r *= scale;
+                }
+                flops.mul(dim as u64);
+            }
+            let lu = SparseLu::factor(&g.to_csr(), &mut flops)?;
+            let x_new = lu.solve(&rhs, &mut flops)?;
+            stats.linear_solves += 1;
+            stats.iterations += 1;
+
+            // Convergence on node voltages (branch currents scale badly).
+            let delta = x
+                .iter()
+                .zip(x_new.iter())
+                .take(mna.num_nodes())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            if delta < self.opts.dc_tolerance || (is_linear && iter >= 1) {
+                stats.flops += flops;
+                return Ok(x_new);
+            }
+            if best.as_ref().is_none_or(|(d, _)| delta < *d) {
+                best = Some((delta, x_new.clone()));
+            }
+            if is_linear {
+                // One more pass confirms the (already exact) solution.
+                x = x_new;
+                continue;
+            }
+            // Adaptive damping: if the map stopped contracting, damp harder.
+            if delta > 0.9 * prev_delta {
+                lambda = (lambda * 0.5).max(0.05);
+            }
+            prev_delta = delta;
+            for i in 0..dim {
+                x[i] += lambda * (x_new[i] - x[i]);
+            }
+        }
+        stats.flops += flops;
+        // Accept a near-converged iterate (loose but bounded) before giving
+        // up entirely — the cycling amplitude at a fold point is tiny
+        // compared to the voltage scale.
+        if let Some((d, x_best)) = best {
+            if d < 1e-4 {
+                return Ok(x_best);
+            }
+        }
+        Err(SimError::NonConvergence {
+            at: override_src.map(|(_, v)| v).unwrap_or(0.0),
+            context: format!(
+                "SWEC fixed point: {} iterations without reaching {:.1e} V",
+                self.opts.dc_max_iterations, self.opts.dc_tolerance
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanosim_devices::nanowire::Nanowire;
+    use nanosim_devices::rtd::Rtd;
+    use nanosim_devices::sources::SourceWaveform;
+    use nanosim_devices::traits::NonlinearTwoTerminal;
+    use nanosim_numeric::approx_eq;
+
+    fn engine() -> SwecDcSweep {
+        SwecDcSweep::new(SwecOptions::default())
+    }
+
+    fn resistive_divider() -> Circuit {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(2.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_resistor("R2", b, Circuit::GROUND, 3e3).unwrap();
+        ckt
+    }
+
+    fn rtd_divider(r: f64) -> Circuit {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("mid");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(0.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, b, r).unwrap();
+        ckt.add_rtd("X1", b, Circuit::GROUND, Rtd::date2005())
+            .unwrap();
+        ckt
+    }
+
+    #[test]
+    fn linear_divider_exact() {
+        let x = engine().solve_op(&resistive_divider()).unwrap();
+        // v(a) = 2, v(b) = 1.5, branch current = -0.5 mA.
+        assert!(approx_eq(x[0], 2.0, 1e-12));
+        assert!(approx_eq(x[1], 1.5, 1e-12));
+        assert!(approx_eq(x[2], -0.5e-3, 1e-12));
+    }
+
+    #[test]
+    fn sweep_shapes_and_names() {
+        let r = engine().run(&resistive_divider(), "V1", 0.0, 1.0, 0.25).unwrap();
+        assert_eq!(r.points(), 5);
+        assert_eq!(r.sweep_values(), &[0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert!(r.names().contains(&"b".to_string()));
+        assert!(r.names().contains(&"I(V1)".to_string()));
+        // Divider ratio holds across the sweep.
+        let vb = r.column("b").unwrap();
+        assert!(approx_eq(vb[4], 0.75, 1e-12));
+    }
+
+    #[test]
+    fn rtd_operating_point_consistent() {
+        // The solution must satisfy KCL: (Vs - v)/R = I_rtd(v).
+        let ckt = rtd_divider(50.0);
+        let engine = engine();
+        let mats = CircuitMatrices::new(&ckt).unwrap();
+        let mut stats = EngineStats::new();
+        let x = engine
+            .solve_point(&mats, Some(("V1", 1.0)), &vec![0.0; 3], &mut stats)
+            .unwrap();
+        let v = x[1];
+        let mut f = FlopCounter::new();
+        let i_rtd = Rtd::date2005().current(v, &mut f);
+        let i_res = (1.0 - v) / 50.0;
+        assert!(
+            (i_rtd - i_res).abs() < 1e-6,
+            "KCL violated: rtd {i_rtd} vs resistor {i_res}"
+        );
+    }
+
+    #[test]
+    fn rtd_sweep_covers_ndr_region() {
+        // Figure 7(a): sweeping through the peak must not fail, and the
+        // captured I-V must show the peak then the NDR droop.
+        let r = engine().run(&rtd_divider(50.0), "V1", 0.0, 5.0, 0.05).unwrap();
+        let iv = r.curve("I(X1)").unwrap();
+        let (v_peak, i_peak) = iv.peak().unwrap();
+        assert!(v_peak > 2.0 && v_peak < 4.5, "peak at {v_peak}");
+        // Current past the peak drops below the peak value (NDR captured).
+        let late = iv.value_at(5.0);
+        assert!(late < i_peak, "late {late} vs peak {i_peak}");
+    }
+
+    #[test]
+    fn nanowire_sweep_staircase() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("mid");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(0.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, b, 100.0).unwrap();
+        ckt.add_nanowire("W1", b, Circuit::GROUND, Nanowire::metallic_cnt())
+            .unwrap();
+        let r = engine().run(&ckt, "V1", -2.5, 2.5, 0.05).unwrap();
+        let iv = r.curve("I(W1)").unwrap();
+        // Odd symmetry and monotone current.
+        assert!(iv.value_at(0.0).abs() < 1e-6);
+        assert!(iv.value_at(2.5) > 0.0);
+        assert!(iv.value_at(-2.5) < 0.0);
+        let vals = iv.values();
+        for w in vals.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "nanowire current must be monotone");
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let r = engine().run(&rtd_divider(50.0), "V1", 0.0, 1.0, 0.1).unwrap();
+        assert_eq!(r.stats.steps, 11);
+        assert!(r.stats.iterations >= 11);
+        assert!(r.stats.linear_solves >= 11);
+        assert!(r.stats.device_evals > 0);
+        assert!(r.stats.flops.total() > 0);
+    }
+
+    #[test]
+    fn invalid_sweeps_rejected() {
+        let ckt = resistive_divider();
+        let e = engine();
+        assert!(e.run(&ckt, "V1", 0.0, 1.0, 0.0).is_err());
+        assert!(e.run(&ckt, "V1", 0.0, 1.0, -0.1).is_err());
+        assert!(e.run(&ckt, "Vmissing", 0.0, 1.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn noniterative_tracks_fixed_point_closely() {
+        // Paper Figure 7: the non-iterative sweep "captures the negative
+        // resistance region very closely" — compare against the fully
+        // converged fixed-point sweep.
+        let ckt = rtd_divider(50.0);
+        let ni = SwecDcSweep::new(SwecOptions {
+            dc_mode: crate::swec::DcMode::NonIterative,
+            ..SwecOptions::default()
+        })
+        .run(&ckt, "V1", 0.0, 5.0, 0.02)
+        .unwrap();
+        let fp = SwecDcSweep::new(SwecOptions {
+            dc_mode: crate::swec::DcMode::FixedPoint,
+            ..SwecOptions::default()
+        })
+        .run(&ckt, "V1", 0.0, 5.0, 0.02)
+        .unwrap();
+        let a = ni.curve("I(X1)").unwrap();
+        let b = fp.curve("I(X1)").unwrap();
+        let rms = a.rms_difference(&b);
+        let peak = b.peak().unwrap().1;
+        assert!(rms < 0.05 * peak, "rms {rms} vs peak {peak}");
+        // And it is much cheaper: about one solve per point.
+        assert!(ni.stats.linear_solves < fp.stats.linear_solves);
+        assert!(ni.stats.linear_solves <= (ni.points() as u64) + 40);
+    }
+
+    #[test]
+    fn descending_sweep_works() {
+        let r = engine().run(&resistive_divider(), "V1", 1.0, 0.0, -0.5).unwrap();
+        assert_eq!(r.sweep_values(), &[1.0, 0.5, 0.0]);
+    }
+}

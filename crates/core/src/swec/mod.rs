@@ -1,0 +1,141 @@
+//! The Step-Wise Equivalent Conductance engine — the paper's method.
+//!
+//! SWEC replaces every nonlinear device at each time point by the constant
+//! conductance `Geq = I(V)/V` evaluated from the previous solution (§3.2).
+//! Because a passive device's current has the sign of its voltage, `Geq` is
+//! *positive even inside a negative-differential-resistance region*, so the
+//! linear solves stay well conditioned and no Newton iteration is needed —
+//! the paper's cure for the NDR problem. The submodules:
+//!
+//! * [`conductance`] — per-device `Geq` tracking with the first-order Taylor
+//!   extrapolation of paper eq. (5).
+//! * [`timestep`] — the adaptive time-step controller of paper eq. (10)–(12).
+//! * [`transient`] — backward-Euler / trapezoidal integration of the linear
+//!   time-varying system.
+//! * [`dc`] — DC sweeps via damped `Geq` fixed-point iteration with source
+//!   continuation (used for the paper's Figure 7 and Table I).
+
+pub mod conductance;
+pub mod dc;
+pub mod timestep;
+pub mod transient;
+
+pub use conductance::GeqTracker;
+pub use dc::SwecDcSweep;
+pub use timestep::{TimeStepController, TimeStepOptions};
+pub use transient::SwecTransient;
+
+/// Time integration rule for the linear time-varying system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IntegrationMethod {
+    /// First-order implicit (A-stable, damps numerical ringing) — the
+    /// paper's choice.
+    #[default]
+    BackwardEuler,
+    /// Second-order trapezoidal rule (less dissipative; ablation option).
+    Trapezoidal,
+}
+
+/// How the DC sweep treats each point (paper §5.1 and Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DcMode {
+    /// One linear solve per sweep point with `Geq` taken from the previous
+    /// point's voltages — "SWEC is a non iterative method and thus yields
+    /// high simulation speed" (the Table I configuration). Accuracy follows
+    /// the sweep step, exactly like the quasi-transient the paper runs.
+    #[default]
+    NonIterative,
+    /// Damped fixed-point iteration to full self-consistency at every
+    /// point (refinement beyond the paper; costs a few solves per point).
+    FixedPoint,
+}
+
+/// Which adaptive time-step scheme the transient engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StepControl {
+    /// Accept/reject on the measured local error of paper eq. (10):
+    /// `ε = |ΔV_actual - ΔV_estimated| / |ΔV_actual|`, with the estimate
+    /// from linear extrapolation of the previous step. Self-scaling: grows
+    /// the step in quiet regions, shrinks it at edges. Default.
+    #[default]
+    LocalError,
+    /// The closed-form a-priori bounds of paper eq. (11)/(12):
+    /// `h ≤ 3·ε·V/α` per device and `h ≤ ε·C_j/ΣG_jk` per node. Very
+    /// conservative for stiff nodes (an ablation shows the step-count
+    /// difference).
+    PaperConstraints,
+}
+
+/// Options shared by the SWEC transient and DC engines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwecOptions {
+    /// Target local error `ε` of paper eq. (10); drives the adaptive step.
+    pub epsilon: f64,
+    /// Hard minimum time step (s); going below raises
+    /// [`crate::SimError::StepSizeUnderflow`].
+    pub h_min: f64,
+    /// Hard maximum time step (s); also capped by the `.tran` print step.
+    pub h_max: f64,
+    /// Enable the Geq Taylor extrapolation of paper eq. (5).
+    pub taylor_extrapolation: bool,
+    /// Integration rule.
+    pub integration: IntegrationMethod,
+    /// Adaptive step scheme.
+    pub step_control: StepControl,
+    /// Absolute voltage floor of the local-error test (V).
+    pub v_abstol: f64,
+    /// Largest accepted per-step node-voltage change (V); larger changes
+    /// reject the step and halve `h`.
+    pub dv_max: f64,
+    /// Conductance added in parallel with every nonlinear device to keep
+    /// matrices nonsingular when devices cut off.
+    pub gmin: f64,
+    /// DC sweep mode (non-iterative per the paper, or fixed point).
+    pub dc_mode: DcMode,
+    /// DC fixed-point: relaxation factor in `(0, 1]`.
+    pub dc_relaxation: f64,
+    /// DC fixed-point: convergence tolerance on node voltages (V).
+    pub dc_tolerance: f64,
+    /// DC fixed-point: iteration cap per sweep point.
+    pub dc_max_iterations: usize,
+}
+
+impl Default for SwecOptions {
+    fn default() -> Self {
+        SwecOptions {
+            epsilon: 0.01,
+            h_min: 1e-18,
+            h_max: f64::INFINITY,
+            taylor_extrapolation: true,
+            integration: IntegrationMethod::BackwardEuler,
+            step_control: StepControl::default(),
+            v_abstol: 1e-6,
+            dv_max: 0.5,
+            gmin: 1e-12,
+            dc_mode: DcMode::default(),
+            dc_relaxation: 0.5,
+            dc_tolerance: 1e-9,
+            dc_max_iterations: 400,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = SwecOptions::default();
+        assert!(o.epsilon > 0.0 && o.epsilon < 1.0);
+        assert!(o.h_min < 1e-12);
+        assert!(o.taylor_extrapolation);
+        assert_eq!(o.integration, IntegrationMethod::BackwardEuler);
+        assert!(o.dc_relaxation > 0.0 && o.dc_relaxation <= 1.0);
+    }
+
+    #[test]
+    fn integration_method_default() {
+        assert_eq!(IntegrationMethod::default(), IntegrationMethod::BackwardEuler);
+    }
+}

@@ -1,0 +1,264 @@
+//! Adaptive time-step control (paper §3.4, eq. 10–12).
+//!
+//! For a target local error `ε` the paper derives two families of
+//! constraints on the next step `h`:
+//!
+//! * **device constraint** (from the inverter analysis of eq. 11):
+//!   `h ≤ 3·ε·|V_i0| / α`, where `V_i0` is the device's controlling voltage
+//!   and `α` its slew `dV/dt`;
+//! * **node constraint** (eq. 11/12): `h ≤ ε·C_j / Σ_k G_jk(t)` — the step
+//!   must stay below a fraction of each node's local RC time constant.
+//!
+//! The next step is the minimum over all constraints (eq. 12), scaled by a
+//! safety factor, clamped to `[h_min, h_max]`, and snapped to source
+//! breakpoints so pulse edges are hit exactly.
+
+/// Configuration of the controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeStepOptions {
+    /// Target local error `ε` (paper eq. 10).
+    pub epsilon: f64,
+    /// Smallest allowed step (s).
+    pub h_min: f64,
+    /// Largest allowed step (s).
+    pub h_max: f64,
+    /// Multiplier applied after the minimum is taken (0 < safety <= 1).
+    pub safety: f64,
+    /// Growth cap: the accepted step may grow at most this factor per step.
+    pub max_growth: f64,
+}
+
+impl Default for TimeStepOptions {
+    fn default() -> Self {
+        TimeStepOptions {
+            epsilon: 0.01,
+            h_min: 1e-18,
+            h_max: f64::INFINITY,
+            safety: 0.9,
+            max_growth: 2.0,
+        }
+    }
+}
+
+/// One device/node constraint fed to the controller (for diagnostics the
+/// source of each bound is kept).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepConstraint {
+    /// `h <= 3 ε |v| / α` for a device with controlling voltage `v` and
+    /// slew `α` (paper eq. 11, first bound).
+    DeviceSlew {
+        /// Controlling voltage magnitude (V).
+        v: f64,
+        /// Voltage slew magnitude (V/s).
+        alpha: f64,
+    },
+    /// `h <= ε C / G` for a node with grounded capacitance `C` and total
+    /// connected conductance `G` (paper eq. 11/12, second bound).
+    NodeRc {
+        /// Node capacitance (F).
+        capacitance: f64,
+        /// Sum of connected conductance magnitudes (S).
+        conductance: f64,
+    },
+}
+
+impl StepConstraint {
+    /// The bound this constraint puts on `h` for error target `epsilon`;
+    /// `+inf` when the constraint is inactive (zero slew, no capacitance).
+    pub fn bound(&self, epsilon: f64) -> f64 {
+        match *self {
+            StepConstraint::DeviceSlew { v, alpha } => {
+                if alpha.abs() > 0.0 && v.abs() > 0.0 {
+                    3.0 * epsilon * v.abs() / alpha.abs()
+                } else {
+                    f64::INFINITY
+                }
+            }
+            StepConstraint::NodeRc {
+                capacitance,
+                conductance,
+            } => {
+                if capacitance > 0.0 && conductance > 0.0 {
+                    epsilon * capacitance / conductance
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+}
+
+/// The adaptive step controller.
+#[derive(Debug, Clone)]
+pub struct TimeStepController {
+    opts: TimeStepOptions,
+    last_h: f64,
+}
+
+impl TimeStepController {
+    /// Creates a controller; the first suggestion is bounded by
+    /// `initial_h * max_growth`.
+    pub fn new(opts: TimeStepOptions, initial_h: f64) -> Self {
+        TimeStepController {
+            opts,
+            last_h: initial_h,
+        }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &TimeStepOptions {
+        &self.opts
+    }
+
+    /// Suggests the next step from the active constraints (paper eq. 12:
+    /// the minimum over devices and nodes), respecting growth, bounds, the
+    /// remaining simulation span and the next source breakpoint.
+    pub fn suggest(
+        &self,
+        constraints: impl IntoIterator<Item = StepConstraint>,
+        time: f64,
+        t_stop: f64,
+        next_breakpoint: Option<f64>,
+    ) -> f64 {
+        let eps = self.opts.epsilon;
+        let mut h = self.opts.h_max;
+        for c in constraints {
+            h = h.min(c.bound(eps));
+        }
+        h *= self.opts.safety;
+        h = h.min(self.last_h * self.opts.max_growth);
+        // Never step past the end or across a source corner.
+        h = h.min(t_stop - time);
+        if let Some(bp) = next_breakpoint {
+            if bp > time {
+                h = h.min(bp - time);
+            }
+        }
+        h.max(self.opts.h_min)
+    }
+
+    /// Records the step that was actually accepted.
+    pub fn accept(&mut self, h: f64) {
+        self.last_h = h;
+    }
+
+    /// Records a rejection: the controller halves its growth reference so
+    /// the retry is smaller.
+    pub fn reject(&mut self) {
+        self.last_h = (self.last_h * 0.25).max(self.opts.h_min);
+    }
+
+    /// The last accepted (or post-rejection) reference step.
+    pub fn last_step(&self) -> f64 {
+        self.last_h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> TimeStepOptions {
+        TimeStepOptions {
+            epsilon: 0.01,
+            h_min: 1e-15,
+            h_max: 1e-9,
+            safety: 1.0,
+            max_growth: 1e9,
+        }
+    }
+
+    #[test]
+    fn device_constraint_formula() {
+        // h <= 3 eps v / alpha = 3 * 0.01 * 2 / 6e9 = 1e-11.
+        let c = StepConstraint::DeviceSlew { v: 2.0, alpha: 6e9 };
+        assert!((c.bound(0.01) - 1e-11).abs() < 1e-24);
+        // Zero slew -> inactive.
+        let c = StepConstraint::DeviceSlew { v: 2.0, alpha: 0.0 };
+        assert_eq!(c.bound(0.01), f64::INFINITY);
+    }
+
+    #[test]
+    fn node_constraint_formula() {
+        // h <= eps C / G = 0.01 * 1e-12 / 1e-3 = 1e-11.
+        let c = StepConstraint::NodeRc {
+            capacitance: 1e-12,
+            conductance: 1e-3,
+        };
+        assert!((c.bound(0.01) - 1e-11).abs() < 1e-24);
+        let c = StepConstraint::NodeRc {
+            capacitance: 0.0,
+            conductance: 1e-3,
+        };
+        assert_eq!(c.bound(0.01), f64::INFINITY);
+    }
+
+    #[test]
+    fn suggest_takes_minimum_constraint() {
+        let ctl = TimeStepController::new(opts(), 1e-9);
+        let h = ctl.suggest(
+            vec![
+                StepConstraint::DeviceSlew { v: 1.0, alpha: 3e9 }, // 1e-11
+                StepConstraint::NodeRc {
+                    capacitance: 1e-12,
+                    conductance: 1e-4,
+                }, // 1e-10
+            ],
+            0.0,
+            1e-6,
+            None,
+        );
+        assert!((h - 1e-11).abs() < 1e-24, "h = {h}");
+    }
+
+    #[test]
+    fn suggest_respects_h_max_when_unconstrained() {
+        let ctl = TimeStepController::new(opts(), 1e-9);
+        let h = ctl.suggest(vec![], 0.0, 1e-6, None);
+        assert_eq!(h, 1e-9);
+    }
+
+    #[test]
+    fn suggest_stops_at_breakpoints_and_end() {
+        let ctl = TimeStepController::new(opts(), 1e-9);
+        // Breakpoint 0.3 ns away beats everything.
+        let h = ctl.suggest(vec![], 1e-9, 1e-6, Some(1.3e-9));
+        assert!((h - 0.3e-9).abs() < 1e-22);
+        // End of simulation 0.1 ns away.
+        let h = ctl.suggest(vec![], 0.9999e-6, 1e-6, None);
+        assert!(h <= 1.001e-10);
+    }
+
+    #[test]
+    fn growth_is_capped() {
+        let mut o = opts();
+        o.max_growth = 2.0;
+        let mut ctl = TimeStepController::new(o, 1e-12);
+        let h = ctl.suggest(vec![], 0.0, 1.0, None);
+        assert!((h - 2e-12).abs() < 1e-24);
+        ctl.accept(2e-12);
+        let h2 = ctl.suggest(vec![], 0.0, 1.0, None);
+        assert!((h2 - 4e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn reject_shrinks_reference() {
+        let mut ctl = TimeStepController::new(opts(), 1e-10);
+        ctl.reject();
+        assert!((ctl.last_step() - 2.5e-11).abs() < 1e-22);
+    }
+
+    #[test]
+    fn h_min_floor() {
+        let mut o = opts();
+        o.h_min = 1e-12;
+        let ctl = TimeStepController::new(o, 1e-9);
+        let h = ctl.suggest(
+            vec![StepConstraint::DeviceSlew { v: 1e-9, alpha: 1e12 }],
+            0.0,
+            1.0,
+            None,
+        );
+        assert_eq!(h, 1e-12);
+    }
+}

@@ -1,0 +1,616 @@
+//! SWEC transient analysis: implicit integration of the linear
+//! time-varying system (paper §3.2–3.4).
+//!
+//! Per accepted time point the engine performs exactly **one sparse LU
+//! solve**: the nonlinear devices enter as positive step-wise equivalent
+//! conductances predicted from the previous point (optionally
+//! Taylor-extrapolated, eq. 5), so no Newton iteration ever runs. The
+//! step size comes from the adaptive controller of §3.4 and steps are
+//! additionally rejected (and halved) when a node moves more than
+//! `dv_max` in one step — the "too large a time step might lead to the
+//! failure of implicit integration" guard of §3.2.
+
+use crate::assemble::{branch_voltage, mna_var_names, CircuitMatrices};
+use crate::report::EngineStats;
+use crate::swec::conductance::GeqTracker;
+use crate::swec::dc::SwecDcSweep;
+use crate::swec::timestep::{StepConstraint, TimeStepController, TimeStepOptions};
+use crate::swec::{IntegrationMethod, StepControl, SwecOptions};
+use crate::waveform::TransientResult;
+use crate::{Result, SimError};
+use nanosim_circuit::element::ElementKind;
+use nanosim_circuit::{Circuit, MnaSystem};
+use nanosim_numeric::sparse::{CsrMatrix, SparseLu, TripletMatrix};
+use nanosim_numeric::FlopCounter;
+use std::time::Instant;
+
+/// Maximum consecutive step rejections before giving up.
+const MAX_REJECTIONS: usize = 60;
+
+/// The SWEC transient engine.
+///
+/// # Example
+/// ```
+/// use nanosim_circuit::Circuit;
+/// use nanosim_core::swec::{SwecOptions, SwecTransient};
+/// use nanosim_devices::sources::SourceWaveform;
+///
+/// # fn main() -> Result<(), nanosim_core::SimError> {
+/// // RC charging: v(t) = 1 - e^{-t/RC}, RC = 1 ns.
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// let b = ckt.node("out");
+/// ckt.add_voltage_source("V1", a, Circuit::GROUND,
+///     SourceWaveform::pwl(vec![(0.0, 0.0), (1e-12, 1.0), (1.0, 1.0)])?)?;
+/// ckt.add_resistor("R1", a, b, 1e3)?;
+/// ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-12)?;
+/// let result = SwecTransient::new(SwecOptions::default()).run(&ckt, 0.05e-9, 5e-9)?;
+/// let out = result.waveform("out").expect("node exists");
+/// assert!((out.final_value() - 1.0).abs() < 0.02);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SwecTransient {
+    opts: SwecOptions,
+}
+
+impl SwecTransient {
+    /// Creates the engine with the given options.
+    pub fn new(opts: SwecOptions) -> Self {
+        SwecTransient { opts }
+    }
+
+    /// The engine options.
+    pub fn options(&self) -> &SwecOptions {
+        &self.opts
+    }
+
+    /// Runs a transient from `t = 0` to `tstop`. `tstep` bounds the maximum
+    /// step (the `.tran` print step); the adaptive controller works below
+    /// it.
+    ///
+    /// # Errors
+    /// Fails on invalid parameters, singular matrices, step-size underflow
+    /// or a failed initial operating point.
+    pub fn run(&self, circuit: &Circuit, tstep: f64, tstop: f64) -> Result<TransientResult> {
+        if !(tstep > 0.0 && tstop > 0.0 && tstep <= tstop) {
+            return Err(SimError::InvalidConfig {
+                context: format!("transient needs 0 < tstep <= tstop (got {tstep}, {tstop})"),
+            });
+        }
+        let t_start = Instant::now();
+        let mats = CircuitMatrices::new(circuit)?;
+        let mna = &mats.mna;
+        let dim = mna.dim();
+        let mut stats = EngineStats::new();
+        let mut flops = FlopCounter::new();
+
+        // Initial state: capacitor ICs when given, DC operating point
+        // otherwise.
+        let has_ics = circuit.elements().iter().any(|e| {
+            matches!(
+                e.kind(),
+                ElementKind::Capacitor {
+                    initial_voltage: Some(_),
+                    ..
+                }
+            )
+        });
+        let mut x = if has_ics {
+            mna.initial_state()
+        } else {
+            let dc = SwecDcSweep::new(self.opts.clone());
+            let mut op_stats = EngineStats::new();
+            let op = dc.solve_op_inner(&mats, &mut op_stats)?;
+            stats.merge(&op_stats);
+            op
+        };
+
+        // Device history trackers.
+        let bindings = mna.nonlinear_bindings();
+        let mut tracker = GeqTracker::new(bindings.len(), self.opts.taylor_extrapolation);
+        for (i, b) in bindings.iter().enumerate() {
+            tracker.seed(i, branch_voltage(&x, b.var_plus, b.var_minus));
+        }
+        let mosfets = mna.mosfet_bindings();
+        let mut mos_state: Vec<(f64, f64)> = mosfets
+            .iter()
+            .map(|m| {
+                let vd = m.var_drain.map_or(0.0, |i| x[i]);
+                let vg = m.var_gate.map_or(0.0, |i| x[i]);
+                let vs = m.var_source.map_or(0.0, |i| x[i]);
+                (vg - vs, vd - vs)
+            })
+            .collect();
+
+        let node_caps = mna.node_capacitance();
+        let h_max = self.opts.h_max.min(tstep);
+        let mut controller = TimeStepController::new(
+            TimeStepOptions {
+                epsilon: self.opts.epsilon,
+                h_min: self.opts.h_min,
+                h_max,
+                safety: 0.9,
+                max_growth: 2.0,
+            },
+            h_max / 100.0,
+        );
+
+        // Records.
+        let names = mna_var_names(mna);
+        let mut times = vec![0.0];
+        let mut columns: Vec<Vec<f64>> = (0..dim).map(|i| vec![x[i]]).collect();
+
+        // Row sums of |G| per node for the RC constraint (PaperConstraints
+        // mode); refreshed after every accepted step.
+        let mut g_rowsum = vec![0.0f64; mna.num_nodes()];
+        let mut g_prev_csr: Option<CsrMatrix> = None;
+        // Previous accepted state and step for the eq. (10) error estimate.
+        let mut x_prev: Option<Vec<f64>> = None;
+        let mut h_prev = 0.0f64;
+        // Local-error mode's own step reference (starts conservative).
+        let mut h_ref = h_max / 100.0;
+
+        let mut t = 0.0f64;
+        let t_end = tstop * (1.0 - 1e-12);
+        while t < t_end {
+            let next_bp = self.next_source_breakpoint(mna, t);
+            let mut h = match self.opts.step_control {
+                StepControl::PaperConstraints => {
+                    // Closed-form constraints (paper eq. 12).
+                    let source_slew = mna.max_source_slew(t);
+                    let mut constraints: Vec<StepConstraint> = Vec::new();
+                    for j in 0..mna.num_nodes() {
+                        constraints.push(StepConstraint::NodeRc {
+                            capacitance: node_caps[j],
+                            conductance: g_rowsum[j],
+                        });
+                    }
+                    for i in 0..bindings.len() {
+                        let v = tracker.voltage(i).abs().max(0.05);
+                        let alpha = tracker.slew(i).abs().max(source_slew * 0.1);
+                        constraints.push(StepConstraint::DeviceSlew { v, alpha });
+                    }
+                    for (vgs, _) in &mos_state {
+                        constraints.push(StepConstraint::DeviceSlew {
+                            v: vgs.abs().max(0.05),
+                            alpha: source_slew,
+                        });
+                    }
+                    controller.suggest(constraints.iter().copied(), t, tstop, next_bp)
+                }
+                StepControl::LocalError => {
+                    let mut h = h_ref.min(h_max).min(tstop - t);
+                    if let Some(bp) = next_bp {
+                        if bp > t {
+                            h = h.min(bp - t);
+                        }
+                    }
+                    h.max(self.opts.h_min)
+                }
+            };
+
+            // Attempt / reject loop.
+            let mut accepted = None;
+            let mut error_ratio = 0.0f64;
+            for _ in 0..MAX_REJECTIONS {
+                if h < self.opts.h_min {
+                    return Err(SimError::StepSizeUnderflow { time: t, step: h });
+                }
+                let (g_only, solution) = self.step(
+                    &mats,
+                    &tracker,
+                    &mos_state,
+                    &x,
+                    t,
+                    h,
+                    g_prev_csr.as_ref(),
+                    &mut stats,
+                    &mut flops,
+                )?;
+                // Hard guard: no *nonlinear device* may see its branch
+                // voltage move more than dv_max in one step — that is what
+                // invalidates the step-wise Geq linearization. Source-forced
+                // linear nodes may jump arbitrarily (their solution is
+                // exact).
+                let mut max_dv = 0.0f64;
+                for b in bindings.iter() {
+                    let v_old = branch_voltage(&x, b.var_plus, b.var_minus);
+                    let v_new = branch_voltage(&solution, b.var_plus, b.var_minus);
+                    max_dv = max_dv.max((v_new - v_old).abs());
+                }
+                for (k, m) in mosfets.iter().enumerate() {
+                    let vd = m.var_drain.map_or(0.0, |i| solution[i]);
+                    let vg = m.var_gate.map_or(0.0, |i| solution[i]);
+                    let vs = m.var_source.map_or(0.0, |i| solution[i]);
+                    let (vgs_old, vds_old) = mos_state[k];
+                    max_dv = max_dv
+                        .max((vg - vs - vgs_old).abs())
+                        .max((vd - vs - vds_old).abs());
+                }
+                if max_dv > self.opts.dv_max {
+                    stats.rejected_steps += 1;
+                    controller.reject();
+                    h *= 0.5;
+                    continue;
+                }
+                // Local-error test (paper eq. 10): compare the actual change
+                // with the linear extrapolation of the previous step.
+                if self.opts.step_control == StepControl::LocalError {
+                    if let Some(xp) = &x_prev {
+                        let scale = h / h_prev;
+                        let mut r = 0.0f64;
+                        for j in 0..mna.num_nodes() {
+                            let actual = solution[j] - x[j];
+                            let predicted = (x[j] - xp[j]) * scale;
+                            let tol = self.opts.v_abstol
+                                + self.opts.epsilon * actual.abs().max(x[j].abs() * 0.01);
+                            r = r.max((actual - predicted).abs() / tol);
+                        }
+                        error_ratio = r;
+                        if r > 1.0 && h > self.opts.h_min * 2.0 {
+                            stats.rejected_steps += 1;
+                            // Shrink toward (but never below) the floor; at
+                            // the floor the step is accepted as-is.
+                            h = (h * (0.9 / r.sqrt()).clamp(0.1, 0.5))
+                                .max(self.opts.h_min * 1.01);
+                            continue;
+                        }
+                    }
+                }
+                accepted = Some((g_only, solution));
+                break;
+            }
+            let (g_only, x_new) = accepted.ok_or(SimError::StepSizeUnderflow {
+                time: t,
+                step: h,
+            })?;
+
+            // Commit device histories.
+            for (i, b) in bindings.iter().enumerate() {
+                tracker.commit(i, branch_voltage(&x_new, b.var_plus, b.var_minus), h);
+            }
+            for (k, m) in mosfets.iter().enumerate() {
+                let vd = m.var_drain.map_or(0.0, |i| x_new[i]);
+                let vg = m.var_gate.map_or(0.0, |i| x_new[i]);
+                let vs = m.var_source.map_or(0.0, |i| x_new[i]);
+                mos_state[k] = (vg - vs, vd - vs);
+            }
+            // Refresh node conductance row sums from the stamped G.
+            for s in g_rowsum.iter_mut() {
+                *s = 0.0;
+            }
+            for (r, _, v) in g_only.iter() {
+                if r < g_rowsum.len() {
+                    g_rowsum[r] += v.abs();
+                }
+            }
+            if self.opts.integration == IntegrationMethod::Trapezoidal {
+                g_prev_csr = Some(g_only);
+            }
+
+            // Next-step reference for the local-error mode.
+            if self.opts.step_control == StepControl::LocalError {
+                let grow = if error_ratio > 0.0 {
+                    (0.9 / error_ratio.sqrt()).clamp(0.3, 2.0)
+                } else {
+                    2.0
+                };
+                h_ref = (h * grow).clamp(self.opts.h_min, h_max);
+            }
+
+            x_prev = Some(x.clone());
+            h_prev = h;
+            x = x_new;
+            t += h;
+            controller.accept(h);
+            stats.steps += 1;
+            times.push(t);
+            for (i, c) in columns.iter_mut().enumerate() {
+                c.push(x[i]);
+            }
+        }
+        stats.flops += flops;
+        stats.elapsed = t_start.elapsed();
+        Ok(TransientResult::new(times, names, columns, stats))
+    }
+
+    /// Assembles and solves one candidate step, returning the stamped `G`
+    /// (without the `C/h` part, for diagnostics) and the new solution.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &self,
+        mats: &CircuitMatrices,
+        tracker: &GeqTracker,
+        mos_state: &[(f64, f64)],
+        x: &[f64],
+        t: f64,
+        h: f64,
+        g_prev: Option<&CsrMatrix>,
+        stats: &mut EngineStats,
+        flops: &mut FlopCounter,
+    ) -> Result<(CsrMatrix, Vec<f64>)> {
+        let mna = &mats.mna;
+        let dim = mna.dim();
+        // G(t+h) with SWEC device stamps.
+        let mut g = mats.g_lin.clone();
+        for (i, b) in mna.nonlinear_bindings().iter().enumerate() {
+            let geq = tracker.predict(i, b, h, flops) + self.opts.gmin;
+            stats.device_evals += 1;
+            MnaSystem::stamp_conductance(&mut g, b.var_plus, b.var_minus, geq);
+        }
+        for (k, m) in mna.mosfet_bindings().iter().enumerate() {
+            let (vgs, vds) = mos_state[k];
+            let geq = m.model.geq(vgs, vds, flops) + self.opts.gmin;
+            stats.device_evals += 1;
+            MnaSystem::stamp_conductance(&mut g, m.var_drain, m.var_source, geq);
+        }
+        let g_only = g.to_csr();
+
+        // System matrix and right-hand side per the integration rule.
+        let mut a = TripletMatrix::with_capacity(dim, dim, g.len() + mats.c_triplets.len());
+        let mut rhs = vec![0.0; dim];
+        match self.opts.integration {
+            IntegrationMethod::BackwardEuler => {
+                // (G + C/h) x_{n+1} = b(t+h) + (C/h) x_n
+                a.extend(g.iter().cloned());
+                for &(r, c, v) in mats.c_triplets.iter() {
+                    a.push(r, c, v / h);
+                }
+                flops.div(mats.c_triplets.len() as u64);
+                mna.stamp_rhs(t + h, &mut rhs);
+                mats.c_csr.matvec_acc(1.0 / h, x, &mut rhs, flops)?;
+            }
+            IntegrationMethod::Trapezoidal => {
+                // (C/h + G_{n+1}/2) x_{n+1}
+                //     = (C/h) x_n - (G_n/2) x_n + (b_n + b_{n+1})/2
+                for (r, c, v) in g.iter() {
+                    a.push(*r, *c, v * 0.5);
+                }
+                for &(r, c, v) in mats.c_triplets.iter() {
+                    a.push(r, c, v / h);
+                }
+                flops.div(mats.c_triplets.len() as u64);
+                flops.mul(g.len() as u64);
+                let mut b_now = vec![0.0; dim];
+                mna.stamp_rhs(t, &mut b_now);
+                mna.stamp_rhs(t + h, &mut rhs);
+                for i in 0..dim {
+                    rhs[i] = 0.5 * (rhs[i] + b_now[i]);
+                }
+                flops.fma(dim as u64);
+                mats.c_csr.matvec_acc(1.0 / h, x, &mut rhs, flops)?;
+                let g_n = g_prev.unwrap_or(&g_only);
+                let gx = g_n.matvec(x, flops)?;
+                for i in 0..dim {
+                    rhs[i] -= 0.5 * gx[i];
+                }
+                flops.fma(dim as u64);
+            }
+        }
+        let lu = SparseLu::factor(&a.to_csr(), flops)?;
+        let x_new = lu.solve(&rhs, flops)?;
+        stats.linear_solves += 1;
+        Ok((g_only, x_new))
+    }
+
+    /// Earliest breakpoint of any source strictly after `t`.
+    fn next_source_breakpoint(&self, mna: &MnaSystem, t: f64) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for (i, _) in mna.circuit().elements().iter().enumerate() {
+            if let Some(wf) = mna.source_waveform(i) {
+                if let Some(bp) = wf.next_breakpoint(t) {
+                    best = Some(match best {
+                        Some(b) => b.min(bp),
+                        None => bp,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+    use nanosim_devices::rtd::Rtd;
+    use nanosim_devices::sources::{PulseParams, SourceWaveform};
+    use nanosim_numeric::approx_eq;
+
+    fn engine() -> SwecTransient {
+        SwecTransient::new(SwecOptions::default())
+    }
+
+    fn rc_step_circuit(r: f64, c: f64) -> Circuit {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("out");
+        ckt.add_voltage_source(
+            "V1",
+            a,
+            Circuit::GROUND,
+            SourceWaveform::pwl(vec![(0.0, 0.0), (1e-12, 1.0), (1.0, 1.0)]).unwrap(),
+        )
+        .unwrap();
+        ckt.add_resistor("R1", a, b, r).unwrap();
+        ckt.add_capacitor("C1", b, Circuit::GROUND, c).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn rc_charging_matches_analytic() {
+        // tau = 1 ns; run 5 tau.
+        let result = engine().run(&rc_step_circuit(1e3, 1e-12), 0.05e-9, 5e-9).unwrap();
+        let out = result.waveform("out").unwrap();
+        for frac in [0.5, 1.0, 2.0, 3.0] {
+            let t = frac * 1e-9;
+            let expected = 1.0 - (-frac as f64).exp();
+            let got = out.value_at(t);
+            assert!(
+                (got - expected).abs() < 0.02,
+                "t={t}: {got} vs {expected}"
+            );
+        }
+        assert!(result.stats.steps > 10);
+        assert!(result.stats.flops.total() > 0);
+    }
+
+    #[test]
+    fn capacitor_initial_condition_respected() {
+        let mut ckt = Circuit::new();
+        let b = ckt.node("out");
+        ckt.add_resistor("R1", b, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_capacitor_ic("C1", b, Circuit::GROUND, 1e-12, Some(2.0))
+            .unwrap();
+        let result = engine().run(&ckt, 0.05e-9, 5e-9).unwrap();
+        let out = result.waveform("out").unwrap();
+        assert!(approx_eq(out.first_value(), 2.0, 1e-9));
+        // Discharges toward zero with tau = 1 ns.
+        let at_tau = out.value_at(1e-9);
+        assert!((at_tau - 2.0 * (-1.0f64).exp()).abs() < 0.05, "{at_tau}");
+    }
+
+    #[test]
+    fn pulse_edges_are_captured() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("out");
+        ckt.add_voltage_source(
+            "V1",
+            a,
+            Circuit::GROUND,
+            SourceWaveform::pulse(PulseParams {
+                v1: 0.0,
+                v2: 5.0,
+                delay: 1e-9,
+                rise: 0.1e-9,
+                fall: 0.1e-9,
+                width: 2e-9,
+                period: 10e-9,
+            })
+            .unwrap(),
+        )
+        .unwrap();
+        ckt.add_resistor("R1", a, b, 100.0).unwrap();
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-13).unwrap();
+        let result = engine().run(&ckt, 0.05e-9, 6e-9).unwrap();
+        let out = result.waveform("out").unwrap();
+        // Before the pulse: 0; on the plateau: ~5; after the fall: ~0.
+        assert!(out.value_at(0.5e-9).abs() < 1e-3);
+        assert!((out.value_at(2.5e-9) - 5.0).abs() < 0.05);
+        assert!(out.value_at(5.0e-9).abs() < 0.1);
+        // A time point lands exactly on the pulse start.
+        assert!(
+            result.times().iter().any(|&t| (t - 1e-9).abs() < 1e-15),
+            "breakpoint not hit"
+        );
+    }
+
+    #[test]
+    fn rtd_divider_transient_is_stable_in_ndr() {
+        // Drive an RTD through its NDR region with a ramp: SWEC must not
+        // oscillate or fail (this is the paper's core robustness claim).
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("mid");
+        ckt.add_voltage_source(
+            "V1",
+            a,
+            Circuit::GROUND,
+            SourceWaveform::pwl(vec![(0.0, 0.0), (10e-9, 5.0), (20e-9, 5.0)]).unwrap(),
+        )
+        .unwrap();
+        ckt.add_resistor("R1", a, b, 50.0).unwrap();
+        ckt.add_rtd("X1", b, Circuit::GROUND, Rtd::date2005())
+            .unwrap();
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-13).unwrap();
+        let result = engine().run(&ckt, 0.1e-9, 20e-9).unwrap();
+        let mid = result.waveform("mid").unwrap();
+        // The node follows the ramp monotonically-ish and ends near 5 V
+        // minus the RTD drop across 50 ohms.
+        let end = mid.final_value();
+        assert!(end > 4.0 && end < 5.0, "end {end}");
+        // No wild oscillation: successive samples never jump more than dv_max.
+        let vals = mid.values();
+        for w in vals.windows(2) {
+            assert!((w[1] - w[0]).abs() <= 0.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn trapezoidal_matches_backward_euler_on_rc() {
+        let ckt = rc_step_circuit(1e3, 1e-12);
+        let be = engine().run(&ckt, 0.05e-9, 5e-9).unwrap();
+        let tr = SwecTransient::new(SwecOptions {
+            integration: IntegrationMethod::Trapezoidal,
+            ..SwecOptions::default()
+        })
+        .run(&ckt, 0.05e-9, 5e-9)
+        .unwrap();
+        let wb = be.waveform("out").unwrap();
+        let wt = tr.waveform("out").unwrap();
+        assert!(wb.rms_difference(&wt) < 0.02, "{}", wb.rms_difference(&wt));
+    }
+
+    #[test]
+    fn taylor_off_still_works() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("mid");
+        ckt.add_voltage_source(
+            "V1",
+            a,
+            Circuit::GROUND,
+            SourceWaveform::pwl(vec![(0.0, 0.0), (5e-9, 3.0), (10e-9, 3.0)]).unwrap(),
+        )
+        .unwrap();
+        ckt.add_resistor("R1", a, b, 50.0).unwrap();
+        ckt.add_rtd("X1", b, Circuit::GROUND, Rtd::date2005())
+            .unwrap();
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-13).unwrap();
+        let with = engine().run(&ckt, 0.1e-9, 10e-9).unwrap();
+        let without = SwecTransient::new(SwecOptions {
+            taylor_extrapolation: false,
+            ..SwecOptions::default()
+        })
+        .run(&ckt, 0.1e-9, 10e-9)
+        .unwrap();
+        let a1 = with.waveform("mid").unwrap();
+        let a2 = without.waveform("mid").unwrap();
+        assert!(a1.rms_difference(&a2) < 0.05);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let ckt = rc_step_circuit(1e3, 1e-12);
+        let e = engine();
+        assert!(e.run(&ckt, 0.0, 1e-9).is_err());
+        assert!(e.run(&ckt, 1e-9, 0.0).is_err());
+        assert!(e.run(&ckt, 2e-9, 1e-9).is_err());
+    }
+
+    #[test]
+    fn branch_current_recorded() {
+        let result = engine().run(&rc_step_circuit(1e3, 1e-12), 0.05e-9, 5e-9).unwrap();
+        let i_v1: Waveform = result.waveform("I(V1)").unwrap();
+        // After charging, the source current decays to ~0; early it is
+        // ~-1 mA (current flows out of the source's + terminal).
+        assert!(i_v1.value_at(0.05e-9) < -0.5e-3);
+        assert!(i_v1.final_value().abs() < 1e-4);
+    }
+
+    #[test]
+    fn adaptive_step_grows_in_quiet_regions() {
+        // After the transient settles the controller should take steps near
+        // the h_max bound, so the run uses far fewer points than tstop/h_min.
+        let result = engine().run(&rc_step_circuit(1e3, 1e-12), 0.1e-9, 50e-9).unwrap();
+        assert!(
+            result.stats.steps < 5000,
+            "too many steps: {}",
+            result.stats.steps
+        );
+    }
+}

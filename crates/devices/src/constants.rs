@@ -1,0 +1,115 @@
+//! Physical constants used by the device models.
+
+/// Elementary charge `q` in coulombs.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Boltzmann constant `k` in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Planck constant `h` in J·s.
+pub const PLANCK: f64 = 6.626_070_15e-34;
+
+/// Conductance quantum `G0 = 2e²/h` in siemens — the height of one step in
+/// a quantum wire's conductance staircase (paper Figure 1(b)).
+pub const QUANTUM_CONDUCTANCE: f64 =
+    2.0 * ELEMENTARY_CHARGE * ELEMENTARY_CHARGE / PLANCK;
+
+/// Reference temperature in kelvin used by the paper's experiments.
+pub const ROOM_TEMPERATURE: f64 = 300.0;
+
+/// Thermal voltage `kT/q` at temperature `t` kelvin.
+///
+/// # Panics
+/// Panics if `t` is not strictly positive.
+///
+/// # Example
+/// ```
+/// let vt = nanosim_devices::constants::thermal_voltage(300.0);
+/// assert!((vt - 0.02585).abs() < 1e-4);
+/// ```
+pub fn thermal_voltage(t: f64) -> f64 {
+    assert!(t > 0.0, "temperature must be positive, got {t}");
+    BOLTZMANN * t / ELEMENTARY_CHARGE
+}
+
+/// Numerically safe `ln(1 + e^x)` (softplus), exact to double precision for
+/// all magnitudes of `x`. The Schulman RTD equation needs this for exponents
+/// approaching ±80.
+pub fn ln_1p_exp(x: f64) -> f64 {
+    if x > 33.0 {
+        // e^-x below machine epsilon relative to x.
+        x
+    } else if x < -37.0 {
+        // e^x underflows the ln_1p argument.
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Logistic function `1 / (1 + e^-x)`, the derivative of [`ln_1p_exp`].
+pub fn logistic(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanosim_numeric::approx_eq;
+
+    #[test]
+    fn quantum_conductance_value() {
+        // 2e^2/h = 77.48 microsiemens.
+        assert!(approx_eq(QUANTUM_CONDUCTANCE, 7.748e-5, 1e-3));
+    }
+
+    #[test]
+    fn thermal_voltage_at_300k() {
+        assert!(approx_eq(thermal_voltage(300.0), 0.025852, 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn thermal_voltage_rejects_zero() {
+        thermal_voltage(0.0);
+    }
+
+    #[test]
+    fn ln_1p_exp_matches_naive_in_safe_range() {
+        for x in [-20.0, -1.0, 0.0, 1.0, 20.0] {
+            let naive = (1.0 + f64::exp(x)).ln();
+            assert!(approx_eq(ln_1p_exp(x), naive, 1e-12), "x={x}");
+        }
+    }
+
+    #[test]
+    fn ln_1p_exp_extremes_do_not_overflow() {
+        assert_eq!(ln_1p_exp(800.0), 800.0);
+        assert!(ln_1p_exp(-800.0) >= 0.0);
+        assert!(ln_1p_exp(-800.0) < 1e-300);
+    }
+
+    #[test]
+    fn logistic_is_symmetric_and_bounded() {
+        for x in [-50.0, -2.0, 0.0, 2.0, 50.0] {
+            let s = logistic(x);
+            assert!((0.0..=1.0).contains(&s));
+            assert!(approx_eq(s + logistic(-x), 1.0, 1e-12));
+        }
+        assert!(approx_eq(logistic(0.0), 0.5, 1e-15));
+    }
+
+    #[test]
+    fn logistic_is_derivative_of_softplus() {
+        let h = 1e-6;
+        for x in [-5.0, -0.5, 0.0, 0.5, 5.0] {
+            let num = (ln_1p_exp(x + h) - ln_1p_exp(x - h)) / (2.0 * h);
+            assert!(approx_eq(num, logistic(x), 1e-6), "x={x}");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Device construction and evaluation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when a device model is constructed with invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A model parameter was out of its physical range.
+    InvalidParameter {
+        /// Device type ("rtd", "mosfet", ...).
+        device: &'static str,
+        /// Parameter name as in the datasheet/equation.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+        /// What the model requires.
+        requirement: &'static str,
+    },
+    /// A waveform specification was inconsistent (e.g. PWL with unsorted
+    /// time points).
+    InvalidWaveform {
+        /// Human-readable description.
+        context: String,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidParameter {
+                device,
+                parameter,
+                value,
+                requirement,
+            } => write!(
+                f,
+                "invalid {device} parameter {parameter} = {value}: {requirement}"
+            ),
+            DeviceError::InvalidWaveform { context } => {
+                write!(f, "invalid waveform: {context}")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_parameter() {
+        let e = DeviceError::InvalidParameter {
+            device: "rtd",
+            parameter: "d",
+            value: -1.0,
+            requirement: "must be positive",
+        };
+        let s = e.to_string();
+        assert!(s.contains("rtd"));
+        assert!(s.contains('d'));
+        assert!(s.contains("positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

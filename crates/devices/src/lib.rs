@@ -1,0 +1,65 @@
+//! Nanotechnology device models for the Nano-Sim simulator.
+//!
+//! The Nano-Sim paper (DATE 2005) simulates circuits built from devices with
+//! *non-monotonic* ("staircase") I-V characteristics that break classic
+//! Newton–Raphson simulators. This crate implements every model the paper's
+//! experiments use:
+//!
+//! * [`rtd`] — the Schulman–De Los Santos–Chow physics-based resonant
+//!   tunneling diode equation (paper eq. 4) with analytic equivalent
+//!   conductance `Geq = J(V)/V` and its voltage derivative (paper eq. 6–9).
+//! * [`rtt`] — a multi-resonance resonant tunneling transistor whose
+//!   collector I-V reproduces the multi-peak staircase of Figure 1(a).
+//! * [`nanowire`] — a carbon-nanotube/quantum-wire model with conductance
+//!   quantized in units of `G0 = 2e²/h` (Figure 1(b)).
+//! * [`mosfet`] — the level-1 square-law MOSFET of paper eq. (2) with the
+//!   step-wise equivalent conductance of eq. (3).
+//! * [`diode`] — a Shockley diode (used for baselines and parser coverage).
+//! * [`sources`] — independent source waveforms (DC, PULSE, SIN, PWL and
+//!   white-noise for the Euler–Maruyama engine).
+//! * [`traits`] — the [`traits::NonlinearTwoTerminal`] abstraction every
+//!   engine is written against.
+//!
+//! # Example
+//!
+//! The step-wise equivalent conductance stays positive through the RTD's
+//! negative differential resistance region, which is the paper's key idea:
+//!
+//! ```
+//! use nanosim_devices::rtd::Rtd;
+//! use nanosim_devices::traits::NonlinearTwoTerminal;
+//! use nanosim_numeric::FlopCounter;
+//!
+//! let rtd = Rtd::date2005();
+//! let mut flops = FlopCounter::new();
+//! // Inside the NDR region the differential conductance is negative ...
+//! let v_ndr = 3.9;
+//! assert!(rtd.differential_conductance(v_ndr, &mut flops) < 0.0);
+//! // ... but the SWEC equivalent conductance is still positive.
+//! assert!(rtd.equivalent_conductance(v_ndr, &mut flops) > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod constants;
+pub mod diode;
+pub mod error;
+pub mod mosfet;
+pub mod nanowire;
+pub mod rtd;
+pub mod rtt;
+pub mod sources;
+pub mod traits;
+
+pub use diode::Diode;
+pub use error::DeviceError;
+pub use mosfet::{MosType, Mosfet};
+pub use nanowire::Nanowire;
+pub use rtd::Rtd;
+pub use rtt::Rtt;
+pub use sources::SourceWaveform;
+pub use traits::NonlinearTwoTerminal;
+
+/// Convenience alias for fallible device construction.
+pub type Result<T> = std::result::Result<T, DeviceError>;

@@ -1,0 +1,547 @@
+//! Independent source waveforms.
+//!
+//! Deterministic waveforms follow SPICE semantics (`DC`, `PULSE`, `SIN`,
+//! `PWL`); [`SourceWaveform::WhiteNoise`] marks a stochastic input for the
+//! Euler–Maruyama engine (paper §4.1: "Because of its high randomness, u(t)
+//! is generally modeled as white noise"). Deterministic engines see its mean
+//! value; the EM engine reads the intensity as the `B·dW` coefficient.
+
+use crate::error::DeviceError;
+use crate::Result;
+use nanosim_numeric::interp::PwlFunction;
+use std::f64::consts::TAU;
+
+/// SPICE `PULSE(v1 v2 td tr tf pw per)` parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseParams {
+    /// Initial value (V or A).
+    pub v1: f64,
+    /// Pulsed value.
+    pub v2: f64,
+    /// Delay before the first edge (s).
+    pub delay: f64,
+    /// Rise time (s), strictly positive.
+    pub rise: f64,
+    /// Fall time (s), strictly positive.
+    pub fall: f64,
+    /// Pulse width at `v2` (s).
+    pub width: f64,
+    /// Repetition period (s); `0` or `inf` means a single pulse.
+    pub period: f64,
+}
+
+impl PulseParams {
+    /// Validates the timing parameters.
+    ///
+    /// # Errors
+    /// Returns [`DeviceError::InvalidWaveform`] for non-positive edges or a
+    /// period shorter than one full pulse.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.rise > 0.0 && self.fall > 0.0) {
+            return Err(DeviceError::InvalidWaveform {
+                context: format!(
+                    "pulse rise/fall must be positive (rise={}, fall={})",
+                    self.rise, self.fall
+                ),
+            });
+        }
+        if self.width < 0.0 || self.delay < 0.0 {
+            return Err(DeviceError::InvalidWaveform {
+                context: format!(
+                    "pulse width/delay must be non-negative (width={}, delay={})",
+                    self.width, self.delay
+                ),
+            });
+        }
+        let one_shot = self.rise + self.width + self.fall;
+        if self.period > 0.0 && self.period.is_finite() && self.period < one_shot {
+            return Err(DeviceError::InvalidWaveform {
+                context: format!(
+                    "pulse period {} shorter than rise+width+fall {}",
+                    self.period, one_shot
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// SPICE `SIN(vo va freq td theta)` parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinParams {
+    /// Offset.
+    pub offset: f64,
+    /// Amplitude.
+    pub amplitude: f64,
+    /// Frequency (Hz), strictly positive.
+    pub frequency: f64,
+    /// Delay (s).
+    pub delay: f64,
+    /// Damping factor (1/s), non-negative.
+    pub theta: f64,
+}
+
+impl SinParams {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    /// Returns [`DeviceError::InvalidWaveform`] for non-positive frequency
+    /// or negative damping.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.frequency > 0.0 && self.frequency.is_finite()) {
+            return Err(DeviceError::InvalidWaveform {
+                context: format!("sin frequency must be positive, got {}", self.frequency),
+            });
+        }
+        if self.theta < 0.0 {
+            return Err(DeviceError::InvalidWaveform {
+                context: format!("sin damping must be non-negative, got {}", self.theta),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// An independent source waveform.
+///
+/// # Example
+/// ```
+/// use nanosim_devices::sources::{SourceWaveform, PulseParams};
+/// # fn main() -> Result<(), nanosim_devices::DeviceError> {
+/// let sw = SourceWaveform::pulse(PulseParams {
+///     v1: 0.0, v2: 5.0, delay: 0.0,
+///     rise: 1e-9, fall: 1e-9, width: 99e-9, period: 200e-9,
+/// })?;
+/// assert_eq!(sw.value(0.0), 0.0);
+/// assert_eq!(sw.value(50e-9), 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceWaveform {
+    /// Constant value.
+    Dc(f64),
+    /// Trapezoidal pulse train.
+    Pulse(PulseParams),
+    /// (Damped) sine.
+    Sin(SinParams),
+    /// Piecewise-linear in time.
+    Pwl(PwlFunction),
+    /// White-noise input for the stochastic engine: deterministic engines
+    /// see `mean`, the EM engine uses `intensity` as the Wiener-increment
+    /// coefficient (units: value·s^(1/2)).
+    WhiteNoise {
+        /// Deterministic mean value.
+        mean: f64,
+        /// Noise intensity multiplying `dW`.
+        intensity: f64,
+    },
+}
+
+impl SourceWaveform {
+    /// DC source.
+    pub fn dc(value: f64) -> Self {
+        SourceWaveform::Dc(value)
+    }
+
+    /// Validated pulse source.
+    ///
+    /// # Errors
+    /// Returns [`DeviceError::InvalidWaveform`] when the timing is
+    /// inconsistent.
+    pub fn pulse(params: PulseParams) -> Result<Self> {
+        params.validate()?;
+        Ok(SourceWaveform::Pulse(params))
+    }
+
+    /// Validated sine source.
+    ///
+    /// # Errors
+    /// Returns [`DeviceError::InvalidWaveform`] for a bad frequency/damping.
+    pub fn sin(params: SinParams) -> Result<Self> {
+        params.validate()?;
+        Ok(SourceWaveform::Sin(params))
+    }
+
+    /// PWL source from `(time, value)` breakpoints.
+    ///
+    /// # Errors
+    /// Returns [`DeviceError::InvalidWaveform`] when breakpoints are not
+    /// strictly increasing in time.
+    pub fn pwl(points: Vec<(f64, f64)>) -> Result<Self> {
+        let f = PwlFunction::new(points).map_err(|e| DeviceError::InvalidWaveform {
+            context: e.to_string(),
+        })?;
+        Ok(SourceWaveform::Pwl(f))
+    }
+
+    /// White-noise source.
+    ///
+    /// # Errors
+    /// Returns [`DeviceError::InvalidWaveform`] for negative intensity.
+    pub fn white_noise(mean: f64, intensity: f64) -> Result<Self> {
+        if intensity < 0.0 || !intensity.is_finite() {
+            return Err(DeviceError::InvalidWaveform {
+                context: format!("noise intensity must be non-negative, got {intensity}"),
+            });
+        }
+        Ok(SourceWaveform::WhiteNoise { mean, intensity })
+    }
+
+    /// Deterministic value at time `t` (the mean for white noise).
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            SourceWaveform::Dc(v) => *v,
+            SourceWaveform::Pulse(p) => pulse_value(p, t),
+            SourceWaveform::Sin(s) => sin_value(s, t),
+            SourceWaveform::Pwl(f) => f.eval(t),
+            SourceWaveform::WhiteNoise { mean, .. } => *mean,
+        }
+    }
+
+    /// Time derivative of the deterministic value at `t` — the slew `α` of
+    /// the paper's adaptive time-step constraint (eq. 11).
+    pub fn slew(&self, t: f64) -> f64 {
+        match self {
+            SourceWaveform::Dc(_) | SourceWaveform::WhiteNoise { .. } => 0.0,
+            SourceWaveform::Pulse(p) => pulse_slew(p, t),
+            SourceWaveform::Sin(s) => {
+                if t < s.delay {
+                    0.0
+                } else {
+                    // d/dt [offset + A·sin(2πf(t-td))·e^-θ(t-td)]
+                    let tt = t - s.delay;
+                    let w = TAU * s.frequency;
+                    let damp = (-s.theta * tt).exp();
+                    s.amplitude * damp * (w * (w * tt).cos() - s.theta * (w * tt).sin())
+                }
+            }
+            SourceWaveform::Pwl(f) => f.slope(t),
+        }
+    }
+
+    /// Whether the waveform carries a stochastic component.
+    pub fn is_stochastic(&self) -> bool {
+        matches!(self, SourceWaveform::WhiteNoise { .. })
+    }
+
+    /// Wiener-increment coefficient (zero for deterministic waveforms).
+    pub fn noise_intensity(&self) -> f64 {
+        match self {
+            SourceWaveform::WhiteNoise { intensity, .. } => *intensity,
+            _ => 0.0,
+        }
+    }
+
+    /// Next waveform corner strictly after time `t` (pulse edges, PWL
+    /// breakpoints). Transient engines shrink their step so they land on
+    /// corners instead of integrating across them. Returns `None` for
+    /// smooth/constant waveforms.
+    pub fn next_breakpoint(&self, t: f64) -> Option<f64> {
+        const EPS: f64 = 1e-18;
+        match self {
+            SourceWaveform::Dc(_)
+            | SourceWaveform::Sin(_)
+            | SourceWaveform::WhiteNoise { .. } => None,
+            SourceWaveform::Pwl(f) => f
+                .points()
+                .iter()
+                .map(|&(x, _)| x)
+                .find(|&x| x > t + EPS),
+            SourceWaveform::Pulse(p) => {
+                let corners = [
+                    0.0,
+                    p.rise,
+                    p.rise + p.width,
+                    p.rise + p.width + p.fall,
+                ];
+                if t < p.delay {
+                    return Some(p.delay);
+                }
+                let periodic = p.period > 0.0 && p.period.is_finite();
+                let tt = t - p.delay;
+                let (base, local) = if periodic {
+                    let k = (tt / p.period).floor();
+                    (p.delay + k * p.period, tt - k * p.period)
+                } else {
+                    (p.delay, tt)
+                };
+                for &c in &corners[1..] {
+                    if local + EPS < c {
+                        return Some(base + c);
+                    }
+                }
+                if periodic {
+                    Some(base + p.period)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Largest deterministic value over `[0, t_end]` (used for source
+    ///-stepping continuation scaling). Sampled on a fine grid for the
+    /// periodic/pwl cases.
+    pub fn max_abs_value(&self, t_end: f64) -> f64 {
+        match self {
+            SourceWaveform::Dc(v) => v.abs(),
+            SourceWaveform::WhiteNoise { mean, .. } => mean.abs(),
+            SourceWaveform::Pulse(p) => p.v1.abs().max(p.v2.abs()),
+            SourceWaveform::Sin(s) => s.offset.abs() + s.amplitude.abs(),
+            SourceWaveform::Pwl(_) => {
+                let n = 1000;
+                (0..=n)
+                    .map(|i| self.value(t_end * i as f64 / n as f64).abs())
+                    .fold(0.0, f64::max)
+            }
+        }
+    }
+}
+
+fn pulse_value(p: &PulseParams, t: f64) -> f64 {
+    if t < p.delay {
+        return p.v1;
+    }
+    let mut tt = t - p.delay;
+    if p.period > 0.0 && p.period.is_finite() {
+        tt %= p.period;
+    }
+    if tt < p.rise {
+        p.v1 + (p.v2 - p.v1) * tt / p.rise
+    } else if tt < p.rise + p.width {
+        p.v2
+    } else if tt < p.rise + p.width + p.fall {
+        p.v2 + (p.v1 - p.v2) * (tt - p.rise - p.width) / p.fall
+    } else {
+        p.v1
+    }
+}
+
+fn pulse_slew(p: &PulseParams, t: f64) -> f64 {
+    if t < p.delay {
+        return 0.0;
+    }
+    let mut tt = t - p.delay;
+    if p.period > 0.0 && p.period.is_finite() {
+        tt %= p.period;
+    }
+    if tt < p.rise {
+        (p.v2 - p.v1) / p.rise
+    } else if tt < p.rise + p.width {
+        0.0
+    } else if tt < p.rise + p.width + p.fall {
+        (p.v1 - p.v2) / p.fall
+    } else {
+        0.0
+    }
+}
+
+fn sin_value(s: &SinParams, t: f64) -> f64 {
+    if t < s.delay {
+        s.offset
+    } else {
+        let tt = t - s.delay;
+        s.offset + s.amplitude * (TAU * s.frequency * tt).sin() * (-s.theta * tt).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanosim_numeric::approx_eq;
+
+    fn clock_pulse() -> PulseParams {
+        PulseParams {
+            v1: 0.0,
+            v2: 5.0,
+            delay: 10e-9,
+            rise: 2e-9,
+            fall: 2e-9,
+            width: 40e-9,
+            period: 100e-9,
+        }
+    }
+
+    #[test]
+    fn dc_is_constant() {
+        let s = SourceWaveform::dc(3.3);
+        assert_eq!(s.value(0.0), 3.3);
+        assert_eq!(s.value(1.0), 3.3);
+        assert_eq!(s.slew(0.5), 0.0);
+        assert!(!s.is_stochastic());
+    }
+
+    #[test]
+    fn pulse_phases() {
+        let s = SourceWaveform::pulse(clock_pulse()).unwrap();
+        assert_eq!(s.value(0.0), 0.0); // before delay
+        assert!(approx_eq(s.value(11e-9), 2.5, 1e-9)); // mid-rise
+        assert_eq!(s.value(30e-9), 5.0); // flat top
+        assert!(approx_eq(s.value(53e-9), 2.5, 1e-9)); // mid-fall
+        assert_eq!(s.value(80e-9), 0.0); // low
+    }
+
+    #[test]
+    fn pulse_is_periodic() {
+        let s = SourceWaveform::pulse(clock_pulse()).unwrap();
+        for t in [15e-9, 30e-9, 53e-9, 80e-9] {
+            assert!(approx_eq(s.value(t), s.value(t + 100e-9), 1e-9), "t={t}");
+            assert!(approx_eq(s.value(t), s.value(t + 300e-9), 1e-9), "t={t}");
+        }
+    }
+
+    #[test]
+    fn single_shot_pulse_stays_low_after_one_cycle() {
+        let mut p = clock_pulse();
+        p.period = 0.0;
+        let s = SourceWaveform::pulse(p).unwrap();
+        assert_eq!(s.value(30e-9), 5.0);
+        assert_eq!(s.value(500e-9), 0.0);
+    }
+
+    #[test]
+    fn pulse_slew_on_edges() {
+        let s = SourceWaveform::pulse(clock_pulse()).unwrap();
+        assert!(approx_eq(s.slew(11e-9), 5.0 / 2e-9, 1e-6));
+        assert_eq!(s.slew(30e-9), 0.0);
+        assert!(approx_eq(s.slew(53e-9), -5.0 / 2e-9, 1e-6));
+        assert_eq!(s.slew(0.0), 0.0);
+    }
+
+    #[test]
+    fn pulse_validation() {
+        let mut p = clock_pulse();
+        p.rise = 0.0;
+        assert!(SourceWaveform::pulse(p).is_err());
+        let mut p = clock_pulse();
+        p.period = 10e-9; // shorter than rise+width+fall
+        assert!(SourceWaveform::pulse(p).is_err());
+        let mut p = clock_pulse();
+        p.width = -1.0;
+        assert!(SourceWaveform::pulse(p).is_err());
+    }
+
+    #[test]
+    fn sin_value_and_slew() {
+        let s = SourceWaveform::sin(SinParams {
+            offset: 1.0,
+            amplitude: 2.0,
+            frequency: 1e6,
+            delay: 0.0,
+            theta: 0.0,
+        })
+        .unwrap();
+        assert!(approx_eq(s.value(0.0), 1.0, 1e-12));
+        assert!(approx_eq(s.value(0.25e-6), 3.0, 1e-9)); // quarter period
+        assert!(approx_eq(s.slew(0.0), 2.0 * TAU * 1e6, 1e-3));
+        // Numeric check of the damped-sine slew.
+        let sd = SourceWaveform::sin(SinParams {
+            offset: 0.0,
+            amplitude: 1.0,
+            frequency: 1e6,
+            delay: 1e-7,
+            theta: 1e6,
+        })
+        .unwrap();
+        let h = 1e-12;
+        for t in [2e-7, 5e-7, 9e-7] {
+            let num = (sd.value(t + h) - sd.value(t - h)) / (2.0 * h);
+            assert!(approx_eq(num, sd.slew(t), 1e-3), "t={t}");
+        }
+    }
+
+    #[test]
+    fn sin_validation() {
+        let bad = SinParams {
+            offset: 0.0,
+            amplitude: 1.0,
+            frequency: 0.0,
+            delay: 0.0,
+            theta: 0.0,
+        };
+        assert!(SourceWaveform::sin(bad).is_err());
+        let bad = SinParams {
+            offset: 0.0,
+            amplitude: 1.0,
+            frequency: 1.0,
+            delay: 0.0,
+            theta: -1.0,
+        };
+        assert!(SourceWaveform::sin(bad).is_err());
+    }
+
+    #[test]
+    fn pwl_source() {
+        let s = SourceWaveform::pwl(vec![(0.0, 0.0), (1e-9, 5.0), (2e-9, 5.0)]).unwrap();
+        assert!(approx_eq(s.value(0.5e-9), 2.5, 1e-9));
+        assert!(approx_eq(s.slew(0.5e-9), 5e9, 1e-3));
+        assert_eq!(s.value(10e-9), 5.0);
+        assert!(SourceWaveform::pwl(vec![(0.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn white_noise_deterministic_view() {
+        let s = SourceWaveform::white_noise(1.5, 0.3).unwrap();
+        assert_eq!(s.value(0.0), 1.5);
+        assert_eq!(s.slew(0.0), 0.0);
+        assert!(s.is_stochastic());
+        assert_eq!(s.noise_intensity(), 0.3);
+        assert!(SourceWaveform::white_noise(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn noise_intensity_zero_for_deterministic() {
+        assert_eq!(SourceWaveform::dc(1.0).noise_intensity(), 0.0);
+    }
+
+    #[test]
+    fn breakpoints_of_pulse() {
+        let s = SourceWaveform::pulse(clock_pulse()).unwrap();
+        // delay=10n rise=2n width=40n fall=2n period=100n
+        assert!(approx_eq(s.next_breakpoint(0.0).unwrap(), 10e-9, 1e-15));
+        assert!(approx_eq(s.next_breakpoint(10e-9).unwrap(), 12e-9, 1e-15));
+        assert!(approx_eq(s.next_breakpoint(20e-9).unwrap(), 52e-9, 1e-15));
+        assert!(approx_eq(s.next_breakpoint(52.5e-9).unwrap(), 54e-9, 1e-15));
+        // After the last corner of a cycle, the next period's start.
+        assert!(approx_eq(s.next_breakpoint(60e-9).unwrap(), 110e-9, 1e-15));
+        // Second period's rise end.
+        assert!(approx_eq(s.next_breakpoint(110.5e-9).unwrap(), 112e-9, 1e-12));
+    }
+
+    #[test]
+    fn breakpoints_of_single_shot_pulse_end() {
+        let mut p = clock_pulse();
+        p.period = 0.0;
+        let s = SourceWaveform::pulse(p).unwrap();
+        assert!(approx_eq(s.next_breakpoint(20e-9).unwrap(), 52e-9, 1e-15));
+        assert_eq!(s.next_breakpoint(60e-9), None);
+    }
+
+    #[test]
+    fn breakpoints_of_pwl_and_smooth() {
+        let s = SourceWaveform::pwl(vec![(0.0, 0.0), (1e-9, 5.0), (3e-9, 5.0)]).unwrap();
+        assert!(approx_eq(s.next_breakpoint(0.0).unwrap(), 1e-9, 1e-15));
+        assert!(approx_eq(s.next_breakpoint(1.5e-9).unwrap(), 3e-9, 1e-15));
+        assert_eq!(s.next_breakpoint(5e-9), None);
+        assert_eq!(SourceWaveform::dc(1.0).next_breakpoint(0.0), None);
+    }
+
+    #[test]
+    fn max_abs_value_estimates() {
+        assert_eq!(SourceWaveform::dc(-3.0).max_abs_value(1.0), 3.0);
+        let s = SourceWaveform::pulse(clock_pulse()).unwrap();
+        assert_eq!(s.max_abs_value(1.0), 5.0);
+        let s = SourceWaveform::sin(SinParams {
+            offset: 1.0,
+            amplitude: 2.0,
+            frequency: 1e6,
+            delay: 0.0,
+            theta: 0.0,
+        })
+        .unwrap();
+        assert_eq!(s.max_abs_value(1.0), 3.0);
+        let s = SourceWaveform::pwl(vec![(0.0, 0.0), (0.5, -7.0), (1.0, 2.0)]).unwrap();
+        assert!(approx_eq(s.max_abs_value(1.0), 7.0, 1e-6));
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type shared by the numeric routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra and root-finding routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// A matrix was structurally or numerically singular; the payload is the
+    /// pivot row/column at which factorization broke down.
+    SingularMatrix {
+        /// Pivot index at which elimination failed.
+        pivot: usize,
+    },
+    /// Operand shapes do not agree (e.g. multiplying a 3x2 by a 4x4).
+    DimensionMismatch {
+        /// Human-readable description of the two shapes involved.
+        context: String,
+    },
+    /// An index was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// Row requested.
+        row: usize,
+        /// Column requested.
+        col: usize,
+        /// Number of rows available.
+        rows: usize,
+        /// Number of columns available.
+        cols: usize,
+    },
+    /// An iterative method exhausted its iteration budget.
+    DidNotConverge {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual or step size at the last iterate.
+        residual: f64,
+    },
+    /// A scalar argument was invalid (negative tolerance, empty bracket, ...).
+    InvalidArgument {
+        /// Human-readable description of the offending argument.
+        context: String,
+    },
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            NumericError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            NumericError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {rows}x{cols} matrix"
+            ),
+            NumericError::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumericError::InvalidArgument { context } => {
+                write!(f, "invalid argument: {context}")
+            }
+        }
+    }
+}
+
+impl Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NumericError::SingularMatrix { pivot: 3 };
+        assert_eq!(e.to_string(), "matrix is singular at pivot 3");
+        let e = NumericError::DimensionMismatch {
+            context: "3x2 * 4x4".into(),
+        };
+        assert!(e.to_string().contains("3x2 * 4x4"));
+        let e = NumericError::IndexOutOfBounds {
+            row: 5,
+            col: 6,
+            rows: 2,
+            cols: 2,
+        };
+        assert!(e.to_string().contains("(5, 6)"));
+        let e = NumericError::DidNotConverge {
+            iterations: 10,
+            residual: 1.0,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericError>();
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(NumericError::SingularMatrix { pivot: 0 });
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,245 @@
+//! Piecewise-linear functions.
+//!
+//! Used by PWL source waveforms (`PWL(t1 v1 t2 v2 ...)` in the netlist
+//! language) and by the ACES-like piecewise-linear device baseline of the
+//! paper's Figure 3 / Figure 8(d) comparison.
+
+use crate::error::NumericError;
+use crate::Result;
+
+/// A piecewise-linear function defined by sorted `(x, y)` breakpoints.
+///
+/// Evaluation outside the breakpoint range clamps to the end values (the
+/// SPICE convention for PWL sources).
+///
+/// # Example
+/// ```
+/// use nanosim_numeric::interp::PwlFunction;
+/// # fn main() -> Result<(), nanosim_numeric::NumericError> {
+/// let f = PwlFunction::new(vec![(0.0, 0.0), (1.0, 2.0), (3.0, 2.0)])?;
+/// assert_eq!(f.eval(0.5), 1.0);
+/// assert_eq!(f.eval(-1.0), 0.0); // clamped
+/// assert_eq!(f.eval(9.0), 2.0);  // clamped
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PwlFunction {
+    points: Vec<(f64, f64)>,
+}
+
+impl PwlFunction {
+    /// Creates a PWL function from breakpoints.
+    ///
+    /// # Errors
+    /// Returns [`NumericError::InvalidArgument`] when fewer than two points
+    /// are given, any coordinate is non-finite, or x-values are not strictly
+    /// increasing.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self> {
+        if points.len() < 2 {
+            return Err(NumericError::InvalidArgument {
+                context: format!("pwl needs at least 2 points, got {}", points.len()),
+            });
+        }
+        for &(x, y) in &points {
+            if !x.is_finite() || !y.is_finite() {
+                return Err(NumericError::InvalidArgument {
+                    context: format!("non-finite pwl point ({x}, {y})"),
+                });
+            }
+        }
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(NumericError::InvalidArgument {
+                    context: format!(
+                        "pwl x-values must be strictly increasing ({} then {})",
+                        w[0].0, w[1].0
+                    ),
+                });
+            }
+        }
+        Ok(PwlFunction { points })
+    }
+
+    /// Samples a closure uniformly on `[lo, hi]` into an `n`-point PWL table.
+    ///
+    /// # Errors
+    /// Returns [`NumericError::InvalidArgument`] if `n < 2` or `lo >= hi`.
+    pub fn from_samples<F: Fn(f64) -> f64>(lo: f64, hi: f64, n: usize, f: F) -> Result<Self> {
+        if n < 2 || lo >= hi {
+            return Err(NumericError::InvalidArgument {
+                context: format!("from_samples needs n >= 2 and lo < hi (n={n}, [{lo}, {hi}])"),
+            });
+        }
+        let step = (hi - lo) / (n - 1) as f64;
+        let points = (0..n)
+            .map(|i| {
+                let x = lo + step * i as f64;
+                (x, f(x))
+            })
+            .collect();
+        PwlFunction::new(points)
+    }
+
+    /// The breakpoints.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Smallest breakpoint x.
+    pub fn x_min(&self) -> f64 {
+        self.points[0].0
+    }
+
+    /// Largest breakpoint x.
+    pub fn x_max(&self) -> f64 {
+        self.points[self.points.len() - 1].0
+    }
+
+    /// Evaluates the function at `x`, clamping outside the domain.
+    pub fn eval(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        let seg = self.segment_index(x);
+        let (x0, y0) = pts[seg];
+        let (x1, y1) = pts[seg + 1];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Slope of the segment containing `x` (zero outside the domain).
+    ///
+    /// This is the *differential* conductance of a PWL-modeled device — the
+    /// quantity that goes negative in an NDR region (paper Figure 3(a)).
+    pub fn slope(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x < pts[0].0 || x > pts[pts.len() - 1].0 {
+            return 0.0;
+        }
+        let seg = self.segment_index(x.min(pts[pts.len() - 1].0 - f64::EPSILON));
+        let (x0, y0) = pts[seg];
+        let (x1, y1) = pts[seg + 1];
+        (y1 - y0) / (x1 - x0)
+    }
+
+    /// Index `i` such that `points[i].0 <= x < points[i+1].0`.
+    fn segment_index(&self, x: f64) -> usize {
+        let pts = &self.points;
+        match pts.binary_search_by(|&(px, _)| px.partial_cmp(&x).expect("NaN in pwl eval")) {
+            Ok(i) => i.min(pts.len() - 2),
+            Err(i) => i.saturating_sub(1).min(pts.len() - 2),
+        }
+    }
+
+    /// True when y is non-decreasing with x.
+    pub fn is_monotonic(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1)
+    }
+}
+
+/// Linear interpolation of tabulated data `(xs, ys)` at `x` with clamping.
+///
+/// # Errors
+/// Returns [`NumericError::DimensionMismatch`] when `xs` and `ys` differ in
+/// length and [`NumericError::InvalidArgument`] when the table is empty.
+pub fn lerp_table(xs: &[f64], ys: &[f64], x: f64) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(NumericError::DimensionMismatch {
+            context: format!("lerp_table: {} xs vs {} ys", xs.len(), ys.len()),
+        });
+    }
+    if xs.is_empty() {
+        return Err(NumericError::InvalidArgument {
+            context: "lerp_table: empty table".into(),
+        });
+    }
+    if xs.len() == 1 || x <= xs[0] {
+        return Ok(ys[0]);
+    }
+    let n = xs.len();
+    if x >= xs[n - 1] {
+        return Ok(ys[n - 1]);
+    }
+    let mut i = match xs.binary_search_by(|px| px.partial_cmp(&x).expect("NaN in lerp")) {
+        Ok(i) => return Ok(ys[i]),
+        Err(i) => i,
+    };
+    if i == 0 {
+        i = 1;
+    }
+    let (x0, x1) = (xs[i - 1], xs[i]);
+    let (y0, y1) = (ys[i - 1], ys[i]);
+    Ok(y0 + (y1 - y0) * (x - x0) / (x1 - x0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(PwlFunction::new(vec![(0.0, 0.0)]).is_err());
+        assert!(PwlFunction::new(vec![(0.0, 0.0), (0.0, 1.0)]).is_err());
+        assert!(PwlFunction::new(vec![(1.0, 0.0), (0.0, 1.0)]).is_err());
+        assert!(PwlFunction::new(vec![(0.0, f64::NAN), (1.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn eval_interpolates_and_clamps() {
+        let f = PwlFunction::new(vec![(0.0, 0.0), (2.0, 4.0), (4.0, 0.0)]).unwrap();
+        assert!(approx_eq(f.eval(1.0), 2.0, 1e-15));
+        assert!(approx_eq(f.eval(3.0), 2.0, 1e-15));
+        assert_eq!(f.eval(-5.0), 0.0);
+        assert_eq!(f.eval(99.0), 0.0);
+        assert_eq!(f.eval(2.0), 4.0); // exact breakpoint
+    }
+
+    #[test]
+    fn slope_changes_sign_over_peak() {
+        // Triangle: rising then falling — the PWL "NDR" scenario.
+        let f = PwlFunction::new(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]).unwrap();
+        assert!(f.slope(0.5) > 0.0);
+        assert!(f.slope(1.5) < 0.0);
+        assert_eq!(f.slope(-1.0), 0.0);
+        assert!(!f.is_monotonic());
+    }
+
+    #[test]
+    fn monotonic_detection() {
+        let f = PwlFunction::new(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 1.0)]).unwrap();
+        assert!(f.is_monotonic());
+    }
+
+    #[test]
+    fn from_samples_matches_function() {
+        let f = PwlFunction::from_samples(0.0, 1.0, 101, |x| x * x).unwrap();
+        assert!(approx_eq(f.eval(0.5), 0.25, 1e-3));
+        assert_eq!(f.points().len(), 101);
+        assert_eq!(f.x_min(), 0.0);
+        assert_eq!(f.x_max(), 1.0);
+        assert!(PwlFunction::from_samples(0.0, 1.0, 1, |x| x).is_err());
+        assert!(PwlFunction::from_samples(1.0, 0.0, 5, |x| x).is_err());
+    }
+
+    #[test]
+    fn lerp_table_basics() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 10.0, 0.0];
+        assert!(approx_eq(lerp_table(&xs, &ys, 0.5).unwrap(), 5.0, 1e-15));
+        assert_eq!(lerp_table(&xs, &ys, 1.0).unwrap(), 10.0);
+        assert_eq!(lerp_table(&xs, &ys, -1.0).unwrap(), 0.0);
+        assert_eq!(lerp_table(&xs, &ys, 5.0).unwrap(), 0.0);
+        assert!(lerp_table(&xs, &ys[..2], 0.5).is_err());
+        assert!(lerp_table(&[], &[], 0.5).is_err());
+    }
+
+    #[test]
+    fn lerp_single_point_table() {
+        assert_eq!(lerp_table(&[2.0], &[7.0], 100.0).unwrap(), 7.0);
+    }
+}

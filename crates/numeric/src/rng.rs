@@ -1,0 +1,276 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The stochastic (Euler–Maruyama) experiments must be reproducible, so the
+//! workspace carries its own small PRNG instead of an external dependency:
+//! a PCG64-family generator (128-bit LCG state with XSL-RR output) and
+//! Gaussian variates via the Box–Muller transform.
+
+use std::fmt;
+
+/// A PCG-XSL-RR 128/64 pseudo random number generator.
+///
+/// Deterministic, seedable, fast, and of far higher quality than the linear
+/// congruential generators historically embedded in circuit simulators.
+///
+/// # Example
+/// ```
+/// use nanosim_numeric::rng::Pcg64;
+/// let mut a = Pcg64::seed_from_u64(42);
+/// let mut b = Pcg64::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // reproducible
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Pcg64 {
+    state: u128,
+    inc: u128,
+}
+
+impl fmt::Debug for Pcg64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Hide the raw state: it is an implementation detail and 128-bit
+        // integers render poorly, but never produce an empty Debug.
+        f.debug_struct("Pcg64").field("stream", &(self.inc >> 1)).finish()
+    }
+}
+
+const PCG_MULTIPLIER: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+impl Pcg64 {
+    /// Creates a generator from a full 128-bit state and stream selector.
+    pub fn new(state: u128, stream: u128) -> Self {
+        let inc = (stream << 1) | 1;
+        let mut rng = Pcg64 { state: 0, inc };
+        rng.state = rng.state.wrapping_add(state);
+        rng.step();
+        rng
+    }
+
+    /// Creates a generator from a 64-bit seed (SplitMix64-expanded).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let hi = sm.next() as u128;
+        let lo = sm.next() as u128;
+        let s1 = sm.next() as u128;
+        let s2 = sm.next() as u128;
+        Pcg64::new((hi << 64) | lo, (s1 << 64) | s2)
+    }
+
+    #[inline]
+    fn step(&mut self) {
+        self.state = self
+            .state
+            .wrapping_mul(PCG_MULTIPLIER)
+            .wrapping_add(self.inc);
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.step();
+        // XSL-RR output function.
+        let rot = (self.state >> 122) as u32;
+        let xored = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xored.rotate_right(rot)
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or either bound is not finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "invalid uniform range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's rejection method.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn next_range(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_range(0) is meaningless");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= (u64::MAX - n + 1) % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Standard normal sample (mean 0, variance 1) via Box–Muller.
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let mut u1 = self.next_f64();
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics if `std_dev` is negative or not finite.
+    pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite(),
+            "standard deviation must be finite and non-negative, got {std_dev}"
+        );
+        mean + std_dev * self.next_gaussian()
+    }
+
+    /// Splits off an independent generator for a parallel stream (new stream
+    /// id derived from the parent's output).
+    pub fn split(&mut self) -> Pcg64 {
+        let s1 = self.next_u64() as u128;
+        let s2 = self.next_u64() as u128;
+        let s3 = self.next_u64() as u128;
+        let s4 = self.next_u64() as u128;
+        Pcg64::new((s1 << 64) | s2, (s3 << 64) | s4)
+    }
+}
+
+/// SplitMix64 generator, used to expand small seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a new generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Pcg64::seed_from_u64(7);
+        let mut b = Pcg64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg64::seed_from_u64(1);
+        let mut b = Pcg64::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform range")]
+    fn uniform_rejects_inverted_range() {
+        Pcg64::seed_from_u64(0).uniform(1.0, 0.0);
+    }
+
+    #[test]
+    fn uniform_mean_is_plausible() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = Pcg64::seed_from_u64(6);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_scaling() {
+        let mut rng = Pcg64::seed_from_u64(8);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian(5.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn next_range_uniformity() {
+        let mut rng = Pcg64::seed_from_u64(9);
+        let mut counts = [0usize; 7];
+        for _ in 0..70_000 {
+            counts[rng.next_range(7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut parent = Pcg64::seed_from_u64(10);
+        let mut child = parent.split();
+        let same = (0..32)
+            .filter(|_| parent.next_u64() == child.next_u64())
+            .count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn splitmix_known_sequence_is_stable() {
+        let mut sm = SplitMix64::new(1234567);
+        let a = sm.next();
+        let b = sm.next();
+        assert_ne!(a, b);
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(sm2.next(), a);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let rng = Pcg64::seed_from_u64(1);
+        assert!(!format!("{rng:?}").is_empty());
+    }
+}

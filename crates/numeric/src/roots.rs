@@ -1,0 +1,404 @@
+//! Scalar root finding: Newton–Raphson with iteration history, damped
+//! Newton, and bisection.
+//!
+//! Besides being a building block for operating-point utilities, the
+//! undamped Newton iteration reproduces the paper's **Figure 2**: on a
+//! non-monotone curve the iteration either converges or oscillates between
+//! two points depending on the initial guess. [`NewtonOutcome`] exposes the
+//! full iterate history so the oscillation is observable, not just a failed
+//! `Result`.
+
+use crate::error::NumericError;
+use crate::flops::FlopCounter;
+use crate::Result;
+
+/// Termination status of a Newton–Raphson run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NewtonOutcome {
+    /// Converged to the contained root.
+    Converged {
+        /// Final iterate.
+        root: f64,
+        /// Iterations used.
+        iterations: usize,
+    },
+    /// The iterate sequence entered a (near-)cycle — the NDR failure mode of
+    /// the paper's Figure 2: `x0 -> x1 -> x2 -> x1 -> x2 -> ...`.
+    Oscillating {
+        /// The set of iterates forming the detected cycle.
+        cycle: Vec<f64>,
+    },
+    /// Iteration budget exhausted without convergence or a detected cycle.
+    Exhausted {
+        /// Last iterate reached.
+        last: f64,
+    },
+    /// The derivative vanished (or was non-finite) at an iterate.
+    ZeroDerivative {
+        /// Iterate at which the derivative vanished.
+        at: f64,
+    },
+}
+
+/// Options controlling [`newton_raphson`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Absolute tolerance on `|f(x)|` for convergence.
+    pub f_tol: f64,
+    /// Absolute tolerance on the step size for convergence.
+    pub x_tol: f64,
+    /// Maximum iterations before giving up.
+    pub max_iter: usize,
+    /// Damping factor in `(0, 1]` applied to every step (1 = pure Newton).
+    pub damping: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            f_tol: 1e-12,
+            x_tol: 1e-12,
+            max_iter: 100,
+            damping: 1.0,
+        }
+    }
+}
+
+/// Full record of a Newton–Raphson run: outcome plus every iterate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonTrace {
+    /// Termination status.
+    pub outcome: NewtonOutcome,
+    /// All iterates including the initial guess.
+    pub iterates: Vec<f64>,
+}
+
+/// Newton–Raphson iteration `x <- x - damping * f(x)/f'(x)` with cycle
+/// detection.
+///
+/// Returns the full [`NewtonTrace`]; callers that only care about the root
+/// can match on [`NewtonOutcome::Converged`].
+///
+/// # Errors
+/// Returns [`NumericError::InvalidArgument`] for a non-finite initial guess
+/// or damping outside `(0, 1]`.
+///
+/// # Example
+/// ```
+/// use nanosim_numeric::roots::{newton_raphson, NewtonOptions, NewtonOutcome};
+/// use nanosim_numeric::flops::FlopCounter;
+/// # fn main() -> Result<(), nanosim_numeric::NumericError> {
+/// let trace = newton_raphson(
+///     |x| x * x - 2.0,
+///     |x| 2.0 * x,
+///     1.0,
+///     NewtonOptions::default(),
+///     &mut FlopCounter::new(),
+/// )?;
+/// match trace.outcome {
+///     NewtonOutcome::Converged { root, .. } => assert!((root - 2f64.sqrt()).abs() < 1e-10),
+///     other => panic!("unexpected outcome {other:?}"),
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn newton_raphson<F, D>(
+    f: F,
+    df: D,
+    x0: f64,
+    opts: NewtonOptions,
+    flops: &mut FlopCounter,
+) -> Result<NewtonTrace>
+where
+    F: Fn(f64) -> f64,
+    D: Fn(f64) -> f64,
+{
+    if !x0.is_finite() {
+        return Err(NumericError::InvalidArgument {
+            context: format!("newton initial guess {x0}"),
+        });
+    }
+    if !(opts.damping > 0.0 && opts.damping <= 1.0) {
+        return Err(NumericError::InvalidArgument {
+            context: format!("newton damping {} outside (0, 1]", opts.damping),
+        });
+    }
+    let mut iterates = vec![x0];
+    let mut x = x0;
+    for iter in 0..opts.max_iter {
+        let fx = f(x);
+        flops.func(1);
+        if fx.abs() <= opts.f_tol {
+            return Ok(NewtonTrace {
+                outcome: NewtonOutcome::Converged {
+                    root: x,
+                    iterations: iter,
+                },
+                iterates,
+            });
+        }
+        let dfx = df(x);
+        flops.func(1);
+        if dfx == 0.0 || !dfx.is_finite() {
+            return Ok(NewtonTrace {
+                outcome: NewtonOutcome::ZeroDerivative { at: x },
+                iterates,
+            });
+        }
+        let step = opts.damping * fx / dfx;
+        flops.div(1);
+        flops.mul(1);
+        let x_next = x - step;
+        flops.add(1);
+        iterates.push(x_next);
+        if step.abs() <= opts.x_tol {
+            return Ok(NewtonTrace {
+                outcome: NewtonOutcome::Converged {
+                    root: x_next,
+                    iterations: iter + 1,
+                },
+                iterates,
+            });
+        }
+        // Cycle detection: does the new iterate revisit (within tolerance) a
+        // recent iterate that is NOT its immediate predecessor?
+        if let Some(cycle) = detect_cycle(&iterates) {
+            return Ok(NewtonTrace {
+                outcome: NewtonOutcome::Oscillating { cycle },
+                iterates,
+            });
+        }
+        x = x_next;
+    }
+    Ok(NewtonTrace {
+        outcome: NewtonOutcome::Exhausted { last: x },
+        iterates,
+    })
+}
+
+/// Looks for a period-2..4 cycle at the tail of the iterate sequence.
+fn detect_cycle(iterates: &[f64]) -> Option<Vec<f64>> {
+    let n = iterates.len();
+    for period in 2..=4usize {
+        // Need two full periods to claim a cycle.
+        if n < 2 * period + 1 {
+            continue;
+        }
+        let tail = &iterates[n - 2 * period..];
+        let scale = tail.iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
+        let tol = 1e-9 * scale;
+        let mut is_cycle = true;
+        for i in 0..period {
+            if (tail[i] - tail[i + period]).abs() > tol {
+                is_cycle = false;
+                break;
+            }
+        }
+        // A fixed point would also match; require genuine movement.
+        if is_cycle {
+            let spread = tail[..period]
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
+            if spread.1 - spread.0 > tol * 10.0 {
+                return Some(tail[..period].to_vec());
+            }
+        }
+    }
+    None
+}
+
+/// Bisection on a sign-changing bracket `[lo, hi]`.
+///
+/// # Errors
+/// Returns [`NumericError::InvalidArgument`] when the bracket does not
+/// straddle a sign change, and [`NumericError::DidNotConverge`] if `max_iter`
+/// halvings do not reach `x_tol`.
+pub fn bisect<F>(f: F, mut lo: f64, mut hi: f64, x_tol: f64, max_iter: usize) -> Result<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    if !(lo < hi) {
+        return Err(NumericError::InvalidArgument {
+            context: format!("bisect bracket [{lo}, {hi}]"),
+        });
+    }
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(NumericError::InvalidArgument {
+            context: format!("bisect: no sign change on [{lo}, {hi}]"),
+        });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || (hi - lo) * 0.5 < x_tol {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(NumericError::DidNotConverge {
+        iterations: max_iter,
+        residual: hi - lo,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn run_newton<F, D>(f: F, df: D, x0: f64, opts: NewtonOptions) -> NewtonTrace
+    where
+        F: Fn(f64) -> f64,
+        D: Fn(f64) -> f64,
+    {
+        newton_raphson(f, df, x0, opts, &mut FlopCounter::new()).unwrap()
+    }
+
+    #[test]
+    fn converges_on_sqrt2() {
+        let t = run_newton(|x| x * x - 2.0, |x| 2.0 * x, 1.0, NewtonOptions::default());
+        match t.outcome {
+            NewtonOutcome::Converged { root, iterations } => {
+                assert!(approx_eq(root, 2f64.sqrt(), 1e-10));
+                assert!(iterations < 10);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(t.iterates.len() >= 2);
+    }
+
+    #[test]
+    fn figure2_oscillation_from_bad_guess() {
+        // f(x) = x^3 - 2x + 2 is the classic Newton 2-cycle: from x0 = 0 the
+        // iterates alternate 0 -> 1 -> 0 -> 1 ... — the paper's Figure 2
+        // "oscillation between x1 and x2" scenario.
+        let f = |x: f64| x.powi(3) - 2.0 * x + 2.0;
+        let df = |x: f64| 3.0 * x * x - 2.0;
+        let t = run_newton(f, df, 0.0, NewtonOptions::default());
+        match &t.outcome {
+            NewtonOutcome::Oscillating { cycle } => {
+                assert_eq!(cycle.len(), 2);
+                let mut c = cycle.clone();
+                c.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                assert!(approx_eq(c[0], 0.0, 1e-9));
+                assert!(approx_eq(c[1], 1.0, 1e-9));
+            }
+            other => panic!("expected oscillation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure2_good_guess_converges() {
+        // Same cubic: from x0 = -2 Newton converges to the real root ~ -1.7693.
+        let f = |x: f64| x.powi(3) - 2.0 * x + 2.0;
+        let df = |x: f64| 3.0 * x * x - 2.0;
+        let t = run_newton(f, df, -2.0, NewtonOptions::default());
+        match t.outcome {
+            NewtonOutcome::Converged { root, .. } => {
+                assert!(approx_eq(f(root), 0.0, 1e-9));
+                assert!(approx_eq(root, -1.769_292_354_238_631, 1e-9));
+            }
+            other => panic!("expected convergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn damping_rescues_the_oscillating_guess() {
+        let f = |x: f64| x.powi(3) - 2.0 * x + 2.0;
+        let df = |x: f64| 3.0 * x * x - 2.0;
+        let opts = NewtonOptions {
+            damping: 0.5,
+            max_iter: 200,
+            ..NewtonOptions::default()
+        };
+        let t = run_newton(f, df, 0.0, opts);
+        match t.outcome {
+            NewtonOutcome::Converged { root, .. } => assert!(approx_eq(f(root), 0.0, 1e-9)),
+            other => panic!("expected damped convergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_derivative_reported() {
+        let t = run_newton(|x| x * x + 1.0, |x| 2.0 * x, 0.0, NewtonOptions::default());
+        assert!(matches!(t.outcome, NewtonOutcome::ZeroDerivative { at } if at == 0.0));
+    }
+
+    #[test]
+    fn exhausted_when_no_root() {
+        // f(x) = exp(x) has no root; Newton walks to -inf without cycling.
+        let opts = NewtonOptions {
+            max_iter: 20,
+            ..NewtonOptions::default()
+        };
+        let t = run_newton(|x: f64| x.exp(), |x: f64| x.exp(), 0.0, opts);
+        assert!(matches!(t.outcome, NewtonOutcome::Exhausted { .. }));
+    }
+
+    #[test]
+    fn invalid_arguments_rejected() {
+        let mut f = FlopCounter::new();
+        assert!(newton_raphson(|x| x, |_| 1.0, f64::NAN, NewtonOptions::default(), &mut f).is_err());
+        let bad = NewtonOptions {
+            damping: 0.0,
+            ..NewtonOptions::default()
+        };
+        assert!(newton_raphson(|x| x, |_| 1.0, 0.0, bad, &mut f).is_err());
+    }
+
+    #[test]
+    fn newton_counts_flops() {
+        let mut f = FlopCounter::new();
+        newton_raphson(
+            |x| x * x - 2.0,
+            |x| 2.0 * x,
+            1.0,
+            NewtonOptions::default(),
+            &mut f,
+        )
+        .unwrap();
+        assert!(f.total() > 0);
+        assert!(f.divs() > 0);
+    }
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 100).unwrap();
+        assert!(approx_eq(r, 2f64.sqrt(), 1e-10));
+    }
+
+    #[test]
+    fn bisect_exact_endpoints() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 10).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 10).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).is_err());
+        assert!(bisect(|x| x, 1.0, 0.0, 1e-12, 100).is_err());
+    }
+
+    #[test]
+    fn bisect_budget_exhaustion() {
+        match bisect(|x| x - 0.123456789, 0.0, 1.0, 1e-15, 3) {
+            Err(NumericError::DidNotConverge { iterations, .. }) => assert_eq!(iterations, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

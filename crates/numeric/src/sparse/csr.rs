@@ -1,0 +1,349 @@
+//! Compressed sparse row storage.
+
+use crate::dense::DenseMatrix;
+use crate::error::NumericError;
+use crate::flops::FlopCounter;
+use crate::Result;
+
+/// An immutable compressed-sparse-row matrix.
+///
+/// Built from triplets (see [`crate::sparse::TripletMatrix::to_csr`]); column
+/// indices within each row are sorted and duplicate positions summed.
+///
+/// # Example
+/// ```
+/// use nanosim_numeric::sparse::CsrMatrix;
+/// use nanosim_numeric::flops::FlopCounter;
+/// let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]);
+/// let y = m.matvec(&[1.0, 1.0], &mut FlopCounter::new()).unwrap();
+/// assert_eq!(y, vec![2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from coordinate entries, summing duplicates.
+    ///
+    /// # Panics
+    /// Panics if any entry is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, entries: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in entries {
+            assert!(
+                r < rows && c < cols,
+                "triplet ({r}, {c}) out of bounds for {rows}x{cols}"
+            );
+        }
+        // Count entries per row.
+        let mut counts = vec![0usize; rows];
+        for &(r, _, _) in entries {
+            counts[r] += 1;
+        }
+        let mut row_ptr = vec![0usize; rows + 1];
+        for i in 0..rows {
+            row_ptr[i + 1] = row_ptr[i] + counts[i];
+        }
+        // Scatter into place.
+        let mut col_idx = vec![0usize; entries.len()];
+        let mut values = vec![0.0; entries.len()];
+        let mut next = row_ptr.clone();
+        for &(r, c, v) in entries {
+            let p = next[r];
+            col_idx[p] = c;
+            values[p] = v;
+            next[r] += 1;
+        }
+        // Sort each row by column and merge duplicates.
+        let mut out_col = Vec::with_capacity(entries.len());
+        let mut out_val = Vec::with_capacity(entries.len());
+        let mut out_ptr = vec![0usize; rows + 1];
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..rows {
+            scratch.clear();
+            for p in row_ptr[r]..row_ptr[r + 1] {
+                scratch.push((col_idx[p], values[p]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                out_col.push(c);
+                out_val.push(v);
+                i = j;
+            }
+            out_ptr[r + 1] = out_col.len();
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr: out_ptr,
+            col_idx: out_col,
+            values: out_val,
+        }
+    }
+
+    /// Builds a CSR matrix from a dense one, dropping exact zeros.
+    pub fn from_dense(m: &DenseMatrix) -> Self {
+        let mut entries = Vec::new();
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                let v = m[(i, j)];
+                if v != 0.0 {
+                    entries.push((i, j, v));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(m.rows(), m.cols(), &entries)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries (including explicit zeros).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `(row, col)`; zero when the position is not stored.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        match self.col_idx[lo..hi].binary_search(&col) {
+            Ok(p) => self.values[lo + p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over row `r` as `(col, value)` pairs.
+    ///
+    /// # Panics
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(r < self.rows, "row {r} out of bounds");
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Iterates over every stored `(row, col, value)` entry.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Matrix–vector product `y = A·x`, recording one FMA per stored entry.
+    ///
+    /// # Errors
+    /// Returns [`NumericError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64], flops: &mut FlopCounter) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(NumericError::DimensionMismatch {
+                context: format!(
+                    "sparse matvec: {}x{} by vector of {}",
+                    self.rows,
+                    self.cols,
+                    x.len()
+                ),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for p in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[p] * x[self.col_idx[p]];
+            }
+            y[r] = acc;
+        }
+        flops.fma(self.nnz() as u64);
+        Ok(y)
+    }
+
+    /// In-place accumulating product `y += alpha * A·x`.
+    ///
+    /// # Errors
+    /// Returns [`NumericError::DimensionMismatch`] on shape mismatch.
+    pub fn matvec_acc(
+        &self,
+        alpha: f64,
+        x: &[f64],
+        y: &mut [f64],
+        flops: &mut FlopCounter,
+    ) -> Result<()> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(NumericError::DimensionMismatch {
+                context: format!(
+                    "sparse matvec_acc: {}x{} by x of {} into y of {}",
+                    self.rows,
+                    self.cols,
+                    x.len(),
+                    y.len()
+                ),
+            });
+        }
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for p in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[p] * x[self.col_idx[p]];
+            }
+            y[r] += alpha * acc;
+        }
+        flops.fma(self.nnz() as u64 + self.rows as u64);
+        Ok(())
+    }
+
+    /// Transposed copy (rows become columns).
+    pub fn transpose(&self) -> CsrMatrix {
+        let entries: Vec<_> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        CsrMatrix::from_triplets(self.cols, self.rows, &entries)
+    }
+
+    /// Converts to dense storage (testing/debug aid).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            m[(r, c)] += v;
+        }
+        m
+    }
+
+    /// Column-compressed view `(col_ptr, row_idx, values)` used by the LU
+    /// factorization.
+    pub(crate) fn to_csc(&self) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+        let mut counts = vec![0usize; self.cols];
+        for &c in &self.col_idx {
+            counts[c] += 1;
+        }
+        let mut col_ptr = vec![0usize; self.cols + 1];
+        for j in 0..self.cols {
+            col_ptr[j + 1] = col_ptr[j] + counts[j];
+        }
+        let mut row_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = col_ptr.clone();
+        for (r, c, v) in self.iter() {
+            let p = next[c];
+            row_idx[p] = r;
+            values[p] = v;
+            next[c] += 1;
+        }
+        (col_ptr, row_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn from_triplets_sorts_and_merges() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.0), (0, 0, 2.0), (0, 2, 3.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(0, 2), 4.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        let row: Vec<_> = m.row(0).collect();
+        assert_eq!(row, vec![(0, 2.0), (2, 4.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_triplets_bounds_checked() {
+        CsrMatrix::from_triplets(1, 1, &[(0, 1, 1.0)]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let entries = [(0, 0, 1.0), (0, 2, 2.0), (1, 1, -3.0), (2, 0, 4.0)];
+        let m = CsrMatrix::from_triplets(3, 3, &entries);
+        let x = [1.0, 2.0, 3.0];
+        let mut f = FlopCounter::new();
+        let y = m.matvec(&x, &mut f).unwrap();
+        let yd = m.to_dense().matvec(&x, &mut FlopCounter::new()).unwrap();
+        for (a, b) in y.iter().zip(yd.iter()) {
+            assert!(approx_eq(*a, *b, 1e-15));
+        }
+        assert_eq!(f.muls(), 4);
+        assert!(m.matvec(&[1.0], &mut f).is_err());
+    }
+
+    #[test]
+    fn matvec_acc_accumulates_scaled() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let mut y = vec![10.0, 20.0];
+        m.matvec_acc(2.0, &[1.0, 2.0], &mut y, &mut FlopCounter::new())
+            .unwrap();
+        assert_eq!(y, vec![12.0, 24.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 1, 5.0), (1, 2, -1.0)]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(1, 0), 5.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn from_dense_drops_zeros() {
+        let mut d = DenseMatrix::zeros(2, 2);
+        d[(0, 1)] = 7.0;
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.get(0, 1), 7.0);
+    }
+
+    #[test]
+    fn csc_conversion_preserves_entries() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (2, 0, 3.0), (1, 2, 2.0)]);
+        let (cp, ri, vals) = m.to_csc();
+        assert_eq!(cp, vec![0, 2, 2, 3]);
+        assert_eq!(ri, vec![0, 2, 1]);
+        assert_eq!(vals, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn iter_yields_all_entries_in_row_order() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(1, 0, 1.0), (0, 1, 2.0)]);
+        let all: Vec<_> = m.iter().collect();
+        assert_eq!(all, vec![(0, 1, 2.0), (1, 0, 1.0)]);
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let m = CsrMatrix::from_triplets(2, 2, &[]);
+        assert_eq!(m.nnz(), 0);
+        let y = m.matvec(&[1.0, 1.0], &mut FlopCounter::new()).unwrap();
+        assert_eq!(y, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Sparse matrix storage and factorization.
+//!
+//! Modified nodal analysis produces matrices whose density falls quickly with
+//! circuit size, and the Nano-Sim engines re-solve the same pattern at every
+//! time point. This module provides:
+//!
+//! * [`TripletMatrix`] — coordinate-format assembly ("stamping") storage,
+//! * [`CsrMatrix`] — compressed sparse row storage with counted mat-vec,
+//! * [`SparseLu`] — a left-looking (Gilbert–Peierls) LU factorization with
+//!   threshold partial pivoting, reusable across right-hand sides.
+
+mod csr;
+mod lu;
+mod triplet;
+
+pub use csr::CsrMatrix;
+pub use lu::{PivotStrategy, SparseLu};
+pub use triplet::TripletMatrix;

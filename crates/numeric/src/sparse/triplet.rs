@@ -1,0 +1,180 @@
+//! Coordinate (COO) format used while stamping MNA matrices.
+
+use super::CsrMatrix;
+use crate::dense::DenseMatrix;
+
+/// A growable coordinate-format sparse matrix.
+///
+/// Duplicate `(row, col)` entries are *summed* on conversion, which is exactly
+/// the semantics of MNA stamping: every device adds its contribution to the
+/// shared conductance matrix.
+///
+/// # Example
+/// ```
+/// use nanosim_numeric::sparse::TripletMatrix;
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // same position: summed
+/// let csr = t.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// assert_eq!(csr.nnz(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TripletMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty `rows x cols` triplet matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty matrix with pre-allocated capacity for `cap` entries.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of raw (possibly duplicate) entries pushed so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends `value` at `(row, col)`. Zero values are kept (they preserve
+    /// the symbolic pattern, which matters for factorization reuse).
+    ///
+    /// # Panics
+    /// Panics if the position is out of bounds — stamping out of bounds is a
+    /// programming error in the assembler, not a runtime condition.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Removes all entries, keeping the allocation (used when re-stamping a
+    /// circuit at a new time point).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates over the raw `(row, col, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = &(usize, usize, f64)> {
+        self.entries.iter()
+    }
+
+    /// Converts to compressed sparse row format, summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_triplets(self.rows, self.cols, &self.entries)
+    }
+
+    /// Converts to a dense matrix (testing/debug aid).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for &(r, c, v) in &self.entries {
+            m[(r, c)] += v;
+        }
+        m
+    }
+}
+
+impl Extend<(usize, usize, f64)> for TripletMatrix {
+    fn extend<I: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: I) {
+        for (r, c, v) in iter {
+            self.push(r, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let t = TripletMatrix::new(3, 4);
+        assert!(t.is_empty());
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 4);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn push_and_iter() {
+        let mut t = TripletMatrix::with_capacity(2, 2, 4);
+        t.push(0, 1, 5.0);
+        t.push(1, 0, -5.0);
+        assert_eq!(t.len(), 2);
+        let collected: Vec<_> = t.iter().cloned().collect();
+        assert_eq!(collected, vec![(0, 1, 5.0), (1, 0, -5.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut t = TripletMatrix::new(1, 1);
+        t.push(1, 0, 1.0);
+    }
+
+    #[test]
+    fn duplicates_summed_in_dense() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(1, 1, 1.0);
+        t.push(1, 1, 2.5);
+        let d = t.to_dense();
+        assert_eq!(d[(1, 1)], 3.5);
+    }
+
+    #[test]
+    fn clear_keeps_shape() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.rows(), 2);
+    }
+
+    #[test]
+    fn extend_from_iterator() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.extend(vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn zero_entries_are_kept() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 1, 0.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.to_csr().nnz(), 1);
+    }
+}

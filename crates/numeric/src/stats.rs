@@ -1,0 +1,347 @@
+//! Streaming statistics for Monte-Carlo ensembles.
+//!
+//! The Euler–Maruyama experiments run hundreds of stochastic paths; these
+//! helpers accumulate moments without storing every sample (Welford's
+//! algorithm) and estimate percentiles/histograms when samples are kept.
+
+use std::fmt;
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+///
+/// # Example
+/// ```
+/// use nanosim_numeric::stats::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.variance(), 1.0); // sample variance
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of samples pushed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample seen (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.n as f64 * other.n as f64 / total as f64;
+        self.n = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for RunningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6e} std={:.6e} min={:.6e} max={:.6e}",
+            self.n,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Percentile of a sample set by linear interpolation between order
+/// statistics (the "linear" / type-7 estimator).
+///
+/// `q` is in `[0, 1]`. Returns `None` for an empty slice.
+///
+/// # Example
+/// ```
+/// use nanosim_numeric::stats::percentile;
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&data, 0.5), Some(2.5));
+/// ```
+pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let w = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - w) + sorted[hi] * w)
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi)` with out-of-range counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "invalid histogram range [{lo}, {hi})");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records a sample.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Counts per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Center value of bin `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.bins.len(), "bin {i} out of range");
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn known_small_sample() {
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert!(approx_eq(s.mean(), 5.0, 1e-12));
+        // population variance 4.0 -> sample variance 32/7
+        assert!(approx_eq(s.variance(), 32.0 / 7.0, 1e-12));
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let all: RunningStats = data.iter().copied().collect();
+        let first: RunningStats = data[..37].iter().copied().collect();
+        let mut merged = first;
+        let second: RunningStats = data[37..].iter().copied().collect();
+        merged.merge(&second);
+        assert_eq!(merged.count(), all.count());
+        assert!(approx_eq(merged.mean(), all.mean(), 1e-12));
+        assert!(approx_eq(merged.variance(), all.variance(), 1e-12));
+        assert_eq!(merged.min(), all.min());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: RunningStats = [1.0, 2.0].into_iter().collect();
+        let before = s;
+        s.merge(&RunningStats::new());
+        assert_eq!(s, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn percentile_edges() {
+        let data = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 1.0), Some(3.0));
+        assert_eq!(percentile(&data, 0.5), Some(2.0));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&data, 1.5), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [0.0, 10.0];
+        assert!(approx_eq(percentile(&data, 0.25).unwrap(), 2.5, 1e-12));
+    }
+
+    #[test]
+    fn histogram_bins_and_ranges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 2.5, 9.9, -1.0, 10.0, 11.0] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+        assert!(approx_eq(h.bin_center(0), 1.0, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn display_shows_summary() {
+        let s: RunningStats = [1.0].into_iter().collect();
+        assert!(s.to_string().contains("n=1"));
+    }
+}

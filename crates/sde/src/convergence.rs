@@ -1,0 +1,188 @@
+//! Strong/weak convergence-order measurement for SDE integrators.
+//!
+//! Validates the Euler–Maruyama implementation against theory (and powers
+//! the ablation bench): EM has **strong order 1/2** — the pathwise RMS error
+//! at fixed horizon scales as `O(√Δt)` — and **weak order 1** — the error of
+//! expectations scales as `O(Δt)`. The measurement follows Higham's SIAM
+//! Review experiment (the paper's reference \[13\]): integrate GBM (whose
+//! exact pathwise solution is known) on one fine Wiener path, then on
+//! coarsened views of the *same* path, and regress log-error on log-dt.
+
+use crate::em::euler_maruyama_path;
+use crate::gbm::GeometricBrownianMotion;
+use crate::wiener::WienerPath;
+use nanosim_numeric::rng::Pcg64;
+use nanosim_numeric::stats::RunningStats;
+
+/// One resolution level of a convergence study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergencePoint {
+    /// Step size used.
+    pub dt: f64,
+    /// Measured error at this step size.
+    pub error: f64,
+}
+
+/// Result of a convergence study: per-resolution errors plus the fitted
+/// log-log slope (the empirical order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceStudy {
+    /// Error at each step size, finest first.
+    pub points: Vec<ConvergencePoint>,
+    /// Least-squares slope of `log(error)` against `log(dt)`.
+    pub order: f64,
+}
+
+/// Least-squares slope of `log y` on `log x`.
+fn loglog_slope(points: &[ConvergencePoint]) -> f64 {
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for p in points {
+        let x = p.dt.ln();
+        let y = p.error.max(1e-300).ln();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Measures the **strong** order of Euler–Maruyama on GBM:
+/// `E|X_em(T) - X_exact(T)|` at `levels` dyadic coarsenings of a fine path.
+///
+/// # Panics
+/// Panics if `levels == 0` or `samples == 0`.
+pub fn em_strong_order(
+    gbm: &GeometricBrownianMotion,
+    x0: f64,
+    horizon: f64,
+    fine_steps: usize,
+    levels: usize,
+    samples: usize,
+    rng: &mut Pcg64,
+) -> ConvergenceStudy {
+    assert!(levels > 0 && samples > 0, "need levels > 0 and samples > 0");
+    let mut errs = vec![RunningStats::new(); levels];
+    for _ in 0..samples {
+        let fine = WienerPath::generate(horizon, fine_steps, rng);
+        let exact = *gbm.exact_path(x0, &fine).last().expect("nonempty");
+        for (lvl, err) in errs.iter_mut().enumerate() {
+            let path = fine.coarsen(1 << lvl);
+            let em = euler_maruyama_path(
+                |x, _| gbm.drift(x),
+                |x, _| gbm.diffusion(x),
+                x0,
+                &path,
+            );
+            err.push((em.last().expect("nonempty") - exact).abs());
+        }
+    }
+    let points: Vec<ConvergencePoint> = errs
+        .iter()
+        .enumerate()
+        .map(|(lvl, s)| ConvergencePoint {
+            dt: horizon / (fine_steps >> lvl) as f64,
+            error: s.mean(),
+        })
+        .collect();
+    let order = loglog_slope(&points);
+    ConvergenceStudy { points, order }
+}
+
+/// Measures the **weak** order of Euler–Maruyama on GBM:
+/// `|E[X_em(T)] - E[X(T)]|` at `levels` dyadic step sizes with independent
+/// paths per level.
+///
+/// # Panics
+/// Panics if `levels == 0` or `samples == 0`.
+pub fn em_weak_order(
+    gbm: &GeometricBrownianMotion,
+    x0: f64,
+    horizon: f64,
+    fine_steps: usize,
+    levels: usize,
+    samples: usize,
+    rng: &mut Pcg64,
+) -> ConvergenceStudy {
+    assert!(levels > 0 && samples > 0, "need levels > 0 and samples > 0");
+    let exact_mean = gbm.mean(x0, horizon);
+    let mut points = Vec::with_capacity(levels);
+    for lvl in 0..levels {
+        let steps = fine_steps >> lvl;
+        let mut stats = RunningStats::new();
+        for _ in 0..samples {
+            let path = WienerPath::generate(horizon, steps, rng);
+            let em = euler_maruyama_path(
+                |x, _| gbm.drift(x),
+                |x, _| gbm.diffusion(x),
+                x0,
+                &path,
+            );
+            stats.push(*em.last().expect("nonempty"));
+        }
+        points.push(ConvergencePoint {
+            dt: horizon / steps as f64,
+            error: (stats.mean() - exact_mean).abs(),
+        });
+    }
+    let order = loglog_slope(&points);
+    ConvergenceStudy { points, order }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_order_is_about_half() {
+        let gbm = GeometricBrownianMotion::new(2.0, 1.0);
+        let mut rng = Pcg64::seed_from_u64(12345);
+        let study = em_strong_order(&gbm, 1.0, 1.0, 512, 5, 400, &mut rng);
+        assert_eq!(study.points.len(), 5);
+        assert!(
+            (0.35..=0.75).contains(&study.order),
+            "strong order {} (expected ~0.5)",
+            study.order
+        );
+        // Errors grow with dt.
+        for w in study.points.windows(2) {
+            assert!(w[1].error > w[0].error, "{:?}", study.points);
+        }
+    }
+
+    #[test]
+    fn weak_order_is_about_one() {
+        let gbm = GeometricBrownianMotion::new(2.0, 0.1);
+        let mut rng = Pcg64::seed_from_u64(777);
+        let study = em_weak_order(&gbm, 1.0, 1.0, 256, 4, 40_000, &mut rng);
+        assert!(
+            (0.6..=1.6).contains(&study.order),
+            "weak order {} (expected ~1.0)",
+            study.order
+        );
+    }
+
+    #[test]
+    fn loglog_slope_of_power_law_is_exact() {
+        let points: Vec<ConvergencePoint> = (1..6)
+            .map(|k| {
+                let dt = 2f64.powi(-k);
+                ConvergencePoint {
+                    dt,
+                    error: 3.0 * dt.powf(0.5),
+                }
+            })
+            .collect();
+        let slope = loglog_slope(&points);
+        assert!((slope - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "need levels")]
+    fn rejects_zero_levels() {
+        let gbm = GeometricBrownianMotion::new(1.0, 1.0);
+        let mut rng = Pcg64::seed_from_u64(1);
+        em_strong_order(&gbm, 1.0, 1.0, 64, 0, 10, &mut rng);
+    }
+}

@@ -1,0 +1,213 @@
+//! Geometric Brownian motion and the Black–Scholes closed form.
+//!
+//! Paper §4.2: "Following the Black-Scholes approach \[13\]\[14\], we can
+//! predict the peak performance within certain time window. A close analogy
+//! to this problem is the stock price prediction." GBM is also the standard
+//! test process for Euler–Maruyama convergence studies (Higham, the paper's
+//! reference \[13\]) because its pathwise solution is known in closed form.
+
+use crate::wiener::WienerPath;
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+///
+/// Uses the Abramowitz–Stegun 7.1.26 rational approximation of `erf`
+/// (absolute error < 1.5e-7), accurate enough for probability reporting.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz–Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// A geometric Brownian motion `dX = μ·X·dt + σ·X·dW`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricBrownianMotion {
+    /// Drift rate `μ`.
+    mu: f64,
+    /// Volatility `σ`, non-negative.
+    sigma: f64,
+}
+
+impl GeometricBrownianMotion {
+    /// Creates the process.
+    ///
+    /// # Panics
+    /// Panics if `sigma < 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
+        GeometricBrownianMotion { mu, sigma }
+    }
+
+    /// Drift rate `μ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Volatility `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Exact pathwise solution `X(t) = x0·exp((μ - σ²/2)·t + σ·W(t))`
+    /// evaluated on every grid point of `path`.
+    pub fn exact_path(&self, x0: f64, path: &WienerPath) -> Vec<f64> {
+        let dt = path.dt();
+        path.values()
+            .iter()
+            .enumerate()
+            .map(|(j, &w)| {
+                let t = j as f64 * dt;
+                x0 * ((self.mu - 0.5 * self.sigma * self.sigma) * t + self.sigma * w).exp()
+            })
+            .collect()
+    }
+
+    /// Exact terminal mean `E[X(T)] = x0·e^{μT}`.
+    pub fn mean(&self, x0: f64, t: f64) -> f64 {
+        x0 * (self.mu * t).exp()
+    }
+
+    /// Exact terminal variance `x0²·e^{2μT}·(e^{σ²T} - 1)`.
+    pub fn variance(&self, x0: f64, t: f64) -> f64 {
+        let m = self.mean(x0, t);
+        m * m * ((self.sigma * self.sigma * t).exp() - 1.0)
+    }
+
+    /// Drift function for the EM integrator.
+    pub fn drift(&self, x: f64) -> f64 {
+        self.mu * x
+    }
+
+    /// Diffusion function for the EM integrator.
+    pub fn diffusion(&self, x: f64) -> f64 {
+        self.sigma * x
+    }
+}
+
+/// Black–Scholes price of a European call with spot `s`, strike `k`,
+/// risk-free rate `r`, volatility `sigma` and maturity `t` — the paper's
+/// "stock price prediction" analogy in closed form.
+///
+/// # Panics
+/// Panics if `s <= 0`, `k <= 0`, `sigma < 0` or `t < 0`.
+pub fn black_scholes_call(s: f64, k: f64, r: f64, sigma: f64, t: f64) -> f64 {
+    assert!(s > 0.0 && k > 0.0, "spot and strike must be positive");
+    assert!(sigma >= 0.0 && t >= 0.0, "sigma and t must be non-negative");
+    if t == 0.0 || sigma == 0.0 {
+        // Deterministic limit.
+        return (s - k * (-r * t).exp()).max(0.0);
+    }
+    let sqrt_t = t.sqrt();
+    let d1 = ((s / k).ln() + (r + 0.5 * sigma * sigma) * t) / (sigma * sqrt_t);
+    let d2 = d1 - sigma * sqrt_t;
+    s * normal_cdf(d1) - k * (-r * t).exp() * normal_cdf(d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanosim_numeric::rng::Pcg64;
+    use nanosim_numeric::stats::RunningStats;
+
+    #[test]
+    fn erf_reference_values() {
+        // Known values to the approximation's documented accuracy (1.5e-7).
+        assert!((erf(0.0)).abs() < 2e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 2e-7);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 2e-7);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 2e-7);
+        assert!((erf(5.0) - 1.0).abs() < 2e-7);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry_and_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 2e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        for x in [-2.0, -0.5, 0.7, 1.3] {
+            // erf is odd by construction, so the symmetry is near-exact.
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_path_matches_moments() {
+        let gbm = GeometricBrownianMotion::new(0.3, 0.4);
+        let mut rng = Pcg64::seed_from_u64(1);
+        let mut stats = RunningStats::new();
+        for _ in 0..5000 {
+            let p = WienerPath::generate(1.0, 16, &mut rng);
+            stats.push(*gbm.exact_path(1.0, &p).last().unwrap());
+        }
+        assert!(
+            (stats.mean() - gbm.mean(1.0, 1.0)).abs() < 0.05,
+            "mean {} vs {}",
+            stats.mean(),
+            gbm.mean(1.0, 1.0)
+        );
+        assert!(
+            (stats.variance() - gbm.variance(1.0, 1.0)).abs() < 0.1,
+            "var {} vs {}",
+            stats.variance(),
+            gbm.variance(1.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn exact_path_is_positive_and_starts_at_x0() {
+        let gbm = GeometricBrownianMotion::new(-0.5, 1.0);
+        let mut rng = Pcg64::seed_from_u64(2);
+        let p = WienerPath::generate(1.0, 64, &mut rng);
+        let xs = gbm.exact_path(2.0, &p);
+        assert_eq!(xs[0], 2.0);
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn black_scholes_known_value() {
+        // Classic textbook case: S=100, K=100, r=5%, sigma=20%, T=1 -> 10.4506.
+        let c = black_scholes_call(100.0, 100.0, 0.05, 0.2, 1.0);
+        assert!((c - 10.4506).abs() < 0.01, "price {c}");
+    }
+
+    #[test]
+    fn black_scholes_degenerate_limits() {
+        // Zero volatility: discounted intrinsic value.
+        let c = black_scholes_call(100.0, 90.0, 0.0, 0.0, 1.0);
+        assert!((c - 10.0).abs() < 1e-9);
+        // Zero maturity: intrinsic value.
+        let c = black_scholes_call(80.0, 100.0, 0.05, 0.2, 0.0);
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn black_scholes_monotone_in_spot() {
+        let c1 = black_scholes_call(90.0, 100.0, 0.02, 0.3, 1.0);
+        let c2 = black_scholes_call(110.0, 100.0, 0.02, 0.3, 1.0);
+        assert!(c2 > c1);
+    }
+
+    #[test]
+    fn black_scholes_matches_monte_carlo() {
+        // Risk-neutral GBM Monte Carlo reproduces the closed form.
+        let (s, k, r, sigma, t) = (100.0, 105.0, 0.03, 0.25, 0.5);
+        let gbm = GeometricBrownianMotion::new(r, sigma);
+        let mut rng = Pcg64::seed_from_u64(3);
+        let mut payoff = RunningStats::new();
+        for _ in 0..20_000 {
+            let p = WienerPath::generate(t, 1, &mut rng);
+            let st = *gbm.exact_path(s, &p).last().unwrap();
+            payoff.push((st - k).max(0.0));
+        }
+        let mc = (-r * t).exp() * payoff.mean();
+        let bs = black_scholes_call(s, k, r, sigma, t);
+        assert!((mc - bs).abs() < 0.15, "mc {mc} vs bs {bs}");
+    }
+}

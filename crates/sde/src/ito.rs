@@ -1,0 +1,154 @@
+//! Ito versus Stratonovich stochastic integration (paper eq. 15/16).
+//!
+//! The paper stresses that the two Riemann-style discretizations of
+//! `∫ h(t) dW(t)` — left-endpoint (Ito, eq. 15) and midpoint (Stratonovich,
+//! eq. 16) — "give markedly different answers. Even with Δt → 0, the
+//! mismatch of the two equations does not go away." For `h = W` the closed
+//! forms are
+//!
+//! ```text
+//! Ito:          ∫₀ᵀ W dW = (W(T)² - T) / 2
+//! Stratonovich: ∫₀ᵀ W dW =  W(T)² / 2
+//! ```
+//!
+//! so the expected Ito integral is 0 while the expected Stratonovich
+//! integral is T/2 — a difference of exactly `T/2` that survives any
+//! refinement. Nano-Sim (like the paper) fixes the Ito convention, which is
+//! what the Euler–Maruyama method discretizes.
+
+use crate::wiener::WienerPath;
+
+/// Left-endpoint (Ito) sum `Σ h(t_j)·(W(t_{j+1}) - W(t_j))` (paper eq. 15).
+pub fn ito_integral<F: Fn(f64) -> f64>(h: F, path: &WienerPath) -> f64 {
+    let dt = path.dt();
+    (0..path.steps())
+        .map(|j| h(j as f64 * dt) * path.increment(j))
+        .sum()
+}
+
+/// Midpoint (Stratonovich) sum `Σ h((t_j + t_{j+1})/2)·ΔW_j` (paper eq. 16).
+pub fn stratonovich_integral<F: Fn(f64) -> f64>(h: F, path: &WienerPath) -> f64 {
+    let dt = path.dt();
+    (0..path.steps())
+        .map(|j| h((j as f64 + 0.5) * dt) * path.increment(j))
+        .sum()
+}
+
+/// Ito sum of `∫ W dW` (integrand evaluated at the left endpoint).
+pub fn ito_w_dw(path: &WienerPath) -> f64 {
+    (0..path.steps()).map(|j| path.at(j) * path.increment(j)).sum()
+}
+
+/// Stratonovich sum of `∫ W dW` (integrand at the midpoint, approximated by
+/// the average of the endpoints, which is the standard definition).
+pub fn stratonovich_w_dw(path: &WienerPath) -> f64 {
+    (0..path.steps())
+        .map(|j| 0.5 * (path.at(j) + path.at(j + 1)) * path.increment(j))
+        .sum()
+}
+
+/// Closed-form Ito value `(W(T)² - T)/2` for comparison.
+pub fn ito_w_dw_exact(path: &WienerPath) -> f64 {
+    let wt = *path.values().last().expect("nonempty path");
+    0.5 * (wt * wt - path.horizon())
+}
+
+/// Closed-form Stratonovich value `W(T)²/2` for comparison.
+pub fn stratonovich_w_dw_exact(path: &WienerPath) -> f64 {
+    let wt = *path.values().last().expect("nonempty path");
+    0.5 * wt * wt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanosim_numeric::rng::Pcg64;
+    use nanosim_numeric::stats::RunningStats;
+
+    #[test]
+    fn stratonovich_w_dw_is_exact_telescoping() {
+        // The midpoint rule on W dW telescopes to W(T)^2/2 *exactly*.
+        let mut rng = Pcg64::seed_from_u64(1);
+        let p = WienerPath::generate(1.0, 512, &mut rng);
+        let s = stratonovich_w_dw(&p);
+        assert!((s - stratonovich_w_dw_exact(&p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ito_w_dw_converges_to_closed_form() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        // Average the discretization error over paths at two resolutions:
+        // it shrinks with dt (order 1 in the mean-square sense here).
+        let mut err_coarse = RunningStats::new();
+        let mut err_fine = RunningStats::new();
+        for _ in 0..300 {
+            let fine = WienerPath::generate(1.0, 1024, &mut rng);
+            let coarse = fine.coarsen(16);
+            err_fine.push((ito_w_dw(&fine) - ito_w_dw_exact(&fine)).powi(2));
+            err_coarse.push((ito_w_dw(&coarse) - ito_w_dw_exact(&coarse)).powi(2));
+        }
+        assert!(
+            err_fine.mean() < err_coarse.mean() / 4.0,
+            "fine {} vs coarse {}",
+            err_fine.mean(),
+            err_coarse.mean()
+        );
+    }
+
+    #[test]
+    fn the_mismatch_does_not_go_away() {
+        // Paper: "Even with Δt -> 0, the mismatch of the two equations does
+        // not go away" — the gap is T/2 on average.
+        let mut rng = Pcg64::seed_from_u64(3);
+        let horizon = 2.0;
+        let mut gap = RunningStats::new();
+        for _ in 0..2000 {
+            let p = WienerPath::generate(horizon, 256, &mut rng);
+            gap.push(stratonovich_w_dw(&p) - ito_w_dw(&p));
+        }
+        assert!(
+            (gap.mean() - horizon / 2.0).abs() < 0.05,
+            "mean gap {} vs T/2 = {}",
+            gap.mean(),
+            horizon / 2.0
+        );
+    }
+
+    #[test]
+    fn expected_ito_is_zero_expected_stratonovich_is_half_t() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        let mut ito = RunningStats::new();
+        let mut strat = RunningStats::new();
+        for _ in 0..4000 {
+            let p = WienerPath::generate(1.0, 64, &mut rng);
+            ito.push(ito_w_dw(&p));
+            strat.push(stratonovich_w_dw(&p));
+        }
+        assert!(ito.mean().abs() < 0.05, "E[Ito] = {}", ito.mean());
+        assert!(
+            (strat.mean() - 0.5).abs() < 0.05,
+            "E[Strat] = {}",
+            strat.mean()
+        );
+    }
+
+    #[test]
+    fn deterministic_integrand_agrees_for_both_rules() {
+        // For deterministic smooth h the two rules converge to the same
+        // value (the paper's opening observation about ordinary integrals).
+        let mut rng = Pcg64::seed_from_u64(5);
+        let p = WienerPath::generate(1.0, 4096, &mut rng);
+        let h = |t: f64| (3.0 * t).sin();
+        let i = ito_integral(h, &p);
+        let s = stratonovich_integral(h, &p);
+        assert!((i - s).abs() < 0.05, "ito {i} vs strat {s}");
+    }
+
+    #[test]
+    fn constant_integrand_gives_scaled_terminal_value() {
+        let mut rng = Pcg64::seed_from_u64(6);
+        let p = WienerPath::generate(1.0, 128, &mut rng);
+        let i = ito_integral(|_| 2.0, &p);
+        assert!((i - 2.0 * p.values().last().unwrap()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,55 @@
+//! Stochastic differential equation substrate for Nano-Sim.
+//!
+//! Section 4 of the paper models uncertain nanocircuit inputs as white noise
+//! — formally, increments of a **Wiener process** — and integrates the
+//! resulting stochastic state equation with the **Euler–Maruyama** method.
+//! This crate provides that machinery independent of any circuit:
+//!
+//! * [`wiener`] — discretized Wiener paths `W(t)` with the three defining
+//!   properties of paper §4.1 (zero start, `N(0, t-s)` increments,
+//!   independence), plus Brownian-bridge refinement.
+//! * [`ito`] — the Ito vs Stratonovich sum comparison of paper eq. (15)/(16):
+//!   the two discretizations of `∫W dW` converge to *different* answers,
+//!   which is why the integration rule must be fixed before predicting
+//!   transients.
+//! * [`em`] — generic Euler–Maruyama and Milstein integrators for
+//!   `dX = f(X, t)·dt + g(X, t)·dW`.
+//! * [`ou`] — the Ornstein–Uhlenbeck process (an RC node driven by white
+//!   noise *is* an OU process): exact moments and an exact pathwise solution
+//!   used as the "true solution" of the paper's Figure 10.
+//! * [`gbm`] — geometric Brownian motion and the Black–Scholes closed form,
+//!   the analogy the paper invokes for peak prediction ("a close analogy to
+//!   this problem is the stock price prediction").
+//! * [`peak`] — running-maximum ("peak performance") prediction inside a
+//!   time window via the reflection principle and Monte-Carlo estimates.
+//! * [`convergence`] — strong/weak order measurement used to validate the
+//!   EM implementation (strong 0.5, weak 1.0).
+//!
+//! # Example
+//!
+//! ```
+//! use nanosim_sde::wiener::WienerPath;
+//! use nanosim_sde::em::euler_maruyama_path;
+//! use nanosim_numeric::rng::Pcg64;
+//!
+//! let mut rng = Pcg64::seed_from_u64(7);
+//! let path = WienerPath::generate(1.0, 256, &mut rng);
+//! // dX = -X dt + 0.3 dW from X(0) = 1: a noisy RC discharge.
+//! let xs = euler_maruyama_path(|x, _t| -x, |_x, _t| 0.3, 1.0, &path);
+//! assert_eq!(xs.len(), 257);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod convergence;
+pub mod em;
+pub mod gbm;
+pub mod ito;
+pub mod ou;
+pub mod peak;
+pub mod wiener;
+
+pub use em::{euler_maruyama_path, milstein_path};
+pub use ou::OrnsteinUhlenbeck;
+pub use wiener::WienerPath;

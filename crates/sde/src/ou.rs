@@ -1,0 +1,242 @@
+//! The Ornstein–Uhlenbeck process — the exact model of an RC node driven by
+//! white noise.
+//!
+//! The paper's Figure 10 workload ("a time-variant nanoscale transistor with
+//! some parasitic RCs" under a random input) is, for a single node, the SDE
+//!
+//! ```text
+//! dX = θ·(μ - X)·dt + σ·dW
+//! ```
+//!
+//! with `θ = G/C` (conductance over capacitance), `μ` the deterministic
+//! operating point and `σ` the noise intensity scaled by `1/C`. This module
+//! provides the closed-form moments, exact distributional sampling, and a
+//! pathwise high-resolution reference solution ("true solution" in the
+//! figure) built by Brownian-bridge refinement of the same Wiener path.
+
+use crate::em::euler_maruyama_path;
+use crate::wiener::WienerPath;
+use nanosim_numeric::rng::Pcg64;
+
+/// An Ornstein–Uhlenbeck process `dX = θ(μ - X)dt + σ dW`.
+///
+/// # Example
+/// ```
+/// use nanosim_sde::ou::OrnsteinUhlenbeck;
+/// let ou = OrnsteinUhlenbeck::new(2.0, 0.0, 0.5);
+/// assert!((ou.mean(1.0, 1e9) - 0.0).abs() < 1e-9); // decays to mu
+/// assert!((ou.stationary_variance() - 0.0625).abs() < 1e-12); // sigma^2/(2 theta)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrnsteinUhlenbeck {
+    /// Mean-reversion rate `θ` (1/s), positive.
+    theta: f64,
+    /// Long-run mean `μ`.
+    mu: f64,
+    /// Noise intensity `σ`.
+    sigma: f64,
+}
+
+impl OrnsteinUhlenbeck {
+    /// Creates the process.
+    ///
+    /// # Panics
+    /// Panics if `theta <= 0` or `sigma < 0`.
+    pub fn new(theta: f64, mu: f64, sigma: f64) -> Self {
+        assert!(theta > 0.0, "theta must be positive, got {theta}");
+        assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
+        OrnsteinUhlenbeck { theta, mu, sigma }
+    }
+
+    /// Builds the OU process of a noisy RC node: conductance `g` (S),
+    /// capacitance `c` (F), DC drive current `i_dc` (A) and white-noise
+    /// current intensity `i_noise` (A·s^½).
+    ///
+    /// # Panics
+    /// Panics if `g <= 0` or `c <= 0`.
+    pub fn from_rc_node(g: f64, c: f64, i_dc: f64, i_noise: f64) -> Self {
+        assert!(g > 0.0 && c > 0.0, "g and c must be positive");
+        OrnsteinUhlenbeck::new(g / c, i_dc / g, i_noise / c)
+    }
+
+    /// Mean-reversion rate `θ`.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Long-run mean `μ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Noise intensity `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Exact mean `E[X(t)] = μ + (x0 - μ)·e^{-θt}`.
+    pub fn mean(&self, x0: f64, t: f64) -> f64 {
+        self.mu + (x0 - self.mu) * (-self.theta * t).exp()
+    }
+
+    /// Exact variance `Var[X(t)] = σ²/(2θ)·(1 - e^{-2θt})`.
+    pub fn variance(&self, t: f64) -> f64 {
+        self.sigma * self.sigma / (2.0 * self.theta) * (1.0 - (-2.0 * self.theta * t).exp())
+    }
+
+    /// Stationary (t → ∞) variance `σ²/(2θ)`.
+    pub fn stationary_variance(&self) -> f64 {
+        self.sigma * self.sigma / (2.0 * self.theta)
+    }
+
+    /// Drift function `f(x) = θ(μ - x)` for use with the EM integrator.
+    pub fn drift(&self, x: f64) -> f64 {
+        self.theta * (self.mu - x)
+    }
+
+    /// One *exact* transition over `dt` given a standard normal draw `xi`:
+    /// samples from the true conditional distribution, not a discretization.
+    pub fn exact_step(&self, x: f64, dt: f64, xi: f64) -> f64 {
+        let decay = (-self.theta * dt).exp();
+        let sd = (self.stationary_variance() * (1.0 - decay * decay)).sqrt();
+        self.mu + (x - self.mu) * decay + sd * xi
+    }
+
+    /// Samples an exact path on a uniform grid.
+    pub fn exact_path(&self, x0: f64, horizon: f64, steps: usize, rng: &mut Pcg64) -> Vec<f64> {
+        let dt = horizon / steps as f64;
+        let mut xs = Vec::with_capacity(steps + 1);
+        xs.push(x0);
+        let mut x = x0;
+        for _ in 0..steps {
+            x = self.exact_step(x, dt, rng.next_gaussian());
+            xs.push(x);
+        }
+        xs
+    }
+
+    /// Euler–Maruyama solution along a given Wiener path.
+    pub fn em_path(&self, x0: f64, path: &WienerPath) -> Vec<f64> {
+        euler_maruyama_path(|x, _| self.drift(x), |_, _| self.sigma, x0, path)
+    }
+
+    /// High-resolution pathwise reference ("true solution" of Figure 10):
+    /// refines the same Wiener path `refinements` times with Brownian
+    /// bridges, integrates on the fine grid, and returns the solution
+    /// sampled back on the coarse grid.
+    pub fn pathwise_reference(
+        &self,
+        x0: f64,
+        path: &WienerPath,
+        refinements: u32,
+        rng: &mut Pcg64,
+    ) -> Vec<f64> {
+        let mut fine = path.clone();
+        for _ in 0..refinements {
+            fine = fine.refine(rng);
+        }
+        let xs = self.em_path(x0, &fine);
+        let stride = 1usize << refinements;
+        xs.iter().copied().step_by(stride).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanosim_numeric::stats::RunningStats;
+
+    #[test]
+    fn moments_closed_form() {
+        let ou = OrnsteinUhlenbeck::new(4.0, 1.0, 0.8);
+        assert!((ou.mean(3.0, 0.0) - 3.0).abs() < 1e-15);
+        assert!((ou.mean(3.0, 1e9) - 1.0).abs() < 1e-12);
+        assert!(ou.variance(0.0).abs() < 1e-15);
+        assert!((ou.variance(1e9) - ou.stationary_variance()).abs() < 1e-12);
+        assert!((ou.stationary_variance() - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_rc_node_maps_parameters() {
+        // g = 1 mS, c = 1 pF -> theta = 1e9 1/s; i_dc = 1 mA -> mu = 1 V.
+        let ou = OrnsteinUhlenbeck::from_rc_node(1e-3, 1e-12, 1e-3, 1e-9);
+        assert!((ou.theta() - 1e9).abs() < 1.0);
+        assert!((ou.mu() - 1.0).abs() < 1e-12);
+        assert!((ou.sigma() - 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_step_statistics() {
+        let ou = OrnsteinUhlenbeck::new(2.0, 0.5, 0.6);
+        let mut rng = Pcg64::seed_from_u64(1);
+        let (x0, dt) = (2.0, 0.3);
+        let mut stats = RunningStats::new();
+        for _ in 0..40_000 {
+            stats.push(ou.exact_step(x0, dt, rng.next_gaussian()));
+        }
+        let decay = (-2.0f64 * dt).exp();
+        let expected_mean = 0.5 + (x0 - 0.5) * decay;
+        let expected_var = ou.stationary_variance() * (1.0 - decay * decay);
+        assert!((stats.mean() - expected_mean).abs() < 0.01);
+        assert!((stats.variance() - expected_var).abs() < 0.005);
+    }
+
+    #[test]
+    fn em_converges_to_exact_moments() {
+        let ou = OrnsteinUhlenbeck::new(3.0, 0.0, 1.0);
+        let mut rng = Pcg64::seed_from_u64(2);
+        let mut stats = RunningStats::new();
+        for _ in 0..3000 {
+            let path = WienerPath::generate(1.0, 200, &mut rng);
+            stats.push(*ou.em_path(2.0, &path).last().unwrap());
+        }
+        assert!((stats.mean() - ou.mean(2.0, 1.0)).abs() < 0.03);
+        assert!((stats.variance() - ou.variance(1.0)).abs() < 0.02);
+    }
+
+    #[test]
+    fn pathwise_reference_tracks_em_from_same_path() {
+        // The reference and EM share the coarse Wiener path, so they should
+        // be pathwise close — much closer than two independent paths.
+        let ou = OrnsteinUhlenbeck::new(2.0, 0.0, 0.5);
+        let mut rng = Pcg64::seed_from_u64(3);
+        let path = WienerPath::generate(1.0, 128, &mut rng);
+        let em = ou.em_path(1.0, &path);
+        let reference = ou.pathwise_reference(1.0, &path, 3, &mut rng);
+        assert_eq!(reference.len(), em.len());
+        let max_gap = em
+            .iter()
+            .zip(reference.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(max_gap < 0.15, "pathwise gap {max_gap}");
+        // An independent exact path would typically differ by O(stationary sd).
+        let independent = ou.exact_path(1.0, 1.0, 128, &mut rng);
+        let indep_gap = em
+            .iter()
+            .zip(independent.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(indep_gap > max_gap, "{indep_gap} vs {max_gap}");
+    }
+
+    #[test]
+    fn zero_noise_is_deterministic_decay() {
+        let ou = OrnsteinUhlenbeck::new(5.0, 0.0, 0.0);
+        let mut rng = Pcg64::seed_from_u64(4);
+        let xs = ou.exact_path(1.0, 1.0, 100, &mut rng);
+        assert!((xs.last().unwrap() - (-5.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be positive")]
+    fn rejects_nonpositive_theta() {
+        OrnsteinUhlenbeck::new(0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be non-negative")]
+    fn rejects_negative_sigma() {
+        OrnsteinUhlenbeck::new(1.0, 0.0, -1.0);
+    }
+}

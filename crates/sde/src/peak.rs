@@ -1,0 +1,225 @@
+//! Peak ("performance") prediction within a time window.
+//!
+//! Paper §4.2 and §5.3: the transient value matters, not only the average —
+//! "if the transient voltage drop at a certain time point exceeds certain
+//! constraints, the whole design is still going to fail". The quantity to
+//! predict is the *running maximum* of the stochastic response inside a
+//! window. For driftless Brownian motion the reflection principle gives a
+//! closed form; for general processes Monte-Carlo estimation over exact or
+//! EM paths is used (this is what the paper's Figure 10 peak callout does).
+
+use crate::gbm::normal_cdf;
+use crate::ou::OrnsteinUhlenbeck;
+use nanosim_numeric::rng::Pcg64;
+use nanosim_numeric::stats::{percentile, RunningStats};
+
+/// `P( max_{0<=s<=T} [μ·s + σ·W(s)] >= level )` for drifted Brownian motion,
+/// by the reflection principle:
+///
+/// ```text
+/// P = Φ((μT - a)/(σ√T)) + e^{2μa/σ²}·Φ((-μT - a)/(σ√T))
+/// ```
+///
+/// For `μ = 0` this reduces to the textbook `2·Φ(-a/(σ√T))`.
+///
+/// # Panics
+/// Panics if `sigma <= 0`, `horizon <= 0` or `level < 0`.
+pub fn brownian_peak_probability(mu: f64, sigma: f64, horizon: f64, level: f64) -> f64 {
+    assert!(sigma > 0.0, "sigma must be positive");
+    assert!(horizon > 0.0, "horizon must be positive");
+    assert!(level >= 0.0, "level must be non-negative");
+    if level == 0.0 {
+        return 1.0;
+    }
+    let sq = sigma * horizon.sqrt();
+    let p = normal_cdf((mu * horizon - level) / sq)
+        + (2.0 * mu * level / (sigma * sigma)).exp() * normal_cdf((-mu * horizon - level) / sq);
+    p.clamp(0.0, 1.0)
+}
+
+/// Expected running maximum of driftless Brownian motion:
+/// `E[max] = σ·sqrt(2T/π)`.
+pub fn brownian_expected_peak(sigma: f64, horizon: f64) -> f64 {
+    sigma * (2.0 * horizon / std::f64::consts::PI).sqrt()
+}
+
+/// Monte-Carlo estimate of the peak distribution of an arbitrary
+/// path-producing process.
+#[derive(Debug, Clone)]
+pub struct PeakEstimate {
+    /// Mean of the per-path running maxima.
+    pub mean_peak: f64,
+    /// Standard error of `mean_peak`.
+    pub std_error: f64,
+    /// 95th percentile of the running maxima.
+    pub p95: f64,
+    /// Fraction of paths whose maximum reached `level` (when a level was
+    /// given).
+    pub exceedance: Option<f64>,
+    /// Number of simulated paths.
+    pub paths: usize,
+}
+
+/// Estimates the running-maximum statistics of a process by Monte Carlo.
+///
+/// `sample_path` is called once per replication and must return the sampled
+/// path; the running maximum of each path is accumulated. `level` optionally
+/// requests an exceedance probability.
+///
+/// # Panics
+/// Panics if `paths == 0` or a sampled path is empty.
+pub fn monte_carlo_peak<F>(mut sample_path: F, paths: usize, level: Option<f64>) -> PeakEstimate
+where
+    F: FnMut() -> Vec<f64>,
+{
+    assert!(paths > 0, "need at least one path");
+    let mut stats = RunningStats::new();
+    let mut maxima = Vec::with_capacity(paths);
+    let mut hits = 0usize;
+    for _ in 0..paths {
+        let xs = sample_path();
+        assert!(!xs.is_empty(), "sampled path is empty");
+        let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        stats.push(m);
+        maxima.push(m);
+        if let Some(a) = level {
+            if m >= a {
+                hits += 1;
+            }
+        }
+    }
+    PeakEstimate {
+        mean_peak: stats.mean(),
+        std_error: stats.std_error(),
+        p95: percentile(&maxima, 0.95).expect("nonempty maxima"),
+        exceedance: level.map(|_| hits as f64 / paths as f64),
+        paths,
+    }
+}
+
+/// Peak estimate for an OU process via exact-transition sampling — the
+/// workhorse behind the Figure 10 "possible performance peak" annotation.
+pub fn ou_peak(
+    ou: &OrnsteinUhlenbeck,
+    x0: f64,
+    horizon: f64,
+    steps: usize,
+    paths: usize,
+    level: Option<f64>,
+    rng: &mut Pcg64,
+) -> PeakEstimate {
+    monte_carlo_peak(
+        || ou.exact_path(x0, horizon, steps, rng),
+        paths,
+        level,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wiener::WienerPath;
+
+    #[test]
+    fn reflection_principle_driftless() {
+        // P(max >= a) = 2 Phi(-a / (sigma sqrt(T))).
+        let p = brownian_peak_probability(0.0, 1.0, 1.0, 1.0);
+        let expected = 2.0 * normal_cdf(-1.0);
+        assert!((p - expected).abs() < 1e-9, "{p} vs {expected}");
+    }
+
+    #[test]
+    fn peak_probability_monotone_in_level() {
+        let p1 = brownian_peak_probability(0.0, 1.0, 1.0, 0.5);
+        let p2 = brownian_peak_probability(0.0, 1.0, 1.0, 1.5);
+        assert!(p1 > p2);
+        assert_eq!(brownian_peak_probability(0.0, 1.0, 1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn positive_drift_raises_peak_probability() {
+        let p0 = brownian_peak_probability(0.0, 1.0, 1.0, 1.0);
+        let pp = brownian_peak_probability(0.5, 1.0, 1.0, 1.0);
+        let pm = brownian_peak_probability(-0.5, 1.0, 1.0, 1.0);
+        assert!(pp > p0 && p0 > pm);
+    }
+
+    #[test]
+    fn reflection_matches_monte_carlo() {
+        let (mu, sigma, horizon, level) = (0.3, 0.8, 1.0, 1.0);
+        let mut rng = Pcg64::seed_from_u64(1);
+        let est = monte_carlo_peak(
+            || {
+                let p = WienerPath::generate(horizon, 256, &mut rng);
+                let dt = p.dt();
+                p.values()
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &w)| mu * (j as f64 * dt) + sigma * w)
+                    .collect()
+            },
+            8000,
+            Some(level),
+        );
+        let analytic = brownian_peak_probability(mu, sigma, horizon, level);
+        let mc = est.exceedance.unwrap();
+        // Discretization misses excursions between grid points, so the MC
+        // estimate is biased slightly low; allow a one-sided band.
+        assert!(
+            (mc - analytic).abs() < 0.05,
+            "mc {mc} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn expected_peak_matches_monte_carlo() {
+        let sigma = 0.7;
+        let mut rng = Pcg64::seed_from_u64(2);
+        let est = monte_carlo_peak(
+            || {
+                let p = WienerPath::generate(1.0, 512, &mut rng);
+                p.values().iter().map(|&w| sigma * w).collect()
+            },
+            4000,
+            None,
+        );
+        let analytic = brownian_expected_peak(sigma, 1.0);
+        assert!(
+            (est.mean_peak - analytic).abs() < 0.05,
+            "mc {} vs analytic {analytic}",
+            est.mean_peak
+        );
+        assert!(est.exceedance.is_none());
+        assert!(est.p95 > est.mean_peak);
+        assert_eq!(est.paths, 4000);
+    }
+
+    #[test]
+    fn ou_peak_bounded_by_mean_plus_sd() {
+        // The OU running max over a short window sits between the initial
+        // value and a few stationary standard deviations above the mean.
+        let ou = OrnsteinUhlenbeck::new(5.0, 0.5, 0.4);
+        let mut rng = Pcg64::seed_from_u64(3);
+        let est = ou_peak(&ou, 0.5, 1.0, 200, 2000, Some(0.8), &mut rng);
+        let sd = ou.stationary_variance().sqrt();
+        assert!(est.mean_peak > 0.5);
+        assert!(est.mean_peak < 0.5 + 5.0 * sd, "peak {}", est.mean_peak);
+        let p = est.exceedance.unwrap();
+        assert!(p > 0.0 && p < 1.0, "exceedance {p}");
+    }
+
+    #[test]
+    fn std_error_shrinks_with_paths() {
+        let ou = OrnsteinUhlenbeck::new(5.0, 0.0, 0.4);
+        let mut rng = Pcg64::seed_from_u64(4);
+        let small = ou_peak(&ou, 0.0, 1.0, 50, 200, None, &mut rng);
+        let large = ou_peak(&ou, 0.0, 1.0, 50, 5000, None, &mut rng);
+        assert!(large.std_error < small.std_error);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn rejects_bad_sigma() {
+        brownian_peak_probability(0.0, 0.0, 1.0, 1.0);
+    }
+}

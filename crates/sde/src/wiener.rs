@@ -1,0 +1,274 @@
+//! Discretized Wiener processes (standard Brownian motion).
+//!
+//! Paper §4.1 defines the standard Wiener process over `[0, T]` by three
+//! conditions: `W(0) = 0`, increments `W(t) - W(s) ~ sqrt(t-s)·N(0, 1)`, and
+//! independence of non-overlapping increments. For computation the paper
+//! discretizes `W` at `t_j = j·dt`, `dt = T/N` — exactly what
+//! [`WienerPath::generate`] produces.
+
+use nanosim_numeric::rng::Pcg64;
+
+/// A Wiener path sampled on a uniform grid over `[0, T]`.
+///
+/// Stores `N + 1` values `W(t_0) .. W(t_N)` with `W(0) = 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WienerPath {
+    dt: f64,
+    values: Vec<f64>,
+}
+
+impl WienerPath {
+    /// Generates a fresh path over `[0, horizon]` with `steps` increments.
+    ///
+    /// # Panics
+    /// Panics if `horizon <= 0` or `steps == 0`.
+    pub fn generate(horizon: f64, steps: usize, rng: &mut Pcg64) -> Self {
+        assert!(horizon > 0.0, "horizon must be positive, got {horizon}");
+        assert!(steps > 0, "need at least one step");
+        let dt = horizon / steps as f64;
+        let sqrt_dt = dt.sqrt();
+        let mut values = Vec::with_capacity(steps + 1);
+        values.push(0.0);
+        let mut w = 0.0;
+        for _ in 0..steps {
+            w += sqrt_dt * rng.next_gaussian();
+            values.push(w);
+        }
+        WienerPath { dt, values }
+    }
+
+    /// Builds a path from explicit increments `dW_j` (used by tests and by
+    /// the convergence harness to reuse one path at several resolutions).
+    ///
+    /// # Panics
+    /// Panics if `dt <= 0` or `increments` is empty.
+    pub fn from_increments(dt: f64, increments: &[f64]) -> Self {
+        assert!(dt > 0.0, "dt must be positive");
+        assert!(!increments.is_empty(), "need at least one increment");
+        let mut values = Vec::with_capacity(increments.len() + 1);
+        values.push(0.0);
+        let mut w = 0.0;
+        for dw in increments {
+            w += dw;
+            values.push(w);
+        }
+        WienerPath { dt, values }
+    }
+
+    /// Grid spacing `dt`.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Number of increments `N`.
+    pub fn steps(&self) -> usize {
+        self.values.len() - 1
+    }
+
+    /// Time horizon `T = N·dt`.
+    pub fn horizon(&self) -> f64 {
+        self.dt * self.steps() as f64
+    }
+
+    /// The sampled values `W(t_0) .. W(t_N)`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// `W(t_j)`.
+    ///
+    /// # Panics
+    /// Panics if `j` exceeds the number of samples.
+    pub fn at(&self, j: usize) -> f64 {
+        self.values[j]
+    }
+
+    /// Increment `dW_j = W(t_{j+1}) - W(t_j)`.
+    ///
+    /// # Panics
+    /// Panics if `j >= self.steps()`.
+    pub fn increment(&self, j: usize) -> f64 {
+        self.values[j + 1] - self.values[j]
+    }
+
+    /// Iterates over the increments.
+    pub fn increments(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.windows(2).map(|w| w[1] - w[0])
+    }
+
+    /// Coarsens the path by keeping every `factor`-th sample — the standard
+    /// trick for strong-convergence studies: the same Brownian path seen at
+    /// a coarser resolution.
+    ///
+    /// # Panics
+    /// Panics if `factor == 0` or does not divide the step count.
+    pub fn coarsen(&self, factor: usize) -> WienerPath {
+        assert!(factor > 0, "factor must be positive");
+        assert_eq!(
+            self.steps() % factor,
+            0,
+            "factor {factor} must divide {} steps",
+            self.steps()
+        );
+        let values: Vec<f64> = self.values.iter().step_by(factor).copied().collect();
+        WienerPath {
+            dt: self.dt * factor as f64,
+            values,
+        }
+    }
+
+    /// Refines the path by a Brownian bridge: inserts one midpoint between
+    /// every pair of samples, conditionally sampled given the endpoints.
+    pub fn refine(&self, rng: &mut Pcg64) -> WienerPath {
+        let new_dt = self.dt / 2.0;
+        let half_sd = (self.dt / 4.0).sqrt();
+        let mut values = Vec::with_capacity(self.values.len() * 2 - 1);
+        for j in 0..self.steps() {
+            let a = self.values[j];
+            let b = self.values[j + 1];
+            values.push(a);
+            // Bridge midpoint: mean (a+b)/2, variance dt/4.
+            values.push(0.5 * (a + b) + half_sd * rng.next_gaussian());
+        }
+        values.push(*self.values.last().expect("nonempty"));
+        WienerPath {
+            dt: new_dt,
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanosim_numeric::stats::RunningStats;
+
+    #[test]
+    fn starts_at_zero_with_right_shape() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let p = WienerPath::generate(2.0, 100, &mut rng);
+        assert_eq!(p.at(0), 0.0);
+        assert_eq!(p.steps(), 100);
+        assert_eq!(p.values().len(), 101);
+        assert!((p.dt() - 0.02).abs() < 1e-15);
+        assert!((p.horizon() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn increment_statistics_match_sqrt_dt_normal() {
+        // Paper §4.1 condition 2: W(t)-W(s) ~ N(0, t-s).
+        let mut rng = Pcg64::seed_from_u64(2);
+        let mut stats = RunningStats::new();
+        for _ in 0..200 {
+            let p = WienerPath::generate(1.0, 100, &mut rng);
+            stats.extend(p.increments());
+        }
+        // 20k samples of sd 0.1 have standard error ~7e-4.
+        assert!(stats.mean().abs() < 3e-3, "mean {}", stats.mean());
+        let dt = 0.01;
+        assert!(
+            (stats.variance() - dt).abs() < dt * 0.05,
+            "variance {} vs dt {dt}",
+            stats.variance()
+        );
+    }
+
+    #[test]
+    fn terminal_value_variance_is_horizon() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let mut stats = RunningStats::new();
+        for _ in 0..4000 {
+            let p = WienerPath::generate(2.0, 32, &mut rng);
+            stats.push(*p.values().last().unwrap());
+        }
+        assert!(stats.mean().abs() < 0.1);
+        assert!((stats.variance() - 2.0).abs() < 0.15, "{}", stats.variance());
+    }
+
+    #[test]
+    fn nonoverlapping_increments_uncorrelated() {
+        // Paper §4.1 condition 3 (independence -> zero correlation).
+        let mut rng = Pcg64::seed_from_u64(4);
+        let mut sum_xy = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            let p = WienerPath::generate(1.0, 2, &mut rng);
+            sum_xy += p.increment(0) * p.increment(1);
+        }
+        let corr = sum_xy / n as f64 / 0.5; // each increment has var 0.5
+        assert!(corr.abs() < 0.05, "correlation {corr}");
+    }
+
+    #[test]
+    fn from_increments_round_trip() {
+        let p = WienerPath::from_increments(0.5, &[1.0, -0.5, 0.25]);
+        assert_eq!(p.values(), &[0.0, 1.0, 0.5, 0.75]);
+        assert_eq!(p.increment(2), 0.25);
+        let collected: Vec<f64> = p.increments().collect();
+        assert_eq!(collected.len(), 3);
+        assert!((collected[1] + 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn coarsen_preserves_samples_and_horizon() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let p = WienerPath::generate(1.0, 64, &mut rng);
+        let c = p.coarsen(4);
+        assert_eq!(c.steps(), 16);
+        assert!((c.horizon() - 1.0).abs() < 1e-12);
+        assert_eq!(c.at(1), p.at(4));
+        assert_eq!(c.at(16), p.at(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn coarsen_rejects_bad_factor() {
+        let mut rng = Pcg64::seed_from_u64(6);
+        WienerPath::generate(1.0, 10, &mut rng).coarsen(3);
+    }
+
+    #[test]
+    fn refine_keeps_original_points() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        let p = WienerPath::generate(1.0, 8, &mut rng);
+        let r = p.refine(&mut rng);
+        assert_eq!(r.steps(), 16);
+        assert!((r.dt() - p.dt() / 2.0).abs() < 1e-18);
+        for j in 0..=8 {
+            assert_eq!(r.at(2 * j), p.at(j), "original samples preserved");
+        }
+    }
+
+    #[test]
+    fn refine_statistics_are_brownian() {
+        // Midpoints of a bridge over [0, dt] have variance dt/4 around the
+        // endpoint mean.
+        let mut rng = Pcg64::seed_from_u64(8);
+        let mut stats = RunningStats::new();
+        for _ in 0..5000 {
+            let p = WienerPath::generate(1.0, 1, &mut rng);
+            let r = p.refine(&mut rng);
+            let mid_dev = r.at(1) - 0.5 * (p.at(0) + p.at(1));
+            stats.push(mid_dev);
+        }
+        assert!(stats.mean().abs() < 0.02);
+        assert!((stats.variance() - 0.25).abs() < 0.02, "{}", stats.variance());
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn generate_rejects_bad_horizon() {
+        let mut rng = Pcg64::seed_from_u64(9);
+        WienerPath::generate(0.0, 10, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Pcg64::seed_from_u64(42);
+        let mut b = Pcg64::seed_from_u64(42);
+        assert_eq!(
+            WienerPath::generate(1.0, 16, &mut a),
+            WienerPath::generate(1.0, 16, &mut b)
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 7 reproduction: DC I-V of (a) the RTD divider and (b) the
+//! nanowire divider, captured by SWEC, with the MLA baseline overlaid for
+//! the RTD (exactly the comparison the paper plots).
+//!
+//! Run with: `cargo run --release --example dc_sweep`
+
+use nanosim::prelude::*;
+
+fn main() -> Result<(), SimError> {
+    // (a) RTD divider, swept through the full NDR region.
+    let rtd_ckt = nanosim::workloads::rtd_divider(50.0);
+    let swec = SwecDcSweep::new(SwecOptions::default()).run(&rtd_ckt, "V1", 0.0, 5.0, 0.02)?;
+    let mla = MlaEngine::new(MlaOptions::default()).run_dc_sweep(&rtd_ckt, "V1", 0.0, 5.0, 0.02)?;
+
+    let swec_iv = swec.curve("I(X1)").expect("recorded");
+    let mla_iv = mla.curve("I(X1)").expect("recorded");
+    println!("Figure 7(a): RTD I-V by SWEC");
+    println!("{}", swec_iv.ascii_plot(12, 60));
+
+    let rms = swec_iv.rms_difference(&mla_iv);
+    let peak = mla_iv.peak().expect("peak").1;
+    println!(
+        "SWEC vs MLA agreement: rms difference {:.3e} A ({:.2}% of peak)\n",
+        rms,
+        100.0 * rms / peak
+    );
+    println!("SWEC cost: {}", swec.stats);
+    println!("MLA  cost: {}", mla.stats);
+    println!(
+        "flop ratio (MLA/SWEC): {:.1}x\n",
+        mla.stats.flops.total() as f64 / swec.stats.flops.total() as f64
+    );
+
+    // (b) Nanowire divider: the staircase quantum-wire curve.
+    let nw_ckt = nanosim::workloads::nanowire_divider(100.0);
+    let nw = SwecDcSweep::new(SwecOptions::default()).run(&nw_ckt, "V1", -2.5, 2.5, 0.02)?;
+    let nw_iv = nw.curve("I(W1)").expect("recorded");
+    println!("Figure 7(b): nanowire I-V by SWEC");
+    println!("{}", nw_iv.ascii_plot(12, 60));
+    println!(
+        "conductance quantization: I(2.5 V)/I(0.6 V) = {:.2} (channel steps opening)",
+        nw_iv.value_at(2.5) / nw_iv.value_at(0.6)
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Parse a SPICE-like netlist (with the paper's RTD model card) and run
+//! every analysis directive it contains.
+//!
+//! Run with: `cargo run --release --example netlist_run`
+
+use nanosim::prelude::*;
+
+const DECK: &str = "\
+* fet-rtd inverter deck (paper fig. 8a)
+.model mrtd RTD (a=1e-4 b=2 c=1.5 d=0.3 n1=0.35 n2=0.0172 h=1.43e-8)
+.model mn   NMOS (kp=1e-4 w=100 l=1 vto=1)
+Vdd vdd 0 DC 5
+Vin in  0 PULSE(0 5 5n 1n 1n 44n 100n)
+YRTD1 vdd out mrtd
+YRTD2 out 0   mrtd
+M1 out in 0 mn
+CL out 0 10f
+Cin in 0 1f
+.tran 0.2n 100n
+.dc Vdd 0 5 0.05
+.end
+";
+
+fn main() -> Result<(), SimError> {
+    let deck = parse_netlist(DECK)?;
+    println!(
+        "parsed `{}`: {}",
+        deck.circuit.title().unwrap_or("untitled"),
+        deck.circuit.summary()
+    );
+
+    // The one-call deck runner executes every directive with SWEC.
+    use nanosim::core::analysis::{run_deck, AnalysisResult};
+    for (directive, result) in deck.analyses.iter().zip(run_deck(&deck)?) {
+        match result {
+            AnalysisResult::Transient(r) => {
+                let AnalysisDirective::Tran { tstep, tstop } = directive else {
+                    unreachable!("directive/result order matches");
+                };
+                let out = r.waveform("out").expect("node exists");
+                println!("\n.tran {tstep:.1e} {tstop:.1e} -> {} points", r.points());
+                println!("{}", out.ascii_plot(10, 60));
+                println!(
+                    "out rise time (0 -> 2.5 V levels): {:?} s",
+                    out.rise_time(0.183, 2.5)
+                );
+            }
+            AnalysisResult::DcSweep(r) => {
+                println!(
+                    "\n.dc -> out({:.2} V final sweep value) = {:.3} V over {} points",
+                    r.sweep_values().last().expect("nonempty"),
+                    r.curve("out").expect("node exists").final_value(),
+                    r.points()
+                );
+            }
+            AnalysisResult::OperatingPoint { names, values } => {
+                println!("\n.op ->");
+                for (n, v) in names.iter().zip(values.iter()) {
+                    println!("  {n:>10} = {v:.6}");
+                }
+            }
+        }
+    }
+
+    // Round-trip: write the circuit back out and re-parse it.
+    let text = nanosim::circuit::write_netlist(&deck.circuit);
+    let again = parse_netlist(&text)?;
+    println!(
+        "\nwriter round-trip: {} elements -> {} elements",
+        deck.circuit.elements().len(),
+        again.circuit.elements().len()
+    );
+    Ok(())
+}

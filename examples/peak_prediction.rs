@@ -1,0 +1,87 @@
+//! §4.2's closing analogy, made concrete: "Following the Black-Scholes
+//! approach, we can predict the peak performance within certain time
+//! window. A close analogy to this problem is the stock price prediction."
+//!
+//! This example walks the full chain: closed-form Black–Scholes pricing on
+//! GBM, the reflection-principle peak bound for Brownian motion, and the
+//! Monte-Carlo peak estimate for the nanocircuit's OU response — showing
+//! that all three are the same machinery at different levels of analytic
+//! tractability.
+//!
+//! Run with: `cargo run --release --example peak_prediction`
+
+use nanosim::prelude::*;
+use nanosim::sde::gbm::{black_scholes_call, GeometricBrownianMotion};
+use nanosim::sde::ou::OrnsteinUhlenbeck;
+use nanosim::sde::peak::{
+    brownian_expected_peak, brownian_peak_probability, monte_carlo_peak, ou_peak,
+};
+use nanosim::sde::wiener::WienerPath;
+use nanosim_numeric::rng::Pcg64;
+
+fn main() -> Result<(), SimError> {
+    // --- Level 1: the stock-price analogy, fully analytic ---------------
+    println!("1. Black-Scholes (the paper's stock-price analogy)");
+    let (spot, strike, rate, vol, maturity) = (100.0, 105.0, 0.03, 0.25, 0.5);
+    let price = black_scholes_call(spot, strike, rate, vol, maturity);
+    println!("   call(S=100, K=105, r=3%, sigma=25%, T=0.5) = {price:.4}");
+    // Monte-Carlo confirmation on exact GBM paths.
+    let gbm = GeometricBrownianMotion::new(rate, vol);
+    let mut rng = Pcg64::seed_from_u64(1);
+    let mut payoff_sum = 0.0;
+    let n_paths = 20_000;
+    for _ in 0..n_paths {
+        let p = WienerPath::generate(maturity, 1, &mut rng);
+        let terminal = *gbm.exact_path(spot, &p).last().expect("nonempty");
+        payoff_sum += (terminal - strike).max(0.0);
+    }
+    let mc = (-rate * maturity).exp() * payoff_sum / n_paths as f64;
+    println!("   Monte-Carlo on exact GBM paths:               {mc:.4}");
+
+    // --- Level 2: Brownian peak, reflection principle --------------------
+    println!("\n2. Reflection principle: P(max W >= a) in a window");
+    let (sigma, horizon, level) = (1.0, 1.0, 1.5);
+    let analytic = brownian_peak_probability(0.0, sigma, horizon, level);
+    let mc = monte_carlo_peak(
+        || {
+            let p = WienerPath::generate(horizon, 512, &mut rng);
+            p.values().to_vec()
+        },
+        8000,
+        Some(level),
+    );
+    println!("   analytic  P(max >= {level}) = {analytic:.4}");
+    println!(
+        "   monte-carlo             = {:.4} (mean peak {:.3}, analytic E[max] {:.3})",
+        mc.exceedance.expect("level given"),
+        mc.mean_peak,
+        brownian_expected_peak(sigma, horizon)
+    );
+
+    // --- Level 3: the nanocircuit (OU response) -------------------------
+    println!("\n3. Nanocircuit peak (the paper's Figure 10 question)");
+    let circuit = nanosim::workloads::noisy_rc_node_fig10();
+    let engine = EmEngine::new(EmOptions {
+        dt: 2e-12,
+        paths: 400,
+        seed: 7,
+        ..EmOptions::default()
+    });
+    let ensemble = engine.run(&circuit, 1e-9)?;
+    let summary = ensemble.peak_summary("v").expect("node exists");
+    println!(
+        "   circuit EM ensemble:  mean peak {:.3} V, p95 {:.3} V",
+        summary.mean_peak, summary.p95_peak
+    );
+    // The same statistics from exact OU sampling (no circuit machinery).
+    let ou = OrnsteinUhlenbeck::from_rc_node(1e-3, 1e-12, 0.85e-3, 2.2e-9);
+    let est = ou_peak(&ou, 0.0, 1e-9, 500, 4000, Some(0.6), &mut rng);
+    println!(
+        "   exact OU sampling:    mean peak {:.3} V, p95 {:.3} V, P(>= 0.6 V) = {:.2}",
+        est.mean_peak, est.p95,
+        est.exceedance.expect("level given")
+    );
+    println!("\nsame question at every level: what is the distribution of the");
+    println!("running maximum inside the window — stock price or node voltage.");
+    Ok(())
+}

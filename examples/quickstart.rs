@@ -1,0 +1,38 @@
+//! Quickstart: sweep the paper's RTD divider (Figure 7(a)) with the SWEC
+//! engine and print the captured I-V curve, its peak/valley, and the cost
+//! accounting that backs the paper's Table I.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nanosim::prelude::*;
+
+fn main() -> Result<(), SimError> {
+    // The paper's DC workload: V1 --- 50 ohm --- RTD (Schulman, the exact
+    // §5.2 parameter set) --- ground.
+    let circuit = nanosim::workloads::rtd_divider(50.0);
+    println!("circuit: {}", circuit.summary());
+
+    let sweep = SwecDcSweep::new(SwecOptions::default()).run(&circuit, "V1", 0.0, 5.0, 0.02)?;
+
+    let iv = sweep.curve("I(X1)").expect("device current is recorded");
+    let (v_peak, i_peak) = iv.peak().expect("the RTD has a current peak");
+    println!("\nRTD I-V captured by SWEC (current vs source voltage):");
+    println!("{}", iv.ascii_plot(14, 64));
+    println!("peak: {:.3} mA at V1 = {:.2} V", i_peak * 1e3, v_peak);
+
+    // The mid node shows the NDR jump as the load line crosses the peak.
+    let mid = sweep.curve("mid").expect("node voltage recorded");
+    println!(
+        "RTD terminal voltage at V1 = 5 V: {:.3} V (region: {:?})",
+        mid.value_at(5.0),
+        Rtd::date2005().region(mid.value_at(5.0))
+    );
+
+    // SWEC is non-iterative: about one linear solve per sweep point.
+    println!("\ncost: {}", sweep.stats);
+    println!(
+        "solves per point: {:.2}",
+        sweep.stats.linear_solves as f64 / sweep.points() as f64
+    );
+    Ok(())
+}

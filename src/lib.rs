@@ -1,0 +1,72 @@
+//! # Nano-Sim
+//!
+//! A step-wise equivalent conductance (SWEC) based statistical circuit
+//! simulator for nanotechnology devices — a from-scratch Rust reproduction
+//! of *"Nano-Sim: A Step Wise Equivalent Conductance based Statistical
+//! Simulator for Nanotechnology Circuit Design"* (Sukhwani, Padmanabhan,
+//! Wang — DATE 2005).
+//!
+//! Nano-devices such as resonant tunneling diodes and carbon nanotubes have
+//! *non-monotonic* I-V curves whose negative differential resistance (NDR)
+//! breaks Newton–Raphson simulators. Nano-Sim's two ideas:
+//!
+//! 1. **SWEC** — replace each nonlinear device at every time point by the
+//!    *positive* secant conductance `Geq = I(V)/V`, making each step one
+//!    linear solve with no Newton iteration and no NDR failure;
+//! 2. **Euler–Maruyama** — model uncertain inputs as Wiener processes and
+//!    integrate the resulting stochastic state equation directly,
+//!    predicting transient peaks instead of only averages.
+//!
+//! This facade crate re-exports the workspace and provides the
+//! [`workloads`] used by the paper's experiments (RTD dividers, the FET-RTD
+//! inverter of Figure 8, the RTD D-flip-flop of Figure 9, the noisy node of
+//! Figure 10, and scalable RTD meshes for Table I).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nanosim::prelude::*;
+//!
+//! # fn main() -> Result<(), nanosim::core::SimError> {
+//! // Sweep the paper's RTD divider (Figure 7(a)) and find the peak.
+//! let circuit = nanosim::workloads::rtd_divider(50.0);
+//! let sweep = SwecDcSweep::new(SwecOptions::default())
+//!     .run(&circuit, "V1", 0.0, 5.0, 0.05)?;
+//! let iv = sweep.curve("I(X1)").expect("device current recorded");
+//! let (v_peak, i_peak) = iv.peak().expect("RTD has a peak");
+//! assert!(v_peak > 2.0 && v_peak < 4.5);
+//! assert!(i_peak > 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub use nanosim_circuit as circuit;
+pub use nanosim_core as core;
+pub use nanosim_devices as devices;
+pub use nanosim_numeric as numeric;
+pub use nanosim_sde as sde;
+
+pub mod workloads;
+
+/// Commonly used types, importable in one line.
+pub mod prelude {
+    pub use nanosim_circuit::{parse_netlist, AnalysisDirective, Circuit, MnaSystem};
+    pub use nanosim_core::em::{EmEngine, EmOptions};
+    pub use nanosim_core::mla::{MlaEngine, MlaOptions};
+    pub use nanosim_core::nr::{FailurePolicy, NrEngine, NrOptions};
+    pub use nanosim_core::pwl::{PwlEngine, PwlOptions};
+    pub use nanosim_core::swec::{
+        DcMode, IntegrationMethod, SwecDcSweep, SwecOptions, SwecTransient,
+    };
+    pub use nanosim_core::{DcSweepResult, EngineStats, SimError, TransientResult, Waveform};
+    pub use nanosim_devices::mosfet::{MosType, Mosfet, MosfetParams};
+    pub use nanosim_devices::nanowire::{Nanowire, NanowireParams};
+    pub use nanosim_devices::rtd::{Rtd, RtdParams, RtdRegion};
+    pub use nanosim_devices::rtt::Rtt;
+    pub use nanosim_devices::sources::{PulseParams, SinParams, SourceWaveform};
+    pub use nanosim_devices::NonlinearTwoTerminal;
+    pub use nanosim_numeric::FlopCounter;
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration of the stochastic stack: circuit-level EM
+//! against the closed-form Ornstein–Uhlenbeck facts from `nanosim-sde`.
+
+use nanosim::prelude::*;
+use nanosim::sde::ou::OrnsteinUhlenbeck;
+use nanosim::sde::wiener::WienerPath;
+use nanosim_numeric::rng::Pcg64;
+
+const G: f64 = 1e-3;
+const C: f64 = 1e-12;
+
+#[test]
+fn em_ensemble_matches_ou_mean_and_variance() {
+    let i_noise = 2e-9;
+    let ckt = nanosim::workloads::noisy_rc_node(G, C, 0.0, i_noise);
+    let engine = EmEngine::new(EmOptions {
+        dt: 5e-12,
+        paths: 500,
+        seed: 99,
+        ..EmOptions::default()
+    });
+    let horizon = 2e-9;
+    let r = engine.run(&ckt, horizon).unwrap();
+    let ou = OrnsteinUhlenbeck::from_rc_node(G, C, 0.0, i_noise);
+    let sd = r.std_waveform("v").unwrap().final_value();
+    let expected = ou.variance(horizon).sqrt();
+    assert!(
+        (sd - expected).abs() < 0.12 * expected,
+        "sd {sd} vs {expected}"
+    );
+}
+
+#[test]
+fn em_with_dc_drive_tracks_deterministic_mean() {
+    let ckt = nanosim::workloads::noisy_rc_node(G, C, 0.5e-3, 1e-9);
+    let engine = EmEngine::new(EmOptions {
+        dt: 5e-12,
+        paths: 400,
+        seed: 7,
+        ..EmOptions::default()
+    });
+    let r = engine.run(&ckt, 3e-9).unwrap();
+    let mean = r.mean_waveform("v").unwrap();
+    // mu = i_dc/G = 0.5 V, tau = 1 ns: at 3 tau the mean is ~0.475 V.
+    let expected = 0.5 * (1.0 - (-3.0f64).exp());
+    assert!(
+        (mean.final_value() - expected).abs() < 0.03,
+        "{} vs {expected}",
+        mean.final_value()
+    );
+}
+
+#[test]
+fn figure10_peak_lands_near_paper_value() {
+    // The Figure 10 parameter point: "we observe a possible performance
+    // peak about 0.6 V" in 0..1 ns.
+    let ckt = nanosim::workloads::noisy_rc_node_fig10();
+    let engine = EmEngine::new(EmOptions {
+        dt: 2e-12,
+        paths: 400,
+        seed: 2005,
+        ..EmOptions::default()
+    });
+    let r = engine.run(&ckt, 1e-9).unwrap();
+    let peak = r.peak_summary("v").unwrap();
+    assert!(
+        peak.mean_peak > 0.45 && peak.mean_peak < 0.75,
+        "mean 0..1 ns peak {} should be near 0.6 V",
+        peak.mean_peak
+    );
+    let p = r.exceedance("v", 0.6).unwrap();
+    assert!(p > 0.05 && p < 0.95, "P(peak >= 0.6) = {p}");
+}
+
+#[test]
+fn pathwise_em_converges_to_exact_solution_with_dt() {
+    // Strong pathwise agreement: the circuit EM on a fine path is closer to
+    // the bridge-refined exact OU solution than on a coarse path.
+    let i_noise = 2e-9;
+    let ckt = nanosim::workloads::noisy_rc_node(G, C, 0.0, i_noise);
+    let ou = OrnsteinUhlenbeck::from_rc_node(G, C, 0.0, i_noise);
+    let mut rng = Pcg64::seed_from_u64(31);
+    let horizon = 1e-9;
+    let mut err = |steps: usize| -> f64 {
+        let mut total = 0.0;
+        for _ in 0..20 {
+            let path = WienerPath::generate(horizon, steps, &mut rng);
+            let engine = EmEngine::new(EmOptions::default());
+            let em = engine.run_with_paths(&ckt, &[path.clone()]).unwrap();
+            let reference = ou.pathwise_reference(0.0, &path, 4, &mut rng);
+            let v = em.column("v").unwrap();
+            let e: f64 = v
+                .iter()
+                .zip(reference.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            total += e;
+        }
+        total / 20.0
+    };
+    let coarse = err(64);
+    let fine = err(512);
+    assert!(
+        fine < coarse,
+        "pathwise error must shrink with dt: fine {fine} vs coarse {coarse}"
+    );
+}
+
+#[test]
+fn reproducible_with_same_seed() {
+    let ckt = nanosim::workloads::noisy_rc_node_fig10();
+    let opts = EmOptions {
+        dt: 5e-12,
+        paths: 10,
+        seed: 123,
+        ..EmOptions::default()
+    };
+    let a = EmEngine::new(opts.clone()).run(&ckt, 1e-9).unwrap();
+    let b = EmEngine::new(opts).run(&ckt, 1e-9).unwrap();
+    assert_eq!(
+        a.sample_path().column("v").unwrap(),
+        b.sample_path().column("v").unwrap()
+    );
+    assert_eq!(a.peak_summary("v"), b.peak_summary("v"));
+}
