@@ -21,7 +21,8 @@ fn rtd_ramp() -> Circuit {
     ckt.add_resistor("R1", a, b, 50.0).expect("fresh");
     ckt.add_rtd("X1", b, Circuit::GROUND, Rtd::date2005())
         .expect("fresh");
-    ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-12).expect("fresh");
+    ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-12)
+        .expect("fresh");
     ckt
 }
 

@@ -28,7 +28,11 @@ fn bench_em(c: &mut Criterion) {
         });
         let mut rng = Pcg64::seed_from_u64(5);
         let path = WienerPath::generate(1e-9, 500, &mut rng);
-        b.iter(|| engine.run_with_paths(black_box(&ckt), &[path.clone()]).expect("runs"))
+        b.iter(|| {
+            engine
+                .run_with_paths(black_box(&ckt), &[path.clone()])
+                .expect("runs")
+        })
     });
     group.bench_function("ou_exact_reference", |b| {
         let ou = OrnsteinUhlenbeck::from_rc_node(1e-3, 1e-12, 0.85e-3, 2.2e-9);

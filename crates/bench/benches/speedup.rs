@@ -39,7 +39,8 @@ fn bench_speedup(c: &mut Criterion) {
     tr.add_resistor("R1", a, b_, 50.0).expect("fresh");
     tr.add_rtd("X1", b_, Circuit::GROUND, Rtd::date2005())
         .expect("fresh");
-    tr.add_capacitor("C1", b_, Circuit::GROUND, 1e-13).expect("fresh");
+    tr.add_capacitor("C1", b_, Circuit::GROUND, 1e-13)
+        .expect("fresh");
     group.bench_function("tran_swec_fixed", |b| {
         b.iter(|| {
             SwecTransient::new(swec_fixed_step_options())
@@ -57,5 +58,26 @@ fn bench_speedup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_speedup);
+/// Thread-scaling variant: the Monte-Carlo ensemble of the statistical
+/// engine at 1 vs 4 workers (bit-identical results; wall clock only).
+fn bench_speedup_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speedup_em_threads");
+    group.sample_size(10);
+    let noisy = nanosim::workloads::noisy_rc_node_fig10();
+    for threads in [1usize, 4] {
+        let engine = EmEngine::new(EmOptions {
+            dt: 2e-12,
+            paths: 200,
+            seed: 1,
+            threads,
+            ..EmOptions::default()
+        });
+        group.bench_function(&format!("em_ensemble_200_t{threads}"), |b| {
+            b.iter(|| engine.run(black_box(&noisy), 1e-9).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup, bench_speedup_threads);
 criterion_main!(benches);

@@ -4,8 +4,8 @@
 //! non-iterative vs fixed point, MLA cold vs warm start, and the EM
 //! integrator's convergence orders.
 
-use nanosim::prelude::*;
 use nanosim::core::swec::StepControl;
+use nanosim::prelude::*;
 use nanosim::sde::convergence::{em_strong_order, em_weak_order};
 use nanosim::sde::gbm::GeometricBrownianMotion;
 use nanosim_bench::{eng, row, rule};
@@ -25,7 +25,8 @@ fn rtd_ramp(cap: f64) -> Circuit {
     ckt.add_resistor("R1", a, b, 50.0).expect("fresh");
     ckt.add_rtd("X1", b, Circuit::GROUND, Rtd::date2005())
         .expect("fresh");
-    ckt.add_capacitor("C1", b, Circuit::GROUND, cap).expect("fresh");
+    ckt.add_capacitor("C1", b, Circuit::GROUND, cap)
+        .expect("fresh");
     ckt
 }
 

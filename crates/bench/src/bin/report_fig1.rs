@@ -57,12 +57,7 @@ fn main() {
     let wire = Nanowire::metallic_cnt();
     let widths = [8, 14, 14, 12];
     row(
-        &[
-            "V".into(),
-            "I (uA)".into(),
-            "G (uS)".into(),
-            "G/G0".into(),
-        ],
+        &["V".into(), "I (uA)".into(), "G (uS)".into(), "G/G0".into()],
         &widths,
     );
     rule(&widths);

@@ -2,8 +2,8 @@
 //! guess. One start converges; another oscillates between two points —
 //! first on the textbook cubic, then on the RTD current equation itself.
 
-use nanosim::prelude::*;
 use nanosim::numeric::roots::{newton_raphson, NewtonOptions, NewtonOutcome};
+use nanosim::prelude::*;
 
 fn describe(label: &str, trace: &nanosim::numeric::roots::NewtonTrace) {
     print!("{label}: ");

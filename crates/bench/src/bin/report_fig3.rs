@@ -59,8 +59,6 @@ fn main() {
         );
         v += 0.25;
     }
-    println!(
-        "\n{negative_seen} sampled points have NEGATIVE PWL conductance; SWEC has none."
-    );
+    println!("\n{negative_seen} sampled points have NEGATIVE PWL conductance; SWEC has none.");
     println!("That sign difference is the NDR problem (paper §3.2, Figure 3).");
 }

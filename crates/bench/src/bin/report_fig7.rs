@@ -47,9 +47,7 @@ fn main() -> Result<(), SimError> {
         rms,
         100.0 * rms / peak
     );
-    println!(
-        "\"our approach is able to capture the negative resistance region of the"
-    );
+    println!("\"our approach is able to capture the negative resistance region of the");
     println!("I-V curve very closely and accurately\" (paper §5.1)\n");
 
     // (b) nanowire.

@@ -42,9 +42,7 @@ fn main() -> Result<(), SimError> {
     let q_cycle2 = out.value_at(270e-9); // clock high, D = 0
     let q_cycle3 = out.value_at(370e-9); // clock high, D = 1 (after 300 ns)
     println!("\nlatched clock-high levels: D=0 -> Q = {q_cycle2:.2} V, D=1 -> Q = {q_cycle3:.2} V");
-    println!(
-        "D switches at 300 ns; Q changes at the 350 ns rising edge (paper: \"the"
-    );
+    println!("D switches at 300 ns; Q changes at the 350 ns rising edge (paper: \"the");
     println!("output waveform switches at the rising edge of clock at t = 350ns\")");
     assert!(
         q_cycle3 > q_cycle2 + 1.0,

@@ -2,9 +2,7 @@
 //! discretizations of the stochastic integral give markedly different
 //! answers, and the mismatch does not vanish as dt -> 0.
 
-use nanosim::sde::ito::{
-    ito_w_dw, ito_w_dw_exact, stratonovich_w_dw, stratonovich_w_dw_exact,
-};
+use nanosim::sde::ito::{ito_w_dw, ito_w_dw_exact, stratonovich_w_dw, stratonovich_w_dw_exact};
 use nanosim::sde::wiener::WienerPath;
 use nanosim_bench::{row, rule};
 use nanosim_numeric::rng::Pcg64;
@@ -47,7 +45,10 @@ fn main() {
         );
     }
     rule(&widths);
-    println!("closed forms:  E[Ito] = 0,  E[Strat] = T/2 = {}\n", horizon / 2.0);
+    println!(
+        "closed forms:  E[Ito] = 0,  E[Strat] = T/2 = {}\n",
+        horizon / 2.0
+    );
     println!("\"Even with Δt -> 0, the mismatch of the two equations does not go");
     println!("away\" (paper §4.2) — the gap stays T/2 at every refinement.\n");
 

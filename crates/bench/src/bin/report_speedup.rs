@@ -59,7 +59,8 @@ fn main() -> Result<(), SimError> {
     ckt.add_resistor("R1", a, b, 50.0).expect("fresh");
     ckt.add_rtd("X1", b, Circuit::GROUND, Rtd::date2005())
         .expect("fresh");
-    ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-13).expect("fresh");
+    ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-13)
+        .expect("fresh");
 
     // Both engines at the SAME fixed step so the per-step cost is what is
     // compared (SWEC's error control is a separate feature the Newton

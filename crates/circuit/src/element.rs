@@ -146,10 +146,7 @@ mod tests {
 
     #[test]
     fn type_tags() {
-        assert_eq!(
-            ElementKind::Resistor { resistance: 1.0 }.type_tag(),
-            "R"
-        );
+        assert_eq!(ElementKind::Resistor { resistance: 1.0 }.type_tag(), "R");
         assert_eq!(
             ElementKind::VoltageSource {
                 waveform: SourceWaveform::dc(1.0)

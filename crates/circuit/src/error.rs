@@ -106,9 +106,7 @@ mod tests {
             message: "unknown element".into(),
         };
         assert!(e.to_string().contains("line 12"));
-        let e = CircuitError::FloatingNode {
-            node: "n3".into(),
-        };
+        let e = CircuitError::FloatingNode { node: "n3".into() };
         assert!(e.to_string().contains("n3"));
     }
 

@@ -193,7 +193,9 @@ impl MnaSystem {
     /// MNA variable index of the node with the given name, if it exists and
     /// is not ground.
     pub fn var_of_node_name(&self, name: &str) -> Option<usize> {
-        self.circuit.find_node(name).and_then(|n| self.var_of_node(n))
+        self.circuit
+            .find_node(name)
+            .and_then(|n| self.var_of_node(n))
     }
 
     /// Branch-current variable of an element, if it has one.
@@ -491,10 +493,7 @@ mod tests {
         // Solving G v = b gives v = -2 V, consistent with SPICE conventions.
         let mut t = TripletMatrix::new(1, 1);
         mna.stamp_linear_g(&mut t);
-        let v = t
-            .to_dense()
-            .solve(&b, &mut FlopCounter::new())
-            .unwrap();
+        let v = t.to_dense().solve(&b, &mut FlopCounter::new()).unwrap();
         assert!((v[0] + 2.0).abs() < 1e-12);
     }
 

@@ -187,10 +187,10 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck> {
                     if tokens.len() < 3 {
                         return Err(parse_err(*line_no, "`.tran` needs tstep and tstop"));
                     }
-                    let tstep = parse_value(&tokens[1])
-                        .ok_or_else(|| parse_err(*line_no, "bad tstep"))?;
-                    let tstop = parse_value(&tokens[2])
-                        .ok_or_else(|| parse_err(*line_no, "bad tstop"))?;
+                    let tstep =
+                        parse_value(&tokens[1]).ok_or_else(|| parse_err(*line_no, "bad tstep"))?;
+                    let tstop =
+                        parse_value(&tokens[2]).ok_or_else(|| parse_err(*line_no, "bad tstop"))?;
                     if !(tstep > 0.0 && tstop > tstep) {
                         return Err(parse_err(*line_no, "`.tran` needs 0 < tstep < tstop"));
                     }
@@ -198,17 +198,14 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck> {
                 }
                 ".DC" => {
                     if tokens.len() < 5 {
-                        return Err(parse_err(
-                            *line_no,
-                            "`.dc` needs source, start, stop, step",
-                        ));
+                        return Err(parse_err(*line_no, "`.dc` needs source, start, stop, step"));
                     }
-                    let start = parse_value(&tokens[2])
-                        .ok_or_else(|| parse_err(*line_no, "bad start"))?;
-                    let stop = parse_value(&tokens[3])
-                        .ok_or_else(|| parse_err(*line_no, "bad stop"))?;
-                    let step = parse_value(&tokens[4])
-                        .ok_or_else(|| parse_err(*line_no, "bad step"))?;
+                    let start =
+                        parse_value(&tokens[2]).ok_or_else(|| parse_err(*line_no, "bad start"))?;
+                    let stop =
+                        parse_value(&tokens[3]).ok_or_else(|| parse_err(*line_no, "bad stop"))?;
+                    let step =
+                        parse_value(&tokens[4]).ok_or_else(|| parse_err(*line_no, "bad step"))?;
                     if step == 0.0 {
                         return Err(parse_err(*line_no, "`.dc` step must be nonzero"));
                     }
@@ -363,8 +360,7 @@ fn parse_element(
             let mut ic = None;
             if tokens.len() >= 6 && tokens[4].eq_ignore_ascii_case("ic") {
                 ic = Some(
-                    parse_value(&tokens[5])
-                        .ok_or_else(|| parse_err(line_no, "bad IC value"))?,
+                    parse_value(&tokens[5]).ok_or_else(|| parse_err(line_no, "bad IC value"))?,
                 );
             }
             circuit.add_capacitor_ic(name, n1, n2, v, ic)?;
@@ -477,9 +473,7 @@ fn parse_source(tokens: &[String], line_no: usize) -> Result<SourceWaveform> {
         }
         tokens[from..from + n]
             .iter()
-            .map(|t| {
-                parse_value(t).ok_or_else(|| parse_err(line_no, &format!("bad value `{t}`")))
-            })
+            .map(|t| parse_value(t).ok_or_else(|| parse_err(line_no, &format!("bad value `{t}`"))))
             .collect()
     };
     let wf = match head.as_str() {
@@ -572,10 +566,7 @@ fn nanowire_from_model(card: &ModelCard, line_no: usize) -> Result<Nanowire> {
     let p = &card.params;
     let params = NanowireParams {
         g_quantum: *p.get("g0").unwrap_or(&d.g_quantum),
-        base_channels: p
-            .get("base")
-            .map(|&v| v as u32)
-            .unwrap_or(d.base_channels),
+        base_channels: p.get("base").map(|&v| v as u32).unwrap_or(d.base_channels),
         step_voltage: *p.get("step").unwrap_or(&d.step_voltage),
         num_steps: p.get("steps").map(|&v| v as u32).unwrap_or(d.num_steps),
         smearing: *p.get("smear").unwrap_or(&d.smearing),

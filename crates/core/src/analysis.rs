@@ -175,8 +175,7 @@ mod tests {
         };
         let a = run_deck_with(&deck, &strict).unwrap();
         let b = run_deck_with(&deck, &loose).unwrap();
-        let (AnalysisResult::Transient(ta), AnalysisResult::Transient(tb)) = (&a[2], &b[2])
-        else {
+        let (AnalysisResult::Transient(ta), AnalysisResult::Transient(tb)) = (&a[2], &b[2]) else {
             panic!("expected transients");
         };
         assert!(

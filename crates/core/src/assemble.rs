@@ -1,12 +1,22 @@
 //! Shared matrix-assembly state used by every engine.
+//!
+//! [`CircuitMatrices`] holds the per-circuit constants; [`AssemblyWorkspace`]
+//! holds the per-run mutable state that makes the hot loops allocation-free:
+//! a CSR matrix whose sparsity pattern (linear G + every possible device
+//! stamp + optionally C) is computed **once per circuit**, value-scatter maps
+//! from each device to its slots in that pattern, a cached LU factorization
+//! that is *refactored* (values-only) instead of re-analyzed every solve,
+//! and reusable right-hand-side/solution buffers.
 
 use crate::Result;
 use nanosim_circuit::{Circuit, MnaSystem};
+use nanosim_numeric::solve::{LinearSolver, SparseLuSolver};
 use nanosim_numeric::sparse::{CsrMatrix, TripletMatrix};
+use nanosim_numeric::FlopCounter;
 
 /// Pre-stamped circuit matrices: the linear part of `G`, the full `C`, and
-/// the MNA structure. Engines clone `g_lin` each step/iteration and append
-/// their device linearization stamps.
+/// the MNA structure. Engines build an [`AssemblyWorkspace`] from these and
+/// re-stamp only the device values each step/iteration.
 #[derive(Debug, Clone)]
 pub(crate) struct CircuitMatrices {
     pub mna: MnaSystem,
@@ -33,6 +43,308 @@ impl CircuitMatrices {
             c_triplets,
             c_csr,
         })
+    }
+}
+
+/// Value-slot indices of one two-terminal conductance stamp
+/// (`+g` at `(p,p)`/`(m,m)`, `-g` at `(p,m)`/`(m,p)`); `None` = grounded
+/// terminal, no slot.
+#[derive(Debug, Clone, Copy, Default)]
+struct CondSites {
+    pp: Option<usize>,
+    pm: Option<usize>,
+    mp: Option<usize>,
+    mm: Option<usize>,
+}
+
+impl CondSites {
+    fn lookup(a: &CsrMatrix, p: Option<usize>, m: Option<usize>) -> CondSites {
+        let (pm, mp) = match (p, m) {
+            (Some(i), Some(j)) => (Some(slot(a, i, j)), Some(slot(a, j, i))),
+            _ => (None, None),
+        };
+        CondSites {
+            pp: p.map(|i| slot(a, i, i)),
+            pm,
+            mp,
+            mm: m.map(|i| slot(a, i, i)),
+        }
+    }
+}
+
+/// Value-slot indices of one MOSFET's stamps: the drain–source conductance
+/// plus (when Newton transconductance stamps are enabled) the `gm` entries
+/// at `(d,g)`, `(d,s)`, `(s,g)`, `(s,s)`.
+#[derive(Debug, Clone, Copy, Default)]
+struct MosSites {
+    cond: CondSites,
+    dg: Option<usize>,
+    ds: Option<usize>,
+    sg: Option<usize>,
+    ss: Option<usize>,
+}
+
+fn slot(a: &CsrMatrix, r: usize, c: usize) -> usize {
+    a.position(r, c)
+        .expect("stamp site present in prebuilt pattern")
+}
+
+/// Per-run assembly + solve state: a prebuilt sparsity pattern re-stamped in
+/// place, a pattern-reusing cached LU, and reusable vectors. After the first
+/// solve, one `begin → stamp → solve` cycle performs zero heap allocations.
+#[derive(Debug, Clone)]
+pub(crate) struct AssemblyWorkspace {
+    /// The system matrix; pattern fixed, values rewritten per assembly.
+    a: CsrMatrix,
+    /// Linear-G values aligned with `a`'s value slots (structural zeros at
+    /// device/C sites).
+    base_vals: Vec<f64>,
+    /// `(slot, c)` pairs; `add_c_over_h` adds `c/h` at each slot.
+    c_sites: Vec<(usize, f64)>,
+    /// Stamp sites per nonlinear two-terminal binding.
+    nl_sites: Vec<CondSites>,
+    /// Stamp sites per MOSFET binding.
+    mos_sites: Vec<MosSites>,
+    /// Caching sparse solver (factor once, refactor on same pattern).
+    solver: SparseLuSolver,
+}
+
+impl AssemblyWorkspace {
+    /// Builds the workspace for a circuit. `with_mos_gm` reserves slots for
+    /// the Newton transconductance stamps (NR/MLA engines); `with_c` merges
+    /// the C pattern into the matrix so `G + C/h` systems assemble in place
+    /// (transient engines).
+    pub fn new(mats: &CircuitMatrices, with_mos_gm: bool, with_c: bool) -> Self {
+        let mna = &mats.mna;
+        let dim = mna.dim();
+        let mut trip: Vec<(usize, usize, f64)> = mats.g_lin.iter().cloned().collect();
+        let push_pair = |t: &mut Vec<(usize, usize, f64)>, p: Option<usize>, m: Option<usize>| {
+            if let Some(i) = p {
+                t.push((i, i, 0.0));
+            }
+            if let Some(i) = m {
+                t.push((i, i, 0.0));
+            }
+            if let (Some(i), Some(j)) = (p, m) {
+                t.push((i, j, 0.0));
+                t.push((j, i, 0.0));
+            }
+        };
+        for b in mna.nonlinear_bindings() {
+            push_pair(&mut trip, b.var_plus, b.var_minus);
+        }
+        for m in mna.mosfet_bindings() {
+            push_pair(&mut trip, m.var_drain, m.var_source);
+            if with_mos_gm {
+                if let Some(d) = m.var_drain {
+                    if let Some(g) = m.var_gate {
+                        trip.push((d, g, 0.0));
+                    }
+                    if let Some(s) = m.var_source {
+                        trip.push((d, s, 0.0));
+                    }
+                }
+                if let Some(s) = m.var_source {
+                    if let Some(g) = m.var_gate {
+                        trip.push((s, g, 0.0));
+                    }
+                    trip.push((s, s, 0.0));
+                }
+            }
+        }
+        if with_c {
+            for &(r, c, _) in mats.c_triplets.iter() {
+                trip.push((r, c, 0.0));
+            }
+        }
+        let a = CsrMatrix::from_triplets(dim, dim, &trip);
+        let base_vals = a.values().to_vec();
+
+        let c_sites = if with_c {
+            // Duplicate C triplets at one position are pre-summed so the
+            // per-step loop touches each slot once.
+            let mut summed: Vec<(usize, f64)> = Vec::new();
+            for &(r, c, v) in mats.c_triplets.iter() {
+                let s = slot(&a, r, c);
+                match summed.iter_mut().find(|(slot, _)| *slot == s) {
+                    Some((_, acc)) => *acc += v,
+                    None => summed.push((s, v)),
+                }
+            }
+            summed
+        } else {
+            Vec::new()
+        };
+        let nl_sites = mna
+            .nonlinear_bindings()
+            .iter()
+            .map(|b| CondSites::lookup(&a, b.var_plus, b.var_minus))
+            .collect();
+        let mos_sites = mna
+            .mosfet_bindings()
+            .iter()
+            .map(|m| {
+                let cond = CondSites::lookup(&a, m.var_drain, m.var_source);
+                let mut sites = MosSites {
+                    cond,
+                    ..MosSites::default()
+                };
+                if with_mos_gm {
+                    if let Some(d) = m.var_drain {
+                        sites.dg = m.var_gate.map(|g| slot(&a, d, g));
+                        sites.ds = m.var_source.map(|s| slot(&a, d, s));
+                    }
+                    if let Some(s) = m.var_source {
+                        sites.sg = m.var_gate.map(|g| slot(&a, s, g));
+                        sites.ss = Some(slot(&a, s, s));
+                    }
+                }
+                sites
+            })
+            .collect();
+
+        AssemblyWorkspace {
+            a,
+            base_vals,
+            c_sites,
+            nl_sites,
+            mos_sites,
+            solver: SparseLuSolver::new(),
+        }
+    }
+
+    /// Starts a fresh assembly: resets the matrix values to the linear part
+    /// of `G` (device and C slots back to zero).
+    pub fn begin(&mut self) {
+        self.a.values_mut().copy_from_slice(&self.base_vals);
+    }
+
+    /// Adds conductance `g` across nonlinear binding `i`'s terminals.
+    pub fn stamp_nonlinear(&mut self, i: usize, g: f64) {
+        Self::stamp_cond(self.a.values_mut(), &self.nl_sites[i], g);
+    }
+
+    /// Adds conductance `g` across MOSFET `k`'s drain–source terminals.
+    pub fn stamp_mosfet_cond(&mut self, k: usize, g: f64) {
+        let sites = self.mos_sites[k].cond;
+        Self::stamp_cond(self.a.values_mut(), &sites, g);
+    }
+
+    /// Adds the Newton transconductance stamps of MOSFET `k` (requires the
+    /// workspace to have been built `with_mos_gm`).
+    pub fn stamp_mosfet_gm(&mut self, k: usize, gm: f64) {
+        let sites = self.mos_sites[k];
+        let vals = self.a.values_mut();
+        if let Some(p) = sites.dg {
+            vals[p] += gm;
+        }
+        if let Some(p) = sites.ds {
+            vals[p] -= gm;
+        }
+        if let Some(p) = sites.sg {
+            vals[p] -= gm;
+        }
+        if let Some(p) = sites.ss {
+            vals[p] += gm;
+        }
+    }
+
+    fn stamp_cond(vals: &mut [f64], sites: &CondSites, g: f64) {
+        if let Some(p) = sites.pp {
+            vals[p] += g;
+        }
+        if let Some(p) = sites.mm {
+            vals[p] += g;
+        }
+        if let Some(p) = sites.pm {
+            vals[p] -= g;
+        }
+        if let Some(p) = sites.mp {
+            vals[p] -= g;
+        }
+    }
+
+    /// Adds `C/h` over the merged C pattern (requires `with_c`).
+    pub fn add_c_over_h(&mut self, h: f64, flops: &mut FlopCounter) {
+        let vals = self.a.values_mut();
+        for &(s, c) in &self.c_sites {
+            vals[s] += c / h;
+        }
+        flops.div(self.c_sites.len() as u64);
+    }
+
+    /// Scales every assembled value by `alpha` (trapezoidal's `G/2`).
+    pub fn scale_values(&mut self, alpha: f64, flops: &mut FlopCounter) {
+        for v in self.a.values_mut() {
+            *v *= alpha;
+        }
+        flops.mul(self.a.nnz() as u64);
+    }
+
+    /// The assembled matrix (for matvec products against the current state).
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.a
+    }
+
+    /// Snapshots the assembled values into `out` (e.g. the G-only values
+    /// before `C/h` is added).
+    pub fn snapshot_values(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(self.a.values());
+    }
+
+    /// Accumulates `y += alpha · A(vals)·x` where `vals` is a value snapshot
+    /// over this workspace's pattern.
+    pub fn matvec_acc_with(
+        &self,
+        vals: &[f64],
+        alpha: f64,
+        x: &[f64],
+        y: &mut [f64],
+        flops: &mut FlopCounter,
+    ) {
+        let (row_ptr, col_idx) = self.a.structure();
+        debug_assert_eq!(vals.len(), col_idx.len());
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for p in row_ptr[r]..row_ptr[r + 1] {
+                acc += vals[p] * x[col_idx[p]];
+            }
+            *yr += alpha * acc;
+        }
+        flops.fma(vals.len() as u64 + y.len() as u64);
+    }
+
+    /// Per-row sums of `|A(vals)|` over the first `out.len()` rows (the RC
+    /// time-step constraint of the SWEC controller).
+    pub fn row_abs_sums(&self, vals: &[f64], out: &mut [f64]) {
+        let (row_ptr, _) = self.a.structure();
+        for (r, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for p in row_ptr[r]..row_ptr[r + 1] {
+                acc += vals[p].abs();
+            }
+            *o = acc;
+        }
+    }
+
+    /// Factors (or refactors, when the cached symbolic analysis applies) the
+    /// assembled matrix and solves into `x`.
+    ///
+    /// # Errors
+    /// Propagates singular-matrix errors from the factorization.
+    pub fn factor_solve(
+        &mut self,
+        rhs: &[f64],
+        x: &mut Vec<f64>,
+        flops: &mut FlopCounter,
+    ) -> nanosim_numeric::Result<()> {
+        self.solver.solve_into(&self.a, rhs, x, flops)
+    }
+
+    /// `(full factorizations, pattern-reusing refactorizations)` performed.
+    pub fn factor_counts(&self) -> (u64, u64) {
+        self.solver.factor_counts()
     }
 }
 

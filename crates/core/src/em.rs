@@ -16,26 +16,43 @@
 //! `G` is re-evaluated each step with the SWEC equivalent conductance, so
 //! nonlinear nano-devices are handled exactly as the paper notes ("Since G
 //! is time variant, Equation (13) also includes cases with the nonlinear
-//! nanodevices"). The engine factors `C` once, runs a ensembles of Wiener
+//! nanodevices"). The engine factors `C` once, runs an ensemble of Wiener
 //! paths, and reports per-node mean/std envelopes, a sample path, and
 //! running-maximum ("peak performance") statistics.
+//!
+//! **Parallelism and determinism.** Monte-Carlo paths are independent, so
+//! the ensemble executes on a scoped-thread worker pool
+//! ([`nanosim_numeric::parallel`]) in fixed-size chunks of
+//! [`PATH_CHUNK`] paths. Every path's PCG64 generator is derived
+//! *deterministically up front* by splitting the seed stream in path order,
+//! per-chunk statistics are accumulated with Welford's algorithm and merged
+//! in chunk order, and per-path maxima are concatenated in path order —
+//! none of which depends on scheduling. Results are therefore **bit
+//! identical for every [`EmOptions::threads`] setting**, including the
+//! serial `threads = 1`; `tests/stochastic.rs` locks this guarantee in.
 //!
 //! **Supported circuits**: every MNA unknown must be a node voltage with
 //! capacitance to ground (no voltage sources, no inductors) — the standard
 //! state-space form. Drive the circuit with current sources; a Thevenin
 //! source becomes a Norton equivalent.
 
-use crate::assemble::{branch_voltage, mna_var_names, CircuitMatrices};
+use crate::assemble::{branch_voltage, mna_var_names, AssemblyWorkspace, CircuitMatrices};
 use crate::report::EngineStats;
 use crate::waveform::{TransientResult, Waveform};
 use crate::{Result, SimError};
 use nanosim_circuit::Circuit;
+use nanosim_numeric::parallel::try_par_map;
 use nanosim_numeric::rng::Pcg64;
 use nanosim_numeric::sparse::SparseLu;
 use nanosim_numeric::stats::{percentile, RunningStats};
 use nanosim_numeric::FlopCounter;
 use nanosim_sde::wiener::WienerPath;
 use std::time::Instant;
+
+/// Monte-Carlo paths per work-stealing chunk. Chunk boundaries are a
+/// function of the path index only (never of the thread count), which is
+/// what keeps ensemble statistics bit-identical at any parallelism level.
+pub const PATH_CHUNK: usize = 8;
 
 /// Options of the EM engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +68,10 @@ pub struct EmOptions {
     pub update_geq: bool,
     /// Parallel conductance across nonlinear devices.
     pub gmin: f64,
+    /// Worker threads for the ensemble: `0` = one per hardware thread,
+    /// `1` = serial. Results are bit-identical for every setting (see the
+    /// module docs), so this is purely a wall-clock knob.
+    pub threads: usize,
 }
 
 impl Default for EmOptions {
@@ -61,6 +82,7 @@ impl Default for EmOptions {
             seed: 0x5eed_cafe,
             update_geq: true,
             gmin: 1e-12,
+            threads: 0,
         }
     }
 }
@@ -189,14 +211,21 @@ impl EmEngine {
         Ok(mats)
     }
 
-    /// Runs the Monte-Carlo ensemble from `t = 0` to `horizon`.
+    /// Runs the Monte-Carlo ensemble from `t = 0` to `horizon`, distributing
+    /// paths over [`EmOptions::threads`] workers. Statistics stream through
+    /// per-chunk Welford accumulators merged in chunk order, so no path
+    /// series is ever materialized beyond the recorded sample path and the
+    /// result is bit-identical at any thread count.
     ///
     /// # Errors
     /// Fails on unsupported circuits, invalid options or singular matrices.
     pub fn run(&self, circuit: &Circuit, horizon: f64) -> Result<EmResult> {
         if !(self.opts.dt > 0.0 && horizon > self.opts.dt) {
             return Err(SimError::InvalidConfig {
-                context: format!("em needs 0 < dt < horizon (dt={}, horizon={horizon})", self.opts.dt),
+                context: format!(
+                    "em needs 0 < dt < horizon (dt={}, horizon={horizon})",
+                    self.opts.dt
+                ),
             });
         }
         if self.opts.paths == 0 {
@@ -208,47 +237,65 @@ impl EmEngine {
         let mats = self.prepare(circuit)?;
         let dim = mats.mna.dim();
         let steps = (horizon / self.opts.dt).round() as usize;
+        let paths = self.opts.paths;
         let mut stats = EngineStats::new();
         let mut flops = FlopCounter::new();
 
-        // Factor C once.
+        // Factor C once; the factorization is immutable and shared by every
+        // worker (each solves into its own buffers).
         let c_lu = SparseLu::factor(&mats.c_csr, &mut flops)?;
         let names = mna_var_names(&mats.mna);
         let times: Vec<f64> = (0..=steps).map(|k| k as f64 * self.opts.dt).collect();
 
-        let mut welford: Vec<Vec<RunningStats>> =
-            vec![vec![RunningStats::new(); steps + 1]; dim];
-        let mut maxima: Vec<Vec<f64>> = vec![Vec::with_capacity(self.opts.paths); dim];
-        let mut sample_columns: Vec<Vec<f64>> = Vec::new();
-
+        // Per-path generators derived up front in path order: the stream of
+        // splits depends only on the seed, never on scheduling.
         let mut rng = Pcg64::seed_from_u64(self.opts.seed);
-        for p in 0..self.opts.paths {
-            let mut path_rng = rng.split();
-            let xs = self.simulate_path(&mats, &c_lu, steps, &mut path_rng, &mut stats, &mut flops)?;
-            for (i, series) in xs.iter().enumerate() {
-                let mut m = f64::NEG_INFINITY;
-                for (k, &v) in series.iter().enumerate() {
-                    welford[i][k].push(v);
-                    m = m.max(v);
-                }
-                maxima[i].push(m);
+        let path_rngs: Vec<Pcg64> = (0..paths).map(|_| rng.split()).collect();
+
+        let n_chunks = paths.div_ceil(PATH_CHUNK);
+        let chunks = try_par_map(n_chunks, self.opts.threads, |ci| {
+            let lo = ci * PATH_CHUNK;
+            let hi = paths.min(lo + PATH_CHUNK);
+            self.simulate_chunk(&mats, &c_lu, steps, &path_rngs[lo..hi], lo == 0)
+        })?;
+
+        // Order-deterministic reduction: Welford-merge chunk accumulators
+        // and concatenate per-path maxima, both in chunk order.
+        let mut welford = vec![RunningStats::new(); dim * (steps + 1)];
+        let mut maxima: Vec<Vec<f64>> = vec![Vec::with_capacity(paths); dim];
+        let mut sample_columns: Vec<Vec<f64>> = Vec::new();
+        for chunk in &chunks {
+            for (total, part) in welford.iter_mut().zip(chunk.welford.iter()) {
+                total.merge(part);
             }
-            if p == 0 {
-                sample_columns = xs;
+            for (i, m) in maxima.iter_mut().enumerate() {
+                m.extend_from_slice(&chunk.maxima[i]);
             }
+            stats.merge(&chunk.stats);
+        }
+        if let Some(cols) = chunks.into_iter().next().and_then(|c| c.sample) {
+            sample_columns = cols;
         }
 
-        let mean: Vec<Vec<f64>> = welford
-            .iter()
-            .map(|row| row.iter().map(RunningStats::mean).collect())
+        let mean: Vec<Vec<f64>> = (0..dim)
+            .map(|i| {
+                welford[i * (steps + 1)..(i + 1) * (steps + 1)]
+                    .iter()
+                    .map(RunningStats::mean)
+                    .collect()
+            })
             .collect();
-        let std_dev: Vec<Vec<f64>> = welford
-            .iter()
-            .map(|row| row.iter().map(RunningStats::std_dev).collect())
+        let std_dev: Vec<Vec<f64>> = (0..dim)
+            .map(|i| {
+                welford[i * (steps + 1)..(i + 1) * (steps + 1)]
+                    .iter()
+                    .map(RunningStats::std_dev)
+                    .collect()
+            })
             .collect();
 
         stats.flops += flops;
-        stats.steps = steps * self.opts.paths;
+        stats.steps = steps * paths;
         stats.elapsed = t0.elapsed();
         let sample = TransientResult::new(
             times.clone(),
@@ -302,16 +349,18 @@ impl EmEngine {
         let mut flops = FlopCounter::new();
         let c_lu = SparseLu::factor(&mats.c_csr, &mut flops)?;
         let dim = mats.mna.dim();
-        let mut x = vec![0.0; dim];
-        let mut columns: Vec<Vec<f64>> = (0..dim).map(|i| vec![x[i]]).collect();
+        let mut state = PathState::new(&mats);
+        let mut columns: Vec<Vec<f64>> = (0..dim).map(|i| vec![state.x[i]]).collect();
         let mut times = vec![0.0];
         for k in 0..steps {
             let t = k as f64 * dt;
-            let dws: Vec<f64> = wieners.iter().map(|w| w.increment(k)).collect();
-            x = self.em_step(&mats, &c_lu, &x, t, dt, &dws, &mut stats, &mut flops)?;
+            for (dw, w) in state.dws.iter_mut().zip(wieners.iter()) {
+                *dw = w.increment(k);
+            }
+            self.em_step(&mats, &c_lu, &mut state, t, dt, &mut stats, &mut flops)?;
             times.push(t + dt);
             for (i, c) in columns.iter_mut().enumerate() {
-                c.push(x[i]);
+                c.push(state.x[i]);
             }
         }
         stats.steps = steps;
@@ -325,92 +374,183 @@ impl EmEngine {
         ))
     }
 
-    fn simulate_path(
+    /// Simulates one chunk of consecutive paths, streaming every sample into
+    /// chunk-local Welford accumulators (`welford[i * (steps+1) + k]`) and
+    /// per-path running maxima. `record_sample` captures the first path's
+    /// series (the Figure 10 "one realization").
+    fn simulate_chunk(
         &self,
         mats: &CircuitMatrices,
         c_lu: &SparseLu,
         steps: usize,
-        rng: &mut Pcg64,
-        stats: &mut EngineStats,
-        flops: &mut FlopCounter,
-    ) -> Result<Vec<Vec<f64>>> {
+        path_rngs: &[Pcg64],
+        record_sample: bool,
+    ) -> Result<ChunkStats> {
         let dim = mats.mna.dim();
-        let noise_count = mats.mna.noise_bindings().len();
         let sqrt_dt = self.opts.dt.sqrt();
-        let mut x = vec![0.0; dim];
-        let mut out: Vec<Vec<f64>> = (0..dim).map(|i| vec![x[i]]).collect();
-        for k in 0..steps {
-            let t = k as f64 * self.opts.dt;
-            let dws: Vec<f64> = (0..noise_count)
-                .map(|_| sqrt_dt * rng.next_gaussian())
-                .collect();
-            x = self.em_step(mats, c_lu, &x, t, self.opts.dt, &dws, stats, flops)?;
-            for (i, c) in out.iter_mut().enumerate() {
-                c.push(x[i]);
+        let mut state = PathState::new(mats);
+        let mut stats = EngineStats::new();
+        let mut flops = FlopCounter::new();
+        let mut welford = vec![RunningStats::new(); dim * (steps + 1)];
+        let mut maxima: Vec<Vec<f64>> = vec![Vec::with_capacity(path_rngs.len()); dim];
+        let mut max_v = vec![f64::NEG_INFINITY; dim];
+        let mut sample: Option<Vec<Vec<f64>>> = None;
+
+        for (p, path_rng) in path_rngs.iter().enumerate() {
+            let mut rng = path_rng.clone();
+            state.x.fill(0.0);
+            for (i, m) in max_v.iter_mut().enumerate() {
+                let v = state.x[i];
+                welford[i * (steps + 1)].push(v);
+                *m = v;
+            }
+            let recording = record_sample && p == 0;
+            if recording {
+                sample = Some((0..dim).map(|i| vec![state.x[i]]).collect());
+            }
+            for k in 0..steps {
+                let t = k as f64 * self.opts.dt;
+                for dw in state.dws.iter_mut() {
+                    *dw = sqrt_dt * rng.next_gaussian();
+                }
+                self.em_step(
+                    mats,
+                    c_lu,
+                    &mut state,
+                    t,
+                    self.opts.dt,
+                    &mut stats,
+                    &mut flops,
+                )?;
+                for (i, m) in max_v.iter_mut().enumerate() {
+                    let v = state.x[i];
+                    welford[i * (steps + 1) + k + 1].push(v);
+                    if v > *m {
+                        *m = v;
+                    }
+                }
+                if recording {
+                    let cols = sample.as_mut().expect("initialized above");
+                    for (i, c) in cols.iter_mut().enumerate() {
+                        c.push(state.x[i]);
+                    }
+                }
+            }
+            for (i, m) in maxima.iter_mut().enumerate() {
+                m.push(max_v[i]);
             }
         }
-        Ok(out)
+        stats.flops += flops;
+        Ok(ChunkStats {
+            welford,
+            maxima,
+            sample,
+            stats,
+        })
     }
 
-    /// One EM step: `x + C^{-1}[(b - Gx)·dt + B·dW]`.
-    #[allow(clippy::too_many_arguments)]
+    /// One EM step in place: `x += C^{-1}[(b - Gx)·dt + B·dW]`, with the
+    /// increments already in `state.dws`. Assembly scatter-updates the
+    /// workspace pattern and every vector lives in `state` — zero heap
+    /// allocations per step.
     fn em_step(
         &self,
         mats: &CircuitMatrices,
         c_lu: &SparseLu,
-        x: &[f64],
+        state: &mut PathState,
         t: f64,
         dt: f64,
-        dws: &[f64],
         stats: &mut EngineStats,
         flops: &mut FlopCounter,
-    ) -> Result<Vec<f64>> {
+    ) -> Result<()> {
         let mna = &mats.mna;
         let dim = mna.dim();
         // Assemble G (linear + SWEC conductances at the current state).
-        let mut g = mats.g_lin.clone();
-        for b in mna.nonlinear_bindings() {
-            let v = branch_voltage(x, b.var_plus, b.var_minus);
+        state.ws.begin();
+        for (i, b) in mna.nonlinear_bindings().iter().enumerate() {
+            let v = branch_voltage(&state.x, b.var_plus, b.var_minus);
             let geq = if self.opts.update_geq {
                 stats.device_evals += 1;
                 b.device.equivalent_conductance(v, flops) + self.opts.gmin
             } else {
                 self.opts.gmin
             };
-            nanosim_circuit::MnaSystem::stamp_conductance(&mut g, b.var_plus, b.var_minus, geq);
+            state.ws.stamp_nonlinear(i, geq);
         }
-        for m in mna.mosfet_bindings() {
-            let vd = m.var_drain.map_or(0.0, |i| x[i]);
-            let vg = m.var_gate.map_or(0.0, |i| x[i]);
-            let vs = m.var_source.map_or(0.0, |i| x[i]);
+        for (k, m) in mna.mosfet_bindings().iter().enumerate() {
+            let vd = m.var_drain.map_or(0.0, |i| state.x[i]);
+            let vg = m.var_gate.map_or(0.0, |i| state.x[i]);
+            let vs = m.var_source.map_or(0.0, |i| state.x[i]);
             let geq = m.model.geq(vg - vs, vd - vs, flops) + self.opts.gmin;
             stats.device_evals += 1;
-            nanosim_circuit::MnaSystem::stamp_conductance(&mut g, m.var_drain, m.var_source, geq);
+            state.ws.stamp_mosfet_cond(k, geq);
         }
         // rhs = (b - G x) dt + B dW.
-        let mut rhs = vec![0.0; dim];
-        mna.stamp_rhs(t, &mut rhs);
-        let gx = g.to_csr().matvec(x, flops)?;
+        mna.stamp_rhs(t, &mut state.rhs);
+        state
+            .ws
+            .matrix()
+            .matvec_into(&state.x, &mut state.gx, flops)?;
         for i in 0..dim {
-            rhs[i] = (rhs[i] - gx[i]) * dt;
+            state.rhs[i] = (state.rhs[i] - state.gx[i]) * dt;
         }
         flops.fma(dim as u64);
-        for (nb, &dw) in mna.noise_bindings().iter().zip(dws.iter()) {
+        for (nb, &dw) in mna.noise_bindings().iter().zip(state.dws.iter()) {
             for &(row, coeff) in &nb.rows {
-                rhs[row] += coeff * dw;
+                state.rhs[row] += coeff * dw;
                 flops.fma(1);
             }
         }
-        // delta = C^{-1} rhs.
-        let delta = c_lu.solve(&rhs, flops)?;
+        // x += C^{-1} rhs.
+        c_lu.solve_into(&state.rhs, &mut state.delta, &mut state.solve_work, flops)?;
         stats.linear_solves += 1;
-        let mut x_new = x.to_vec();
         for i in 0..dim {
-            x_new[i] += delta[i];
+            state.x[i] += state.delta[i];
         }
         flops.add(dim as u64);
-        Ok(x_new)
+        Ok(())
     }
+}
+
+/// Per-worker integration state: the assembly workspace plus every vector
+/// the stepper touches, so a path advances with zero allocation per step.
+#[derive(Debug)]
+struct PathState {
+    ws: AssemblyWorkspace,
+    x: Vec<f64>,
+    rhs: Vec<f64>,
+    gx: Vec<f64>,
+    delta: Vec<f64>,
+    solve_work: Vec<f64>,
+    dws: Vec<f64>,
+}
+
+impl PathState {
+    fn new(mats: &CircuitMatrices) -> Self {
+        let dim = mats.mna.dim();
+        PathState {
+            ws: AssemblyWorkspace::new(mats, false, false),
+            x: vec![0.0; dim],
+            rhs: vec![0.0; dim],
+            gx: vec![0.0; dim],
+            delta: Vec::with_capacity(dim),
+            solve_work: Vec::with_capacity(dim),
+            dws: vec![0.0; mats.mna.noise_bindings().len()],
+        }
+    }
+}
+
+/// One chunk's contribution to the ensemble reduction.
+#[derive(Debug)]
+struct ChunkStats {
+    /// Flattened `dim x (steps + 1)` Welford accumulators.
+    welford: Vec<RunningStats>,
+    /// Per-variable running maxima, one entry per path in the chunk.
+    maxima: Vec<Vec<f64>>,
+    /// The first path's series (only from the first chunk).
+    sample: Option<Vec<Vec<f64>>>,
+    /// Work accounting of the chunk.
+    stats: EngineStats,
 }
 
 #[cfg(test)]
@@ -518,7 +658,11 @@ mod tests {
         });
         let r = engine.run(&ckt, 5e-9).unwrap();
         let mean = r.mean_waveform("v").unwrap();
-        assert!((mean.final_value() - 1.0).abs() < 0.02, "{}", mean.final_value());
+        assert!(
+            (mean.final_value() - 1.0).abs() < 0.02,
+            "{}",
+            mean.final_value()
+        );
         // All paths identical without noise.
         let sd = r.std_waveform("v").unwrap();
         assert!(sd.final_value() < 1e-12);

@@ -110,11 +110,17 @@ impl MlaEngine {
         stop: f64,
         step: f64,
     ) -> Result<DcSweepResult> {
-        let r: NrSweepResult = self.inner.run_dc_sweep(circuit, source, start, stop, step)?;
+        let r: NrSweepResult = self
+            .inner
+            .run_dc_sweep(circuit, source, start, stop, step)?;
         if r.failures() > 0 {
             return Err(SimError::NonConvergence {
                 at: start,
-                context: format!("MLA failed on {} of {} points", r.failures(), r.outcomes.len()),
+                context: format!(
+                    "MLA failed on {} of {} points",
+                    r.failures(),
+                    r.outcomes.len()
+                ),
             });
         }
         Ok(r.sweep)

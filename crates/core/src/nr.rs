@@ -11,14 +11,19 @@
 //! damping, gmin stepping, source stepping) plus the per-device voltage
 //! limiting that the MLA baseline builds on.
 
-use crate::assemble::{branch_voltage, mna_var_names, override_source_rhs, CircuitMatrices};
+use crate::assemble::{
+    branch_voltage, mna_var_names, override_source_rhs, AssemblyWorkspace, CircuitMatrices,
+};
 use crate::report::EngineStats;
 use crate::waveform::{DcSweepResult, TransientResult};
 use crate::{Result, SimError};
 use nanosim_circuit::{Circuit, MnaSystem};
-use nanosim_numeric::sparse::SparseLu;
 use nanosim_numeric::{FlopCounter, NumericError};
 use std::time::Instant;
+
+/// Iterate-history window for cycle detection: [`detect_vector_cycle`]
+/// looks back at most `2 * 4` iterates, so nine suffice.
+const HISTORY_WINDOW: usize = 9;
 
 /// Outcome of one Newton solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -187,6 +192,7 @@ impl NrEngine {
             });
         }
         let mut stats = EngineStats::new();
+        let mut ws = AssemblyWorkspace::new(&mats, true, true);
         let n_points = (((stop - start) / step).round() as i64 + 1).max(1) as usize;
 
         let var_names = mna_var_names(&mats.mna);
@@ -213,7 +219,7 @@ impl NrEngine {
                 for s in 1..=ramp {
                     let v = value * s as f64 / ramp as f64;
                     let (xi, oi) =
-                        self.solve_dc(&mats, Some((source, v)), &xs, None, &mut stats)?;
+                        self.solve_dc_ws(&mats, &mut ws, Some((source, v)), &xs, None, &mut stats)?;
                     xs = xi;
                     oc = oi;
                     if !oc.is_converged() {
@@ -222,7 +228,7 @@ impl NrEngine {
                 }
                 (xs, oc)
             } else {
-                self.solve_dc(&mats, Some((source, value)), &x, None, &mut stats)?
+                self.solve_dc_ws(&mats, &mut ws, Some((source, value)), &x, None, &mut stats)?
             };
             if !outcome.is_converged() && self.opts.source_steps > 1 {
                 // Source stepping: approach this point gradually from the
@@ -235,7 +241,7 @@ impl NrEngine {
                     let frac = s as f64 / self.opts.source_steps as f64;
                     let v = prev + (value - prev) * frac;
                     let (xi, oi) =
-                        self.solve_dc(&mats, Some((source, v)), &xs, None, &mut stats)?;
+                        self.solve_dc_ws(&mats, &mut ws, Some((source, v)), &xs, None, &mut stats)?;
                     xs = xi;
                     ok = oi.is_converged();
                     last_outcome = oi;
@@ -271,6 +277,9 @@ impl NrEngine {
             stats.flops += flops;
             stats.steps += 1;
         }
+        let (ff, rf) = ws.factor_counts();
+        stats.full_factors += ff;
+        stats.refactors += rf;
         stats.elapsed = t0.elapsed();
         Ok(NrSweepResult {
             sweep: DcSweepResult::new(sweep, names, columns, stats),
@@ -300,16 +309,18 @@ impl NrEngine {
         let mna = &mats.mna;
         let dim = mna.dim();
         let mut stats = EngineStats::new();
+        let mut ws = AssemblyWorkspace::new(&mats, true, true);
 
         // DC operating point at t = 0 (with source stepping as fallback).
         let (mut x, op_outcome) =
-            self.solve_dc(&mats, None, &vec![0.0; dim], None, &mut stats)?;
+            self.solve_dc_ws(&mats, &mut ws, None, &vec![0.0; dim], None, &mut stats)?;
         if !op_outcome.is_converged() {
             let mut xs = vec![0.0; dim];
             let steps = self.opts.source_steps.max(10);
             for s in 1..=steps {
                 let scale = s as f64 / steps as f64;
-                let (xi, _) = self.solve_dc(&mats, None, &xs, Some(scale), &mut stats)?;
+                let (xi, _) =
+                    self.solve_dc_ws(&mats, &mut ws, None, &xs, Some(scale), &mut stats)?;
                 xs = xi;
             }
             x = xs;
@@ -325,7 +336,8 @@ impl NrEngine {
         while t < t_end {
             let mut h = tstep.min(tstop - t);
             loop {
-                let (x_new, outcome) = self.solve_transient_step(&mats, &x, t, h, &mut stats)?;
+                let (x_new, outcome) =
+                    self.solve_transient_step(&mats, &mut ws, &x, t, h, &mut stats)?;
                 if outcome.is_converged() {
                     x = x_new;
                     break;
@@ -358,6 +370,9 @@ impl NrEngine {
                 c.push(x[i]);
             }
         }
+        let (ff, rf) = ws.factor_counts();
+        stats.full_factors += ff;
+        stats.refactors += rf;
         stats.elapsed = t0.elapsed();
         Ok(NrTransientResult {
             result: TransientResult::new(times, names, columns, stats),
@@ -365,8 +380,11 @@ impl NrEngine {
         })
     }
 
-    /// One Newton DC solve. `override_src` replaces a named source value;
-    /// `source_scale` scales *all* sources (source stepping).
+    /// One Newton DC solve with a freshly built workspace. `override_src`
+    /// replaces a named source value; `source_scale` scales *all* sources
+    /// (source stepping). Engines with a loop of solves use
+    /// [`NrEngine::solve_dc_ws`] to share one workspace instead.
+    #[allow(dead_code)] // convenience wrapper kept for tests / one-off OP solves
     pub(crate) fn solve_dc(
         &self,
         mats: &CircuitMatrices,
@@ -375,7 +393,22 @@ impl NrEngine {
         source_scale: Option<f64>,
         stats: &mut EngineStats,
     ) -> Result<(Vec<f64>, NrOutcome)> {
-        self.newton_loop(mats, x0, stats, |mna, rhs, flops| {
+        let mut ws = AssemblyWorkspace::new(mats, true, true);
+        self.solve_dc_ws(mats, &mut ws, override_src, x0, source_scale, stats)
+    }
+
+    /// [`NrEngine::solve_dc`] against a caller-owned [`AssemblyWorkspace`]
+    /// (pattern, factorization and buffers reused across calls).
+    pub(crate) fn solve_dc_ws(
+        &self,
+        mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
+        override_src: Option<(&str, f64)>,
+        x0: &[f64],
+        source_scale: Option<f64>,
+        stats: &mut EngineStats,
+    ) -> Result<(Vec<f64>, NrOutcome)> {
+        self.newton_loop(mats, ws, x0, stats, |mna, rhs, flops| {
             mna.stamp_rhs(0.0, rhs);
             if let Some((name, value)) = override_src {
                 override_source_rhs(mna, name, value, 0.0, rhs);
@@ -394,12 +427,13 @@ impl NrEngine {
     fn solve_transient_step(
         &self,
         mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
         x_prev: &[f64],
         t: f64,
         h: f64,
         stats: &mut EngineStats,
     ) -> Result<(Vec<f64>, NrOutcome)> {
-        self.newton_loop(mats, x_prev, stats, |mna, rhs, flops| {
+        self.newton_loop(mats, ws, x_prev, stats, |mna, rhs, flops| {
             mna.stamp_rhs(t + h, rhs);
             // rhs += (C/h) x_prev; the matrix side adds C/h stamps.
             mats.c_csr
@@ -412,9 +446,15 @@ impl NrEngine {
     /// The shared Newton iteration. `prepare` fills the source right-hand
     /// side and returns `Some(h)` when `C/h` companion stamps are needed
     /// (transient) or `None` for DC.
+    ///
+    /// The loop assembles into `ws`'s prebuilt pattern (scatter-updates, no
+    /// matrix clone), reuses the cached LU via refactorization, and cycles a
+    /// fixed set of buffers — zero heap allocations per iteration once the
+    /// history window is warm.
     fn newton_loop<F>(
         &self,
         mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
         x0: &[f64],
         stats: &mut EngineStats,
         prepare: F,
@@ -426,23 +466,24 @@ impl NrEngine {
         let dim = mna.dim();
         let mut flops = FlopCounter::new();
         let mut x = x0.to_vec();
+        let mut x_new: Vec<f64> = Vec::with_capacity(dim);
+        let mut rhs = vec![0.0; dim];
         // Linearization voltages per nonlinear device (for limiting).
         let mut v_lin: Vec<f64> = mna
             .nonlinear_bindings()
             .iter()
             .map(|b| branch_voltage(&x, b.var_plus, b.var_minus))
             .collect();
+        let mut v_next = vec![0.0; v_lin.len()];
+        // Trailing iterate window for cycle detection; old buffers are
+        // recycled once the window is full.
         let mut history: Vec<Vec<f64>> = vec![x.clone()];
 
         for iter in 0..self.opts.max_iterations {
-            let mut g = mats.g_lin.clone();
-            let mut rhs = vec![0.0; dim];
+            ws.begin();
             let h = prepare(mna, &mut rhs, &mut flops);
             if let Some(h) = h {
-                for &(r, c, v) in mats.c_triplets.iter() {
-                    g.push(r, c, v / h);
-                }
-                flops.div(mats.c_triplets.len() as u64);
+                ws.add_c_over_h(h, &mut flops);
             }
             // Companion models at the linearization voltages.
             for (i, b) in mna.nonlinear_bindings().iter().enumerate() {
@@ -452,7 +493,7 @@ impl NrEngine {
                 stats.device_evals += 2;
                 let ieq = id - gd * v;
                 flops.fma(1);
-                MnaSystem::stamp_conductance(&mut g, b.var_plus, b.var_minus, gd);
+                ws.stamp_nonlinear(i, gd);
                 if let Some(p) = b.var_plus {
                     rhs[p] -= ieq;
                 }
@@ -461,7 +502,7 @@ impl NrEngine {
                 }
                 flops.add(2);
             }
-            for m in mna.mosfet_bindings() {
+            for (k, m) in mna.mosfet_bindings().iter().enumerate() {
                 let vd = m.var_drain.map_or(0.0, |i| x[i]);
                 let vg = m.var_gate.map_or(0.0, |i| x[i]);
                 let vs = m.var_source.map_or(0.0, |i| x[i]);
@@ -473,53 +514,40 @@ impl NrEngine {
                 // i_d = ieq + gds*vds + gm*vgs with ieq from the expansion.
                 let ieq = id - gds * vds - gm * vgs;
                 flops.fma(2);
-                MnaSystem::stamp_conductance(&mut g, m.var_drain, m.var_source, gds);
+                ws.stamp_mosfet_cond(k, gds);
                 // Transconductance stamps (drain current driven by vgs).
+                ws.stamp_mosfet_gm(k, gm);
                 if let Some(d) = m.var_drain {
-                    if let Some(gn) = m.var_gate {
-                        g.push(d, gn, gm);
-                    }
-                    if let Some(s) = m.var_source {
-                        g.push(d, s, -gm);
-                    }
                     rhs[d] -= ieq;
                 }
                 if let Some(s) = m.var_source {
-                    if let Some(gn) = m.var_gate {
-                        g.push(s, gn, -gm);
-                    }
-                    g.push(s, s, gm);
                     rhs[s] += ieq;
                 }
                 flops.add(2);
             }
 
-            let lu = match SparseLu::factor(&g.to_csr(), &mut flops) {
-                Ok(lu) => lu,
+            match ws.factor_solve(&rhs, &mut x_new, &mut flops) {
+                Ok(()) => {}
                 Err(NumericError::SingularMatrix { .. }) => {
                     stats.flops += flops;
                     return Ok((x, NrOutcome::Singular));
                 }
                 Err(e) => return Err(e.into()),
-            };
-            let x_full = lu.solve(&rhs, &mut flops)?;
+            }
             stats.linear_solves += 1;
             stats.iterations += 1;
 
-            // Damped update.
+            // Damped update (in place over the raw Newton solution).
             let lambda = self.opts.damping;
-            let mut x_new = vec![0.0; dim];
             for i in 0..dim {
-                x_new[i] = x[i] + lambda * (x_full[i] - x[i]);
+                x_new[i] = x[i] + lambda * (x_new[i] - x[i]);
             }
             flops.fma(dim as u64);
 
             // Device voltage limiting (the MLA augmentation).
-            let mut v_next: Vec<f64> = mna
-                .nonlinear_bindings()
-                .iter()
-                .map(|b| branch_voltage(&x_new, b.var_plus, b.var_minus))
-                .collect();
+            for (i, b) in mna.nonlinear_bindings().iter().enumerate() {
+                v_next[i] = branch_voltage(&x_new, b.var_plus, b.var_minus);
+            }
             if let Some(limit) = self.opts.device_v_limit {
                 for (i, v) in v_next.iter_mut().enumerate() {
                     let dv = *v - v_lin[i];
@@ -548,9 +576,16 @@ impl NrEngine {
                     }
                 }
             }
-            x = x_new;
-            v_lin = v_next;
-            history.push(x.clone());
+            std::mem::swap(&mut x, &mut x_new);
+            std::mem::swap(&mut v_lin, &mut v_next);
+            if history.len() == HISTORY_WINDOW {
+                // Recycle the oldest buffer instead of allocating.
+                let mut oldest = history.remove(0);
+                oldest.copy_from_slice(&x);
+                history.push(oldest);
+            } else {
+                history.push(x.clone());
+            }
             if converged {
                 stats.flops += flops;
                 return Ok((

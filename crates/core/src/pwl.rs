@@ -231,10 +231,10 @@ impl PwlEngine {
         let names = mna_var_names(mna);
         let mut times = vec![0.0];
         let mut columns: Vec<Vec<f64>> = (0..dim).map(|i| vec![x[i]]).collect();
-        let seg_w = tables.iter().map(PwlDeviceTable::segment_width).fold(
-            f64::INFINITY,
-            f64::min,
-        );
+        let seg_w = tables
+            .iter()
+            .map(PwlDeviceTable::segment_width)
+            .fold(f64::INFINITY, f64::min);
 
         let mut t = 0.0;
         let t_end = tstop * (1.0 - 1e-12);
@@ -406,10 +406,7 @@ mod tests {
         for v in [0.3, 1.0, 2.7, 4.0, 5.5] {
             let exact = rtd.current(v, &mut f);
             let approx = t.current(v, &mut f);
-            assert!(
-                (exact - approx).abs() < 2e-4,
-                "v={v}: {exact} vs {approx}"
-            );
+            assert!((exact - approx).abs() < 2e-4, "v={v}: {exact} vs {approx}");
         }
     }
 

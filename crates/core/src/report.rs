@@ -19,6 +19,10 @@ pub struct EngineStats {
     pub iterations: u64,
     /// Sparse/dense LU factorizations + solves performed.
     pub linear_solves: u64,
+    /// Full (symbolic + numeric) sparse LU factorizations.
+    pub full_factors: u64,
+    /// Values-only refactorizations that reused a cached symbolic analysis.
+    pub refactors: u64,
     /// Nonlinear device model evaluations.
     pub device_evals: u64,
     /// Floating point operations (solves + model evaluations).
@@ -48,6 +52,8 @@ impl EngineStats {
         self.rejected_steps += other.rejected_steps;
         self.iterations += other.iterations;
         self.linear_solves += other.linear_solves;
+        self.full_factors += other.full_factors;
+        self.refactors += other.refactors;
         self.device_evals += other.device_evals;
         self.flops += other.flops;
         self.elapsed += other.elapsed;
@@ -58,11 +64,14 @@ impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} steps ({} rejected), {} iterations, {} solves, {} device evals, {}, {:.3} ms",
+            "{} steps ({} rejected), {} iterations, {} solves ({} factor / {} refactor), \
+             {} device evals, {}, {:.3} ms",
             self.steps,
             self.rejected_steps,
             self.iterations,
             self.linear_solves,
+            self.full_factors,
+            self.refactors,
             self.device_evals,
             self.flops,
             self.elapsed.as_secs_f64() * 1e3

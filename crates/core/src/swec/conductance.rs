@@ -128,10 +128,9 @@ impl GeqTracker {
 mod tests {
     use super::*;
     use nanosim_circuit::Circuit;
+    use nanosim_circuit::MnaSystem;
     use nanosim_devices::rtd::Rtd;
     use nanosim_devices::sources::SourceWaveform;
-    use nanosim_devices::traits::NonlinearTwoTerminal;
-    use nanosim_circuit::MnaSystem;
 
     fn rtd_binding() -> NonlinearBinding {
         let mut ckt = Circuit::new();
@@ -187,7 +186,10 @@ mod tests {
         tracker.commit(0, 3.5, 1e-12);
         let mut f = FlopCounter::new();
         let pred = tracker.predict(0, &b, 1e-9, &mut f);
-        assert!(pred > 0.0, "SWEC conductance must stay positive, got {pred}");
+        assert!(
+            pred > 0.0,
+            "SWEC conductance must stay positive, got {pred}"
+        );
     }
 
     #[test]

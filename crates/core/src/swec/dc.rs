@@ -10,15 +10,24 @@
 //! §3.1/§5.1, Figure 7). Each sweep point starts from the previous point's
 //! solution (continuation), so a handful of iterations usually suffice.
 
-use crate::assemble::{branch_voltage, mna_var_names, override_source_rhs, CircuitMatrices};
+use crate::assemble::{
+    branch_voltage, mna_var_names, override_source_rhs, AssemblyWorkspace, CircuitMatrices,
+};
 use crate::report::EngineStats;
 use crate::swec::SwecOptions;
 use crate::waveform::DcSweepResult;
 use crate::{Result, SimError};
 use nanosim_circuit::Circuit;
-use nanosim_numeric::sparse::SparseLu;
 use nanosim_numeric::FlopCounter;
 use std::time::Instant;
+
+/// Reusable buffers of the DC fixed-point iteration; allocated once per run.
+#[derive(Debug, Default)]
+struct DcBuffers {
+    rhs: Vec<f64>,
+    x_new: Vec<f64>,
+    best_x: Vec<f64>,
+}
 
 /// The SWEC DC sweep engine.
 ///
@@ -61,17 +70,14 @@ impl SwecDcSweep {
         }
         let t0 = Instant::now();
         let mats = CircuitMatrices::new(circuit)?;
-        if mats
-            .mna
-            .circuit()
-            .element(source)
-            .is_none()
-        {
+        if mats.mna.circuit().element(source).is_none() {
             return Err(SimError::InvalidConfig {
                 context: format!("unknown sweep source `{source}`"),
             });
         }
         let mut stats = EngineStats::new();
+        let mut ws = AssemblyWorkspace::new(&mats, false, false);
+        let mut buf = DcBuffers::default();
         let n_points = ((stop - start) / step).round() as i64 + 1;
         let n_points = n_points.max(1) as usize;
 
@@ -93,18 +99,38 @@ impl SwecDcSweep {
             // no previous point to borrow Geq from); afterwards the
             // non-iterative mode performs exactly one solve per point.
             x = if k == 0 || self.opts.dc_mode == crate::swec::DcMode::FixedPoint {
-                match self.solve_point(&mats, Some((source, value)), &x, &mut stats) {
+                match self.solve_point_ws(
+                    &mats,
+                    &mut ws,
+                    &mut buf,
+                    Some((source, value)),
+                    &x,
+                    None,
+                    &mut stats,
+                ) {
                     Ok(x_new) => x_new,
                     // At a genuine bistability fold the fixed point has no
                     // single answer; step across it like the quasi-transient
                     // the paper runs.
-                    Err(SimError::NonConvergence { .. }) if k > 0 => {
-                        self.solve_noniterative(&mats, Some((source, value)), &x, &mut stats)?
-                    }
+                    Err(SimError::NonConvergence { .. }) if k > 0 => self.solve_noniterative_ws(
+                        &mats,
+                        &mut ws,
+                        &mut buf,
+                        Some((source, value)),
+                        &x,
+                        &mut stats,
+                    )?,
                     Err(e) => return Err(e),
                 }
             } else {
-                self.solve_noniterative(&mats, Some((source, value)), &x, &mut stats)?
+                self.solve_noniterative_ws(
+                    &mats,
+                    &mut ws,
+                    &mut buf,
+                    Some((source, value)),
+                    &x,
+                    &mut stats,
+                )?
             };
             sweep.push(value);
             for (i, &xi) in x.iter().enumerate() {
@@ -127,6 +153,9 @@ impl SwecDcSweep {
             stats.flops += flops;
             stats.steps += 1;
         }
+        let (ff, rf) = ws.factor_counts();
+        stats.full_factors += ff;
+        stats.refactors += rf;
         stats.elapsed = t0.elapsed();
         Ok(DcSweepResult::new(sweep, names, columns, stats))
     }
@@ -153,8 +182,10 @@ impl SwecDcSweep {
         mats: &CircuitMatrices,
         stats: &mut EngineStats,
     ) -> Result<Vec<f64>> {
+        let mut ws = AssemblyWorkspace::new(mats, false, false);
+        let mut buf = DcBuffers::default();
         let x0 = vec![0.0; mats.mna.dim()];
-        match self.solve_point(mats, None, &x0, stats) {
+        let result = match self.solve_point_ws(mats, &mut ws, &mut buf, None, &x0, None, stats) {
             Ok(x) => Ok(x),
             Err(SimError::NonConvergence { .. }) => {
                 // Source-ramp continuation: approach the bias from zero the
@@ -162,19 +193,32 @@ impl SwecDcSweep {
                 // on the continuation branch.
                 let ramp_steps = 25;
                 let mut x = x0;
+                let mut ramped = Ok(());
                 for s in 1..=ramp_steps {
                     let scale = s as f64 / ramp_steps as f64;
-                    x = self.solve_point_scaled(mats, None, &x, Some(scale), stats)?;
+                    match self.solve_point_ws(mats, &mut ws, &mut buf, None, &x, Some(scale), stats)
+                    {
+                        Ok(xi) => x = xi,
+                        Err(e) => {
+                            ramped = Err(e);
+                            break;
+                        }
+                    }
                 }
-                Ok(x)
+                ramped.map(|()| x)
             }
             Err(e) => Err(e),
-        }
+        };
+        let (ff, rf) = ws.factor_counts();
+        stats.full_factors += ff;
+        stats.refactors += rf;
+        result
     }
 
     /// One non-iterative SWEC step: stamp `Geq` at the previous solution
     /// `x0` and solve once — the paper's DC procedure ("a range of voltages
     /// were applied ... SWEC is a non iterative method").
+    #[allow(dead_code)] // convenience wrapper kept for tests
     pub(crate) fn solve_noniterative(
         &self,
         mats: &CircuitMatrices,
@@ -182,40 +226,69 @@ impl SwecDcSweep {
         x0: &[f64],
         stats: &mut EngineStats,
     ) -> Result<Vec<f64>> {
+        let mut ws = AssemblyWorkspace::new(mats, false, false);
+        let mut buf = DcBuffers::default();
+        self.solve_noniterative_ws(mats, &mut ws, &mut buf, override_src, x0, stats)
+    }
+
+    /// [`SwecDcSweep::solve_noniterative`] against caller-owned workspace
+    /// and buffers (the sweep's per-point hot path).
+    fn solve_noniterative_ws(
+        &self,
+        mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
+        buf: &mut DcBuffers,
+        override_src: Option<(&str, f64)>,
+        x0: &[f64],
+        stats: &mut EngineStats,
+    ) -> Result<Vec<f64>> {
         let mna = &mats.mna;
         let dim = mna.dim();
         let mut flops = FlopCounter::new();
-        let mut g = mats.g_lin.clone();
-        for b in mna.nonlinear_bindings() {
-            let v = branch_voltage(x0, b.var_plus, b.var_minus);
-            let geq = b.device.equivalent_conductance(v, &mut flops) + self.opts.gmin;
-            stats.device_evals += 1;
-            nanosim_circuit::MnaSystem::stamp_conductance(&mut g, b.var_plus, b.var_minus, geq);
-        }
-        for m in mna.mosfet_bindings() {
-            let vd = m.var_drain.map_or(0.0, |i| x0[i]);
-            let vg = m.var_gate.map_or(0.0, |i| x0[i]);
-            let vs = m.var_source.map_or(0.0, |i| x0[i]);
-            let geq = m.model.geq(vg - vs, vd - vs, &mut flops) + self.opts.gmin;
-            stats.device_evals += 1;
-            nanosim_circuit::MnaSystem::stamp_conductance(&mut g, m.var_drain, m.var_source, geq);
-        }
-        let mut rhs = vec![0.0; dim];
-        mna.stamp_rhs(0.0, &mut rhs);
+        self.stamp_geq(mats, ws, x0, stats, &mut flops);
+        buf.rhs.resize(dim, 0.0);
+        mna.stamp_rhs(0.0, &mut buf.rhs);
         if let Some((name, value)) = override_src {
-            override_source_rhs(mna, name, value, 0.0, &mut rhs);
+            override_source_rhs(mna, name, value, 0.0, &mut buf.rhs);
         }
-        let lu = SparseLu::factor(&g.to_csr(), &mut flops)?;
-        let x = lu.solve(&rhs, &mut flops)?;
+        ws.factor_solve(&buf.rhs, &mut buf.x_new, &mut flops)?;
         stats.linear_solves += 1;
         stats.iterations += 1;
         stats.flops += flops;
-        Ok(x)
+        Ok(buf.x_new.clone())
+    }
+
+    /// Stamps the linear G plus every device's `Geq(x0)` into the workspace.
+    fn stamp_geq(
+        &self,
+        mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
+        x0: &[f64],
+        stats: &mut EngineStats,
+        flops: &mut FlopCounter,
+    ) {
+        let mna = &mats.mna;
+        ws.begin();
+        for (i, b) in mna.nonlinear_bindings().iter().enumerate() {
+            let v = branch_voltage(x0, b.var_plus, b.var_minus);
+            let geq = b.device.equivalent_conductance(v, flops) + self.opts.gmin;
+            stats.device_evals += 1;
+            ws.stamp_nonlinear(i, geq);
+        }
+        for (k, m) in mna.mosfet_bindings().iter().enumerate() {
+            let vd = m.var_drain.map_or(0.0, |i| x0[i]);
+            let vg = m.var_gate.map_or(0.0, |i| x0[i]);
+            let vs = m.var_source.map_or(0.0, |i| x0[i]);
+            let geq = m.model.geq(vg - vs, vd - vs, flops) + self.opts.gmin;
+            stats.device_evals += 1;
+            ws.stamp_mosfet_cond(k, geq);
+        }
     }
 
     /// Damped Geq fixed point at one bias point. `override_src` optionally
     /// replaces a named source's value; `x0` seeds the iteration
     /// (continuation).
+    #[allow(dead_code)] // convenience wrapper kept for tests
     pub(crate) fn solve_point(
         &self,
         mats: &CircuitMatrices,
@@ -223,14 +296,21 @@ impl SwecDcSweep {
         x0: &[f64],
         stats: &mut EngineStats,
     ) -> Result<Vec<f64>> {
-        self.solve_point_scaled(mats, override_src, x0, None, stats)
+        let mut ws = AssemblyWorkspace::new(mats, false, false);
+        let mut buf = DcBuffers::default();
+        self.solve_point_ws(mats, &mut ws, &mut buf, override_src, x0, None, stats)
     }
 
-    /// [`SwecDcSweep::solve_point`] with all sources scaled by
-    /// `source_scale` (continuation ramp).
-    pub(crate) fn solve_point_scaled(
+    /// [`SwecDcSweep::solve_point`] against caller-owned workspace/buffers,
+    /// with all sources optionally scaled by `source_scale` (continuation
+    /// ramp). The iteration assembles by scatter-update into the prebuilt
+    /// pattern and refactors the cached LU — no allocation per iteration.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_point_ws(
         &self,
         mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
+        buf: &mut DcBuffers,
         override_src: Option<(&str, f64)>,
         x0: &[f64],
         source_scale: Option<f64>,
@@ -245,69 +325,47 @@ impl SwecDcSweep {
         // Best (smallest-residual) iterate seen: at a bistability fold the
         // damped map can cycle between branches without ever meeting the
         // tight tolerance; a near-converged iterate is still useful.
-        let mut best: Option<(f64, Vec<f64>)> = None;
-        let is_linear =
-            mna.nonlinear_bindings().is_empty() && mna.mosfet_bindings().is_empty();
+        let mut best_delta = f64::INFINITY;
+        let mut have_best = false;
+        let is_linear = mna.nonlinear_bindings().is_empty() && mna.mosfet_bindings().is_empty();
         for iter in 0..self.opts.dc_max_iterations {
             // Stamp G with Geq at the current iterate.
-            let mut g = mats.g_lin.clone();
-            for b in mna.nonlinear_bindings() {
-                let v = branch_voltage(&x, b.var_plus, b.var_minus);
-                let geq = b.device.equivalent_conductance(v, &mut flops) + self.opts.gmin;
-                stats.device_evals += 1;
-                nanosim_circuit::MnaSystem::stamp_conductance(
-                    &mut g,
-                    b.var_plus,
-                    b.var_minus,
-                    geq,
-                );
-            }
-            for m in mna.mosfet_bindings() {
-                let vd = m.var_drain.map_or(0.0, |i| x[i]);
-                let vg = m.var_gate.map_or(0.0, |i| x[i]);
-                let vs = m.var_source.map_or(0.0, |i| x[i]);
-                let geq = m.model.geq(vg - vs, vd - vs, &mut flops) + self.opts.gmin;
-                stats.device_evals += 1;
-                nanosim_circuit::MnaSystem::stamp_conductance(
-                    &mut g,
-                    m.var_drain,
-                    m.var_source,
-                    geq,
-                );
-            }
-            let mut rhs = vec![0.0; dim];
-            mna.stamp_rhs(0.0, &mut rhs);
+            self.stamp_geq(mats, ws, &x, stats, &mut flops);
+            buf.rhs.resize(dim, 0.0);
+            mna.stamp_rhs(0.0, &mut buf.rhs);
             if let Some((name, value)) = override_src {
-                override_source_rhs(mna, name, value, 0.0, &mut rhs);
+                override_source_rhs(mna, name, value, 0.0, &mut buf.rhs);
             }
             if let Some(scale) = source_scale {
-                for r in rhs.iter_mut() {
+                for r in buf.rhs.iter_mut() {
                     *r *= scale;
                 }
                 flops.mul(dim as u64);
             }
-            let lu = SparseLu::factor(&g.to_csr(), &mut flops)?;
-            let x_new = lu.solve(&rhs, &mut flops)?;
+            ws.factor_solve(&buf.rhs, &mut buf.x_new, &mut flops)?;
             stats.linear_solves += 1;
             stats.iterations += 1;
 
             // Convergence on node voltages (branch currents scale badly).
             let delta = x
                 .iter()
-                .zip(x_new.iter())
+                .zip(buf.x_new.iter())
                 .take(mna.num_nodes())
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0, f64::max);
             if delta < self.opts.dc_tolerance || (is_linear && iter >= 1) {
                 stats.flops += flops;
-                return Ok(x_new);
+                return Ok(buf.x_new.clone());
             }
-            if best.as_ref().is_none_or(|(d, _)| delta < *d) {
-                best = Some((delta, x_new.clone()));
+            if !have_best || delta < best_delta {
+                best_delta = delta;
+                buf.best_x.clear();
+                buf.best_x.extend_from_slice(&buf.x_new);
+                have_best = true;
             }
             if is_linear {
                 // One more pass confirms the (already exact) solution.
-                x = x_new;
+                x.copy_from_slice(&buf.x_new);
                 continue;
             }
             // Adaptive damping: if the map stopped contracting, damp harder.
@@ -316,17 +374,15 @@ impl SwecDcSweep {
             }
             prev_delta = delta;
             for i in 0..dim {
-                x[i] += lambda * (x_new[i] - x[i]);
+                x[i] += lambda * (buf.x_new[i] - x[i]);
             }
         }
         stats.flops += flops;
         // Accept a near-converged iterate (loose but bounded) before giving
         // up entirely — the cycling amplitude at a fold point is tiny
         // compared to the voltage scale.
-        if let Some((d, x_best)) = best {
-            if d < 1e-4 {
-                return Ok(x_best);
-            }
+        if have_best && best_delta < 1e-4 {
+            return Ok(buf.best_x.clone());
         }
         Err(SimError::NonConvergence {
             at: override_src.map(|(_, v)| v).unwrap_or(0.0),
@@ -385,7 +441,9 @@ mod tests {
 
     #[test]
     fn sweep_shapes_and_names() {
-        let r = engine().run(&resistive_divider(), "V1", 0.0, 1.0, 0.25).unwrap();
+        let r = engine()
+            .run(&resistive_divider(), "V1", 0.0, 1.0, 0.25)
+            .unwrap();
         assert_eq!(r.points(), 5);
         assert_eq!(r.sweep_values(), &[0.0, 0.25, 0.5, 0.75, 1.0]);
         assert!(r.names().contains(&"b".to_string()));
@@ -419,7 +477,9 @@ mod tests {
     fn rtd_sweep_covers_ndr_region() {
         // Figure 7(a): sweeping through the peak must not fail, and the
         // captured I-V must show the peak then the NDR droop.
-        let r = engine().run(&rtd_divider(50.0), "V1", 0.0, 5.0, 0.05).unwrap();
+        let r = engine()
+            .run(&rtd_divider(50.0), "V1", 0.0, 5.0, 0.05)
+            .unwrap();
         let iv = r.curve("I(X1)").unwrap();
         let (v_peak, i_peak) = iv.peak().unwrap();
         assert!(v_peak > 2.0 && v_peak < 4.5, "peak at {v_peak}");
@@ -452,7 +512,9 @@ mod tests {
 
     #[test]
     fn stats_are_populated() {
-        let r = engine().run(&rtd_divider(50.0), "V1", 0.0, 1.0, 0.1).unwrap();
+        let r = engine()
+            .run(&rtd_divider(50.0), "V1", 0.0, 1.0, 0.1)
+            .unwrap();
         assert_eq!(r.stats.steps, 11);
         assert!(r.stats.iterations >= 11);
         assert!(r.stats.linear_solves >= 11);
@@ -499,7 +561,9 @@ mod tests {
 
     #[test]
     fn descending_sweep_works() {
-        let r = engine().run(&resistive_divider(), "V1", 1.0, 0.0, -0.5).unwrap();
+        let r = engine()
+            .run(&resistive_divider(), "V1", 1.0, 0.0, -0.5)
+            .unwrap();
         assert_eq!(r.sweep_values(), &[1.0, 0.5, 0.0]);
     }
 }

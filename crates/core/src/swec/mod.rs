@@ -136,6 +136,9 @@ mod tests {
 
     #[test]
     fn integration_method_default() {
-        assert_eq!(IntegrationMethod::default(), IntegrationMethod::BackwardEuler);
+        assert_eq!(
+            IntegrationMethod::default(),
+            IntegrationMethod::BackwardEuler
+        );
     }
 }

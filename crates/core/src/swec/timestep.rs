@@ -254,7 +254,10 @@ mod tests {
         o.h_min = 1e-12;
         let ctl = TimeStepController::new(o, 1e-9);
         let h = ctl.suggest(
-            vec![StepConstraint::DeviceSlew { v: 1e-9, alpha: 1e12 }],
+            vec![StepConstraint::DeviceSlew {
+                v: 1e-9,
+                alpha: 1e12,
+            }],
             0.0,
             1.0,
             None,

@@ -10,7 +10,7 @@
 //! `dv_max` in one step — the "too large a time step might lead to the
 //! failure of implicit integration" guard of §3.2.
 
-use crate::assemble::{branch_voltage, mna_var_names, CircuitMatrices};
+use crate::assemble::{branch_voltage, mna_var_names, AssemblyWorkspace, CircuitMatrices};
 use crate::report::EngineStats;
 use crate::swec::conductance::GeqTracker;
 use crate::swec::dc::SwecDcSweep;
@@ -20,12 +20,25 @@ use crate::waveform::TransientResult;
 use crate::{Result, SimError};
 use nanosim_circuit::element::ElementKind;
 use nanosim_circuit::{Circuit, MnaSystem};
-use nanosim_numeric::sparse::{CsrMatrix, SparseLu, TripletMatrix};
 use nanosim_numeric::FlopCounter;
 use std::time::Instant;
 
 /// Maximum consecutive step rejections before giving up.
 const MAX_REJECTIONS: usize = 60;
+
+/// Per-run reusable buffers of the transient stepper (see
+/// [`SwecTransient::step`]); allocated once, rewritten every attempt.
+#[derive(Debug, Default)]
+struct StepBuffers {
+    /// Right-hand side of the step's linear system.
+    rhs: Vec<f64>,
+    /// `b(t)` for the trapezoidal average.
+    b_now: Vec<f64>,
+    /// Stamped `G` values (no `C/h`) of the current attempt.
+    g_vals: Vec<f64>,
+    /// Solution of the step's linear system.
+    x_new: Vec<f64>,
+}
 
 /// The SWEC transient engine.
 ///
@@ -142,10 +155,21 @@ impl SwecTransient {
         let mut times = vec![0.0];
         let mut columns: Vec<Vec<f64>> = (0..dim).map(|i| vec![x[i]]).collect();
 
+        // Assembly workspace (pattern + cached refactorizable LU) and step
+        // buffers shared by every attempted step of the run.
+        let mut ws = AssemblyWorkspace::new(&mats, false, true);
+        let mut buf = StepBuffers {
+            rhs: vec![0.0; dim],
+            b_now: vec![0.0; dim],
+            g_vals: Vec::new(),
+            x_new: Vec::with_capacity(dim),
+        };
+        // G-only values (before C/h) of the previously *accepted* step
+        // (trapezoidal's G_n).
+        let mut g_prev_vals: Option<Vec<f64>> = None;
         // Row sums of |G| per node for the RC constraint (PaperConstraints
         // mode); refreshed after every accepted step.
         let mut g_rowsum = vec![0.0f64; mna.num_nodes()];
-        let mut g_prev_csr: Option<CsrMatrix> = None;
         // Previous accepted state and step for the eq. (10) error estimate.
         let mut x_prev: Option<Vec<f64>> = None;
         let mut h_prev = 0.0f64;
@@ -192,23 +216,26 @@ impl SwecTransient {
             };
 
             // Attempt / reject loop.
-            let mut accepted = None;
+            let mut accepted = false;
             let mut error_ratio = 0.0f64;
             for _ in 0..MAX_REJECTIONS {
                 if h < self.opts.h_min {
                     return Err(SimError::StepSizeUnderflow { time: t, step: h });
                 }
-                let (g_only, solution) = self.step(
+                self.step(
                     &mats,
+                    &mut ws,
                     &tracker,
                     &mos_state,
                     &x,
                     t,
                     h,
-                    g_prev_csr.as_ref(),
+                    g_prev_vals.as_deref(),
+                    &mut buf,
                     &mut stats,
                     &mut flops,
                 )?;
+                let solution = &buf.x_new;
                 // Hard guard: no *nonlinear device* may see its branch
                 // voltage move more than dv_max in one step — that is what
                 // invalidates the step-wise Geq linearization. Source-forced
@@ -217,7 +244,7 @@ impl SwecTransient {
                 let mut max_dv = 0.0f64;
                 for b in bindings.iter() {
                     let v_old = branch_voltage(&x, b.var_plus, b.var_minus);
-                    let v_new = branch_voltage(&solution, b.var_plus, b.var_minus);
+                    let v_new = branch_voltage(solution, b.var_plus, b.var_minus);
                     max_dv = max_dv.max((v_new - v_old).abs());
                 }
                 for (k, m) in mosfets.iter().enumerate() {
@@ -253,41 +280,37 @@ impl SwecTransient {
                             stats.rejected_steps += 1;
                             // Shrink toward (but never below) the floor; at
                             // the floor the step is accepted as-is.
-                            h = (h * (0.9 / r.sqrt()).clamp(0.1, 0.5))
-                                .max(self.opts.h_min * 1.01);
+                            h = (h * (0.9 / r.sqrt()).clamp(0.1, 0.5)).max(self.opts.h_min * 1.01);
                             continue;
                         }
                     }
                 }
-                accepted = Some((g_only, solution));
+                accepted = true;
                 break;
             }
-            let (g_only, x_new) = accepted.ok_or(SimError::StepSizeUnderflow {
-                time: t,
-                step: h,
-            })?;
+            if !accepted {
+                return Err(SimError::StepSizeUnderflow { time: t, step: h });
+            }
 
             // Commit device histories.
             for (i, b) in bindings.iter().enumerate() {
-                tracker.commit(i, branch_voltage(&x_new, b.var_plus, b.var_minus), h);
+                tracker.commit(i, branch_voltage(&buf.x_new, b.var_plus, b.var_minus), h);
             }
             for (k, m) in mosfets.iter().enumerate() {
-                let vd = m.var_drain.map_or(0.0, |i| x_new[i]);
-                let vg = m.var_gate.map_or(0.0, |i| x_new[i]);
-                let vs = m.var_source.map_or(0.0, |i| x_new[i]);
+                let vd = m.var_drain.map_or(0.0, |i| buf.x_new[i]);
+                let vg = m.var_gate.map_or(0.0, |i| buf.x_new[i]);
+                let vs = m.var_source.map_or(0.0, |i| buf.x_new[i]);
                 mos_state[k] = (vg - vs, vd - vs);
             }
             // Refresh node conductance row sums from the stamped G.
-            for s in g_rowsum.iter_mut() {
-                *s = 0.0;
-            }
-            for (r, _, v) in g_only.iter() {
-                if r < g_rowsum.len() {
-                    g_rowsum[r] += v.abs();
-                }
-            }
+            ws.row_abs_sums(&buf.g_vals, &mut g_rowsum);
             if self.opts.integration == IntegrationMethod::Trapezoidal {
-                g_prev_csr = Some(g_only);
+                // Keep this step's G values as the next step's G_n,
+                // recycling the buffer.
+                match &mut g_prev_vals {
+                    Some(prev) => std::mem::swap(prev, &mut buf.g_vals),
+                    None => g_prev_vals = Some(buf.g_vals.clone()),
+                }
             }
 
             // Next-step reference for the local-error mode.
@@ -300,9 +323,12 @@ impl SwecTransient {
                 h_ref = (h * grow).clamp(self.opts.h_min, h_max);
             }
 
-            x_prev = Some(x.clone());
+            match &mut x_prev {
+                Some(p) => p.copy_from_slice(&x),
+                None => x_prev = Some(x.clone()),
+            }
             h_prev = h;
-            x = x_new;
+            std::mem::swap(&mut x, &mut buf.x_new);
             t += h;
             controller.accept(h);
             stats.steps += 1;
@@ -312,87 +338,83 @@ impl SwecTransient {
             }
         }
         stats.flops += flops;
+        let (ff, rf) = ws.factor_counts();
+        stats.full_factors += ff;
+        stats.refactors += rf;
         stats.elapsed = t_start.elapsed();
         Ok(TransientResult::new(times, names, columns, stats))
     }
 
-    /// Assembles and solves one candidate step, returning the stamped `G`
-    /// (without the `C/h` part, for diagnostics) and the new solution.
+    /// Assembles and solves one candidate step in place: the workspace
+    /// pattern is re-stamped (no matrix clone / CSR rebuild), the cached LU
+    /// is refactored, and the results land in `buf` — `buf.x_new` holds the
+    /// solution and `buf.g_vals` the stamped `G` values without the `C/h`
+    /// part (for the step controller's row sums and trapezoidal history).
     #[allow(clippy::too_many_arguments)]
     fn step(
         &self,
         mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
         tracker: &GeqTracker,
         mos_state: &[(f64, f64)],
         x: &[f64],
         t: f64,
         h: f64,
-        g_prev: Option<&CsrMatrix>,
+        g_prev: Option<&[f64]>,
+        buf: &mut StepBuffers,
         stats: &mut EngineStats,
         flops: &mut FlopCounter,
-    ) -> Result<(CsrMatrix, Vec<f64>)> {
+    ) -> Result<()> {
         let mna = &mats.mna;
         let dim = mna.dim();
+        let StepBuffers {
+            rhs,
+            b_now,
+            g_vals,
+            x_new,
+        } = buf;
         // G(t+h) with SWEC device stamps.
-        let mut g = mats.g_lin.clone();
+        ws.begin();
         for (i, b) in mna.nonlinear_bindings().iter().enumerate() {
             let geq = tracker.predict(i, b, h, flops) + self.opts.gmin;
             stats.device_evals += 1;
-            MnaSystem::stamp_conductance(&mut g, b.var_plus, b.var_minus, geq);
+            ws.stamp_nonlinear(i, geq);
         }
         for (k, m) in mna.mosfet_bindings().iter().enumerate() {
             let (vgs, vds) = mos_state[k];
             let geq = m.model.geq(vgs, vds, flops) + self.opts.gmin;
             stats.device_evals += 1;
-            MnaSystem::stamp_conductance(&mut g, m.var_drain, m.var_source, geq);
+            ws.stamp_mosfet_cond(k, geq);
         }
-        let g_only = g.to_csr();
+        ws.snapshot_values(g_vals);
 
         // System matrix and right-hand side per the integration rule.
-        let mut a = TripletMatrix::with_capacity(dim, dim, g.len() + mats.c_triplets.len());
-        let mut rhs = vec![0.0; dim];
         match self.opts.integration {
             IntegrationMethod::BackwardEuler => {
                 // (G + C/h) x_{n+1} = b(t+h) + (C/h) x_n
-                a.extend(g.iter().cloned());
-                for &(r, c, v) in mats.c_triplets.iter() {
-                    a.push(r, c, v / h);
-                }
-                flops.div(mats.c_triplets.len() as u64);
-                mna.stamp_rhs(t + h, &mut rhs);
-                mats.c_csr.matvec_acc(1.0 / h, x, &mut rhs, flops)?;
+                ws.add_c_over_h(h, flops);
+                mna.stamp_rhs(t + h, rhs);
+                mats.c_csr.matvec_acc(1.0 / h, x, rhs, flops)?;
             }
             IntegrationMethod::Trapezoidal => {
                 // (C/h + G_{n+1}/2) x_{n+1}
                 //     = (C/h) x_n - (G_n/2) x_n + (b_n + b_{n+1})/2
-                for (r, c, v) in g.iter() {
-                    a.push(*r, *c, v * 0.5);
-                }
-                for &(r, c, v) in mats.c_triplets.iter() {
-                    a.push(r, c, v / h);
-                }
-                flops.div(mats.c_triplets.len() as u64);
-                flops.mul(g.len() as u64);
-                let mut b_now = vec![0.0; dim];
-                mna.stamp_rhs(t, &mut b_now);
-                mna.stamp_rhs(t + h, &mut rhs);
+                ws.scale_values(0.5, flops);
+                ws.add_c_over_h(h, flops);
+                mna.stamp_rhs(t, b_now);
+                mna.stamp_rhs(t + h, rhs);
                 for i in 0..dim {
                     rhs[i] = 0.5 * (rhs[i] + b_now[i]);
                 }
                 flops.fma(dim as u64);
-                mats.c_csr.matvec_acc(1.0 / h, x, &mut rhs, flops)?;
-                let g_n = g_prev.unwrap_or(&g_only);
-                let gx = g_n.matvec(x, flops)?;
-                for i in 0..dim {
-                    rhs[i] -= 0.5 * gx[i];
-                }
-                flops.fma(dim as u64);
+                mats.c_csr.matvec_acc(1.0 / h, x, rhs, flops)?;
+                let g_n: &[f64] = g_prev.unwrap_or(g_vals);
+                ws.matvec_acc_with(g_n, -0.5, x, rhs, flops);
             }
         }
-        let lu = SparseLu::factor(&a.to_csr(), flops)?;
-        let x_new = lu.solve(&rhs, flops)?;
+        ws.factor_solve(rhs, x_new, flops)?;
         stats.linear_solves += 1;
-        Ok((g_only, x_new))
+        Ok(())
     }
 
     /// Earliest breakpoint of any source strictly after `t`.
@@ -443,16 +465,15 @@ mod tests {
     #[test]
     fn rc_charging_matches_analytic() {
         // tau = 1 ns; run 5 tau.
-        let result = engine().run(&rc_step_circuit(1e3, 1e-12), 0.05e-9, 5e-9).unwrap();
+        let result = engine()
+            .run(&rc_step_circuit(1e3, 1e-12), 0.05e-9, 5e-9)
+            .unwrap();
         let out = result.waveform("out").unwrap();
         for frac in [0.5, 1.0, 2.0, 3.0] {
             let t = frac * 1e-9;
             let expected = 1.0 - (-frac as f64).exp();
             let got = out.value_at(t);
-            assert!(
-                (got - expected).abs() < 0.02,
-                "t={t}: {got} vs {expected}"
-            );
+            assert!((got - expected).abs() < 0.02, "t={t}: {got} vs {expected}");
         }
         assert!(result.stats.steps > 10);
         assert!(result.stats.flops.total() > 0);
@@ -594,7 +615,9 @@ mod tests {
 
     #[test]
     fn branch_current_recorded() {
-        let result = engine().run(&rc_step_circuit(1e3, 1e-12), 0.05e-9, 5e-9).unwrap();
+        let result = engine()
+            .run(&rc_step_circuit(1e3, 1e-12), 0.05e-9, 5e-9)
+            .unwrap();
         let i_v1: Waveform = result.waveform("I(V1)").unwrap();
         // After charging, the source current decays to ~0; early it is
         // ~-1 mA (current flows out of the source's + terminal).
@@ -606,7 +629,9 @@ mod tests {
     fn adaptive_step_grows_in_quiet_regions() {
         // After the transient settles the controller should take steps near
         // the h_max bound, so the run uses far fewer points than tstop/h_min.
-        let result = engine().run(&rc_step_circuit(1e3, 1e-12), 0.1e-9, 50e-9).unwrap();
+        let result = engine()
+            .run(&rc_step_circuit(1e3, 1e-12), 0.1e-9, 50e-9)
+            .unwrap();
         assert!(
             result.stats.steps < 5000,
             "too many steps: {}",

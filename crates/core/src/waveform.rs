@@ -212,10 +212,12 @@ impl Waveform {
         let cols = cols.max(2);
         let t0 = self.times[0];
         let t1 = *self.times.last().expect("nonempty");
-        let (vmin, vmax) = self.values.iter().fold(
-            (f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), &v| (lo.min(v), hi.max(v)),
-        );
+        let (vmin, vmax) = self
+            .values
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
         let vspan = if vmax > vmin { vmax - vmin } else { 1.0 };
         let mut grid = vec![vec![b' '; cols]; rows];
         for col in 0..cols {

@@ -11,8 +11,7 @@ pub const PLANCK: f64 = 6.626_070_15e-34;
 
 /// Conductance quantum `G0 = 2e²/h` in siemens — the height of one step in
 /// a quantum wire's conductance staircase (paper Figure 1(b)).
-pub const QUANTUM_CONDUCTANCE: f64 =
-    2.0 * ELEMENTARY_CHARGE * ELEMENTARY_CHARGE / PLANCK;
+pub const QUANTUM_CONDUCTANCE: f64 = 2.0 * ELEMENTARY_CHARGE * ELEMENTARY_CHARGE / PLANCK;
 
 /// Reference temperature in kelvin used by the paper's experiments.
 pub const ROOM_TEMPERATURE: f64 = 300.0;

@@ -187,8 +187,7 @@ mod tests {
         let d = Diode::silicon();
         let h = 1e-8;
         for v in [-1.0, 0.0, 0.3, 0.6] {
-            let num =
-                (d.current(v + h, &mut flops()) - d.current(v - h, &mut flops())) / (2.0 * h);
+            let num = (d.current(v + h, &mut flops()) - d.current(v - h, &mut flops())) / (2.0 * h);
             let ana = d.differential_conductance(v, &mut flops());
             assert!(approx_eq(num, ana, 1e-4), "v={v}: {num} vs {ana}");
         }

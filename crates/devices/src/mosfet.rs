@@ -102,7 +102,12 @@ impl MosfetParams {
         check("k", self.k, self.k > 0.0, "must be positive")?;
         check("w", self.w, self.w > 0.0, "must be positive")?;
         check("l", self.l, self.l > 0.0, "must be positive")?;
-        check("lambda", self.lambda, self.lambda >= 0.0, "must be non-negative")?;
+        check(
+            "lambda",
+            self.lambda,
+            self.lambda >= 0.0,
+            "must be non-negative",
+        )?;
         match self.mos_type {
             MosType::Nmos => check("vth", self.vth, self.vth >= 0.0, "NMOS needs vth >= 0"),
             MosType::Pmos => check("vth", self.vth, self.vth <= 0.0, "PMOS needs vth <= 0"),

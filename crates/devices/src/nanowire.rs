@@ -143,8 +143,8 @@ impl NonlinearTwoTerminal for Nanowire {
         for k in 1..=p.num_steps {
             let vk = k as f64 * p.step_voltage;
             // Odd-in-V integral of one smeared step pair.
-            i += p.smearing
-                * (ln_1p_exp((v - vk) / p.smearing) - ln_1p_exp((-v - vk) / p.smearing));
+            i +=
+                p.smearing * (ln_1p_exp((v - vk) / p.smearing) - ln_1p_exp((-v - vk) / p.smearing));
             flops.func(2);
             flops.mul(2);
             flops.div(2);
@@ -249,8 +249,7 @@ mod tests {
         let w = Nanowire::metallic_cnt();
         let h = 1e-6;
         for v in [0.1, 0.5, 1.0, 1.9, 2.6] {
-            let num =
-                (w.current(v + h, &mut flops()) - w.current(v - h, &mut flops())) / (2.0 * h);
+            let num = (w.current(v + h, &mut flops()) - w.current(v - h, &mut flops())) / (2.0 * h);
             let ana = w.differential_conductance(v, &mut flops());
             assert!(approx_eq(num, ana, 1e-5), "v={v}: {num} vs {ana}");
         }

@@ -439,8 +439,8 @@ mod tests {
         let rtd = Rtd::date2005();
         let h = 1e-7;
         for v in [-2.0, 0.0, 1.0, 2.5, 3.2, 4.0, 5.5] {
-            let num = (rtd.current(v + h, &mut flops()) - rtd.current(v - h, &mut flops()))
-                / (2.0 * h);
+            let num =
+                (rtd.current(v + h, &mut flops()) - rtd.current(v - h, &mut flops())) / (2.0 * h);
             let ana = rtd.differential_conductance(v, &mut flops());
             assert!(
                 approx_eq(num, ana, 1e-4),

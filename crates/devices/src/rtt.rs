@@ -344,8 +344,8 @@ mod tests {
         let rtt = Rtt::three_peak();
         let h = 1e-7;
         for v in [0.5, 1.2, 2.0, 3.1, 4.4] {
-            let num = (rtt.current(v + h, &mut flops()) - rtt.current(v - h, &mut flops()))
-                / (2.0 * h);
+            let num =
+                (rtt.current(v + h, &mut flops()) - rtt.current(v - h, &mut flops())) / (2.0 * h);
             let ana = rtt.differential_conductance(v, &mut flops());
             assert!(approx_eq(num, ana, 1e-4), "v={v}: {num} vs {ana}");
         }

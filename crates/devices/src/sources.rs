@@ -240,21 +240,12 @@ impl SourceWaveform {
     pub fn next_breakpoint(&self, t: f64) -> Option<f64> {
         const EPS: f64 = 1e-18;
         match self {
-            SourceWaveform::Dc(_)
-            | SourceWaveform::Sin(_)
-            | SourceWaveform::WhiteNoise { .. } => None,
-            SourceWaveform::Pwl(f) => f
-                .points()
-                .iter()
-                .map(|&(x, _)| x)
-                .find(|&x| x > t + EPS),
+            SourceWaveform::Dc(_) | SourceWaveform::Sin(_) | SourceWaveform::WhiteNoise { .. } => {
+                None
+            }
+            SourceWaveform::Pwl(f) => f.points().iter().map(|&(x, _)| x).find(|&x| x > t + EPS),
             SourceWaveform::Pulse(p) => {
-                let corners = [
-                    0.0,
-                    p.rise,
-                    p.rise + p.width,
-                    p.rise + p.width + p.fall,
-                ];
+                let corners = [0.0, p.rise, p.rise + p.width, p.rise + p.width + p.fall];
                 if t < p.delay {
                     return Some(p.delay);
                 }
@@ -506,7 +497,11 @@ mod tests {
         // After the last corner of a cycle, the next period's start.
         assert!(approx_eq(s.next_breakpoint(60e-9).unwrap(), 110e-9, 1e-15));
         // Second period's rise end.
-        assert!(approx_eq(s.next_breakpoint(110.5e-9).unwrap(), 112e-9, 1e-12));
+        assert!(approx_eq(
+            s.next_breakpoint(110.5e-9).unwrap(),
+            112e-9,
+            1e-12
+        ));
     }
 
     #[test]

@@ -22,13 +22,13 @@ fn flops() -> FlopCounter {
 /// Random-but-physical RTD parameter sets.
 fn rtd_params() -> impl Strategy<Value = RtdParams> {
     (
-        1e-5f64..1e-3,   // a
-        0.05f64..0.5,    // b
-        0.3f64..2.0,     // c
-        0.03f64..0.5,    // d
-        1e-9f64..1e-6,   // h
-        0.2f64..0.6,     // n1
-        0.01f64..0.1,    // n2
+        1e-5f64..1e-3, // a
+        0.05f64..0.5,  // b
+        0.3f64..2.0,   // c
+        0.03f64..0.5,  // d
+        1e-9f64..1e-6, // h
+        0.2f64..0.6,   // n1
+        0.01f64..0.1,  // n2
     )
         .prop_map(|(a, b, c, d, h, n1, n2)| RtdParams {
             a,

@@ -109,7 +109,11 @@ impl DenseMatrix {
     /// # Panics
     /// Panics if `i >= self.rows()`.
     pub fn row(&self, i: usize) -> &[f64] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -120,7 +124,12 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f64], flops: &mut FlopCounter) -> Result<Vec<f64>> {
         if x.len() != self.cols {
             return Err(NumericError::DimensionMismatch {
-                context: format!("matvec: {}x{} by vector of {}", self.rows, self.cols, x.len()),
+                context: format!(
+                    "matvec: {}x{} by vector of {}",
+                    self.rows,
+                    self.cols,
+                    x.len()
+                ),
             });
         }
         let mut y = vec![0.0; self.rows];
@@ -232,12 +241,7 @@ impl DenseMatrix {
                 }
             }
         }
-        Ok(DenseLu {
-            n,
-            lu,
-            perm,
-            sign,
-        })
+        Ok(DenseLu { n, lu, perm, sign })
     }
 
     /// Solves `A·x = b` through a fresh LU factorization.
@@ -418,8 +422,8 @@ mod tests {
 
     #[test]
     fn lu_solves_small_system() {
-        let a = DenseMatrix::from_rows(3, 3, &[2.0, 1.0, 1.0, 4.0, -6.0, 0.0, -2.0, 7.0, 2.0])
-            .unwrap();
+        let a =
+            DenseMatrix::from_rows(3, 3, &[2.0, 1.0, 1.0, 4.0, -6.0, 0.0, -2.0, 7.0, 2.0]).unwrap();
         let mut f = flops();
         let x = a.solve(&[5.0, -2.0, 9.0], &mut f).unwrap();
         assert!(approx_eq(x[0], 1.0, 1e-12));

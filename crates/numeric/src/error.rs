@@ -41,6 +41,14 @@ pub enum NumericError {
         /// Human-readable description of the offending argument.
         context: String,
     },
+    /// A refactorization was asked to reuse a cached symbolic analysis, but
+    /// the matrix no longer matches it (new nonzero, different shape) or the
+    /// cached pivot order went numerically bad. Callers normally respond by
+    /// running a full factorization with fresh pivoting.
+    PatternChanged {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
 }
 
 impl fmt::Display for NumericError {
@@ -70,6 +78,9 @@ impl fmt::Display for NumericError {
             ),
             NumericError::InvalidArgument { context } => {
                 write!(f, "invalid argument: {context}")
+            }
+            NumericError::PatternChanged { context } => {
+                write!(f, "sparse pattern changed: {context}")
             }
         }
     }

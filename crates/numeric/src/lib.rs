@@ -7,8 +7,12 @@
 //! * [`dense`] — small dense matrices with LU factorization (reference
 //!   solver and `C`-matrix factorization for the Euler–Maruyama engine).
 //! * [`sparse`] — triplet (COO) assembly and compressed sparse row storage
-//!   with a partial-pivoting sparse LU whose symbolic pattern can be reused
-//!   across the many solves of a transient run.
+//!   with a partial-pivoting sparse LU whose symbolic analysis is cached so
+//!   the many nearly-identical solves of a transient run go through a
+//!   values-only [`sparse::SparseLu::refactor`] instead of a full
+//!   factorization.
+//! * [`parallel`] — deterministic order-preserving scoped-thread map used
+//!   by the Monte-Carlo ensemble engine (offline stand-in for rayon).
 //! * [`solve`] — a [`solve::LinearSolver`] abstraction over the dense and
 //!   sparse factorizations.
 //! * [`rng`] — a deterministic PCG64-family pseudo random number generator
@@ -55,6 +59,7 @@ pub mod dense;
 pub mod error;
 pub mod flops;
 pub mod interp;
+pub mod parallel;
 pub mod rng;
 pub mod roots;
 pub mod solve;

@@ -29,7 +29,9 @@ impl fmt::Debug for Pcg64 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Hide the raw state: it is an implementation detail and 128-bit
         // integers render poorly, but never produce an empty Debug.
-        f.debug_struct("Pcg64").field("stream", &(self.inc >> 1)).finish()
+        f.debug_struct("Pcg64")
+            .field("stream", &(self.inc >> 1))
+            .finish()
     }
 }
 

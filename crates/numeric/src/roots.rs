@@ -353,7 +353,9 @@ mod tests {
     #[test]
     fn invalid_arguments_rejected() {
         let mut f = FlopCounter::new();
-        assert!(newton_raphson(|x| x, |_| 1.0, f64::NAN, NewtonOptions::default(), &mut f).is_err());
+        assert!(
+            newton_raphson(|x| x, |_| 1.0, f64::NAN, NewtonOptions::default(), &mut f).is_err()
+        );
         let bad = NewtonOptions {
             damping: 0.0,
             ..NewtonOptions::default()

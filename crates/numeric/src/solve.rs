@@ -3,6 +3,14 @@
 //! The simulation engines are written against [`LinearSolver`] so the same
 //! engine code runs with either backend; tests use the dense solver as a
 //! reference implementation for the sparse one.
+//!
+//! [`SparseLuSolver`] is *stateful*: it keeps the last factorization and,
+//! when asked to solve a matrix with the same sparsity pattern, reuses the
+//! cached symbolic analysis via [`SparseLu::refactor_or_factor`] — the
+//! factor-once/refactor-many strategy the transient engines rely on. The
+//! [`LinearSolver::solve_into`] entry point additionally avoids allocating
+//! the solution vector, so a warmed-up solver performs zero heap
+//! allocations per solve.
 
 use crate::dense::DenseMatrix;
 use crate::flops::FlopCounter;
@@ -21,6 +29,26 @@ pub trait LinearSolver: Debug {
     /// Returns a [`crate::NumericError`] when the matrix is singular or the
     /// shapes mismatch.
     fn solve(&mut self, a: &CsrMatrix, b: &[f64], flops: &mut FlopCounter) -> Result<Vec<f64>>;
+
+    /// Solves `a·x = b` into a caller-provided buffer (resized as needed).
+    /// Backends that cache factorizations avoid all per-call allocation
+    /// here; the default implementation simply delegates to
+    /// [`LinearSolver::solve`].
+    ///
+    /// # Errors
+    /// Same as [`LinearSolver::solve`].
+    fn solve_into(
+        &mut self,
+        a: &CsrMatrix,
+        b: &[f64],
+        x: &mut Vec<f64>,
+        flops: &mut FlopCounter,
+    ) -> Result<()> {
+        let result = self.solve(a, b, flops)?;
+        x.clear();
+        x.extend_from_slice(&result);
+        Ok(())
+    }
 
     /// Human-readable backend name (for reports).
     fn name(&self) -> &'static str;
@@ -48,10 +76,15 @@ impl LinearSolver for DenseLuSolver {
     }
 }
 
-/// Sparse LU backend (Gilbert–Peierls with threshold diagonal pivoting).
+/// Sparse LU backend (Gilbert–Peierls with threshold diagonal pivoting)
+/// with cached-factorization reuse across same-pattern solves.
 #[derive(Debug, Clone, Default)]
 pub struct SparseLuSolver {
     strategy: PivotStrategy,
+    cached: Option<SparseLu>,
+    work: Vec<f64>,
+    full_factors: u64,
+    refactors: u64,
 }
 
 impl SparseLuSolver {
@@ -59,19 +92,59 @@ impl SparseLuSolver {
     pub fn new() -> Self {
         SparseLuSolver {
             strategy: PivotStrategy::default(),
+            ..SparseLuSolver::default()
         }
     }
 
     /// Creates a sparse solver with an explicit pivot strategy.
     pub fn with_strategy(strategy: PivotStrategy) -> Self {
-        SparseLuSolver { strategy }
+        SparseLuSolver {
+            strategy,
+            ..SparseLuSolver::default()
+        }
+    }
+
+    /// `(full factorizations, pattern-reusing refactorizations)` performed
+    /// so far — the factor/refactor split behind the speedup benches.
+    pub fn factor_counts(&self) -> (u64, u64) {
+        (self.full_factors, self.refactors)
+    }
+
+    /// Drops the cached factorization (next solve runs a full factor).
+    pub fn invalidate(&mut self) {
+        self.cached = None;
     }
 }
 
 impl LinearSolver for SparseLuSolver {
     fn solve(&mut self, a: &CsrMatrix, b: &[f64], flops: &mut FlopCounter) -> Result<Vec<f64>> {
-        let lu = SparseLu::factor_with(a, self.strategy, flops)?;
-        lu.solve(b, flops)
+        let mut x = Vec::new();
+        self.solve_into(a, b, &mut x, flops)?;
+        Ok(x)
+    }
+
+    fn solve_into(
+        &mut self,
+        a: &CsrMatrix,
+        b: &[f64],
+        x: &mut Vec<f64>,
+        flops: &mut FlopCounter,
+    ) -> Result<()> {
+        match &mut self.cached {
+            Some(lu) => {
+                if lu.refactor_or_factor(a, flops)? {
+                    self.refactors += 1;
+                } else {
+                    self.full_factors += 1;
+                }
+            }
+            None => {
+                self.cached = Some(SparseLu::factor_with(a, self.strategy, flops)?);
+                self.full_factors += 1;
+            }
+        }
+        let lu = self.cached.as_ref().expect("factorization cached above");
+        lu.solve_into(b, x, &mut self.work, flops)
     }
 
     fn name(&self) -> &'static str {
@@ -121,6 +194,45 @@ mod tests {
     }
 
     #[test]
+    fn repeated_solves_reuse_the_factorization() {
+        let (a, b) = test_system();
+        let mut sparse = SparseLuSolver::new();
+        let mut x = Vec::new();
+        sparse
+            .solve_into(&a, &b, &mut x, &mut FlopCounter::new())
+            .unwrap();
+        assert_eq!(sparse.factor_counts(), (1, 0));
+        // Same pattern, perturbed values: must refactor, not factor.
+        let mut a2 = a.clone();
+        for v in a2.values_mut() {
+            *v *= 1.25;
+        }
+        sparse
+            .solve_into(&a2, &b, &mut x, &mut FlopCounter::new())
+            .unwrap();
+        assert_eq!(sparse.factor_counts(), (1, 1));
+        let ax = a2.matvec(&x, &mut FlopCounter::new()).unwrap();
+        for (l, r) in ax.iter().zip(b.iter()) {
+            assert!(approx_eq(*l, *r, 1e-12));
+        }
+        // A different pattern falls back to a full factorization.
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        t.push(2, 2, 1.0);
+        sparse
+            .solve_into(&t.to_csr(), &b, &mut x, &mut FlopCounter::new())
+            .unwrap();
+        assert_eq!(sparse.factor_counts(), (2, 1));
+        assert_eq!(x, b);
+        sparse.invalidate();
+        sparse
+            .solve_into(&t.to_csr(), &b, &mut x, &mut FlopCounter::new())
+            .unwrap();
+        assert_eq!(sparse.factor_counts(), (3, 1));
+    }
+
+    #[test]
     fn names_are_distinct() {
         assert_ne!(DenseLuSolver::new().name(), SparseLuSolver::new().name());
     }
@@ -130,7 +242,9 @@ mod tests {
         let (a, b) = test_system();
         let mut solvers: Vec<Box<dyn LinearSolver>> = vec![
             Box::new(DenseLuSolver::new()),
-            Box::new(SparseLuSolver::with_strategy(PivotStrategy::PartialPivoting)),
+            Box::new(SparseLuSolver::with_strategy(
+                PivotStrategy::PartialPivoting,
+            )),
         ];
         for s in solvers.iter_mut() {
             let x = s.solve(&a, &b, &mut FlopCounter::new()).unwrap();

@@ -122,6 +122,44 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// The stored values in row-major position order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values. The sparsity *pattern* is
+    /// immutable; this is the hook that lets assembly workspaces re-stamp a
+    /// prebuilt pattern in place instead of rebuilding the matrix.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The structural arrays `(row_ptr, col_idx)` of the CSR layout.
+    pub fn structure(&self) -> (&[usize], &[usize]) {
+        (&self.row_ptr, &self.col_idx)
+    }
+
+    /// Flat position of the stored entry at `(row, col)` (an index into
+    /// [`CsrMatrix::values`]), or `None` when the position is structurally
+    /// absent.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn position(&self, row: usize, col: usize) -> Option<usize> {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        self.col_idx[lo..hi]
+            .binary_search(&col)
+            .ok()
+            .map(|p| lo + p)
+    }
+
     /// Value at `(row, col)`; zero when the position is not stored.
     ///
     /// # Panics
@@ -187,6 +225,33 @@ impl CsrMatrix {
         Ok(y)
     }
 
+    /// Allocation-free product `y = A·x` into a caller-provided buffer.
+    ///
+    /// # Errors
+    /// Returns [`NumericError::DimensionMismatch`] on shape mismatch.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64], flops: &mut FlopCounter) -> Result<()> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(NumericError::DimensionMismatch {
+                context: format!(
+                    "sparse matvec_into: {}x{} by x of {} into y of {}",
+                    self.rows,
+                    self.cols,
+                    x.len(),
+                    y.len()
+                ),
+            });
+        }
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for p in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[p] * x[self.col_idx[p]];
+            }
+            y[r] = acc;
+        }
+        flops.fma(self.nnz() as u64);
+        Ok(())
+    }
+
     /// In-place accumulating product `y += alpha * A·x`.
     ///
     /// # Errors
@@ -233,29 +298,6 @@ impl CsrMatrix {
             m[(r, c)] += v;
         }
         m
-    }
-
-    /// Column-compressed view `(col_ptr, row_idx, values)` used by the LU
-    /// factorization.
-    pub(crate) fn to_csc(&self) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
-        let mut counts = vec![0usize; self.cols];
-        for &c in &self.col_idx {
-            counts[c] += 1;
-        }
-        let mut col_ptr = vec![0usize; self.cols + 1];
-        for j in 0..self.cols {
-            col_ptr[j + 1] = col_ptr[j] + counts[j];
-        }
-        let mut row_idx = vec![0usize; self.nnz()];
-        let mut values = vec![0.0; self.nnz()];
-        let mut next = col_ptr.clone();
-        for (r, c, v) in self.iter() {
-            let p = next[c];
-            row_idx[p] = r;
-            values[p] = v;
-            next[c] += 1;
-        }
-        (col_ptr, row_idx, values)
     }
 }
 
@@ -321,15 +363,6 @@ mod tests {
         let s = CsrMatrix::from_dense(&d);
         assert_eq!(s.nnz(), 1);
         assert_eq!(s.get(0, 1), 7.0);
-    }
-
-    #[test]
-    fn csc_conversion_preserves_entries() {
-        let m = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (2, 0, 3.0), (1, 2, 2.0)]);
-        let (cp, ri, vals) = m.to_csc();
-        assert_eq!(cp, vec![0, 2, 2, 3]);
-        assert_eq!(ri, vec![0, 2, 1]);
-        assert_eq!(vals, vec![1.0, 3.0, 2.0]);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Left-looking sparse LU factorization with threshold partial pivoting.
+//! Left-looking sparse LU factorization with threshold partial pivoting and
+//! KLU-style refactorization.
 //!
 //! The algorithm is the Gilbert–Peierls column method: for each column `j` a
 //! sparse triangular solve `L·x = A(:, j)` is performed symbolically (a DFS
@@ -7,6 +8,21 @@
 //! entries are preferred when within a threshold of the magnitude-maximal
 //! candidate, which keeps the permutation stable across the nearly identical
 //! matrices of consecutive transient time steps.
+//!
+//! That stability is what [`SparseLu::refactor`] exploits: once a matrix has
+//! been factored, subsequent matrices with the *same sparsity pattern* (the
+//! situation in every Newton iteration, SWEC step and Euler–Maruyama step,
+//! where only device conductances change) skip the symbolic analysis and the
+//! pivot search entirely and run a values-only numeric pass over the cached
+//! `L`/`U` structure — the factor-once/refactor-many strategy of production
+//! simulators such as KLU. A refactorization that encounters a new nonzero
+//! or a numerically degraded pivot reports [`NumericError::PatternChanged`]
+//! so callers can fall back to a full factorization with fresh pivoting
+//! ([`SparseLu::refactor_or_factor`] packages that policy).
+//!
+//! Factors are stored as flat compressed-column arrays (`colptr`/`rows`/
+//! `vals`), not nested `Vec<Vec<_>>`, so the refactor and solve passes are
+//! cache-friendly and allocation-free.
 
 use super::CsrMatrix;
 use crate::error::NumericError;
@@ -35,7 +51,13 @@ impl Default for PivotStrategy {
     }
 }
 
-/// Sparse LU factors `P·A = L·U` of a square matrix.
+/// A refactorization pivot whose magnitude drops below this fraction of its
+/// column maximum is considered numerically degraded; the refactor bails out
+/// so the caller can re-pivot from scratch.
+const REFACTOR_PIVOT_RATIO: f64 = 1e-6;
+
+/// Sparse LU factors `P·A = L·U` of a square matrix, with the symbolic
+/// analysis cached for cheap values-only refactorization.
 ///
 /// # Example
 /// ```
@@ -46,24 +68,54 @@ impl Default for PivotStrategy {
 /// t.push(0, 0, 2.0);
 /// t.push(1, 1, 4.0);
 /// let mut flops = FlopCounter::new();
-/// let lu = SparseLu::factor(&t.to_csr(), &mut flops)?;
+/// let mut lu = SparseLu::factor(&t.to_csr(), &mut flops)?;
 /// let x = lu.solve(&[2.0, 8.0], &mut flops)?;
 /// assert_eq!(x, vec![1.0, 2.0]);
+///
+/// // Same pattern, new values: reuse the symbolic analysis.
+/// let mut t2 = TripletMatrix::new(2, 2);
+/// t2.push(0, 0, 4.0);
+/// t2.push(1, 1, 8.0);
+/// lu.refactor(&t2.to_csr(), &mut flops)?;
+/// let x = lu.solve(&[2.0, 8.0], &mut flops)?;
+/// assert_eq!(x, vec![0.5, 1.0]);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct SparseLu {
     n: usize,
-    /// L columns: entries `(original_row, value)` strictly below the pivot,
-    /// already divided by the pivot.
-    l_cols: Vec<Vec<(usize, f64)>>,
-    /// U columns: entries `(pivot_index, value)` strictly above the diagonal.
-    u_cols: Vec<Vec<(usize, f64)>>,
+    /// Column pointers into `l_rows`/`l_vals`; L column `k` holds entries
+    /// strictly below the pivot, already divided by the pivot, with rows in
+    /// *original* numbering.
+    l_colptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    l_vals: Vec<f64>,
+    /// Column pointers into `u_rows`/`u_vals`; U column `j` holds entries
+    /// strictly above the diagonal keyed by *pivot index*, ascending.
+    u_colptr: Vec<usize>,
+    u_rows: Vec<usize>,
+    u_vals: Vec<f64>,
     /// Diagonal of U by pivot index.
     u_diag: Vec<f64>,
     /// `perm[k]` = original row chosen as the k-th pivot.
     perm: Vec<usize>,
+    /// Strategy used for the original factorization (reused on fallback).
+    strategy: PivotStrategy,
+    /// CSR structure fingerprint of the factored matrix: row pointers and
+    /// column indices, used to detect pattern changes on refactor.
+    csr_rowptr: Vec<usize>,
+    csr_colidx: Vec<usize>,
+    /// Cached CSC structure of the input (column-compressed view of the
+    /// fingerprint) plus the CSR→CSC value shuffle, so refactor never
+    /// re-derives the transpose.
+    csc_colptr: Vec<usize>,
+    csc_rows: Vec<usize>,
+    csr_to_csc: Vec<usize>,
+    /// Scratch buffers reused by `refactor` (values in CSC order, dense
+    /// working column).
+    csc_vals: Vec<f64>,
+    work: Vec<f64>,
 }
 
 impl SparseLu {
@@ -91,10 +143,24 @@ impl SparseLu {
             });
         }
         let n = a.rows();
-        let (col_ptr, row_idx, values) = a.to_csc();
+        // One CSC conversion serves both the factorization below and the
+        // cached refactor shuffle: the structure (col_ptr, row_idx) plus the
+        // CSR→CSC position map, through which the values are scattered.
+        let (a_rowptr, a_colidx) = a.structure();
+        let (col_ptr, row_idx, csr_to_csc) = csc_shuffle(n, a_rowptr, a_colidx);
+        let mut values = vec![0.0; a.nnz()];
+        for (p, &v) in a.values().iter().enumerate() {
+            values[csr_to_csc[p]] = v;
+        }
 
-        let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
-        let mut u_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+        let mut l_colptr = Vec::with_capacity(n + 1);
+        let mut l_rows: Vec<usize> = Vec::new();
+        let mut l_vals: Vec<f64> = Vec::new();
+        let mut u_colptr = Vec::with_capacity(n + 1);
+        let mut u_rows: Vec<usize> = Vec::new();
+        let mut u_vals: Vec<f64> = Vec::new();
+        l_colptr.push(0);
+        u_colptr.push(0);
         let mut u_diag = vec![0.0; n];
         let mut perm = vec![usize::MAX; n];
         // pinv[row] = pivot index of `row`, or usize::MAX when not pivotal yet.
@@ -104,6 +170,7 @@ impl SparseLu {
         let mut visited = vec![usize::MAX; n]; // marks per column j
         let mut topo: Vec<usize> = Vec::with_capacity(n);
         let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
+        let mut ucol: Vec<(usize, f64)> = Vec::new();
 
         for j in 0..n {
             // Scatter A(:, j) and collect the reachable pattern via DFS.
@@ -122,8 +189,8 @@ impl SparseLu {
                 visited[start] = j;
                 while let Some(&(node, child)) = dfs_stack.last() {
                     let k = pinv[node];
-                    let next = if k != usize::MAX && child < l_cols[k].len() {
-                        Some(l_cols[k][child].0)
+                    let next = if k != usize::MAX && child < l_colptr[k + 1] - l_colptr[k] {
+                        Some(l_rows[l_colptr[k] + child])
                     } else {
                         None
                     };
@@ -152,10 +219,10 @@ impl SparseLu {
                 }
                 let xr = x[r];
                 if xr != 0.0 {
-                    for &(row2, lval) in &l_cols[k] {
-                        x[row2] -= xr * lval;
+                    for p in l_colptr[k]..l_colptr[k + 1] {
+                        x[l_rows[p]] -= xr * l_vals[p];
                     }
-                    flops.fma(l_cols[k].len() as u64);
+                    flops.fma((l_colptr[k + 1] - l_colptr[k]) as u64);
                 }
             }
 
@@ -196,9 +263,11 @@ impl SparseLu {
             pinv[pivot_row] = j;
             u_diag[j] = pivot_val;
 
-            // Split the pattern into U (pivotal rows) and L (the rest).
-            let mut ucol = Vec::new();
-            let mut lcol = Vec::new();
+            // Split the pattern into U (pivotal rows) and L (the rest). The
+            // *entire* reached pattern is kept — including exact numerical
+            // zeros — so the stored structure is valid for any values with
+            // the same input pattern (a refactor requirement).
+            ucol.clear();
             for &r in &topo {
                 let v = x[r];
                 x[r] = 0.0; // clear for next column
@@ -207,28 +276,165 @@ impl SparseLu {
                 }
                 let k = pinv[r];
                 if k != usize::MAX && k < j {
-                    if v != 0.0 {
-                        ucol.push((k, v));
-                    }
-                } else if k == usize::MAX && v != 0.0 {
-                    lcol.push((r, v / pivot_val));
+                    ucol.push((k, v));
+                } else if k == usize::MAX {
+                    l_rows.push(r);
+                    l_vals.push(v / pivot_val);
                     flops.div(1);
                 }
             }
-            // Sorted U columns make back-substitution cache-friendly and
-            // deterministic.
+            // Sorted U columns make back-substitution cache-friendly,
+            // deterministic, and give refactor its topological order.
             ucol.sort_unstable_by_key(|&(k, _)| k);
-            u_cols.push(ucol);
-            l_cols.push(lcol);
+            for &(k, v) in &ucol {
+                u_rows.push(k);
+                u_vals.push(v);
+            }
+            u_colptr.push(u_rows.len());
+            l_colptr.push(l_rows.len());
         }
 
+        // Fingerprint for pattern-change detection; the CSC structure and
+        // shuffle computed up front are kept for refactorization, and the
+        // values buffer becomes its scratch space.
         Ok(SparseLu {
             n,
-            l_cols,
-            u_cols,
+            l_colptr,
+            l_rows,
+            l_vals,
+            u_colptr,
+            u_rows,
+            u_vals,
             u_diag,
             perm,
+            strategy,
+            csr_rowptr: a_rowptr.to_vec(),
+            csr_colidx: a_colidx.to_vec(),
+            csc_colptr: col_ptr,
+            csc_rows: row_idx,
+            csr_to_csc,
+            csc_vals: values,
+            work: x,
         })
+    }
+
+    /// Recomputes the numeric factors of `a`, reusing the cached symbolic
+    /// analysis (pattern, pivot order, fill structure). This skips the DFS
+    /// and the pivot search and is the hot path for the nearly identical
+    /// matrices of consecutive Newton iterations / transient steps.
+    ///
+    /// # Errors
+    /// Returns [`NumericError::PatternChanged`] when `a`'s sparsity pattern
+    /// differs from the factored one (detected up front — the factors are
+    /// left unchanged) *or* when a cached pivot has become numerically
+    /// degraded (magnitude below `1e-6` of its column maximum), and
+    /// [`NumericError::SingularMatrix`] for an exactly zero pivot. The
+    /// latter two abort **mid-pass**, leaving the numeric factors partially
+    /// updated and unusable: the caller must re-factor before solving
+    /// again ([`SparseLu::refactor_or_factor`] packages exactly that
+    /// fallback).
+    pub fn refactor(&mut self, a: &CsrMatrix, flops: &mut FlopCounter) -> Result<()> {
+        let (row_ptr, col_idx) = a.structure();
+        if a.rows() != self.n
+            || a.cols() != self.n
+            || row_ptr != self.csr_rowptr.as_slice()
+            || col_idx != self.csr_colidx.as_slice()
+        {
+            return Err(NumericError::PatternChanged {
+                context: format!(
+                    "refactor of {}x{} ({} nnz) against analysis of {}x{} ({} nnz)",
+                    a.rows(),
+                    a.cols(),
+                    a.nnz(),
+                    self.n,
+                    self.n,
+                    self.csr_colidx.len()
+                ),
+            });
+        }
+
+        // Shuffle the new values into the cached CSC order.
+        for (p, &v) in a.values().iter().enumerate() {
+            self.csc_vals[self.csr_to_csc[p]] = v;
+        }
+
+        let n = self.n;
+        for j in 0..n {
+            // Zero the working column over this column's pattern, then
+            // scatter A(:, j). The pattern is exactly: the pivot rows of the
+            // U entries, the pivot row itself, and the L rows.
+            for p in self.u_colptr[j]..self.u_colptr[j + 1] {
+                self.work[self.perm[self.u_rows[p]]] = 0.0;
+            }
+            self.work[self.perm[j]] = 0.0;
+            for p in self.l_colptr[j]..self.l_colptr[j + 1] {
+                self.work[self.l_rows[p]] = 0.0;
+            }
+            for p in self.csc_colptr[j]..self.csc_colptr[j + 1] {
+                self.work[self.csc_rows[p]] = self.csc_vals[p];
+            }
+
+            // Eliminate with already-final columns in ascending pivot order
+            // (a topological order, since L[r, k] with pinv[r] = k' implies
+            // k < k').
+            for p in self.u_colptr[j]..self.u_colptr[j + 1] {
+                let k = self.u_rows[p];
+                let ukj = self.work[self.perm[k]];
+                self.u_vals[p] = ukj;
+                if ukj != 0.0 {
+                    for q in self.l_colptr[k]..self.l_colptr[k + 1] {
+                        self.work[self.l_rows[q]] -= ukj * self.l_vals[q];
+                    }
+                    flops.fma((self.l_colptr[k + 1] - self.l_colptr[k]) as u64);
+                }
+            }
+
+            // Fixed pivot: check it is still numerically sound.
+            let pivot_row = self.perm[j];
+            let pivot_val = self.work[pivot_row];
+            let mut col_max = pivot_val.abs();
+            for p in self.l_colptr[j]..self.l_colptr[j + 1] {
+                col_max = col_max.max(self.work[self.l_rows[p]].abs());
+            }
+            if !pivot_val.is_finite() || (pivot_val == 0.0 && col_max == 0.0) {
+                return Err(NumericError::SingularMatrix { pivot: j });
+            }
+            if pivot_val.abs() < REFACTOR_PIVOT_RATIO * col_max {
+                return Err(NumericError::PatternChanged {
+                    context: format!(
+                        "pivot {j} degraded to {:.3e} against column max {:.3e}",
+                        pivot_val.abs(),
+                        col_max
+                    ),
+                });
+            }
+            self.u_diag[j] = pivot_val;
+            for p in self.l_colptr[j]..self.l_colptr[j + 1] {
+                self.l_vals[p] = self.work[self.l_rows[p]] / pivot_val;
+            }
+            flops.div((self.l_colptr[j + 1] - self.l_colptr[j]) as u64);
+        }
+        Ok(())
+    }
+
+    /// Refactors `a` in place, falling back to a full factorization with
+    /// fresh pivoting when the pattern changed or a pivot degraded. Returns
+    /// `true` when the cached symbolic analysis was reused, `false` when a
+    /// full factorization ran.
+    ///
+    /// # Errors
+    /// Returns [`NumericError::SingularMatrix`] /
+    /// [`NumericError::DimensionMismatch`] when even the full factorization
+    /// fails; the factors are then in an unspecified (but valid) state.
+    pub fn refactor_or_factor(&mut self, a: &CsrMatrix, flops: &mut FlopCounter) -> Result<bool> {
+        match self.refactor(a, flops) {
+            Ok(()) => Ok(true),
+            Err(NumericError::PatternChanged { .. }) | Err(NumericError::SingularMatrix { .. }) => {
+                *self = SparseLu::factor_with(a, self.strategy, flops)?;
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Dimension of the factored matrix.
@@ -238,9 +444,7 @@ impl SparseLu {
 
     /// Total stored entries in `L` and `U` (fill-in diagnostic).
     pub fn nnz(&self) -> usize {
-        self.l_cols.iter().map(Vec::len).sum::<usize>()
-            + self.u_cols.iter().map(Vec::len).sum::<usize>()
-            + self.n
+        self.l_vals.len() + self.u_vals.len() + self.n
     }
 
     /// Solves `A·x = b` with the stored factors.
@@ -248,38 +452,59 @@ impl SparseLu {
     /// # Errors
     /// Returns [`NumericError::DimensionMismatch`] if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64], flops: &mut FlopCounter) -> Result<Vec<f64>> {
+        let mut x = vec![0.0; self.n];
+        let mut work = vec![0.0; self.n];
+        self.solve_into(b, &mut x, &mut work, flops)?;
+        Ok(x)
+    }
+
+    /// Allocation-free solve `A·x = b` into caller-provided buffers. `x`
+    /// receives the solution; `work` is scratch. Both are resized to the
+    /// matrix dimension, so reusing the same buffers across calls performs
+    /// no allocation after the first.
+    ///
+    /// # Errors
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_into(
+        &self,
+        b: &[f64],
+        x: &mut Vec<f64>,
+        work: &mut Vec<f64>,
+        flops: &mut FlopCounter,
+    ) -> Result<()> {
         if b.len() != self.n {
             return Err(NumericError::DimensionMismatch {
                 context: format!("sparse lu solve: rhs of {} for n={}", b.len(), self.n),
             });
         }
         let n = self.n;
+        x.resize(n, 0.0);
+        work.resize(n, 0.0);
         // Forward solve L·z = P·b, working in original row numbering.
-        let mut work = b.to_vec();
-        let mut z = vec![0.0; n];
+        work.copy_from_slice(b);
         for k in 0..n {
             let val = work[self.perm[k]];
-            z[k] = val;
+            x[k] = val;
             if val != 0.0 {
-                for &(row, lval) in &self.l_cols[k] {
-                    work[row] -= val * lval;
+                for p in self.l_colptr[k]..self.l_colptr[k + 1] {
+                    work[self.l_rows[p]] -= val * self.l_vals[p];
                 }
-                flops.fma(self.l_cols[k].len() as u64);
+                flops.fma((self.l_colptr[k + 1] - self.l_colptr[k]) as u64);
             }
         }
         // Backward solve U·x = z; the solution index equals the column index.
         for k in (0..n).rev() {
-            z[k] /= self.u_diag[k];
+            x[k] /= self.u_diag[k];
             flops.div(1);
-            let xk = z[k];
+            let xk = x[k];
             if xk != 0.0 {
-                for &(k2, uval) in &self.u_cols[k] {
-                    z[k2] -= uval * xk;
+                for p in self.u_colptr[k]..self.u_colptr[k + 1] {
+                    x[self.u_rows[p]] -= self.u_vals[p] * xk;
                 }
-                flops.fma(self.u_cols[k].len() as u64);
+                flops.fma((self.u_colptr[k + 1] - self.u_colptr[k]) as u64);
             }
         }
-        Ok(z)
+        Ok(())
     }
 
     /// Determinant of the original matrix (product of pivots times the
@@ -307,6 +532,37 @@ impl SparseLu {
     }
 }
 
+/// Builds the CSC structure of a CSR pattern plus the position shuffle
+/// mapping each CSR value slot to its CSC slot.
+fn csc_shuffle(
+    n: usize,
+    row_ptr: &[usize],
+    col_idx: &[usize],
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let nnz = col_idx.len();
+    let mut counts = vec![0usize; n];
+    for &c in col_idx {
+        counts[c] += 1;
+    }
+    let mut col_ptr = vec![0usize; n + 1];
+    for j in 0..n {
+        col_ptr[j + 1] = col_ptr[j] + counts[j];
+    }
+    let mut rows = vec![0usize; nnz];
+    let mut shuffle = vec![0usize; nnz];
+    let mut next = col_ptr.clone();
+    for r in 0..n {
+        for p in row_ptr[r]..row_ptr[r + 1] {
+            let c = col_idx[p];
+            let q = next[c];
+            rows[q] = r;
+            shuffle[p] = q;
+            next[c] += 1;
+        }
+    }
+    (col_ptr, rows, shuffle)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,7 +577,11 @@ mod tests {
 
     #[test]
     fn diagonal_system() {
-        let x = solve_via_sparse(&[(0, 0, 2.0), (1, 1, 4.0), (2, 2, 8.0)], 3, &[2.0, 4.0, 8.0]);
+        let x = solve_via_sparse(
+            &[(0, 0, 2.0), (1, 1, 4.0), (2, 2, 8.0)],
+            3,
+            &[2.0, 4.0, 8.0],
+        );
         assert_eq!(x, vec![1.0, 1.0, 1.0]);
     }
 
@@ -388,12 +648,7 @@ mod tests {
 
     #[test]
     fn determinant_matches_dense() {
-        let entries = [
-            (0, 0, 2.0),
-            (0, 1, 1.0),
-            (1, 0, 1.0),
-            (1, 1, 3.0),
-        ];
+        let entries = [(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)];
         let a = CsrMatrix::from_triplets(2, 2, &entries);
         let lu = SparseLu::factor(&a, &mut FlopCounter::new()).unwrap();
         assert!(approx_eq(lu.determinant(), 5.0, 1e-12));
@@ -403,9 +658,8 @@ mod tests {
     fn determinant_sign_with_permutation() {
         let entries = [(0, 1, 1.0), (1, 0, 1.0)];
         let a = CsrMatrix::from_triplets(2, 2, &entries);
-        let lu =
-            SparseLu::factor_with(&a, PivotStrategy::PartialPivoting, &mut FlopCounter::new())
-                .unwrap();
+        let lu = SparseLu::factor_with(&a, PivotStrategy::PartialPivoting, &mut FlopCounter::new())
+            .unwrap();
         assert!(approx_eq(lu.determinant(), -1.0, 1e-12));
     }
 
@@ -414,9 +668,8 @@ mod tests {
         // Column 0 has entries 1.0 (row 0) and -10.0 (row 1): PP must pick row 1.
         let entries = [(0, 0, 1.0), (1, 0, -10.0), (0, 1, 1.0), (1, 1, 1.0)];
         let a = CsrMatrix::from_triplets(2, 2, &entries);
-        let lu =
-            SparseLu::factor_with(&a, PivotStrategy::PartialPivoting, &mut FlopCounter::new())
-                .unwrap();
+        let lu = SparseLu::factor_with(&a, PivotStrategy::PartialPivoting, &mut FlopCounter::new())
+            .unwrap();
         assert_eq!(lu.perm[0], 1);
     }
 
@@ -467,12 +720,7 @@ mod tests {
 
     #[test]
     fn flops_counted_during_factor_and_solve() {
-        let entries = [
-            (0, 0, 4.0),
-            (0, 1, -1.0),
-            (1, 0, -1.0),
-            (1, 1, 3.0),
-        ];
+        let entries = [(0, 0, 4.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 3.0)];
         let a = CsrMatrix::from_triplets(2, 2, &entries);
         let mut f = FlopCounter::new();
         let lu = SparseLu::factor(&a, &mut f).unwrap();
@@ -480,5 +728,165 @@ mod tests {
         let before = f;
         lu.solve(&[1.0, 1.0], &mut f).unwrap();
         assert!(f.total() > before.total());
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factor() {
+        // Same pattern, different values: refactor must reproduce a fresh
+        // factorization's solution exactly (identical pivot order => the
+        // same floating-point operations).
+        let n = 30;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 3.0 + i as f64 * 0.1);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -0.5);
+            }
+            if i + 5 < n {
+                t.push(i, i + 5, 0.25);
+            }
+        }
+        let a1 = t.to_csr();
+        let mut lu = SparseLu::factor(&a1, &mut FlopCounter::new()).unwrap();
+
+        // Perturb every value, keeping the pattern.
+        let mut a2 = a1.clone();
+        for (i, v) in a2.values_mut().iter_mut().enumerate() {
+            *v += 0.01 * (i as f64 % 7.0 - 3.0);
+        }
+        lu.refactor(&a2, &mut FlopCounter::new()).unwrap();
+        let fresh = SparseLu::factor(&a2, &mut FlopCounter::new()).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let xr = lu.solve(&b, &mut FlopCounter::new()).unwrap();
+        let xf = fresh.solve(&b, &mut FlopCounter::new()).unwrap();
+        for (r, f) in xr.iter().zip(xf.iter()) {
+            assert!(approx_eq(*r, *f, 1e-12), "{r} vs {f}");
+        }
+    }
+
+    #[test]
+    fn refactor_detects_new_nonzero() {
+        let a1 = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 4.0)]);
+        let mut lu = SparseLu::factor(&a1, &mut FlopCounter::new()).unwrap();
+        // A new structural nonzero must be rejected, not silently dropped.
+        let a2 = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, 1.0), (1, 1, 4.0)]);
+        match lu.refactor(&a2, &mut FlopCounter::new()) {
+            Err(NumericError::PatternChanged { .. }) => {}
+            other => panic!("expected PatternChanged, got {other:?}"),
+        }
+        // The original factors survive the failed refactor.
+        let x = lu.solve(&[2.0, 8.0], &mut FlopCounter::new()).unwrap();
+        assert_eq!(x, vec![1.0, 2.0]);
+        // The fallback wrapper recovers by re-factoring.
+        let reused = lu.refactor_or_factor(&a2, &mut FlopCounter::new()).unwrap();
+        assert!(!reused);
+        let x = lu.solve(&[2.0, 4.0], &mut FlopCounter::new()).unwrap();
+        assert!(approx_eq(x[0], 0.5, 1e-15), "{}", x[0]);
+        assert!(approx_eq(x[1], 1.0, 1e-15), "{}", x[1]);
+    }
+
+    #[test]
+    fn refactor_detects_degraded_pivot() {
+        // Factor with a healthy diagonal, then refactor with the diagonal
+        // collapsed so the cached pivot is 1e-9 of the column max: the
+        // refactor must refuse rather than amplify rounding error.
+        let entries = [(0, 0, 5.0), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 5.0)];
+        let a1 = CsrMatrix::from_triplets(2, 2, &entries);
+        let mut lu = SparseLu::factor(&a1, &mut FlopCounter::new()).unwrap();
+        let degraded = [(0, 0, 1e-9), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 5.0)];
+        let a2 = CsrMatrix::from_triplets(2, 2, &degraded);
+        match lu.refactor(&a2, &mut FlopCounter::new()) {
+            Err(NumericError::PatternChanged { .. }) => {}
+            other => panic!("expected degraded-pivot rejection, got {other:?}"),
+        }
+        // The fallback re-pivots and solves correctly.
+        let reused = lu.refactor_or_factor(&a2, &mut FlopCounter::new()).unwrap();
+        assert!(!reused);
+        let x = lu.solve(&[1.0, 6.0], &mut FlopCounter::new()).unwrap();
+        let ax0 = 1e-9 * x[0] + 1.0 * x[1];
+        let ax1 = 1.0 * x[0] + 5.0 * x[1];
+        assert!(approx_eq(ax0, 1.0, 1e-9), "{ax0}");
+        assert!(approx_eq(ax1, 6.0, 1e-9), "{ax1}");
+    }
+
+    #[test]
+    fn refactor_or_factor_reuses_on_same_pattern() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 4.0)]);
+        let mut lu = SparseLu::factor(&a, &mut FlopCounter::new()).unwrap();
+        let mut a2 = a.clone();
+        a2.values_mut()[0] = 3.0;
+        let reused = lu.refactor_or_factor(&a2, &mut FlopCounter::new()).unwrap();
+        assert!(reused);
+        let x = lu.solve(&[3.0, 8.0], &mut FlopCounter::new()).unwrap();
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn refactor_handles_permuted_factors() {
+        // Force an off-diagonal pivot, then refactor with new values: the
+        // permuted structure must still round-trip.
+        let entries = [(0, 1, 2.0), (1, 0, 3.0), (1, 1, 0.5)];
+        let a1 = CsrMatrix::from_triplets(2, 2, &entries);
+        let mut lu =
+            SparseLu::factor_with(&a1, PivotStrategy::PartialPivoting, &mut FlopCounter::new())
+                .unwrap();
+        let entries2 = [(0, 1, 4.0), (1, 0, 5.0), (1, 1, 1.0)];
+        let a2 = CsrMatrix::from_triplets(2, 2, &entries2);
+        lu.refactor(&a2, &mut FlopCounter::new()).unwrap();
+        let x = lu.solve(&[4.0, 6.0], &mut FlopCounter::new()).unwrap();
+        // [[0, 4], [5, 1]] x = [4, 6] -> x = [1, 1]
+        assert!(approx_eq(x[0], 1.0, 1e-12), "{}", x[0]);
+        assert!(approx_eq(x[1], 1.0, 1e-12), "{}", x[1]);
+    }
+
+    #[test]
+    fn refactor_with_fill_in_columns() {
+        // A matrix whose factorization has fill-in: refactor must scatter
+        // zeros into fill positions that A does not touch.
+        let entries = [
+            (0, 0, 4.0),
+            (0, 2, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 4.0),
+            (2, 1, 1.0),
+            (2, 2, 4.0),
+        ];
+        let a1 = CsrMatrix::from_triplets(3, 3, &entries);
+        let mut lu = SparseLu::factor(&a1, &mut FlopCounter::new()).unwrap();
+        let entries2 = [
+            (0, 0, 5.0),
+            (0, 2, 2.0),
+            (1, 0, 2.0),
+            (1, 1, 5.0),
+            (2, 1, 2.0),
+            (2, 2, 5.0),
+        ];
+        let a2 = CsrMatrix::from_triplets(3, 3, &entries2);
+        lu.refactor(&a2, &mut FlopCounter::new()).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = lu.solve(&b, &mut FlopCounter::new()).unwrap();
+        let ax = a2.matvec(&x, &mut FlopCounter::new()).unwrap();
+        for (l, r) in ax.iter().zip(b.iter()) {
+            assert!(approx_eq(*l, *r, 1e-12), "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn solve_into_reuses_buffers() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 4.0)]);
+        let lu = SparseLu::factor(&a, &mut FlopCounter::new()).unwrap();
+        let mut x = Vec::new();
+        let mut work = Vec::new();
+        lu.solve_into(&[2.0, 8.0], &mut x, &mut work, &mut FlopCounter::new())
+            .unwrap();
+        assert_eq!(x, vec![1.0, 2.0]);
+        let cap_x = x.capacity();
+        lu.solve_into(&[4.0, 4.0], &mut x, &mut work, &mut FlopCounter::new())
+            .unwrap();
+        assert_eq!(x, vec![2.0, 1.0]);
+        assert_eq!(x.capacity(), cap_x, "no reallocation on reuse");
     }
 }

@@ -113,9 +113,7 @@ impl RunningStats {
         let total = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / total as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.n as f64 * other.n as f64 / total as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / total as f64;
         self.n = total;
         self.mean = mean;
         self.m2 = m2;

@@ -6,16 +6,14 @@ use nanosim_numeric::rng::Pcg64;
 use nanosim_numeric::solve::{DenseLuSolver, LinearSolver, SparseLuSolver};
 use nanosim_numeric::sparse::{CsrMatrix, PivotStrategy, SparseLu, TripletMatrix};
 use nanosim_numeric::stats::{percentile, RunningStats};
+use nanosim_numeric::NumericError;
 use proptest::prelude::*;
 
 /// Strategy: a random diagonally dominant n x n sparse system (guaranteed
 /// nonsingular) plus a right-hand side.
 fn dominant_system() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>, Vec<f64>)> {
     (2usize..12).prop_flat_map(|n| {
-        let offdiag = proptest::collection::vec(
-            ((0..n), (0..n), -1.0f64..1.0),
-            0..(n * 2),
-        );
+        let offdiag = proptest::collection::vec(((0..n), (0..n), -1.0f64..1.0), 0..(n * 2));
         let rhs = proptest::collection::vec(-10.0f64..10.0, n);
         (Just(n), offdiag, rhs).prop_map(|(n, off, rhs)| {
             let mut entries: Vec<(usize, usize, f64)> = Vec::new();
@@ -205,5 +203,83 @@ proptest! {
             (sparse_det - dense_det).abs() < 1e-6 * (1.0 + dense_det.abs()),
             "{sparse_det} vs {dense_det}"
         );
+    }
+
+    /// `factor` then `refactor` with perturbed (same-pattern) values matches
+    /// a fresh factorization of the perturbed matrix to 1e-12 — the
+    /// correctness contract of the KLU-style values-only pass.
+    #[test]
+    fn refactor_matches_fresh_factor(
+        (n, entries, b) in dominant_system(),
+        wobble in 0.01f64..0.4,
+    ) {
+        let a1 = CsrMatrix::from_triplets(n, n, &entries);
+        let mut lu = SparseLu::factor(&a1, &mut FlopCounter::new()).unwrap();
+        // Perturb every stored value deterministically, keeping diagonal
+        // dominance (scale, don't sign-flip).
+        let mut a2 = a1.clone();
+        for (i, v) in a2.values_mut().iter_mut().enumerate() {
+            *v *= 1.0 + wobble * ((i % 5) as f64 - 2.0) / 10.0;
+        }
+        lu.refactor(&a2, &mut FlopCounter::new()).unwrap();
+        let fresh = SparseLu::factor(&a2, &mut FlopCounter::new()).unwrap();
+        let xr = lu.solve(&b, &mut FlopCounter::new()).unwrap();
+        let xf = fresh.solve(&b, &mut FlopCounter::new()).unwrap();
+        for (r, f) in xr.iter().zip(xf.iter()) {
+            prop_assert!((r - f).abs() < 1e-12 * (1.0 + f.abs()), "{r} vs {f}");
+        }
+    }
+
+    /// A refactor against a matrix with any *new* structural nonzero is
+    /// detected and refused — never silent garbage — and the fallback path
+    /// recovers with a correct full factorization.
+    #[test]
+    fn refactor_rejects_pattern_growth(
+        (n, entries, b) in dominant_system(),
+        extra_row in 0usize..12,
+        extra_col in 0usize..12,
+    ) {
+        let a1 = CsrMatrix::from_triplets(n, n, &entries);
+        let mut lu = SparseLu::factor(&a1, &mut FlopCounter::new()).unwrap();
+        let (r, c) = (extra_row % n, extra_col % n);
+        prop_assume!(a1.position(r, c).is_none());
+        let mut grown = entries.clone();
+        grown.push((r, c, 0.5));
+        let a2 = CsrMatrix::from_triplets(n, n, &grown);
+        match lu.refactor(&a2, &mut FlopCounter::new()) {
+            Err(NumericError::PatternChanged { .. }) => {}
+            other => prop_assert!(false, "expected PatternChanged, got {other:?}"),
+        }
+        // refactor_or_factor falls back to a full factorization whose
+        // solution satisfies the grown system.
+        let reused = lu.refactor_or_factor(&a2, &mut FlopCounter::new()).unwrap();
+        prop_assert!(!reused);
+        let x = lu.solve(&b, &mut FlopCounter::new()).unwrap();
+        let ax = a2.matvec(&x, &mut FlopCounter::new()).unwrap();
+        for (l, rr) in ax.iter().zip(b.iter()) {
+            prop_assert!((l - rr).abs() < 1e-7 * (1.0 + rr.abs()), "{l} vs {rr}");
+        }
+    }
+
+    /// The caching `SparseLuSolver` takes the refactor path across a stream
+    /// of same-pattern solves and stays correct on every one.
+    #[test]
+    fn caching_solver_reuses_and_stays_correct((n, entries, b) in dominant_system()) {
+        let mut solver = SparseLuSolver::new();
+        let mut x = Vec::new();
+        for round in 0..4u32 {
+            let mut a = CsrMatrix::from_triplets(n, n, &entries);
+            for v in a.values_mut() {
+                *v *= 1.0 + 0.1 * round as f64;
+            }
+            solver.solve_into(&a, &b, &mut x, &mut FlopCounter::new()).unwrap();
+            let ax = a.matvec(&x, &mut FlopCounter::new()).unwrap();
+            for (l, r) in ax.iter().zip(b.iter()) {
+                prop_assert!((l - r).abs() < 1e-8 * (1.0 + r.abs()), "{l} vs {r}");
+            }
+        }
+        let (full, reused) = solver.factor_counts();
+        prop_assert_eq!(full, 1);
+        prop_assert_eq!(reused, 3);
     }
 }

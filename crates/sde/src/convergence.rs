@@ -69,12 +69,7 @@ pub fn em_strong_order(
         let exact = *gbm.exact_path(x0, &fine).last().expect("nonempty");
         for (lvl, err) in errs.iter_mut().enumerate() {
             let path = fine.coarsen(1 << lvl);
-            let em = euler_maruyama_path(
-                |x, _| gbm.drift(x),
-                |x, _| gbm.diffusion(x),
-                x0,
-                &path,
-            );
+            let em = euler_maruyama_path(|x, _| gbm.drift(x), |x, _| gbm.diffusion(x), x0, &path);
             err.push((em.last().expect("nonempty") - exact).abs());
         }
     }
@@ -113,12 +108,7 @@ pub fn em_weak_order(
         let mut stats = RunningStats::new();
         for _ in 0..samples {
             let path = WienerPath::generate(horizon, steps, rng);
-            let em = euler_maruyama_path(
-                |x, _| gbm.drift(x),
-                |x, _| gbm.diffusion(x),
-                x0,
-                &path,
-            );
+            let em = euler_maruyama_path(|x, _| gbm.drift(x), |x, _| gbm.diffusion(x), x0, &path);
             stats.push(*em.last().expect("nonempty"));
         }
         points.push(ConvergencePoint {

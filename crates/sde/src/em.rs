@@ -146,13 +146,7 @@ mod tests {
             let wt = *path.values().last().unwrap();
             let exact = x0 * ((mu - 0.5 * sigma * sigma) * 1.0 + sigma * wt).exp();
             let em = euler_maruyama_path(|x, _| mu * x, |x, _| sigma * x, x0, &path);
-            let mil = milstein_path(
-                |x, _| mu * x,
-                |x, _| sigma * x,
-                |_, _| sigma,
-                x0,
-                &path,
-            );
+            let mil = milstein_path(|x, _| mu * x, |x, _| sigma * x, |_, _| sigma, x0, &path);
             em_err.push((em.last().unwrap() - exact).abs());
             mil_err.push((mil.last().unwrap() - exact).abs());
         }

@@ -36,7 +36,9 @@ pub fn stratonovich_integral<F: Fn(f64) -> f64>(h: F, path: &WienerPath) -> f64 
 
 /// Ito sum of `∫ W dW` (integrand evaluated at the left endpoint).
 pub fn ito_w_dw(path: &WienerPath) -> f64 {
-    (0..path.steps()).map(|j| path.at(j) * path.increment(j)).sum()
+    (0..path.steps())
+        .map(|j| path.at(j) * path.increment(j))
+        .sum()
 }
 
 /// Stratonovich sum of `∫ W dW` (integrand at the midpoint, approximated by

@@ -108,11 +108,7 @@ pub fn ou_peak(
     level: Option<f64>,
     rng: &mut Pcg64,
 ) -> PeakEstimate {
-    monte_carlo_peak(
-        || ou.exact_path(x0, horizon, steps, rng),
-        paths,
-        level,
-    )
+    monte_carlo_peak(|| ou.exact_path(x0, horizon, steps, rng), paths, level)
 }
 
 #[cfg(test)]

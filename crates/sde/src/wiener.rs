@@ -131,10 +131,7 @@ impl WienerPath {
             values.push(0.5 * (a + b) + half_sd * rng.next_gaussian());
         }
         values.push(*self.values.last().expect("nonempty"));
-        WienerPath {
-            dt: new_dt,
-            values,
-        }
+        WienerPath { dt: new_dt, values }
     }
 }
 
@@ -182,7 +179,11 @@ mod tests {
             stats.push(*p.values().last().unwrap());
         }
         assert!(stats.mean().abs() < 0.1);
-        assert!((stats.variance() - 2.0).abs() < 0.15, "{}", stats.variance());
+        assert!(
+            (stats.variance() - 2.0).abs() < 0.15,
+            "{}",
+            stats.variance()
+        );
     }
 
     #[test]
@@ -252,7 +253,11 @@ mod tests {
             stats.push(mid_dev);
         }
         assert!(stats.mean().abs() < 0.02);
-        assert!((stats.variance() - 0.25).abs() < 0.02, "{}", stats.variance());
+        assert!(
+            (stats.variance() - 0.25).abs() < 0.02,
+            "{}",
+            stats.variance()
+        );
     }
 
     #[test]

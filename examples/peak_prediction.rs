@@ -78,7 +78,8 @@ fn main() -> Result<(), SimError> {
     let est = ou_peak(&ou, 0.0, 1e-9, 500, 4000, Some(0.6), &mut rng);
     println!(
         "   exact OU sampling:    mean peak {:.3} V, p95 {:.3} V, P(>= 0.6 V) = {:.2}",
-        est.mean_peak, est.p95,
+        est.mean_peak,
+        est.p95,
         est.exceedance.expect("level given")
     );
     println!("\nsame question at every level: what is the distribution of the");

@@ -36,8 +36,16 @@ fn all_engines_agree_on_linear_rc() {
     let s = swec.waveform("out").unwrap();
     let n = nr.result.waveform("out").unwrap();
     let p = pwl.waveform("out").unwrap();
-    assert!(s.rms_difference(&n) < 5e-3, "swec vs nr: {}", s.rms_difference(&n));
-    assert!(s.rms_difference(&p) < 5e-3, "swec vs pwl: {}", s.rms_difference(&p));
+    assert!(
+        s.rms_difference(&n) < 5e-3,
+        "swec vs nr: {}",
+        s.rms_difference(&n)
+    );
+    assert!(
+        s.rms_difference(&p) < 5e-3,
+        "swec vs pwl: {}",
+        s.rms_difference(&p)
+    );
     assert!(nr.failures.is_empty());
 }
 

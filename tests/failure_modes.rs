@@ -92,9 +92,14 @@ fn em_engine_refuses_what_it_cannot_integrate() {
         .unwrap();
     ckt.add_inductor("L1", a, Circuit::GROUND, 1e-9).unwrap();
     ckt.add_capacitor("C1", a, Circuit::GROUND, 1e-12).unwrap();
-    let err = EmEngine::new(EmOptions::default()).run(&ckt, 1e-9).unwrap_err();
+    let err = EmEngine::new(EmOptions::default())
+        .run(&ckt, 1e-9)
+        .unwrap_err();
     assert!(matches!(err, SimError::UnsupportedCircuit { .. }));
-    assert!(err.to_string().contains("Norton"), "actionable message: {err}");
+    assert!(
+        err.to_string().contains("Norton"),
+        "actionable message: {err}"
+    );
 }
 
 #[test]
@@ -125,7 +130,9 @@ fn zero_volt_source_is_fine_for_swec() {
     // V = 0 exactly: every RTD sees 0 V, Geq uses the analytic dI/dV(0)
     // limit; nothing divides by zero.
     let ckt = nanosim::workloads::rtd_divider(50.0);
-    let x = SwecDcSweep::new(SwecOptions::default()).solve_op(&ckt).unwrap();
+    let x = SwecDcSweep::new(SwecOptions::default())
+        .solve_op(&ckt)
+        .unwrap();
     assert!(x.iter().all(|v| v.is_finite()));
     assert!(x[1].abs() < 1e-9, "mid node at 0 V");
 }
@@ -155,7 +162,10 @@ fn near_instant_source_step_survives() {
     assert!((out.final_value() - 5.0).abs() < 0.01);
     // ~63% at one time constant after the edge.
     let at_tau = out.value_at(1e-15 + 1e-11);
-    assert!((at_tau - 5.0 * (1.0 - (-1.0f64).exp())).abs() < 0.5, "{at_tau}");
+    assert!(
+        (at_tau - 5.0 * (1.0 - (-1.0f64).exp())).abs() < 0.5,
+        "{at_tau}"
+    );
 }
 
 #[test]

@@ -107,6 +107,57 @@ fn pathwise_em_converges_to_exact_solution_with_dt() {
 }
 
 #[test]
+fn parallel_and_serial_ensembles_are_bit_identical() {
+    // The parallel Monte-Carlo engine derives per-path RNGs in path order
+    // and merges chunk statistics in chunk order, so the thread count must
+    // not change a single bit of the output. 37 paths is deliberately not a
+    // multiple of the chunk size.
+    let ckt = nanosim::workloads::noisy_rc_node_fig10();
+    let base = EmOptions {
+        dt: 5e-12,
+        paths: 37,
+        seed: 0xD5EE_D001,
+        ..EmOptions::default()
+    };
+    let serial = EmEngine::new(EmOptions {
+        threads: 1,
+        ..base.clone()
+    })
+    .run(&ckt, 1e-9)
+    .unwrap();
+    for threads in [2, 4, 8] {
+        let parallel = EmEngine::new(EmOptions {
+            threads,
+            ..base.clone()
+        })
+        .run(&ckt, 1e-9)
+        .unwrap();
+        for name in serial.names() {
+            let ms = serial.mean_waveform(name).unwrap();
+            let mp = parallel.mean_waveform(name).unwrap();
+            assert_eq!(
+                ms.values(),
+                mp.values(),
+                "means differ at {threads} threads"
+            );
+            let ss = serial.std_waveform(name).unwrap();
+            let sp = parallel.std_waveform(name).unwrap();
+            assert_eq!(ss.values(), sp.values(), "stds differ at {threads} threads");
+            assert_eq!(
+                serial.peak_summary(name),
+                parallel.peak_summary(name),
+                "peaks differ at {threads} threads"
+            );
+        }
+        assert_eq!(
+            serial.sample_path().column("v").unwrap(),
+            parallel.sample_path().column("v").unwrap(),
+            "sample path differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn reproducible_with_same_seed() {
     let ckt = nanosim::workloads::noisy_rc_node_fig10();
     let opts = EmOptions {

@@ -1,0 +1,397 @@
+//! Offline stand-in for the subset of [proptest](https://crates.io/crates/proptest)
+//! used by the Nano-Sim workspace.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! small API surface the test suites rely on — `Strategy` with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, `collection::vec`, `Just`,
+//! `ProptestConfig`, and the `proptest!` / `prop_assert!` / `prop_assume!`
+//! macros — backed by a deterministic SplitMix64 generator. There is no
+//! shrinking: a failing case panics with the usual assertion message, and the
+//! deterministic seeding (derived from the test function name) makes failures
+//! reproducible run-to-run.
+
+use std::ops::Range;
+
+/// Deterministic generator driving value production.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner from a seed (tests derive it from their name).
+    pub fn new(seed: u64) -> Self {
+        TestRunner {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit output (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        self.next_u64() % n
+    }
+}
+
+/// Why a test case did not complete (drives `prop_assume!`).
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; try another input.
+    Reject,
+}
+
+/// Result alias used by generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-test configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value from the runner's stream.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (self.f)(self.inner.generate(runner)).generate(runner)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        self.start + (self.end - self.start) * runner.next_f64()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                let span = (self.end - self.start) as u64;
+                self.start + runner.below(span.max(1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, i64, i32);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use std::ops::Range;
+
+    /// Either an exact length or a length range for [`vec`].
+    pub trait SizeRange {
+        /// Picks a concrete length.
+        fn pick(&self, runner: &mut TestRunner) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _runner: &mut TestRunner) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            let span = (self.end - self.start).max(1) as u64;
+            self.start + runner.below(span) as usize
+        }
+    }
+
+    /// Strategy for a `Vec` whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = self.len.pick(runner);
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    /// A vector of `len` (exact or range) elements drawn from `element`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// The usual one-line import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// FNV-1a hash of the test name, used to seed each property deterministically.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::TestRunner::new($crate::seed_from_name(stringify!($name)));
+            let mut ran: u32 = 0;
+            let mut attempts: u32 = 0;
+            while ran < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts < config.cases.saturating_mul(20).max(1000),
+                    "too many rejected cases in {}",
+                    stringify!($name)
+                );
+                $(let $pat = $crate::Strategy::generate(&$strat, &mut runner);)+
+                let outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                match outcome {
+                    Ok(()) => ran += 1,
+                    Err($crate::TestCaseError::Reject) => continue,
+                }
+            }
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Asserts inside a property body (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Rejects the current case when `cond` is false, drawing a fresh input.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = TestRunner::new(1);
+        for _ in 0..1000 {
+            let x = (1.5f64..2.5).generate(&mut r);
+            assert!((1.5..2.5).contains(&x));
+            let n = (3usize..7).generate(&mut r);
+            assert!((3..7).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let mut r = TestRunner::new(2);
+        for _ in 0..200 {
+            let v = collection::vec(0.0f64..1.0, 2usize..5).generate(&mut r);
+            assert!(v.len() >= 2 && v.len() < 5);
+        }
+        let exact = collection::vec(0.0f64..1.0, 4usize).generate(&mut r);
+        assert_eq!(exact.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRunner::new(seed_from_name("x"));
+        let mut b = TestRunner::new(seed_from_name("x"));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself works end to end, including assume/assert.
+        #[test]
+        fn macro_roundtrip(x in 0.0f64..1.0, n in 1usize..4) {
+            prop_assume!(x > 0.01);
+            prop_assert!(x < 1.0, "x = {x}");
+            prop_assert_eq!(n.min(3), n.min(3));
+        }
+    }
+}
