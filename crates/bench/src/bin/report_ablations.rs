@@ -34,13 +34,15 @@ fn main() -> Result<(), SimError> {
     let ckt = rtd_ramp(1e-12);
     let (tstep, tstop) = (0.1e-9, 20e-9);
 
-    // Reference: tight-tolerance run.
-    let reference = SwecTransient::new(SwecOptions {
-        epsilon: 0.002,
-        ..SwecOptions::default()
-    })
-    .run(&ckt, tstep / 4.0, tstop)?;
-    let ref_mid = reference.waveform("mid").expect("node exists");
+    // Reference: tight-tolerance run (one session serves every variant).
+    let mut sim = Simulator::new(ckt)?;
+    let reference = sim.run(
+        Analysis::transient(tstep / 4.0, tstop).options(SwecOptions {
+            epsilon: 0.002,
+            ..SwecOptions::default()
+        }),
+    )?;
+    let ref_mid = reference.curve("mid").expect("node exists");
 
     println!("Ablation 1: SWEC transient variants on the RTD ramp (20 ns)\n");
     let widths = [26, 9, 10, 12, 12];
@@ -80,9 +82,9 @@ fn main() -> Result<(), SimError> {
         ),
     ];
     for (name, opts) in variants {
-        let r = SwecTransient::new(opts).run(&ckt, tstep, tstop)?;
+        let r = sim.run(Analysis::transient(tstep, tstop).options(opts))?;
         let rms = r
-            .waveform("mid")
+            .curve("mid")
             .expect("node exists")
             .rms_difference(&ref_mid);
         row(
@@ -98,7 +100,7 @@ fn main() -> Result<(), SimError> {
     }
 
     println!("\nAblation 2: DC modes on the RTD divider sweep (0..5 V, 10 mV)\n");
-    let dc_ckt = nanosim::workloads::rtd_divider(50.0);
+    let mut dc_sim = Simulator::new(nanosim::workloads::rtd_divider(50.0))?;
     let widths = [26, 9, 12, 12];
     row(
         &[
@@ -114,11 +116,12 @@ fn main() -> Result<(), SimError> {
         ("non-iterative (paper)", DcMode::NonIterative),
         ("fixed point", DcMode::FixedPoint),
     ] {
-        let r = SwecDcSweep::new(SwecOptions {
-            dc_mode: mode,
-            ..SwecOptions::default()
-        })
-        .run(&dc_ckt, "V1", 0.0, 5.0, 0.01)?;
+        let r = dc_sim.run(
+            Analysis::dc_sweep("V1", 0.0, 5.0, 0.01).options(SwecOptions {
+                dc_mode: mode,
+                ..SwecOptions::default()
+            }),
+        )?;
         row(
             &[
                 name.into(),
@@ -138,7 +141,7 @@ fn main() -> Result<(), SimError> {
         ("cold start + ramp", MlaOptions::default()),
         ("warm continuation", MlaOptions::warm_start()),
     ] {
-        let r = MlaEngine::new(opts).run_dc_sweep(&dc_ckt, "V1", 0.0, 5.0, 0.05)?;
+        let r = dc_sim.run(Analysis::mla_dc_sweep("V1", 0.0, 5.0, 0.05).options(opts))?;
         row(
             &[
                 name.into(),

@@ -2,6 +2,7 @@
 //! solution on a noisy nanoscale node (0..1 ns), with the "possible
 //! performance peak about 0.6 V" callout.
 
+use nanosim::core::em::EmEngine;
 use nanosim::prelude::*;
 use nanosim::sde::ou::OrnsteinUhlenbeck;
 use nanosim::sde::wiener::WienerPath;
@@ -65,8 +66,14 @@ fn main() -> Result<(), SimError> {
     };
     println!("\npathwise rms (EM vs exact, same path): {rms:.4} V");
 
-    // Ensemble peak prediction (the 0.6 V callout).
-    let ensemble = engine.run(&circuit, horizon)?;
+    // Ensemble peak prediction (the 0.6 V callout), via the session API.
+    let ensemble =
+        Simulator::new(circuit)?.run(Analysis::em_ensemble(horizon).options(EmOptions {
+            dt: horizon / steps as f64,
+            paths: 500,
+            seed: 2005,
+            ..EmOptions::default()
+        }))?;
     let peak = ensemble.peak_summary("v").expect("node exists");
     println!(
         "\nensemble ({} paths): peak in 0..1 ns — mean {:.3} V, p95 {:.3} V, worst {:.3} V",

@@ -7,9 +7,9 @@ use nanosim_bench::{mla_options, row, rule, swec_options};
 
 fn main() -> Result<(), SimError> {
     // (a) RTD.
-    let ckt = nanosim::workloads::rtd_divider(50.0);
-    let swec = SwecDcSweep::new(swec_options()).run(&ckt, "V1", 0.0, 5.0, 0.05)?;
-    let mla = MlaEngine::new(mla_options()).run_dc_sweep(&ckt, "V1", 0.0, 5.0, 0.05)?;
+    let mut sim = Simulator::new(nanosim::workloads::rtd_divider(50.0))?;
+    let swec = sim.run(Analysis::dc_sweep("V1", 0.0, 5.0, 0.05).options(swec_options()))?;
+    let mla = sim.run(Analysis::mla_dc_sweep("V1", 0.0, 5.0, 0.05).options(mla_options()))?;
     let s_iv = swec.curve("I(X1)").expect("recorded");
     let m_iv = mla.curve("I(X1)").expect("recorded");
 
@@ -51,8 +51,8 @@ fn main() -> Result<(), SimError> {
     println!("I-V curve very closely and accurately\" (paper §5.1)\n");
 
     // (b) nanowire.
-    let ckt = nanosim::workloads::nanowire_divider(100.0);
-    let nw = SwecDcSweep::new(swec_options()).run(&ckt, "V1", -2.5, 2.5, 0.05)?;
+    let mut sim = Simulator::new(nanosim::workloads::nanowire_divider(100.0))?;
+    let nw = sim.run(Analysis::dc_sweep("V1", -2.5, 2.5, 0.05).options(swec_options()))?;
     let nw_iv = nw.curve("I(W1)").expect("recorded");
     println!("Figure 7(b): nanowire I-V by SWEC");
     let widths = [8, 14];

@@ -26,15 +26,16 @@ fn sample_table(result_names: &[(&str, &Waveform)]) {
 fn main() -> Result<(), SimError> {
     let circuit = nanosim::workloads::fet_rtd_inverter();
     let (tstep, tstop) = (0.2e-9, 100e-9);
+    let mut sim = Simulator::new(circuit.clone())?;
 
-    let swec = SwecTransient::new(swec_options()).run(&circuit, tstep, tstop)?;
+    let swec = sim.run(Analysis::transient(tstep, tstop).options(swec_options()))?;
     let nr = NrEngine::new(spice3_options()).run_transient(&circuit, tstep, tstop)?;
-    let pwl = PwlEngine::new(PwlOptions::default()).run_transient(&circuit, tstep, tstop)?;
+    let pwl = sim.run(Analysis::pwl_transient(tstep, tstop))?;
 
-    let s_out = swec.waveform("out").expect("node exists");
+    let s_out = swec.curve("out").expect("node exists");
     let n_out = nr.result.waveform("out").expect("node exists");
-    let p_out = pwl.waveform("out").expect("node exists");
-    let vin = swec.waveform("in").expect("node exists");
+    let p_out = pwl.curve("out").expect("node exists");
+    let vin = swec.curve("in").expect("node exists");
 
     println!("Figure 8: FET-RTD inverter (input 0 <-> 5 V pulse)\n");
     sample_table(&[
@@ -63,8 +64,9 @@ fn main() -> Result<(), SimError> {
     for (t, outcome) in nr_s.failures.iter().take(3) {
         println!("    t = {:.2} ns: {:?}", t * 1e9, outcome);
     }
-    let swec_s = SwecTransient::new(swec_options()).run(&stress, 0.5e-9, 30e-9)?;
-    let out_s = swec_s.waveform("out").expect("node exists");
+    let swec_s =
+        Simulator::new(stress)?.run(Analysis::transient(0.5e-9, 30e-9).options(swec_options()))?;
+    let out_s = swec_s.curve("out").expect("node exists");
     println!(
         "  SWEC: completes cleanly, out(25 ns) = {:.3} V, {} steps",
         out_s.value_at(25e-9),

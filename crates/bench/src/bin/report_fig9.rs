@@ -7,10 +7,11 @@ use nanosim_bench::{row, rule, swec_options};
 
 fn main() -> Result<(), SimError> {
     let circuit = nanosim::workloads::rtd_d_flip_flop();
-    let result = SwecTransient::new(swec_options()).run(&circuit, 0.2e-9, 500e-9)?;
-    let out = result.waveform("out").expect("node exists");
-    let clk = result.waveform("clk").expect("node exists");
-    let d = result.waveform("d").expect("node exists");
+    let result = Simulator::new(circuit)?
+        .run(Analysis::transient(0.2e-9, 500e-9).options(swec_options()))?;
+    let out = result.curve("out").expect("node exists");
+    let clk = result.curve("clk").expect("node exists");
+    let d = result.curve("d").expect("node exists");
 
     println!("Figure 9: RTD D-flip-flop (clock period 100 ns, edges at 50+100k ns)\n");
     let widths = [9, 10, 10, 10];

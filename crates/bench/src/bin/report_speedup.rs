@@ -25,8 +25,9 @@ fn main() -> Result<(), SimError> {
         ("dc: rtd divider", nanosim::workloads::rtd_divider(50.0)),
         ("dc: rtd chain x4", nanosim::workloads::rtd_chain(4)),
     ] {
-        let swec = SwecDcSweep::new(swec_options()).run(&ckt, "V1", 0.0, 5.0, 0.05)?;
-        let mla = MlaEngine::new(mla_options()).run_dc_sweep(&ckt, "V1", 0.0, 5.0, 0.05)?;
+        let mut sim = Simulator::new(ckt)?;
+        let swec = sim.run(Analysis::dc_sweep("V1", 0.0, 5.0, 0.05).options(swec_options()))?;
+        let mla = sim.run(Analysis::mla_dc_sweep("V1", 0.0, 5.0, 0.05).options(mla_options()))?;
         row(
             &[
                 name.into(),
@@ -65,20 +66,22 @@ fn main() -> Result<(), SimError> {
     // Both engines at the SAME fixed step so the per-step cost is what is
     // compared (SWEC's error control is a separate feature the Newton
     // baseline does not have).
-    let swec_tr = SwecTransient::new(swec_fixed_step_options()).run(&ckt, 0.05e-9, 20e-9)?;
-    let mla_tr = MlaEngine::new(mla_options()).run_transient(&ckt, 0.05e-9, 20e-9)?;
+    let mut sim = Simulator::new(ckt)?;
+    let swec_tr =
+        sim.run(Analysis::transient(0.05e-9, 20e-9).options(swec_fixed_step_options()))?;
+    let mla_tr = sim.run(Analysis::mla_transient(0.05e-9, 20e-9).options(mla_options()))?;
     row(
         &[
             "tran: rtd ramp".into(),
             eng(swec_tr.stats.flops.total() as f64),
-            eng(mla_tr.result.stats.flops.total() as f64),
+            eng(mla_tr.stats.flops.total() as f64),
             format!(
                 "{:.1}x",
-                mla_tr.result.stats.flops.total() as f64 / swec_tr.stats.flops.total() as f64
+                mla_tr.stats.flops.total() as f64 / swec_tr.stats.flops.total() as f64
             ),
             format!(
                 "{:.1}x",
-                mla_tr.result.stats.elapsed.as_secs_f64() / swec_tr.stats.elapsed.as_secs_f64()
+                mla_tr.stats.elapsed.as_secs_f64() / swec_tr.stats.elapsed.as_secs_f64()
             ),
         ],
         &widths,
@@ -86,12 +89,12 @@ fn main() -> Result<(), SimError> {
     rule(&widths);
     println!(
         "\ntransient step counts: SWEC {} vs MLA {} (same fixed print step);",
-        swec_tr.stats.steps, mla_tr.result.stats.steps
+        swec_tr.stats.steps, mla_tr.stats.steps
     );
     println!(
         "per accepted step: SWEC {:.0} flops, MLA {:.0} flops",
         swec_tr.stats.flops.total() as f64 / swec_tr.stats.steps as f64,
-        mla_tr.result.stats.flops.total() as f64 / mla_tr.result.stats.steps as f64
+        mla_tr.stats.flops.total() as f64 / mla_tr.stats.steps as f64
     );
     println!("\npaper: \"over 20-30 times speedup over the SPICE-like simulator\"");
     println!("(DC ratios are dominated by MLA's per-point current-stepping ramp;");

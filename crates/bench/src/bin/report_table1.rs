@@ -71,10 +71,12 @@ fn main() -> Result<(), SimError> {
     rule(&widths);
     let mut ratios = Vec::new();
     for w in workloads() {
+        let mut sim = Simulator::new(w.circuit.clone())?;
         let swec =
-            SwecDcSweep::new(swec_options()).run(&w.circuit, w.source, w.start, w.stop, w.step)?;
-        let mla = MlaEngine::new(mla_options())
-            .run_dc_sweep(&w.circuit, w.source, w.start, w.stop, w.step)?;
+            sim.run(Analysis::dc_sweep(w.source, w.start, w.stop, w.step).options(swec_options()))?;
+        let mla = sim.run(
+            Analysis::mla_dc_sweep(w.source, w.start, w.stop, w.step).options(mla_options()),
+        )?;
         let ratio = mla.stats.flops.total() as f64 / swec.stats.flops.total() as f64;
         ratios.push(ratio);
         row(

@@ -1,12 +1,16 @@
 //! High-level analysis runner: execute every directive of a parsed netlist
-//! deck with the SWEC engines and collect the results.
+//! deck through one [`Simulator`] session and collect the results.
 //!
 //! This is the "just run my deck" entry point a downstream user reaches for
-//! first:
+//! first. Every directive is lowered to a typed [`crate::sim::Analysis`]
+//! and comes back as a uniform [`Dataset`] — no per-kind result enum to
+//! match on, and asking a result for the wrong kind of data is a structured
+//! [`crate::SimError::AnalysisMismatch`], not a panic:
 //!
 //! ```
 //! use nanosim_circuit::parse_netlist;
-//! use nanosim_core::analysis::{run_deck, AnalysisResult};
+//! use nanosim_core::analysis::run_deck;
+//! use nanosim_core::sim::AnalysisKind;
 //!
 //! # fn main() -> Result<(), nanosim_core::SimError> {
 //! let deck = parse_netlist(
@@ -20,98 +24,48 @@
 //! )?;
 //! let results = run_deck(&deck)?;
 //! assert_eq!(results.len(), 2);
-//! match &results[1] {
-//!     AnalysisResult::Transient(tr) => {
-//!         let out = tr.waveform("out").expect("node exists");
-//!         assert!((out.final_value() - 1.0).abs() < 0.02);
-//!     }
-//!     other => panic!("expected transient, got {other:?}"),
-//! }
+//! let tran = results[1].require(AnalysisKind::Tran)?;
+//! let out = tran.curve("out").expect("node exists");
+//! assert!((out.final_value() - 1.0).abs() < 0.02);
+//! // The wrong kind is an error, not a panic:
+//! assert!(results[1].require(AnalysisKind::Dc).is_err());
 //! # Ok(())
 //! # }
 //! ```
 
-use crate::swec::{SwecDcSweep, SwecOptions, SwecTransient};
-use crate::waveform::{DcSweepResult, TransientResult};
+use crate::sim::{Analysis, Dataset, Simulator};
+use crate::swec::SwecOptions;
 use crate::Result;
-use nanosim_circuit::{AnalysisDirective, ParsedDeck};
-
-/// The outcome of one analysis directive.
-#[derive(Debug, Clone)]
-pub enum AnalysisResult {
-    /// `.op` — the MNA solution vector paired with its variable names.
-    OperatingPoint {
-        /// Variable names (node voltages, then branch currents).
-        names: Vec<String>,
-        /// Solved values.
-        values: Vec<f64>,
-    },
-    /// `.dc` — the sweep result.
-    DcSweep(DcSweepResult),
-    /// `.tran` — the transient result.
-    Transient(TransientResult),
-}
-
-impl AnalysisResult {
-    /// Short tag for reports ("op", "dc", "tran").
-    pub fn kind(&self) -> &'static str {
-        match self {
-            AnalysisResult::OperatingPoint { .. } => "op",
-            AnalysisResult::DcSweep(_) => "dc",
-            AnalysisResult::Transient(_) => "tran",
-        }
-    }
-}
+use nanosim_circuit::ParsedDeck;
 
 /// Runs every directive in `deck` with default SWEC options.
 ///
 /// # Errors
 /// Propagates the first engine failure.
-pub fn run_deck(deck: &ParsedDeck) -> Result<Vec<AnalysisResult>> {
+pub fn run_deck(deck: &ParsedDeck) -> Result<Vec<Dataset>> {
     run_deck_with(deck, &SwecOptions::default())
 }
 
 /// Runs every directive in `deck` with explicit SWEC options.
 ///
+/// All directives share one [`Simulator`] session, so the MNA assembly and
+/// the cached sparse-LU analysis are reused across them.
+///
 /// # Errors
 /// Propagates the first engine failure.
-pub fn run_deck_with(deck: &ParsedDeck, opts: &SwecOptions) -> Result<Vec<AnalysisResult>> {
-    let mut out = Vec::with_capacity(deck.analyses.len());
-    for directive in &deck.analyses {
-        let result = match directive {
-            AnalysisDirective::Op => {
-                let engine = SwecDcSweep::new(opts.clone());
-                let values = engine.solve_op(&deck.circuit)?;
-                let names = op_names(&deck.circuit)?;
-                AnalysisResult::OperatingPoint { names, values }
-            }
-            AnalysisDirective::Dc {
-                source,
-                start,
-                stop,
-                step,
-            } => {
-                let engine = SwecDcSweep::new(opts.clone());
-                AnalysisResult::DcSweep(engine.run(&deck.circuit, source, *start, *stop, *step)?)
-            }
-            AnalysisDirective::Tran { tstep, tstop } => {
-                let engine = SwecTransient::new(opts.clone());
-                AnalysisResult::Transient(engine.run(&deck.circuit, *tstep, *tstop)?)
-            }
-        };
-        out.push(result);
-    }
-    Ok(out)
-}
-
-fn op_names(circuit: &nanosim_circuit::Circuit) -> Result<Vec<String>> {
-    let mna = nanosim_circuit::MnaSystem::new(circuit)?;
-    Ok(crate::assemble::mna_var_names(&mna))
+pub fn run_deck_with(deck: &ParsedDeck, opts: &SwecOptions) -> Result<Vec<Dataset>> {
+    let mut sim = Simulator::new(deck.circuit.clone())?;
+    deck.analyses
+        .iter()
+        .map(|directive| sim.run(Analysis::from_directive(directive, opts)))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::AnalysisKind;
+    use crate::SimError;
     use nanosim_circuit::parse_netlist;
 
     const DECK: &str = "* analysis runner test\n\
@@ -129,37 +83,44 @@ mod tests {
         let deck = parse_netlist(DECK).unwrap();
         let results = run_deck(&deck).unwrap();
         assert_eq!(results.len(), 3);
-        assert_eq!(results[0].kind(), "op");
-        assert_eq!(results[1].kind(), "dc");
-        assert_eq!(results[2].kind(), "tran");
+        assert_eq!(results[0].kind(), AnalysisKind::Op);
+        assert_eq!(results[1].kind(), AnalysisKind::Dc);
+        assert_eq!(results[2].kind(), AnalysisKind::Tran);
     }
 
     #[test]
-    fn operating_point_names_align_with_values() {
+    fn operating_point_values_via_dataset_accessors() {
         let deck = parse_netlist(DECK).unwrap();
         let results = run_deck(&deck).unwrap();
-        match &results[0] {
-            AnalysisResult::OperatingPoint { names, values } => {
-                assert_eq!(names.len(), values.len());
-                let out_idx = names.iter().position(|n| n == "out").unwrap();
-                assert!((values[out_idx] - 1.0).abs() < 1e-9, "divider midpoint");
-            }
-            other => panic!("expected op, got {other:?}"),
-        }
+        let op = results[0].require(AnalysisKind::Op).unwrap();
+        assert!((op.value("out").unwrap() - 1.0).abs() < 1e-9, "midpoint");
+        assert_eq!(op.names().len(), 3, "two nodes + source branch current");
     }
 
     #[test]
     fn dc_sweep_respects_directive_parameters() {
         let deck = parse_netlist(DECK).unwrap();
         let results = run_deck(&deck).unwrap();
-        match &results[1] {
-            AnalysisResult::DcSweep(sweep) => {
-                assert_eq!(sweep.points(), 5);
-                let out = sweep.curve("out").unwrap();
-                assert!((out.value_at(2.0) - 1.0).abs() < 1e-9);
-            }
-            other => panic!("expected dc, got {other:?}"),
-        }
+        let sweep = results[1].require(AnalysisKind::Dc).unwrap();
+        assert_eq!(sweep.points(), 5);
+        assert!((sweep.at("out", 2.0).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kind_mismatch_is_a_structured_error_not_a_panic() {
+        let deck = parse_netlist(DECK).unwrap();
+        let results = run_deck(&deck).unwrap();
+        let err = results[0].require(AnalysisKind::Tran).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::AnalysisMismatch {
+                    expected: "tran",
+                    got: "op"
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -175,14 +136,11 @@ mod tests {
         };
         let a = run_deck_with(&deck, &strict).unwrap();
         let b = run_deck_with(&deck, &loose).unwrap();
-        let (AnalysisResult::Transient(ta), AnalysisResult::Transient(tb)) = (&a[2], &b[2]) else {
-            panic!("expected transients");
-        };
         assert!(
-            ta.stats.steps >= tb.stats.steps,
+            a[2].stats.steps >= b[2].stats.steps,
             "tighter epsilon cannot take fewer steps ({} vs {})",
-            ta.stats.steps,
-            tb.stats.steps
+            a[2].stats.steps,
+            b[2].stats.steps
         );
     }
 

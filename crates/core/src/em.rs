@@ -154,22 +154,54 @@ impl EmResult {
     /// Running-maximum statistics of a node over the ensemble.
     pub fn peak_summary(&self, name: &str) -> Option<PeakSummary> {
         let i = self.names.iter().position(|n| n == name)?;
-        let maxima = &self.maxima[i];
-        let stats: RunningStats = maxima.iter().copied().collect();
-        Some(PeakSummary {
-            mean_peak: stats.mean(),
-            p95_peak: percentile(maxima, 0.95)?,
-            worst_peak: stats.max(),
-        })
+        peak_summary_of(&self.maxima[i])
     }
 
     /// Fraction of paths whose running maximum of `name` reached `level`.
     pub fn exceedance(&self, name: &str, level: f64) -> Option<f64> {
         let i = self.names.iter().position(|n| n == name)?;
-        let maxima = &self.maxima[i];
-        let hits = maxima.iter().filter(|&&m| m >= level).count();
-        Some(hits as f64 / maxima.len() as f64)
+        Some(exceedance_of(&self.maxima[i], level))
     }
+
+    /// Decomposes into `(times, names, mean, std_dev, maxima, stats)` — the
+    /// [`crate::sim::Dataset`] conversion path (the sample path is dropped).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        Vec<f64>,
+        Vec<String>,
+        Vec<Vec<f64>>,
+        Vec<Vec<f64>>,
+        Vec<Vec<f64>>,
+        EngineStats,
+    ) {
+        (
+            self.times,
+            self.names,
+            self.mean,
+            self.std_dev,
+            self.maxima,
+            self.stats,
+        )
+    }
+}
+
+/// [`PeakSummary`] of one variable's per-path running maxima (shared by
+/// [`EmResult`] and [`crate::sim::Dataset`] so the two stay in lockstep).
+pub(crate) fn peak_summary_of(maxima: &[f64]) -> Option<PeakSummary> {
+    let stats: RunningStats = maxima.iter().copied().collect();
+    Some(PeakSummary {
+        mean_peak: stats.mean(),
+        p95_peak: percentile(maxima, 0.95)?,
+        worst_peak: stats.max(),
+    })
+}
+
+/// Fraction of per-path maxima at or above `level`.
+pub(crate) fn exceedance_of(maxima: &[f64], level: f64) -> f64 {
+    let hits = maxima.iter().filter(|&&m| m >= level).count();
+    hits as f64 / maxima.len() as f64
 }
 
 /// The Euler–Maruyama circuit engine.

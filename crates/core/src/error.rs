@@ -37,6 +37,14 @@ pub enum SimError {
         /// Description of the inconsistency.
         context: String,
     },
+    /// A result was interrogated as the wrong analysis kind (e.g. asking a
+    /// DC sweep [`crate::sim::Dataset`] for transient data).
+    AnalysisMismatch {
+        /// The kind the caller asked for.
+        expected: &'static str,
+        /// The kind the result actually holds.
+        got: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -54,6 +62,9 @@ impl fmt::Display for SimError {
                 write!(f, "unsupported circuit: {reason}")
             }
             SimError::InvalidConfig { context } => write!(f, "invalid config: {context}"),
+            SimError::AnalysisMismatch { expected, got } => {
+                write!(f, "analysis mismatch: expected {expected}, got {got}")
+            }
         }
     }
 }

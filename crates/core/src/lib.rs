@@ -67,11 +67,13 @@ pub mod mla;
 pub mod nr;
 pub mod pwl;
 pub mod report;
+pub mod sim;
 pub mod swec;
 pub mod waveform;
 
 pub use error::SimError;
 pub use report::EngineStats;
+pub use sim::{Analysis, AnalysisKind, Dataset, ExecPlan, Simulator};
 pub use waveform::{DcSweepResult, TransientResult, Waveform};
 
 /// Convenience alias for fallible simulation results.

@@ -1,0 +1,92 @@
+//! Execution plans: how an analysis is scheduled across workers.
+
+use crate::{Result, SimError};
+use nanosim_numeric::parallel::effective_threads;
+
+/// How the [`crate::sim::Simulator`] executes an analysis.
+///
+/// A plan never changes *what* is computed — sharded runs are bit-identical
+/// to serial ones (see the [`crate::sim`] module docs for why) — only how
+/// the work is spread over threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecPlan {
+    /// Everything on the calling thread.
+    #[default]
+    Serial,
+    /// Work split across `workers` threads, each with its own assembly
+    /// workspace, stitched back deterministically in chunk order.
+    ///
+    /// `workers` must be at least 1. Construct through [`ExecPlan::sharded`]
+    /// to use the `0 = auto` convention; a hand-built
+    /// `Sharded { workers: 0 }` is rejected by validation.
+    Sharded {
+        /// Number of worker threads (≥ 1).
+        workers: usize,
+    },
+}
+
+impl ExecPlan {
+    /// Builds a sharded plan. `workers` follows the same convention as
+    /// [`crate::em::EmOptions::threads`] and
+    /// [`nanosim_numeric::parallel::effective_threads`]: **`0` means auto**
+    /// (one worker per hardware thread), anything else is taken literally.
+    /// The auto value is resolved here, at build time, so the constructed
+    /// plan always carries a concrete worker count.
+    pub fn sharded(workers: usize) -> ExecPlan {
+        ExecPlan::Sharded {
+            workers: effective_threads(workers),
+        }
+    }
+
+    /// The number of worker threads this plan runs on.
+    pub fn workers(&self) -> usize {
+        match self {
+            ExecPlan::Serial => 1,
+            ExecPlan::Sharded { workers } => *workers,
+        }
+    }
+
+    /// Rejects nonsense plans (currently: a hand-constructed
+    /// `Sharded { workers: 0 }`, which [`ExecPlan::sharded`] would have
+    /// resolved to the hardware thread count).
+    ///
+    /// # Errors
+    /// [`SimError::InvalidConfig`] on an invalid worker count.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            ExecPlan::Sharded { workers: 0 } => Err(SimError::InvalidConfig {
+                context: "ExecPlan::Sharded { workers: 0 }: use ExecPlan::sharded(0) \
+                          to request one worker per hardware thread"
+                    .into(),
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_serial() {
+        assert_eq!(ExecPlan::default(), ExecPlan::Serial);
+        assert_eq!(ExecPlan::Serial.workers(), 1);
+    }
+
+    #[test]
+    fn sharded_zero_resolves_to_auto() {
+        let p = ExecPlan::sharded(0);
+        assert!(p.workers() >= 1);
+        assert!(p.validate().is_ok());
+        let p = ExecPlan::sharded(3);
+        assert_eq!(p.workers(), 3);
+    }
+
+    #[test]
+    fn literal_zero_workers_rejected() {
+        let p = ExecPlan::Sharded { workers: 0 };
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("workers"), "{err}");
+    }
+}

@@ -1,0 +1,459 @@
+//! Typed analysis requests and their builders.
+//!
+//! An [`Analysis`] is everything the [`crate::sim::Simulator`] needs to run
+//! one analysis: the kind, its parameters, the engine options, and an
+//! [`ExecPlan`]. Builders start from [`Analysis::op`],
+//! [`Analysis::dc_sweep`], [`Analysis::transient`],
+//! [`Analysis::em_ensemble`], [`Analysis::mla_dc_sweep`] /
+//! [`Analysis::mla_transient`] and [`Analysis::pwl_dc_sweep`] /
+//! [`Analysis::pwl_transient`]; every builder type converts into
+//! [`Analysis`] with `into()` (or can be passed to
+//! [`crate::sim::Simulator::run`] directly).
+
+use crate::em::EmOptions;
+use crate::mla::MlaOptions;
+use crate::pwl::PwlOptions;
+use crate::sim::dataset::AnalysisKind;
+use crate::sim::plan::ExecPlan;
+use crate::swec::SwecOptions;
+use crate::Result;
+use nanosim_circuit::AnalysisDirective;
+
+/// A typed analysis request.
+#[derive(Debug, Clone)]
+pub enum Analysis {
+    /// DC operating point (SWEC fixed point with continuation fallback).
+    Op(Op),
+    /// SWEC DC sweep of a named source.
+    DcSweep(DcSweep),
+    /// SWEC transient.
+    Transient(Transient),
+    /// Euler–Maruyama Monte-Carlo ensemble.
+    EmEnsemble(EmEnsemble),
+    /// MLA baseline (Newton with RTD limiting) sweep or transient.
+    Mla(Mla),
+    /// PWL baseline (ACES-like piecewise linear) sweep or transient.
+    Pwl(Pwl),
+}
+
+/// Sweep-or-transient request of a baseline engine ([`Mla`], [`Pwl`]).
+#[derive(Debug, Clone)]
+pub enum BaselineRequest {
+    /// DC sweep of a named source.
+    DcSweep {
+        /// Name of the swept V/I source.
+        source: String,
+        /// Sweep start value.
+        start: f64,
+        /// Sweep end value.
+        stop: f64,
+        /// Sweep increment.
+        step: f64,
+    },
+    /// Transient analysis.
+    Transient {
+        /// Maximum (print) time step in seconds.
+        tstep: f64,
+        /// Stop time in seconds.
+        tstop: f64,
+    },
+}
+
+/// Builder for an operating-point analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Op {
+    /// SWEC engine options.
+    pub options: SwecOptions,
+}
+
+impl Op {
+    /// Replaces the engine options.
+    #[must_use]
+    pub fn options(mut self, options: SwecOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// Builder for a SWEC DC sweep.
+#[derive(Debug, Clone)]
+pub struct DcSweep {
+    /// Name of the swept V/I source.
+    pub source: String,
+    /// Sweep start value.
+    pub start: f64,
+    /// Sweep end value.
+    pub stop: f64,
+    /// Sweep increment.
+    pub step: f64,
+    /// SWEC engine options.
+    pub options: SwecOptions,
+    /// Execution plan ([`ExecPlan::Serial`] by default; sweeps also accept
+    /// [`ExecPlan::Sharded`]).
+    pub plan: ExecPlan,
+}
+
+impl DcSweep {
+    /// Starts a sweep request over `source` from `start` to `stop`
+    /// (inclusive) in increments of `step`.
+    pub fn new(source: impl Into<String>, start: f64, stop: f64, step: f64) -> Self {
+        DcSweep {
+            source: source.into(),
+            start,
+            stop,
+            step,
+            options: SwecOptions::default(),
+            plan: ExecPlan::Serial,
+        }
+    }
+
+    /// Replaces the engine options.
+    #[must_use]
+    pub fn options(mut self, options: SwecOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the execution plan.
+    #[must_use]
+    pub fn plan(mut self, plan: ExecPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+}
+
+/// Builder for a SWEC transient.
+#[derive(Debug, Clone)]
+pub struct Transient {
+    /// Maximum (print) time step in seconds.
+    pub tstep: f64,
+    /// Stop time in seconds.
+    pub tstop: f64,
+    /// SWEC engine options.
+    pub options: SwecOptions,
+}
+
+impl Transient {
+    /// Starts a transient request from `t = 0` to `tstop` with print step
+    /// `tstep`.
+    pub fn new(tstep: f64, tstop: f64) -> Self {
+        Transient {
+            tstep,
+            tstop,
+            options: SwecOptions::default(),
+        }
+    }
+
+    /// Replaces the engine options.
+    #[must_use]
+    pub fn options(mut self, options: SwecOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// Builder for an Euler–Maruyama ensemble.
+#[derive(Debug, Clone)]
+pub struct EmEnsemble {
+    /// Integration horizon in seconds.
+    pub horizon: f64,
+    /// EM engine options. The `threads` field is owned by the plan (the
+    /// session overwrites it): [`ExecPlan::Serial`] runs one worker,
+    /// [`ExecPlan::Sharded`] runs `workers`. Results are bit-identical
+    /// either way — the plan is purely a wall-clock knob.
+    pub options: EmOptions,
+    /// Execution plan. Defaults to `ExecPlan::sharded(0)` (auto: one
+    /// worker per hardware thread), matching the engine's own
+    /// `EmOptions::default().threads == 0` behavior.
+    pub plan: ExecPlan,
+}
+
+impl EmEnsemble {
+    /// Starts an ensemble request over `0..horizon` seconds.
+    pub fn new(horizon: f64) -> Self {
+        EmEnsemble {
+            horizon,
+            options: EmOptions::default(),
+            plan: ExecPlan::sharded(0),
+        }
+    }
+
+    /// Replaces the engine options.
+    #[must_use]
+    pub fn options(mut self, options: EmOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the execution plan.
+    #[must_use]
+    pub fn plan(mut self, plan: ExecPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+}
+
+/// Builder for an MLA-baseline analysis.
+#[derive(Debug, Clone)]
+pub struct Mla {
+    /// Sweep or transient parameters.
+    pub request: BaselineRequest,
+    /// MLA engine options.
+    pub options: MlaOptions,
+}
+
+impl Mla {
+    /// Replaces the engine options.
+    #[must_use]
+    pub fn options(mut self, options: MlaOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// Builder for a PWL-baseline analysis.
+#[derive(Debug, Clone)]
+pub struct Pwl {
+    /// Sweep or transient parameters.
+    pub request: BaselineRequest,
+    /// PWL engine options.
+    pub options: PwlOptions,
+}
+
+impl Pwl {
+    /// Replaces the engine options.
+    #[must_use]
+    pub fn options(mut self, options: PwlOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+macro_rules! into_analysis {
+    ($($builder:ident => $variant:ident),* $(,)?) => {
+        $(impl From<$builder> for Analysis {
+            fn from(b: $builder) -> Analysis {
+                Analysis::$variant(b)
+            }
+        })*
+    };
+}
+
+into_analysis!(
+    Op => Op,
+    DcSweep => DcSweep,
+    Transient => Transient,
+    EmEnsemble => EmEnsemble,
+    Mla => Mla,
+    Pwl => Pwl,
+);
+
+impl Analysis {
+    /// Operating-point request with default options.
+    pub fn op() -> Op {
+        Op::default()
+    }
+
+    /// SWEC DC sweep request (see [`DcSweep::new`]).
+    pub fn dc_sweep(source: impl Into<String>, start: f64, stop: f64, step: f64) -> DcSweep {
+        DcSweep::new(source, start, stop, step)
+    }
+
+    /// SWEC transient request (see [`Transient::new`]).
+    pub fn transient(tstep: f64, tstop: f64) -> Transient {
+        Transient::new(tstep, tstop)
+    }
+
+    /// Euler–Maruyama ensemble request (see [`EmEnsemble::new`]).
+    pub fn em_ensemble(horizon: f64) -> EmEnsemble {
+        EmEnsemble::new(horizon)
+    }
+
+    /// MLA-baseline DC sweep request.
+    pub fn mla_dc_sweep(source: impl Into<String>, start: f64, stop: f64, step: f64) -> Mla {
+        Mla {
+            request: BaselineRequest::DcSweep {
+                source: source.into(),
+                start,
+                stop,
+                step,
+            },
+            options: MlaOptions::default(),
+        }
+    }
+
+    /// MLA-baseline transient request.
+    pub fn mla_transient(tstep: f64, tstop: f64) -> Mla {
+        Mla {
+            request: BaselineRequest::Transient { tstep, tstop },
+            options: MlaOptions::default(),
+        }
+    }
+
+    /// PWL-baseline DC sweep request.
+    pub fn pwl_dc_sweep(source: impl Into<String>, start: f64, stop: f64, step: f64) -> Pwl {
+        Pwl {
+            request: BaselineRequest::DcSweep {
+                source: source.into(),
+                start,
+                stop,
+                step,
+            },
+            options: PwlOptions::default(),
+        }
+    }
+
+    /// PWL-baseline transient request.
+    pub fn pwl_transient(tstep: f64, tstop: f64) -> Pwl {
+        Pwl {
+            request: BaselineRequest::Transient { tstep, tstop },
+            options: PwlOptions::default(),
+        }
+    }
+
+    /// Lowers a parsed netlist directive to an analysis request with the
+    /// given SWEC options (the `run_deck` path).
+    pub fn from_directive(directive: &AnalysisDirective, options: &SwecOptions) -> Analysis {
+        match directive {
+            AnalysisDirective::Op => Analysis::Op(Op {
+                options: options.clone(),
+            }),
+            AnalysisDirective::Dc {
+                source,
+                start,
+                stop,
+                step,
+            } => Analysis::DcSweep(
+                DcSweep::new(source.clone(), *start, *stop, *step).options(options.clone()),
+            ),
+            AnalysisDirective::Tran { tstep, tstop } => {
+                Analysis::Transient(Transient::new(*tstep, *tstop).options(options.clone()))
+            }
+        }
+    }
+
+    /// The kind of dataset this request produces.
+    pub fn kind(&self) -> AnalysisKind {
+        match self {
+            Analysis::Op(_) => AnalysisKind::Op,
+            Analysis::DcSweep(_) => AnalysisKind::Dc,
+            Analysis::Transient(_) => AnalysisKind::Tran,
+            Analysis::EmEnsemble(_) => AnalysisKind::Em,
+            Analysis::Mla(m) => match m.request {
+                BaselineRequest::DcSweep { .. } => AnalysisKind::Dc,
+                BaselineRequest::Transient { .. } => AnalysisKind::Tran,
+            },
+            Analysis::Pwl(p) => match p.request {
+                BaselineRequest::DcSweep { .. } => AnalysisKind::Dc,
+                BaselineRequest::Transient { .. } => AnalysisKind::Tran,
+            },
+        }
+    }
+
+    /// The execution plan of this request ([`ExecPlan::Serial`] for
+    /// analyses that only run serially).
+    pub fn plan(&self) -> ExecPlan {
+        match self {
+            Analysis::DcSweep(s) => s.plan,
+            Analysis::EmEnsemble(e) => e.plan,
+            _ => ExecPlan::Serial,
+        }
+    }
+
+    /// Checks plan/parameter consistency before any work runs.
+    ///
+    /// # Errors
+    /// [`crate::SimError::InvalidConfig`] on invalid plans (a literal
+    /// `Sharded { workers: 0 }`, or a sharded plan on an analysis that
+    /// cannot shard).
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            Analysis::DcSweep(s) => s.plan.validate(),
+            Analysis::EmEnsemble(e) => e.plan.validate(),
+            _ => Ok(()),
+        }
+    }
+
+    /// Short tag for progress reports ("op", "dc", "tran", "em", "mla",
+    /// "pwl").
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Analysis::Op(_) => "op",
+            Analysis::DcSweep(_) => "dc",
+            Analysis::Transient(_) => "tran",
+            Analysis::EmEnsemble(_) => "em",
+            Analysis::Mla(_) => "mla",
+            Analysis::Pwl(_) => "pwl",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimError;
+
+    #[test]
+    fn builders_convert_into_analysis() {
+        let a: Analysis = Analysis::dc_sweep("V1", 0.0, 1.0, 0.1)
+            .plan(ExecPlan::sharded(2))
+            .into();
+        assert_eq!(a.kind(), AnalysisKind::Dc);
+        assert_eq!(a.plan().workers(), 2);
+        assert!(a.validate().is_ok());
+
+        let a: Analysis = Analysis::transient(1e-12, 1e-9).into();
+        assert_eq!(a.kind(), AnalysisKind::Tran);
+        assert_eq!(a.plan(), ExecPlan::Serial);
+
+        let a: Analysis = Analysis::mla_transient(1e-12, 1e-9).into();
+        assert_eq!(a.kind(), AnalysisKind::Tran);
+        assert_eq!(a.tag(), "mla");
+
+        let a: Analysis = Analysis::pwl_dc_sweep("V1", 0.0, 1.0, 0.1).into();
+        assert_eq!(a.kind(), AnalysisKind::Dc);
+    }
+
+    #[test]
+    fn literal_zero_workers_rejected_at_validation() {
+        let a: Analysis = Analysis::dc_sweep("V1", 0.0, 1.0, 0.1)
+            .plan(ExecPlan::Sharded { workers: 0 })
+            .into();
+        assert!(matches!(a.validate(), Err(SimError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn directive_lowering_preserves_parameters() {
+        let opts = SwecOptions {
+            epsilon: 0.05,
+            ..SwecOptions::default()
+        };
+        let a = Analysis::from_directive(
+            &AnalysisDirective::Dc {
+                source: "V1".into(),
+                start: 0.0,
+                stop: 2.0,
+                step: 0.5,
+            },
+            &opts,
+        );
+        let Analysis::DcSweep(s) = a else {
+            panic!("expected dc sweep");
+        };
+        assert_eq!(s.source, "V1");
+        assert_eq!(s.step, 0.5);
+        assert_eq!(s.options.epsilon, 0.05);
+        assert_eq!(s.plan, ExecPlan::Serial);
+
+        let a = Analysis::from_directive(&AnalysisDirective::Op, &opts);
+        assert_eq!(a.kind(), AnalysisKind::Op);
+        let a = Analysis::from_directive(
+            &AnalysisDirective::Tran {
+                tstep: 1e-12,
+                tstop: 1e-9,
+            },
+            &opts,
+        );
+        assert_eq!(a.kind(), AnalysisKind::Tran);
+    }
+}

@@ -1,0 +1,626 @@
+//! The [`Simulator`] session: one circuit, many analyses, shared solver
+//! state.
+
+use crate::assemble::{branch_voltage, mna_var_names, AssemblyWorkspace, CircuitMatrices};
+use crate::em::EmEngine;
+use crate::mla::MlaEngine;
+use crate::pwl::PwlEngine;
+use crate::report::EngineStats;
+use crate::sim::dataset::{AnalysisKind, Axis, Dataset};
+use crate::sim::plan::ExecPlan;
+use crate::sim::request::{
+    Analysis, BaselineRequest, DcSweep, EmEnsemble, Mla, Op, Pwl, Transient,
+};
+use crate::swec::dc::DcBuffers;
+use crate::swec::{DcMode, SwecDcSweep, SwecTransient};
+use crate::{Result, SimError};
+use nanosim_circuit::Circuit;
+use nanosim_numeric::parallel::try_par_map;
+use nanosim_numeric::FlopCounter;
+use std::time::Instant;
+
+/// Sweep points per shard chunk. Chunk boundaries are a function of the
+/// point index only (never of the worker count), which is what keeps
+/// sharded DC sweeps bit-identical at any parallelism level — the same
+/// contract as [`crate::em::PATH_CHUNK`] for Monte-Carlo ensembles.
+pub const SWEEP_CHUNK: usize = 16;
+
+/// Non-iterative warm-up solves a shard performs to approach its first
+/// point from the sweep's start value (the per-shard continuation ramp).
+const WARM_START_RAMP: usize = 8;
+
+/// A simulation session bound to one circuit.
+///
+/// `Simulator::new` assembles the MNA structure once; every analysis run
+/// through the session shares it, along with cached assembly workspaces
+/// whose sparse-LU symbolic analyses survive across analyses (an `.op`
+/// followed by a `.dc` refactors instead of re-analyzing). Analyses are
+/// typed [`Analysis`] requests built with builders, every result is a
+/// [`Dataset`], and scale-out is an [`ExecPlan`] — not a different engine.
+///
+/// # Example
+/// ```
+/// use nanosim_core::sim::{Analysis, ExecPlan, Simulator};
+/// use nanosim_circuit::Circuit;
+/// use nanosim_devices::rtd::Rtd;
+/// use nanosim_devices::sources::SourceWaveform;
+///
+/// # fn main() -> Result<(), nanosim_core::SimError> {
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.node("in");
+/// let mid = ckt.node("mid");
+/// ckt.add_voltage_source("V1", vin, Circuit::GROUND, SourceWaveform::dc(0.0))?;
+/// ckt.add_resistor("R1", vin, mid, 50.0)?;
+/// ckt.add_rtd("X1", mid, Circuit::GROUND, Rtd::date2005())?;
+///
+/// let mut sim = Simulator::new(ckt)?;
+/// let sweep = sim.run(Analysis::dc_sweep("V1", 0.0, 2.5, 0.1))?;
+/// assert_eq!(sweep.points(), 26);
+/// // The same request sharded over 4 workers is bit-identical.
+/// let sharded = sim.run(
+///     Analysis::dc_sweep("V1", 0.0, 2.5, 0.1).plan(ExecPlan::sharded(4)),
+/// )?;
+/// assert_eq!(sweep.column("mid"), sharded.column("mid"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    circuit: Circuit,
+    mats: CircuitMatrices,
+    /// Cached no-C assembly workspace (operating points, DC sweeps).
+    dc_ws: Option<AssemblyWorkspace>,
+    /// Cached with-C assembly workspace (transients).
+    tran_ws: Option<AssemblyWorkspace>,
+}
+
+impl Simulator {
+    /// Opens a session on `circuit`, assembling its MNA structure once.
+    ///
+    /// # Errors
+    /// Propagates circuit validation / MNA construction failures.
+    pub fn new(circuit: Circuit) -> Result<Simulator> {
+        let mats = CircuitMatrices::new(&circuit)?;
+        Ok(Simulator {
+            circuit,
+            mats,
+            dc_ws: None,
+            tran_ws: None,
+        })
+    }
+
+    /// The session's circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Names of all MNA variables in solution order (node voltages, then
+    /// branch currents).
+    pub fn var_names(&self) -> Vec<String> {
+        mna_var_names(&self.mats.mna)
+    }
+
+    /// Runs one analysis and returns its [`Dataset`].
+    ///
+    /// # Errors
+    /// Propagates request validation failures ([`SimError::InvalidConfig`])
+    /// and engine failures.
+    pub fn run(&mut self, analysis: impl Into<Analysis>) -> Result<Dataset> {
+        let analysis = analysis.into();
+        analysis.validate()?;
+        match analysis {
+            Analysis::Op(op) => self.run_op(op),
+            Analysis::DcSweep(sweep) => self.run_dc_sweep(sweep),
+            Analysis::Transient(tran) => self.run_transient(tran),
+            Analysis::EmEnsemble(em) => self.run_em(em),
+            Analysis::Mla(mla) => self.run_mla(mla),
+            Analysis::Pwl(pwl) => self.run_pwl(pwl),
+        }
+    }
+
+    fn run_op(&mut self, op: Op) -> Result<Dataset> {
+        let t0 = Instant::now();
+        if self.dc_ws.is_none() {
+            self.dc_ws = Some(AssemblyWorkspace::new(&self.mats, false, false));
+        }
+        let ws = self.dc_ws.as_mut().expect("created above");
+        let (ff0, rf0) = ws.factor_counts();
+        let engine = SwecDcSweep::new(op.options);
+        let mut stats = EngineStats::new();
+        let values = engine.solve_op_ws(&self.mats, ws, &mut stats)?;
+        let (ff, rf) = ws.factor_counts();
+        stats.full_factors += ff - ff0;
+        stats.refactors += rf - rf0;
+        stats.steps += 1;
+        stats.elapsed = t0.elapsed();
+        let names = mna_var_names(&self.mats.mna);
+        Ok(Dataset::from_op("swec", names, values, stats))
+    }
+
+    fn run_transient(&mut self, tran: Transient) -> Result<Dataset> {
+        if self.tran_ws.is_none() {
+            self.tran_ws = Some(AssemblyWorkspace::new(&self.mats, false, true));
+        }
+        if self.dc_ws.is_none() {
+            self.dc_ws = Some(AssemblyWorkspace::new(&self.mats, false, false));
+        }
+        let ws = self.tran_ws.as_mut().expect("created above");
+        let op_ws = self.dc_ws.as_mut().expect("created above");
+        let engine = SwecTransient::new(tran.options);
+        let result = engine.run_with(&self.mats, ws, Some(op_ws), tran.tstep, tran.tstop)?;
+        Ok(Dataset::from_transient("swec", result))
+    }
+
+    fn run_em(&mut self, em: EmEnsemble) -> Result<Dataset> {
+        let mut options = em.options;
+        // The plan owns scheduling: Serial runs one worker, Sharded{n} runs
+        // n (`ExecPlan::sharded(0)` already resolved auto at build time).
+        options.threads = em.plan.workers();
+        let result = EmEngine::new(options).run(&self.circuit, em.horizon)?;
+        Ok(Dataset::from_em(result))
+    }
+
+    fn run_mla(&mut self, mla: Mla) -> Result<Dataset> {
+        let engine = MlaEngine::new(mla.options);
+        match mla.request {
+            BaselineRequest::DcSweep {
+                source,
+                start,
+                stop,
+                step,
+            } => {
+                let r = engine.run_dc_sweep(&self.circuit, &source, start, stop, step)?;
+                Ok(Dataset::from_dc_sweep("mla", &source, r))
+            }
+            BaselineRequest::Transient { tstep, tstop } => {
+                let r = engine.run_transient(&self.circuit, tstep, tstop)?;
+                if let Some((t, outcome)) = r.failures.first() {
+                    return Err(SimError::NonConvergence {
+                        at: *t,
+                        context: format!(
+                            "MLA transient: {} steps failed (first: {outcome:?})",
+                            r.failures.len()
+                        ),
+                    });
+                }
+                Ok(Dataset::from_transient("mla", r.result))
+            }
+        }
+    }
+
+    fn run_pwl(&mut self, pwl: Pwl) -> Result<Dataset> {
+        let engine = PwlEngine::new(pwl.options);
+        match pwl.request {
+            BaselineRequest::DcSweep {
+                source,
+                start,
+                stop,
+                step,
+            } => {
+                let r = engine.run_dc_sweep(&self.circuit, &source, start, stop, step)?;
+                Ok(Dataset::from_dc_sweep("pwl", &source, r))
+            }
+            BaselineRequest::Transient { tstep, tstop } => {
+                let r = engine.run_transient(&self.circuit, tstep, tstop)?;
+                Ok(Dataset::from_transient("pwl", r))
+            }
+        }
+    }
+
+    /// Sharded (or serial — same algorithm, one worker) SWEC DC sweep.
+    ///
+    /// The sweep is cut into fixed [`SWEEP_CHUNK`]-point chunks. The session
+    /// workspace is first warmed with one assembly + solve at the sweep
+    /// start, so every chunk clone inherits the same cached LU symbolic
+    /// analysis and refactors instead of re-factoring. Chunk 0 reproduces
+    /// the legacy serial sweep exactly (full fixed point at the first
+    /// value, continuation after); later chunks warm-start with a forward
+    /// non-iterative continuation ramp from the sweep start to the point
+    /// *before* their range — tracking the same branch a serial
+    /// continuation chain selects through NDR/hysteresis regions — then
+    /// refine that point to self-consistency (keeping the ramp iterate at a
+    /// genuine bistability fold) and continue like the serial sweep would.
+    /// Because chunk boundaries and warm-starts depend only on the point
+    /// index, results are bit-identical for every worker count.
+    fn run_dc_sweep(&mut self, req: DcSweep) -> Result<Dataset> {
+        let DcSweep {
+            source,
+            start,
+            stop,
+            step,
+            options,
+            plan,
+        } = req;
+        if step == 0.0 || !step.is_finite() || (stop - start) * step < 0.0 {
+            return Err(SimError::InvalidConfig {
+                context: format!("dc sweep {start}..{stop} with step {step}"),
+            });
+        }
+        if self.mats.mna.circuit().element(&source).is_none() {
+            return Err(SimError::InvalidConfig {
+                context: format!("unknown sweep source `{source}`"),
+            });
+        }
+        let t0 = Instant::now();
+        if self.dc_ws.is_none() {
+            self.dc_ws = Some(AssemblyWorkspace::new(&self.mats, false, false));
+        }
+        let engine = SwecDcSweep::new(options);
+        let mut warm_stats = EngineStats::new();
+        let warm_counts = {
+            // Warm the session workspace with one assembly + solve at the
+            // sweep start (the matrix the first chunk assembles first), so
+            // every chunk clone starts from the same cached symbolic
+            // analysis and refactors instead of paying a full factor.
+            let ws = self.dc_ws.as_mut().expect("created above");
+            let (ff0, rf0) = ws.factor_counts();
+            let mut buf = DcBuffers::default();
+            let x0 = vec![0.0; self.mats.mna.dim()];
+            engine.solve_noniterative_ws(
+                &self.mats,
+                ws,
+                &mut buf,
+                Some((&source, start)),
+                &x0,
+                &mut warm_stats,
+            )?;
+            let (ff, rf) = ws.factor_counts();
+            warm_stats.full_factors += ff - ff0;
+            warm_stats.refactors += rf - rf0;
+            (ff, rf)
+        };
+        let base_ws = self.dc_ws.as_ref().expect("created above");
+        let base_counts = warm_counts;
+        let mats = &self.mats;
+
+        let n_points = ((stop - start) / step).round() as i64 + 1;
+        let n_points = n_points.max(1) as usize;
+        let values: Vec<f64> = (0..n_points).map(|k| start + step * k as f64).collect();
+        let n_chunks = n_points.div_ceil(SWEEP_CHUNK);
+
+        let chunks = try_par_map(n_chunks, plan.workers(), |ci| {
+            let lo = ci * SWEEP_CHUNK;
+            let hi = n_points.min(lo + SWEEP_CHUNK);
+            sweep_chunk(
+                &engine,
+                mats,
+                base_ws,
+                base_counts,
+                &source,
+                start,
+                &values,
+                lo,
+                hi,
+            )
+        })?;
+
+        // Deterministic stitch: solutions and statistics in chunk order.
+        let mut stats = warm_stats;
+        let mut solutions: Vec<Vec<f64>> = Vec::with_capacity(n_points);
+        for chunk in chunks {
+            solutions.extend(chunk.xs);
+            stats.merge(&chunk.stats);
+        }
+
+        // Output columns: node voltages / branch currents, then per-device
+        // currents (same layout as the legacy engine result).
+        let var_names = mna_var_names(&mats.mna);
+        let mut names = var_names.clone();
+        for b in mats.mna.nonlinear_bindings() {
+            names.push(format!("I({})", b.name));
+        }
+        for m in mats.mna.mosfet_bindings() {
+            names.push(format!("I({})", m.name));
+        }
+        let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(n_points); names.len()];
+        let mut flops = FlopCounter::new();
+        for x in &solutions {
+            for (i, &xi) in x.iter().enumerate() {
+                columns[i].push(xi);
+            }
+            let mut col = var_names.len();
+            for b in mats.mna.nonlinear_bindings() {
+                let v = branch_voltage(x, b.var_plus, b.var_minus);
+                columns[col].push(b.device.current(v, &mut flops));
+                col += 1;
+            }
+            for m in mats.mna.mosfet_bindings() {
+                let vd = m.var_drain.map_or(0.0, |i| x[i]);
+                let vg = m.var_gate.map_or(0.0, |i| x[i]);
+                let vs = m.var_source.map_or(0.0, |i| x[i]);
+                columns[col].push(m.model.ids(vg - vs, vd - vs, &mut flops));
+                col += 1;
+            }
+        }
+        stats.flops += flops;
+        stats.elapsed = t0.elapsed();
+        Ok(Dataset::new(
+            AnalysisKind::Dc,
+            "swec",
+            Axis::Sweep { source, values },
+            names,
+            columns,
+            stats,
+        ))
+    }
+}
+
+/// One chunk's solutions and work accounting.
+struct SweepChunk {
+    xs: Vec<Vec<f64>>,
+    stats: EngineStats,
+}
+
+/// Solves sweep points `lo..hi` on a fresh clone of `base_ws` (see
+/// [`Simulator::run_dc_sweep`] for the warm-start contract).
+#[allow(clippy::too_many_arguments)]
+fn sweep_chunk(
+    engine: &SwecDcSweep,
+    mats: &CircuitMatrices,
+    base_ws: &AssemblyWorkspace,
+    base_counts: (u64, u64),
+    source: &str,
+    sweep_start: f64,
+    values: &[f64],
+    lo: usize,
+    hi: usize,
+) -> Result<SweepChunk> {
+    let mut ws = base_ws.clone();
+    let mut buf = DcBuffers::default();
+    let mut stats = EngineStats::new();
+    let dim = mats.mna.dim();
+    let fixed_point = engine.options().dc_mode == DcMode::FixedPoint;
+
+    // Per-shard warm start: approach the point *before* this chunk with a
+    // forward non-iterative continuation ramp from the sweep start — the
+    // quasi-transient the paper runs — so through an NDR/hysteresis region
+    // the shard lands on the same branch the serial continuation chain
+    // selects (a fixed point solved from zero could silently converge to
+    // the other branch of a bistable circuit). The ramp iterate is then
+    // refined to self-consistency; at a genuine fold (no unique fixed
+    // point) the ramp iterate is kept, exactly like the serial sweep's
+    // fold fallback.
+    let mut x = vec![0.0; dim];
+    if lo > 0 {
+        let prev = values[lo - 1];
+        for s in 1..=WARM_START_RAMP {
+            let frac = s as f64 / WARM_START_RAMP as f64;
+            let v = sweep_start + (prev - sweep_start) * frac;
+            x = engine.solve_noniterative_ws(
+                mats,
+                &mut ws,
+                &mut buf,
+                Some((source, v)),
+                &x,
+                &mut stats,
+            )?;
+        }
+        match engine.solve_point_ws(
+            mats,
+            &mut ws,
+            &mut buf,
+            Some((source, prev)),
+            &x,
+            None,
+            &mut stats,
+        ) {
+            Ok(x_new) => x = x_new,
+            Err(SimError::NonConvergence { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    let mut xs = Vec::with_capacity(hi - lo);
+    for k in lo..hi {
+        let value = values[k];
+        // Same per-point policy as the legacy serial engine: the very first
+        // sweep point is always solved to self-consistency; afterwards the
+        // non-iterative mode performs exactly one solve per point, and the
+        // fixed-point mode falls back to a non-iterative step across
+        // bistability folds.
+        x = if k == 0 || fixed_point {
+            match engine.solve_point_ws(
+                mats,
+                &mut ws,
+                &mut buf,
+                Some((source, value)),
+                &x,
+                None,
+                &mut stats,
+            ) {
+                Ok(x_new) => x_new,
+                Err(SimError::NonConvergence { .. }) if k > 0 => engine.solve_noniterative_ws(
+                    mats,
+                    &mut ws,
+                    &mut buf,
+                    Some((source, value)),
+                    &x,
+                    &mut stats,
+                )?,
+                Err(e) => return Err(e),
+            }
+        } else {
+            engine.solve_noniterative_ws(
+                mats,
+                &mut ws,
+                &mut buf,
+                Some((source, value)),
+                &x,
+                &mut stats,
+            )?
+        };
+        stats.steps += 1;
+        xs.push(x.clone());
+    }
+    let (ff, rf) = ws.factor_counts();
+    stats.full_factors += ff - base_counts.0;
+    stats.refactors += rf - base_counts.1;
+    Ok(SweepChunk { xs, stats })
+}
+
+/// Runs the same analysis over many circuit variants in parallel — the
+/// parameter-sweep / Monte-Carlo-over-process-variation workload. Each
+/// variant gets its own [`Simulator`] (and therefore its own workspaces),
+/// results come back in variant order, and
+/// [`nanosim_numeric::parallel::par_map`]'s determinism contract makes the
+/// output independent of the worker count.
+///
+/// The per-variant `analysis` is typically [`ExecPlan::Serial`]; a sharded
+/// inner plan multiplies thread counts.
+///
+/// # Errors
+/// Returns the failure of the smallest failing variant index, if any.
+pub fn run_ensemble(
+    variants: &[Circuit],
+    analysis: &Analysis,
+    plan: ExecPlan,
+) -> Result<Vec<Dataset>> {
+    plan.validate()?;
+    analysis.validate()?;
+    try_par_map(variants.len(), plan.workers(), |i| {
+        Simulator::new(variants[i].clone())?.run(analysis.clone())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::request::Analysis;
+    use nanosim_devices::rtd::Rtd;
+    use nanosim_devices::sources::SourceWaveform;
+
+    fn rtd_divider() -> Circuit {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        ckt.add_voltage_source("V1", vin, Circuit::GROUND, SourceWaveform::dc(0.0))
+            .unwrap();
+        ckt.add_resistor("R1", vin, mid, 50.0).unwrap();
+        ckt.add_rtd("X1", mid, Circuit::GROUND, Rtd::date2005())
+            .unwrap();
+        ckt
+    }
+
+    fn rc_divider() -> Circuit {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(2.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-12).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn op_then_sweep_share_the_solver_cache() {
+        let mut sim = Simulator::new(rc_divider()).unwrap();
+        let op = sim.run(Analysis::op()).unwrap();
+        assert_eq!(op.kind(), AnalysisKind::Op);
+        assert!((op.value("b").unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(op.stats.full_factors, 1, "cold session factors once");
+        // Second op reuses the cached symbolic analysis: zero full factors.
+        let op2 = sim.run(Analysis::op()).unwrap();
+        assert_eq!(op2.stats.full_factors, 0);
+        assert!(op2.stats.refactors >= 1);
+        // And so does a sweep: the warm-up solve plus every chunk refactor
+        // against the analysis cached by the ops.
+        let sweep = sim.run(Analysis::dc_sweep("V1", 0.0, 2.0, 0.05)).unwrap();
+        assert_eq!(sweep.stats.full_factors, 0);
+        assert!(sweep.stats.refactors > sweep.points() as u64);
+    }
+
+    #[test]
+    fn cold_sweep_factors_once_and_refactors_the_rest() {
+        // The pre-warm guarantee: one full factor for the whole sweep, no
+        // matter how many chunks it spans — every chunk clone inherits the
+        // warmed analysis.
+        let mut sim = Simulator::new(rtd_divider()).unwrap();
+        let ds = sim.run(Analysis::dc_sweep("V1", 0.0, 5.0, 0.02)).unwrap();
+        assert!(ds.points() > 10 * SWEEP_CHUNK);
+        assert_eq!(ds.stats.full_factors, 1, "{}", ds.stats);
+        assert!(ds.stats.refactors >= ds.points() as u64);
+    }
+
+    #[test]
+    fn session_transient_matches_engine() {
+        let mut sim = Simulator::new(rc_divider()).unwrap();
+        let ds = sim.run(Analysis::transient(0.05e-9, 5e-9)).unwrap();
+        assert_eq!(ds.kind(), AnalysisKind::Tran);
+        let legacy = SwecTransient::new(Default::default())
+            .run(&rc_divider(), 0.05e-9, 5e-9)
+            .unwrap();
+        assert_eq!(ds.points(), legacy.points());
+        assert_eq!(ds.column("b").unwrap(), legacy.column("b").unwrap());
+        // A second transient on the same session reuses both cached
+        // workspaces (the transient LU and the initial operating point's
+        // no-C workspace): zero full factors.
+        let ds2 = sim.run(Analysis::transient(0.05e-9, 5e-9)).unwrap();
+        assert_eq!(ds2.stats.full_factors, 0, "{}", ds2.stats);
+        assert_eq!(ds2.column("b").unwrap(), ds.column("b").unwrap());
+    }
+
+    #[test]
+    fn first_chunk_matches_legacy_serial_sweep_exactly() {
+        // Chunk 0 is algorithmically identical to the legacy engine, so a
+        // sweep short enough to fit one chunk must be bit-equal to it.
+        let mut sim = Simulator::new(rtd_divider()).unwrap();
+        let n = SWEEP_CHUNK as f64;
+        let ds = sim
+            .run(Analysis::dc_sweep("V1", 0.0, (n - 1.0) * 0.05, 0.05))
+            .unwrap();
+        assert_eq!(ds.points(), SWEEP_CHUNK);
+        let legacy = SwecDcSweep::new(Default::default())
+            .run(&rtd_divider(), "V1", 0.0, (n - 1.0) * 0.05, 0.05)
+            .unwrap();
+        assert_eq!(ds.column("mid").unwrap(), legacy.column("mid").unwrap());
+        assert_eq!(ds.column("I(X1)").unwrap(), legacy.column("I(X1)").unwrap());
+    }
+
+    #[test]
+    fn invalid_sweeps_rejected_with_structured_errors() {
+        let mut sim = Simulator::new(rtd_divider()).unwrap();
+        assert!(matches!(
+            sim.run(Analysis::dc_sweep("V1", 0.0, 1.0, 0.0)),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            sim.run(Analysis::dc_sweep("Vmissing", 0.0, 1.0, 0.1)),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            sim.run(Analysis::dc_sweep("V1", 0.0, 1.0, 0.1).plan(ExecPlan::Sharded { workers: 0 })),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn ensemble_runs_variants_in_order() {
+        let variants: Vec<Circuit> = [40.0, 50.0, 60.0, 70.0, 80.0]
+            .iter()
+            .map(|r| {
+                let mut ckt = Circuit::new();
+                let vin = ckt.node("in");
+                let mid = ckt.node("mid");
+                ckt.add_voltage_source("V1", vin, Circuit::GROUND, SourceWaveform::dc(0.0))
+                    .unwrap();
+                ckt.add_resistor("R1", vin, mid, *r).unwrap();
+                ckt.add_rtd("X1", mid, Circuit::GROUND, Rtd::date2005())
+                    .unwrap();
+                ckt
+            })
+            .collect();
+        let analysis: Analysis = Analysis::dc_sweep("V1", 0.0, 1.0, 0.1).into();
+        let serial = run_ensemble(&variants, &analysis, ExecPlan::Serial).unwrap();
+        let parallel = run_ensemble(&variants, &analysis, ExecPlan::sharded(4)).unwrap();
+        assert_eq!(serial.len(), 5);
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.column("mid"), p.column("mid"), "variant order + bits");
+        }
+        // Heavier series resistance sags the mid node harder at full drive.
+        let v0 = serial[0].at("mid", 1.0).unwrap();
+        let v4 = serial[4].at("mid", 1.0).unwrap();
+        assert!(v4 < v0, "{v4} !< {v0}");
+    }
+}

@@ -23,7 +23,7 @@ use std::time::Instant;
 
 /// Reusable buffers of the DC fixed-point iteration; allocated once per run.
 #[derive(Debug, Default)]
-struct DcBuffers {
+pub(crate) struct DcBuffers {
     rhs: Vec<f64>,
     x_new: Vec<f64>,
     best_x: Vec<f64>,
@@ -183,9 +183,26 @@ impl SwecDcSweep {
         stats: &mut EngineStats,
     ) -> Result<Vec<f64>> {
         let mut ws = AssemblyWorkspace::new(mats, false, false);
+        let result = self.solve_op_ws(mats, &mut ws, stats);
+        let (ff, rf) = ws.factor_counts();
+        stats.full_factors += ff;
+        stats.refactors += rf;
+        result
+    }
+
+    /// Operating point with continuation fallback against a caller-owned
+    /// workspace. Factor/refactor accounting is the *caller's* job (the
+    /// workspace counts are cumulative, so a reused session workspace must
+    /// be delta-accounted).
+    pub(crate) fn solve_op_ws(
+        &self,
+        mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
+        stats: &mut EngineStats,
+    ) -> Result<Vec<f64>> {
         let mut buf = DcBuffers::default();
         let x0 = vec![0.0; mats.mna.dim()];
-        let result = match self.solve_point_ws(mats, &mut ws, &mut buf, None, &x0, None, stats) {
+        match self.solve_point_ws(mats, ws, &mut buf, None, &x0, None, stats) {
             Ok(x) => Ok(x),
             Err(SimError::NonConvergence { .. }) => {
                 // Source-ramp continuation: approach the bias from zero the
@@ -196,8 +213,7 @@ impl SwecDcSweep {
                 let mut ramped = Ok(());
                 for s in 1..=ramp_steps {
                     let scale = s as f64 / ramp_steps as f64;
-                    match self.solve_point_ws(mats, &mut ws, &mut buf, None, &x, Some(scale), stats)
-                    {
+                    match self.solve_point_ws(mats, ws, &mut buf, None, &x, Some(scale), stats) {
                         Ok(xi) => x = xi,
                         Err(e) => {
                             ramped = Err(e);
@@ -208,11 +224,7 @@ impl SwecDcSweep {
                 ramped.map(|()| x)
             }
             Err(e) => Err(e),
-        };
-        let (ff, rf) = ws.factor_counts();
-        stats.full_factors += ff;
-        stats.refactors += rf;
-        result
+        }
     }
 
     /// One non-iterative SWEC step: stamp `Geq` at the previous solution
@@ -232,8 +244,9 @@ impl SwecDcSweep {
     }
 
     /// [`SwecDcSweep::solve_noniterative`] against caller-owned workspace
-    /// and buffers (the sweep's per-point hot path).
-    fn solve_noniterative_ws(
+    /// and buffers (the sweep's per-point hot path; also the
+    /// [`crate::sim`] sharded-sweep building block).
+    pub(crate) fn solve_noniterative_ws(
         &self,
         mats: &CircuitMatrices,
         ws: &mut AssemblyWorkspace,
@@ -306,7 +319,7 @@ impl SwecDcSweep {
     /// ramp). The iteration assembles by scatter-update into the prebuilt
     /// pattern and refactors the cached LU — no allocation per iteration.
     #[allow(clippy::too_many_arguments)]
-    fn solve_point_ws(
+    pub(crate) fn solve_point_ws(
         &self,
         mats: &CircuitMatrices,
         ws: &mut AssemblyWorkspace,

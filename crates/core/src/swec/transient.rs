@@ -92,8 +92,34 @@ impl SwecTransient {
                 context: format!("transient needs 0 < tstep <= tstop (got {tstep}, {tstop})"),
             });
         }
-        let t_start = Instant::now();
         let mats = CircuitMatrices::new(circuit)?;
+        let mut ws = AssemblyWorkspace::new(&mats, false, true);
+        self.run_with(&mats, &mut ws, None, tstep, tstop)
+    }
+
+    /// [`SwecTransient::run`] against caller-owned matrices and assembly
+    /// workspace (the [`crate::sim::Simulator`] path: the workspace's cached
+    /// LU analysis survives across analyses). The workspace must have been
+    /// built from `mats` with `with_c = true`. `op_ws` optionally supplies a
+    /// no-C workspace for the initial operating point (so a session's
+    /// cached DC workspace is reused instead of re-analyzing); factor and
+    /// refactor accounting is delta-based on both workspaces so warm caches
+    /// are not double counted.
+    pub(crate) fn run_with(
+        &self,
+        mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
+        op_ws: Option<&mut AssemblyWorkspace>,
+        tstep: f64,
+        tstop: f64,
+    ) -> Result<TransientResult> {
+        if !(tstep > 0.0 && tstop > 0.0 && tstep <= tstop) {
+            return Err(SimError::InvalidConfig {
+                context: format!("transient needs 0 < tstep <= tstop (got {tstep}, {tstop})"),
+            });
+        }
+        let t_start = Instant::now();
+        let (ff0, rf0) = ws.factor_counts();
         let mna = &mats.mna;
         let dim = mna.dim();
         let mut stats = EngineStats::new();
@@ -101,7 +127,7 @@ impl SwecTransient {
 
         // Initial state: capacitor ICs when given, DC operating point
         // otherwise.
-        let has_ics = circuit.elements().iter().any(|e| {
+        let has_ics = mna.circuit().elements().iter().any(|e| {
             matches!(
                 e.kind(),
                 ElementKind::Capacitor {
@@ -115,7 +141,17 @@ impl SwecTransient {
         } else {
             let dc = SwecDcSweep::new(self.opts.clone());
             let mut op_stats = EngineStats::new();
-            let op = dc.solve_op_inner(&mats, &mut op_stats)?;
+            let op = match op_ws {
+                Some(ows) => {
+                    let (ff0, rf0) = ows.factor_counts();
+                    let op = dc.solve_op_ws(mats, ows, &mut op_stats)?;
+                    let (ff1, rf1) = ows.factor_counts();
+                    op_stats.full_factors += ff1 - ff0;
+                    op_stats.refactors += rf1 - rf0;
+                    op
+                }
+                None => dc.solve_op_inner(mats, &mut op_stats)?,
+            };
             stats.merge(&op_stats);
             op
         };
@@ -155,9 +191,9 @@ impl SwecTransient {
         let mut times = vec![0.0];
         let mut columns: Vec<Vec<f64>> = (0..dim).map(|i| vec![x[i]]).collect();
 
-        // Assembly workspace (pattern + cached refactorizable LU) and step
-        // buffers shared by every attempted step of the run.
-        let mut ws = AssemblyWorkspace::new(&mats, false, true);
+        // Step buffers shared by every attempted step of the run (the
+        // assembly workspace — pattern + cached refactorizable LU — comes
+        // from the caller).
         let mut buf = StepBuffers {
             rhs: vec![0.0; dim],
             b_now: vec![0.0; dim],
@@ -223,8 +259,8 @@ impl SwecTransient {
                     return Err(SimError::StepSizeUnderflow { time: t, step: h });
                 }
                 self.step(
-                    &mats,
-                    &mut ws,
+                    mats,
+                    ws,
                     &tracker,
                     &mos_state,
                     &x,
@@ -339,8 +375,8 @@ impl SwecTransient {
         }
         stats.flops += flops;
         let (ff, rf) = ws.factor_counts();
-        stats.full_factors += ff;
-        stats.refactors += rf;
+        stats.full_factors += ff - ff0;
+        stats.refactors += rf - rf0;
         stats.elapsed = t_start.elapsed();
         Ok(TransientResult::new(times, names, columns, stats))
     }

@@ -338,6 +338,12 @@ impl TransientResult {
         self.write_csv(&mut buf).expect("vec write cannot fail");
         String::from_utf8(buf).expect("csv is utf8")
     }
+
+    /// Decomposes into `(times, names, columns, stats)` — the
+    /// [`crate::sim::Dataset`] conversion path.
+    pub(crate) fn into_parts(self) -> (Vec<f64>, Vec<String>, Vec<Vec<f64>>, EngineStats) {
+        (self.times, self.names, self.columns, self.stats)
+    }
 }
 
 impl fmt::Display for TransientResult {
@@ -435,6 +441,12 @@ impl DcSweepResult {
             writeln!(w)?;
         }
         Ok(())
+    }
+
+    /// Decomposes into `(sweep, names, columns, stats)` — the
+    /// [`crate::sim::Dataset`] conversion path.
+    pub(crate) fn into_parts(self) -> (Vec<f64>, Vec<String>, Vec<Vec<f64>>, EngineStats) {
+        (self.sweep, self.names, self.columns, self.stats)
     }
 }
 

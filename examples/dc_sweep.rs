@@ -1,6 +1,7 @@
 //! Figure 7 reproduction: DC I-V of (a) the RTD divider and (b) the
 //! nanowire divider, captured by SWEC, with the MLA baseline overlaid for
-//! the RTD (exactly the comparison the paper plots).
+//! the RTD (exactly the comparison the paper plots). Both engines run as
+//! typed analyses of the same `Simulator` session.
 //!
 //! Run with: `cargo run --release --example dc_sweep`
 
@@ -8,9 +9,9 @@ use nanosim::prelude::*;
 
 fn main() -> Result<(), SimError> {
     // (a) RTD divider, swept through the full NDR region.
-    let rtd_ckt = nanosim::workloads::rtd_divider(50.0);
-    let swec = SwecDcSweep::new(SwecOptions::default()).run(&rtd_ckt, "V1", 0.0, 5.0, 0.02)?;
-    let mla = MlaEngine::new(MlaOptions::default()).run_dc_sweep(&rtd_ckt, "V1", 0.0, 5.0, 0.02)?;
+    let mut sim = Simulator::new(nanosim::workloads::rtd_divider(50.0))?;
+    let swec = sim.run(Analysis::dc_sweep("V1", 0.0, 5.0, 0.02))?;
+    let mla = sim.run(Analysis::mla_dc_sweep("V1", 0.0, 5.0, 0.02))?;
 
     let swec_iv = swec.curve("I(X1)").expect("recorded");
     let mla_iv = mla.curve("I(X1)").expect("recorded");
@@ -32,8 +33,8 @@ fn main() -> Result<(), SimError> {
     );
 
     // (b) Nanowire divider: the staircase quantum-wire curve.
-    let nw_ckt = nanosim::workloads::nanowire_divider(100.0);
-    let nw = SwecDcSweep::new(SwecOptions::default()).run(&nw_ckt, "V1", -2.5, 2.5, 0.02)?;
+    let mut nw_sim = Simulator::new(nanosim::workloads::nanowire_divider(100.0))?;
+    let nw = nw_sim.run(Analysis::dc_sweep("V1", -2.5, 2.5, 0.02))?;
     let nw_iv = nw.curve("I(W1)").expect("recorded");
     println!("Figure 7(b): nanowire I-V by SWEC");
     println!("{}", nw_iv.ascii_plot(12, 60));

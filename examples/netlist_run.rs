@@ -1,5 +1,6 @@
 //! Parse a SPICE-like netlist (with the paper's RTD model card) and run
-//! every analysis directive it contains.
+//! every analysis directive it contains through one `Simulator` session —
+//! every result is the same `Dataset` shape regardless of directive kind.
 //!
 //! Run with: `cargo run --release --example netlist_run`
 
@@ -29,36 +30,40 @@ fn main() -> Result<(), SimError> {
         deck.circuit.summary()
     );
 
-    // The one-call deck runner executes every directive with SWEC.
-    use nanosim::core::analysis::{run_deck, AnalysisResult};
+    // The one-call deck runner executes every directive with SWEC and
+    // returns one `Dataset` per directive.
     for (directive, result) in deck.analyses.iter().zip(run_deck(&deck)?) {
-        match result {
-            AnalysisResult::Transient(r) => {
+        match result.kind() {
+            AnalysisKind::Tran => {
                 let AnalysisDirective::Tran { tstep, tstop } = directive else {
                     unreachable!("directive/result order matches");
                 };
-                let out = r.waveform("out").expect("node exists");
-                println!("\n.tran {tstep:.1e} {tstop:.1e} -> {} points", r.points());
+                let out = result.curve("out").expect("node exists");
+                println!(
+                    "\n.tran {tstep:.1e} {tstop:.1e} -> {} points",
+                    result.points()
+                );
                 println!("{}", out.ascii_plot(10, 60));
                 println!(
                     "out rise time (0 -> 2.5 V levels): {:?} s",
                     out.rise_time(0.183, 2.5)
                 );
             }
-            AnalysisResult::DcSweep(r) => {
+            AnalysisKind::Dc => {
                 println!(
                     "\n.dc -> out({:.2} V final sweep value) = {:.3} V over {} points",
-                    r.sweep_values().last().expect("nonempty"),
-                    r.curve("out").expect("node exists").final_value(),
-                    r.points()
+                    result.axis_values().last().expect("nonempty"),
+                    result.value("out").expect("node exists"),
+                    result.points()
                 );
             }
-            AnalysisResult::OperatingPoint { names, values } => {
+            AnalysisKind::Op => {
                 println!("\n.op ->");
-                for (n, v) in names.iter().zip(values.iter()) {
-                    println!("  {n:>10} = {v:.6}");
+                for name in result.names() {
+                    println!("  {name:>10} = {:.6}", result.value(name).expect("listed"));
                 }
             }
+            other => unreachable!("netlist directives never produce {other}"),
         }
     }
 

@@ -3,8 +3,13 @@
 //! against the exact Ornstein–Uhlenbeck solution of the *same* Wiener path,
 //! plus the peak ("performance") prediction of §4.2.
 //!
+//! The ensemble runs as an `Analysis::em_ensemble` of the session API; the
+//! single-path comparison drives `EmEngine::run_with_paths` directly, since
+//! supplying explicit Wiener paths is specialized engine territory.
+//!
 //! Run with: `cargo run --release --example noise_em`
 
+use nanosim::core::em::{EmEngine, EmOptions};
 use nanosim::prelude::*;
 use nanosim::sde::ou::OrnsteinUhlenbeck;
 use nanosim::sde::peak::brownian_expected_peak;
@@ -17,14 +22,15 @@ fn main() -> Result<(), SimError> {
     let circuit = nanosim::workloads::noisy_rc_node_fig10();
     let (g, c, i_dc, i_noise) = (1e-3, 1e-12, 0.85e-3, 2.2e-9);
     let horizon = 1e-9;
-
-    // --- One path: EM vs the exact solution ---------------------------
-    let engine = EmEngine::new(EmOptions {
+    let em_opts = EmOptions {
         dt: 2e-12,
         paths: 500,
         seed: 2005,
         ..EmOptions::default()
-    });
+    };
+
+    // --- One path: EM vs the exact solution ---------------------------
+    let engine = EmEngine::new(em_opts.clone());
     let mut rng = Pcg64::seed_from_u64(777);
     let path = WienerPath::generate(horizon, 500, &mut rng);
     let em_path = engine.run_with_paths(&circuit, &[path.clone()])?;
@@ -42,14 +48,19 @@ fn main() -> Result<(), SimError> {
     );
 
     // --- Ensemble: mean/std and the 0.6 V peak callout ----------------
-    let ensemble = engine.run(&circuit, horizon)?;
-    let mean = ensemble.mean_waveform("v").expect("node exists");
+    let mut sim = Simulator::new(circuit)?;
+    let ensemble = sim.run(
+        Analysis::em_ensemble(horizon)
+            .options(em_opts)
+            .plan(ExecPlan::sharded(0)),
+    )?;
+    let mean = ensemble.curve("v").expect("node exists");
     let peak = ensemble.peak_summary("v").expect("node exists");
     println!(
         "\nensemble of {} paths: mean(1 ns) = {:.3} V, std(1 ns) = {:.3} V",
         ensemble.paths(),
         mean.final_value(),
-        ensemble.std_waveform("v").expect("exists").final_value()
+        ensemble.std_curve("v").expect("exists").final_value()
     );
     println!(
         "performance peak in 0..1 ns: mean {:.3} V, p95 {:.3} V, worst {:.3} V",

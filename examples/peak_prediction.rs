@@ -60,14 +60,13 @@ fn main() -> Result<(), SimError> {
 
     // --- Level 3: the nanocircuit (OU response) -------------------------
     println!("\n3. Nanocircuit peak (the paper's Figure 10 question)");
-    let circuit = nanosim::workloads::noisy_rc_node_fig10();
-    let engine = EmEngine::new(EmOptions {
+    let mut sim = Simulator::new(nanosim::workloads::noisy_rc_node_fig10())?;
+    let ensemble = sim.run(Analysis::em_ensemble(1e-9).options(EmOptions {
         dt: 2e-12,
         paths: 400,
         seed: 7,
         ..EmOptions::default()
-    });
-    let ensemble = engine.run(&circuit, 1e-9)?;
+    }))?;
     let summary = ensemble.peak_summary("v").expect("node exists");
     println!(
         "   circuit EM ensemble:  mean peak {:.3} V, p95 {:.3} V",

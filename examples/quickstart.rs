@@ -1,6 +1,6 @@
-//! Quickstart: sweep the paper's RTD divider (Figure 7(a)) with the SWEC
-//! engine and print the captured I-V curve, its peak/valley, and the cost
-//! accounting that backs the paper's Table I.
+//! Quickstart: sweep the paper's RTD divider (Figure 7(a)) through the
+//! `Simulator` session API and print the captured I-V curve, its
+//! peak/valley, and the cost accounting that backs the paper's Table I.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -12,7 +12,8 @@ fn main() -> Result<(), SimError> {
     let circuit = nanosim::workloads::rtd_divider(50.0);
     println!("circuit: {}", circuit.summary());
 
-    let sweep = SwecDcSweep::new(SwecOptions::default()).run(&circuit, "V1", 0.0, 5.0, 0.02)?;
+    let mut sim = Simulator::new(circuit)?;
+    let sweep = sim.run(Analysis::dc_sweep("V1", 0.0, 5.0, 0.02))?;
 
     let iv = sweep.curve("I(X1)").expect("device current is recorded");
     let (v_peak, i_peak) = iv.peak().expect("the RTD has a current peak");
@@ -21,11 +22,11 @@ fn main() -> Result<(), SimError> {
     println!("peak: {:.3} mA at V1 = {:.2} V", i_peak * 1e3, v_peak);
 
     // The mid node shows the NDR jump as the load line crosses the peak.
-    let mid = sweep.curve("mid").expect("node voltage recorded");
+    let v_mid = sweep.at("mid", 5.0).expect("node voltage recorded");
     println!(
         "RTD terminal voltage at V1 = 5 V: {:.3} V (region: {:?})",
-        mid.value_at(5.0),
-        Rtd::date2005().region(mid.value_at(5.0))
+        v_mid,
+        Rtd::date2005().region(v_mid)
     );
 
     // SWEC is non-iterative: about one linear solve per sweep point.
@@ -33,6 +34,16 @@ fn main() -> Result<(), SimError> {
     println!(
         "solves per point: {:.2}",
         sweep.stats.linear_solves as f64 / sweep.points() as f64
+    );
+
+    // Scale-out is an execution plan, not a different engine — and the
+    // sharded sweep is bit-identical to the serial one.
+    let sharded = sim.run(Analysis::dc_sweep("V1", 0.0, 5.0, 0.02).plan(ExecPlan::sharded(0)))?;
+    assert_eq!(sweep.column("I(X1)"), sharded.column("I(X1)"));
+    println!(
+        "sharded over all cores: {:.3} ms (serial {:.3} ms), bit-identical",
+        sharded.stats.elapsed.as_secs_f64() * 1e3,
+        sweep.stats.elapsed.as_secs_f64() * 1e3
     );
     Ok(())
 }

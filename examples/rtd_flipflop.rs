@@ -11,10 +11,11 @@ fn main() -> Result<(), SimError> {
     let circuit = nanosim::workloads::rtd_d_flip_flop();
     println!("circuit: {}", circuit.summary());
 
-    let result = SwecTransient::new(SwecOptions::default()).run(&circuit, 0.2e-9, 500e-9)?;
-    let out = result.waveform("out").expect("node exists");
-    let clk = result.waveform("clk").expect("node exists");
-    let d = result.waveform("d").expect("node exists");
+    let mut sim = Simulator::new(circuit)?;
+    let result = sim.run(Analysis::transient(0.2e-9, 500e-9))?;
+    let out = result.curve("out").expect("node exists");
+    let clk = result.curve("clk").expect("node exists");
+    let d = result.curve("d").expect("node exists");
 
     println!("\nclock (Figure 9(b)):");
     println!("{}", clk.ascii_plot(8, 64));

@@ -1,19 +1,22 @@
 //! Figure 8 reproduction: the FET-RTD inverter transient, simulated by the
-//! SWEC engine, by a SPICE3-like plain Newton engine (whose NDR failures
-//! are reported), and by the ACES-like PWL engine.
+//! SWEC and PWL analyses of one `Simulator` session, plus the SPICE3-like
+//! plain Newton engine (used directly, since reporting its NDR failures is
+//! the point of the comparison).
 //!
 //! Run with: `cargo run --release --example rtd_inverter`
 
+use nanosim::core::nr::{NrEngine, NrOptions};
 use nanosim::prelude::*;
 
 fn main() -> Result<(), SimError> {
     let circuit = nanosim::workloads::fet_rtd_inverter();
     println!("circuit: {}", circuit.summary());
     let (tstep, tstop) = (0.2e-9, 100e-9);
+    let mut sim = Simulator::new(circuit.clone())?;
 
     // --- SWEC: the paper's method -------------------------------------
-    let swec = SwecTransient::new(SwecOptions::default()).run(&circuit, tstep, tstop)?;
-    let out = swec.waveform("out").expect("node exists");
+    let swec = sim.run(Analysis::transient(tstep, tstop))?;
+    let out = swec.curve("out").expect("node exists");
     println!("\nFigure 8(b) — SWEC output:");
     println!("{}", out.ascii_plot(12, 64));
     println!(
@@ -45,8 +48,8 @@ fn main() -> Result<(), SimError> {
     );
 
     // --- ACES-like PWL baseline ----------------------------------------
-    let pwl = PwlEngine::new(PwlOptions::default()).run_transient(&circuit, tstep, tstop)?;
-    let pwl_out = pwl.waveform("out").expect("node exists");
+    let pwl = sim.run(Analysis::pwl_transient(tstep, tstop))?;
+    let pwl_out = pwl.curve("out").expect("node exists");
     println!(
         "\nFigure 8(d) — PWL engine: rms difference vs SWEC {:.3} V",
         pwl_out.rms_difference(&out)

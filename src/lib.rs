@@ -17,6 +17,14 @@
 //!    integrate the resulting stochastic state equation directly,
 //!    predicting transient peaks instead of only averages.
 //!
+//! The public surface is the **session API**: open a
+//! [`Simulator`](crate::core::sim::Simulator) on a circuit, run typed
+//! [`Analysis`](crate::core::sim::Analysis) requests through it, and read
+//! every result through the one [`Dataset`](crate::core::sim::Dataset)
+//! model. Scale-out (sharded DC sweeps, parallel ensembles) is an
+//! [`ExecPlan`](crate::core::sim::ExecPlan), not a different engine — and
+//! sharded runs are bit-identical to serial ones.
+//!
 //! This facade crate re-exports the workspace and provides the
 //! [`workloads`] used by the paper's experiments (RTD dividers, the FET-RTD
 //! inverter of Figure 8, the RTD D-flip-flop of Figure 9, the noisy node of
@@ -30,12 +38,17 @@
 //! # fn main() -> Result<(), nanosim::core::SimError> {
 //! // Sweep the paper's RTD divider (Figure 7(a)) and find the peak.
 //! let circuit = nanosim::workloads::rtd_divider(50.0);
-//! let sweep = SwecDcSweep::new(SwecOptions::default())
-//!     .run(&circuit, "V1", 0.0, 5.0, 0.05)?;
-//! let iv = sweep.curve("I(X1)").expect("device current recorded");
-//! let (v_peak, i_peak) = iv.peak().expect("RTD has a peak");
+//! let mut sim = Simulator::new(circuit)?;
+//! let sweep = sim.run(Analysis::dc_sweep("V1", 0.0, 5.0, 0.05))?;
+//! let (v_peak, i_peak) = sweep.peak("I(X1)").expect("RTD has a peak");
 //! assert!(v_peak > 2.0 && v_peak < 4.5);
 //! assert!(i_peak > 1e-3);
+//!
+//! // The same sweep sharded over 4 workers: faster, bit-identical.
+//! let sharded = sim.run(
+//!     Analysis::dc_sweep("V1", 0.0, 5.0, 0.05).plan(ExecPlan::sharded(4)),
+//! )?;
+//! assert_eq!(sweep.column("I(X1)"), sharded.column("I(X1)"));
 //! # Ok(())
 //! # }
 //! ```
@@ -54,13 +67,15 @@ pub mod workloads;
 /// Commonly used types, importable in one line.
 pub mod prelude {
     pub use nanosim_circuit::{parse_netlist, AnalysisDirective, Circuit, MnaSystem};
-    pub use nanosim_core::em::{EmEngine, EmOptions};
-    pub use nanosim_core::mla::{MlaEngine, MlaOptions};
+    pub use nanosim_core::analysis::{run_deck, run_deck_with};
+    pub use nanosim_core::em::EmOptions;
+    pub use nanosim_core::mla::MlaOptions;
     pub use nanosim_core::nr::{FailurePolicy, NrEngine, NrOptions};
-    pub use nanosim_core::pwl::{PwlEngine, PwlOptions};
-    pub use nanosim_core::swec::{
-        DcMode, IntegrationMethod, SwecDcSweep, SwecOptions, SwecTransient,
+    pub use nanosim_core::pwl::PwlOptions;
+    pub use nanosim_core::sim::{
+        run_ensemble, Analysis, AnalysisKind, Axis, Dataset, ExecPlan, Simulator,
     };
+    pub use nanosim_core::swec::{DcMode, IntegrationMethod, SwecOptions};
     pub use nanosim_core::{DcSweepResult, EngineStats, SimError, TransientResult, Waveform};
     pub use nanosim_devices::mosfet::{MosType, Mosfet, MosfetParams};
     pub use nanosim_devices::nanowire::{Nanowire, NanowireParams};
@@ -69,4 +84,36 @@ pub mod prelude {
     pub use nanosim_devices::sources::{PulseParams, SinParams, SourceWaveform};
     pub use nanosim_devices::NonlinearTwoTerminal;
     pub use nanosim_numeric::FlopCounter;
+
+    // Engine types predating the session API. They remain fully functional
+    // (and are what the Simulator runs under the hood), but new code should
+    // go through `Simulator::run(Analysis::...)`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Simulator::run(Analysis::em_ensemble(..))` instead; \
+                `nanosim::core::em::EmEngine` remains for explicit Wiener paths"
+    )]
+    pub use nanosim_core::em::EmEngine;
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Simulator::run(Analysis::mla_dc_sweep(..))` / \
+                `Analysis::mla_transient(..)` instead"
+    )]
+    pub use nanosim_core::mla::MlaEngine;
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Simulator::run(Analysis::pwl_dc_sweep(..))` / \
+                `Analysis::pwl_transient(..)` instead"
+    )]
+    pub use nanosim_core::pwl::PwlEngine;
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Simulator::run(Analysis::dc_sweep(..))` or `Analysis::op()` instead"
+    )]
+    pub use nanosim_core::swec::SwecDcSweep;
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Simulator::run(Analysis::transient(..))` instead"
+    )]
+    pub use nanosim_core::swec::SwecTransient;
 }

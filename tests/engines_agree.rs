@@ -2,6 +2,9 @@
 //! circuits where all of them are trustworthy, and disagree in the
 //! documented ways where they are not.
 
+use nanosim::core::mla::MlaEngine;
+use nanosim::core::pwl::PwlEngine;
+use nanosim::core::swec::{SwecDcSweep, SwecTransient};
 use nanosim::prelude::*;
 
 fn rc_step() -> Circuit {

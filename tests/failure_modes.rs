@@ -1,6 +1,9 @@
 //! Failure-injection integration tests: pathological circuits must produce
 //! descriptive errors, never panics or silent garbage.
 
+use nanosim::core::em::EmEngine;
+use nanosim::core::pwl::PwlEngine;
+use nanosim::core::swec::{SwecDcSweep, SwecTransient};
 use nanosim::prelude::*;
 
 #[test]

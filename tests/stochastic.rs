@@ -1,6 +1,7 @@
 //! Cross-crate integration of the stochastic stack: circuit-level EM
 //! against the closed-form Ornstein–Uhlenbeck facts from `nanosim-sde`.
 
+use nanosim::core::em::EmEngine;
 use nanosim::prelude::*;
 use nanosim::sde::ou::OrnsteinUhlenbeck;
 use nanosim::sde::wiener::WienerPath;

@@ -207,7 +207,7 @@ pub mod collection {
     use super::{Strategy, TestRunner};
     use std::ops::Range;
 
-    /// Either an exact length or a length range for [`vec`].
+    /// Either an exact length or a length range for [`vec()`].
     pub trait SizeRange {
         /// Picks a concrete length.
         fn pick(&self, runner: &mut TestRunner) -> usize;
