@@ -3,6 +3,7 @@
 //! paper-constraint vs local-error step control, MLA cold vs warm start.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use nanosim::core::swec::SwecTransient;
 use nanosim::prelude::*;
 use nanosim_bench::swec_options;
 use std::hint::black_box;

@@ -2,6 +2,7 @@
 //! single-path EM-vs-exact machinery.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use nanosim::core::em::EmEngine;
 use nanosim::prelude::*;
 use nanosim::sde::ou::OrnsteinUhlenbeck;
 use nanosim::sde::wiener::WienerPath;

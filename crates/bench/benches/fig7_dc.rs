@@ -2,6 +2,7 @@
 //! dividers under SWEC.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use nanosim::core::swec::SwecDcSweep;
 use nanosim::prelude::*;
 use nanosim_bench::swec_options;
 use std::hint::black_box;

@@ -3,6 +3,8 @@
 //! tractable for criterion).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use nanosim::core::pwl::PwlEngine;
+use nanosim::core::swec::SwecTransient;
 use nanosim::prelude::*;
 use nanosim_bench::{spice3_options, swec_options};
 use std::hint::black_box;

@@ -1,7 +1,7 @@
 //! Figure 9 timing companion: one clock cycle of the RTD D-flip-flop.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nanosim::prelude::*;
+use nanosim::core::swec::SwecTransient;
 use nanosim_bench::swec_options;
 use std::hint::black_box;
 

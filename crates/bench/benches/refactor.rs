@@ -3,6 +3,8 @@
 //! `solve_into` path, and Monte-Carlo ensemble thread scaling.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use nanosim::core::em::EmEngine;
+use nanosim::core::swec::SwecDcSweep;
 use nanosim::prelude::*;
 use nanosim_numeric::solve::LinearSolver;
 use nanosim_numeric::sparse::{CsrMatrix, SparseLu, TripletMatrix};

@@ -2,6 +2,9 @@
 //! (the FLOP-count version is `report_speedup` / `report_table1`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use nanosim::core::em::EmEngine;
+use nanosim::core::mla::MlaEngine;
+use nanosim::core::swec::{SwecDcSweep, SwecTransient};
 use nanosim::prelude::*;
 use nanosim_bench::{mla_options, swec_fixed_step_options, swec_options};
 use std::hint::black_box;

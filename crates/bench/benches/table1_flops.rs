@@ -2,6 +2,8 @@
 //! `report_table1` prints (SWEC vs MLA on the RTD divider).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use nanosim::core::mla::MlaEngine;
+use nanosim::core::swec::SwecDcSweep;
 use nanosim::prelude::*;
 use nanosim_bench::{mla_options, swec_options};
 use std::hint::black_box;

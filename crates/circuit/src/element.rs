@@ -51,6 +51,39 @@ pub enum ElementKind {
         /// The device model.
         model: Mosfet,
     },
+    /// Voltage-controlled voltage source (SPICE `E`); terminals are
+    /// `(n+, n-, nc+, nc-)` and the element adds one branch current
+    /// enforcing `v(n+) - v(n-) = gain · (v(nc+) - v(nc-))`.
+    Vcvs {
+        /// Voltage gain (dimensionless).
+        gain: f64,
+    },
+    /// Voltage-controlled current source (SPICE `G`); terminals are
+    /// `(n+, n-, nc+, nc-)`; drives `i = gm · (v(nc+) - v(nc-))` from
+    /// `n+` through the source to `n-`.
+    Vccs {
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+    /// Current-controlled current source (SPICE `F`); terminals are
+    /// `(n+, n-)`; drives `gain · i(control)` where `control` names an
+    /// element carrying an MNA branch current (voltage source, inductor,
+    /// VCVS or CCVS).
+    Cccs {
+        /// Current gain (dimensionless).
+        gain: f64,
+        /// Name of the controlling branch element.
+        control: String,
+    },
+    /// Current-controlled voltage source (SPICE `H`); terminals are
+    /// `(n+, n-)` and the element adds one branch current enforcing
+    /// `v(n+) - v(n-) = r · i(control)`.
+    Ccvs {
+        /// Transresistance in ohms.
+        r: f64,
+        /// Name of the controlling branch element.
+        control: String,
+    },
 }
 
 impl ElementKind {
@@ -64,6 +97,10 @@ impl ElementKind {
             ElementKind::CurrentSource { .. } => "I",
             ElementKind::Nonlinear { .. } => "Y",
             ElementKind::Mosfet { .. } => "M",
+            ElementKind::Vcvs { .. } => "E",
+            ElementKind::Vccs { .. } => "G",
+            ElementKind::Cccs { .. } => "F",
+            ElementKind::Ccvs { .. } => "H",
         }
     }
 
@@ -71,6 +108,7 @@ impl ElementKind {
     pub fn terminal_count(&self) -> usize {
         match self {
             ElementKind::Mosfet { .. } => 3,
+            ElementKind::Vcvs { .. } | ElementKind::Vccs { .. } => 4,
             _ => 2,
         }
     }
@@ -79,8 +117,31 @@ impl ElementKind {
     pub fn needs_branch_current(&self) -> bool {
         matches!(
             self,
-            ElementKind::VoltageSource { .. } | ElementKind::Inductor { .. }
+            ElementKind::VoltageSource { .. }
+                | ElementKind::Inductor { .. }
+                | ElementKind::Vcvs { .. }
+                | ElementKind::Ccvs { .. }
         )
+    }
+
+    /// Number of leading terminals that carry current. The trailing
+    /// terminal pair of a [`ElementKind::Vcvs`] / [`ElementKind::Vccs`] only
+    /// *senses* a voltage (infinite input impedance) and must not count as a
+    /// galvanic connection for connectivity checks.
+    pub fn conducting_terminal_count(&self) -> usize {
+        match self {
+            ElementKind::Vcvs { .. } | ElementKind::Vccs { .. } => 2,
+            other => other.terminal_count(),
+        }
+    }
+
+    /// Name of the controlling branch element of a [`ElementKind::Cccs`] /
+    /// [`ElementKind::Ccvs`], if any.
+    pub fn control_name(&self) -> Option<&str> {
+        match self {
+            ElementKind::Cccs { control, .. } | ElementKind::Ccvs { control, .. } => Some(control),
+            _ => None,
+        }
     }
 }
 
@@ -171,6 +232,39 @@ mod tests {
             .terminal_count(),
             3
         );
+    }
+
+    #[test]
+    fn controlled_source_tags_terminals_and_branches() {
+        let e = ElementKind::Vcvs { gain: 2.0 };
+        assert_eq!(e.type_tag(), "E");
+        assert_eq!(e.terminal_count(), 4);
+        assert_eq!(e.conducting_terminal_count(), 2);
+        assert!(e.needs_branch_current());
+        assert_eq!(e.control_name(), None);
+
+        let g = ElementKind::Vccs { gm: 1e-3 };
+        assert_eq!(g.type_tag(), "G");
+        assert_eq!(g.terminal_count(), 4);
+        assert!(!g.needs_branch_current());
+
+        let f = ElementKind::Cccs {
+            gain: 2.0,
+            control: "V1".into(),
+        };
+        assert_eq!(f.type_tag(), "F");
+        assert_eq!(f.terminal_count(), 2);
+        assert!(!f.needs_branch_current());
+        assert_eq!(f.control_name(), Some("V1"));
+
+        let h = ElementKind::Ccvs {
+            r: 50.0,
+            control: "V1".into(),
+        };
+        assert_eq!(h.type_tag(), "H");
+        assert_eq!(h.terminal_count(), 2);
+        assert!(h.needs_branch_current());
+        assert_eq!(h.control_name(), Some("V1"));
     }
 
     #[test]

@@ -43,8 +43,49 @@ pub enum CircuitError {
     Parse {
         /// 1-based source line number.
         line: usize,
+        /// 1-based column of the offending token (`0` when the error spans
+        /// the whole line).
+        column: usize,
         /// What went wrong.
         message: String,
+    },
+    /// A controlled source references a missing (or branchless) element.
+    UnknownControl {
+        /// The F/H element with the bad reference.
+        element: String,
+        /// The referenced control name.
+        control: String,
+    },
+    /// An instance references a subcircuit that was never defined.
+    UnknownSubckt {
+        /// The referenced subcircuit name.
+        name: String,
+        /// The instance that referenced it.
+        instance: String,
+    },
+    /// A subcircuit (transitively) instantiates itself.
+    RecursiveSubckt {
+        /// The instantiation path that closed the cycle, e.g.
+        /// `cell -> row -> cell`.
+        path: String,
+    },
+    /// An instance supplied the wrong number of port connections.
+    PortMismatch {
+        /// The subcircuit definition name.
+        subckt: String,
+        /// The offending instance.
+        instance: String,
+        /// Ports the definition declares.
+        expected: usize,
+        /// Connections the instance supplied.
+        got: usize,
+    },
+    /// A `{name}` reference or instance override names an unknown parameter.
+    UnknownParam {
+        /// The unknown parameter name.
+        name: String,
+        /// Where it was referenced (element or instance name).
+        context: String,
     },
     /// A device model rejected its parameters.
     Device(DeviceError),
@@ -72,8 +113,47 @@ impl fmt::Display for CircuitError {
             CircuitError::VoltageSourceLoop { context } => {
                 write!(f, "voltage source loop: {context}")
             }
-            CircuitError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            CircuitError::Parse {
+                line,
+                column,
+                message,
+            } => {
+                if *column > 0 {
+                    write!(f, "parse error at line {line}, column {column}: {message}")
+                } else {
+                    write!(f, "parse error at line {line}: {message}")
+                }
+            }
+            CircuitError::UnknownControl { element, control } => {
+                write!(
+                    f,
+                    "element {element} references control source {control}, which does not \
+                     exist or carries no branch current"
+                )
+            }
+            CircuitError::UnknownSubckt { name, instance } => {
+                write!(
+                    f,
+                    "instance {instance} references unknown subcircuit {name}"
+                )
+            }
+            CircuitError::RecursiveSubckt { path } => {
+                write!(f, "recursive subcircuit instantiation: {path}")
+            }
+            CircuitError::PortMismatch {
+                subckt,
+                instance,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "instance {instance} connects {got} nodes but subcircuit {subckt} \
+                     declares {expected} ports"
+                )
+            }
+            CircuitError::UnknownParam { name, context } => {
+                write!(f, "unknown parameter {{{name}}} referenced by {context}")
             }
             CircuitError::Device(e) => write!(f, "device error: {e}"),
         }
@@ -103,11 +183,50 @@ mod tests {
     fn display_mentions_context() {
         let e = CircuitError::Parse {
             line: 12,
+            column: 7,
             message: "unknown element".into(),
         };
         assert!(e.to_string().contains("line 12"));
+        assert!(e.to_string().contains("column 7"));
+        let e = CircuitError::Parse {
+            line: 12,
+            column: 0,
+            message: "unknown element".into(),
+        };
+        assert!(!e.to_string().contains("column"));
         let e = CircuitError::FloatingNode { node: "n3".into() };
         assert!(e.to_string().contains("n3"));
+    }
+
+    #[test]
+    fn hierarchy_errors_display() {
+        let e = CircuitError::UnknownSubckt {
+            name: "cell".into(),
+            instance: "X1".into(),
+        };
+        assert!(e.to_string().contains("cell"));
+        assert!(e.to_string().contains("X1"));
+        let e = CircuitError::RecursiveSubckt {
+            path: "a -> b -> a".into(),
+        };
+        assert!(e.to_string().contains("a -> b -> a"));
+        let e = CircuitError::PortMismatch {
+            subckt: "inv".into(),
+            instance: "X9".into(),
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("3"));
+        let e = CircuitError::UnknownParam {
+            name: "rload".into(),
+            context: "R1.X1".into(),
+        };
+        assert!(e.to_string().contains("rload"));
+        let e = CircuitError::UnknownControl {
+            element: "F1".into(),
+            control: "V9".into(),
+        };
+        assert!(e.to_string().contains("V9"));
     }
 
     #[test]

@@ -13,8 +13,13 @@
 //!   branch currents for voltage sources and inductors) and stamps the
 //!   `G`/`C` matrices and right-hand side of the paper's eq. (1),
 //!   `G(t)·V(t) + C·V̇(t) = b·u(t)`.
+//! * [`subckt`] — hierarchy: [`SubcktDef`] subcircuit templates with
+//!   parameter defaults, the [`CircuitBuilder`] front door, and flattening
+//!   with deterministic name mangling (`X1.n3` nodes, `R1.X1` elements).
 //! * [`parser`] — a SPICE-like netlist parser with `.model` cards for the
-//!   nano-devices (`YRTD`, `YNW`, `YRTT`) and `.tran`/`.dc` directives.
+//!   nano-devices (`YRTD`, `YNW`, `YRTT`), `.subckt`/`.ends`/`X` hierarchy,
+//!   `.param` scoping, E/G/F/H controlled sources and `.tran`/`.dc`
+//!   directives; errors carry line *and* column.
 //!
 //! # Example
 //!
@@ -48,6 +53,7 @@ pub mod mna;
 pub mod netlist;
 pub mod node;
 pub mod parser;
+pub mod subckt;
 pub mod writer;
 
 pub use element::{Element, ElementKind};
@@ -56,6 +62,7 @@ pub use mna::MnaSystem;
 pub use netlist::Circuit;
 pub use node::{NodeId, NodeMap};
 pub use parser::{parse_netlist, AnalysisDirective, ParsedDeck};
+pub use subckt::{CircuitBuilder, ParamValue, SubcktDef, SubcktLib};
 pub use writer::write_netlist;
 
 /// Convenience alias for fallible circuit operations.

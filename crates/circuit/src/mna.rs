@@ -14,6 +14,7 @@
 //! SPICE baseline, segment conductances for the PWL baseline.
 
 use crate::element::{ElementKind, SharedDevice};
+use crate::error::CircuitError;
 use crate::netlist::Circuit;
 use crate::node::NodeId;
 use crate::Result;
@@ -71,8 +72,12 @@ pub struct MnaSystem {
     circuit: Circuit,
     num_nodes: usize,
     num_branches: usize,
-    /// element index -> branch variable offset (for V sources / inductors).
+    /// element index -> branch variable offset (voltage sources, inductors,
+    /// VCVS and CCVS elements).
     branch_of: Vec<Option<usize>>,
+    /// element index -> branch offset of the *controlling* element (CCCS /
+    /// CCVS current references, resolved by name at construction).
+    ctrl_branch_of: Vec<Option<usize>>,
     nonlinear: Vec<NonlinearBinding>,
     mosfets: Vec<MosfetBinding>,
     noise: Vec<NoiseBinding>,
@@ -92,6 +97,34 @@ impl MnaSystem {
             if e.kind().needs_branch_current() {
                 branch_of[i] = Some(num_branches);
                 num_branches += 1;
+            }
+        }
+        // Resolve F/H current references (by case-insensitive name, as the
+        // parser preserves user spelling) to the controlling element's
+        // branch offset. `Circuit::validate` has already rejected missing or
+        // branchless references.
+        let mut ctrl_branch_of = vec![None; circuit.elements().len()];
+        for (i, e) in circuit.elements().iter().enumerate() {
+            if let Some(control) = e.kind().control_name() {
+                let target = circuit
+                    .elements()
+                    .iter()
+                    .position(|c| c.name() == control)
+                    .or_else(|| {
+                        circuit
+                            .elements()
+                            .iter()
+                            .position(|c| c.name().eq_ignore_ascii_case(control))
+                    });
+                match target.and_then(|t| branch_of[t]) {
+                    Some(b) => ctrl_branch_of[i] = Some(b),
+                    None => {
+                        return Err(CircuitError::UnknownControl {
+                            element: e.name().to_string(),
+                            control: control.to_string(),
+                        });
+                    }
+                }
             }
         }
         let var_of = |n: NodeId| -> Option<usize> {
@@ -155,6 +188,7 @@ impl MnaSystem {
             num_nodes,
             num_branches,
             branch_of,
+            ctrl_branch_of,
             nonlinear,
             mosfets,
             noise,
@@ -201,6 +235,16 @@ impl MnaSystem {
     /// Branch-current variable of an element, if it has one.
     pub fn branch_var(&self, element_index: usize) -> Option<usize> {
         self.branch_of
+            .get(element_index)
+            .copied()
+            .flatten()
+            .map(|b| self.num_nodes + b)
+    }
+
+    /// Branch-current variable of the element *controlling* a CCCS/CCVS,
+    /// if `element_index` names one.
+    pub fn control_branch_var(&self, element_index: usize) -> Option<usize> {
+        self.ctrl_branch_of
             .get(element_index)
             .copied()
             .flatten()
@@ -276,6 +320,67 @@ impl MnaSystem {
                         t.push(m, br, -1.0);
                         t.push(br, m, -1.0);
                     }
+                }
+                ElementKind::Vcvs { gain } => {
+                    // Branch row: v(p) - v(m) - gain·(v(cp) - v(cm)) = 0;
+                    // KCL: the branch current enters at p, leaves at m.
+                    let br = self.num_nodes + self.branch_of[i].expect("branch");
+                    let vcp = self.var_of_node(e.nodes()[2]);
+                    let vcm = self.var_of_node(e.nodes()[3]);
+                    if let Some(p) = vp {
+                        t.push(p, br, 1.0);
+                        t.push(br, p, 1.0);
+                    }
+                    if let Some(m) = vm {
+                        t.push(m, br, -1.0);
+                        t.push(br, m, -1.0);
+                    }
+                    if let Some(cp) = vcp {
+                        t.push(br, cp, -gain);
+                    }
+                    if let Some(cm) = vcm {
+                        t.push(br, cm, *gain);
+                    }
+                }
+                ElementKind::Vccs { gm } => {
+                    // i(p→m) = gm·(v(cp) - v(cm)) as KCL injections.
+                    let vcp = self.var_of_node(e.nodes()[2]);
+                    let vcm = self.var_of_node(e.nodes()[3]);
+                    for (node, sign) in [(vp, 1.0), (vm, -1.0)] {
+                        if let Some(n) = node {
+                            if let Some(cp) = vcp {
+                                t.push(n, cp, sign * gm);
+                            }
+                            if let Some(cm) = vcm {
+                                t.push(n, cm, -sign * gm);
+                            }
+                        }
+                    }
+                }
+                ElementKind::Cccs { gain, .. } => {
+                    // i(p→m) = gain·i(control): couple to the controlling
+                    // element's branch-current column.
+                    let bc = self.num_nodes + self.ctrl_branch_of[i].expect("resolved control");
+                    if let Some(p) = vp {
+                        t.push(p, bc, *gain);
+                    }
+                    if let Some(m) = vm {
+                        t.push(m, bc, -gain);
+                    }
+                }
+                ElementKind::Ccvs { r, .. } => {
+                    // Branch row: v(p) - v(m) - r·i(control) = 0.
+                    let br = self.num_nodes + self.branch_of[i].expect("branch");
+                    let bc = self.num_nodes + self.ctrl_branch_of[i].expect("resolved control");
+                    if let Some(p) = vp {
+                        t.push(p, br, 1.0);
+                        t.push(br, p, 1.0);
+                    }
+                    if let Some(m) = vm {
+                        t.push(m, br, -1.0);
+                        t.push(br, m, -1.0);
+                    }
+                    t.push(br, bc, -r);
                 }
                 _ => {}
             }
@@ -628,6 +733,122 @@ mod tests {
         assert!(mna.source_waveform(0).is_some());
         assert!(mna.source_waveform(1).is_none());
         assert!(mna.source_waveform(99).is_none());
+    }
+
+    /// Solves `G x = b` densely for hand-checkable controlled-source tests.
+    fn solve_op(ckt: &Circuit) -> (MnaSystem, Vec<f64>) {
+        let mna = MnaSystem::new(ckt).unwrap();
+        let dim = mna.dim();
+        let mut g = TripletMatrix::new(dim, dim);
+        mna.stamp_linear_g(&mut g);
+        let mut b = vec![0.0; dim];
+        mna.stamp_rhs(0.0, &mut b);
+        let x = g.to_dense().solve(&b, &mut FlopCounter::new()).unwrap();
+        (mna, x)
+    }
+
+    #[test]
+    fn vcvs_matches_hand_mna() {
+        // V1 = 1 V at `in`; E1 forces v(out) = 2·v(in); R1 loads `out`.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_voltage_source("V1", vin, Circuit::GROUND, SourceWaveform::dc(1.0))
+            .unwrap();
+        ckt.add_vcvs("E1", out, Circuit::GROUND, vin, Circuit::GROUND, 2.0)
+            .unwrap();
+        ckt.add_resistor("R1", out, Circuit::GROUND, 1e3).unwrap();
+        let (mna, x) = solve_op(&ckt);
+        assert!((x[mna.var_of_node_name("out").unwrap()] - 2.0).abs() < 1e-12);
+        // KCL at `out`: v/R + i_E = 0  =>  i_E = -2 mA.
+        let i_e = x[mna.branch_var(1).unwrap()];
+        assert!((i_e + 2e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn vccs_matches_hand_mna() {
+        // G1 drives gm·v(in) = 1 mA out of node `out` into ground;
+        // v(out) = -gm·v(in)·R = -2 V.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_voltage_source("V1", vin, Circuit::GROUND, SourceWaveform::dc(1.0))
+            .unwrap();
+        ckt.add_vccs("G1", out, Circuit::GROUND, vin, Circuit::GROUND, 1e-3)
+            .unwrap();
+        ckt.add_resistor("RL", out, Circuit::GROUND, 2e3).unwrap();
+        let (mna, x) = solve_op(&ckt);
+        assert!((x[mna.var_of_node_name("out").unwrap()] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cccs_matches_hand_mna() {
+        // i(V1) = -1 mA (1 V across 1 kΩ); F1 mirrors 2·i(V1) into `out`
+        // loaded by 1 kΩ: v(out) = -2·i(V1)·R = +2 V.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_voltage_source("V1", vin, Circuit::GROUND, SourceWaveform::dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", vin, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_cccs("F1", out, Circuit::GROUND, "V1", 2.0).unwrap();
+        ckt.add_resistor("RL", out, Circuit::GROUND, 1e3).unwrap();
+        let (mna, x) = solve_op(&ckt);
+        assert!((x[mna.branch_var(0).unwrap()] + 1e-3).abs() < 1e-15);
+        assert!((x[mna.var_of_node_name("out").unwrap()] - 2.0).abs() < 1e-12);
+        assert_eq!(mna.control_branch_var(2), mna.branch_var(0));
+    }
+
+    #[test]
+    fn ccvs_matches_hand_mna() {
+        // H1 forces v(out) = 500·i(V1) = -0.5 V.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_voltage_source("V1", vin, Circuit::GROUND, SourceWaveform::dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", vin, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_ccvs("H1", out, Circuit::GROUND, "V1", 500.0)
+            .unwrap();
+        ckt.add_resistor("RL", out, Circuit::GROUND, 1e3).unwrap();
+        let (mna, x) = solve_op(&ckt);
+        assert!((x[mna.var_of_node_name("out").unwrap()] + 0.5).abs() < 1e-12);
+        assert_eq!(mna.num_branches(), 2);
+    }
+
+    #[test]
+    fn control_reference_is_case_insensitive() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_voltage_source("Vdrv", vin, Circuit::GROUND, SourceWaveform::dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", vin, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_cccs("F1", out, Circuit::GROUND, "VDRV", 1.0)
+            .unwrap();
+        ckt.add_resistor("RL", out, Circuit::GROUND, 1e3).unwrap();
+        assert!(MnaSystem::new(&ckt).is_ok());
+    }
+
+    #[test]
+    fn missing_control_is_error() {
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.add_cccs("F1", out, Circuit::GROUND, "V9", 1.0).unwrap();
+        ckt.add_resistor("RL", out, Circuit::GROUND, 1e3).unwrap();
+        assert!(matches!(
+            MnaSystem::new(&ckt),
+            Err(CircuitError::UnknownControl { .. })
+        ));
+        // A resistor carries no branch current either.
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.add_ccvs("H1", out, Circuit::GROUND, "RL", 1.0).unwrap();
+        ckt.add_resistor("RL", out, Circuit::GROUND, 1e3).unwrap();
+        assert!(matches!(
+            MnaSystem::new(&ckt),
+            Err(CircuitError::UnknownControl { .. })
+        ));
     }
 
     #[test]

@@ -100,6 +100,24 @@ impl Circuit {
         self.elements.iter().find(|e| e.name() == name)
     }
 
+    /// Case-insensitive element lookup (SPICE decks are case-insensitive,
+    /// so `F1 ... vIN 2` may reference the element written `Vin`).
+    pub fn element_ci(&self, name: &str) -> Option<&Element> {
+        self.element(name).or_else(|| {
+            self.elements
+                .iter()
+                .find(|e| e.name().eq_ignore_ascii_case(name))
+        })
+    }
+
+    /// Reserves a name in the element namespace without adding an element
+    /// — used for subcircuit instance names, which must be unique like any
+    /// SPICE element name (two instances called `X1` would otherwise merge
+    /// their `X1.<node>` internals into one shared node).
+    pub(crate) fn reserve_name(&mut self, name: &str) -> Result<()> {
+        self.register_name(name)
+    }
+
     fn register_name(&mut self, name: &str) -> Result<()> {
         if !self.names.insert(name.to_string()) {
             return Err(CircuitError::DuplicateElement {
@@ -331,6 +349,125 @@ impl Circuit {
         self.add_nonlinear(name, n1, n2, Arc::new(diode))
     }
 
+    fn check_finite_gain(&self, name: &str, what: &str, value: f64) -> Result<()> {
+        if !value.is_finite() {
+            return Err(CircuitError::InvalidValue {
+                element: name.to_string(),
+                reason: format!("{what} must be finite, got {value}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Adds a voltage-controlled voltage source (SPICE `E`):
+    /// `v(n1) - v(n2) = gain · (v(nc1) - v(nc2))`. The control pair only
+    /// senses a voltage and carries no current.
+    ///
+    /// # Errors
+    /// Rejects non-finite gain, duplicate names and `n1 == n2`.
+    pub fn add_vcvs(
+        &mut self,
+        name: &str,
+        n1: NodeId,
+        n2: NodeId,
+        nc1: NodeId,
+        nc2: NodeId,
+        gain: f64,
+    ) -> Result<&mut Self> {
+        self.check_finite_gain(name, "VCVS gain", gain)?;
+        self.check_distinct(name, n1, n2)?;
+        self.register_name(name)?;
+        self.elements.push(Element::new(
+            name.to_string(),
+            vec![n1, n2, nc1, nc2],
+            ElementKind::Vcvs { gain },
+        ));
+        Ok(self)
+    }
+
+    /// Adds a voltage-controlled current source (SPICE `G`): drives
+    /// `gm · (v(nc1) - v(nc2))` from `n1` through the source to `n2`.
+    ///
+    /// # Errors
+    /// Rejects non-finite transconductance, duplicate names and `n1 == n2`.
+    pub fn add_vccs(
+        &mut self,
+        name: &str,
+        n1: NodeId,
+        n2: NodeId,
+        nc1: NodeId,
+        nc2: NodeId,
+        gm: f64,
+    ) -> Result<&mut Self> {
+        self.check_finite_gain(name, "VCCS transconductance", gm)?;
+        self.check_distinct(name, n1, n2)?;
+        self.register_name(name)?;
+        self.elements.push(Element::new(
+            name.to_string(),
+            vec![n1, n2, nc1, nc2],
+            ElementKind::Vccs { gm },
+        ));
+        Ok(self)
+    }
+
+    /// Adds a current-controlled current source (SPICE `F`): drives
+    /// `gain · i(control)` from `n1` through the source to `n2`, where
+    /// `control` names an element with an MNA branch current (voltage
+    /// source, inductor, VCVS or CCVS). The reference is resolved when the
+    /// MNA system is built, so the controlling element may be added later.
+    ///
+    /// # Errors
+    /// Rejects non-finite gain, duplicate names and `n1 == n2`.
+    pub fn add_cccs(
+        &mut self,
+        name: &str,
+        n1: NodeId,
+        n2: NodeId,
+        control: &str,
+        gain: f64,
+    ) -> Result<&mut Self> {
+        self.check_finite_gain(name, "CCCS gain", gain)?;
+        self.check_distinct(name, n1, n2)?;
+        self.register_name(name)?;
+        self.elements.push(Element::new(
+            name.to_string(),
+            vec![n1, n2],
+            ElementKind::Cccs {
+                gain,
+                control: control.to_string(),
+            },
+        ));
+        Ok(self)
+    }
+
+    /// Adds a current-controlled voltage source (SPICE `H`):
+    /// `v(n1) - v(n2) = r · i(control)` (see [`Circuit::add_cccs`] for the
+    /// control reference rules).
+    ///
+    /// # Errors
+    /// Rejects non-finite transresistance, duplicate names and `n1 == n2`.
+    pub fn add_ccvs(
+        &mut self,
+        name: &str,
+        n1: NodeId,
+        n2: NodeId,
+        control: &str,
+        r: f64,
+    ) -> Result<&mut Self> {
+        self.check_finite_gain(name, "CCVS transresistance", r)?;
+        self.check_distinct(name, n1, n2)?;
+        self.register_name(name)?;
+        self.elements.push(Element::new(
+            name.to_string(),
+            vec![n1, n2],
+            ElementKind::Ccvs {
+                r,
+                control: control.to_string(),
+            },
+        ));
+        Ok(self)
+    }
+
     /// Adds a MOSFET with terminals `(drain, gate, source)`.
     ///
     /// # Errors
@@ -369,11 +506,33 @@ impl Circuit {
         if !grounded {
             return Err(CircuitError::NoGroundReference);
         }
-        // Connectivity: BFS from ground over element adjacency.
+        // Controlled-source current references must name a branch element.
+        for e in &self.elements {
+            if let Some(control) = e.kind().control_name() {
+                match self.element_ci(control) {
+                    None => {
+                        return Err(CircuitError::UnknownControl {
+                            element: e.name().to_string(),
+                            control: control.to_string(),
+                        });
+                    }
+                    Some(c) if !c.kind().needs_branch_current() => {
+                        return Err(CircuitError::UnknownControl {
+                            element: e.name().to_string(),
+                            control: format!("{control} (carries no branch current)"),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        // Connectivity: BFS from ground over element adjacency. Only
+        // conducting terminals count — the sense pair of an E/G source has
+        // infinite input impedance and provides no path to ground.
         let n = self.nodes.len();
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         for e in &self.elements {
-            let ns = e.nodes();
+            let ns = &e.nodes()[..e.kind().conducting_terminal_count()];
             for i in 0..ns.len() {
                 for j in (i + 1)..ns.len() {
                     adj[ns[i].index()].push(ns[j].index());
@@ -411,6 +570,7 @@ impl Circuit {
         let mut i = 0;
         let mut y = 0;
         let mut m = 0;
+        let mut dep = 0;
         for e in &self.elements {
             match e.kind() {
                 ElementKind::Resistor { .. } => r += 1,
@@ -420,10 +580,14 @@ impl Circuit {
                 ElementKind::CurrentSource { .. } => i += 1,
                 ElementKind::Nonlinear { .. } => y += 1,
                 ElementKind::Mosfet { .. } => m += 1,
+                ElementKind::Vcvs { .. }
+                | ElementKind::Vccs { .. }
+                | ElementKind::Cccs { .. }
+                | ElementKind::Ccvs { .. } => dep += 1,
             }
         }
         format!(
-            "{} nodes, {} elements (R:{r} C:{c} L:{l} V:{v} I:{i} nano:{y} MOS:{m})",
+            "{} nodes, {} elements (R:{r} C:{c} L:{l} V:{v} I:{i} dep:{dep} nano:{y} MOS:{m})",
             self.nodes.len(),
             self.elements.len()
         )

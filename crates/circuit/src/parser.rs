@@ -1,7 +1,7 @@
 //! SPICE-like netlist parser.
 //!
 //! Supports the subset of the SPICE language the Nano-Sim experiments need,
-//! plus `Y`-prefixed nano-devices:
+//! plus `Y`-prefixed nano-devices and hierarchical subcircuits:
 //!
 //! ```text
 //! * comment lines and trailing ; comments
@@ -10,11 +10,16 @@
 //! L<name> n+ n- value            inductor
 //! V<name> n+ n- <source>         voltage source
 //! I<name> n+ n- <source>         current source
+//! E<name> n+ n- nc+ nc- gain     voltage-controlled voltage source
+//! G<name> n+ n- nc+ nc- gm       voltage-controlled current source
+//! F<name> n+ n- vname gain       current-controlled current source
+//! H<name> n+ n- vname r          current-controlled voltage source
 //! D<name> n+ n- [model]          diode
 //! M<name> nd ng ns <model>       level-1 MOSFET
 //! YRTD<name> n+ n- [model]       resonant tunneling diode
 //! YNW<name>  n+ n- [model]       quantum wire / CNT
 //! YRTT<name> nc ne [model]       resonant tunneling transistor
+//! X<name> n1 n2 ... subckt [p=v ...]   subcircuit instance
 //!
 //! <source> ::= [DC] value
 //!            | PULSE(v1 v2 td tr tf pw per)
@@ -29,6 +34,11 @@
 //! .model <name> NW   ([g0=..] [base=..] [step=..] [steps=..] [smear=..])
 //! .model <name> RTT  ([vbe=..])
 //!
+//! .subckt <name> port1 port2 ... [param=default ...]
+//!   <element lines, including nested X instances>
+//! .ends [<name>]
+//! .param name=value [name=value ...]
+//!
 //! .tran tstep tstop
 //! .dc <source> start stop step
 //! .op
@@ -36,10 +46,19 @@
 //! ```
 //!
 //! Values accept SPICE magnitude suffixes (`t g meg k m u n p f`) and
-//! trailing unit letters (`10pF`, `5V`, `1k`).
+//! trailing unit letters (`10pF`, `5V`, `1k`). Inside subcircuit bodies
+//! (and, against `.param` globals, anywhere) an element value may be a
+//! `{name}` parameter reference; instances override declared parameters
+//! with `Xcell a b inv R=5k`. Waveform parameters (`PULSE(..)`, `SIN(..)`,
+//! ...) are always literal numbers — sources are cloned, not
+//! re-parameterized, when a subcircuit is instantiated.
+//!
+//! Parse errors report the 1-based **line and column** of the offending
+//! token, so a bad value in a generated 500-line deck is locatable.
 
 use crate::error::CircuitError;
 use crate::netlist::Circuit;
+use crate::subckt::{BodyElement, BodyKind, CircuitBuilder, ParamValue, SubcktDef, SubcktLib};
 use crate::Result;
 use nanosim_devices::diode::{Diode, DiodeParams};
 use nanosim_devices::mosfet::{MosType, Mosfet, MosfetParams};
@@ -48,6 +67,7 @@ use nanosim_devices::rtd::{Rtd, RtdParams};
 use nanosim_devices::rtt::Rtt;
 use nanosim_devices::sources::{PulseParams, SinParams, SourceWaveform};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An analysis request found in the netlist.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,13 +94,18 @@ pub enum AnalysisDirective {
     },
 }
 
-/// Result of parsing a netlist: the circuit plus its analysis directives.
+/// Result of parsing a netlist: the flattened circuit, its analysis
+/// directives, and the hierarchy the deck declared (for tooling).
 #[derive(Debug, Clone)]
 pub struct ParsedDeck {
-    /// The parsed circuit.
+    /// The parsed, fully flattened circuit.
     pub circuit: Circuit,
     /// Analyses in file order.
     pub analyses: Vec<AnalysisDirective>,
+    /// Subcircuit definitions the deck declared.
+    pub subckts: SubcktLib,
+    /// Global `.param` values (keys lowercased).
+    pub params: HashMap<String, f64>,
 }
 
 #[derive(Debug, Clone)]
@@ -92,184 +117,458 @@ struct ModelCard {
     line: usize,
 }
 
-/// Parses SPICE-like netlist text.
+/// One source token with its physical location (continuation lines keep
+/// their own line numbers, so errors land on the exact `+` line).
+#[derive(Debug, Clone)]
+struct Tok {
+    text: String,
+    line: usize,
+    /// 1-based column of the token's first character.
+    col: usize,
+    /// Whether the token was immediately followed by `=` (marks the start
+    /// of `name=value` override/parameter pairs).
+    eq: bool,
+}
+
+impl Tok {
+    fn upper(&self) -> String {
+        self.text.to_ascii_uppercase()
+    }
+}
+
+/// A logical netlist line: tokens (continuations folded in) plus the raw
+/// first-line text for title handling.
+#[derive(Debug, Clone)]
+struct Line {
+    line_no: usize,
+    toks: Vec<Tok>,
+    raw: String,
+}
+
+/// Parses SPICE-like netlist text into a flattened circuit.
 ///
 /// # Errors
-/// Returns [`CircuitError::Parse`] with a 1-based line number for syntax
-/// errors and propagates element/model validation failures.
+/// Returns [`CircuitError::Parse`] with 1-based line *and column* numbers
+/// for syntax errors, and propagates element/model/hierarchy validation
+/// failures ([`CircuitError::UnknownSubckt`], [`CircuitError::UnknownParam`],
+/// ...).
 ///
 /// # Example
 /// ```
 /// let deck = nanosim_circuit::parse_netlist(
-///     "* rtd divider\n\
+///     "* rtd divider as a subckt\n\
+///      .subckt cell in r=50\n\
+///      R1 in mid {r}\n\
+///      YRTD1 mid 0\n\
+///      .ends\n\
 ///      V1 in 0 DC 1.0\n\
-///      R1 in out 50\n\
-///      YRTD1 out 0\n\
+///      X1 in cell r=75\n\
 ///      .dc V1 0 2.5 0.01\n\
 ///      .end\n",
 /// )?;
 /// assert_eq!(deck.circuit.elements().len(), 3);
-/// assert_eq!(deck.analyses.len(), 1);
+/// assert!(deck.circuit.element("R1.X1").is_some());
+/// assert!(deck.circuit.find_node("X1.mid").is_some());
 /// # Ok::<(), nanosim_circuit::CircuitError>(())
 /// ```
 pub fn parse_netlist(text: &str) -> Result<ParsedDeck> {
     let lines = preprocess(text);
-    // Pass 1: collect .model cards (they may be referenced before defined).
+
+    // Pass 1: collect .model cards (they may be referenced before defined;
+    // models are global, even when written inside a .subckt block).
     let mut models: HashMap<String, ModelCard> = HashMap::new();
-    for (line_no, line) in &lines {
-        let tokens = tokenize(line);
-        if tokens.is_empty() {
+    for line in &lines {
+        let toks = &line.toks;
+        if toks.is_empty() || !toks[0].text.eq_ignore_ascii_case(".model") {
             continue;
         }
-        if tokens[0].eq_ignore_ascii_case(".model") {
-            if tokens.len() < 3 {
-                return Err(parse_err(*line_no, "`.model` needs a name and a type"));
+        if toks.len() < 3 {
+            return Err(parse_err(
+                line.line_no,
+                0,
+                "`.model` needs a name and a type",
+            ));
+        }
+        let name = toks[1].text.to_ascii_lowercase();
+        let type_name = toks[2].text.to_ascii_lowercase();
+        let mut params = HashMap::new();
+        let rest = &toks[3..];
+        if rest.len() % 2 != 0 {
+            return Err(parse_err(
+                line.line_no,
+                0,
+                "`.model` parameters must be key=value pairs",
+            ));
+        }
+        for pair in rest.chunks(2) {
+            let key = pair[0].text.to_ascii_lowercase();
+            let value = parse_value(&pair[1].text).ok_or_else(|| bad_value(&pair[1]))?;
+            params.insert(key, value);
+        }
+        models.insert(
+            name,
+            ModelCard {
+                type_name,
+                params,
+                line: line.line_no,
+            },
+        );
+    }
+
+    // Pass 1.5: collect `.subckt` definitions (bodies become templates) so
+    // instances may appear before their definition. Consumed lines are
+    // skipped by pass 2.
+    let mut builder = CircuitBuilder::new();
+    let mut consumed = vec![false; lines.len()];
+    let mut open_def: Option<SubcktDef> = None;
+    let mut open_line = (0usize, 0usize);
+    for (idx, line) in lines.iter().enumerate() {
+        let toks = &line.toks;
+        if toks.is_empty() {
+            continue;
+        }
+        let head = toks[0].upper();
+        if let Some(def) = open_def.as_mut() {
+            consumed[idx] = true;
+            match head.as_str() {
+                ".ENDS" => {
+                    if let Some(tok) = toks.get(1) {
+                        if !tok.text.eq_ignore_ascii_case(def.name()) {
+                            return Err(parse_err(
+                                tok.line,
+                                tok.col,
+                                &format!(
+                                    "`.ends {}` does not close `.subckt {}`",
+                                    tok.text,
+                                    def.name()
+                                ),
+                            ));
+                        }
+                    }
+                    let def = open_def.take().expect("checked above");
+                    builder.define(def)?;
+                }
+                ".MODEL" => {} // collected in pass 1; models are global
+                _ if head.starts_with('.') => {
+                    return Err(parse_err(
+                        toks[0].line,
+                        toks[0].col,
+                        &format!("directive `{}` is not allowed inside .subckt", toks[0].text),
+                    ));
+                }
+                _ => {
+                    let be = parse_body_element(toks, &models)?;
+                    def.push_body(be);
+                }
             }
-            let name = tokens[1].to_ascii_lowercase();
-            let type_name = tokens[2].to_ascii_lowercase();
-            let mut params = HashMap::new();
-            let rest = &tokens[3..];
+        } else if head == ".SUBCKT" {
+            consumed[idx] = true;
+            if toks.len() < 2 {
+                return Err(parse_err(
+                    toks[0].line,
+                    toks[0].col,
+                    "`.subckt` needs a name",
+                ));
+            }
+            // Ports run until the first `name=value` pair.
+            let first_eq = toks.iter().position(|t| t.eq).unwrap_or(toks.len());
+            if first_eq < 2 {
+                return Err(parse_err(
+                    toks[first_eq].line,
+                    toks[first_eq].col,
+                    "`.subckt` needs a name before any name=value parameters",
+                ));
+            }
+            let ports: Vec<&str> = toks[2..first_eq].iter().map(|t| t.text.as_str()).collect();
+            let mut def = SubcktDef::new(toks[1].text.clone(), ports);
+            let rest = &toks[first_eq..];
             if rest.len() % 2 != 0 {
                 return Err(parse_err(
-                    *line_no,
-                    "`.model` parameters must be key=value pairs",
+                    toks[0].line,
+                    toks[0].col,
+                    "`.subckt` parameters must be name=value pairs",
                 ));
             }
             for pair in rest.chunks(2) {
-                let key = pair[0].to_ascii_lowercase();
-                let value = parse_value(&pair[1])
-                    .ok_or_else(|| parse_err(*line_no, &format!("bad value `{}`", pair[1])))?;
-                params.insert(key, value);
+                if !pair[0].eq {
+                    return Err(parse_err(
+                        pair[0].line,
+                        pair[0].col,
+                        "`.subckt` parameters must be name=value pairs",
+                    ));
+                }
+                let v = parse_value(&pair[1].text).ok_or_else(|| bad_value(&pair[1]))?;
+                def.param(pair[0].text.clone(), v);
             }
-            models.insert(
-                name,
-                ModelCard {
-                    type_name,
-                    params,
-                    line: *line_no,
-                },
-            );
+            open_def = Some(def);
+            open_line = (toks[0].line, toks[0].col);
+        } else if head == ".END" {
+            break;
         }
     }
+    if let Some(def) = open_def {
+        return Err(parse_err(
+            open_line.0,
+            open_line.1,
+            &format!("`.subckt {}` is never closed by `.ends`", def.name()),
+        ));
+    }
 
-    // Pass 2: elements and directives.
-    let mut circuit = Circuit::new();
+    // Pass 2: top-level elements, instances and directives.
     let mut analyses = Vec::new();
     let mut first_content_line = true;
-    for (line_no, line) in &lines {
-        let tokens = tokenize(line);
-        if tokens.is_empty() {
+    for (idx, line) in lines.iter().enumerate() {
+        let toks = &line.toks;
+        if toks.is_empty() {
             continue;
         }
-        let head = tokens[0].to_ascii_uppercase();
-        // SPICE-style title line: the first line that is neither a directive
-        // nor an element becomes the title.
-        if first_content_line && !head.starts_with('.') && !is_element_head(&head) {
-            circuit.set_title(line.trim());
+        if consumed[idx] {
             first_content_line = false;
             continue;
         }
+        let head = toks[0].upper();
+
+        // SPICE-style title line: the first line that is neither a directive
+        // nor an element becomes the title. E/G/F/H/X joined the element
+        // alphabet in this release, so for *those* head letters an
+        // unparseable first line (e.g. "Example rtd deck", "Xor latch")
+        // still falls back to the title — decks that titled themselves this
+        // way keep parsing. The pre-existing R/C/L/V/I/D/M/Y letters keep
+        // their strict behavior: a malformed first element line is an error.
+        if first_content_line && !head.starts_with('.') {
+            first_content_line = false;
+            if !is_element_head(&head) {
+                builder.set_title(line.raw.trim());
+                continue;
+            }
+            let new_letter = matches!(head.chars().next(), Some('E' | 'G' | 'F' | 'H' | 'X'));
+            if new_letter {
+                // Only lines that *cannot* be the new element kinds fall
+                // back to the title: too few fields for E/G/F/H, or an X
+                // "instance" of a subckt nobody defined. A first line with
+                // element-like arity that fails on a bad token (e.g.
+                // `X1 a cell r=bogus` with `cell` defined) is a user error
+                // and must be reported, not silently titled away.
+                let plausible = match head.chars().next() {
+                    Some('E' | 'G') => toks.len() >= 6,
+                    Some('F' | 'H') => toks.len() >= 5,
+                    _ => {
+                        // X line: plausible iff its subckt-name position
+                        // names a defined subcircuit.
+                        let first_eq = toks.iter().position(|t| t.eq).unwrap_or(toks.len());
+                        first_eq >= 2 && builder.subckts().get(&toks[first_eq - 1].text).is_some()
+                    }
+                };
+                if !plausible {
+                    builder.set_title(line.raw.trim());
+                    continue;
+                }
+                let be = parse_body_element(toks, &models)?;
+                emit_top_level(&mut builder, be, &toks[0])?;
+                continue;
+            }
+            let be = parse_body_element(toks, &models)?;
+            emit_top_level(&mut builder, be, &toks[0])?;
+            continue;
+        }
         first_content_line = false;
+
         if head.starts_with('.') {
             match head.as_str() {
                 ".MODEL" => {} // handled in pass 1
                 ".END" => break,
                 ".TITLE" => {
                     let title = line
+                        .raw
                         .trim_start()
                         .get(6..)
                         .map(str::trim)
                         .unwrap_or_default();
-                    circuit.set_title(title);
+                    builder.set_title(title);
+                }
+                ".ENDS" => {
+                    return Err(parse_err(
+                        toks[0].line,
+                        toks[0].col,
+                        "`.ends` without an open `.subckt`",
+                    ));
+                }
+                ".PARAM" => {
+                    let rest = &toks[1..];
+                    if rest.is_empty() || rest.len() % 2 != 0 {
+                        return Err(parse_err(
+                            toks[0].line,
+                            toks[0].col,
+                            "`.param` needs name=value pairs",
+                        ));
+                    }
+                    for pair in rest.chunks(2) {
+                        if !pair[0].eq {
+                            return Err(parse_err(
+                                pair[0].line,
+                                pair[0].col,
+                                "`.param` needs name=value pairs",
+                            ));
+                        }
+                        // Values may reference previously defined globals.
+                        let pv = parse_pvalue(&pair[1])?;
+                        let v = builder.resolve_value(&pv, &format!(".param {}", pair[0].text))?;
+                        builder.set_param(pair[0].text.clone(), v);
+                    }
                 }
                 ".OP" => analyses.push(AnalysisDirective::Op),
                 ".TRAN" => {
-                    if tokens.len() < 3 {
-                        return Err(parse_err(*line_no, "`.tran` needs tstep and tstop"));
+                    if toks.len() < 3 {
+                        return Err(parse_err(
+                            toks[0].line,
+                            toks[0].col,
+                            "`.tran` needs tstep and tstop",
+                        ));
                     }
-                    let tstep =
-                        parse_value(&tokens[1]).ok_or_else(|| parse_err(*line_no, "bad tstep"))?;
-                    let tstop =
-                        parse_value(&tokens[2]).ok_or_else(|| parse_err(*line_no, "bad tstop"))?;
+                    let tstep = parse_value(&toks[1].text).ok_or_else(|| bad_value(&toks[1]))?;
+                    let tstop = parse_value(&toks[2].text).ok_or_else(|| bad_value(&toks[2]))?;
                     if !(tstep > 0.0 && tstop > tstep) {
-                        return Err(parse_err(*line_no, "`.tran` needs 0 < tstep < tstop"));
+                        return Err(parse_err(
+                            toks[0].line,
+                            toks[0].col,
+                            "`.tran` needs 0 < tstep < tstop",
+                        ));
                     }
                     analyses.push(AnalysisDirective::Tran { tstep, tstop });
                 }
                 ".DC" => {
-                    if tokens.len() < 5 {
-                        return Err(parse_err(*line_no, "`.dc` needs source, start, stop, step"));
+                    if toks.len() < 5 {
+                        return Err(parse_err(
+                            toks[0].line,
+                            toks[0].col,
+                            "`.dc` needs source, start, stop, step",
+                        ));
                     }
-                    let start =
-                        parse_value(&tokens[2]).ok_or_else(|| parse_err(*line_no, "bad start"))?;
-                    let stop =
-                        parse_value(&tokens[3]).ok_or_else(|| parse_err(*line_no, "bad stop"))?;
-                    let step =
-                        parse_value(&tokens[4]).ok_or_else(|| parse_err(*line_no, "bad step"))?;
+                    let start = parse_value(&toks[2].text).ok_or_else(|| bad_value(&toks[2]))?;
+                    let stop = parse_value(&toks[3].text).ok_or_else(|| bad_value(&toks[3]))?;
+                    let step = parse_value(&toks[4].text).ok_or_else(|| bad_value(&toks[4]))?;
                     if step == 0.0 {
-                        return Err(parse_err(*line_no, "`.dc` step must be nonzero"));
+                        return Err(parse_err(
+                            toks[4].line,
+                            toks[4].col,
+                            "`.dc` step must be nonzero",
+                        ));
                     }
                     analyses.push(AnalysisDirective::Dc {
-                        source: tokens[1].clone(),
+                        source: toks[1].text.clone(),
                         start,
                         stop,
                         step,
                     });
                 }
                 other => {
-                    return Err(parse_err(*line_no, &format!("unknown directive `{other}`")));
+                    return Err(parse_err(
+                        toks[0].line,
+                        toks[0].col,
+                        &format!("unknown directive `{other}`"),
+                    ));
                 }
             }
             continue;
         }
-        parse_element(&mut circuit, &tokens, *line_no, &models)?;
+
+        let be = parse_body_element(toks, &models)?;
+        emit_top_level(&mut builder, be, &toks[0])?;
     }
-    Ok(ParsedDeck { circuit, analyses })
+
+    let (circuit, subckts, params) = builder.into_parts();
+    Ok(ParsedDeck {
+        circuit,
+        analyses,
+        subckts,
+        params,
+    })
 }
 
 fn is_element_head(head: &str) -> bool {
     matches!(
         head.chars().next(),
-        Some('R' | 'C' | 'L' | 'V' | 'I' | 'D' | 'M' | 'Y')
+        Some('R' | 'C' | 'L' | 'V' | 'I' | 'D' | 'M' | 'Y' | 'X' | 'E' | 'G' | 'F' | 'H')
     )
 }
 
-/// Strips comments, joins `+` continuations, returns `(line_no, text)`.
-fn preprocess(text: &str) -> Vec<(usize, String)> {
-    let mut out: Vec<(usize, String)> = Vec::new();
+/// Strips comments, folds `+` continuations, tokenizes with locations.
+fn preprocess(text: &str) -> Vec<Line> {
+    let mut out: Vec<Line> = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
-        let mut line = raw.trim().to_string();
-        if line.is_empty() || line.starts_with('*') {
+        let trimmed = raw.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('*') {
             continue;
         }
+        // Cut trailing comments; columns are computed on the *raw* line so
+        // they match what the user sees in an editor.
+        let mut cut = raw.len();
         for sep in [';', '$'] {
-            if let Some(pos) = line.find(sep) {
-                line.truncate(pos);
+            if let Some(pos) = raw.find(sep) {
+                cut = cut.min(pos);
             }
         }
-        let line = line.trim();
-        if line.is_empty() {
+        let content = &raw[..cut];
+        if content.trim().is_empty() {
             continue;
         }
-        if let Some(rest) = line.strip_prefix('+') {
+        if let Some(plus) = content.trim_start().strip_prefix('+') {
             if let Some(last) = out.last_mut() {
-                last.1.push(' ');
-                last.1.push_str(rest.trim());
+                let offset = content.len() - plus.len();
+                last.toks.extend(tokenize(plus, line_no, offset + 1));
+                last.raw.push(' ');
+                last.raw.push_str(plus.trim());
                 continue;
             }
         }
-        out.push((line_no, line.to_string()));
+        let leading = content.len() - content.trim_start().len();
+        let toks = tokenize(content.trim_start(), line_no, leading + 1);
+        out.push(Line {
+            line_no,
+            toks,
+            raw: content.trim().to_string(),
+        });
     }
     out
 }
 
-/// Splits a line into tokens, treating `(`, `)`, `,` and `=` as whitespace.
-fn tokenize(line: &str) -> Vec<String> {
-    line.replace(['(', ')', ',', '='], " ")
-        .split_whitespace()
-        .map(str::to_string)
-        .collect()
+/// Splits text into located tokens. `(`, `)` and `,` separate tokens; `=`
+/// separates too and flags the preceding token as a `name=` key.
+fn tokenize(text: &str, line: usize, col0: usize) -> Vec<Tok> {
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut cur = String::new();
+    let mut cur_col = 0usize;
+    let flush = |toks: &mut Vec<Tok>, cur: &mut String, cur_col: usize| {
+        if !cur.is_empty() {
+            toks.push(Tok {
+                text: std::mem::take(cur),
+                line,
+                col: col0 + cur_col,
+                eq: false,
+            });
+        }
+    };
+    for (i, ch) in text.char_indices() {
+        match ch {
+            c if c.is_whitespace() => flush(&mut toks, &mut cur, cur_col),
+            '(' | ')' | ',' => flush(&mut toks, &mut cur, cur_col),
+            '=' => {
+                flush(&mut toks, &mut cur, cur_col);
+                if let Some(last) = toks.last_mut() {
+                    last.eq = true;
+                }
+            }
+            _ => {
+                if cur.is_empty() {
+                    cur_col = i;
+                }
+                cur.push(ch);
+            }
+        }
+    }
+    flush(&mut toks, &mut cur, cur_col);
+    toks
 }
 
 /// Parses a SPICE value with magnitude suffix and optional trailing units.
@@ -316,114 +615,181 @@ fn has_digit_after(s: &str, i: usize) -> bool {
         .unwrap_or(false)
 }
 
-fn parse_err(line: usize, message: &str) -> CircuitError {
+/// A value position: a literal or a `{param}` reference.
+fn parse_pvalue(tok: &Tok) -> Result<ParamValue> {
+    let t = tok.text.trim();
+    if let Some(inner) = t.strip_prefix('{') {
+        let name = inner.strip_suffix('}').ok_or_else(|| {
+            parse_err(
+                tok.line,
+                tok.col,
+                &format!("unterminated parameter reference `{t}`"),
+            )
+        })?;
+        if name.trim().is_empty() {
+            return Err(parse_err(
+                tok.line,
+                tok.col,
+                "empty parameter reference `{}`",
+            ));
+        }
+        return Ok(ParamValue::Ref(name.trim().to_string()));
+    }
+    parse_value(t)
+        .map(ParamValue::Lit)
+        .ok_or_else(|| bad_value(tok))
+}
+
+fn parse_err(line: usize, column: usize, message: &str) -> CircuitError {
     CircuitError::Parse {
         line,
+        column,
         message: message.to_string(),
     }
 }
 
-fn parse_element(
-    circuit: &mut Circuit,
-    tokens: &[String],
-    line_no: usize,
-    models: &HashMap<String, ModelCard>,
-) -> Result<()> {
-    let name = &tokens[0];
-    let upper = name.to_ascii_uppercase();
+fn bad_value(tok: &Tok) -> CircuitError {
+    parse_err(tok.line, tok.col, &format!("bad value `{}`", tok.text))
+}
+
+/// Parses one element line (top level or subcircuit body) into a template.
+fn parse_body_element(toks: &[Tok], models: &HashMap<String, ModelCard>) -> Result<BodyElement> {
+    let head = &toks[0];
+    let name = head.text.clone();
+    let upper = head.upper();
     let kind_char = upper.chars().next().expect("nonempty token");
     let need = |n: usize| -> Result<()> {
-        if tokens.len() < n {
+        if toks.len() < n {
             Err(parse_err(
-                line_no,
+                head.line,
+                head.col,
                 &format!("element {name} needs at least {} fields", n - 1),
             ))
         } else {
             Ok(())
         }
     };
-    match kind_char {
+    let node = |i: usize| toks[i].text.clone();
+    let (nodes, kind) = match kind_char {
         'R' => {
             need(4)?;
-            let n1 = circuit.node(&tokens[1]);
-            let n2 = circuit.node(&tokens[2]);
-            let v = parse_value(&tokens[3])
-                .ok_or_else(|| parse_err(line_no, &format!("bad value `{}`", tokens[3])))?;
-            circuit.add_resistor(name, n1, n2, v)?;
+            (
+                vec![node(1), node(2)],
+                BodyKind::Resistor {
+                    ohms: parse_pvalue(&toks[3])?,
+                },
+            )
         }
         'C' => {
             need(4)?;
-            let n1 = circuit.node(&tokens[1]);
-            let n2 = circuit.node(&tokens[2]);
-            let v = parse_value(&tokens[3])
-                .ok_or_else(|| parse_err(line_no, &format!("bad value `{}`", tokens[3])))?;
             let mut ic = None;
-            if tokens.len() >= 6 && tokens[4].eq_ignore_ascii_case("ic") {
-                ic = Some(
-                    parse_value(&tokens[5]).ok_or_else(|| parse_err(line_no, "bad IC value"))?,
-                );
+            if toks.len() >= 6 && toks[4].text.eq_ignore_ascii_case("ic") {
+                ic = Some(parse_pvalue(&toks[5])?);
             }
-            circuit.add_capacitor_ic(name, n1, n2, v, ic)?;
+            (
+                vec![node(1), node(2)],
+                BodyKind::Capacitor {
+                    farads: parse_pvalue(&toks[3])?,
+                    ic,
+                },
+            )
         }
         'L' => {
             need(4)?;
-            let n1 = circuit.node(&tokens[1]);
-            let n2 = circuit.node(&tokens[2]);
-            let v = parse_value(&tokens[3])
-                .ok_or_else(|| parse_err(line_no, &format!("bad value `{}`", tokens[3])))?;
-            circuit.add_inductor(name, n1, n2, v)?;
+            (
+                vec![node(1), node(2)],
+                BodyKind::Inductor {
+                    henries: parse_pvalue(&toks[3])?,
+                },
+            )
         }
         'V' | 'I' => {
             need(4)?;
-            let n1 = circuit.node(&tokens[1]);
-            let n2 = circuit.node(&tokens[2]);
-            let wf = parse_source(&tokens[3..], line_no)?;
-            if kind_char == 'V' {
-                circuit.add_voltage_source(name, n1, n2, wf)?;
+            let wf = parse_source(&toks[3..], head)?;
+            let kind = if kind_char == 'V' {
+                BodyKind::VoltageSource { waveform: wf }
             } else {
-                circuit.add_current_source(name, n1, n2, wf)?;
-            }
+                BodyKind::CurrentSource { waveform: wf }
+            };
+            (vec![node(1), node(2)], kind)
+        }
+        'E' => {
+            need(6)?;
+            (
+                vec![node(1), node(2), node(3), node(4)],
+                BodyKind::Vcvs {
+                    gain: parse_pvalue(&toks[5])?,
+                },
+            )
+        }
+        'G' => {
+            need(6)?;
+            (
+                vec![node(1), node(2), node(3), node(4)],
+                BodyKind::Vccs {
+                    gm: parse_pvalue(&toks[5])?,
+                },
+            )
+        }
+        'F' => {
+            need(5)?;
+            (
+                vec![node(1), node(2)],
+                BodyKind::Cccs {
+                    gain: parse_pvalue(&toks[4])?,
+                    control: toks[3].text.clone(),
+                },
+            )
+        }
+        'H' => {
+            need(5)?;
+            (
+                vec![node(1), node(2)],
+                BodyKind::Ccvs {
+                    r: parse_pvalue(&toks[4])?,
+                    control: toks[3].text.clone(),
+                },
+            )
         }
         'D' => {
             need(3)?;
-            let n1 = circuit.node(&tokens[1]);
-            let n2 = circuit.node(&tokens[2]);
-            let diode = match tokens.get(3) {
-                Some(m) => diode_from_model(lookup(models, m, line_no)?, line_no)?,
+            let diode = match toks.get(3) {
+                Some(m) => diode_from_model(lookup(models, m)?, m.line)?,
                 None => Diode::silicon(),
             };
-            circuit.add_diode(name, n1, n2, diode)?;
+            (
+                vec![node(1), node(2)],
+                BodyKind::Nonlinear {
+                    device: Arc::new(diode),
+                },
+            )
         }
         'M' => {
             need(5)?;
-            let d = circuit.node(&tokens[1]);
-            let g = circuit.node(&tokens[2]);
-            let s = circuit.node(&tokens[3]);
-            let model = lookup(models, &tokens[4], line_no)?;
-            let fet = mosfet_from_model(model, line_no)?;
-            circuit.add_mosfet(name, d, g, s, fet)?;
+            let model = lookup(models, &toks[4])?;
+            let fet = mosfet_from_model(model, toks[4].line)?;
+            (
+                vec![node(1), node(2), node(3)],
+                BodyKind::Mosfet { model: fet },
+            )
         }
         'Y' => {
             // YRTD / YNW / YCNT / YRTT prefix selects the device family.
             need(3)?;
-            let n1 = circuit.node(&tokens[1]);
-            let n2 = circuit.node(&tokens[2]);
-            let model = match tokens.get(3) {
-                Some(m) => Some(lookup(models, m, line_no)?),
+            let model = match toks.get(3) {
+                Some(m) => Some(lookup(models, m)?),
                 None => None,
             };
-            if upper.starts_with("YRTD") {
-                let rtd = match model {
-                    Some(card) => rtd_from_model(card, line_no)?,
-                    None => Rtd::date2005(),
-                };
-                circuit.add_rtd(name, n1, n2, rtd)?;
+            let device: crate::element::SharedDevice = if upper.starts_with("YRTD") {
+                match model {
+                    Some(card) => Arc::new(rtd_from_model(card, head.line)?),
+                    None => Arc::new(Rtd::date2005()),
+                }
             } else if upper.starts_with("YNW") || upper.starts_with("YCNT") {
-                let wire = match model {
-                    Some(card) => nanowire_from_model(card, line_no)?,
-                    None => Nanowire::metallic_cnt(),
-                };
-                circuit.add_nanowire(name, n1, n2, wire)?;
+                match model {
+                    Some(card) => Arc::new(nanowire_from_model(card, head.line)?),
+                    None => Arc::new(Nanowire::metallic_cnt()),
+                }
             } else if upper.starts_with("YRTT") {
                 let mut rtt = Rtt::three_peak();
                 if let Some(card) = model {
@@ -431,52 +797,200 @@ fn parse_element(
                         rtt.set_vbe(vbe);
                     }
                 }
-                circuit.add_rtt(name, n1, n2, rtt)?;
+                Arc::new(rtt)
             } else {
                 return Err(parse_err(
-                    line_no,
+                    head.line,
+                    head.col,
                     &format!("unknown nano-device `{name}` (expected YRTD/YNW/YRTT prefix)"),
                 ));
+            };
+            (vec![node(1), node(2)], BodyKind::Nonlinear { device })
+        }
+        'X' => {
+            need(3)?;
+            // Connections run until the subckt name; the first `p=v` pair
+            // (if any) marks where the overrides start.
+            let first_eq = toks.iter().position(|t| t.eq).unwrap_or(toks.len());
+            if first_eq < 3 {
+                return Err(parse_err(
+                    toks[first_eq].line,
+                    toks[first_eq].col,
+                    &format!("instance {name} needs nodes and a subckt name before overrides"),
+                ));
             }
+            let subckt = toks[first_eq - 1].text.clone();
+            let nodes: Vec<String> = toks[1..first_eq - 1]
+                .iter()
+                .map(|t| t.text.clone())
+                .collect();
+            if nodes.is_empty() {
+                return Err(parse_err(
+                    head.line,
+                    head.col,
+                    &format!("instance {name} connects no nodes"),
+                ));
+            }
+            let rest = &toks[first_eq..];
+            if rest.len() % 2 != 0 {
+                return Err(parse_err(
+                    head.line,
+                    head.col,
+                    &format!("instance {name} overrides must be name=value pairs"),
+                ));
+            }
+            let mut overrides = Vec::with_capacity(rest.len() / 2);
+            for pair in rest.chunks(2) {
+                if !pair[0].eq {
+                    return Err(parse_err(
+                        pair[0].line,
+                        pair[0].col,
+                        "instance overrides must be name=value pairs",
+                    ));
+                }
+                overrides.push((pair[0].text.clone(), parse_pvalue(&pair[1])?));
+            }
+            (nodes, BodyKind::Instance { subckt, overrides })
         }
         other => {
             return Err(parse_err(
-                line_no,
+                head.line,
+                head.col,
                 &format!("unknown element type `{other}` in `{name}`"),
             ));
+        }
+    };
+    Ok(BodyElement { name, nodes, kind })
+}
+
+/// Adds a parsed top-level template to the builder: elements directly (with
+/// `{param}` references resolved against `.param` globals), instances via
+/// flattening.
+fn emit_top_level(builder: &mut CircuitBuilder, be: BodyElement, head: &Tok) -> Result<()> {
+    let BodyElement {
+        name,
+        nodes: node_names,
+        kind,
+    } = be;
+    let nodes: Vec<crate::node::NodeId> = node_names.iter().map(|n| builder.node(n)).collect();
+    let resolve = |builder: &CircuitBuilder, pv: &ParamValue| builder.resolve_value(pv, &name);
+    match kind {
+        BodyKind::Resistor { ohms } => {
+            let v = resolve(builder, &ohms)?;
+            builder
+                .circuit_mut()
+                .add_resistor(&name, nodes[0], nodes[1], v)?;
+        }
+        BodyKind::Capacitor { farads, ic } => {
+            let v = resolve(builder, &farads)?;
+            let ic = match ic {
+                Some(pv) => Some(resolve(builder, &pv)?),
+                None => None,
+            };
+            builder
+                .circuit_mut()
+                .add_capacitor_ic(&name, nodes[0], nodes[1], v, ic)?;
+        }
+        BodyKind::Inductor { henries } => {
+            let v = resolve(builder, &henries)?;
+            builder
+                .circuit_mut()
+                .add_inductor(&name, nodes[0], nodes[1], v)?;
+        }
+        BodyKind::VoltageSource { waveform } => {
+            builder
+                .circuit_mut()
+                .add_voltage_source(&name, nodes[0], nodes[1], waveform)?;
+        }
+        BodyKind::CurrentSource { waveform } => {
+            builder
+                .circuit_mut()
+                .add_current_source(&name, nodes[0], nodes[1], waveform)?;
+        }
+        BodyKind::Vcvs { gain } => {
+            let v = resolve(builder, &gain)?;
+            builder
+                .circuit_mut()
+                .add_vcvs(&name, nodes[0], nodes[1], nodes[2], nodes[3], v)?;
+        }
+        BodyKind::Vccs { gm } => {
+            let v = resolve(builder, &gm)?;
+            builder
+                .circuit_mut()
+                .add_vccs(&name, nodes[0], nodes[1], nodes[2], nodes[3], v)?;
+        }
+        BodyKind::Cccs { gain, control } => {
+            let v = resolve(builder, &gain)?;
+            builder
+                .circuit_mut()
+                .add_cccs(&name, nodes[0], nodes[1], &control, v)?;
+        }
+        BodyKind::Ccvs { r, control } => {
+            let v = resolve(builder, &r)?;
+            builder
+                .circuit_mut()
+                .add_ccvs(&name, nodes[0], nodes[1], &control, v)?;
+        }
+        BodyKind::Nonlinear { device } => {
+            builder
+                .circuit_mut()
+                .add_nonlinear(&name, nodes[0], nodes[1], device)?;
+        }
+        BodyKind::Mosfet { model } => {
+            builder
+                .circuit_mut()
+                .add_mosfet(&name, nodes[0], nodes[1], nodes[2], model)?;
+        }
+        BodyKind::Instance { subckt, overrides } => {
+            let ov: Vec<(&str, ParamValue)> = overrides
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.clone()))
+                .collect();
+            builder
+                .instantiate(&name, &subckt, &nodes, &ov)
+                .map_err(|e| match e {
+                    // Attach the instance line to pure lookup failures.
+                    CircuitError::UnknownSubckt { name, instance } => parse_err(
+                        head.line,
+                        head.col,
+                        &format!("instance {instance} references unknown subcircuit {name}"),
+                    ),
+                    other => other,
+                })?;
         }
     }
     Ok(())
 }
 
-fn lookup<'m>(
-    models: &'m HashMap<String, ModelCard>,
-    name: &str,
-    line_no: usize,
-) -> Result<&'m ModelCard> {
+fn lookup<'m>(models: &'m HashMap<String, ModelCard>, tok: &Tok) -> Result<&'m ModelCard> {
     models
-        .get(&name.to_ascii_lowercase())
-        .ok_or_else(|| parse_err(line_no, &format!("unknown model `{name}`")))
+        .get(&tok.text.to_ascii_lowercase())
+        .ok_or_else(|| parse_err(tok.line, tok.col, &format!("unknown model `{}`", tok.text)))
 }
 
-fn parse_source(tokens: &[String], line_no: usize) -> Result<SourceWaveform> {
-    if tokens.is_empty() {
-        return Err(parse_err(line_no, "source needs a value or a waveform"));
+fn parse_source(toks: &[Tok], head: &Tok) -> Result<SourceWaveform> {
+    if toks.is_empty() {
+        return Err(parse_err(
+            head.line,
+            head.col,
+            "source needs a value or a waveform",
+        ));
     }
-    let head = tokens[0].to_ascii_uppercase();
+    let spec = toks[0].upper();
     let values = |from: usize, n: usize| -> Result<Vec<f64>> {
-        if tokens.len() < from + n {
+        if toks.len() < from + n {
             return Err(parse_err(
-                line_no,
-                &format!("waveform {head} needs {n} parameters"),
+                toks[0].line,
+                toks[0].col,
+                &format!("waveform {spec} needs {n} parameters"),
             ));
         }
-        tokens[from..from + n]
+        toks[from..from + n]
             .iter()
-            .map(|t| parse_value(t).ok_or_else(|| parse_err(line_no, &format!("bad value `{t}`"))))
+            .map(|t| parse_value(&t.text).ok_or_else(|| bad_value(t)))
             .collect()
     };
-    let wf = match head.as_str() {
+    let wf = match spec.as_str() {
         "DC" => SourceWaveform::dc(values(1, 1)?[0]),
         "PULSE" => {
             let v = values(1, 7)?;
@@ -491,9 +1005,13 @@ fn parse_source(tokens: &[String], line_no: usize) -> Result<SourceWaveform> {
             })?
         }
         "SIN" => {
-            let n = (tokens.len() - 1).min(5);
+            let n = (toks.len() - 1).min(5);
             if n < 3 {
-                return Err(parse_err(line_no, "SIN needs at least vo, va, freq"));
+                return Err(parse_err(
+                    toks[0].line,
+                    toks[0].col,
+                    "SIN needs at least vo, va, freq",
+                ));
             }
             let v = values(1, n)?;
             SourceWaveform::sin(SinParams {
@@ -505,16 +1023,18 @@ fn parse_source(tokens: &[String], line_no: usize) -> Result<SourceWaveform> {
             })?
         }
         "PWL" => {
-            let rest = &tokens[1..];
+            let rest = &toks[1..];
             if rest.len() < 4 || rest.len() % 2 != 0 {
-                return Err(parse_err(line_no, "PWL needs pairs: t1 v1 t2 v2 ..."));
+                return Err(parse_err(
+                    toks[0].line,
+                    toks[0].col,
+                    "PWL needs pairs: t1 v1 t2 v2 ...",
+                ));
             }
             let mut pts = Vec::with_capacity(rest.len() / 2);
             for pair in rest.chunks(2) {
-                let t = parse_value(&pair[0])
-                    .ok_or_else(|| parse_err(line_no, &format!("bad time `{}`", pair[0])))?;
-                let v = parse_value(&pair[1])
-                    .ok_or_else(|| parse_err(line_no, &format!("bad value `{}`", pair[1])))?;
+                let t = parse_value(&pair[0].text).ok_or_else(|| bad_value(&pair[0]))?;
+                let v = parse_value(&pair[1].text).ok_or_else(|| bad_value(&pair[1]))?;
                 pts.push((t, v));
             }
             SourceWaveform::pwl(pts)?
@@ -525,8 +1045,13 @@ fn parse_source(tokens: &[String], line_no: usize) -> Result<SourceWaveform> {
         }
         _ => {
             // Bare numeric value = DC.
-            let v = parse_value(&tokens[0])
-                .ok_or_else(|| parse_err(line_no, &format!("bad source spec `{}`", tokens[0])))?;
+            let v = parse_value(&toks[0].text).ok_or_else(|| {
+                parse_err(
+                    toks[0].line,
+                    toks[0].col,
+                    &format!("bad source spec `{}`", toks[0].text),
+                )
+            })?;
             SourceWaveform::dc(v)
         }
     };
@@ -537,6 +1062,7 @@ fn rtd_from_model(card: &ModelCard, line_no: usize) -> Result<Rtd> {
     if card.type_name != "rtd" {
         return Err(parse_err(
             line_no,
+            0,
             &format!("model is `{}`, expected `rtd`", card.type_name),
         ));
     }
@@ -559,6 +1085,7 @@ fn nanowire_from_model(card: &ModelCard, line_no: usize) -> Result<Nanowire> {
     if card.type_name != "nw" && card.type_name != "cnt" {
         return Err(parse_err(
             line_no,
+            0,
             &format!("model is `{}`, expected `nw`", card.type_name),
         ));
     }
@@ -578,6 +1105,7 @@ fn diode_from_model(card: &ModelCard, line_no: usize) -> Result<Diode> {
     if card.type_name != "d" {
         return Err(parse_err(
             line_no,
+            0,
             &format!("model is `{}`, expected `d`", card.type_name),
         ));
     }
@@ -598,6 +1126,7 @@ fn mosfet_from_model(card: &ModelCard, line_no: usize) -> Result<Mosfet> {
         other => {
             return Err(parse_err(
                 line_no,
+                0,
                 &format!("model is `{other}`, expected `nmos` or `pmos`"),
             ));
         }
@@ -659,6 +1188,8 @@ mod tests {
         assert_eq!(deck.circuit.elements().len(), 3);
         assert_eq!(deck.analyses, vec![AnalysisDirective::Op]);
         assert!(deck.circuit.validate().is_ok());
+        assert!(deck.subckts.is_empty());
+        assert!(deck.params.is_empty());
     }
 
     #[test]
@@ -809,10 +1340,28 @@ mod tests {
     }
 
     #[test]
-    fn error_line_numbers() {
+    fn error_line_and_column() {
         let err = parse_netlist("V1 a 0 1\nR1 a 0 bogus\n").unwrap_err();
         match err {
-            CircuitError::Parse { line, .. } => assert_eq!(line, 2),
+            CircuitError::Parse { line, column, .. } => {
+                assert_eq!(line, 2);
+                // `bogus` starts at column 8 of `R1 a 0 bogus`.
+                assert_eq!(column, 8);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_column_on_continuation_line() {
+        // The bad token lives on the physical `+` line; the error must
+        // point there, not at the logical line start.
+        let err = parse_netlist("V1 a 0 PULSE(0 5 0 1n 1n\n+ 99n bogus)\nR1 a 0 1\n").unwrap_err();
+        match err {
+            CircuitError::Parse { line, column, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, 7);
+            }
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -877,5 +1426,269 @@ mod tests {
         let deck = parse_netlist("v1 VDD 0 5\nr1 vdd 0 1K\n").unwrap();
         assert_eq!(deck.circuit.elements().len(), 2);
         assert_eq!(deck.circuit.node_count(), 2); // VDD == vdd
+    }
+
+    #[test]
+    fn controlled_sources_parse() {
+        let deck = parse_netlist(
+            "V1 in 0 DC 1\n\
+             R1 in 0 1k\n\
+             E1 e 0 in 0 2.0\n\
+             RE e 0 1k\n\
+             G1 g 0 in 0 1m\n\
+             RG g 0 1k\n\
+             F1 f 0 V1 2\n\
+             RF f 0 1k\n\
+             H1 h 0 V1 500\n\
+             RH h 0 1k\n",
+        )
+        .unwrap();
+        assert_eq!(deck.circuit.elements().len(), 10);
+        match deck.circuit.element("E1").unwrap().kind() {
+            ElementKind::Vcvs { gain } => assert_eq!(*gain, 2.0),
+            _ => panic!("wrong kind"),
+        }
+        match deck.circuit.element("G1").unwrap().kind() {
+            ElementKind::Vccs { gm } => assert_eq!(*gm, 1e-3),
+            _ => panic!("wrong kind"),
+        }
+        match deck.circuit.element("F1").unwrap().kind() {
+            ElementKind::Cccs { gain, control } => {
+                assert_eq!(*gain, 2.0);
+                assert_eq!(control, "V1");
+            }
+            _ => panic!("wrong kind"),
+        }
+        match deck.circuit.element("H1").unwrap().kind() {
+            ElementKind::Ccvs { r, control } => {
+                assert_eq!(*r, 500.0);
+                assert_eq!(control, "V1");
+            }
+            _ => panic!("wrong kind"),
+        }
+        assert!(deck.circuit.validate().is_ok());
+        assert!(crate::mna::MnaSystem::new(&deck.circuit).is_ok());
+    }
+
+    #[test]
+    fn subckt_instance_flattens() {
+        let deck = parse_netlist(
+            ".subckt div top out r1=1k r2=1k\n\
+             Ra top out {r1}\n\
+             Rb out 0 {r2}\n\
+             .ends div\n\
+             V1 a 0 DC 5\n\
+             X1 a mid div\n\
+             X2 mid end div r2=2k\n",
+        )
+        .unwrap();
+        assert_eq!(deck.subckts.len(), 1);
+        assert_eq!(deck.circuit.elements().len(), 5);
+        assert!(deck.circuit.element("Ra.X1").is_some());
+        match deck.circuit.element("Rb.X2").unwrap().kind() {
+            ElementKind::Resistor { resistance } => assert_eq!(*resistance, 2e3),
+            _ => panic!("wrong kind"),
+        }
+        assert!(deck.circuit.validate().is_ok());
+    }
+
+    #[test]
+    fn instance_may_precede_definition() {
+        let deck = parse_netlist(
+            "V1 a 0 DC 1\n\
+             X1 a cell\n\
+             .subckt cell p\n\
+             R1 p 0 50\n\
+             .ends\n",
+        )
+        .unwrap();
+        assert!(deck.circuit.element("R1.X1").is_some());
+    }
+
+    #[test]
+    fn global_params_substitute_anywhere() {
+        let deck = parse_netlist(
+            ".param rload=2k cpar=10p\n\
+             V1 a 0 DC 1\n\
+             R1 a out {rload}\n\
+             C1 out 0 {cpar}\n",
+        )
+        .unwrap();
+        assert_eq!(deck.params.get("rload"), Some(&2e3));
+        match deck.circuit.element("R1").unwrap().kind() {
+            ElementKind::Resistor { resistance } => assert_eq!(*resistance, 2e3),
+            _ => panic!("wrong kind"),
+        }
+        match deck.circuit.element("C1").unwrap().kind() {
+            ElementKind::Capacitor { capacitance, .. } => assert_eq!(*capacitance, 1e-11),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn param_can_reference_earlier_param() {
+        let deck = parse_netlist(
+            ".param base=1k\n\
+             .param rload={base}\n\
+             V1 a 0 1\nR1 a 0 {rload}\n",
+        )
+        .unwrap();
+        assert_eq!(deck.params.get("rload"), Some(&1e3));
+    }
+
+    #[test]
+    fn nested_subckt_instances() {
+        let deck = parse_netlist(
+            ".subckt leaf p r=1k\n\
+             R1 p 0 {r}\n\
+             .ends\n\
+             .subckt branch p r=3k\n\
+             X1 p leaf r={r}\n\
+             X2 p leaf\n\
+             .ends\n\
+             V1 a 0 1\n\
+             Xb a branch r=7k\n",
+        )
+        .unwrap();
+        match deck.circuit.element("R1.Xb.X1").unwrap().kind() {
+            ElementKind::Resistor { resistance } => assert_eq!(*resistance, 7e3),
+            _ => panic!("wrong kind"),
+        }
+        match deck.circuit.element("R1.Xb.X2").unwrap().kind() {
+            ElementKind::Resistor { resistance } => assert_eq!(*resistance, 1e3),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn subckt_with_devices_and_controlled_sources() {
+        let deck = parse_netlist(
+            ".model mn NMOS (kp=2e-4 w=20 l=2 vto=0.7)\n\
+             .subckt stage in out\n\
+             YRTD1 out 0\n\
+             M1 out in 0 mn\n\
+             Vsense in mid DC 0\n\
+             Rm mid 0 1k\n\
+             F1 out 0 Vsense 0.5\n\
+             .ends\n\
+             V1 a 0 DC 2\n\
+             X1 a b stage\n\
+             RL b 0 1k\n",
+        )
+        .unwrap();
+        assert!(deck.circuit.element("YRTD1.X1").is_some());
+        assert!(deck.circuit.element("M1.X1").is_some());
+        match deck.circuit.element("F1.X1").unwrap().kind() {
+            ElementKind::Cccs { control, .. } => assert_eq!(control, "Vsense.X1"),
+            _ => panic!("wrong kind"),
+        }
+        assert!(crate::mna::MnaSystem::new(&deck.circuit).is_ok());
+    }
+
+    #[test]
+    fn hierarchy_errors() {
+        // Unknown subckt.
+        let err = parse_netlist("V1 a 0 1\nX1 a ghost\n").unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+        // Unclosed subckt.
+        let err = parse_netlist(".subckt cell p\nR1 p 0 1\n").unwrap_err();
+        assert!(err.to_string().contains("never closed"));
+        // Mismatched .ends name.
+        let err = parse_netlist(".subckt cell p\nR1 p 0 1\n.ends other\n").unwrap_err();
+        assert!(err.to_string().contains("does not close"));
+        // .ends without .subckt.
+        assert!(parse_netlist("V1 a 0 1\n.ends\n").is_err());
+        // Directives inside a subckt body.
+        let err = parse_netlist(".subckt c p\n.tran 1n 2n\n.ends\nV1 a 0 1\n").unwrap_err();
+        assert!(err.to_string().contains("not allowed inside"));
+        // Port-count mismatch.
+        let err = parse_netlist(".subckt c p q\nR1 p q 1\n.ends\nV1 a 0 1\nX1 a c\n").unwrap_err();
+        assert!(matches!(err, CircuitError::PortMismatch { .. }));
+        // Unknown override.
+        let err =
+            parse_netlist(".subckt c p\nR1 p 0 1\n.ends\nV1 a 0 1\nX1 a c zz=4\n").unwrap_err();
+        assert!(matches!(err, CircuitError::UnknownParam { .. }));
+        // Unknown {param} reference.
+        let err = parse_netlist("V1 a 0 1\nR1 a 0 {nope}\n").unwrap_err();
+        assert!(matches!(err, CircuitError::UnknownParam { .. }));
+        // Unterminated reference.
+        let err = parse_netlist("V1 a 0 1\nR1 a 0 {nope\n").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn title_lines_starting_with_new_element_letters_still_parse() {
+        // E/G/F/H/X joined the element alphabet; decks titled with those
+        // letters must keep parsing as they did before this release.
+        for title in [
+            "Example rtd deck",
+            "Gain stage test",
+            "Full mesh workload",
+            "High speed latch",
+            "Xor gate array",
+        ] {
+            let deck = parse_netlist(&format!("{title}\nV1 a 0 1\nR1 a 0 1k\n.op\n"))
+                .unwrap_or_else(|e| panic!("title `{title}` broke parsing: {e}"));
+            assert_eq!(deck.circuit.title(), Some(title));
+            assert_eq!(deck.circuit.elements().len(), 2);
+        }
+        // A *valid* controlled-source line first is an element, not a title.
+        let deck = parse_netlist("E1 e 0 a 0 2\nV1 a 0 1\nR1 a 0 1k\nRE e 0 1k\n").unwrap();
+        assert_eq!(deck.circuit.title(), None);
+        assert_eq!(deck.circuit.elements().len(), 4);
+        // Old element letters keep their strict first-line behavior.
+        assert!(parse_netlist("R1 a 0 bogus\nV1 a 0 1\n").is_err());
+    }
+
+    #[test]
+    fn malformed_first_line_instance_of_defined_subckt_is_an_error() {
+        // `cell` IS defined, so a first-line X with a bad override must
+        // report the bad token, not vanish into the title.
+        let err = parse_netlist(
+            "X1 a cell r=bogus\n\
+             .subckt cell p r=1k\nR1 p 0 {r}\n.ends\n\
+             V1 a 0 1\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_instance_names_rejected_in_decks() {
+        let err = parse_netlist(
+            ".subckt cell p\nR1 p mid 50\nC1 mid 0 1p\n.ends\n\
+             V1 a 0 1\nV2 b 0 1\n\
+             X1 a cell\nX1 b cell\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, CircuitError::DuplicateElement { .. }));
+    }
+
+    #[test]
+    fn malformed_subckt_header_is_an_error_not_a_panic() {
+        let err = parse_netlist(".subckt cell=1\nR1 a 0 1\n.ends\n").unwrap_err();
+        assert!(err.to_string().contains("needs a name"), "{err}");
+        let err = parse_netlist(".subckt= cell p\nR1 p 0 1\n.ends\n").unwrap_err();
+        assert!(err.to_string().contains("needs a name"), "{err}");
+    }
+
+    #[test]
+    fn unclosed_subckt_error_names_its_line() {
+        let err = parse_netlist("V1 a 0 1\n.subckt cell p\nR1 p 0 1\n").unwrap_err();
+        match err {
+            CircuitError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recursive_subckt_rejected() {
+        let err = parse_netlist(
+            ".subckt a p\nX1 p b\n.ends\n\
+             .subckt b p\nX1 p a\n.ends\n\
+             V1 n 0 1\nXt n a\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, CircuitError::RecursiveSubckt { .. }));
     }
 }

@@ -1,6 +1,9 @@
 //! Property-based tests for the circuit substrate: random ladder networks
-//! must satisfy Kirchhoff's laws through the MNA assembly, and random
-//! circuits must round-trip through the netlist writer/parser.
+//! must satisfy Kirchhoff's laws through the MNA assembly, random circuits
+//! must round-trip through the netlist writer/parser, and random
+//! *hierarchical* decks (subckts, params, controlled sources) must flatten
+//! deterministically: `parse(write(parse(d)))` equals `parse(d)`
+//! structurally.
 
 use nanosim_circuit::{parse_netlist, write_netlist, Circuit, ElementKind, MnaSystem};
 use nanosim_devices::sources::SourceWaveform;
@@ -150,5 +153,169 @@ proptest! {
         for (a, b) in base.iter().zip(scaled.iter()) {
             prop_assert!((a * scale - b).abs() < 1e-9 * (1.0 + b.abs()));
         }
+    }
+}
+
+/// Random ingredients of a hierarchical deck: element values, an optional
+/// instance override, and whether a second nesting level is used.
+fn hier_strategy() -> impl Strategy<Value = (f64, f64, f64, f64, f64, f64, Option<f64>, bool)> {
+    (
+        1.0f64..1e4,    // r1: cell default
+        1.0f64..1e4,    // r2: fixed body resistor / CCVS transres
+        1e-15f64..1e-9, // c
+        0.1f64..10.0,   // vs
+        -5.0f64..5.0,   // vcvs/cccs gain
+        1e-6f64..1e-2,  // vccs gm
+        // Optional instance override of r (None half the time).
+        (0.0f64..1.0, 1.0f64..1e4).prop_map(|(p, v)| (p < 0.5).then_some(v)),
+        // Whether to nest a second subckt level.
+        (0.0f64..1.0).prop_map(|p| p < 0.5),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hier_deck(
+    r1: f64,
+    r2: f64,
+    c: f64,
+    vs: f64,
+    gain: f64,
+    gm: f64,
+    ov: Option<f64>,
+    nested: bool,
+) -> String {
+    let mut d = String::from(".title random hierarchical deck\n");
+    d.push_str(&format!(".param rload={r2:e}\n"));
+    d.push_str(&format!(
+        ".subckt cell p q r={r1:e}\n\
+         Ra p mid {{r}}\n\
+         Cb mid 0 {c:e}\n\
+         Rb mid q {r2:e}\n\
+         .ends cell\n"
+    ));
+    if nested {
+        d.push_str(&format!(
+            ".subckt pair p q\n\
+             X1 p m cell\n\
+             X2 m q cell r={r1:e}\n\
+             .ends pair\n"
+        ));
+    }
+    d.push_str(&format!("V1 a 0 DC {vs:e}\n"));
+    match ov {
+        Some(o) => d.push_str(&format!("X1 a b cell r={o:e}\n")),
+        None => d.push_str("X1 a b cell\n"),
+    }
+    if nested {
+        d.push_str("X2 b dd pair\n");
+    } else {
+        d.push_str("X2 b dd cell\n");
+    }
+    d.push_str(&format!(
+        "RL dd 0 {{rload}}\n\
+         E1 e 0 b 0 {gain:e}\n\
+         RE e 0 1k\n\
+         G1 f 0 b 0 {gm:e}\n\
+         RG f 0 1k\n\
+         F1 h 0 V1 {gain:e}\n\
+         RF h 0 1k\n\
+         H1 i 0 V1 {r2:e}\n\
+         RH i 0 1k\n\
+         .end\n"
+    ));
+    d
+}
+
+/// Exact structural equality of two flat circuits: node table, element
+/// names/connections/kinds and all numeric values (values round-trip
+/// bit-exactly through the writer's `{:e}` format).
+fn assert_flat_eq(a: &Circuit, b: &Circuit) -> Result<(), proptest::TestCaseError> {
+    prop_assert_eq!(a.node_count(), b.node_count());
+    // The writer serializes elements (not the node table), so re-parsing
+    // may intern nodes in a different order; compare by *name*.
+    let mut names_a: Vec<&str> = a.nodes().iter().map(|(_, n)| n).collect();
+    let mut names_b: Vec<&str> = b.nodes().iter().map(|(_, n)| n).collect();
+    names_a.sort_unstable();
+    names_b.sort_unstable();
+    prop_assert_eq!(names_a, names_b);
+    prop_assert_eq!(a.elements().len(), b.elements().len());
+    for (ea, eb) in a.elements().iter().zip(b.elements()) {
+        prop_assert_eq!(ea.name(), eb.name());
+        let conn_a: Vec<&str> = ea.nodes().iter().map(|&n| a.node_name(n)).collect();
+        let conn_b: Vec<&str> = eb.nodes().iter().map(|&n| b.node_name(n)).collect();
+        prop_assert_eq!(conn_a, conn_b);
+        match (ea.kind(), eb.kind()) {
+            (ElementKind::Resistor { resistance: x }, ElementKind::Resistor { resistance: y }) => {
+                prop_assert_eq!(x, y)
+            }
+            (
+                ElementKind::Capacitor {
+                    capacitance: x,
+                    initial_voltage: ix,
+                },
+                ElementKind::Capacitor {
+                    capacitance: y,
+                    initial_voltage: iy,
+                },
+            ) => {
+                prop_assert_eq!(x, y);
+                prop_assert_eq!(ix, iy);
+            }
+            (
+                ElementKind::VoltageSource { waveform: x },
+                ElementKind::VoltageSource { waveform: y },
+            ) => {
+                prop_assert_eq!(x.value(0.0), y.value(0.0));
+            }
+            (ElementKind::Vcvs { gain: x }, ElementKind::Vcvs { gain: y }) => {
+                prop_assert_eq!(x, y)
+            }
+            (ElementKind::Vccs { gm: x }, ElementKind::Vccs { gm: y }) => prop_assert_eq!(x, y),
+            (
+                ElementKind::Cccs {
+                    gain: x,
+                    control: cx,
+                },
+                ElementKind::Cccs {
+                    gain: y,
+                    control: cy,
+                },
+            ) => {
+                prop_assert_eq!(x, y);
+                prop_assert_eq!(cx, cy);
+            }
+            (ElementKind::Ccvs { r: x, control: cx }, ElementKind::Ccvs { r: y, control: cy }) => {
+                prop_assert_eq!(x, y);
+                prop_assert_eq!(cx, cy);
+            }
+            (ka, kb) => prop_assert_eq!(ka.type_tag(), kb.type_tag()),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Hierarchical decks flatten deterministically and round-trip through
+    /// the writer: `parse(write(parse(d)))` is structurally identical to
+    /// `parse(d)`.
+    #[test]
+    fn hierarchical_deck_roundtrips(
+        (r1, r2, c, vs, gain, gm, ov, nested) in hier_strategy()
+    ) {
+        let deck = hier_deck(r1, r2, c, vs, gain, gm, ov, nested);
+        let d1 = parse_netlist(&deck).expect("generated deck parses");
+        // The hierarchy metadata survives parsing.
+        prop_assert_eq!(d1.subckts.len(), if nested { 2 } else { 1 });
+        prop_assert!(d1.params.contains_key("rload"));
+        // Flattening is valid and assembles.
+        prop_assert!(d1.circuit.validate().is_ok());
+        prop_assert!(MnaSystem::new(&d1.circuit).is_ok());
+        // Writer emits the flat circuit; re-parsing reproduces it exactly.
+        let text = write_netlist(&d1.circuit);
+        let d2 = parse_netlist(&text).expect("writer output parses");
+        assert_flat_eq(&d1.circuit, &d2.circuit)?;
+        // Parsing is deterministic.
+        let d3 = parse_netlist(&deck).expect("second parse");
+        assert_flat_eq(&d1.circuit, &d3.circuit)?;
     }
 }

@@ -375,6 +375,45 @@ pub(crate) fn branch_voltage(x: &[f64], var_plus: Option<usize>, var_minus: Opti
     vp - vm
 }
 
+/// Validates that `source` names an *independent* V/I source that a DC
+/// sweep can drive. Dependent (E/G/F/H) sources and passives have no
+/// waveform to override — rejecting them here keeps
+/// [`override_source_rhs`] from silently no-oping through a whole sweep.
+pub(crate) fn require_sweepable_source(mna: &MnaSystem, source: &str) -> crate::Result<()> {
+    let circuit = mna.circuit();
+    let Some(index) = find_element_index(circuit, source) else {
+        return Err(crate::SimError::InvalidConfig {
+            context: format!("unknown sweep source `{source}`"),
+        });
+    };
+    if mna.source_waveform(index).is_none() {
+        return Err(crate::SimError::InvalidConfig {
+            context: format!(
+                "sweep source `{source}` is a `{}` element, not an independent V/I source",
+                circuit.elements()[index].kind().type_tag()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Element index by name — exact match first, then case-insensitive (SPICE
+/// decks are case-insensitive, so `.dc v1 ...` must find `V1`). Shared by
+/// [`require_sweepable_source`] and [`override_source_rhs`] so validation
+/// and the per-point override always resolve the same element.
+fn find_element_index(circuit: &nanosim_circuit::Circuit, name: &str) -> Option<usize> {
+    circuit
+        .elements()
+        .iter()
+        .position(|e| e.name() == name)
+        .or_else(|| {
+            circuit
+                .elements()
+                .iter()
+                .position(|e| e.name().eq_ignore_ascii_case(name))
+        })
+}
+
 /// Adjusts an already-stamped right-hand side so the named independent
 /// source takes `value` instead of its waveform value at `time`. Used by the
 /// DC sweep engines.
@@ -386,27 +425,25 @@ pub(crate) fn override_source_rhs(
     rhs: &mut [f64],
 ) -> bool {
     let circuit = mna.circuit();
-    for (i, e) in circuit.elements().iter().enumerate() {
-        if e.name() != element_name {
-            continue;
-        }
-        if let Some(wf) = mna.source_waveform(i) {
-            let delta = value - wf.value(time);
-            if let Some(br) = mna.branch_var(i) {
-                // Voltage source: branch row carries the source value.
-                rhs[br] += delta;
-            } else {
-                // Current source: node injections.
-                if let Some(p) = mna.var_of_node(e.node_plus()) {
-                    rhs[p] -= delta;
-                }
-                if let Some(m) = mna.var_of_node(e.nodes()[1]) {
-                    rhs[m] += delta;
-                }
-            }
-            return true;
-        }
+    let Some(i) = find_element_index(circuit, element_name) else {
         return false;
+    };
+    let e = &circuit.elements()[i];
+    if let Some(wf) = mna.source_waveform(i) {
+        let delta = value - wf.value(time);
+        if let Some(br) = mna.branch_var(i) {
+            // Voltage source: branch row carries the source value.
+            rhs[br] += delta;
+        } else {
+            // Current source: node injections.
+            if let Some(p) = mna.var_of_node(e.node_plus()) {
+                rhs[p] -= delta;
+            }
+            if let Some(m) = mna.var_of_node(e.nodes()[1]) {
+                rhs[m] += delta;
+            }
+        }
+        return true;
     }
     false
 }
@@ -457,6 +494,38 @@ mod tests {
         assert_eq!(rhs[2], 2.5);
         assert!(!override_source_rhs(&m.mna, "R1", 2.5, 0.0, &mut rhs));
         assert!(!override_source_rhs(&m.mna, "nope", 2.5, 0.0, &mut rhs));
+    }
+
+    #[test]
+    fn sweep_source_resolution_is_case_insensitive() {
+        let ckt = divider();
+        let m = CircuitMatrices::new(&ckt).unwrap();
+        assert!(require_sweepable_source(&m.mna, "V1").is_ok());
+        assert!(require_sweepable_source(&m.mna, "v1").is_ok());
+        assert!(require_sweepable_source(&m.mna, "V9").is_err());
+        // Passives are not sweepable, whatever the case.
+        assert!(require_sweepable_source(&m.mna, "r1").is_err());
+        // The per-point override resolves the same element.
+        let mut rhs = vec![0.0; 3];
+        m.mna.stamp_rhs(0.0, &mut rhs);
+        assert!(override_source_rhs(&m.mna, "v1", 2.5, 0.0, &mut rhs));
+        assert_eq!(rhs[2], 2.5);
+    }
+
+    #[test]
+    fn dependent_source_not_sweepable() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_vcvs("E1", b, Circuit::GROUND, a, Circuit::GROUND, 2.0)
+            .unwrap();
+        ckt.add_resistor("RL", b, Circuit::GROUND, 1e3).unwrap();
+        let m = CircuitMatrices::new(&ckt).unwrap();
+        let err = require_sweepable_source(&m.mna, "E1").unwrap_err();
+        assert!(err.to_string().contains("independent"), "{err}");
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! limiting that the MLA baseline builds on.
 
 use crate::assemble::{
-    branch_voltage, mna_var_names, override_source_rhs, AssemblyWorkspace, CircuitMatrices,
+    branch_voltage, mna_var_names, override_source_rhs, require_sweepable_source,
+    AssemblyWorkspace, CircuitMatrices,
 };
 use crate::report::EngineStats;
 use crate::waveform::{DcSweepResult, TransientResult};
@@ -186,11 +187,7 @@ impl NrEngine {
         }
         let t0 = Instant::now();
         let mats = CircuitMatrices::new(circuit)?;
-        if mats.mna.circuit().element(source).is_none() {
-            return Err(SimError::InvalidConfig {
-                context: format!("unknown sweep source `{source}`"),
-            });
-        }
+        require_sweepable_source(&mats.mna, source)?;
         let mut stats = EngineStats::new();
         let mut ws = AssemblyWorkspace::new(&mats, true, true);
         let n_points = (((stop - start) / step).round() as i64 + 1).max(1) as usize;

@@ -11,7 +11,9 @@
 //! step (the "adaptive time step control mechanism together with the
 //! current stepping approach" of \[2\]).
 
-use crate::assemble::{branch_voltage, mna_var_names, override_source_rhs, CircuitMatrices};
+use crate::assemble::{
+    branch_voltage, mna_var_names, override_source_rhs, require_sweepable_source, CircuitMatrices,
+};
 use crate::report::EngineStats;
 use crate::waveform::{DcSweepResult, TransientResult};
 use crate::{Result, SimError};
@@ -160,11 +162,7 @@ impl PwlEngine {
         }
         let t0 = Instant::now();
         let mats = CircuitMatrices::new(circuit)?;
-        if mats.mna.circuit().element(source).is_none() {
-            return Err(SimError::InvalidConfig {
-                context: format!("unknown sweep source `{source}`"),
-            });
-        }
+        require_sweepable_source(&mats.mna, source)?;
         let tables = self.tabulate_all(&mats);
         let mut stats = EngineStats::new();
         let n_points = (((stop - start) / step).round() as i64 + 1).max(1) as usize;

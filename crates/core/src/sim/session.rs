@@ -1,7 +1,9 @@
 //! The [`Simulator`] session: one circuit, many analyses, shared solver
 //! state.
 
-use crate::assemble::{branch_voltage, mna_var_names, AssemblyWorkspace, CircuitMatrices};
+use crate::assemble::{
+    branch_voltage, mna_var_names, require_sweepable_source, AssemblyWorkspace, CircuitMatrices,
+};
 use crate::em::EmEngine;
 use crate::mla::MlaEngine;
 use crate::pwl::PwlEngine;
@@ -236,11 +238,7 @@ impl Simulator {
                 context: format!("dc sweep {start}..{stop} with step {step}"),
             });
         }
-        if self.mats.mna.circuit().element(&source).is_none() {
-            return Err(SimError::InvalidConfig {
-                context: format!("unknown sweep source `{source}`"),
-            });
-        }
+        require_sweepable_source(&self.mats.mna, &source)?;
         let t0 = Instant::now();
         if self.dc_ws.is_none() {
             self.dc_ws = Some(AssemblyWorkspace::new(&self.mats, false, false));

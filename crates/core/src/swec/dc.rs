@@ -11,7 +11,8 @@
 //! solution (continuation), so a handful of iterations usually suffice.
 
 use crate::assemble::{
-    branch_voltage, mna_var_names, override_source_rhs, AssemblyWorkspace, CircuitMatrices,
+    branch_voltage, mna_var_names, override_source_rhs, require_sweepable_source,
+    AssemblyWorkspace, CircuitMatrices,
 };
 use crate::report::EngineStats;
 use crate::swec::SwecOptions;
@@ -70,11 +71,7 @@ impl SwecDcSweep {
         }
         let t0 = Instant::now();
         let mats = CircuitMatrices::new(circuit)?;
-        if mats.mna.circuit().element(source).is_none() {
-            return Err(SimError::InvalidConfig {
-                context: format!("unknown sweep source `{source}`"),
-            });
-        }
+        require_sweepable_source(&mats.mna, source)?;
         let mut stats = EngineStats::new();
         let mut ws = AssemblyWorkspace::new(&mats, false, false);
         let mut buf = DcBuffers::default();

@@ -66,7 +66,11 @@ pub mod workloads;
 
 /// Commonly used types, importable in one line.
 pub mod prelude {
-    pub use nanosim_circuit::{parse_netlist, AnalysisDirective, Circuit, MnaSystem};
+    pub use nanosim_circuit::{
+        parse_netlist, write_netlist, AnalysisDirective, Circuit, CircuitBuilder, ParamValue,
+        SubcktDef, SubcktLib,
+    };
+    pub use nanosim_circuit::{CircuitError, MnaSystem};
     pub use nanosim_core::analysis::{run_deck, run_deck_with};
     pub use nanosim_core::em::EmOptions;
     pub use nanosim_core::mla::MlaOptions;
@@ -85,35 +89,10 @@ pub mod prelude {
     pub use nanosim_devices::NonlinearTwoTerminal;
     pub use nanosim_numeric::FlopCounter;
 
-    // Engine types predating the session API. They remain fully functional
-    // (and are what the Simulator runs under the hood), but new code should
+    // The engine types predating the session API (`SwecDcSweep`,
+    // `SwecTransient`, `EmEngine`, `MlaEngine`, `PwlEngine`) were
+    // deprecated here for one release and are now gone from the prelude.
+    // They remain available under `nanosim::core::{swec, em, mla, pwl}`
+    // for engine-level comparisons and failure forensics; new code should
     // go through `Simulator::run(Analysis::...)`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "run `Simulator::run(Analysis::em_ensemble(..))` instead; \
-                `nanosim::core::em::EmEngine` remains for explicit Wiener paths"
-    )]
-    pub use nanosim_core::em::EmEngine;
-    #[deprecated(
-        since = "0.2.0",
-        note = "run `Simulator::run(Analysis::mla_dc_sweep(..))` / \
-                `Analysis::mla_transient(..)` instead"
-    )]
-    pub use nanosim_core::mla::MlaEngine;
-    #[deprecated(
-        since = "0.2.0",
-        note = "run `Simulator::run(Analysis::pwl_dc_sweep(..))` / \
-                `Analysis::pwl_transient(..)` instead"
-    )]
-    pub use nanosim_core::pwl::PwlEngine;
-    #[deprecated(
-        since = "0.2.0",
-        note = "run `Simulator::run(Analysis::dc_sweep(..))` or `Analysis::op()` instead"
-    )]
-    pub use nanosim_core::swec::SwecDcSweep;
-    #[deprecated(
-        since = "0.2.0",
-        note = "run `Simulator::run(Analysis::transient(..))` instead"
-    )]
-    pub use nanosim_core::swec::SwecTransient;
 }

@@ -307,6 +307,81 @@ pub fn rtd_mesh(n: usize) -> Circuit {
     ckt
 }
 
+/// The Table I mesh expressed hierarchically: one `.subckt cell` holding
+/// the repeated nano-cell (the RTD to ground), instantiated `n²` times,
+/// with the grid resistors wired at top level.
+///
+/// Produces the **same flat circuit topology, node order and element
+/// order** as [`rtd_mesh`] — only names differ by the deterministic
+/// mangling (`X<r>_<c>` instances, `YRTD1.X<r>_<c>` devices) — so engine
+/// results are bit-identical to the hand-unrolled mesh (locked by
+/// `tests/hierarchy.rs`).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn rtd_mesh_cells(n: usize) -> Circuit {
+    assert!(n > 0, "mesh needs at least one node");
+    let mut b = nanosim_circuit::CircuitBuilder::new();
+    b.set_title(format!("rtd mesh {n}x{n} as subckt cells (table I)"));
+    let mut cell = nanosim_circuit::SubcktDef::new("cell", ["t"]);
+    cell.rtd("YRTD1", "t", "0", Rtd::date2005());
+    b.define(cell).expect("fresh definition");
+    let vin = b.node("in");
+    b.circuit_mut()
+        .add_voltage_source("V1", vin, Circuit::GROUND, SourceWaveform::dc(0.0))
+        .expect("fresh names");
+    let first = b.node("g0_0");
+    b.circuit_mut()
+        .add_resistor("Rin", vin, first, 50.0)
+        .expect("fresh");
+    for r in 0..n {
+        for c in 0..n {
+            let here = b.node(&format!("g{r}_{c}"));
+            b.instantiate(&format!("X{r}_{c}"), "cell", &[here], &[])
+                .expect("cell instantiates");
+            if c + 1 < n {
+                let right = b.node(&format!("g{r}_{}", c + 1));
+                b.circuit_mut()
+                    .add_resistor(&format!("Rh{r}_{c}"), here, right, 100.0)
+                    .expect("fresh names");
+            }
+            if r + 1 < n {
+                let down = b.node(&format!("g{}_{c}", r + 1));
+                b.circuit_mut()
+                    .add_resistor(&format!("Rv{r}_{c}"), here, down, 100.0)
+                    .expect("fresh names");
+            }
+        }
+    }
+    b.finish()
+}
+
+/// The Table I mesh as SPICE-like deck text: `.subckt cell` plus `n²`
+/// `X` instance lines (the headline hierarchical-frontend demo; parsing
+/// it reproduces [`rtd_mesh_cells`] exactly).
+pub fn rtd_mesh_deck(n: usize) -> String {
+    assert!(n > 0, "mesh needs at least one node");
+    let mut deck = String::new();
+    deck.push_str(&format!(
+        ".title rtd mesh {n}x{n} as subckt cells (table I)\n"
+    ));
+    deck.push_str(".subckt cell t\nYRTD1 t 0\n.ends cell\n");
+    deck.push_str("V1 in 0 DC 0\nRin in g0_0 50\n");
+    for r in 0..n {
+        for c in 0..n {
+            deck.push_str(&format!("X{r}_{c} g{r}_{c} cell\n"));
+            if c + 1 < n {
+                deck.push_str(&format!("Rh{r}_{c} g{r}_{c} g{r}_{} 100\n", c + 1));
+            }
+            if r + 1 < n {
+                deck.push_str(&format!("Rv{r}_{c} g{r}_{c} g{}_{c} 100\n", r + 1));
+            }
+        }
+    }
+    deck.push_str(".end\n");
+    deck
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,145 @@
+//! Golden-netlist corpus: every deck under `tests/decks/` must parse,
+//! flatten, validate, survive a `write -> parse` round trip, and run its
+//! first analysis through the session API. Expectations are annotated in
+//! the decks themselves:
+//!
+//! ```text
+//! * @expect nodes=<n> elements=<m> subckts=<k> analyses=<j>
+//! * @op-check <column>=<value>        (op decks only, tol 1e-6)
+//! ```
+//!
+//! A frontend regression therefore fails with the *name* of the deck that
+//! broke, not an anonymous assertion.
+
+use nanosim::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/decks")
+}
+
+fn corpus() -> Vec<(String, String)> {
+    let mut decks: Vec<(String, String)> = std::fs::read_dir(corpus_dir())
+        .expect("tests/decks exists")
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            if path.extension().is_some_and(|x| x == "cir") {
+                let name = path.file_name().unwrap().to_string_lossy().into_owned();
+                let text = std::fs::read_to_string(&path).expect("deck readable");
+                Some((name, text))
+            } else {
+                None
+            }
+        })
+        .collect();
+    decks.sort();
+    assert!(
+        decks.len() >= 5,
+        "corpus unexpectedly small: {} decks",
+        decks.len()
+    );
+    decks
+}
+
+/// Parses `* @expect k=v ...` and `* @op-check col=value` annotations.
+fn annotations(text: &str) -> (HashMap<String, usize>, Vec<(String, f64)>) {
+    let mut expect = HashMap::new();
+    let mut op_checks = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("* @expect ") {
+            for pair in rest.split_whitespace() {
+                let (k, v) = pair.split_once('=').expect("@expect k=v");
+                expect.insert(k.to_string(), v.parse().expect("@expect usize"));
+            }
+        } else if let Some(rest) = line.strip_prefix("* @op-check ") {
+            let (k, v) = rest.split_once('=').expect("@op-check col=value");
+            op_checks.push((k.to_string(), v.parse().expect("@op-check f64")));
+        }
+    }
+    (expect, op_checks)
+}
+
+#[test]
+fn every_deck_parses_flattens_and_matches_expectations() {
+    for (name, text) in corpus() {
+        let deck = parse_netlist(&text).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        deck.circuit
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: validation failed: {e}"));
+        let (expect, _) = annotations(&text);
+        assert!(!expect.is_empty(), "{name}: missing @expect annotation");
+        let got = [
+            ("nodes", deck.circuit.node_count()),
+            ("elements", deck.circuit.elements().len()),
+            ("subckts", deck.subckts.len()),
+            ("analyses", deck.analyses.len()),
+        ];
+        for (key, actual) in got {
+            if let Some(&want) = expect.get(key) {
+                assert_eq!(actual, want, "{name}: {key} mismatch");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_deck_roundtrips_through_the_writer() {
+    for (name, text) in corpus() {
+        let deck = parse_netlist(&text).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        let written = write_netlist(&deck.circuit);
+        let again = parse_netlist(&written)
+            .unwrap_or_else(|e| panic!("{name}: writer output failed to parse: {e}"));
+        assert_eq!(
+            deck.circuit.elements().len(),
+            again.circuit.elements().len(),
+            "{name}: element count changed through write -> parse"
+        );
+        assert_eq!(
+            deck.circuit.node_count(),
+            again.circuit.node_count(),
+            "{name}: node count changed through write -> parse"
+        );
+        for (ea, eb) in deck.circuit.elements().iter().zip(again.circuit.elements()) {
+            assert_eq!(ea.name(), eb.name(), "{name}: element name changed");
+            assert_eq!(
+                ea.kind().type_tag(),
+                eb.kind().type_tag(),
+                "{name}: element {} changed kind",
+                ea.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_deck_runs_its_first_analysis() {
+    for (name, text) in corpus() {
+        let deck = parse_netlist(&text).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        let directive = deck
+            .analyses
+            .first()
+            .unwrap_or_else(|| panic!("{name}: corpus decks must request an analysis"));
+        let analysis = Analysis::from_directive(directive, &SwecOptions::default());
+        let mut sim =
+            Simulator::new(deck.circuit).unwrap_or_else(|e| panic!("{name}: assembly failed: {e}"));
+        let data = sim
+            .run(analysis)
+            .unwrap_or_else(|e| panic!("{name}: analysis failed: {e}"));
+        assert!(data.points() > 0, "{name}: empty dataset");
+        for v in data.names().iter().filter_map(|n| data.value(n)) {
+            assert!(v.is_finite(), "{name}: non-finite result");
+        }
+        let (_, op_checks) = annotations(&text);
+        for (col, want) in op_checks {
+            let got = data
+                .value(&col)
+                .unwrap_or_else(|| panic!("{name}: @op-check column {col} missing"));
+            assert!(
+                (got - want).abs() < 1e-6,
+                "{name}: op value {col} = {got}, expected {want}"
+            );
+        }
+    }
+}

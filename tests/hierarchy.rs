@@ -1,0 +1,304 @@
+//! Hierarchical-frontend integration: the Table I 10×10 mesh written as a
+//! `.subckt cell` + 100 `X` instances must produce **bit-identical**
+//! DC-sweep and transient `Dataset`s to the hand-unrolled mesh, controlled
+//! sources must match hand-computed MNA solutions through the session API,
+//! and flattening must be deterministic across construction paths
+//! (builder vs parsed deck text).
+
+use nanosim::prelude::*;
+use nanosim::workloads;
+
+/// Asserts two circuits are structurally identical up to element *names*
+/// (same node names in the same id order, same element kinds/values/nodes
+/// in the same order).
+fn assert_same_structure(a: &Circuit, b: &Circuit) {
+    assert_eq!(a.node_count(), b.node_count(), "node count");
+    for ((ia, na), (ib, nb)) in a.nodes().iter().zip(b.nodes().iter()) {
+        assert_eq!(ia, ib);
+        assert_eq!(
+            na.to_ascii_lowercase(),
+            nb.to_ascii_lowercase(),
+            "node order"
+        );
+    }
+    assert_eq!(a.elements().len(), b.elements().len(), "element count");
+    for (ea, eb) in a.elements().iter().zip(b.elements()) {
+        assert_eq!(ea.nodes(), eb.nodes(), "{} vs {}", ea.name(), eb.name());
+        assert_eq!(
+            ea.kind().type_tag(),
+            eb.kind().type_tag(),
+            "{} vs {}",
+            ea.name(),
+            eb.name()
+        );
+    }
+}
+
+/// Bit-exact comparison of the shared columns of two datasets. `map`
+/// translates a column name of `a` into the corresponding name in `b`
+/// (identity for node voltages and independent-source branch currents).
+fn assert_columns_bit_identical(a: &Dataset, b: &Dataset, map: impl Fn(&str) -> String) {
+    assert_eq!(a.axis_values(), b.axis_values(), "axis differs");
+    assert_eq!(a.names().len(), b.names().len(), "column count differs");
+    for name in a.names() {
+        let mapped = map(name);
+        let ca = a.column(name).expect("column exists");
+        let cb = b
+            .column(&mapped)
+            .unwrap_or_else(|| panic!("column {mapped} missing in b"));
+        assert_eq!(ca, cb, "column {name} -> {mapped} not bit-identical");
+    }
+}
+
+/// Maps hand-mesh column names onto the hierarchical mesh's mangled names:
+/// the RTD `X<r>_<c>` lives inside instance `X<r>_<c>` as `YRTD1`.
+fn mesh_name_map(name: &str) -> String {
+    match name.strip_prefix("I(X") {
+        Some(rest) => format!("I(YRTD1.X{}", rest),
+        None => name.to_string(),
+    }
+}
+
+const MESH_N: usize = 10;
+
+#[test]
+fn mesh_as_subckt_cells_matches_hand_mesh_structurally() {
+    let hand = workloads::rtd_mesh(MESH_N);
+    let cells = workloads::rtd_mesh_cells(MESH_N);
+    assert_same_structure(&hand, &cells);
+    // 100 instances -> 100 RTD elements named through the cell.
+    assert!(cells.element("YRTD1.X0_0").is_some());
+    assert!(cells.element("YRTD1.X9_9").is_some());
+}
+
+#[test]
+fn mesh_deck_text_parses_to_the_same_circuit() {
+    let deck = workloads::rtd_mesh_deck(MESH_N);
+    // The headline artifact: one .subckt + 100 X instance lines.
+    assert!(deck.lines().filter(|l| l.starts_with('X')).count() == 100);
+    let parsed = parse_netlist(&deck).expect("mesh deck parses");
+    assert_eq!(parsed.subckts.len(), 1);
+    let built = workloads::rtd_mesh_cells(MESH_N);
+    assert_same_structure(&built, &parsed.circuit);
+    // Names agree exactly between the two hierarchical paths.
+    for (ea, eb) in built.elements().iter().zip(parsed.circuit.elements()) {
+        assert_eq!(ea.name(), eb.name());
+    }
+}
+
+#[test]
+fn mesh_dc_sweep_bit_identical_to_hand_mesh() {
+    let mut hand = Simulator::new(workloads::rtd_mesh(MESH_N)).expect("hand mesh");
+    let mut cells = Simulator::new(workloads::rtd_mesh_cells(MESH_N)).expect("cell mesh");
+    let a = hand
+        .run(Analysis::dc_sweep("V1", 0.0, 5.0, 0.05))
+        .expect("hand sweep");
+    let b = cells
+        .run(Analysis::dc_sweep("V1", 0.0, 5.0, 0.05))
+        .expect("cell sweep");
+    assert_columns_bit_identical(&a, &b, mesh_name_map);
+}
+
+#[test]
+fn mesh_dc_sweep_bit_identical_from_deck_text() {
+    let parsed = parse_netlist(&workloads::rtd_mesh_deck(MESH_N)).expect("deck parses");
+    let mut hand = Simulator::new(workloads::rtd_mesh(MESH_N)).expect("hand mesh");
+    let mut deck = Simulator::new(parsed.circuit).expect("deck mesh");
+    let a = hand
+        .run(Analysis::dc_sweep("V1", 0.0, 5.0, 0.05))
+        .expect("hand sweep");
+    let b = deck
+        .run(Analysis::dc_sweep("V1", 0.0, 5.0, 0.05))
+        .expect("deck sweep");
+    assert_columns_bit_identical(&a, &b, mesh_name_map);
+}
+
+#[test]
+fn mesh_transient_bit_identical_to_hand_mesh() {
+    let mut hand = Simulator::new(workloads::rtd_mesh(MESH_N)).expect("hand mesh");
+    let mut cells = Simulator::new(workloads::rtd_mesh_cells(MESH_N)).expect("cell mesh");
+    let a = hand
+        .run(Analysis::transient(0.05e-9, 1e-9))
+        .expect("hand transient");
+    let b = cells
+        .run(Analysis::transient(0.05e-9, 1e-9))
+        .expect("cell transient");
+    // Transient columns are MNA variables only — node names and I(V1) are
+    // identical between the two builds, so the datasets match fully.
+    assert_columns_bit_identical(&a, &b, |n| n.to_string());
+}
+
+/// The Figure 8(a) FET-RTD inverter as a subcircuit: same node and element
+/// order as `workloads::fet_rtd_inverter`, so a transient through its NDR
+/// switching trajectory is bit-identical.
+fn fet_rtd_inverter_subckt() -> Circuit {
+    let hand = workloads::fet_rtd_inverter();
+    let mut b = CircuitBuilder::new();
+    let mut inv = SubcktDef::new("inv", ["vdd", "out", "in"]);
+    let (fet, cl, cin) = match (
+        hand.element("M1").unwrap().kind(),
+        hand.element("CL").unwrap().kind(),
+        hand.element("Cin").unwrap().kind(),
+    ) {
+        (
+            nanosim::circuit::ElementKind::Mosfet { model },
+            nanosim::circuit::ElementKind::Capacitor {
+                capacitance: cl, ..
+            },
+            nanosim::circuit::ElementKind::Capacitor {
+                capacitance: cin, ..
+            },
+        ) => (model.clone(), *cl, *cin),
+        _ => panic!("unexpected inverter structure"),
+    };
+    inv.param("cl", cl)
+        .rtd("X1", "vdd", "out", Rtd::date2005())
+        .rtd("X2", "out", "0", Rtd::date2005())
+        .mosfet("M1", "out", "in", "0", fet)
+        .capacitor("CL", "out", "0", "{cl}")
+        .capacitor("Cin", "in", "0", cin);
+    b.define(inv).expect("fresh definition");
+    let vdd = b.node("vdd");
+    let out = b.node("out");
+    let vin = b.node("in");
+    let (wf_vdd, wf_vin) = match (
+        hand.element("Vdd").unwrap().kind(),
+        hand.element("Vin").unwrap().kind(),
+    ) {
+        (
+            nanosim::circuit::ElementKind::VoltageSource { waveform: a },
+            nanosim::circuit::ElementKind::VoltageSource { waveform: b },
+        ) => (a.clone(), b.clone()),
+        _ => panic!("unexpected inverter sources"),
+    };
+    b.circuit_mut()
+        .add_voltage_source("Vdd", vdd, Circuit::GROUND, wf_vdd)
+        .unwrap();
+    b.circuit_mut()
+        .add_voltage_source("Vin", vin, Circuit::GROUND, wf_vin)
+        .unwrap();
+    b.instantiate("Xc", "inv", &[vdd, out, vin], &[])
+        .expect("inverter instantiates");
+    b.finish()
+}
+
+#[test]
+fn inverter_subckt_transient_bit_identical() {
+    let hier = fet_rtd_inverter_subckt();
+    assert_same_structure(&workloads::fet_rtd_inverter(), &hier);
+    let mut hand = Simulator::new(workloads::fet_rtd_inverter()).expect("hand inverter");
+    let mut sub = Simulator::new(hier).expect("subckt inverter");
+    let a = hand
+        .run(Analysis::transient(0.1e-9, 20e-9))
+        .expect("hand transient");
+    let b = sub
+        .run(Analysis::transient(0.1e-9, 20e-9))
+        .expect("subckt transient");
+    assert_columns_bit_identical(&a, &b, |n| n.to_string());
+}
+
+#[test]
+fn controlled_source_op_matches_hand_mna_through_session() {
+    // Hand-computable values (see crates/circuit/src/mna.rs unit tests):
+    // v(e) = 2 V, v(g) = -2 V, v(f) = +2 V, v(h) = -0.5 V.
+    let deck = parse_netlist(
+        ".title controlled source op\n\
+         V1 in 0 DC 1\n\
+         R1 in 0 1k\n\
+         E1 e 0 in 0 2.0\n\
+         RE e 0 1k\n\
+         G1 g 0 in 0 1m\n\
+         RG g 0 2k\n\
+         F1 f 0 V1 2\n\
+         RF f 0 1k\n\
+         H1 h 0 V1 500\n\
+         RH h 0 1k\n\
+         .op\n",
+    )
+    .expect("deck parses");
+    let mut sim = Simulator::new(deck.circuit).expect("assembles");
+    let op = sim.run(Analysis::op()).expect("op solves");
+    let v = |name: &str| op.value(name).expect("node exists");
+    assert!((v("e") - 2.0).abs() < 1e-9, "VCVS: v(e) = {}", v("e"));
+    assert!((v("g") + 2.0).abs() < 1e-9, "VCCS: v(g) = {}", v("g"));
+    assert!((v("f") - 2.0).abs() < 1e-9, "CCCS: v(f) = {}", v("f"));
+    assert!((v("h") + 0.5).abs() < 1e-9, "CCVS: v(h) = {}", v("h"));
+    // Branch currents are exposed for E and H sources.
+    assert!((op.value("I(E1)").expect("E branch") + 2e-3).abs() < 1e-12);
+    // KCL at `h`: v(h)/RH + i_H = 0 with v(h) = -0.5 V -> i_H = +0.5 mA.
+    assert!((op.value("I(H1)").expect("H branch") - 0.5e-3).abs() < 1e-12);
+}
+
+#[test]
+fn controlled_sources_work_in_dc_sweep_and_transient() {
+    // An amplifier made of a VCVS (gain 3) buffering the divider midpoint.
+    let deck = parse_netlist(
+        ".title vcvs amplifier\n\
+         V1 in 0 DC 0\n\
+         R1 in mid 1k\n\
+         R2 mid 0 1k\n\
+         E1 out 0 mid 0 3\n\
+         RL out 0 1k\n\
+         CL out 0 1p\n",
+    )
+    .expect("deck parses");
+    let mut sim = Simulator::new(deck.circuit).expect("assembles");
+    let sweep = sim
+        .run(Analysis::dc_sweep("V1", 0.0, 2.0, 0.5))
+        .expect("sweep solves");
+    let out = sweep.column("out").expect("out column");
+    for (i, &v) in out.iter().enumerate() {
+        let vin = 0.5 * i as f64;
+        assert!(
+            (v - 1.5 * vin).abs() < 1e-9,
+            "vcvs sweep point {i}: {v} vs {}",
+            1.5 * vin
+        );
+    }
+    let tran = sim
+        .run(Analysis::transient(0.05e-9, 2e-9))
+        .expect("transient solves");
+    // DC drive at 0 V: output must settle at 0.
+    let last = *tran.column("out").unwrap().last().unwrap();
+    assert!(last.abs() < 1e-9, "transient settles at {last}");
+}
+
+#[test]
+fn sweeping_a_dependent_source_is_rejected() {
+    let deck = parse_netlist(
+        ".title bad sweep target\n\
+         V1 in 0 DC 1\n\
+         R1 in 0 1k\n\
+         E1 out 0 in 0 2\n\
+         RL out 0 1k\n",
+    )
+    .expect("deck parses");
+    let mut sim = Simulator::new(deck.circuit).expect("assembles");
+    let err = sim
+        .run(Analysis::dc_sweep("E1", 0.0, 1.0, 0.1))
+        .expect_err("dependent source cannot be swept");
+    let msg = err.to_string();
+    assert!(msg.contains("E1") && msg.contains("independent"), "{msg}");
+}
+
+#[test]
+fn instance_overrides_propagate_to_engines() {
+    // Two instances of the same divider cell with different R overrides
+    // produce different midpoints under the same excitation.
+    let deck = parse_netlist(
+        ".title param overrides\n\
+         .subckt div top mid rtop=1k rbot=1k\n\
+         Ra top mid {rtop}\n\
+         Rb mid 0 {rbot}\n\
+         .ends\n\
+         V1 a 0 DC 2\n\
+         X1 a m1 div\n\
+         X2 a m2 div rbot=3k\n\
+         .op\n",
+    )
+    .expect("deck parses");
+    let mut sim = Simulator::new(deck.circuit).expect("assembles");
+    let op = sim.run(Analysis::op()).expect("op solves");
+    assert!((op.value("m1").unwrap() - 1.0).abs() < 1e-9);
+    assert!((op.value("m2").unwrap() - 1.5).abs() < 1e-9);
+}
