@@ -1,0 +1,140 @@
+//! Fill-reducing-ordering benches: natural vs RCM vs AMD full-factor,
+//! values-only refactor, and solve time on the Table I `rtd_mesh_n` matrix
+//! family (N ∈ {10, 20, 40}), plus the resulting `nnz_lu` so the
+//! wall-clock numbers can be read against the fill they buy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanosim::prelude::*;
+use nanosim_numeric::sparse::{CsrMatrix, OrderingChoice, PivotStrategy, SparseLu, TripletMatrix};
+use std::hint::black_box;
+
+/// Assembles the DC SWEC matrix `G_lin + Geq(x)` of the Table I RTD mesh
+/// at a fixed bias-like state, as CSR.
+fn mesh_matrix(n: usize, bias: f64) -> CsrMatrix {
+    let ckt = nanosim::workloads::rtd_mesh_n(n);
+    let mna = MnaSystem::new(&ckt).expect("mesh assembles");
+    let mut flops = FlopCounter::new();
+    let mut g = TripletMatrix::new(mna.dim(), mna.dim());
+    mna.stamp_linear_g(&mut g);
+    for b in mna.nonlinear_bindings() {
+        let geq = b.device.equivalent_conductance(bias, &mut flops) + 1e-12;
+        MnaSystem::stamp_conductance(&mut g, b.var_plus, b.var_minus, geq);
+    }
+    g.to_csr()
+}
+
+const ORDERINGS: [OrderingChoice; 3] = [
+    OrderingChoice::Natural,
+    OrderingChoice::Rcm,
+    OrderingChoice::Amd,
+];
+
+fn bench_ordering(c: &mut Criterion) {
+    for n in [10usize, 20, 40] {
+        let group_name = format!("ordering_mesh{n}");
+        let mut group = c.benchmark_group(&group_name);
+        group.sample_size(if n >= 40 { 10 } else { 20 });
+        let a1 = mesh_matrix(n, 0.8);
+        let a2 = mesh_matrix(n, 1.1); // same pattern, step-updated values
+        let b: Vec<f64> = (0..a1.rows()).map(|i| (i as f64 * 0.37).sin()).collect();
+
+        // Fill summary first, so the timing numbers below have context.
+        let nnz_natural = SparseLu::factor_ordered(
+            &a1,
+            OrderingChoice::Natural,
+            PivotStrategy::default(),
+            &mut FlopCounter::new(),
+        )
+        .expect("factors")
+        .nnz();
+        println!("  mesh{n}: {} unknowns, nnz(A) = {}", a1.rows(), a1.nnz());
+        for ordering in ORDERINGS {
+            let lu = SparseLu::factor_ordered(
+                &a1,
+                ordering,
+                PivotStrategy::default(),
+                &mut FlopCounter::new(),
+            )
+            .expect("factors");
+            println!(
+                "  mesh{n} {:>7}: nnz_lu {:>6} (fill {:>5.2}x, {:+.1}% vs natural)",
+                lu.ordering_name(),
+                lu.nnz(),
+                lu.fill_ratio(),
+                100.0 * (lu.nnz() as f64 - nnz_natural as f64) / nnz_natural as f64
+            );
+        }
+
+        for ordering in ORDERINGS {
+            let tag = ordering.name();
+            group.bench_function(&format!("full_factor_{tag}"), |bch| {
+                bch.iter(|| {
+                    SparseLu::factor_ordered(
+                        black_box(&a1),
+                        ordering,
+                        PivotStrategy::default(),
+                        &mut FlopCounter::new(),
+                    )
+                    .expect("factors")
+                })
+            });
+            group.bench_function(&format!("refactor_{tag}"), |bch| {
+                let mut lu = SparseLu::factor_ordered(
+                    &a1,
+                    ordering,
+                    PivotStrategy::default(),
+                    &mut FlopCounter::new(),
+                )
+                .expect("factors");
+                let mut which = false;
+                bch.iter(|| {
+                    which = !which;
+                    let a = if which { &a2 } else { &a1 };
+                    lu.refactor(black_box(a), &mut FlopCounter::new())
+                        .expect("same pattern");
+                })
+            });
+            group.bench_function(&format!("solve_{tag}"), |bch| {
+                let lu = SparseLu::factor_ordered(
+                    &a1,
+                    ordering,
+                    PivotStrategy::default(),
+                    &mut FlopCounter::new(),
+                )
+                .expect("factors");
+                let mut x = Vec::new();
+                let mut work = Vec::new();
+                bch.iter(|| {
+                    lu.solve_into(black_box(&b), &mut x, &mut work, &mut FlopCounter::new())
+                        .expect("solves")
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_session_ordering(c: &mut Criterion) {
+    // Whole-session effect: a DC sweep on the 20×20 mesh under each
+    // ordering (one warm-up factor + per-point refactors, all cheaper
+    // under AMD).
+    let mut group = c.benchmark_group("session_ordering_mesh20");
+    group.sample_size(10);
+    for ordering in ORDERINGS {
+        group.bench_function(&format!("dc_sweep_{}", ordering.name()), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::with_options(
+                    nanosim::workloads::rtd_mesh_n(20),
+                    SimOptions { ordering },
+                )
+                .expect("assembles");
+                sim.run(Analysis::dc_sweep("V1", 0.0, 1.0, 0.1))
+                    .expect("sweep runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering, bench_session_ordering);
+criterion_main!(benches);

@@ -62,7 +62,7 @@ pub use mna::MnaSystem;
 pub use netlist::Circuit;
 pub use node::{NodeId, NodeMap};
 pub use parser::{parse_netlist, AnalysisDirective, ParsedDeck};
-pub use subckt::{CircuitBuilder, ParamValue, SubcktDef, SubcktLib};
+pub use subckt::{CircuitBuilder, ParamValue, SubcktDef, SubcktLib, WaveformTemplate};
 pub use writer::write_netlist;
 
 /// Convenience alias for fallible circuit operations.

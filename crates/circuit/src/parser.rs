@@ -58,7 +58,9 @@
 
 use crate::error::CircuitError;
 use crate::netlist::Circuit;
-use crate::subckt::{BodyElement, BodyKind, CircuitBuilder, ParamValue, SubcktDef, SubcktLib};
+use crate::subckt::{
+    BodyElement, BodyKind, CircuitBuilder, ParamValue, SubcktDef, SubcktLib, WaveformTemplate,
+};
 use crate::Result;
 use nanosim_devices::diode::{Diode, DiodeParams};
 use nanosim_devices::mosfet::{MosType, Mosfet, MosfetParams};
@@ -898,14 +900,16 @@ fn emit_top_level(builder: &mut CircuitBuilder, be: BodyElement, head: &Tok) -> 
                 .add_inductor(&name, nodes[0], nodes[1], v)?;
         }
         BodyKind::VoltageSource { waveform } => {
+            let wf = builder.resolve_waveform(&waveform, &name)?;
             builder
                 .circuit_mut()
-                .add_voltage_source(&name, nodes[0], nodes[1], waveform)?;
+                .add_voltage_source(&name, nodes[0], nodes[1], wf)?;
         }
         BodyKind::CurrentSource { waveform } => {
+            let wf = builder.resolve_waveform(&waveform, &name)?;
             builder
                 .circuit_mut()
-                .add_current_source(&name, nodes[0], nodes[1], waveform)?;
+                .add_current_source(&name, nodes[0], nodes[1], wf)?;
         }
         BodyKind::Vcvs { gain } => {
             let v = resolve(builder, &gain)?;
@@ -968,7 +972,13 @@ fn lookup<'m>(models: &'m HashMap<String, ModelCard>, tok: &Tok) -> Result<&'m M
         .ok_or_else(|| parse_err(tok.line, tok.col, &format!("unknown model `{}`", tok.text)))
 }
 
-fn parse_source(toks: &[Tok], head: &Tok) -> Result<SourceWaveform> {
+/// Parses a source spec into a [`WaveformTemplate`]: `DC`, `PULSE` and
+/// `SIN` value positions accept `{param}` references (resolved at
+/// instantiation / top-level emission); `PWL` and `NOISE` stay literal.
+/// All-literal templates collapse to a validated [`SourceWaveform`]
+/// immediately, so malformed literal waveforms still fail at parse time
+/// with line/column information.
+fn parse_source(toks: &[Tok], head: &Tok) -> Result<WaveformTemplate> {
     if toks.is_empty() {
         return Err(parse_err(
             head.line,
@@ -977,7 +987,7 @@ fn parse_source(toks: &[Tok], head: &Tok) -> Result<SourceWaveform> {
         ));
     }
     let spec = toks[0].upper();
-    let values = |from: usize, n: usize| -> Result<Vec<f64>> {
+    let pvalues = |from: usize, n: usize| -> Result<Vec<ParamValue>> {
         if toks.len() < from + n {
             return Err(parse_err(
                 toks[0].line,
@@ -985,24 +995,46 @@ fn parse_source(toks: &[Tok], head: &Tok) -> Result<SourceWaveform> {
                 &format!("waveform {spec} needs {n} parameters"),
             ));
         }
-        toks[from..from + n]
-            .iter()
-            .map(|t| parse_value(&t.text).ok_or_else(|| bad_value(t)))
-            .collect()
+        toks[from..from + n].iter().map(parse_pvalue).collect()
+    };
+    let all_literal = |vs: &[ParamValue]| vs.iter().all(|v| matches!(v, ParamValue::Lit(_)));
+    let lit = |v: &ParamValue| match v {
+        ParamValue::Lit(x) => *x,
+        ParamValue::Ref(_) => unreachable!("checked all_literal"),
     };
     let wf = match spec.as_str() {
-        "DC" => SourceWaveform::dc(values(1, 1)?[0]),
+        "DC" => {
+            let v = pvalues(1, 1)?.remove(0);
+            match v {
+                ParamValue::Lit(x) => WaveformTemplate::Literal(SourceWaveform::dc(x)),
+                r => WaveformTemplate::Dc { value: r },
+            }
+        }
         "PULSE" => {
-            let v = values(1, 7)?;
-            SourceWaveform::pulse(PulseParams {
-                v1: v[0],
-                v2: v[1],
-                delay: v[2],
-                rise: v[3],
-                fall: v[4],
-                width: v[5],
-                period: v[6],
-            })?
+            let v = pvalues(1, 7)?;
+            if all_literal(&v) {
+                WaveformTemplate::Literal(SourceWaveform::pulse(PulseParams {
+                    v1: lit(&v[0]),
+                    v2: lit(&v[1]),
+                    delay: lit(&v[2]),
+                    rise: lit(&v[3]),
+                    fall: lit(&v[4]),
+                    width: lit(&v[5]),
+                    period: lit(&v[6]),
+                })?)
+            } else {
+                let mut it = v.into_iter();
+                let mut next = || it.next().expect("seven parsed");
+                WaveformTemplate::Pulse {
+                    v1: next(),
+                    v2: next(),
+                    delay: next(),
+                    rise: next(),
+                    fall: next(),
+                    width: next(),
+                    period: next(),
+                }
+            }
         }
         "SIN" => {
             let n = (toks.len() - 1).min(5);
@@ -1013,14 +1045,29 @@ fn parse_source(toks: &[Tok], head: &Tok) -> Result<SourceWaveform> {
                     "SIN needs at least vo, va, freq",
                 ));
             }
-            let v = values(1, n)?;
-            SourceWaveform::sin(SinParams {
-                offset: v[0],
-                amplitude: v[1],
-                frequency: v[2],
-                delay: v.get(3).copied().unwrap_or(0.0),
-                theta: v.get(4).copied().unwrap_or(0.0),
-            })?
+            let mut v = pvalues(1, n)?;
+            while v.len() < 5 {
+                v.push(ParamValue::Lit(0.0));
+            }
+            if all_literal(&v) {
+                WaveformTemplate::Literal(SourceWaveform::sin(SinParams {
+                    offset: lit(&v[0]),
+                    amplitude: lit(&v[1]),
+                    frequency: lit(&v[2]),
+                    delay: lit(&v[3]),
+                    theta: lit(&v[4]),
+                })?)
+            } else {
+                let mut it = v.into_iter();
+                let mut next = || it.next().expect("five parsed");
+                WaveformTemplate::Sin {
+                    offset: next(),
+                    amplitude: next(),
+                    frequency: next(),
+                    delay: next(),
+                    theta: next(),
+                }
+            }
         }
         "PWL" => {
             let rest = &toks[1..];
@@ -1037,22 +1084,33 @@ fn parse_source(toks: &[Tok], head: &Tok) -> Result<SourceWaveform> {
                 let v = parse_value(&pair[1].text).ok_or_else(|| bad_value(&pair[1]))?;
                 pts.push((t, v));
             }
-            SourceWaveform::pwl(pts)?
+            WaveformTemplate::Literal(SourceWaveform::pwl(pts)?)
         }
         "NOISE" => {
-            let v = values(1, 2)?;
-            SourceWaveform::white_noise(v[0], v[1])?
-        }
-        _ => {
-            // Bare numeric value = DC.
-            let v = parse_value(&toks[0].text).ok_or_else(|| {
-                parse_err(
+            if toks.len() < 3 {
+                return Err(parse_err(
                     toks[0].line,
                     toks[0].col,
-                    &format!("bad source spec `{}`", toks[0].text),
-                )
-            })?;
-            SourceWaveform::dc(v)
+                    "waveform NOISE needs 2 parameters",
+                ));
+            }
+            let mean = parse_value(&toks[1].text).ok_or_else(|| bad_value(&toks[1]))?;
+            let sigma = parse_value(&toks[2].text).ok_or_else(|| bad_value(&toks[2]))?;
+            WaveformTemplate::Literal(SourceWaveform::white_noise(mean, sigma)?)
+        }
+        _ => {
+            // Bare value = DC; a bare `{param}` reference works too.
+            match parse_pvalue(&toks[0]) {
+                Ok(ParamValue::Lit(v)) => WaveformTemplate::Literal(SourceWaveform::dc(v)),
+                Ok(r @ ParamValue::Ref(_)) => WaveformTemplate::Dc { value: r },
+                Err(_) => {
+                    return Err(parse_err(
+                        toks[0].line,
+                        toks[0].col,
+                        &format!("bad source spec `{}`", toks[0].text),
+                    ))
+                }
+            }
         }
     };
     Ok(wf)
@@ -1408,6 +1466,89 @@ mod tests {
     #[test]
     fn pwl_needs_pairs() {
         assert!(parse_netlist("V1 a 0 PWL(0 0 1n)\nR1 a 0 1\n").is_err());
+    }
+
+    #[test]
+    fn pulse_params_resolve_per_instance() {
+        // One clock-driver subckt serves two timing corners: {per} and
+        // {vhi} inside PULSE(..) resolve against each instance's scope.
+        let deck = "\
+            .subckt clkdrv out per=100n vhi=5\n\
+            Vck out 0 PULSE(0 {vhi} 0 1n 1n 4n {per})\n\
+            .ends\n\
+            X1 a clkdrv\n\
+            X2 b clkdrv per=10n vhi=2\n\
+            R1 a 0 1k\n\
+            R2 b 0 1k\n\
+            .end\n";
+        let parsed = parse_netlist(deck).unwrap();
+        let wf = |name: &str| match parsed.circuit.element(name).unwrap().kind() {
+            ElementKind::VoltageSource { waveform } => waveform.clone(),
+            other => panic!("wrong kind {other:?}"),
+        };
+        let w1 = wf("Vck.X1");
+        let w2 = wf("Vck.X2");
+        // Default corner: 5 V plateau inside the first 100 ns period.
+        assert_eq!(w1.value(3e-9), 5.0);
+        assert_eq!(w1.value(50e-9), 0.0);
+        // Overridden corner: 2 V plateau, 10 ns period (high again at 13 ns).
+        assert_eq!(w2.value(3e-9), 2.0);
+        assert_eq!(w2.value(13e-9), 2.0);
+    }
+
+    #[test]
+    fn sin_params_resolve_against_globals() {
+        // {f} in a SIN position of a *top-level* source resolves against
+        // `.param` globals.
+        let deck = "\
+            .param f=1meg amp=2\n\
+            V1 a 0 SIN(0 {amp} {f})\n\
+            R1 a 0 1k\n\
+            .end\n";
+        let parsed = parse_netlist(deck).unwrap();
+        match parsed.circuit.element("V1").unwrap().kind() {
+            ElementKind::VoltageSource { waveform } => {
+                // Quarter period of 1 MHz = 250 ns: sin peaks at `amp`.
+                assert!((waveform.value(250e-9) - 2.0).abs() < 1e-9);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_waveform_param_rejected() {
+        let deck = "\
+            .subckt d out\n\
+            Vck out 0 PULSE(0 {ghost} 0 1n 1n 4n 10n)\n\
+            .ends\n\
+            X1 a d\n\
+            R1 a 0 1k\n\
+            .end\n";
+        assert!(matches!(
+            parse_netlist(deck),
+            Err(CircuitError::UnknownParam { .. })
+        ));
+    }
+
+    #[test]
+    fn resolved_waveform_still_validated() {
+        // Parameterized PULSE whose resolved values are inconsistent
+        // (period shorter than rise+width+fall) fails at instantiation.
+        let deck = "\
+            .subckt d out per=100n\n\
+            Vck out 0 PULSE(0 5 0 1n 1n 40n {per})\n\
+            .ends\n\
+            X1 a d per=10n\n\
+            R1 a 0 1k\n\
+            .end\n";
+        assert!(matches!(parse_netlist(deck), Err(CircuitError::Device(_))));
+    }
+
+    #[test]
+    fn literal_waveforms_still_fail_at_parse_time() {
+        // All-literal PULSE specs collapse (and validate) during parsing.
+        let err = parse_netlist("V1 a 0 PULSE(0 5 0 1n 1n 40n 10n)\nR1 a 0 1\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Device(_)), "{err}");
     }
 
     #[test]

@@ -51,7 +51,7 @@ use nanosim_devices::mosfet::Mosfet;
 use nanosim_devices::nanowire::Nanowire;
 use nanosim_devices::rtd::Rtd;
 use nanosim_devices::rtt::Rtt;
-use nanosim_devices::sources::SourceWaveform;
+use nanosim_devices::sources::{PulseParams, SinParams, SourceWaveform};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -119,6 +119,179 @@ fn resolve(
     }
 }
 
+/// An independent-source waveform template: a literal [`SourceWaveform`],
+/// or a `PULSE(..)`/`SIN(..)`/DC spec whose value positions may reference
+/// parameters (`{name}` in netlist text), resolved per instantiation.
+///
+/// One clock-driver subckt can therefore serve every timing corner:
+///
+/// ```
+/// use nanosim_circuit::{Circuit, SubcktDef, WaveformTemplate};
+///
+/// # fn main() -> Result<(), nanosim_circuit::CircuitError> {
+/// let mut drv = SubcktDef::new("clkdrv", ["clk"]);
+/// drv.param("period", 100e-9).param("vhi", 5.0);
+/// drv.voltage_source(
+///     "Vck",
+///     "clk",
+///     "0",
+///     WaveformTemplate::pulse(0.0, "{vhi}", 0.0, 1e-9, 1e-9, 4e-9, "{period}"),
+/// );
+/// let mut ckt = Circuit::new();
+/// let clk = ckt.node("clk");
+/// ckt.instantiate("X1", &drv, &[clk], &[("period", 10e-9)])?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub enum WaveformTemplate {
+    /// A fully literal waveform (validated at construction; DC, PWL and
+    /// NOISE specs are always literal).
+    Literal(SourceWaveform),
+    /// `DC value` with a resolvable value.
+    Dc {
+        /// The DC level.
+        value: ParamValue,
+    },
+    /// `PULSE(v1 v2 td tr tf pw per)` with resolvable positions.
+    Pulse {
+        /// Initial value (V/A).
+        v1: ParamValue,
+        /// Pulsed value (V/A).
+        v2: ParamValue,
+        /// Delay before the first edge (s).
+        delay: ParamValue,
+        /// Rise time (s).
+        rise: ParamValue,
+        /// Fall time (s).
+        fall: ParamValue,
+        /// Pulse width (s).
+        width: ParamValue,
+        /// Period (s).
+        period: ParamValue,
+    },
+    /// `SIN(vo va freq td theta)` with resolvable positions.
+    Sin {
+        /// Offset (V/A).
+        offset: ParamValue,
+        /// Amplitude (V/A).
+        amplitude: ParamValue,
+        /// Frequency (Hz).
+        frequency: ParamValue,
+        /// Delay (s).
+        delay: ParamValue,
+        /// Damping factor (1/s).
+        theta: ParamValue,
+    },
+}
+
+impl From<SourceWaveform> for WaveformTemplate {
+    fn from(wf: SourceWaveform) -> Self {
+        WaveformTemplate::Literal(wf)
+    }
+}
+
+impl WaveformTemplate {
+    /// A DC template (use a `"{name}"` argument for a parameter
+    /// reference).
+    pub fn dc(value: impl Into<ParamValue>) -> Self {
+        WaveformTemplate::Dc {
+            value: value.into(),
+        }
+    }
+
+    /// A PULSE template; every position accepts a literal or a `"{name}"`
+    /// reference.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pulse(
+        v1: impl Into<ParamValue>,
+        v2: impl Into<ParamValue>,
+        delay: impl Into<ParamValue>,
+        rise: impl Into<ParamValue>,
+        fall: impl Into<ParamValue>,
+        width: impl Into<ParamValue>,
+        period: impl Into<ParamValue>,
+    ) -> Self {
+        WaveformTemplate::Pulse {
+            v1: v1.into(),
+            v2: v2.into(),
+            delay: delay.into(),
+            rise: rise.into(),
+            fall: fall.into(),
+            width: width.into(),
+            period: period.into(),
+        }
+    }
+
+    /// A SIN template; every position accepts a literal or a `"{name}"`
+    /// reference.
+    pub fn sin(
+        offset: impl Into<ParamValue>,
+        amplitude: impl Into<ParamValue>,
+        frequency: impl Into<ParamValue>,
+        delay: impl Into<ParamValue>,
+        theta: impl Into<ParamValue>,
+    ) -> Self {
+        WaveformTemplate::Sin {
+            offset: offset.into(),
+            amplitude: amplitude.into(),
+            frequency: frequency.into(),
+            delay: delay.into(),
+            theta: theta.into(),
+        }
+    }
+
+    /// Whether the template carries no parameter references.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, WaveformTemplate::Literal(_))
+    }
+
+    /// Resolves every parameter reference and validates the resulting
+    /// waveform.
+    pub(crate) fn resolve(
+        &self,
+        local: &HashMap<String, f64>,
+        global: &HashMap<String, f64>,
+        context: &str,
+    ) -> Result<SourceWaveform> {
+        let r = |pv: &ParamValue| resolve(pv, local, global, context);
+        match self {
+            WaveformTemplate::Literal(wf) => Ok(wf.clone()),
+            WaveformTemplate::Dc { value } => Ok(SourceWaveform::dc(r(value)?)),
+            WaveformTemplate::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => Ok(SourceWaveform::pulse(PulseParams {
+                v1: r(v1)?,
+                v2: r(v2)?,
+                delay: r(delay)?,
+                rise: r(rise)?,
+                fall: r(fall)?,
+                width: r(width)?,
+                period: r(period)?,
+            })?),
+            WaveformTemplate::Sin {
+                offset,
+                amplitude,
+                frequency,
+                delay,
+                theta,
+            } => Ok(SourceWaveform::sin(SinParams {
+                offset: r(offset)?,
+                amplitude: r(amplitude)?,
+                frequency: r(frequency)?,
+                delay: r(delay)?,
+                theta: r(theta)?,
+            })?),
+        }
+    }
+}
+
 /// One element template inside a subcircuit body.
 #[derive(Debug, Clone)]
 pub(crate) struct BodyElement {
@@ -142,10 +315,10 @@ pub(crate) enum BodyKind {
         henries: ParamValue,
     },
     VoltageSource {
-        waveform: SourceWaveform,
+        waveform: WaveformTemplate,
     },
     CurrentSource {
-        waveform: SourceWaveform,
+        waveform: WaveformTemplate,
     },
     Vcvs {
         gain: ParamValue,
@@ -302,26 +475,41 @@ impl SubcktDef {
         )
     }
 
-    /// Adds an independent voltage source template.
+    /// Adds an independent voltage source template. Accepts a literal
+    /// [`SourceWaveform`] or a [`WaveformTemplate`] whose `PULSE`/`SIN`/DC
+    /// positions reference parameters.
     pub fn voltage_source(
         &mut self,
         name: &str,
         n1: &str,
         n2: &str,
-        waveform: SourceWaveform,
+        waveform: impl Into<WaveformTemplate>,
     ) -> &mut Self {
-        self.push(name, &[n1, n2], BodyKind::VoltageSource { waveform })
+        self.push(
+            name,
+            &[n1, n2],
+            BodyKind::VoltageSource {
+                waveform: waveform.into(),
+            },
+        )
     }
 
-    /// Adds an independent current source template.
+    /// Adds an independent current source template (waveform semantics as
+    /// in [`SubcktDef::voltage_source`]).
     pub fn current_source(
         &mut self,
         name: &str,
         n1: &str,
         n2: &str,
-        waveform: SourceWaveform,
+        waveform: impl Into<WaveformTemplate>,
     ) -> &mut Self {
-        self.push(name, &[n1, n2], BodyKind::CurrentSource { waveform })
+        self.push(
+            name,
+            &[n1, n2],
+            BodyKind::CurrentSource {
+                waveform: waveform.into(),
+            },
+        )
     }
 
     /// Adds a VCVS template (see [`Circuit::add_vcvs`]).
@@ -602,12 +790,14 @@ fn flatten_into(
             BodyKind::VoltageSource { waveform } => {
                 let n1 = node_of(circuit, &be.nodes[0]);
                 let n2 = node_of(circuit, &be.nodes[1]);
-                circuit.add_voltage_source(&name, n1, n2, waveform.clone())?;
+                let wf = waveform.resolve(local, global, ctx)?;
+                circuit.add_voltage_source(&name, n1, n2, wf)?;
             }
             BodyKind::CurrentSource { waveform } => {
                 let n1 = node_of(circuit, &be.nodes[0]);
                 let n2 = node_of(circuit, &be.nodes[1]);
-                circuit.add_current_source(&name, n1, n2, waveform.clone())?;
+                let wf = waveform.resolve(local, global, ctx)?;
+                circuit.add_current_source(&name, n1, n2, wf)?;
             }
             BodyKind::Vcvs { gain } => {
                 let n1 = node_of(circuit, &be.nodes[0]);
@@ -837,6 +1027,20 @@ impl CircuitBuilder {
     /// [`CircuitError::UnknownParam`] for unresolved references.
     pub fn resolve_value(&self, value: &ParamValue, context: &str) -> Result<f64> {
         resolve(value, &HashMap::new(), &self.params, context)
+    }
+
+    /// Resolves a [`WaveformTemplate`] against the global scope (top-level
+    /// `V`/`I` lines with `{param}` waveform positions).
+    ///
+    /// # Errors
+    /// [`CircuitError::UnknownParam`] for unresolved references; waveform
+    /// validation failures for resolved-but-invalid parameter sets.
+    pub fn resolve_waveform(
+        &self,
+        waveform: &WaveformTemplate,
+        context: &str,
+    ) -> Result<SourceWaveform> {
+        waveform.resolve(&HashMap::new(), &self.params, context)
     }
 
     /// Adds a subcircuit definition to the library.
@@ -1138,6 +1342,74 @@ mod tests {
         ckt.instantiate("X1", &d, &[n], &[]).unwrap();
         let e = ckt.element("R1.X1").unwrap();
         assert!(e.node_minus().is_ground());
+    }
+
+    #[test]
+    fn waveform_template_resolves_per_instance() {
+        let mut d = SubcktDef::new("drv", ["out"]);
+        d.param("vhi", 5.0).param("per", 100e-9).voltage_source(
+            "Vp",
+            "out",
+            "0",
+            WaveformTemplate::pulse(0.0, "{vhi}", 0.0, 1e-9, 1e-9, 4e-9, "{per}"),
+        );
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_resistor("Ra", a, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_resistor("Rb", b, Circuit::GROUND, 1e3).unwrap();
+        ckt.instantiate("X1", &d, &[a], &[]).unwrap();
+        ckt.instantiate("X2", &d, &[b], &[("vhi", 2.0), ("per", 10e-9)])
+            .unwrap();
+        let wf = |name: &str| match ckt.element(name).unwrap().kind() {
+            ElementKind::VoltageSource { waveform } => waveform.clone(),
+            _ => panic!("wrong kind"),
+        };
+        assert_eq!(wf("Vp.X1").value(2e-9), 5.0);
+        assert_eq!(wf("Vp.X2").value(2e-9), 2.0);
+        // Period override: X2 is high again one (short) period later.
+        assert_eq!(wf("Vp.X2").value(12e-9), 2.0);
+        assert_eq!(wf("Vp.X1").value(12e-9), 0.0);
+    }
+
+    #[test]
+    fn waveform_template_sin_and_dc_resolve() {
+        let mut d = SubcktDef::new("src", ["p"]);
+        d.param("f", 1e6)
+            .param("lvl", 0.5)
+            .voltage_source(
+                "Vs",
+                "p",
+                "internal",
+                WaveformTemplate::sin(0.0, 1.0, "{f}", 0.0, 0.0),
+            )
+            .current_source("Is", "internal", "0", WaveformTemplate::dc("{lvl}"));
+        let mut ckt = Circuit::new();
+        let p = ckt.node("p");
+        ckt.instantiate("X1", &d, &[p], &[("f", 2e6)]).unwrap();
+        match ckt.element("Vs.X1").unwrap().kind() {
+            ElementKind::VoltageSource { waveform } => {
+                // Quarter period of 2 MHz = 125 ns.
+                assert!((waveform.value(125e-9) - 1.0).abs() < 1e-9);
+            }
+            _ => panic!("wrong kind"),
+        }
+        match ckt.element("Is.X1").unwrap().kind() {
+            ElementKind::CurrentSource { waveform } => assert_eq!(waveform.value(0.0), 0.5),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn waveform_template_unknown_ref_rejected() {
+        let mut d = SubcktDef::new("bad", ["p"]);
+        d.voltage_source("V1", "p", "0", WaveformTemplate::dc("{missing}"));
+        let mut ckt = Circuit::new();
+        let p = ckt.node("p");
+        assert!(matches!(
+            ckt.instantiate("X1", &d, &[p], &[]),
+            Err(CircuitError::UnknownParam { .. })
+        ));
     }
 
     #[test]

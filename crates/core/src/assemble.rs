@@ -10,8 +10,8 @@
 
 use crate::Result;
 use nanosim_circuit::{Circuit, MnaSystem};
-use nanosim_numeric::solve::{LinearSolver, SparseLuSolver};
-use nanosim_numeric::sparse::{CsrMatrix, TripletMatrix};
+use nanosim_numeric::solve::{LinearSolver, LuStats, SparseLuSolver};
+use nanosim_numeric::sparse::{CsrMatrix, OrderingChoice, TripletMatrix};
 use nanosim_numeric::FlopCounter;
 
 /// Pre-stamped circuit matrices: the linear part of `G`, the full `C`, and
@@ -113,8 +113,17 @@ impl AssemblyWorkspace {
     /// Builds the workspace for a circuit. `with_mos_gm` reserves slots for
     /// the Newton transconductance stamps (NR/MLA engines); `with_c` merges
     /// the C pattern into the matrix so `G + C/h` systems assemble in place
-    /// (transient engines).
-    pub fn new(mats: &CircuitMatrices, with_mos_gm: bool, with_c: bool) -> Self {
+    /// (transient engines); `ordering` selects the fill-reducing ordering
+    /// the embedded sparse solver applies inside its cached symbolic
+    /// analysis (the scatter maps below are in original numbering either
+    /// way — the solver permutes on scatter-in/solve-out, so per-step
+    /// assembly stays zero-alloc and ordering-agnostic).
+    pub fn new(
+        mats: &CircuitMatrices,
+        with_mos_gm: bool,
+        with_c: bool,
+        ordering: OrderingChoice,
+    ) -> Self {
         let mna = &mats.mna;
         let dim = mna.dim();
         let mut trip: Vec<(usize, usize, f64)> = mats.g_lin.iter().cloned().collect();
@@ -209,7 +218,7 @@ impl AssemblyWorkspace {
             c_sites,
             nl_sites,
             mos_sites,
-            solver: SparseLuSolver::new(),
+            solver: SparseLuSolver::with_ordering(ordering),
         }
     }
 
@@ -342,9 +351,19 @@ impl AssemblyWorkspace {
         self.solver.solve_into(&self.a, rhs, x, flops)
     }
 
-    /// `(full factorizations, pattern-reusing refactorizations)` performed.
-    pub fn factor_counts(&self) -> (u64, u64) {
-        self.solver.factor_counts()
+    /// Cumulative sparse-LU telemetry of the embedded solver: factor /
+    /// refactor counts, the flop split between them, and the fill of the
+    /// cached analysis. Engines delta-account this into
+    /// [`crate::report::EngineStats`] via
+    /// [`crate::report::EngineStats::absorb_lu`].
+    pub fn lu_stats(&self) -> LuStats {
+        self.solver.lu_stats()
+    }
+
+    /// Name of the fill ordering the solver applies ("natural", "rcm",
+    /// "amd"; the configured tag while cold).
+    pub fn ordering_name(&self) -> &'static str {
+        self.solver.ordering_name()
     }
 }
 

@@ -561,7 +561,12 @@ impl PathState {
     fn new(mats: &CircuitMatrices) -> Self {
         let dim = mats.mna.dim();
         PathState {
-            ws: AssemblyWorkspace::new(mats, false, false),
+            ws: AssemblyWorkspace::new(
+                mats,
+                false,
+                false,
+                nanosim_numeric::sparse::OrderingChoice::default(),
+            ),
             x: vec![0.0; dim],
             rhs: vec![0.0; dim],
             gx: vec![0.0; dim],

@@ -72,8 +72,9 @@ pub mod swec;
 pub mod waveform;
 
 pub use error::SimError;
+pub use nanosim_numeric::sparse::OrderingChoice;
 pub use report::EngineStats;
-pub use sim::{Analysis, AnalysisKind, Dataset, ExecPlan, Simulator};
+pub use sim::{Analysis, AnalysisKind, Dataset, ExecPlan, SimOptions, Simulator};
 pub use waveform::{DcSweepResult, TransientResult, Waveform};
 
 /// Convenience alias for fallible simulation results.

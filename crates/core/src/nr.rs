@@ -19,6 +19,8 @@ use crate::report::EngineStats;
 use crate::waveform::{DcSweepResult, TransientResult};
 use crate::{Result, SimError};
 use nanosim_circuit::{Circuit, MnaSystem};
+use nanosim_numeric::solve::LuStats;
+use nanosim_numeric::sparse::OrderingChoice;
 use nanosim_numeric::{FlopCounter, NumericError};
 use std::time::Instant;
 
@@ -189,7 +191,7 @@ impl NrEngine {
         let mats = CircuitMatrices::new(circuit)?;
         require_sweepable_source(&mats.mna, source)?;
         let mut stats = EngineStats::new();
-        let mut ws = AssemblyWorkspace::new(&mats, true, true);
+        let mut ws = AssemblyWorkspace::new(&mats, true, true, OrderingChoice::default());
         let n_points = (((stop - start) / step).round() as i64 + 1).max(1) as usize;
 
         let var_names = mna_var_names(&mats.mna);
@@ -274,9 +276,7 @@ impl NrEngine {
             stats.flops += flops;
             stats.steps += 1;
         }
-        let (ff, rf) = ws.factor_counts();
-        stats.full_factors += ff;
-        stats.refactors += rf;
+        stats.absorb_lu(&LuStats::default(), &ws.lu_stats());
         stats.elapsed = t0.elapsed();
         Ok(NrSweepResult {
             sweep: DcSweepResult::new(sweep, names, columns, stats),
@@ -306,7 +306,7 @@ impl NrEngine {
         let mna = &mats.mna;
         let dim = mna.dim();
         let mut stats = EngineStats::new();
-        let mut ws = AssemblyWorkspace::new(&mats, true, true);
+        let mut ws = AssemblyWorkspace::new(&mats, true, true, OrderingChoice::default());
 
         // DC operating point at t = 0 (with source stepping as fallback).
         let (mut x, op_outcome) =
@@ -367,9 +367,7 @@ impl NrEngine {
                 c.push(x[i]);
             }
         }
-        let (ff, rf) = ws.factor_counts();
-        stats.full_factors += ff;
-        stats.refactors += rf;
+        stats.absorb_lu(&LuStats::default(), &ws.lu_stats());
         stats.elapsed = t0.elapsed();
         Ok(NrTransientResult {
             result: TransientResult::new(times, names, columns, stats),
@@ -390,7 +388,7 @@ impl NrEngine {
         source_scale: Option<f64>,
         stats: &mut EngineStats,
     ) -> Result<(Vec<f64>, NrOutcome)> {
-        let mut ws = AssemblyWorkspace::new(mats, true, true);
+        let mut ws = AssemblyWorkspace::new(mats, true, true, OrderingChoice::default());
         self.solve_dc_ws(mats, &mut ws, override_src, x0, source_scale, stats)
     }
 

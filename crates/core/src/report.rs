@@ -1,5 +1,6 @@
 //! Engine statistics — the accounting behind the paper's Table I.
 
+use nanosim_numeric::solve::LuStats;
 use nanosim_numeric::FlopCounter;
 use std::fmt;
 use std::time::Duration;
@@ -19,10 +20,23 @@ pub struct EngineStats {
     pub iterations: u64,
     /// Sparse/dense LU factorizations + solves performed.
     pub linear_solves: u64,
-    /// Full (symbolic + numeric) sparse LU factorizations.
+    /// Full (ordering + symbolic + numeric) sparse LU factorizations.
     pub full_factors: u64,
     /// Values-only refactorizations that reused a cached symbolic analysis.
     pub refactors: u64,
+    /// Floating point operations spent in full factorizations (a subset of
+    /// `flops`).
+    pub factor_flops: u64,
+    /// Floating point operations spent in refactorizations (a subset of
+    /// `flops`).
+    pub refactor_flops: u64,
+    /// Stored nonzeros of `L + U` in the run's sparse-LU analysis (the
+    /// largest seen when several analyses were involved; 0 when the run
+    /// never factored).
+    pub nnz_lu: u64,
+    /// Fill ratio `nnz(L + U) / nnz(A)` of that analysis (1.0 = no
+    /// fill-in; 0 when the run never factored).
+    pub fill_ratio: f64,
     /// Nonlinear device model evaluations.
     pub device_evals: u64,
     /// Floating point operations (solves + model evaluations).
@@ -54,9 +68,38 @@ impl EngineStats {
         self.linear_solves += other.linear_solves;
         self.full_factors += other.full_factors;
         self.refactors += other.refactors;
+        self.factor_flops += other.factor_flops;
+        self.refactor_flops += other.refactor_flops;
+        // Fill diagnostics describe an analysis, not a quantity of work:
+        // adopt the largest analysis seen, keeping its (nnz_lu, fill_ratio)
+        // pair coherent (never mixing one analysis's nnz with another's
+        // ratio).
+        if other.nnz_lu > self.nnz_lu
+            || (other.nnz_lu == self.nnz_lu && other.fill_ratio > self.fill_ratio)
+        {
+            self.nnz_lu = other.nnz_lu;
+            self.fill_ratio = other.fill_ratio;
+        }
         self.device_evals += other.device_evals;
         self.flops += other.flops;
         self.elapsed += other.elapsed;
+    }
+
+    /// Delta-accounts a solver's cumulative [`LuStats`] into this run:
+    /// counts and flop splits accumulate as `after - before` (workspaces
+    /// are cached across analyses, so absolute counts would double-bill),
+    /// while the fill diagnostics adopt the solver's current analysis.
+    pub fn absorb_lu(&mut self, before: &LuStats, after: &LuStats) {
+        self.full_factors += after.full_factors - before.full_factors;
+        self.refactors += after.refactors - before.refactors;
+        self.factor_flops += after.factor_flops - before.factor_flops;
+        self.refactor_flops += after.refactor_flops - before.refactor_flops;
+        if after.nnz_lu > self.nnz_lu
+            || (after.nnz_lu == self.nnz_lu && after.fill_ratio() > self.fill_ratio)
+        {
+            self.nnz_lu = after.nnz_lu;
+            self.fill_ratio = after.fill_ratio();
+        }
     }
 }
 
@@ -65,13 +108,15 @@ impl fmt::Display for EngineStats {
         write!(
             f,
             "{} steps ({} rejected), {} iterations, {} solves ({} factor / {} refactor), \
-             {} device evals, {}, {:.3} ms",
+             lu nnz {} (fill {:.2}x), {} device evals, {}, {:.3} ms",
             self.steps,
             self.rejected_steps,
             self.iterations,
             self.linear_solves,
             self.full_factors,
             self.refactors,
+            self.nnz_lu,
+            self.fill_ratio,
             self.device_evals,
             self.flops,
             self.elapsed.as_secs_f64() * 1e3
@@ -115,6 +160,52 @@ mod tests {
         s.steps = 4;
         s.iterations = 10;
         assert!((s.iterations_per_step() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_lu_is_delta_based() {
+        let mut s = EngineStats::new();
+        let before = LuStats {
+            full_factors: 2,
+            refactors: 10,
+            factor_flops: 100,
+            refactor_flops: 50,
+            nnz_lu: 40,
+            nnz_a: 20,
+        };
+        let after = LuStats {
+            full_factors: 3,
+            refactors: 25,
+            factor_flops: 180,
+            refactor_flops: 90,
+            nnz_lu: 40,
+            nnz_a: 20,
+        };
+        s.absorb_lu(&before, &after);
+        assert_eq!(s.full_factors, 1);
+        assert_eq!(s.refactors, 15);
+        assert_eq!(s.factor_flops, 80);
+        assert_eq!(s.refactor_flops, 40);
+        assert_eq!(s.nnz_lu, 40);
+        assert!((s.fill_ratio - 2.0).abs() < 1e-12);
+        // Merging keeps the largest analysis's coherent (nnz, fill) pair —
+        // never the small analysis's higher ratio paired with the large
+        // analysis's nnz — and sums the work.
+        let mut other = EngineStats::new();
+        other.nnz_lu = 10;
+        other.fill_ratio = 3.0;
+        other.refactor_flops = 1;
+        s.merge(&other);
+        assert_eq!(s.nnz_lu, 40);
+        assert!((s.fill_ratio - 2.0).abs() < 1e-12);
+        assert_eq!(s.refactor_flops, 41);
+        // A larger analysis replaces the pair wholesale.
+        let mut bigger = EngineStats::new();
+        bigger.nnz_lu = 100;
+        bigger.fill_ratio = 1.5;
+        s.merge(&bigger);
+        assert_eq!(s.nnz_lu, 100);
+        assert!((s.fill_ratio - 1.5).abs() < 1e-12);
     }
 
     #[test]

@@ -18,6 +18,8 @@ use crate::swec::{DcMode, SwecDcSweep, SwecTransient};
 use crate::{Result, SimError};
 use nanosim_circuit::Circuit;
 use nanosim_numeric::parallel::try_par_map;
+use nanosim_numeric::solve::LuStats;
+use nanosim_numeric::sparse::OrderingChoice;
 use nanosim_numeric::FlopCounter;
 use std::time::Instant;
 
@@ -30,6 +32,23 @@ pub const SWEEP_CHUNK: usize = 16;
 /// Non-iterative warm-up solves a shard performs to approach its first
 /// point from the sweep's start value (the per-shard continuation ramp).
 const WARM_START_RAMP: usize = 8;
+
+/// Session-wide options applying to every analysis run through one
+/// [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimOptions {
+    /// Fill-reducing ordering for the session's sparse-LU pipeline. The
+    /// default [`OrderingChoice::Auto`] picks AMD for systems of at least
+    /// [`OrderingChoice::AUTO_AMD_THRESHOLD`] unknowns and the natural
+    /// order below; [`OrderingChoice::Natural`] reproduces the
+    /// pre-ordering pipeline bit-for-bit. The choice is applied inside the
+    /// cached symbolic analyses of the session workspaces, so `swec` DC
+    /// sweeps, transients and every analysis sharing those workspaces
+    /// inherit it — `Dataset` results stay in original MNA numbering
+    /// whatever the ordering, and [`crate::EngineStats`] reports the
+    /// resulting `nnz_lu` / `fill_ratio`.
+    pub ordering: OrderingChoice,
+}
 
 /// A simulation session bound to one circuit.
 ///
@@ -70,6 +89,7 @@ const WARM_START_RAMP: usize = 8;
 pub struct Simulator {
     circuit: Circuit,
     mats: CircuitMatrices,
+    opts: SimOptions,
     /// Cached no-C assembly workspace (operating points, DC sweeps).
     dc_ws: Option<AssemblyWorkspace>,
     /// Cached with-C assembly workspace (transients).
@@ -77,15 +97,26 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Opens a session on `circuit`, assembling its MNA structure once.
+    /// Opens a session on `circuit` with default [`SimOptions`],
+    /// assembling its MNA structure once.
     ///
     /// # Errors
     /// Propagates circuit validation / MNA construction failures.
     pub fn new(circuit: Circuit) -> Result<Simulator> {
+        Self::with_options(circuit, SimOptions::default())
+    }
+
+    /// Opens a session with explicit [`SimOptions`] (e.g. a pinned
+    /// [`OrderingChoice`]).
+    ///
+    /// # Errors
+    /// Propagates circuit validation / MNA construction failures.
+    pub fn with_options(circuit: Circuit, opts: SimOptions) -> Result<Simulator> {
         let mats = CircuitMatrices::new(&circuit)?;
         Ok(Simulator {
             circuit,
             mats,
+            opts,
             dc_ws: None,
             tran_ws: None,
         })
@@ -94,6 +125,23 @@ impl Simulator {
     /// The session's circuit.
     pub fn circuit(&self) -> &Circuit {
         &self.circuit
+    }
+
+    /// The session options.
+    pub fn options(&self) -> &SimOptions {
+        &self.opts
+    }
+
+    /// Name of the fill ordering the session's solver applies ("natural",
+    /// "rcm", "amd"). Before the first analysis warms a workspace this is
+    /// the configured choice's tag (`Auto` reports "auto" until resolved
+    /// against the system size).
+    pub fn ordering_name(&self) -> &'static str {
+        self.dc_ws
+            .as_ref()
+            .or(self.tran_ws.as_ref())
+            .map(|ws| ws.ordering_name())
+            .unwrap_or_else(|| self.opts.ordering.name())
     }
 
     /// Names of all MNA variables in solution order (node voltages, then
@@ -123,16 +171,19 @@ impl Simulator {
     fn run_op(&mut self, op: Op) -> Result<Dataset> {
         let t0 = Instant::now();
         if self.dc_ws.is_none() {
-            self.dc_ws = Some(AssemblyWorkspace::new(&self.mats, false, false));
+            self.dc_ws = Some(AssemblyWorkspace::new(
+                &self.mats,
+                false,
+                false,
+                self.opts.ordering,
+            ));
         }
         let ws = self.dc_ws.as_mut().expect("created above");
-        let (ff0, rf0) = ws.factor_counts();
+        let lu0 = ws.lu_stats();
         let engine = SwecDcSweep::new(op.options);
         let mut stats = EngineStats::new();
         let values = engine.solve_op_ws(&self.mats, ws, &mut stats)?;
-        let (ff, rf) = ws.factor_counts();
-        stats.full_factors += ff - ff0;
-        stats.refactors += rf - rf0;
+        stats.absorb_lu(&lu0, &ws.lu_stats());
         stats.steps += 1;
         stats.elapsed = t0.elapsed();
         let names = mna_var_names(&self.mats.mna);
@@ -141,10 +192,20 @@ impl Simulator {
 
     fn run_transient(&mut self, tran: Transient) -> Result<Dataset> {
         if self.tran_ws.is_none() {
-            self.tran_ws = Some(AssemblyWorkspace::new(&self.mats, false, true));
+            self.tran_ws = Some(AssemblyWorkspace::new(
+                &self.mats,
+                false,
+                true,
+                self.opts.ordering,
+            ));
         }
         if self.dc_ws.is_none() {
-            self.dc_ws = Some(AssemblyWorkspace::new(&self.mats, false, false));
+            self.dc_ws = Some(AssemblyWorkspace::new(
+                &self.mats,
+                false,
+                false,
+                self.opts.ordering,
+            ));
         }
         let ws = self.tran_ws.as_mut().expect("created above");
         let op_ws = self.dc_ws.as_mut().expect("created above");
@@ -241,17 +302,22 @@ impl Simulator {
         require_sweepable_source(&self.mats.mna, &source)?;
         let t0 = Instant::now();
         if self.dc_ws.is_none() {
-            self.dc_ws = Some(AssemblyWorkspace::new(&self.mats, false, false));
+            self.dc_ws = Some(AssemblyWorkspace::new(
+                &self.mats,
+                false,
+                false,
+                self.opts.ordering,
+            ));
         }
         let engine = SwecDcSweep::new(options);
         let mut warm_stats = EngineStats::new();
-        let warm_counts = {
+        let warm_lu = {
             // Warm the session workspace with one assembly + solve at the
             // sweep start (the matrix the first chunk assembles first), so
             // every chunk clone starts from the same cached symbolic
             // analysis and refactors instead of paying a full factor.
             let ws = self.dc_ws.as_mut().expect("created above");
-            let (ff0, rf0) = ws.factor_counts();
+            let lu0 = ws.lu_stats();
             let mut buf = DcBuffers::default();
             let x0 = vec![0.0; self.mats.mna.dim()];
             engine.solve_noniterative_ws(
@@ -262,13 +328,11 @@ impl Simulator {
                 &x0,
                 &mut warm_stats,
             )?;
-            let (ff, rf) = ws.factor_counts();
-            warm_stats.full_factors += ff - ff0;
-            warm_stats.refactors += rf - rf0;
-            (ff, rf)
+            let warm_lu = ws.lu_stats();
+            warm_stats.absorb_lu(&lu0, &warm_lu);
+            warm_lu
         };
         let base_ws = self.dc_ws.as_ref().expect("created above");
-        let base_counts = warm_counts;
         let mats = &self.mats;
 
         let n_points = ((stop - start) / step).round() as i64 + 1;
@@ -280,15 +344,7 @@ impl Simulator {
             let lo = ci * SWEEP_CHUNK;
             let hi = n_points.min(lo + SWEEP_CHUNK);
             sweep_chunk(
-                &engine,
-                mats,
-                base_ws,
-                base_counts,
-                &source,
-                start,
-                &values,
-                lo,
-                hi,
+                &engine, mats, base_ws, warm_lu, &source, start, &values, lo, hi,
             )
         })?;
 
@@ -356,7 +412,7 @@ fn sweep_chunk(
     engine: &SwecDcSweep,
     mats: &CircuitMatrices,
     base_ws: &AssemblyWorkspace,
-    base_counts: (u64, u64),
+    base_lu: LuStats,
     source: &str,
     sweep_start: f64,
     values: &[f64],
@@ -450,9 +506,7 @@ fn sweep_chunk(
         stats.steps += 1;
         xs.push(x.clone());
     }
-    let (ff, rf) = ws.factor_counts();
-    stats.full_factors += ff - base_counts.0;
-    stats.refactors += rf - base_counts.1;
+    stats.absorb_lu(&base_lu, &ws.lu_stats());
     Ok(SweepChunk { xs, stats })
 }
 

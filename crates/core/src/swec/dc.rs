@@ -19,6 +19,8 @@ use crate::swec::SwecOptions;
 use crate::waveform::DcSweepResult;
 use crate::{Result, SimError};
 use nanosim_circuit::Circuit;
+use nanosim_numeric::solve::LuStats;
+use nanosim_numeric::sparse::OrderingChoice;
 use nanosim_numeric::FlopCounter;
 use std::time::Instant;
 
@@ -73,7 +75,7 @@ impl SwecDcSweep {
         let mats = CircuitMatrices::new(circuit)?;
         require_sweepable_source(&mats.mna, source)?;
         let mut stats = EngineStats::new();
-        let mut ws = AssemblyWorkspace::new(&mats, false, false);
+        let mut ws = AssemblyWorkspace::new(&mats, false, false, OrderingChoice::default());
         let mut buf = DcBuffers::default();
         let n_points = ((stop - start) / step).round() as i64 + 1;
         let n_points = n_points.max(1) as usize;
@@ -150,9 +152,7 @@ impl SwecDcSweep {
             stats.flops += flops;
             stats.steps += 1;
         }
-        let (ff, rf) = ws.factor_counts();
-        stats.full_factors += ff;
-        stats.refactors += rf;
+        stats.absorb_lu(&LuStats::default(), &ws.lu_stats());
         stats.elapsed = t0.elapsed();
         Ok(DcSweepResult::new(sweep, names, columns, stats))
     }
@@ -179,11 +179,9 @@ impl SwecDcSweep {
         mats: &CircuitMatrices,
         stats: &mut EngineStats,
     ) -> Result<Vec<f64>> {
-        let mut ws = AssemblyWorkspace::new(mats, false, false);
+        let mut ws = AssemblyWorkspace::new(mats, false, false, OrderingChoice::default());
         let result = self.solve_op_ws(mats, &mut ws, stats);
-        let (ff, rf) = ws.factor_counts();
-        stats.full_factors += ff;
-        stats.refactors += rf;
+        stats.absorb_lu(&LuStats::default(), &ws.lu_stats());
         result
     }
 
@@ -235,7 +233,7 @@ impl SwecDcSweep {
         x0: &[f64],
         stats: &mut EngineStats,
     ) -> Result<Vec<f64>> {
-        let mut ws = AssemblyWorkspace::new(mats, false, false);
+        let mut ws = AssemblyWorkspace::new(mats, false, false, OrderingChoice::default());
         let mut buf = DcBuffers::default();
         self.solve_noniterative_ws(mats, &mut ws, &mut buf, override_src, x0, stats)
     }
@@ -306,7 +304,7 @@ impl SwecDcSweep {
         x0: &[f64],
         stats: &mut EngineStats,
     ) -> Result<Vec<f64>> {
-        let mut ws = AssemblyWorkspace::new(mats, false, false);
+        let mut ws = AssemblyWorkspace::new(mats, false, false, OrderingChoice::default());
         let mut buf = DcBuffers::default();
         self.solve_point_ws(mats, &mut ws, &mut buf, override_src, x0, None, stats)
     }

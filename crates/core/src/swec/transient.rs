@@ -20,6 +20,7 @@ use crate::waveform::TransientResult;
 use crate::{Result, SimError};
 use nanosim_circuit::element::ElementKind;
 use nanosim_circuit::{Circuit, MnaSystem};
+use nanosim_numeric::sparse::OrderingChoice;
 use nanosim_numeric::FlopCounter;
 use std::time::Instant;
 
@@ -93,7 +94,7 @@ impl SwecTransient {
             });
         }
         let mats = CircuitMatrices::new(circuit)?;
-        let mut ws = AssemblyWorkspace::new(&mats, false, true);
+        let mut ws = AssemblyWorkspace::new(&mats, false, true, OrderingChoice::default());
         self.run_with(&mats, &mut ws, None, tstep, tstop)
     }
 
@@ -119,7 +120,7 @@ impl SwecTransient {
             });
         }
         let t_start = Instant::now();
-        let (ff0, rf0) = ws.factor_counts();
+        let lu0 = ws.lu_stats();
         let mna = &mats.mna;
         let dim = mna.dim();
         let mut stats = EngineStats::new();
@@ -143,11 +144,9 @@ impl SwecTransient {
             let mut op_stats = EngineStats::new();
             let op = match op_ws {
                 Some(ows) => {
-                    let (ff0, rf0) = ows.factor_counts();
+                    let op_lu0 = ows.lu_stats();
                     let op = dc.solve_op_ws(mats, ows, &mut op_stats)?;
-                    let (ff1, rf1) = ows.factor_counts();
-                    op_stats.full_factors += ff1 - ff0;
-                    op_stats.refactors += rf1 - rf0;
+                    op_stats.absorb_lu(&op_lu0, &ows.lu_stats());
                     op
                 }
                 None => dc.solve_op_inner(mats, &mut op_stats)?,
@@ -374,9 +373,7 @@ impl SwecTransient {
             }
         }
         stats.flops += flops;
-        let (ff, rf) = ws.factor_counts();
-        stats.full_factors += ff - ff0;
-        stats.refactors += rf - rf0;
+        stats.absorb_lu(&lu0, &ws.lu_stats());
         stats.elapsed = t_start.elapsed();
         Ok(TransientResult::new(times, names, columns, stats))
     }

@@ -7,7 +7,9 @@
 
 use nanosim_circuit::Circuit;
 use nanosim_core::nr::{NrEngine, NrOptions};
+use nanosim_core::sim::{Analysis, SimOptions, Simulator};
 use nanosim_core::swec::{DcMode, SwecDcSweep, SwecOptions, SwecTransient};
+use nanosim_core::OrderingChoice;
 use nanosim_devices::rtd::{Rtd, RtdParams};
 use nanosim_devices::sources::SourceWaveform;
 use nanosim_devices::traits::NonlinearTwoTerminal;
@@ -40,6 +42,59 @@ fn rtd_params() -> impl Strategy<Value = RtdParams> {
             n2,
             temperature: 300.0,
         })
+}
+
+/// Strategy: a random *connected* resistor network (spanning tree + extra
+/// chords) with RTDs to ground on a random subset of nodes and one DC
+/// source at the root. Connectivity is by construction: node `k` always
+/// attaches to an earlier node.
+fn connected_circuit() -> impl Strategy<Value = Circuit> {
+    (3usize..18).prop_flat_map(|n| {
+        let tree_parents = proptest::collection::vec(0usize..1_000_000, n - 1);
+        let chords = proptest::collection::vec((0usize..1_000_000, 0usize..1_000_000), 0..n);
+        let resistances = proptest::collection::vec(20.0f64..2e3, 2 * n);
+        let rtd_mask = proptest::collection::vec(0usize..2, n);
+        (Just(n), tree_parents, chords, resistances, rtd_mask).prop_map(
+            |(n, parents, chords, res, rtd_mask)| {
+                let mut ckt = Circuit::new();
+                let nodes: Vec<_> = (0..n).map(|k| ckt.node(&format!("n{k}"))).collect();
+                ckt.add_voltage_source("V1", nodes[0], Circuit::GROUND, SourceWaveform::dc(1.0))
+                    .unwrap();
+                let mut ri = 0usize;
+                let r = |i: &mut usize| {
+                    let v = res[*i % res.len()];
+                    *i += 1;
+                    v
+                };
+                for k in 1..n {
+                    let parent = parents[k - 1] % k;
+                    ckt.add_resistor(&format!("Rt{k}"), nodes[parent], nodes[k], r(&mut ri))
+                        .unwrap();
+                }
+                for (idx, &(a, b)) in chords.iter().enumerate() {
+                    let (a, b) = (a % n, b % n);
+                    if a != b {
+                        ckt.add_resistor(&format!("Rc{idx}"), nodes[a], nodes[b], r(&mut ri))
+                            .unwrap();
+                    }
+                }
+                let mut any_rtd = false;
+                for (k, &on) in rtd_mask.iter().enumerate() {
+                    if on == 1 {
+                        any_rtd = true;
+                        ckt.add_rtd(&format!("X{k}"), nodes[k], Circuit::GROUND, Rtd::date2005())
+                            .unwrap();
+                    }
+                }
+                if !any_rtd {
+                    // Keep at least one shunt so every node has a DC path.
+                    ckt.add_resistor("Rg", nodes[n - 1], Circuit::GROUND, 500.0)
+                        .unwrap();
+                }
+                ckt
+            },
+        )
+    })
 }
 
 fn divider(rtd: Rtd, series: f64, vs: f64) -> Circuit {
@@ -198,6 +253,63 @@ proptest! {
         // No overshoot for a first-order system.
         let peak = out.peak().unwrap().1;
         prop_assert!(peak <= vstep * 1.001);
+    }
+
+    /// On random connected circuits, AMD- and RCM-ordered operating points
+    /// match the natural-order solution within 1e-10 relative error —
+    /// the fill permutation is invisible to the physics.
+    #[test]
+    fn ordered_ops_match_natural_on_random_circuits(ckt in connected_circuit()) {
+        let solve = |ordering| {
+            let mut sim = Simulator::with_options(ckt.clone(), SimOptions { ordering })
+                .expect("assembles");
+            sim.run(Analysis::op()).expect("op solves")
+        };
+        let natural = solve(OrderingChoice::Natural);
+        for ordering in [OrderingChoice::Rcm, OrderingChoice::Amd] {
+            let ds = solve(ordering);
+            for name in natural.names() {
+                let a = ds.value(name).unwrap();
+                let b = natural.value(name).unwrap();
+                prop_assert!(
+                    (a - b).abs() <= 1e-10 * b.abs().max(1.0),
+                    "{ordering:?}/{name}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// A fixed ordering is bit-deterministic: the same circuit solved
+    /// twice, and through sharded sweeps at several worker counts, gives
+    /// byte-identical results.
+    #[test]
+    fn ordered_results_bit_deterministic(ckt in connected_circuit()) {
+        use nanosim_core::sim::ExecPlan;
+        let run = |workers: usize| {
+            let mut sim = Simulator::with_options(
+                ckt.clone(),
+                SimOptions { ordering: OrderingChoice::Amd },
+            )
+            .expect("assembles");
+            let a = Analysis::dc_sweep("V1", 0.0, 1.0, 0.05);
+            let a = if workers == 0 { a } else { a.plan(ExecPlan::sharded(workers)) };
+            sim.run(a).expect("sweep runs")
+        };
+        let first = run(0);
+        let second = run(0);
+        for name in first.names() {
+            prop_assert_eq!(first.column(name).unwrap(), second.column(name).unwrap());
+        }
+        for workers in [2usize, 5] {
+            let sharded = run(workers);
+            for name in first.names() {
+                prop_assert_eq!(
+                    first.column(name).unwrap(),
+                    sharded.column(name).unwrap(),
+                    "workers={}, column {}", workers, name
+                );
+            }
+        }
     }
 
     /// Transient node voltages of the RTD divider stay within the source

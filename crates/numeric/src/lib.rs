@@ -70,7 +70,7 @@ pub use dense::DenseMatrix;
 pub use error::NumericError;
 pub use flops::FlopCounter;
 pub use rng::Pcg64;
-pub use sparse::{CsrMatrix, TripletMatrix};
+pub use sparse::{CsrMatrix, OrderingChoice, TripletMatrix};
 
 /// Convenience alias used across the workspace for fallible numeric results.
 pub type Result<T> = std::result::Result<T, NumericError>;

@@ -11,10 +11,18 @@
 //! [`LinearSolver::solve_into`] entry point additionally avoids allocating
 //! the solution vector, so a warmed-up solver performs zero heap
 //! allocations per solve.
+//!
+//! The sparse backend carries an [`OrderingChoice`]: the fill-reducing
+//! ordering is applied inside the cached analysis (phase 1 of the
+//! ordering → symbolic → numeric pipeline) and is completely transparent to
+//! callers — right-hand sides and solutions stay in original numbering.
+//! [`LuStats`] exposes the resulting fill and work telemetry
+//! (`nnz_lu`, fill ratio, factor-vs-refactor flop split) that the engine
+//! statistics surface.
 
 use crate::dense::DenseMatrix;
 use crate::flops::FlopCounter;
-use crate::sparse::{CsrMatrix, PivotStrategy, SparseLu};
+use crate::sparse::{CsrMatrix, OrderingChoice, PivotStrategy, SparseLu};
 use crate::Result;
 use std::fmt::Debug;
 
@@ -76,19 +84,54 @@ impl LinearSolver for DenseLuSolver {
     }
 }
 
-/// Sparse LU backend (Gilbert–Peierls with threshold diagonal pivoting)
-/// with cached-factorization reuse across same-pattern solves.
+/// Cumulative factorization telemetry of one [`SparseLuSolver`]: counts,
+/// the factor-vs-refactor flop split, and the fill of the current cached
+/// factorization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LuStats {
+    /// Full (ordering + symbolic + numeric) factorizations performed.
+    pub full_factors: u64,
+    /// Values-only refactorizations that reused the cached analysis.
+    pub refactors: u64,
+    /// Floating point operations spent in full factorizations.
+    pub factor_flops: u64,
+    /// Floating point operations spent in refactorizations.
+    pub refactor_flops: u64,
+    /// `nnz(L + U)` of the current cached factorization (0 when cold).
+    pub nnz_lu: u64,
+    /// `nnz(A)` of the current cached factorization (0 when cold).
+    pub nnz_a: u64,
+}
+
+impl LuStats {
+    /// Fill ratio `nnz(L + U) / nnz(A)`; 0 when no factorization is cached.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.nnz_a == 0 {
+            0.0
+        } else {
+            self.nnz_lu as f64 / self.nnz_a as f64
+        }
+    }
+}
+
+/// Sparse LU backend (Gilbert–Peierls with threshold diagonal pivoting and
+/// a pluggable fill-reducing ordering) with cached-factorization reuse
+/// across same-pattern solves.
 #[derive(Debug, Clone, Default)]
 pub struct SparseLuSolver {
     strategy: PivotStrategy,
+    ordering: OrderingChoice,
     cached: Option<SparseLu>,
     work: Vec<f64>,
     full_factors: u64,
     refactors: u64,
+    factor_flops: u64,
+    refactor_flops: u64,
 }
 
 impl SparseLuSolver {
-    /// Creates a sparse solver with the default pivot strategy.
+    /// Creates a sparse solver with the default pivot strategy and the
+    /// default [`OrderingChoice::Auto`] fill ordering.
     pub fn new() -> Self {
         SparseLuSolver {
             strategy: PivotStrategy::default(),
@@ -96,7 +139,8 @@ impl SparseLuSolver {
         }
     }
 
-    /// Creates a sparse solver with an explicit pivot strategy.
+    /// Creates a sparse solver with an explicit pivot strategy (ordering
+    /// stays `Auto`).
     pub fn with_strategy(strategy: PivotStrategy) -> Self {
         SparseLuSolver {
             strategy,
@@ -104,10 +148,50 @@ impl SparseLuSolver {
         }
     }
 
+    /// Creates a sparse solver with an explicit fill-reducing ordering.
+    pub fn with_ordering(ordering: OrderingChoice) -> Self {
+        SparseLuSolver {
+            strategy: PivotStrategy::default(),
+            ordering,
+            ..SparseLuSolver::default()
+        }
+    }
+
+    /// The configured ordering choice.
+    pub fn ordering(&self) -> OrderingChoice {
+        self.ordering
+    }
+
     /// `(full factorizations, pattern-reusing refactorizations)` performed
     /// so far — the factor/refactor split behind the speedup benches.
     pub fn factor_counts(&self) -> (u64, u64) {
         (self.full_factors, self.refactors)
+    }
+
+    /// Cumulative factorization telemetry: counts, flop split, and the
+    /// fill of the cached analysis.
+    pub fn lu_stats(&self) -> LuStats {
+        let (nnz_lu, nnz_a) = match &self.cached {
+            Some(lu) => (lu.nnz() as u64, lu.nnz_a() as u64),
+            None => (0, 0),
+        };
+        LuStats {
+            full_factors: self.full_factors,
+            refactors: self.refactors,
+            factor_flops: self.factor_flops,
+            refactor_flops: self.refactor_flops,
+            nnz_lu,
+            nnz_a,
+        }
+    }
+
+    /// Name of the ordering applied by the cached factorization, or the
+    /// configured choice's tag when cold.
+    pub fn ordering_name(&self) -> &'static str {
+        match &self.cached {
+            Some(lu) => lu.ordering_name(),
+            None => self.ordering.name(),
+        }
     }
 
     /// Drops the cached factorization (next solve runs a full factor).
@@ -130,17 +214,49 @@ impl LinearSolver for SparseLuSolver {
         x: &mut Vec<f64>,
         flops: &mut FlopCounter,
     ) -> Result<()> {
+        let before = flops.total();
         match &mut self.cached {
             Some(lu) => {
-                if lu.refactor_or_factor(a, flops)? {
-                    self.refactors += 1;
-                } else {
-                    self.full_factors += 1;
+                // Same policy as `SparseLu::refactor_or_factor`, inlined so
+                // the flop split stays honest: work burned in an aborted
+                // refactor attempt is refactor work, not factor work.
+                match lu.refactor(a, flops) {
+                    Ok(()) => {
+                        self.refactors += 1;
+                        self.refactor_flops += flops.total() - before;
+                    }
+                    Err(crate::NumericError::PatternChanged { .. })
+                    | Err(crate::NumericError::SingularMatrix { .. }) => {
+                        self.refactor_flops += flops.total() - before;
+                        let factor_start = flops.total();
+                        *lu = if lu.symbolic().matches(a) {
+                            // Pivot degraded on an unchanged pattern: the
+                            // ordering and permuted structure are still
+                            // exact — only re-pivot.
+                            SparseLu::factor_symbolic(
+                                lu.symbolic().clone(),
+                                a,
+                                self.strategy,
+                                flops,
+                            )?
+                        } else {
+                            SparseLu::factor_ordered(a, self.ordering, self.strategy, flops)?
+                        };
+                        self.full_factors += 1;
+                        self.factor_flops += flops.total() - factor_start;
+                    }
+                    Err(e) => return Err(e),
                 }
             }
             None => {
-                self.cached = Some(SparseLu::factor_with(a, self.strategy, flops)?);
+                self.cached = Some(SparseLu::factor_ordered(
+                    a,
+                    self.ordering,
+                    self.strategy,
+                    flops,
+                )?);
                 self.full_factors += 1;
+                self.factor_flops += flops.total() - before;
             }
         }
         let lu = self.cached.as_ref().expect("factorization cached above");
@@ -230,6 +346,66 @@ mod tests {
             .solve_into(&t.to_csr(), &b, &mut x, &mut FlopCounter::new())
             .unwrap();
         assert_eq!(sparse.factor_counts(), (3, 1));
+    }
+
+    #[test]
+    fn lu_stats_split_factor_and_refactor_flops() {
+        let (a, b) = test_system();
+        let mut sparse = SparseLuSolver::new();
+        let mut x = Vec::new();
+        let mut flops = FlopCounter::new();
+        sparse.solve_into(&a, &b, &mut x, &mut flops).unwrap();
+        let s1 = sparse.lu_stats();
+        assert_eq!((s1.full_factors, s1.refactors), (1, 0));
+        assert!(s1.factor_flops > 0);
+        assert_eq!(s1.refactor_flops, 0);
+        assert_eq!(s1.nnz_a, a.nnz() as u64);
+        assert!(s1.nnz_lu >= s1.nnz_a, "L+U at least as dense as A");
+        assert!(s1.fill_ratio() >= 1.0);
+        let mut a2 = a.clone();
+        for v in a2.values_mut() {
+            *v *= 2.0;
+        }
+        sparse.solve_into(&a2, &b, &mut x, &mut flops).unwrap();
+        let s2 = sparse.lu_stats();
+        assert_eq!((s2.full_factors, s2.refactors), (1, 1));
+        assert!(s2.refactor_flops > 0);
+        assert_eq!(s2.factor_flops, s1.factor_flops, "no new factor flops");
+    }
+
+    #[test]
+    fn explicit_ordering_is_applied_and_transparent() {
+        // Arrow matrix large enough that fill differs between orderings.
+        let n = 30;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0);
+            if i > 0 {
+                t.push(0, i, 1.0);
+                t.push(i, 0, 1.0);
+            }
+        }
+        let a = t.to_csr();
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut nat = SparseLuSolver::with_ordering(OrderingChoice::Natural);
+        let mut amd = SparseLuSolver::with_ordering(OrderingChoice::Amd);
+        let xn = nat.solve(&a, &b, &mut FlopCounter::new()).unwrap();
+        let xa = amd.solve(&a, &b, &mut FlopCounter::new()).unwrap();
+        for (l, r) in xn.iter().zip(xa.iter()) {
+            assert!(approx_eq(*l, *r, 1e-10), "{l} vs {r}");
+        }
+        assert!(amd.lu_stats().nnz_lu < nat.lu_stats().nnz_lu);
+        assert_eq!(amd.ordering_name(), "amd");
+        assert_eq!(nat.ordering_name(), "natural");
+        assert_eq!(amd.ordering(), OrderingChoice::Amd);
+    }
+
+    #[test]
+    fn cold_solver_reports_configured_ordering() {
+        let s = SparseLuSolver::with_ordering(OrderingChoice::Rcm);
+        assert_eq!(s.ordering_name(), "rcm");
+        assert_eq!(s.lu_stats(), LuStats::default());
+        assert_eq!(s.lu_stats().fill_ratio(), 0.0);
     }
 
     #[test]

@@ -1,13 +1,25 @@
-//! Left-looking sparse LU factorization with threshold partial pivoting and
-//! KLU-style refactorization.
+//! Numeric phase of the sparse-LU pipeline: left-looking factorization with
+//! threshold partial pivoting and KLU-style refactorization, running
+//! entirely in the permuted index space of a [`SymbolicAnalysis`].
 //!
-//! The algorithm is the Gilbert–Peierls column method: for each column `j` a
-//! sparse triangular solve `L·x = A(:, j)` is performed symbolically (a DFS
-//! over the pattern of `L` yielding a topological order) and numerically,
-//! after which the pivot is chosen among the not-yet-pivotal rows. Diagonal
-//! entries are preferred when within a threshold of the magnitude-maximal
-//! candidate, which keeps the permutation stable across the nearly identical
-//! matrices of consecutive transient time steps.
+//! The pipeline has three explicit phases:
+//!
+//! 1. **ordering** ([`super::order`]) — a fill-reducing permutation computed
+//!    from the symmetrized pattern (natural / RCM / AMD, selected by
+//!    [`OrderingChoice`]);
+//! 2. **symbolic** ([`SymbolicAnalysis`]) — the permuted compressed-column
+//!    structure plus the CSR→CSC value shuffle, built once per pattern;
+//! 3. **numeric** (this module) — the Gilbert–Peierls column factorization
+//!    and the values-only refactorization.
+//!
+//! The numeric algorithm is the Gilbert–Peierls column method: for each
+//! permuted column `j` a sparse triangular solve `L·x = A'(:, j)` is
+//! performed symbolically (a DFS over the pattern of `L` yielding a
+//! topological order) and numerically, after which the pivot is chosen among
+//! the not-yet-pivotal rows. Diagonal entries are preferred when within a
+//! threshold of the magnitude-maximal candidate, which keeps the permutation
+//! stable across the nearly identical matrices of consecutive transient
+//! time steps.
 //!
 //! That stability is what [`SparseLu::refactor`] exploits: once a matrix has
 //! been factored, subsequent matrices with the *same sparsity pattern* (the
@@ -18,12 +30,23 @@
 //! simulators such as KLU. A refactorization that encounters a new nonzero
 //! or a numerically degraded pivot reports [`NumericError::PatternChanged`]
 //! so callers can fall back to a full factorization with fresh pivoting
-//! ([`SparseLu::refactor_or_factor`] packages that policy).
+//! ([`SparseLu::refactor_or_factor`] packages that policy, preserving the
+//! ordering choice).
+//!
+//! Callers never see permuted vectors: the fill permutation is applied on
+//! scatter-in ([`SymbolicAnalysis::scatter_values`] and the right-hand-side
+//! load of [`SparseLu::solve_into`]) and inverted on the way out, so
+//! `solve` takes and returns vectors in original MNA numbering whatever the
+//! ordering. With [`OrderingChoice::Natural`] every code path degenerates
+//! to the identity and results are bit-identical to the pre-ordering
+//! pipeline.
 //!
 //! Factors are stored as flat compressed-column arrays (`colptr`/`rows`/
 //! `vals`), not nested `Vec<Vec<_>>`, so the refactor and solve passes are
 //! cache-friendly and allocation-free.
 
+use super::order::OrderingChoice;
+use super::symbolic::SymbolicAnalysis;
 use super::CsrMatrix;
 use crate::error::NumericError;
 use crate::flops::FlopCounter;
@@ -56,8 +79,10 @@ impl Default for PivotStrategy {
 /// so the caller can re-pivot from scratch.
 const REFACTOR_PIVOT_RATIO: f64 = 1e-6;
 
-/// Sparse LU factors `P·A = L·U` of a square matrix, with the symbolic
-/// analysis cached for cheap values-only refactorization.
+/// Sparse LU factors of a square matrix under a fill-reducing ordering
+/// (`P·A(q,q) = L·U` with `q` the fill permutation and `P` the pivot
+/// permutation), with the symbolic analysis cached for cheap values-only
+/// refactorization.
 ///
 /// # Example
 /// ```
@@ -87,7 +112,7 @@ pub struct SparseLu {
     n: usize,
     /// Column pointers into `l_rows`/`l_vals`; L column `k` holds entries
     /// strictly below the pivot, already divided by the pivot, with rows in
-    /// *original* numbering.
+    /// *permuted* numbering.
     l_colptr: Vec<usize>,
     l_rows: Vec<usize>,
     l_vals: Vec<f64>,
@@ -98,28 +123,23 @@ pub struct SparseLu {
     u_vals: Vec<f64>,
     /// Diagonal of U by pivot index.
     u_diag: Vec<f64>,
-    /// `perm[k]` = original row chosen as the k-th pivot.
+    /// `perm[k]` = permuted row chosen as the k-th pivot.
     perm: Vec<usize>,
     /// Strategy used for the original factorization (reused on fallback).
     strategy: PivotStrategy,
-    /// CSR structure fingerprint of the factored matrix: row pointers and
-    /// column indices, used to detect pattern changes on refactor.
-    csr_rowptr: Vec<usize>,
-    csr_colidx: Vec<usize>,
-    /// Cached CSC structure of the input (column-compressed view of the
-    /// fingerprint) plus the CSR→CSC value shuffle, so refactor never
-    /// re-derives the transpose.
-    csc_colptr: Vec<usize>,
-    csc_rows: Vec<usize>,
-    csr_to_csc: Vec<usize>,
-    /// Scratch buffers reused by `refactor` (values in CSC order, dense
-    /// working column).
+    /// Cached symbolic analysis: fill ordering, permuted CSC structure,
+    /// value shuffle, pattern fingerprint.
+    sym: SymbolicAnalysis,
+    /// Scratch buffers reused by `refactor` (values in permuted CSC order,
+    /// dense working column).
     csc_vals: Vec<f64>,
     work: Vec<f64>,
 }
 
 impl SparseLu {
-    /// Factors `a` with the default pivoting strategy.
+    /// Factors `a` with the default pivoting strategy in natural order
+    /// (no fill-reducing permutation — bit-identical to the pre-pipeline
+    /// behavior; use [`SparseLu::factor_ordered`] for AMD/RCM).
     ///
     /// # Errors
     /// Returns [`NumericError::SingularMatrix`] when a column has no usable
@@ -128,7 +148,7 @@ impl SparseLu {
         Self::factor_with(a, PivotStrategy::default(), flops)
     }
 
-    /// Factors `a` with an explicit [`PivotStrategy`].
+    /// Factors `a` with an explicit [`PivotStrategy`] in natural order.
     ///
     /// # Errors
     /// Same as [`SparseLu::factor`]; additionally rejects non-finite values.
@@ -137,21 +157,57 @@ impl SparseLu {
         strategy: PivotStrategy,
         flops: &mut FlopCounter,
     ) -> Result<Self> {
-        if a.rows() != a.cols() {
-            return Err(NumericError::DimensionMismatch {
-                context: format!("sparse lu of non-square {}x{}", a.rows(), a.cols()),
+        Self::factor_ordered(a, OrderingChoice::Natural, strategy, flops)
+    }
+
+    /// The full three-phase entry point: computes (or resolves) the fill
+    /// ordering, builds the symbolic analysis, and runs the numeric factor.
+    ///
+    /// # Errors
+    /// Same as [`SparseLu::factor`].
+    pub fn factor_ordered(
+        a: &CsrMatrix,
+        ordering: OrderingChoice,
+        strategy: PivotStrategy,
+        flops: &mut FlopCounter,
+    ) -> Result<Self> {
+        let sym = SymbolicAnalysis::analyze(a, ordering)?;
+        Self::factor_symbolic(sym, a, strategy, flops)
+    }
+
+    /// Numeric factorization against an already-computed
+    /// [`SymbolicAnalysis`] (phase 3 alone — share one analysis across many
+    /// factorizations of the same pattern).
+    ///
+    /// # Errors
+    /// [`NumericError::PatternChanged`] when `a` does not match the
+    /// analyzed pattern, otherwise as [`SparseLu::factor`].
+    pub fn factor_symbolic(
+        sym: SymbolicAnalysis,
+        a: &CsrMatrix,
+        strategy: PivotStrategy,
+        flops: &mut FlopCounter,
+    ) -> Result<Self> {
+        if !sym.matches(a) {
+            return Err(NumericError::PatternChanged {
+                context: format!(
+                    "numeric factor of {}x{} ({} nnz) against analysis of {}x{} ({} nnz)",
+                    a.rows(),
+                    a.cols(),
+                    a.nnz(),
+                    sym.dim(),
+                    sym.dim(),
+                    sym.nnz()
+                ),
             });
         }
-        let n = a.rows();
-        // One CSC conversion serves both the factorization below and the
-        // cached refactor shuffle: the structure (col_ptr, row_idx) plus the
-        // CSR→CSC position map, through which the values are scattered.
-        let (a_rowptr, a_colidx) = a.structure();
-        let (col_ptr, row_idx, csr_to_csc) = csc_shuffle(n, a_rowptr, a_colidx);
-        let mut values = vec![0.0; a.nnz()];
-        for (p, &v) in a.values().iter().enumerate() {
-            values[csr_to_csc[p]] = v;
-        }
+        let n = sym.dim();
+        // Scatter the values through the cached shuffle: from here on the
+        // factorization works exclusively in permuted index space.
+        let mut values = Vec::new();
+        sym.scatter_values(a, &mut values);
+        let col_ptr = &sym.csc_colptr;
+        let row_idx = &sym.csc_rows;
 
         let mut l_colptr = Vec::with_capacity(n + 1);
         let mut l_rows: Vec<usize> = Vec::new();
@@ -173,7 +229,7 @@ impl SparseLu {
         let mut ucol: Vec<(usize, f64)> = Vec::new();
 
         for j in 0..n {
-            // Scatter A(:, j) and collect the reachable pattern via DFS.
+            // Scatter A'(:, j) and collect the reachable pattern via DFS.
             topo.clear();
             for p in col_ptr[j]..col_ptr[j + 1] {
                 let r = row_idx[p];
@@ -294,9 +350,8 @@ impl SparseLu {
             l_colptr.push(l_rows.len());
         }
 
-        // Fingerprint for pattern-change detection; the CSC structure and
-        // shuffle computed up front are kept for refactorization, and the
-        // values buffer becomes its scratch space.
+        // The symbolic analysis is kept for refactorization, and the values
+        // buffer becomes its scratch space.
         Ok(SparseLu {
             n,
             l_colptr,
@@ -308,20 +363,17 @@ impl SparseLu {
             u_diag,
             perm,
             strategy,
-            csr_rowptr: a_rowptr.to_vec(),
-            csr_colidx: a_colidx.to_vec(),
-            csc_colptr: col_ptr,
-            csc_rows: row_idx,
-            csr_to_csc,
+            sym,
             csc_vals: values,
             work: x,
         })
     }
 
     /// Recomputes the numeric factors of `a`, reusing the cached symbolic
-    /// analysis (pattern, pivot order, fill structure). This skips the DFS
-    /// and the pivot search and is the hot path for the nearly identical
-    /// matrices of consecutive Newton iterations / transient steps.
+    /// analysis (ordering, pattern, pivot order, fill structure). This
+    /// skips the ordering, the DFS and the pivot search and is the hot path
+    /// for the nearly identical matrices of consecutive Newton iterations /
+    /// transient steps.
     ///
     /// # Errors
     /// Returns [`NumericError::PatternChanged`] when `a`'s sparsity pattern
@@ -334,12 +386,7 @@ impl SparseLu {
     /// again ([`SparseLu::refactor_or_factor`] packages exactly that
     /// fallback).
     pub fn refactor(&mut self, a: &CsrMatrix, flops: &mut FlopCounter) -> Result<()> {
-        let (row_ptr, col_idx) = a.structure();
-        if a.rows() != self.n
-            || a.cols() != self.n
-            || row_ptr != self.csr_rowptr.as_slice()
-            || col_idx != self.csr_colidx.as_slice()
-        {
+        if !self.sym.matches(a) {
             return Err(NumericError::PatternChanged {
                 context: format!(
                     "refactor of {}x{} ({} nnz) against analysis of {}x{} ({} nnz)",
@@ -348,21 +395,21 @@ impl SparseLu {
                     a.nnz(),
                     self.n,
                     self.n,
-                    self.csr_colidx.len()
+                    self.sym.nnz()
                 ),
             });
         }
 
-        // Shuffle the new values into the cached CSC order.
+        // Shuffle the new values into the cached permuted CSC order.
         for (p, &v) in a.values().iter().enumerate() {
-            self.csc_vals[self.csr_to_csc[p]] = v;
+            self.csc_vals[self.sym.csr_to_csc[p]] = v;
         }
 
         let n = self.n;
         for j in 0..n {
             // Zero the working column over this column's pattern, then
-            // scatter A(:, j). The pattern is exactly: the pivot rows of the
-            // U entries, the pivot row itself, and the L rows.
+            // scatter A'(:, j). The pattern is exactly: the pivot rows of
+            // the U entries, the pivot row itself, and the L rows.
             for p in self.u_colptr[j]..self.u_colptr[j + 1] {
                 self.work[self.perm[self.u_rows[p]]] = 0.0;
             }
@@ -370,8 +417,8 @@ impl SparseLu {
             for p in self.l_colptr[j]..self.l_colptr[j + 1] {
                 self.work[self.l_rows[p]] = 0.0;
             }
-            for p in self.csc_colptr[j]..self.csc_colptr[j + 1] {
-                self.work[self.csc_rows[p]] = self.csc_vals[p];
+            for p in self.sym.csc_colptr[j]..self.sym.csc_colptr[j + 1] {
+                self.work[self.sym.csc_rows[p]] = self.csc_vals[p];
             }
 
             // Eliminate with already-final columns in ascending pivot order
@@ -417,10 +464,14 @@ impl SparseLu {
         Ok(())
     }
 
-    /// Refactors `a` in place, falling back to a full factorization with
-    /// fresh pivoting when the pattern changed or a pivot degraded. Returns
-    /// `true` when the cached symbolic analysis was reused, `false` when a
-    /// full factorization ran.
+    /// Refactors `a` in place, falling back to a full numeric
+    /// factorization with fresh pivoting when the pattern changed or a
+    /// pivot degraded. A degraded pivot on an unchanged pattern reuses the
+    /// cached symbolic analysis (the ordering and permuted structure are
+    /// still exact); only a genuine pattern change re-runs the ordering
+    /// under the same [`OrderingChoice`]. Returns `true` when the cached
+    /// numeric factors were refreshed in place, `false` when a full
+    /// factorization ran.
     ///
     /// # Errors
     /// Returns [`NumericError::SingularMatrix`] /
@@ -430,7 +481,11 @@ impl SparseLu {
         match self.refactor(a, flops) {
             Ok(()) => Ok(true),
             Err(NumericError::PatternChanged { .. }) | Err(NumericError::SingularMatrix { .. }) => {
-                *self = SparseLu::factor_with(a, self.strategy, flops)?;
+                *self = if self.sym.matches(a) {
+                    SparseLu::factor_symbolic(self.sym.clone(), a, self.strategy, flops)?
+                } else {
+                    SparseLu::factor_ordered(a, self.sym.choice(), self.strategy, flops)?
+                };
                 Ok(false)
             }
             Err(e) => Err(e),
@@ -447,6 +502,27 @@ impl SparseLu {
         self.l_vals.len() + self.u_vals.len() + self.n
     }
 
+    /// Nonzeros of the factored input matrix `A`.
+    pub fn nnz_a(&self) -> usize {
+        self.sym.nnz()
+    }
+
+    /// Fill ratio `nnz(L + U) / nnz(A)` — 1.0 means zero fill-in.
+    pub fn fill_ratio(&self) -> f64 {
+        self.nnz() as f64 / self.nnz_a().max(1) as f64
+    }
+
+    /// Name of the fill ordering actually applied ("natural", "rcm",
+    /// "amd").
+    pub fn ordering_name(&self) -> &'static str {
+        self.sym.ordering_name()
+    }
+
+    /// The cached symbolic analysis.
+    pub fn symbolic(&self) -> &SymbolicAnalysis {
+        &self.sym
+    }
+
     /// Solves `A·x = b` with the stored factors.
     ///
     /// # Errors
@@ -459,9 +535,11 @@ impl SparseLu {
     }
 
     /// Allocation-free solve `A·x = b` into caller-provided buffers. `x`
-    /// receives the solution; `work` is scratch. Both are resized to the
-    /// matrix dimension, so reusing the same buffers across calls performs
-    /// no allocation after the first.
+    /// receives the solution *in original numbering* — the fill permutation
+    /// is applied to `b` on the way in and inverted on the way out, so
+    /// callers are ordering-agnostic. `work` is scratch. Both are resized
+    /// to the matrix dimension, so reusing the same buffers across calls
+    /// performs no allocation after the first.
     ///
     /// # Errors
     /// Returns [`NumericError::DimensionMismatch`] if `b.len() != self.dim()`.
@@ -480,8 +558,16 @@ impl SparseLu {
         let n = self.n;
         x.resize(n, 0.0);
         work.resize(n, 0.0);
-        // Forward solve L·z = P·b, working in original row numbering.
-        work.copy_from_slice(b);
+        // Forward solve L·z = P·b', working in permuted row numbering
+        // (b'[i] = b[q[i]]; the identity fast path keeps the natural-order
+        // pipeline bit-exact).
+        if self.sym.identity {
+            work.copy_from_slice(b);
+        } else {
+            for (i, w) in work.iter_mut().enumerate() {
+                *w = b[self.sym.fill_perm[i]];
+            }
+        }
         for k in 0..n {
             let val = work[self.perm[k]];
             x[k] = val;
@@ -492,7 +578,8 @@ impl SparseLu {
                 flops.fma((self.l_colptr[k + 1] - self.l_colptr[k]) as u64);
             }
         }
-        // Backward solve U·x = z; the solution index equals the column index.
+        // Backward solve U·y = z; the solution index equals the permuted
+        // column index.
         for k in (0..n).rev() {
             x[k] /= self.u_diag[k];
             flops.div(1);
@@ -504,11 +591,19 @@ impl SparseLu {
                 flops.fma((self.u_colptr[k + 1] - self.u_colptr[k]) as u64);
             }
         }
+        // Undo the fill permutation: x_out[q[k]] = y[k].
+        if !self.sym.identity {
+            work[..n].copy_from_slice(&x[..n]);
+            for (k, &w) in work.iter().enumerate() {
+                x[self.sym.fill_perm[k]] = w;
+            }
+        }
         Ok(())
     }
 
     /// Determinant of the original matrix (product of pivots times the
-    /// permutation parity).
+    /// pivot-permutation parity; the symmetric fill permutation has even
+    /// combined parity and never changes the sign).
     pub fn determinant(&self) -> f64 {
         let mut det: f64 = self.u_diag.iter().product();
         // Parity of the permutation perm.
@@ -530,37 +625,13 @@ impl SparseLu {
         }
         det
     }
-}
 
-/// Builds the CSC structure of a CSR pattern plus the position shuffle
-/// mapping each CSR value slot to its CSC slot.
-fn csc_shuffle(
-    n: usize,
-    row_ptr: &[usize],
-    col_idx: &[usize],
-) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
-    let nnz = col_idx.len();
-    let mut counts = vec![0usize; n];
-    for &c in col_idx {
-        counts[c] += 1;
+    /// The pivot permutation (`perm[k]` = permuted row chosen as the k-th
+    /// pivot). Exposed for tests.
+    #[cfg(test)]
+    pub(crate) fn pivot_perm(&self) -> &[usize] {
+        &self.perm
     }
-    let mut col_ptr = vec![0usize; n + 1];
-    for j in 0..n {
-        col_ptr[j + 1] = col_ptr[j] + counts[j];
-    }
-    let mut rows = vec![0usize; nnz];
-    let mut shuffle = vec![0usize; nnz];
-    let mut next = col_ptr.clone();
-    for r in 0..n {
-        for p in row_ptr[r]..row_ptr[r + 1] {
-            let c = col_idx[p];
-            let q = next[c];
-            rows[q] = r;
-            shuffle[p] = q;
-            next[c] += 1;
-        }
-    }
-    (col_ptr, rows, shuffle)
 }
 
 #[cfg(test)]
@@ -670,7 +741,7 @@ mod tests {
         let a = CsrMatrix::from_triplets(2, 2, &entries);
         let lu = SparseLu::factor_with(&a, PivotStrategy::PartialPivoting, &mut FlopCounter::new())
             .unwrap();
-        assert_eq!(lu.perm[0], 1);
+        assert_eq!(lu.pivot_perm()[0], 1);
     }
 
     #[test]
@@ -683,7 +754,7 @@ mod tests {
             &mut FlopCounter::new(),
         )
         .unwrap();
-        assert_eq!(lu.perm[0], 0);
+        assert_eq!(lu.pivot_perm()[0], 0);
         // And the solve is still correct.
         let x = lu.solve(&[2.0, -4.0], &mut FlopCounter::new()).unwrap();
         // A = [[1, 1], [-5, 1]]; b = [2, -4] -> x = [1, 1]
@@ -716,6 +787,7 @@ mod tests {
         }
         // Fill-in for a tridiagonal matrix with diagonal pivoting is zero.
         assert_eq!(lu.nnz(), a.nnz());
+        assert!(approx_eq(lu.fill_ratio(), 1.0, 1e-15));
     }
 
     #[test]
@@ -888,5 +960,154 @@ mod tests {
             .unwrap();
         assert_eq!(x, vec![2.0, 1.0]);
         assert_eq!(x.capacity(), cap_x, "no reallocation on reuse");
+    }
+
+    /// Arrow matrix: dense first row/column + diagonal. Natural order
+    /// fills completely; minimum degree keeps L+U as sparse as A.
+    fn arrow(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0 + i as f64 * 0.01);
+            if i > 0 {
+                t.push(0, i, 1.0);
+                t.push(i, 0, 1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn amd_ordering_eliminates_arrow_fill() {
+        let a = arrow(40);
+        let mut f = FlopCounter::new();
+        let nat = SparseLu::factor_ordered(
+            &a,
+            OrderingChoice::Natural,
+            PivotStrategy::default(),
+            &mut f,
+        )
+        .unwrap();
+        let amd =
+            SparseLu::factor_ordered(&a, OrderingChoice::Amd, PivotStrategy::default(), &mut f)
+                .unwrap();
+        assert!(
+            amd.nnz() < nat.nnz(),
+            "amd nnz {} !< natural nnz {}",
+            amd.nnz(),
+            nat.nnz()
+        );
+        // AMD eliminates the hub last: zero fill on an arrow matrix.
+        assert_eq!(amd.nnz(), a.nnz());
+        assert_eq!(amd.ordering_name(), "amd");
+        assert_eq!(nat.ordering_name(), "natural");
+    }
+
+    #[test]
+    fn ordered_solutions_match_natural() {
+        let a = arrow(25);
+        let b: Vec<f64> = (0..25).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut f = FlopCounter::new();
+        let x_nat = SparseLu::factor(&a, &mut f)
+            .unwrap()
+            .solve(&b, &mut f)
+            .unwrap();
+        for choice in [OrderingChoice::Rcm, OrderingChoice::Amd] {
+            let x = SparseLu::factor_ordered(&a, choice, PivotStrategy::default(), &mut f)
+                .unwrap()
+                .solve(&b, &mut f)
+                .unwrap();
+            for (o, n) in x.iter().zip(x_nat.iter()) {
+                assert!(approx_eq(*o, *n, 1e-10), "{choice:?}: {o} vs {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_refactor_round_trips() {
+        // Refactor under a fill-reducing ordering must solve as exactly as
+        // a fresh ordered factor.
+        let a1 = arrow(20);
+        let mut lu = SparseLu::factor_ordered(
+            &a1,
+            OrderingChoice::Amd,
+            PivotStrategy::default(),
+            &mut FlopCounter::new(),
+        )
+        .unwrap();
+        let mut a2 = a1.clone();
+        for (i, v) in a2.values_mut().iter_mut().enumerate() {
+            *v += 0.02 * ((i % 5) as f64 - 2.0);
+        }
+        lu.refactor(&a2, &mut FlopCounter::new()).unwrap();
+        let b: Vec<f64> = (0..20).map(|i| (i as f64).sin()).collect();
+        let x = lu.solve(&b, &mut FlopCounter::new()).unwrap();
+        let ax = a2.matvec(&x, &mut FlopCounter::new()).unwrap();
+        for (l, r) in ax.iter().zip(b.iter()) {
+            assert!(approx_eq(*l, *r, 1e-10), "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn ordered_fallback_keeps_ordering_choice() {
+        let a1 = arrow(15);
+        let mut lu = SparseLu::factor_ordered(
+            &a1,
+            OrderingChoice::Amd,
+            PivotStrategy::default(),
+            &mut FlopCounter::new(),
+        )
+        .unwrap();
+        // Different pattern forces the full-factor fallback, which must
+        // re-analyze under the same ordering choice.
+        let a2 = arrow(16);
+        let reused = lu.refactor_or_factor(&a2, &mut FlopCounter::new()).unwrap();
+        assert!(!reused);
+        assert_eq!(lu.ordering_name(), "amd");
+        assert_eq!(lu.dim(), 16);
+    }
+
+    #[test]
+    fn factor_symbolic_shares_analysis() {
+        let a = arrow(12);
+        let sym = SymbolicAnalysis::analyze(&a, OrderingChoice::Amd).unwrap();
+        let lu1 = SparseLu::factor_symbolic(
+            sym.clone(),
+            &a,
+            PivotStrategy::default(),
+            &mut FlopCounter::new(),
+        )
+        .unwrap();
+        let mut a2 = a.clone();
+        for v in a2.values_mut() {
+            *v *= 1.5;
+        }
+        let lu2 = SparseLu::factor_symbolic(
+            sym.clone(),
+            &a2,
+            PivotStrategy::default(),
+            &mut FlopCounter::new(),
+        )
+        .unwrap();
+        assert_eq!(lu1.nnz(), lu2.nnz());
+        // A mismatched matrix is rejected up front.
+        let b = arrow(13);
+        assert!(matches!(
+            SparseLu::factor_symbolic(sym, &b, PivotStrategy::default(), &mut FlopCounter::new()),
+            Err(NumericError::PatternChanged { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_invariant_under_ordering() {
+        let a = arrow(9);
+        let mut f = FlopCounter::new();
+        let d_nat = SparseLu::factor(&a, &mut f).unwrap().determinant();
+        for choice in [OrderingChoice::Rcm, OrderingChoice::Amd] {
+            let d = SparseLu::factor_ordered(&a, choice, PivotStrategy::default(), &mut f)
+                .unwrap()
+                .determinant();
+            let rel = (d - d_nat).abs() / d_nat.abs().max(1e-300);
+            assert!(rel < 1e-9, "{choice:?}: {d} vs {d_nat}");
+        }
     }
 }

@@ -1,4 +1,4 @@
-//! Sparse matrix storage and factorization.
+//! Sparse matrix storage and the three-phase LU pipeline.
 //!
 //! Modified nodal analysis produces matrices whose density falls quickly with
 //! circuit size, and the Nano-Sim engines re-solve the same pattern at every
@@ -6,13 +6,23 @@
 //!
 //! * [`TripletMatrix`] — coordinate-format assembly ("stamping") storage,
 //! * [`CsrMatrix`] — compressed sparse row storage with counted mat-vec,
-//! * [`SparseLu`] — a left-looking (Gilbert–Peierls) LU factorization with
-//!   threshold partial pivoting, reusable across right-hand sides.
+//! * the sparse-LU pipeline, split into explicit phases:
+//!   * [`order`] — fill-reducing orderings ([`Natural`], [`Rcm`], [`Amd`]),
+//!     selected by [`OrderingChoice`] (default `Auto`),
+//!   * [`SymbolicAnalysis`] — the permuted pattern + scatter maps, built
+//!     once per sparsity structure,
+//!   * [`SparseLu`] — the left-looking (Gilbert–Peierls) numeric
+//!     factorization with threshold partial pivoting, values-only
+//!     refactorization, and ordering-transparent solves.
 
 mod csr;
 mod lu;
+pub mod order;
+mod symbolic;
 mod triplet;
 
 pub use csr::CsrMatrix;
 pub use lu::{PivotStrategy, SparseLu};
+pub use order::{Amd, Natural, Ordering, OrderingChoice, Rcm};
+pub use symbolic::SymbolicAnalysis;
 pub use triplet::TripletMatrix;

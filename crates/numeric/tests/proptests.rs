@@ -4,7 +4,9 @@ use nanosim_numeric::flops::FlopCounter;
 use nanosim_numeric::interp::PwlFunction;
 use nanosim_numeric::rng::Pcg64;
 use nanosim_numeric::solve::{DenseLuSolver, LinearSolver, SparseLuSolver};
-use nanosim_numeric::sparse::{CsrMatrix, PivotStrategy, SparseLu, TripletMatrix};
+use nanosim_numeric::sparse::{
+    CsrMatrix, OrderingChoice, PivotStrategy, SparseLu, SymbolicAnalysis, TripletMatrix,
+};
 use nanosim_numeric::stats::{percentile, RunningStats};
 use nanosim_numeric::NumericError;
 use proptest::prelude::*;
@@ -73,6 +75,76 @@ proptest! {
             .unwrap();
         for (p, t) in pp.iter().zip(td.iter()) {
             prop_assert!((p - t).abs() < 1e-8 * (1.0 + p.abs()));
+        }
+    }
+
+    /// Every fill-reducing ordering solves random systems to the same
+    /// answer as natural order (callers never see the permutation).
+    #[test]
+    fn orderings_agree_with_natural((n, entries, b) in dominant_system()) {
+        let a = CsrMatrix::from_triplets(n, n, &entries);
+        let xn = SparseLu::factor_ordered(
+            &a,
+            OrderingChoice::Natural,
+            PivotStrategy::default(),
+            &mut FlopCounter::new(),
+        )
+        .unwrap()
+        .solve(&b, &mut FlopCounter::new())
+        .unwrap();
+        for choice in [OrderingChoice::Rcm, OrderingChoice::Amd] {
+            let x = SparseLu::factor_ordered(
+                &a,
+                choice,
+                PivotStrategy::default(),
+                &mut FlopCounter::new(),
+            )
+            .unwrap()
+            .solve(&b, &mut FlopCounter::new())
+            .unwrap();
+            for (o, nat) in x.iter().zip(xn.iter()) {
+                prop_assert!(
+                    (o - nat).abs() < 1e-10 * (1.0 + nat.abs()),
+                    "{choice:?}: {o} vs {nat}"
+                );
+            }
+        }
+    }
+
+    /// Orderings are valid permutations and bit-deterministic across
+    /// repeated runs *and* across threads (they are pure functions of the
+    /// sparsity structure).
+    #[test]
+    fn orderings_deterministic_across_threads((n, entries, _b) in dominant_system()) {
+        let a = CsrMatrix::from_triplets(n, n, &entries);
+        for choice in [OrderingChoice::Rcm, OrderingChoice::Amd, OrderingChoice::Auto] {
+            let reference = SymbolicAnalysis::analyze(&a, choice).unwrap();
+            // Valid permutation.
+            let mut seen = vec![false; n];
+            for &p in reference.fill_perm() {
+                prop_assert!(p < n && !seen[p], "{choice:?}: invalid perm");
+                seen[p] = true;
+            }
+            // Same result again on this thread and on 4 fresh threads.
+            let again = SymbolicAnalysis::analyze(&a, choice).unwrap();
+            prop_assert_eq!(reference.fill_perm(), again.fill_perm());
+            let perms: Vec<Vec<usize>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let a = &a;
+                        s.spawn(move || {
+                            SymbolicAnalysis::analyze(a, choice)
+                                .unwrap()
+                                .fill_perm()
+                                .to_vec()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for p in &perms {
+                prop_assert_eq!(reference.fill_perm(), p.as_slice(), "{:?}", choice);
+            }
         }
     }
 

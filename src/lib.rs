@@ -77,9 +77,10 @@ pub mod prelude {
     pub use nanosim_core::nr::{FailurePolicy, NrEngine, NrOptions};
     pub use nanosim_core::pwl::PwlOptions;
     pub use nanosim_core::sim::{
-        run_ensemble, Analysis, AnalysisKind, Axis, Dataset, ExecPlan, Simulator,
+        run_ensemble, Analysis, AnalysisKind, Axis, Dataset, ExecPlan, SimOptions, Simulator,
     };
     pub use nanosim_core::swec::{DcMode, IntegrationMethod, SwecOptions};
+    pub use nanosim_core::OrderingChoice;
     pub use nanosim_core::{DcSweepResult, EngineStats, SimError, TransientResult, Waveform};
     pub use nanosim_devices::mosfet::{MosType, Mosfet, MosfetParams};
     pub use nanosim_devices::nanowire::{Nanowire, NanowireParams};
