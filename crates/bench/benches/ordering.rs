@@ -5,23 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nanosim::prelude::*;
-use nanosim_numeric::sparse::{CsrMatrix, OrderingChoice, PivotStrategy, SparseLu, TripletMatrix};
+use nanosim_numeric::sparse::{OrderingChoice, PivotStrategy, SparseLu};
 use std::hint::black_box;
-
-/// Assembles the DC SWEC matrix `G_lin + Geq(x)` of the Table I RTD mesh
-/// at a fixed bias-like state, as CSR.
-fn mesh_matrix(n: usize, bias: f64) -> CsrMatrix {
-    let ckt = nanosim::workloads::rtd_mesh_n(n);
-    let mna = MnaSystem::new(&ckt).expect("mesh assembles");
-    let mut flops = FlopCounter::new();
-    let mut g = TripletMatrix::new(mna.dim(), mna.dim());
-    mna.stamp_linear_g(&mut g);
-    for b in mna.nonlinear_bindings() {
-        let geq = b.device.equivalent_conductance(bias, &mut flops) + 1e-12;
-        MnaSystem::stamp_conductance(&mut g, b.var_plus, b.var_minus, geq);
-    }
-    g.to_csr()
-}
 
 const ORDERINGS: [OrderingChoice; 3] = [
     OrderingChoice::Natural,
@@ -34,8 +19,8 @@ fn bench_ordering(c: &mut Criterion) {
         let group_name = format!("ordering_mesh{n}");
         let mut group = c.benchmark_group(&group_name);
         group.sample_size(if n >= 40 { 10 } else { 20 });
-        let a1 = mesh_matrix(n, 0.8);
-        let a2 = mesh_matrix(n, 1.1); // same pattern, step-updated values
+        let a1 = nanosim_bench::table1_mesh_matrix(n, 0.8);
+        let a2 = nanosim_bench::table1_mesh_matrix(n, 1.1); // same pattern, step-updated values
         let b: Vec<f64> = (0..a1.rows()).map(|i| (i as f64 * 0.37).sin()).collect();
 
         // Fill summary first, so the timing numbers below have context.

@@ -7,30 +7,15 @@ use nanosim::core::em::EmEngine;
 use nanosim::core::swec::SwecDcSweep;
 use nanosim::prelude::*;
 use nanosim_numeric::solve::LinearSolver;
-use nanosim_numeric::sparse::{CsrMatrix, SparseLu, TripletMatrix};
+use nanosim_numeric::sparse::SparseLu;
 use std::hint::black_box;
-
-/// Assembles the DC SWEC matrix `G_lin + Geq(x)` of the Table I RTD mesh at
-/// a fixed bias-like state, as CSR.
-fn mesh_matrix(n: usize, bias: f64) -> CsrMatrix {
-    let ckt = nanosim::workloads::rtd_mesh(n);
-    let mna = MnaSystem::new(&ckt).expect("mesh assembles");
-    let mut flops = FlopCounter::new();
-    let mut g = TripletMatrix::new(mna.dim(), mna.dim());
-    mna.stamp_linear_g(&mut g);
-    for b in mna.nonlinear_bindings() {
-        let geq = b.device.equivalent_conductance(bias, &mut flops) + 1e-12;
-        MnaSystem::stamp_conductance(&mut g, b.var_plus, b.var_minus, geq);
-    }
-    g.to_csr()
-}
 
 fn bench_refactor(c: &mut Criterion) {
     let mut group = c.benchmark_group("lu_refactor");
     group.sample_size(30);
     // Table I mesh: 10x10 grid = 101 MNA variables, 100 RTDs.
-    let a1 = mesh_matrix(10, 0.8);
-    let a2 = mesh_matrix(10, 1.1); // same pattern, step-updated conductances
+    let a1 = nanosim_bench::table1_mesh_matrix(10, 0.8);
+    let a2 = nanosim_bench::table1_mesh_matrix(10, 1.1); // same pattern, step-updated conductances
     let b: Vec<f64> = (0..a1.rows()).map(|i| (i as f64 * 0.37).sin()).collect();
 
     group.bench_function("full_factor_mesh10", |bch| {

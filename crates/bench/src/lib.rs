@@ -9,6 +9,24 @@
 #![deny(missing_docs)]
 
 use nanosim::prelude::*;
+use nanosim_numeric::sparse::{CsrMatrix, TripletMatrix};
+
+/// Assembles the DC SWEC matrix `G_lin + Geq(x)` of the Table I N×N RTD
+/// mesh at a fixed bias-like state, as CSR — the standard matrix of the
+/// solver benches (`refactor`, `ordering`, `solve`) and their report
+/// bins, kept in one place so every comparison stamps identical values.
+pub fn table1_mesh_matrix(n: usize, bias: f64) -> CsrMatrix {
+    let ckt = nanosim::workloads::rtd_mesh_n(n);
+    let mna = MnaSystem::new(&ckt).expect("mesh assembles");
+    let mut flops = FlopCounter::new();
+    let mut g = TripletMatrix::new(mna.dim(), mna.dim());
+    mna.stamp_linear_g(&mut g);
+    for b in mna.nonlinear_bindings() {
+        let geq = b.device.equivalent_conductance(bias, &mut flops) + 1e-12;
+        MnaSystem::stamp_conductance(&mut g, b.var_plus, b.var_minus, geq);
+    }
+    g.to_csr()
+}
 
 /// Prints a fixed-width table row.
 pub fn row(cells: &[String], widths: &[usize]) {

@@ -351,6 +351,26 @@ impl AssemblyWorkspace {
         self.solver.solve_into(&self.a, rhs, x, flops)
     }
 
+    /// Batched variant of [`AssemblyWorkspace::factor_solve`]: one factor
+    /// (or refactor) of the assembled matrix serves `nrhs` right-hand
+    /// sides given column-major in `rhs` (`rhs[j*n..][..n]` is column
+    /// `j`), solutions written column-major into `x`. The solver walks the
+    /// factor structure once for the whole block; results are
+    /// bit-identical to `nrhs` separate [`AssemblyWorkspace::factor_solve`]
+    /// calls on the same assembled values.
+    ///
+    /// # Errors
+    /// Propagates singular-matrix errors and shape mismatches.
+    pub fn factor_solve_many(
+        &mut self,
+        rhs: &[f64],
+        nrhs: usize,
+        x: &mut Vec<f64>,
+        flops: &mut FlopCounter,
+    ) -> nanosim_numeric::Result<()> {
+        self.solver.solve_many_into(&self.a, rhs, nrhs, x, flops)
+    }
+
     /// Cumulative sparse-LU telemetry of the embedded solver: factor /
     /// refactor counts, the flop split between them, and the fill of the
     /// cached analysis. Engines delta-account this into

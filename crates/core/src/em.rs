@@ -31,6 +31,14 @@
 //! identical for every [`EmOptions::threads`] setting**, including the
 //! serial `threads = 1`; `tests/stochastic.rs` locks this guarantee in.
 //!
+//! **Batched solves.** Within a chunk the paths advance in *lockstep*:
+//! every path shares the one factorization of `C`, so each time step
+//! assembles all paths' right-hand sides and performs a single
+//! multi-RHS [`SparseLu::solve_many_into`] instead of one factor-structure
+//! walk per path. Per-path arithmetic is bit-identical to the serial
+//! per-path stepping (the batched kernel's lanes match independent solves
+//! bit for bit), so this is purely a throughput optimization.
+//!
 //! **Supported circuits**: every MNA unknown must be a node voltage with
 //! capacitance to ground (no voltage sources, no inductors) — the standard
 //! state-space form. Drive the circuit with current sources; a Thevenin
@@ -410,6 +418,14 @@ impl EmEngine {
     /// chunk-local Welford accumulators (`welford[i * (steps+1) + k]`) and
     /// per-path running maxima. `record_sample` captures the first path's
     /// series (the Figure 10 "one realization").
+    ///
+    /// Paths advance in **lockstep**: at each time step every path's
+    /// right-hand side is assembled (each with its own generator and
+    /// state, so per-path sequences are untouched), then one batched
+    /// multi-RHS solve against the shared `C` factorization advances them
+    /// all — amortizing the factor traversal across the chunk. For every
+    /// `(variable, step)` accumulator the paths still push in ascending
+    /// path order, so the reduction is bit-identical to per-path stepping.
     fn simulate_chunk(
         &self,
         mats: &CircuitMatrices,
@@ -419,57 +435,76 @@ impl EmEngine {
         record_sample: bool,
     ) -> Result<ChunkStats> {
         let dim = mats.mna.dim();
+        let npaths = path_rngs.len();
         let sqrt_dt = self.opts.dt.sqrt();
         let mut state = PathState::new(mats);
         let mut stats = EngineStats::new();
         let mut flops = FlopCounter::new();
         let mut welford = vec![RunningStats::new(); dim * (steps + 1)];
-        let mut maxima: Vec<Vec<f64>> = vec![Vec::with_capacity(path_rngs.len()); dim];
-        let mut max_v = vec![f64::NEG_INFINITY; dim];
+        let mut maxima: Vec<Vec<f64>> = vec![Vec::with_capacity(npaths); dim];
         let mut sample: Option<Vec<Vec<f64>>> = None;
 
-        for (p, path_rng) in path_rngs.iter().enumerate() {
-            let mut rng = path_rng.clone();
-            state.x.fill(0.0);
-            for (i, m) in max_v.iter_mut().enumerate() {
-                let v = state.x[i];
+        // Per-path evolution state; the assembly workspace and scratch
+        // vectors in `state` are shared across paths (re-stamped per
+        // path), the batched blocks are column-major `dim × npaths`.
+        let mut rngs: Vec<Pcg64> = path_rngs.to_vec();
+        let mut xs: Vec<Vec<f64>> = vec![vec![0.0; dim]; npaths];
+        let mut max_v = vec![vec![f64::NEG_INFINITY; dim]; npaths];
+        let mut rhs_block = vec![0.0f64; dim * npaths];
+        let mut delta_block: Vec<f64> = Vec::new();
+        let mut solve_work: Vec<f64> = Vec::new();
+
+        for (p, (x, mv)) in xs.iter().zip(max_v.iter_mut()).enumerate() {
+            for (i, m) in mv.iter_mut().enumerate() {
+                let v = x[i];
                 welford[i * (steps + 1)].push(v);
                 *m = v;
             }
-            let recording = record_sample && p == 0;
-            if recording {
-                sample = Some((0..dim).map(|i| vec![state.x[i]]).collect());
+            if record_sample && p == 0 {
+                sample = Some((0..dim).map(|i| vec![x[i]]).collect());
             }
-            for k in 0..steps {
-                let t = k as f64 * self.opts.dt;
+        }
+        for k in 0..steps {
+            let t = k as f64 * self.opts.dt;
+            for (p, (x, rng)) in xs.iter().zip(rngs.iter_mut()).enumerate() {
                 for dw in state.dws.iter_mut() {
                     *dw = sqrt_dt * rng.next_gaussian();
                 }
-                self.em_step(
-                    mats,
-                    c_lu,
-                    &mut state,
-                    t,
-                    self.opts.dt,
-                    &mut stats,
-                    &mut flops,
-                )?;
-                for (i, m) in max_v.iter_mut().enumerate() {
-                    let v = state.x[i];
+                state.x.copy_from_slice(x);
+                self.assemble_rhs(mats, &mut state, t, self.opts.dt, &mut stats, &mut flops)?;
+                rhs_block[p * dim..(p + 1) * dim].copy_from_slice(&state.rhs);
+            }
+            // One factor traversal advances the whole chunk.
+            c_lu.solve_many_into(
+                &rhs_block,
+                npaths,
+                &mut delta_block,
+                &mut solve_work,
+                &mut flops,
+            )?;
+            stats.linear_solves += npaths as u64;
+            for (p, (x, mv)) in xs.iter_mut().zip(max_v.iter_mut()).enumerate() {
+                for (i, xi) in x.iter_mut().enumerate() {
+                    *xi += delta_block[p * dim + i];
+                    let v = *xi;
                     welford[i * (steps + 1) + k + 1].push(v);
-                    if v > *m {
-                        *m = v;
+                    if v > mv[i] {
+                        mv[i] = v;
                     }
                 }
-                if recording {
-                    let cols = sample.as_mut().expect("initialized above");
-                    for (i, c) in cols.iter_mut().enumerate() {
-                        c.push(state.x[i]);
+                if p == 0 {
+                    if let Some(cols) = sample.as_mut() {
+                        for (i, c) in cols.iter_mut().enumerate() {
+                            c.push(x[i]);
+                        }
                     }
                 }
             }
+            flops.add((dim * npaths) as u64);
+        }
+        for mv in &max_v {
             for (i, m) in maxima.iter_mut().enumerate() {
-                m.push(max_v[i]);
+                m.push(mv[i]);
             }
         }
         stats.flops += flops;
@@ -481,14 +516,13 @@ impl EmEngine {
         })
     }
 
-    /// One EM step in place: `x += C^{-1}[(b - Gx)·dt + B·dW]`, with the
-    /// increments already in `state.dws`. Assembly scatter-updates the
-    /// workspace pattern and every vector lives in `state` — zero heap
-    /// allocations per step.
-    fn em_step(
+    /// Assembles one path's right-hand side
+    /// `rhs = (b - G(x)·x)·dt + B·dW` into `state.rhs` (`G` re-stamped at
+    /// the path's current state; the increments already in `state.dws`).
+    /// Shared by the serial stepper and the lockstep batched chunks.
+    fn assemble_rhs(
         &self,
         mats: &CircuitMatrices,
-        c_lu: &SparseLu,
         state: &mut PathState,
         t: f64,
         dt: f64,
@@ -533,6 +567,25 @@ impl EmEngine {
                 flops.fma(1);
             }
         }
+        Ok(())
+    }
+
+    /// One EM step in place: `x += C^{-1}[(b - Gx)·dt + B·dW]`, with the
+    /// increments already in `state.dws`. Assembly scatter-updates the
+    /// workspace pattern and every vector lives in `state` — zero heap
+    /// allocations per step.
+    fn em_step(
+        &self,
+        mats: &CircuitMatrices,
+        c_lu: &SparseLu,
+        state: &mut PathState,
+        t: f64,
+        dt: f64,
+        stats: &mut EngineStats,
+        flops: &mut FlopCounter,
+    ) -> Result<()> {
+        let dim = mats.mna.dim();
+        self.assemble_rhs(mats, state, t, dt, stats, flops)?;
         // x += C^{-1} rhs.
         c_lu.solve_into(&state.rhs, &mut state.delta, &mut state.solve_work, flops)?;
         stats.linear_solves += 1;

@@ -10,6 +10,12 @@
 //! hiding them, and implements the standard SPICE rescue strategies (Newton
 //! damping, gmin stepping, source stepping) plus the per-device voltage
 //! limiting that the MLA baseline builds on.
+//!
+//! Newton iterations share the same cached-LU policy as the SWEC
+//! engines: each iteration refactors one analysis, degraded pivots are
+//! absorbed by a solve-time refinement step when possible, and the
+//! factor/refactor/solve flop split (plus any refinement steps) lands in
+//! [`EngineStats`].
 
 use crate::assemble::{
     branch_voltage, mna_var_names, override_source_rhs, require_sweepable_source,

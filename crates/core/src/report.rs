@@ -30,6 +30,13 @@ pub struct EngineStats {
     /// Floating point operations spent in refactorizations (a subset of
     /// `flops`).
     pub refactor_flops: u64,
+    /// Floating point operations spent in triangular solves (a subset of
+    /// `flops`) — the per-solve attribution behind the solve benches.
+    pub solve_flops: u64,
+    /// Iterative-refinement steps taken on degraded-pivot refactorizations
+    /// (each one kept a cached analysis alive past a pivot decay instead
+    /// of paying a full re-pivoting factorization).
+    pub refinement_steps: u64,
     /// Stored nonzeros of `L + U` in the run's sparse-LU analysis (the
     /// largest seen when several analyses were involved; 0 when the run
     /// never factored).
@@ -37,6 +44,10 @@ pub struct EngineStats {
     /// Fill ratio `nnz(L + U) / nnz(A)` of that analysis (1.0 = no
     /// fill-in; 0 when the run never factored).
     pub fill_ratio: f64,
+    /// Multi-column supernodes of that analysis's blocked kernel plan.
+    pub supernodes: u64,
+    /// Factor columns covered by those supernodes.
+    pub supernode_cols: u64,
     /// Nonlinear device model evaluations.
     pub device_evals: u64,
     /// Floating point operations (solves + model evaluations).
@@ -70,15 +81,19 @@ impl EngineStats {
         self.refactors += other.refactors;
         self.factor_flops += other.factor_flops;
         self.refactor_flops += other.refactor_flops;
-        // Fill diagnostics describe an analysis, not a quantity of work:
-        // adopt the largest analysis seen, keeping its (nnz_lu, fill_ratio)
-        // pair coherent (never mixing one analysis's nnz with another's
-        // ratio).
+        self.solve_flops += other.solve_flops;
+        self.refinement_steps += other.refinement_steps;
+        // Fill/supernode diagnostics describe an analysis, not a quantity
+        // of work: adopt the largest analysis seen, keeping its
+        // (nnz_lu, fill_ratio, supernodes) tuple coherent (never mixing
+        // one analysis's nnz with another's ratio).
         if other.nnz_lu > self.nnz_lu
             || (other.nnz_lu == self.nnz_lu && other.fill_ratio > self.fill_ratio)
         {
             self.nnz_lu = other.nnz_lu;
             self.fill_ratio = other.fill_ratio;
+            self.supernodes = other.supernodes;
+            self.supernode_cols = other.supernode_cols;
         }
         self.device_evals += other.device_evals;
         self.flops += other.flops;
@@ -94,29 +109,43 @@ impl EngineStats {
         self.refactors += after.refactors - before.refactors;
         self.factor_flops += after.factor_flops - before.factor_flops;
         self.refactor_flops += after.refactor_flops - before.refactor_flops;
+        self.solve_flops += after.solve_flops - before.solve_flops;
+        self.refinement_steps += after.refinement_steps - before.refinement_steps;
         if after.nnz_lu > self.nnz_lu
             || (after.nnz_lu == self.nnz_lu && after.fill_ratio() > self.fill_ratio)
         {
             self.nnz_lu = after.nnz_lu;
             self.fill_ratio = after.fill_ratio();
+            self.supernodes = after.supernodes;
+            self.supernode_cols = after.supernode_cols;
         }
     }
 }
 
 impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The factor/refactor/solve flop split and the refinement count
+        // print unconditionally (zeros included) so bench report bins show
+        // one consistent table whatever the run did.
         write!(
             f,
-            "{} steps ({} rejected), {} iterations, {} solves ({} factor / {} refactor), \
-             lu nnz {} (fill {:.2}x), {} device evals, {}, {:.3} ms",
+            "{} steps ({} rejected), {} iterations, {} solves ({} factor / {} refactor, \
+             {} refinement), lu flops {} factor / {} refactor / {} solve, \
+             lu nnz {} (fill {:.2}x, {} supernodes over {} cols), {} device evals, {}, {:.3} ms",
             self.steps,
             self.rejected_steps,
             self.iterations,
             self.linear_solves,
             self.full_factors,
             self.refactors,
+            self.refinement_steps,
+            self.factor_flops,
+            self.refactor_flops,
+            self.solve_flops,
             self.nnz_lu,
             self.fill_ratio,
+            self.supernodes,
+            self.supernode_cols,
             self.device_evals,
             self.flops,
             self.elapsed.as_secs_f64() * 1e3
@@ -170,22 +199,34 @@ mod tests {
             refactors: 10,
             factor_flops: 100,
             refactor_flops: 50,
+            solve_flops: 7,
+            refinement_steps: 0,
             nnz_lu: 40,
             nnz_a: 20,
+            supernodes: 3,
+            supernode_cols: 9,
         };
         let after = LuStats {
             full_factors: 3,
             refactors: 25,
             factor_flops: 180,
             refactor_flops: 90,
+            solve_flops: 27,
+            refinement_steps: 2,
             nnz_lu: 40,
             nnz_a: 20,
+            supernodes: 3,
+            supernode_cols: 9,
         };
         s.absorb_lu(&before, &after);
         assert_eq!(s.full_factors, 1);
         assert_eq!(s.refactors, 15);
         assert_eq!(s.factor_flops, 80);
         assert_eq!(s.refactor_flops, 40);
+        assert_eq!(s.solve_flops, 20);
+        assert_eq!(s.refinement_steps, 2);
+        assert_eq!(s.supernodes, 3);
+        assert_eq!(s.supernode_cols, 9);
         assert_eq!(s.nnz_lu, 40);
         assert!((s.fill_ratio - 2.0).abs() < 1e-12);
         // Merging keeps the largest analysis's coherent (nnz, fill) pair —

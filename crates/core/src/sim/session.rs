@@ -285,6 +285,12 @@ impl Simulator {
     /// genuine bistability fold) and continue like the serial sweep would.
     /// Because chunk boundaries and warm-starts depend only on the point
     /// index, results are bit-identical for every worker count.
+    ///
+    /// All chunks' *first* ramp points share one state (`x = 0`, the
+    /// warmed `Geq(0)` matrix), so they are computed up front by a single
+    /// batched multi-RHS solve ([`AssemblyWorkspace::factor_solve_many`])
+    /// before the fan-out — one refactor and one factor traversal replace
+    /// one refactor per chunk, bit-identically.
     fn run_dc_sweep(&mut self, req: DcSweep) -> Result<Dataset> {
         let DcSweep {
             source,
@@ -332,19 +338,57 @@ impl Simulator {
             warm_stats.absorb_lu(&lu0, &warm_lu);
             warm_lu
         };
-        let base_ws = self.dc_ws.as_ref().expect("created above");
-        let mats = &self.mats;
-
         let n_points = ((stop - start) / step).round() as i64 + 1;
         let n_points = n_points.max(1) as usize;
         let values: Vec<f64> = (0..n_points).map(|k| start + step * k as f64).collect();
         let n_chunks = n_points.div_ceil(SWEEP_CHUNK);
 
+        // Every chunk past the first begins its continuation ramp at the
+        // same state (`x = 0`, `Geq(0)` — exactly the warmed matrix), so
+        // all first ramp points are computed up front with **one** batched
+        // multi-RHS solve instead of one refactor per chunk. Each seed is
+        // bit-identical to the solve the chunk would have performed, and
+        // the batch happens before the fan-out, so worker counts cannot
+        // affect it.
+        let (warm_lu, seeds) = if n_chunks > 1 {
+            let ramp_values: Vec<f64> = (1..n_chunks)
+                .map(|ci| {
+                    let prev = values[ci * SWEEP_CHUNK - 1];
+                    start + (prev - start) / WARM_START_RAMP as f64
+                })
+                .collect();
+            let ws = self.dc_ws.as_mut().expect("created above");
+            let lu0 = ws.lu_stats();
+            let mut buf = DcBuffers::default();
+            let x0 = vec![0.0; self.mats.mna.dim()];
+            let seeds = engine.solve_noniterative_batch_ws(
+                &self.mats,
+                ws,
+                &mut buf,
+                &source,
+                &ramp_values,
+                &x0,
+                &mut warm_stats,
+            )?;
+            let warm_lu = ws.lu_stats();
+            warm_stats.absorb_lu(&lu0, &warm_lu);
+            (warm_lu, seeds)
+        } else {
+            (warm_lu, Vec::new())
+        };
+        let base_ws = self.dc_ws.as_ref().expect("created above");
+        let mats = &self.mats;
+
         let chunks = try_par_map(n_chunks, plan.workers(), |ci| {
             let lo = ci * SWEEP_CHUNK;
             let hi = n_points.min(lo + SWEEP_CHUNK);
+            let seed = if ci > 0 {
+                Some(&seeds[ci - 1][..])
+            } else {
+                None
+            };
             sweep_chunk(
-                &engine, mats, base_ws, warm_lu, &source, start, &values, lo, hi,
+                &engine, mats, base_ws, warm_lu, &source, start, &values, lo, hi, seed,
             )
         })?;
 
@@ -418,6 +462,7 @@ fn sweep_chunk(
     values: &[f64],
     lo: usize,
     hi: usize,
+    warm_seed: Option<&[f64]>,
 ) -> Result<SweepChunk> {
     let mut ws = base_ws.clone();
     let mut buf = DcBuffers::default();
@@ -437,7 +482,13 @@ fn sweep_chunk(
     let mut x = vec![0.0; dim];
     if lo > 0 {
         let prev = values[lo - 1];
-        for s in 1..=WARM_START_RAMP {
+        // The first ramp point was computed centrally by the batched
+        // multi-RHS warm start (bit-identical to solving it here); the
+        // shard continues the ramp from that seed.
+        x = warm_seed
+            .expect("chunks past the first carry a seed")
+            .to_vec();
+        for s in 2..=WARM_START_RAMP {
             let frac = s as f64 / WARM_START_RAMP as f64;
             let v = sweep_start + (prev - sweep_start) * frac;
             x = engine.solve_noniterative_ws(

@@ -266,6 +266,48 @@ impl SwecDcSweep {
         Ok(buf.x_new.clone())
     }
 
+    /// Batched non-iterative SWEC solves: one `Geq(x0)` assembly and one
+    /// factorization serve *every* source value in `values`, the linear
+    /// systems differing only in their right-hand sides. Used by the
+    /// sharded sweep to compute all chunks' first warm-start ramp points
+    /// with a single multi-RHS solve instead of one refactor per chunk —
+    /// each returned solution is bit-identical to the corresponding
+    /// [`SwecDcSweep::solve_noniterative_ws`] call from the same state.
+    pub(crate) fn solve_noniterative_batch_ws(
+        &self,
+        mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
+        buf: &mut DcBuffers,
+        source: &str,
+        values: &[f64],
+        x0: &[f64],
+        stats: &mut EngineStats,
+    ) -> Result<Vec<Vec<f64>>> {
+        let mna = &mats.mna;
+        let dim = mna.dim();
+        let k = values.len();
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let mut flops = FlopCounter::new();
+        self.stamp_geq(mats, ws, x0, stats, &mut flops);
+        buf.rhs.resize(dim, 0.0);
+        let mut rhs_block = vec![0.0; dim * k];
+        for (j, &value) in values.iter().enumerate() {
+            mna.stamp_rhs(0.0, &mut buf.rhs);
+            override_source_rhs(mna, source, value, 0.0, &mut buf.rhs);
+            rhs_block[j * dim..(j + 1) * dim].copy_from_slice(&buf.rhs);
+        }
+        let mut x_block = Vec::new();
+        ws.factor_solve_many(&rhs_block, k, &mut x_block, &mut flops)?;
+        stats.linear_solves += k as u64;
+        stats.iterations += k as u64;
+        stats.flops += flops;
+        Ok((0..k)
+            .map(|j| x_block[j * dim..(j + 1) * dim].to_vec())
+            .collect())
+    }
+
     /// Stamps the linear G plus every device's `Geq(x0)` into the workspace.
     fn stamp_geq(
         &self,

@@ -9,6 +9,14 @@
 //! additionally rejected (and halved) when a node moves more than
 //! `dv_max` in one step — the "too large a time step might lead to the
 //! failure of implicit integration" guard of §3.2.
+//!
+//! The per-step solve is a values-only refactorization of one cached
+//! analysis. On stiff transients whose conductances swing over many
+//! decades, a cached pivot may decay; the embedded
+//! [`nanosim_numeric::solve::SparseLuSolver`] then applies one
+//! iterative-refinement step at solve time instead of re-pivoting, so
+//! the analysis (and its supernodal kernel plan) survives the stiff
+//! stretch — `EngineStats::refinement_steps` counts those recoveries.
 
 use crate::assemble::{branch_voltage, mna_var_names, AssemblyWorkspace, CircuitMatrices};
 use crate::report::EngineStats;

@@ -6,19 +6,25 @@
 //!
 //! [`SparseLuSolver`] is *stateful*: it keeps the last factorization and,
 //! when asked to solve a matrix with the same sparsity pattern, reuses the
-//! cached symbolic analysis via [`SparseLu::refactor_or_factor`] — the
-//! factor-once/refactor-many strategy the transient engines rely on. The
-//! [`LinearSolver::solve_into`] entry point additionally avoids allocating
-//! the solution vector, so a warmed-up solver performs zero heap
-//! allocations per solve.
+//! cached symbolic analysis through a tolerant values-only refactor — the
+//! factor-once/refactor-many strategy the transient engines rely on. A
+//! refactor whose cached pivot has degraded no longer forces a full
+//! re-pivot: the solver completes the pass and recovers accuracy with one
+//! **iterative-refinement step** at solve time, re-pivoting only when the
+//! refined residual is still unacceptable (counted in
+//! [`LuStats::refinement_steps`]). The [`LinearSolver::solve_into`] entry
+//! point avoids allocating the solution vector, so a warmed-up solver
+//! performs zero heap allocations per solve, and
+//! [`LinearSolver::solve_many_into`] batches many right-hand sides
+//! through one factor traversal.
 //!
 //! The sparse backend carries an [`OrderingChoice`]: the fill-reducing
 //! ordering is applied inside the cached analysis (phase 1 of the
 //! ordering → symbolic → numeric pipeline) and is completely transparent to
 //! callers — right-hand sides and solutions stay in original numbering.
-//! [`LuStats`] exposes the resulting fill and work telemetry
-//! (`nnz_lu`, fill ratio, factor-vs-refactor flop split) that the engine
-//! statistics surface.
+//! [`LuStats`] exposes the resulting fill and work telemetry (`nnz_lu`,
+//! fill ratio, supernode coverage, the factor/refactor/solve flop split
+//! and refinement counts) that the engine statistics surface.
 
 use crate::dense::DenseMatrix;
 use crate::flops::FlopCounter;
@@ -55,6 +61,42 @@ pub trait LinearSolver: Debug {
         let result = self.solve(a, b, flops)?;
         x.clear();
         x.extend_from_slice(&result);
+        Ok(())
+    }
+
+    /// Solves `a·X = B` for `nrhs` right-hand sides given column-major in
+    /// `b` (`b[j*n..][..n]` is column `j`), writing the solutions
+    /// column-major into `x`. Backends that cache factorizations traverse
+    /// the factor structure **once** for all columns; the default
+    /// implementation simply loops [`LinearSolver::solve_into`], which is
+    /// the reference behavior batched backends must match bit for bit.
+    ///
+    /// # Errors
+    /// Same as [`LinearSolver::solve`]; additionally rejects `nrhs == 0`
+    /// or a `b` whose length is not `nrhs * a.rows()`.
+    fn solve_many_into(
+        &mut self,
+        a: &CsrMatrix,
+        b: &[f64],
+        nrhs: usize,
+        x: &mut Vec<f64>,
+        flops: &mut FlopCounter,
+    ) -> Result<()> {
+        let n = a.rows();
+        if nrhs == 0 || b.len() != n * nrhs {
+            return Err(crate::NumericError::DimensionMismatch {
+                context: format!(
+                    "multi-rhs solve: rhs block of {} for n={n} x k={nrhs}",
+                    b.len()
+                ),
+            });
+        }
+        x.resize(n * nrhs, 0.0);
+        let mut col = Vec::new();
+        for j in 0..nrhs {
+            self.solve_into(a, &b[j * n..(j + 1) * n], &mut col, flops)?;
+            x[j * n..(j + 1) * n].copy_from_slice(&col);
+        }
         Ok(())
     }
 
@@ -97,10 +139,22 @@ pub struct LuStats {
     pub factor_flops: u64,
     /// Floating point operations spent in refactorizations.
     pub refactor_flops: u64,
+    /// Floating point operations spent in triangular solves (forward /
+    /// backward substitution after the factors were ready).
+    pub solve_flops: u64,
+    /// Iterative-refinement steps performed on degraded-pivot
+    /// refactorizations (each one extends the life of the cached analysis
+    /// past a pivot decay that previously forced a full re-pivot).
+    pub refinement_steps: u64,
     /// `nnz(L + U)` of the current cached factorization (0 when cold).
     pub nnz_lu: u64,
     /// `nnz(A)` of the current cached factorization (0 when cold).
     pub nnz_a: u64,
+    /// Multi-column supernodes of the cached factorization's blocked
+    /// kernel plan (0 when cold).
+    pub supernodes: u64,
+    /// Factor columns covered by those supernodes (0 when cold).
+    pub supernode_cols: u64,
 }
 
 impl LuStats {
@@ -122,11 +176,21 @@ pub struct SparseLuSolver {
     strategy: PivotStrategy,
     ordering: OrderingChoice,
     cached: Option<SparseLu>,
+    /// Cached factors carry a degraded pivot (tolerant refactor): solves
+    /// run one iterative-refinement step and fall back to a full
+    /// re-pivoting factorization only when refinement cannot restore
+    /// accuracy.
+    degraded: bool,
     work: Vec<f64>,
+    /// Residual / correction scratch of the refinement step.
+    resid: Vec<f64>,
+    corr: Vec<f64>,
     full_factors: u64,
     refactors: u64,
     factor_flops: u64,
     refactor_flops: u64,
+    solve_flops: u64,
+    refinement_steps: u64,
 }
 
 impl SparseLuSolver {
@@ -171,17 +235,26 @@ impl SparseLuSolver {
     /// Cumulative factorization telemetry: counts, flop split, and the
     /// fill of the cached analysis.
     pub fn lu_stats(&self) -> LuStats {
-        let (nnz_lu, nnz_a) = match &self.cached {
-            Some(lu) => (lu.nnz() as u64, lu.nnz_a() as u64),
-            None => (0, 0),
+        let (nnz_lu, nnz_a, supernodes, supernode_cols) = match &self.cached {
+            Some(lu) => (
+                lu.nnz() as u64,
+                lu.nnz_a() as u64,
+                lu.supernode_count() as u64,
+                lu.supernode_cols() as u64,
+            ),
+            None => (0, 0, 0, 0),
         };
         LuStats {
             full_factors: self.full_factors,
             refactors: self.refactors,
             factor_flops: self.factor_flops,
             refactor_flops: self.refactor_flops,
+            solve_flops: self.solve_flops,
+            refinement_steps: self.refinement_steps,
             nnz_lu,
             nnz_a,
+            supernodes,
+            supernode_cols,
         }
     }
 
@@ -197,6 +270,142 @@ impl SparseLuSolver {
     /// Drops the cached factorization (next solve runs a full factor).
     pub fn invalidate(&mut self) {
         self.cached = None;
+        self.degraded = false;
+    }
+}
+
+impl SparseLuSolver {
+    /// Refactors (tolerantly) or factors so the cached factorization
+    /// matches `a`, maintaining the factor/refactor accounting and the
+    /// `degraded` flag the solve paths consult.
+    fn ensure_factors(&mut self, a: &CsrMatrix, flops: &mut FlopCounter) -> Result<()> {
+        let before = flops.total();
+        match &mut self.cached {
+            Some(lu) => {
+                // Degraded pivots no longer abort the refactor: the pass
+                // completes and the solve recovers accuracy with one
+                // iterative-refinement step, extending the cached
+                // analysis's life past pivot decay. Work burned in a
+                // failed attempt is still refactor work, not factor work.
+                match lu.refactor_tolerant(a, flops) {
+                    Ok(worst_ratio) => {
+                        self.refactors += 1;
+                        self.refactor_flops += flops.total() - before;
+                        self.degraded = worst_ratio < crate::sparse::REFACTOR_PIVOT_RATIO;
+                    }
+                    Err(crate::NumericError::PatternChanged { .. })
+                    | Err(crate::NumericError::SingularMatrix { .. }) => {
+                        self.refactor_flops += flops.total() - before;
+                        self.full_factor(a, flops)?;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            None => {
+                self.cached = Some(SparseLu::factor_ordered(
+                    a,
+                    self.ordering,
+                    self.strategy,
+                    flops,
+                )?);
+                self.full_factors += 1;
+                self.factor_flops += flops.total() - before;
+                self.degraded = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Full re-pivoting factorization of `a`, reusing the cached symbolic
+    /// analysis when the pattern still matches (only a genuine pattern
+    /// change re-runs the ordering).
+    fn full_factor(&mut self, a: &CsrMatrix, flops: &mut FlopCounter) -> Result<()> {
+        let start = flops.total();
+        let fresh = match &self.cached {
+            Some(lu) if lu.symbolic().matches(a) => {
+                SparseLu::factor_symbolic(lu.symbolic().clone(), a, self.strategy, flops)?
+            }
+            _ => SparseLu::factor_ordered(a, self.ordering, self.strategy, flops)?,
+        };
+        self.cached = Some(fresh);
+        self.full_factors += 1;
+        self.factor_flops += flops.total() - start;
+        self.degraded = false;
+        Ok(())
+    }
+
+    /// One solve against the already-ensured factors, with the
+    /// degraded-pivot refinement policy applied (shared by the single- and
+    /// the degraded multi-RHS paths).
+    fn solve_one(
+        &mut self,
+        a: &CsrMatrix,
+        b: &[f64],
+        x: &mut Vec<f64>,
+        flops: &mut FlopCounter,
+    ) -> Result<()> {
+        let solve_start = flops.total();
+        let lu = self.cached.as_ref().expect("factors ensured");
+        lu.solve_into(b, x, &mut self.work, flops)?;
+        if self.degraded {
+            // Try one residual-refinement step before surrendering the
+            // cached pivot order; only an unrecoverable residual pays for
+            // a full re-pivot.
+            if !self.refine_once(a, b, x, flops)? {
+                self.solve_flops += flops.total() - solve_start;
+                self.full_factor(a, flops)?;
+                let resolve_start = flops.total();
+                let lu = self.cached.as_ref().expect("factors ensured");
+                lu.solve_into(b, x, &mut self.work, flops)?;
+                self.solve_flops += flops.total() - resolve_start;
+                return Ok(());
+            }
+        }
+        self.solve_flops += flops.total() - solve_start;
+        Ok(())
+    }
+
+    /// One iterative-refinement step on `x` (`r = b − A·x`, solve the
+    /// correction, apply it), returning whether the refined solution's
+    /// residual is acceptably small relative to the problem scale.
+    fn refine_once(
+        &mut self,
+        a: &CsrMatrix,
+        b: &[f64],
+        x: &mut [f64],
+        flops: &mut FlopCounter,
+    ) -> Result<bool> {
+        /// Relative residual (∞-norm, against `‖b‖ + ‖A·x‖`) below which a
+        /// refined degraded-pivot solve is accepted without re-pivoting.
+        const REFINE_ACCEPT: f64 = 1e-9;
+        let n = x.len();
+        self.resid.resize(n, 0.0);
+        a.matvec_into(x, &mut self.resid, flops)?;
+        for (r, bi) in self.resid.iter_mut().zip(b) {
+            *r = bi - *r;
+        }
+        flops.add(n as u64);
+        let Self {
+            cached, work, corr, ..
+        } = self;
+        let lu = cached.as_ref().expect("factors ensured");
+        lu.solve_into(&self.resid, corr, work, flops)?;
+        for (xi, c) in x.iter_mut().zip(&self.corr) {
+            *xi += c;
+        }
+        flops.add(n as u64);
+        self.refinement_steps += 1;
+        // Accept when the post-refinement residual is small against the
+        // natural scale of the system.
+        a.matvec_into(x, &mut self.resid, flops)?;
+        let mut scale = 0.0f64;
+        let mut resid_max = 0.0f64;
+        for (ax, bi) in self.resid.iter().zip(b) {
+            scale = scale.max(ax.abs()).max(bi.abs());
+            resid_max = resid_max.max((bi - ax).abs());
+        }
+        flops.add(n as u64);
+        Ok(resid_max.is_finite() && resid_max <= REFINE_ACCEPT * scale.max(f64::MIN_POSITIVE))
     }
 }
 
@@ -214,53 +423,45 @@ impl LinearSolver for SparseLuSolver {
         x: &mut Vec<f64>,
         flops: &mut FlopCounter,
     ) -> Result<()> {
-        let before = flops.total();
-        match &mut self.cached {
-            Some(lu) => {
-                // Same policy as `SparseLu::refactor_or_factor`, inlined so
-                // the flop split stays honest: work burned in an aborted
-                // refactor attempt is refactor work, not factor work.
-                match lu.refactor(a, flops) {
-                    Ok(()) => {
-                        self.refactors += 1;
-                        self.refactor_flops += flops.total() - before;
-                    }
-                    Err(crate::NumericError::PatternChanged { .. })
-                    | Err(crate::NumericError::SingularMatrix { .. }) => {
-                        self.refactor_flops += flops.total() - before;
-                        let factor_start = flops.total();
-                        *lu = if lu.symbolic().matches(a) {
-                            // Pivot degraded on an unchanged pattern: the
-                            // ordering and permuted structure are still
-                            // exact — only re-pivot.
-                            SparseLu::factor_symbolic(
-                                lu.symbolic().clone(),
-                                a,
-                                self.strategy,
-                                flops,
-                            )?
-                        } else {
-                            SparseLu::factor_ordered(a, self.ordering, self.strategy, flops)?
-                        };
-                        self.full_factors += 1;
-                        self.factor_flops += flops.total() - factor_start;
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-            None => {
-                self.cached = Some(SparseLu::factor_ordered(
-                    a,
-                    self.ordering,
-                    self.strategy,
-                    flops,
-                )?);
-                self.full_factors += 1;
-                self.factor_flops += flops.total() - before;
-            }
+        self.ensure_factors(a, flops)?;
+        self.solve_one(a, b, x, flops)
+    }
+
+    fn solve_many_into(
+        &mut self,
+        a: &CsrMatrix,
+        b: &[f64],
+        nrhs: usize,
+        x: &mut Vec<f64>,
+        flops: &mut FlopCounter,
+    ) -> Result<()> {
+        let n = a.rows();
+        if nrhs == 0 || b.len() != n * nrhs {
+            return Err(crate::NumericError::DimensionMismatch {
+                context: format!(
+                    "multi-rhs solve: rhs block of {} for n={n} x k={nrhs}",
+                    b.len()
+                ),
+            });
         }
-        let lu = self.cached.as_ref().expect("factorization cached above");
-        lu.solve_into(b, x, &mut self.work, flops)
+        self.ensure_factors(a, flops)?;
+        if self.degraded {
+            // Degraded factors refine per right-hand side, exactly like
+            // `nrhs` independent `solve_into` calls would — keeping the
+            // trait's bit-for-bit equivalence in the degraded regime too.
+            x.resize(n * nrhs, 0.0);
+            let mut col = Vec::new();
+            for j in 0..nrhs {
+                self.solve_one(a, &b[j * n..(j + 1) * n], &mut col, flops)?;
+                x[j * n..(j + 1) * n].copy_from_slice(&col);
+            }
+            return Ok(());
+        }
+        let solve_start = flops.total();
+        let lu = self.cached.as_ref().expect("factors ensured above");
+        lu.solve_many_into(b, nrhs, x, &mut self.work, flops)?;
+        self.solve_flops += flops.total() - solve_start;
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -406,6 +607,108 @@ mod tests {
         assert_eq!(s.ordering_name(), "rcm");
         assert_eq!(s.lu_stats(), LuStats::default());
         assert_eq!(s.lu_stats().fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn degraded_refactor_refines_instead_of_repivoting() {
+        // Healthy factor, then values that collapse the cached pivot to
+        // 1e-9 of its column max: the solver must complete the tolerant
+        // refactor, apply one refinement step, and keep the cached pivot
+        // order alive (no new full factorization).
+        let entries = [(0, 0, 5.0), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 5.0)];
+        let a1 = CsrMatrix::from_triplets(2, 2, &entries);
+        let mut solver = SparseLuSolver::new();
+        let b = [1.0, 6.0];
+        let mut x = Vec::new();
+        let mut flops = FlopCounter::new();
+        solver.solve_into(&a1, &b, &mut x, &mut flops).unwrap();
+        assert_eq!(solver.lu_stats().refinement_steps, 0);
+        let degraded = [(0, 0, 1e-9), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 5.0)];
+        let a2 = CsrMatrix::from_triplets(2, 2, &degraded);
+        solver.solve_into(&a2, &b, &mut x, &mut flops).unwrap();
+        let stats = solver.lu_stats();
+        assert_eq!(stats.full_factors, 1, "refinement avoided the re-pivot");
+        assert_eq!(stats.refactors, 1);
+        assert_eq!(stats.refinement_steps, 1);
+        assert!(stats.solve_flops > 0);
+        // The refined solution satisfies the degraded system tightly.
+        let ax = a2.matvec(&x, &mut flops).unwrap();
+        assert!((ax[0] - 1.0).abs() < 1e-9 && (ax[1] - 6.0).abs() < 1e-9);
+        // A healthy refactor afterwards clears the degraded state: no
+        // further refinement.
+        solver.solve_into(&a1, &b, &mut x, &mut flops).unwrap();
+        assert_eq!(solver.lu_stats().refinement_steps, 1);
+    }
+
+    #[test]
+    fn solver_batched_solve_matches_singles() {
+        let (a, _) = test_system();
+        let n = a.rows();
+        let k = 5;
+        let b: Vec<f64> = (0..n * k).map(|i| (i as f64 * 0.29).sin()).collect();
+        let mut batched = SparseLuSolver::new();
+        let mut singles = SparseLuSolver::new();
+        let mut xb = Vec::new();
+        let mut flops = FlopCounter::new();
+        batched
+            .solve_many_into(&a, &b, k, &mut xb, &mut flops)
+            .unwrap();
+        for j in 0..k {
+            let xj = singles
+                .solve(&a, &b[j * n..(j + 1) * n], &mut FlopCounter::new())
+                .unwrap();
+            assert_eq!(&xb[j * n..(j + 1) * n], &xj[..], "column {j} bits");
+        }
+        // One factorization serves the whole batch.
+        assert_eq!(batched.factor_counts(), (1, 0));
+        assert!(batched.lu_stats().solve_flops > 0);
+        // Shape validation.
+        assert!(batched
+            .solve_many_into(&a, &b[..n], 0, &mut xb, &mut flops)
+            .is_err());
+        assert!(batched
+            .solve_many_into(&a, &b[..n + 1], 2, &mut xb, &mut flops)
+            .is_err());
+    }
+
+    #[test]
+    fn default_trait_batched_solve_works_for_dense_backend() {
+        let (a, _) = test_system();
+        let n = a.rows();
+        let b: Vec<f64> = (0..n * 2).map(|i| i as f64).collect();
+        let mut dense = DenseLuSolver::new();
+        let mut x = Vec::new();
+        dense
+            .solve_many_into(&a, &b, 2, &mut x, &mut FlopCounter::new())
+            .unwrap();
+        for j in 0..2 {
+            let xj = dense
+                .solve(&a, &b[j * n..(j + 1) * n], &mut FlopCounter::new())
+                .unwrap();
+            assert_eq!(&x[j * n..(j + 1) * n], &xj[..]);
+        }
+    }
+
+    #[test]
+    fn lu_stats_report_supernodes() {
+        // Arrow matrix under AMD grows at least one multi-column supernode
+        // (the dense tail).
+        let n = 40;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0);
+            if i > 0 {
+                t.push(0, i, 1.0);
+                t.push(i, 0, 1.0);
+            }
+        }
+        let a = t.to_csr();
+        let b = vec![1.0; n];
+        let mut solver = SparseLuSolver::with_ordering(OrderingChoice::Amd);
+        solver.solve(&a, &b, &mut FlopCounter::new()).unwrap();
+        let stats = solver.lu_stats();
+        assert!(stats.supernodes > 0, "{stats:?}");
+        assert!(stats.supernode_cols >= 2 * stats.supernodes);
     }
 
     #[test]

@@ -45,6 +45,9 @@
 //! `vals`), not nested `Vec<Vec<_>>`, so the refactor and solve passes are
 //! cache-friendly and allocation-free.
 
+use super::kernels::{
+    count_col_fma, nonzero_lanes, panel_update, panel_update_multi, SupernodePlan, MAX_SUPERNODE,
+};
 use super::order::OrderingChoice;
 use super::symbolic::SymbolicAnalysis;
 use super::CsrMatrix;
@@ -75,9 +78,11 @@ impl Default for PivotStrategy {
 }
 
 /// A refactorization pivot whose magnitude drops below this fraction of its
-/// column maximum is considered numerically degraded; the refactor bails out
-/// so the caller can re-pivot from scratch.
-const REFACTOR_PIVOT_RATIO: f64 = 1e-6;
+/// column maximum is considered numerically degraded; the strict refactor
+/// bails out so the caller can re-pivot from scratch, while the tolerant
+/// refactor completes and reports the worst ratio so
+/// [`crate::solve::SparseLuSolver`] can try iterative refinement first.
+pub(crate) const REFACTOR_PIVOT_RATIO: f64 = 1e-6;
 
 /// Sparse LU factors of a square matrix under a fill-reducing ordering
 /// (`P·A(q,q) = L·U` with `q` the fill permutation and `P` the pivot
@@ -134,6 +139,10 @@ pub struct SparseLu {
     /// dense working column).
     csc_vals: Vec<f64>,
     work: Vec<f64>,
+    /// Blocked-kernel plan: supernode partition, pivot-space index maps and
+    /// dense value panels mirroring the supernodal factor entries (see the
+    /// internal `kernels` module).
+    plan: SupernodePlan,
 }
 
 impl SparseLu {
@@ -351,7 +360,21 @@ impl SparseLu {
         }
 
         // The symbolic analysis is kept for refactorization, and the values
-        // buffer becomes its scratch space.
+        // buffer becomes its scratch space. The supernode plan is built
+        // once per numeric pattern (the pivot order is now fixed) and its
+        // value panels mirror the fresh factors.
+        let mut plan = SupernodePlan::build(
+            n,
+            &perm,
+            &sym.fill_perm,
+            &sym.csc_rows,
+            &l_colptr,
+            &l_rows,
+            &u_colptr,
+            &u_rows,
+            None,
+        );
+        plan.refresh(&l_vals, &u_vals);
         Ok(SparseLu {
             n,
             l_colptr,
@@ -366,6 +389,7 @@ impl SparseLu {
             sym,
             csc_vals: values,
             work: x,
+            plan,
         })
     }
 
@@ -386,6 +410,39 @@ impl SparseLu {
     /// again ([`SparseLu::refactor_or_factor`] packages exactly that
     /// fallback).
     pub fn refactor(&mut self, a: &CsrMatrix, flops: &mut FlopCounter) -> Result<()> {
+        self.refactor_blocked(a, flops, true).map(|_| ())
+    }
+
+    /// Values-only refactorization that **tolerates degraded pivots**:
+    /// instead of aborting when a cached pivot decays below the degradation
+    /// threshold, the pass completes with the weak pivot and returns the
+    /// worst `|pivot| / column-max` ratio seen, so the caller can recover
+    /// accuracy with one iterative-refinement step at solve time (see
+    /// [`crate::solve::SparseLuSolver`]) instead of paying a full
+    /// re-pivoting factorization.
+    ///
+    /// # Errors
+    /// [`NumericError::PatternChanged`] on a pattern mismatch (detected up
+    /// front) and [`NumericError::SingularMatrix`] on an exactly zero or
+    /// non-finite pivot (aborts mid-pass like [`SparseLu::refactor`]).
+    pub fn refactor_tolerant(&mut self, a: &CsrMatrix, flops: &mut FlopCounter) -> Result<f64> {
+        self.refactor_blocked(a, flops, false)
+    }
+
+    /// The blocked refactorization shared by [`SparseLu::refactor`]
+    /// (`strict`, errors on degraded pivots) and
+    /// [`SparseLu::refactor_tolerant`]. Runs in pivot index space and
+    /// eliminates with supernodal panel kernels; bit-identical to
+    /// [`SparseLu::refactor_scalar`].
+    fn refactor_blocked(
+        &mut self,
+        a: &CsrMatrix,
+        flops: &mut FlopCounter,
+        strict: bool,
+    ) -> Result<f64> {
+        if !self.plan.enabled {
+            return self.refactor_scalar_impl(a, flops, strict);
+        }
         if !self.sym.matches(a) {
             return Err(NumericError::PatternChanged {
                 context: format!(
@@ -406,6 +463,188 @@ impl SparseLu {
         }
 
         let n = self.n;
+        let SparseLu {
+            ref mut work,
+            ref mut l_vals,
+            ref mut u_vals,
+            ref mut u_diag,
+            ref mut plan,
+            ref l_colptr,
+            ref u_colptr,
+            ref u_rows,
+            ref sym,
+            ref csc_vals,
+            ..
+        } = *self;
+        let mut worst_ratio = f64::INFINITY;
+        // Kernel scratch hoisted out of the hot loop (zeroing a 32-wide
+        // stack array per supernode measurably hurts narrow supernodes).
+        let mut uk = [0.0f64; MAX_SUPERNODE];
+        let mut active = [0usize; MAX_SUPERNODE];
+        for j in 0..n {
+            // Zero the pivot-space working column over this column's
+            // pattern, then scatter A'(:, j).
+            for p in u_colptr[j]..u_colptr[j + 1] {
+                work[u_rows[p]] = 0.0;
+            }
+            work[j] = 0.0;
+            for p in l_colptr[j]..l_colptr[j + 1] {
+                work[plan.l_rows_piv[p] as usize] = 0.0;
+            }
+            for p in sym.csc_colptr[j]..sym.csc_colptr[j + 1] {
+                work[plan.csc_rows_piv[p] as usize] = csc_vals[p];
+            }
+
+            // Eliminate with already-final columns in ascending pivot order,
+            // grouping consecutive sources that sit in one supernode into a
+            // panel update. (The factor pattern is closed under fill, so any
+            // source run inside a supernode is contiguous.)
+            let (ustart, uend) = (u_colptr[j], u_colptr[j + 1]);
+            let mut p = ustart;
+            while p < uend {
+                let k = u_rows[p];
+                let s = plan.sn_of[k];
+                let (s0, s1) = (plan.sn_ptr[s], plan.sn_ptr[s + 1]);
+                let w = s1 - s0;
+                let mut q = p + 1;
+                while q < uend && u_rows[q] == u_rows[q - 1] + 1 && u_rows[q] < s1 {
+                    q += 1;
+                }
+                let run = q - p;
+                // The panel kernel requires the source supernode's panels
+                // to be up to date, which holds exactly when the supernode
+                // completed before this target column (`s1 <= j`). Sources
+                // inside the target's own supernode were refreshed this
+                // very pass and eliminate per-entry against the live
+                // `l_vals` instead.
+                if run >= 2 && w >= 2 && s1 <= j && plan.l_use[s] {
+                    let tri = &plan.l_tri[plan.l_tri_ptr[s]..plan.l_tri_ptr[s + 1]];
+                    let rows = &plan.l_sn_rows[plan.l_rows_ptr[s]..plan.l_rows_ptr[s + 1]];
+                    let nr = rows.len();
+                    let mut na = 0usize;
+                    for t in 0..run {
+                        let c = k + t - s0;
+                        let ukj = work[k + t];
+                        u_vals[p + t] = ukj;
+                        uk[c] = ukj;
+                        if ukj != 0.0 {
+                            active[na] = c;
+                            na += 1;
+                            let base = c * (2 * w - c - 1) / 2;
+                            for (r, &tv) in (c + 1..w).zip(&tri[base..base + (w - 1 - c)]) {
+                                work[s0 + r] -= ukj * tv;
+                            }
+                            // True (unpadded) column length — the flop
+                            // accounting matches the scalar path exactly.
+                            flops.fma((l_colptr[k + t + 1] - l_colptr[k + t]) as u64);
+                        }
+                    }
+                    if na > 0 && nr > 0 {
+                        let panel = &plan.l_panel[plan.l_panel_ptr[s]..plan.l_panel_ptr[s + 1]];
+                        panel_update(work, rows, panel, w, &uk[..w], &active[..na]);
+                    }
+                    p = q;
+                } else {
+                    let ukj = work[k];
+                    u_vals[p] = ukj;
+                    if ukj != 0.0 {
+                        for q2 in l_colptr[k]..l_colptr[k + 1] {
+                            work[plan.l_rows_piv[q2] as usize] -= ukj * l_vals[q2];
+                        }
+                        flops.fma((l_colptr[k + 1] - l_colptr[k]) as u64);
+                    }
+                    p += 1;
+                }
+            }
+
+            // Fixed pivot: check it is still numerically sound.
+            let pivot_val = work[j];
+            let mut col_max = pivot_val.abs();
+            for p in l_colptr[j]..l_colptr[j + 1] {
+                col_max = col_max.max(work[plan.l_rows_piv[p] as usize].abs());
+            }
+            if !pivot_val.is_finite() || pivot_val == 0.0 {
+                if pivot_val == 0.0 && col_max > 0.0 && strict {
+                    // Exactly-zero pivot over a live column: degraded, the
+                    // strict path reports it as a pattern-level failure so
+                    // `refactor_or_factor` re-pivots.
+                    return Err(NumericError::PatternChanged {
+                        context: format!(
+                            "pivot {j} collapsed to 0 against column max {col_max:.3e}"
+                        ),
+                    });
+                }
+                return Err(NumericError::SingularMatrix { pivot: j });
+            }
+            let ratio = pivot_val.abs() / col_max;
+            if strict && ratio < REFACTOR_PIVOT_RATIO {
+                return Err(NumericError::PatternChanged {
+                    context: format!(
+                        "pivot {j} degraded to {:.3e} against column max {:.3e}",
+                        pivot_val.abs(),
+                        col_max
+                    ),
+                });
+            }
+            worst_ratio = worst_ratio.min(ratio);
+            u_diag[j] = pivot_val;
+            for p in l_colptr[j]..l_colptr[j + 1] {
+                l_vals[p] = work[plan.l_rows_piv[p] as usize] / pivot_val;
+            }
+            flops.div((l_colptr[j + 1] - l_colptr[j]) as u64);
+
+            // Panels of a completed supernode refresh immediately so later
+            // columns eliminate against the new values.
+            let s = plan.sn_of[j];
+            if j + 1 == plan.sn_ptr[s + 1] && plan.sn_ptr[s + 1] - plan.sn_ptr[s] >= 2 {
+                plan.refresh_supernode(s, l_vals, u_vals);
+            }
+        }
+        Ok(worst_ratio)
+    }
+
+    /// The scalar reference refactorization — the pre-supernode per-entry
+    /// column loops, kept verbatim (plus a panel refresh so subsequent
+    /// blocked solves see the new values) for bit-exactness tests and the
+    /// `benches/solve.rs` scalar baseline. Produces bit-identical factors
+    /// to [`SparseLu::refactor`]. Factors below the blocked-kernel gate
+    /// run through this path by default.
+    ///
+    /// # Errors
+    /// Same as [`SparseLu::refactor`].
+    pub fn refactor_scalar(&mut self, a: &CsrMatrix, flops: &mut FlopCounter) -> Result<()> {
+        self.refactor_scalar_impl(a, flops, true).map(|_| ())
+    }
+
+    /// Shared scalar refactor body (`strict` as in
+    /// [`SparseLu::refactor_blocked`]); returns the worst pivot ratio.
+    fn refactor_scalar_impl(
+        &mut self,
+        a: &CsrMatrix,
+        flops: &mut FlopCounter,
+        strict: bool,
+    ) -> Result<f64> {
+        if !self.sym.matches(a) {
+            return Err(NumericError::PatternChanged {
+                context: format!(
+                    "refactor of {}x{} ({} nnz) against analysis of {}x{} ({} nnz)",
+                    a.rows(),
+                    a.cols(),
+                    a.nnz(),
+                    self.n,
+                    self.n,
+                    self.sym.nnz()
+                ),
+            });
+        }
+
+        // Shuffle the new values into the cached permuted CSC order.
+        for (p, &v) in a.values().iter().enumerate() {
+            self.csc_vals[self.sym.csr_to_csc[p]] = v;
+        }
+
+        let n = self.n;
+        let mut worst_ratio = f64::INFINITY;
         for j in 0..n {
             // Zero the working column over this column's pattern, then
             // scatter A'(:, j). The pattern is exactly: the pivot rows of
@@ -443,10 +682,18 @@ impl SparseLu {
             for p in self.l_colptr[j]..self.l_colptr[j + 1] {
                 col_max = col_max.max(self.work[self.l_rows[p]].abs());
             }
-            if !pivot_val.is_finite() || (pivot_val == 0.0 && col_max == 0.0) {
+            if !pivot_val.is_finite() || pivot_val == 0.0 {
+                if pivot_val == 0.0 && col_max > 0.0 && strict {
+                    return Err(NumericError::PatternChanged {
+                        context: format!(
+                            "pivot {j} collapsed to 0 against column max {col_max:.3e}"
+                        ),
+                    });
+                }
                 return Err(NumericError::SingularMatrix { pivot: j });
             }
-            if pivot_val.abs() < REFACTOR_PIVOT_RATIO * col_max {
+            let ratio = pivot_val.abs() / col_max;
+            if strict && ratio < REFACTOR_PIVOT_RATIO {
                 return Err(NumericError::PatternChanged {
                     context: format!(
                         "pivot {j} degraded to {:.3e} against column max {:.3e}",
@@ -455,13 +702,20 @@ impl SparseLu {
                     ),
                 });
             }
+            worst_ratio = worst_ratio.min(ratio);
             self.u_diag[j] = pivot_val;
             for p in self.l_colptr[j]..self.l_colptr[j + 1] {
                 self.l_vals[p] = self.work[self.l_rows[p]] / pivot_val;
             }
             flops.div((self.l_colptr[j + 1] - self.l_colptr[j]) as u64);
         }
-        Ok(())
+        // Keep the blocked kernels' panels coherent with the refreshed
+        // factors (the blocked refactor does this incrementally; a gated
+        // plan has no panels to maintain).
+        if self.plan.enabled {
+            self.plan.refresh(&self.l_vals, &self.u_vals);
+        }
+        Ok(worst_ratio)
     }
 
     /// Refactors `a` in place, falling back to a full numeric
@@ -518,6 +772,46 @@ impl SparseLu {
         self.sym.ordering_name()
     }
 
+    /// Number of multi-column supernodes (adjacent factor columns with
+    /// nesting patterns, stored as dense panels) the blocked kernels
+    /// detected in this factorization.
+    pub fn supernode_count(&self) -> usize {
+        self.plan.supernode_count()
+    }
+
+    /// Number of factor columns covered by multi-column supernodes (out of
+    /// [`SparseLu::dim`]) — the fraction of the triangular solves running
+    /// through the dense panel kernels.
+    pub fn supernode_cols(&self) -> usize {
+        self.plan.supernode_cols()
+    }
+
+    /// Whether the blocked panel kernels are engaged (factors below the
+    /// size gate route through the scalar sweeps).
+    pub fn blocked_kernels(&self) -> bool {
+        self.plan.enabled
+    }
+
+    /// Overrides the blocked-kernel size gate, rebuilding the kernel plan
+    /// (hidden: lets tests and benches exercise the panel kernels on
+    /// factors below the gate, or measure the scalar path above it).
+    #[doc(hidden)]
+    pub fn set_blocked_kernels(&mut self, on: bool) {
+        let mut plan = SupernodePlan::build(
+            self.n,
+            &self.perm,
+            &self.sym.fill_perm,
+            &self.sym.csc_rows,
+            &self.l_colptr,
+            &self.l_rows,
+            &self.u_colptr,
+            &self.u_rows,
+            Some(on),
+        );
+        plan.refresh(&self.l_vals, &self.u_vals);
+        self.plan = plan;
+    }
+
     /// The cached symbolic analysis.
     pub fn symbolic(&self) -> &SymbolicAnalysis {
         &self.sym
@@ -541,9 +835,333 @@ impl SparseLu {
     /// to the matrix dimension, so reusing the same buffers across calls
     /// performs no allocation after the first.
     ///
+    /// This is the **blocked fast path**: the triangular solves run in
+    /// pivot index space over the supernodal panel kernels (internal
+    /// `kernels` module), bit-identical to the scalar reference
+    /// [`SparseLu::solve_into_scalar`] (locked by `tests/solve_kernels.rs`).
+    ///
     /// # Errors
     /// Returns [`NumericError::DimensionMismatch`] if `b.len() != self.dim()`.
     pub fn solve_into(
+        &self,
+        b: &[f64],
+        x: &mut Vec<f64>,
+        work: &mut Vec<f64>,
+        flops: &mut FlopCounter,
+    ) -> Result<()> {
+        if !self.plan.enabled {
+            // Small factors (below the blocked-kernel gate) keep the exact
+            // pre-blocking scalar hot path.
+            return self.solve_into_scalar(b, x, work, flops);
+        }
+        if b.len() != self.n {
+            return Err(NumericError::DimensionMismatch {
+                context: format!("sparse lu solve: rhs of {} for n={}", b.len(), self.n),
+            });
+        }
+        let n = self.n;
+        x.resize(n, 0.0);
+        work.resize(n, 0.0);
+        let z = &mut work[..n];
+        let plan = &self.plan;
+        // One combined gather replaces the scalar path's fill-permutation
+        // load plus per-column pivot-permutation indirection.
+        for (k, zk) in z.iter_mut().enumerate() {
+            *zk = b[plan.in_perm[k]];
+        }
+        let ns = plan.sn_ptr.len() - 1;
+        let mut xs = [0.0f64; MAX_SUPERNODE];
+        let mut active = [0usize; MAX_SUPERNODE];
+        // Forward solve L·z = b' (unit lower triangular, pivot space):
+        // push-form supernode panels — each shared row takes one gather,
+        // a contiguous dot-chain over the supernode's columns, and one
+        // scatter, with per-row chains independent across rows so the
+        // floating-point latency overlaps.
+        for s in 0..ns {
+            let (k0, k1) = (plan.sn_ptr[s], plan.sn_ptr[s + 1]);
+            let w = k1 - k0;
+            if w == 1 || !plan.l_use[s] {
+                // Width-1 or panel-gated supernode: per-entry scalar
+                // columns in pivot space (identical update chains).
+                for k in k0..k1 {
+                    let val = z[k];
+                    if val != 0.0 {
+                        for p in self.l_colptr[k]..self.l_colptr[k + 1] {
+                            z[plan.l_rows_piv[p] as usize] -= val * self.l_vals[p];
+                        }
+                        flops.fma((self.l_colptr[k + 1] - self.l_colptr[k]) as u64);
+                    }
+                }
+                continue;
+            }
+            let tri = &plan.l_tri[plan.l_tri_ptr[s]..plan.l_tri_ptr[s + 1]];
+            let rows = &plan.l_sn_rows[plan.l_rows_ptr[s]..plan.l_rows_ptr[s + 1]];
+            let nr = rows.len();
+            let mut na = 0usize;
+            for c in 0..w {
+                let val = z[k0 + c];
+                xs[c] = val;
+                if val != 0.0 {
+                    active[na] = c;
+                    na += 1;
+                    let base = c * (2 * w - c - 1) / 2;
+                    for (r, &tv) in (c + 1..w).zip(&tri[base..base + (w - 1 - c)]) {
+                        z[k0 + r] -= val * tv;
+                    }
+                    // True (unpadded) column length — matches the scalar
+                    // path's accounting exactly.
+                    flops.fma((self.l_colptr[k0 + c + 1] - self.l_colptr[k0 + c]) as u64);
+                }
+            }
+            if na > 0 && nr > 0 {
+                let panel = &plan.l_panel[plan.l_panel_ptr[s]..plan.l_panel_ptr[s + 1]];
+                panel_update(z, rows, panel, w, &xs[..w], &active[..na]);
+            }
+        }
+        // Backward solve U·y = z: push-form supernode panels, columns
+        // descending, per-row chains in descending column order.
+        for s in (0..ns).rev() {
+            let (k0, k1) = (plan.sn_ptr[s], plan.sn_ptr[s + 1]);
+            let w = k1 - k0;
+            if w == 1 || !plan.u_use[s] {
+                for k in (k0..k1).rev() {
+                    z[k] /= self.u_diag[k];
+                    let xk = z[k];
+                    if xk != 0.0 {
+                        for p in self.u_colptr[k]..self.u_colptr[k + 1] {
+                            z[plan.u_rows32[p] as usize] -= self.u_vals[p] * xk;
+                        }
+                    }
+                }
+                continue;
+            }
+            let tri = &plan.u_tri[plan.u_tri_ptr[s]..plan.u_tri_ptr[s + 1]];
+            let rows = &plan.u_sn_rows[plan.u_rows_ptr[s]..plan.u_rows_ptr[s + 1]];
+            let nr = rows.len();
+            let mut na = 0usize;
+            for c in (0..w).rev() {
+                z[k0 + c] /= self.u_diag[k0 + c];
+                let val = z[k0 + c];
+                xs[c] = val;
+                if val != 0.0 {
+                    // Appended in descending column order: the panel chain
+                    // then matches the scalar backward sweep per row.
+                    active[na] = c;
+                    na += 1;
+                    let base = (c * c - c) / 2;
+                    for r in 0..c {
+                        z[k0 + r] -= tri[base + r] * val;
+                    }
+                }
+            }
+            if na > 0 && nr > 0 {
+                let panel = &plan.u_panel[plan.u_panel_ptr[s]..plan.u_panel_ptr[s + 1]];
+                panel_update(z, rows, panel, w, &xs[..w], &active[..na]);
+            }
+        }
+        // Flop accounting mirrors the scalar sweep exactly: one division
+        // per column, plus each column's true length when its (final)
+        // multiplier is nonzero — read off the finished solution.
+        flops.div(n as u64);
+        for (k, &zk) in z.iter().enumerate() {
+            if zk != 0.0 {
+                flops.fma((self.u_colptr[k + 1] - self.u_colptr[k]) as u64);
+            }
+        }
+        // Undo the fill permutation: x_out[fill_perm[k]] = y[k].
+        for (k, &zk) in z.iter().enumerate() {
+            x[self.sym.fill_perm[k]] = zk;
+        }
+        Ok(())
+    }
+
+    /// Batched multi-RHS solve `A·X = B` over `nrhs` right-hand sides,
+    /// column-major (`b[j*n..][..n]` is column `j`, and the solution lands
+    /// in `x[j*n..][..n]`). One factor traversal serves every column: the
+    /// kernels walk the supernodal structure once and update all `nrhs`
+    /// lanes per entry, which is what makes batching beat `nrhs`
+    /// independent [`SparseLu::solve_into`] calls from `nrhs >= 4` or so
+    /// (see `benches/solve.rs`). Results are **bit-identical** to `nrhs`
+    /// independent solves; per-lane flop accounting matches too.
+    ///
+    /// # Errors
+    /// Returns [`NumericError::DimensionMismatch`] if
+    /// `b.len() != nrhs * self.dim()` or `nrhs == 0`.
+    pub fn solve_many_into(
+        &self,
+        b: &[f64],
+        nrhs: usize,
+        x: &mut Vec<f64>,
+        work: &mut Vec<f64>,
+        flops: &mut FlopCounter,
+    ) -> Result<()> {
+        let n = self.n;
+        if nrhs == 0 || b.len() != n * nrhs {
+            return Err(NumericError::DimensionMismatch {
+                context: format!(
+                    "sparse lu multi-solve: rhs block of {} for n={} x k={}",
+                    b.len(),
+                    n,
+                    nrhs
+                ),
+            });
+        }
+        x.resize(n * nrhs, 0.0);
+        // One buffer carries the interleaved lanes plus the supernode
+        // scratch, so a reused `work` keeps the solve allocation-free.
+        work.resize((n + MAX_SUPERNODE) * nrhs, 0.0);
+        let (z, xs_buf) = work.split_at_mut(n * nrhs);
+        let plan = &self.plan;
+        // Interleaved layout: lanes of one pivot slot are contiguous.
+        for k in 0..n {
+            let src = plan.in_perm[k];
+            for r in 0..nrhs {
+                z[k * nrhs + r] = b[r * n + src];
+            }
+        }
+        let ns = plan.sn_ptr.len() - 1;
+        let mut active = [0usize; MAX_SUPERNODE];
+        // Forward.
+        for s in 0..ns {
+            let (k0, k1) = (plan.sn_ptr[s], plan.sn_ptr[s + 1]);
+            let w = k1 - k0;
+            if w == 1 || !plan.l_use[s] {
+                for k in k0..k1 {
+                    let (head, tail) = z.split_at_mut((k + 1) * nrhs);
+                    let vals = &head[k * nrhs..];
+                    let nz = nonzero_lanes(vals);
+                    if nz > 0 {
+                        for p in self.l_colptr[k]..self.l_colptr[k + 1] {
+                            let row = plan.l_rows_piv[p] as usize;
+                            let lv = self.l_vals[p];
+                            let dst = &mut tail[(row - k - 1) * nrhs..(row - k) * nrhs];
+                            for (d, &v) in dst.iter_mut().zip(vals) {
+                                *d -= v * lv;
+                            }
+                        }
+                        count_col_fma(flops, self.l_colptr[k + 1] - self.l_colptr[k], nz);
+                    }
+                }
+                continue;
+            }
+            let tri = &plan.l_tri[plan.l_tri_ptr[s]..plan.l_tri_ptr[s + 1]];
+            let rows = &plan.l_sn_rows[plan.l_rows_ptr[s]..plan.l_rows_ptr[s + 1]];
+            let nr = rows.len();
+            let mut na = 0usize;
+            for c in 0..w {
+                xs_buf[c * nrhs..(c + 1) * nrhs]
+                    .copy_from_slice(&z[(k0 + c) * nrhs..(k0 + c + 1) * nrhs]);
+                let vals = &xs_buf[c * nrhs..(c + 1) * nrhs];
+                let nz = nonzero_lanes(vals);
+                if nz > 0 {
+                    active[na] = c;
+                    na += 1;
+                    let base = c * (2 * w - c - 1) / 2;
+                    for (r, &tv) in (c + 1..w).zip(&tri[base..base + (w - 1 - c)]) {
+                        let dst = &mut z[(k0 + r) * nrhs..(k0 + r + 1) * nrhs];
+                        for (d, &v) in dst.iter_mut().zip(vals.iter()) {
+                            *d -= v * tv;
+                        }
+                    }
+                    count_col_fma(flops, self.l_colptr[k0 + c + 1] - self.l_colptr[k0 + c], nz);
+                }
+            }
+            if na > 0 && nr > 0 {
+                let panel = &plan.l_panel[plan.l_panel_ptr[s]..plan.l_panel_ptr[s + 1]];
+                panel_update_multi(z, rows, panel, w, &xs_buf[..w * nrhs], &active[..na], nrhs);
+            }
+        }
+        // Backward.
+        for s in (0..ns).rev() {
+            let (k0, k1) = (plan.sn_ptr[s], plan.sn_ptr[s + 1]);
+            let w = k1 - k0;
+            if w == 1 || !plan.u_use[s] {
+                for k in (k0..k1).rev() {
+                    let d = self.u_diag[k];
+                    for v in z[k * nrhs..(k + 1) * nrhs].iter_mut() {
+                        *v /= d;
+                    }
+                    flops.div(nrhs as u64);
+                    let (head, tail) = z.split_at_mut(k * nrhs);
+                    let vals = &tail[..nrhs];
+                    let nz = nonzero_lanes(vals);
+                    if nz > 0 {
+                        for p in self.u_colptr[k]..self.u_colptr[k + 1] {
+                            let row = plan.u_rows32[p] as usize;
+                            let uv = self.u_vals[p];
+                            let dst = &mut head[row * nrhs..(row + 1) * nrhs];
+                            for (d, &v) in dst.iter_mut().zip(vals) {
+                                *d -= uv * v;
+                            }
+                        }
+                        count_col_fma(flops, self.u_colptr[k + 1] - self.u_colptr[k], nz);
+                    }
+                }
+                continue;
+            }
+            let tri = &plan.u_tri[plan.u_tri_ptr[s]..plan.u_tri_ptr[s + 1]];
+            let rows = &plan.u_sn_rows[plan.u_rows_ptr[s]..plan.u_rows_ptr[s + 1]];
+            let nr = rows.len();
+            let mut na = 0usize;
+            for c in (0..w).rev() {
+                let d = self.u_diag[k0 + c];
+                for v in z[(k0 + c) * nrhs..(k0 + c + 1) * nrhs].iter_mut() {
+                    *v /= d;
+                }
+                flops.div(nrhs as u64);
+                xs_buf[c * nrhs..(c + 1) * nrhs]
+                    .copy_from_slice(&z[(k0 + c) * nrhs..(k0 + c + 1) * nrhs]);
+                let vals = &xs_buf[c * nrhs..(c + 1) * nrhs];
+                let nz = nonzero_lanes(vals);
+                if nz > 0 {
+                    active[na] = c;
+                    na += 1;
+                    let base = (c * c - c) / 2;
+                    for r in 0..c {
+                        let tv = tri[base + r];
+                        let dst = &mut z[(k0 + r) * nrhs..(k0 + r + 1) * nrhs];
+                        for (d, &v) in dst.iter_mut().zip(vals.iter()) {
+                            *d -= tv * v;
+                        }
+                    }
+                    count_col_fma(flops, self.u_colptr[k0 + c + 1] - self.u_colptr[k0 + c], nz);
+                }
+            }
+            if na > 0 && nr > 0 {
+                let panel = &plan.u_panel[plan.u_panel_ptr[s]..plan.u_panel_ptr[s + 1]];
+                panel_update_multi(z, rows, panel, w, &xs_buf[..w * nrhs], &active[..na], nrhs);
+            }
+        }
+        // Scatter out, undoing the fill permutation per lane.
+        for k in 0..n {
+            let dst = self.sym.fill_perm[k];
+            for r in 0..nrhs {
+                x[r * n + dst] = z[k * nrhs + r];
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper over [`SparseLu::solve_many_into`] allocating
+    /// the `n × nrhs` solution block.
+    ///
+    /// # Errors
+    /// Same as [`SparseLu::solve_many_into`].
+    pub fn solve_many(&self, b: &[f64], nrhs: usize, flops: &mut FlopCounter) -> Result<Vec<f64>> {
+        let mut x = Vec::new();
+        let mut work = Vec::new();
+        self.solve_many_into(b, nrhs, &mut x, &mut work, flops)?;
+        Ok(x)
+    }
+
+    /// The scalar reference solve — the pre-supernode permuted-row-space
+    /// column loops, kept verbatim for bit-exactness tests and the
+    /// `benches/solve.rs` scalar baseline. Produces bit-identical results
+    /// (and flop counts) to the blocked [`SparseLu::solve_into`].
+    ///
+    /// # Errors
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_into_scalar(
         &self,
         b: &[f64],
         x: &mut Vec<f64>,
@@ -1095,6 +1713,176 @@ mod tests {
             SparseLu::factor_symbolic(sym, &b, PivotStrategy::default(), &mut FlopCounter::new()),
             Err(NumericError::PatternChanged { .. })
         ));
+    }
+
+    fn mesh(m: usize) -> CsrMatrix {
+        // 2-D grid conductance pattern (the structure supernodes grow on).
+        let n = m * m;
+        let mut t = TripletMatrix::new(n, n);
+        for r in 0..m {
+            for c in 0..m {
+                let v = r * m + c;
+                t.push(v, v, 4.0 + (v as f64) * 0.01);
+                if c + 1 < m {
+                    t.push(v, v + 1, -1.0);
+                    t.push(v + 1, v, -1.0);
+                }
+                if r + 1 < m {
+                    t.push(v, v + m, -1.0);
+                    t.push(v + m, v, -1.0);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn blocked_solve_bit_identical_to_scalar() {
+        for choice in [
+            OrderingChoice::Natural,
+            OrderingChoice::Rcm,
+            OrderingChoice::Amd,
+        ] {
+            let a = mesh(9);
+            let mut lu = SparseLu::factor_ordered(
+                &a,
+                choice,
+                PivotStrategy::default(),
+                &mut FlopCounter::new(),
+            )
+            .unwrap();
+            // Below the size gate: force the panel kernels on so the
+            // comparison exercises them.
+            assert!(!lu.blocked_kernels());
+            lu.set_blocked_kernels(true);
+            let b: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.31).sin()).collect();
+            let (mut x1, mut w1) = (Vec::new(), Vec::new());
+            let (mut x2, mut w2) = (Vec::new(), Vec::new());
+            let mut f1 = FlopCounter::new();
+            let mut f2 = FlopCounter::new();
+            lu.solve_into(&b, &mut x1, &mut w1, &mut f1).unwrap();
+            lu.solve_into_scalar(&b, &mut x2, &mut w2, &mut f2).unwrap();
+            assert_eq!(x1, x2, "{choice:?}: blocked vs scalar bits");
+            assert_eq!(f1, f2, "{choice:?}: flop accounting");
+        }
+    }
+
+    #[test]
+    fn blocked_refactor_bit_identical_to_scalar() {
+        let a1 = mesh(8);
+        let mut a2 = a1.clone();
+        for (i, v) in a2.values_mut().iter_mut().enumerate() {
+            *v += 0.01 * ((i % 5) as f64 - 2.0);
+        }
+        for choice in [OrderingChoice::Natural, OrderingChoice::Amd] {
+            let mut blocked = SparseLu::factor_ordered(
+                &a1,
+                choice,
+                PivotStrategy::default(),
+                &mut FlopCounter::new(),
+            )
+            .unwrap();
+            blocked.set_blocked_kernels(true);
+            let mut scalar = blocked.clone();
+            let mut fb = FlopCounter::new();
+            let mut fs = FlopCounter::new();
+            blocked.refactor(&a2, &mut fb).unwrap();
+            scalar.refactor_scalar(&a2, &mut fs).unwrap();
+            assert_eq!(blocked.l_vals, scalar.l_vals, "{choice:?}: L values");
+            assert_eq!(blocked.u_vals, scalar.u_vals, "{choice:?}: U values");
+            assert_eq!(blocked.u_diag, scalar.u_diag, "{choice:?}: pivots");
+            assert_eq!(fb, fs, "{choice:?}: refactor flops");
+            let b: Vec<f64> = (0..a1.rows()).map(|i| (i as f64).cos()).collect();
+            let xb = blocked.solve(&b, &mut FlopCounter::new()).unwrap();
+            let xs = scalar.solve(&b, &mut FlopCounter::new()).unwrap();
+            assert_eq!(xb, xs);
+        }
+    }
+
+    #[test]
+    fn mesh_factor_detects_supernodes() {
+        let a = mesh(10);
+        let lu = SparseLu::factor_ordered(
+            &a,
+            OrderingChoice::Amd,
+            PivotStrategy::default(),
+            &mut FlopCounter::new(),
+        )
+        .unwrap();
+        assert!(lu.supernode_count() > 0, "AMD mesh factor grows supernodes");
+        assert!(lu.supernode_cols() >= 2 * lu.supernode_count());
+        assert!(lu.supernode_cols() <= lu.dim());
+    }
+
+    #[test]
+    fn solve_many_matches_independent_solves() {
+        let a = mesh(7);
+        let n = a.rows();
+        let mut lu = SparseLu::factor_ordered(
+            &a,
+            OrderingChoice::Amd,
+            PivotStrategy::default(),
+            &mut FlopCounter::new(),
+        )
+        .unwrap();
+        lu.set_blocked_kernels(true);
+        let k = 5;
+        let b: Vec<f64> = (0..n * k).map(|i| ((i as f64) * 0.17).sin()).collect();
+        let mut fm = FlopCounter::new();
+        let xm = lu.solve_many(&b, k, &mut fm).unwrap();
+        let mut fs = FlopCounter::new();
+        for j in 0..k {
+            let xj = lu.solve(&b[j * n..(j + 1) * n], &mut fs).unwrap();
+            assert_eq!(&xm[j * n..(j + 1) * n], &xj[..], "column {j} bits");
+        }
+        assert_eq!(fm, fs, "multi-RHS flops match k independent solves");
+    }
+
+    #[test]
+    fn solve_many_validates_shapes() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let lu = SparseLu::factor(&a, &mut FlopCounter::new()).unwrap();
+        assert!(lu
+            .solve_many(&[1.0, 2.0], 0, &mut FlopCounter::new())
+            .is_err());
+        assert!(lu
+            .solve_many(&[1.0, 2.0, 3.0], 2, &mut FlopCounter::new())
+            .is_err());
+        let x = lu
+            .solve_many(&[1.0, 2.0, 3.0, 4.0], 2, &mut FlopCounter::new())
+            .unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn tolerant_refactor_reports_degraded_ratio() {
+        let entries = [(0, 0, 5.0), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 5.0)];
+        let a1 = CsrMatrix::from_triplets(2, 2, &entries);
+        let mut lu = SparseLu::factor(&a1, &mut FlopCounter::new()).unwrap();
+        // Healthy values: ratio close to 1.
+        let ratio = lu.refactor_tolerant(&a1, &mut FlopCounter::new()).unwrap();
+        assert!(ratio > REFACTOR_PIVOT_RATIO, "healthy ratio {ratio}");
+        // Collapsed diagonal: strict refuses, tolerant completes and
+        // reports how weak the pivot is.
+        let degraded = [(0, 0, 1e-9), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 5.0)];
+        let a2 = CsrMatrix::from_triplets(2, 2, &degraded);
+        assert!(lu.refactor(&a2, &mut FlopCounter::new()).is_err());
+        let ratio = lu.refactor_tolerant(&a2, &mut FlopCounter::new()).unwrap();
+        assert!(ratio < REFACTOR_PIVOT_RATIO, "degraded ratio {ratio}");
+        // The weak factors still solve approximately; one refinement step
+        // recovers full accuracy (the SparseLuSolver policy).
+        let b = [1.0, 6.0];
+        let mut x = lu.solve(&b, &mut FlopCounter::new()).unwrap();
+        let r: Vec<f64> = {
+            let ax = a2.matvec(&x, &mut FlopCounter::new()).unwrap();
+            b.iter().zip(ax.iter()).map(|(bi, ai)| bi - ai).collect()
+        };
+        let dx = lu.solve(&r, &mut FlopCounter::new()).unwrap();
+        for (xi, di) in x.iter_mut().zip(dx.iter()) {
+            *xi += di;
+        }
+        let ax = a2.matvec(&x, &mut FlopCounter::new()).unwrap();
+        assert!((ax[0] - 1.0).abs() < 1e-9 && (ax[1] - 6.0).abs() < 1e-9);
     }
 
     #[test]

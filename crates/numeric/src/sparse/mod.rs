@@ -16,12 +16,14 @@
 //!     refactorization, and ordering-transparent solves.
 
 mod csr;
+mod kernels;
 mod lu;
 pub mod order;
 mod symbolic;
 mod triplet;
 
 pub use csr::CsrMatrix;
+pub(crate) use lu::REFACTOR_PIVOT_RATIO;
 pub use lu::{PivotStrategy, SparseLu};
 pub use order::{Amd, Natural, Ordering, OrderingChoice, Rcm};
 pub use symbolic::SymbolicAnalysis;

@@ -188,24 +188,59 @@ impl Ordering for Rcm {
 /// elimination (Amestoy/Davis/Duff style) where each pivot's boundary
 /// becomes an *element*, absorbed elements are dropped, and degrees are
 /// approximated by summing element boundary sizes instead of forming their
-/// union. Ties break on the smallest index, which makes the ordering fully
-/// deterministic.
+/// union — now **with supervariable detection (mass elimination)**:
+/// boundary variables whose quotient-graph adjacency becomes identical are
+/// merged into one weighted supervariable, eliminated together, and emitted
+/// consecutively. That both sharpens the degree approximation (weights
+/// replace unit counts) and orders indistinguishable columns adjacently,
+/// which is exactly what grows the supernodes the blocked triangular-solve
+/// kernels of [`super::SparseLu`] batch over. Ties break on the smallest
+/// index, which keeps the ordering fully deterministic.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Amd;
 
+/// FNV-1a hash of a variable's quotient-graph adjacency, used to bucket
+/// candidate supervariable merges before the exact comparison.
+fn quotient_hash(adj: &[usize], elems: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &u in adj {
+        h = (h ^ (u as u64 + 1)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h = (h ^ u64::MAX).wrapping_mul(0x0000_0100_0000_01b3);
+    for &e in elems {
+        h = (h ^ (e as u64 + 1)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 impl Ordering for Amd {
     fn order(&self, n: usize, row_ptr: &[usize], col_idx: &[usize]) -> Vec<usize> {
+        if n == 0 {
+            return Vec::new();
+        }
         let (xadj, adj_flat) = symmetrized_adjacency(n, row_ptr, col_idx);
-        // Variable→variable edges still uncovered by an element.
+        // Variable→variable edges still uncovered by an element. Lists stay
+        // sorted: they start sorted and are only ever filtered.
         let mut adj: Vec<Vec<usize>> = (0..n)
             .map(|v| adj_flat[xadj[v]..xadj[v + 1]].to_vec())
             .collect();
         // Elements (eliminated pivots) adjacent to each variable, and each
         // element's boundary variables. Invariant: `e ∈ elems[v]` iff
-        // `v ∈ elem_nodes[e]`.
+        // `v ∈ elem_nodes[e]` (modulo dead variables, filtered on use).
         let mut elems: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut elem_nodes: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // Total weight of each element's boundary, fixed at creation: a
+        // boundary variable can only leave by whole-element absorption,
+        // and supervariable merges move mass between members of the same
+        // boundary — so the sum is invariant, making weighted degree
+        // updates O(#elements) instead of O(total boundary size).
+        let mut elem_weight: Vec<usize> = vec![0; n];
         let mut absorbed = vec![false; n];
+        // Supervariable bookkeeping: `weight[v]` counts the original
+        // variables a representative stands for; `members[v]` lists them in
+        // merge order (the order they are emitted on elimination).
+        let mut weight: Vec<usize> = vec![1usize; n];
+        let mut members: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
         let mut degree: Vec<usize> = (0..n).map(|v| adj[v].len()).collect();
         let mut alive = vec![true; n];
         let mut mark = vec![usize::MAX; n];
@@ -220,7 +255,8 @@ impl Ordering for Amd {
         let mut heap: BinaryHeap<Reverse<(usize, usize)>> =
             (0..n).map(|v| Reverse((degree[v], v))).collect();
 
-        for step in 0..n {
+        let mut step = 0usize;
+        while order.len() < n {
             // Minimum approximate degree, smallest index on ties.
             let p = loop {
                 let Reverse((d, v)) = heap.pop().expect("alive variable remains");
@@ -247,9 +283,11 @@ impl Ordering for Amd {
             }
             lp.sort_unstable();
             alive[p] = false;
-            order.push(p);
+            // Mass elimination: the pivot's merged variables leave together,
+            // consecutively.
+            order.append(&mut members[p]);
             // Absorb the elements p touched (their boundaries are now
-            // covered by element p), then update every boundary variable.
+            // covered by element p), then clean every boundary variable.
             let old_elems = std::mem::take(&mut elems[p]);
             for &e in &old_elems {
                 absorbed[e] = true;
@@ -261,27 +299,150 @@ impl Ordering for Amd {
                 adj[v].retain(|&u| u != p && alive[u] && mark[u] != step);
                 elems[v].retain(|&e| !absorbed[e]);
                 elems[v].push(p);
-                // Approximate external degree: uncovered edges plus the sum
-                // of adjacent element boundaries (overlaps counted twice —
-                // the "approximate" in AMD).
-                let mut d = adj[v].len();
-                for &e in &elems[v] {
-                    d += elem_nodes[e].len().saturating_sub(1);
+            }
+            // Supervariable detection: boundary variables with identical
+            // cleaned adjacency (same uncovered edges, same elements —
+            // mutual edges are covered by element p, so plain equality is
+            // the indistinguishability test) merge into the
+            // smallest-indexed representative.
+            if lp.len() > 1 {
+                let mut keyed: Vec<(u64, usize)> = lp
+                    .iter()
+                    .map(|&v| (quotient_hash(&adj[v], &elems[v]), v))
+                    .collect();
+                keyed.sort_unstable();
+                let mut i = 0;
+                while i < keyed.len() {
+                    let mut j = i + 1;
+                    while j < keyed.len() && keyed[j].0 == keyed[i].0 {
+                        j += 1;
+                    }
+                    for a in i..j {
+                        let va = keyed[a].1;
+                        if !alive[va] {
+                            continue;
+                        }
+                        for b in a + 1..j {
+                            let vb = keyed[b].1;
+                            if alive[vb] && adj[va] == adj[vb] && elems[va] == elems[vb] {
+                                weight[va] += weight[vb];
+                                alive[vb] = false;
+                                let mut absorbed_members = std::mem::take(&mut members[vb]);
+                                members[va].append(&mut absorbed_members);
+                                adj[vb].clear();
+                                elems[vb].clear();
+                            }
+                        }
+                    }
+                    i = j;
                 }
-                // elem_nodes[p] is installed below; account for it here.
-                d += lp.len() - 1;
+            }
+            // Weighted approximate external degrees for the surviving
+            // boundary variables (overlapping element boundaries counted
+            // once per element — the "approximate" in AMD). The new
+            // element's weight is installed first so it contributes like
+            // any other adjacent element, and the constant per-element
+            // weights keep this loop O(#elements) per variable.
+            let lp_weight: usize = lp.iter().filter(|&&u| alive[u]).map(|&u| weight[u]).sum();
+            elem_weight[p] = lp_weight;
+            for &v in &lp {
+                if !alive[v] {
+                    continue;
+                }
+                let mut d: usize = adj[v]
+                    .iter()
+                    .filter(|&&u| alive[u])
+                    .map(|&u| weight[u])
+                    .sum();
+                for &e in &elems[v] {
+                    d += elem_weight[e] - weight[v];
+                }
                 degree[v] = d;
                 heap.push(Reverse((d, v)));
             }
             adj[p].clear();
-            elem_nodes[p] = lp.clone();
+            elem_nodes[p] = lp.iter().copied().filter(|&u| alive[u]).collect();
+            step += 1;
         }
-        order
+        // Elimination-tree postorder: a topological reordering of the
+        // etree leaves the fill unchanged (for the symmetrized pattern)
+        // but places each subtree's columns consecutively, which is what
+        // turns the factor's fundamental supernodes into *contiguous*
+        // column runs the blocked kernels can panel.
+        etree_postorder(n, row_ptr, col_idx, &order)
     }
 
     fn name(&self) -> &'static str {
         "amd"
     }
+}
+
+/// Refines a fill permutation by postordering the elimination tree of the
+/// symmetrically permuted pattern. Returns the composed permutation
+/// (`result[k]` = original index at permuted position `k`). Fill and flop
+/// counts of the factorization are invariant under this reordering; only
+/// the column adjacency changes.
+fn etree_postorder(n: usize, row_ptr: &[usize], col_idx: &[usize], perm: &[usize]) -> Vec<usize> {
+    let mut pinv = vec![0usize; n];
+    for (k, &v) in perm.iter().enumerate() {
+        pinv[v] = k;
+    }
+    // Liu's algorithm with path compression over the symmetrized pattern.
+    let mut parent = vec![usize::MAX; n];
+    let mut ancestor = vec![usize::MAX; n];
+    // Permuted upper-triangular adjacency: for column j (permuted), the
+    // permuted rows i < j of A + Aᵀ.
+    let mut cols: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for r in 0..n {
+        for p in row_ptr[r]..row_ptr[r + 1] {
+            let (i, j) = (pinv[r], pinv[col_idx[p]]);
+            if i < j {
+                cols[j].push(i);
+            } else if j < i {
+                cols[i].push(j);
+            }
+        }
+    }
+    for j in 0..n {
+        for idx in 0..cols[j].len() {
+            let mut r = cols[j][idx];
+            while ancestor[r] != usize::MAX && ancestor[r] != j {
+                let next = ancestor[r];
+                ancestor[r] = j;
+                r = next;
+            }
+            if ancestor[r] == usize::MAX && r != j {
+                ancestor[r] = j;
+                parent[r] = j;
+            }
+        }
+    }
+    // Children lists in ascending order make the postorder deterministic.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut roots: Vec<usize> = Vec::new();
+    for v in 0..n {
+        if parent[v] == usize::MAX {
+            roots.push(v);
+        } else {
+            children[parent[v]].push(v);
+        }
+    }
+    let mut post = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for &root in &roots {
+        stack.push((root, 0));
+        while let Some(&(v, ci)) = stack.last() {
+            if ci < children[v].len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                stack.push((children[v][ci], 0));
+            } else {
+                post.push(v);
+                stack.pop();
+            }
+        }
+    }
+    debug_assert_eq!(post.len(), n);
+    post.iter().map(|&k| perm[k]).collect()
 }
 
 /// The ordering selector carried through options structs and the session

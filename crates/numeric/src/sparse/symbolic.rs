@@ -10,6 +10,15 @@
 //! and refactorizations of matrices with the same pattern — the
 //! factor-once/refactor-many strategy of production simulators, now with
 //! the ordering decision lifted out of the factorizer.
+//!
+//! Supernode detection deliberately does **not** live here: the blocked
+//! kernels' supernodes are runs of *factor* columns, and the factor's
+//! pattern depends on the pivot order the numeric phase chooses. Each
+//! [`super::SparseLu`] therefore compiles its own kernel plan (internal
+//! `kernels` module) once its pivots are fixed; the
+//! analysis's job is to hand the numeric phase a permutation (AMD with
+//! supervariables + elimination-tree postorder) under which those runs
+//! are long.
 
 use super::order::OrderingChoice;
 use super::CsrMatrix;

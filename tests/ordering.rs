@@ -76,6 +76,43 @@ fn amd_strictly_reduces_fill_on_mesh20() {
 }
 
 #[test]
+fn fill_regression_amd_vs_rcm_mesh40() {
+    // CI gate for AMD supervariable detection (mass elimination): with
+    // indistinguishable nodes merged and eliminated together, AMD must
+    // beat RCM on both fill and factorization flops on the 40×40 mesh —
+    // the flop gap the pre-supervariable implementation left open.
+    let rcm = op_stats(workloads::rtd_mesh_n(40), OrderingChoice::Rcm);
+    let amd = op_stats(workloads::rtd_mesh_n(40), OrderingChoice::Amd);
+    assert!(
+        amd.nnz_lu < rcm.nnz_lu,
+        "fill regression: nnz_lu(amd) = {} !< nnz_lu(rcm) = {}",
+        amd.nnz_lu,
+        rcm.nnz_lu
+    );
+    assert!(
+        amd.factor_flops < rcm.factor_flops,
+        "flop regression: factor_flops(amd) = {} !< factor_flops(rcm) = {}",
+        amd.factor_flops,
+        rcm.factor_flops
+    );
+    // Supervariable-driven orders feed the blocked kernels: the factor
+    // must actually carry supernodes.
+    assert!(amd.supernodes > 0, "{amd}");
+    println!(
+        "mesh40: nnz_lu rcm {} vs amd {} ({:+.1}%), factor flops rcm {} vs amd {} ({:+.1}%), \
+         {} supernodes over {} cols",
+        rcm.nnz_lu,
+        amd.nnz_lu,
+        100.0 * (amd.nnz_lu as f64 - rcm.nnz_lu as f64) / rcm.nnz_lu as f64,
+        rcm.factor_flops,
+        amd.factor_flops,
+        100.0 * (amd.factor_flops as f64 - rcm.factor_flops as f64) / rcm.factor_flops as f64,
+        amd.supernodes,
+        amd.supernode_cols,
+    );
+}
+
+#[test]
 fn fig7_dc_sweep_matches_natural_under_any_ordering() {
     // Fig 7(a) workload: the RTD divider swept through its NDR region.
     let sweep = |ordering| {
