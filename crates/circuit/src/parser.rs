@@ -606,7 +606,9 @@ fn parse_value(token: &str) -> Option<f64> {
             Some(_) => 1.0,
         }
     };
-    Some(base * mult)
+    // Literals like `1e999` overflow to infinity and would poison every
+    // downstream solve; reject them here so the caller reports line+column.
+    Some(base * mult).filter(|v| v.is_finite())
 }
 
 fn has_digit_after(s: &str, i: usize) -> bool {
@@ -654,6 +656,21 @@ fn bad_value(tok: &Tok) -> CircuitError {
     parse_err(tok.line, tok.col, &format!("bad value `{}`", tok.text))
 }
 
+/// A value position where a literal zero is physically invalid (R, C, L):
+/// it would stamp a singular or infinite conductance. `{param}` references
+/// are checked later, at elaboration, when their value is known.
+fn parse_nonzero_pvalue(tok: &Tok, what: &str) -> Result<ParamValue> {
+    let pv = parse_pvalue(tok)?;
+    if matches!(pv, ParamValue::Lit(v) if v == 0.0) {
+        return Err(parse_err(
+            tok.line,
+            tok.col,
+            &format!("{what} must be nonzero (got `{}`)", tok.text),
+        ));
+    }
+    Ok(pv)
+}
+
 /// Parses one element line (top level or subcircuit body) into a template.
 fn parse_body_element(toks: &[Tok], models: &HashMap<String, ModelCard>) -> Result<BodyElement> {
     let head = &toks[0];
@@ -678,7 +695,7 @@ fn parse_body_element(toks: &[Tok], models: &HashMap<String, ModelCard>) -> Resu
             (
                 vec![node(1), node(2)],
                 BodyKind::Resistor {
-                    ohms: parse_pvalue(&toks[3])?,
+                    ohms: parse_nonzero_pvalue(&toks[3], "resistance")?,
                 },
             )
         }
@@ -691,7 +708,7 @@ fn parse_body_element(toks: &[Tok], models: &HashMap<String, ModelCard>) -> Resu
             (
                 vec![node(1), node(2)],
                 BodyKind::Capacitor {
-                    farads: parse_pvalue(&toks[3])?,
+                    farads: parse_nonzero_pvalue(&toks[3], "capacitance")?,
                     ic,
                 },
             )
@@ -701,7 +718,7 @@ fn parse_body_element(toks: &[Tok], models: &HashMap<String, ModelCard>) -> Resu
             (
                 vec![node(1), node(2)],
                 BodyKind::Inductor {
-                    henries: parse_pvalue(&toks[3])?,
+                    henries: parse_nonzero_pvalue(&toks[3], "inductance")?,
                 },
             )
         }
@@ -1229,6 +1246,46 @@ mod tests {
         assert_eq!(parse_value("1e3k"), Some(1e6));
         assert_eq!(parse_value("abc"), None);
         assert_eq!(parse_value(""), None);
+        // Non-finite literals are rejected, not propagated into stamps.
+        assert_eq!(parse_value("1e999"), None);
+        assert_eq!(parse_value("-1e999"), None);
+        assert_eq!(parse_value("1e999k"), None);
+    }
+
+    #[test]
+    fn nonfinite_literal_rejected_with_position() {
+        let err = parse_netlist(
+            "overflow deck\n\
+             V1 in 0 DC 5\n\
+             R1 in 0 1e999\n\
+             .op\n\
+             .end\n",
+        )
+        .unwrap_err();
+        match err {
+            CircuitError::Parse { line, column, .. } => {
+                assert_eq!(line, 3);
+                assert!(column > 0, "column should point at the value");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_rcl_rejected_at_parse_time() {
+        for (deck, what) in [
+            ("t\nR1 a 0 0\n.op\n.end\n", "resistance"),
+            ("t\nC1 a 0 0\n.op\n.end\n", "capacitance"),
+            ("t\nL1 a 0 0.0\n.op\n.end\n", "inductance"),
+        ] {
+            let err = parse_netlist(deck).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(what), "{what}: {msg}");
+            assert!(msg.contains("line 2"), "{msg}");
+        }
+        // A `{param}` reference in the same slot still parses; its value is
+        // validated later at elaboration.
+        assert!(parse_netlist("t\n.param rr=1k\nR1 a 0 {rr}\n.op\n.end\n").is_ok());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::Result;
 use nanosim_circuit::{Circuit, MnaSystem};
 use nanosim_numeric::solve::{LinearSolver, LuStats, SparseLuSolver};
 use nanosim_numeric::sparse::{CsrMatrix, OrderingChoice, TripletMatrix};
-use nanosim_numeric::FlopCounter;
+use nanosim_numeric::{FaultPlan, FlopCounter};
 
 /// Pre-stamped circuit matrices: the linear part of `G`, the full `C`, and
 /// the MNA structure. Engines build an [`AssemblyWorkspace`] from these and
@@ -107,6 +107,11 @@ pub(crate) struct AssemblyWorkspace {
     mos_sites: Vec<MosSites>,
     /// Caching sparse solver (factor once, refactor on same pattern).
     solver: SparseLuSolver,
+    /// Armed fault-injection plan: advanced once per factor-solve, right
+    /// after assembly and before factorization (so injected faults hit the
+    /// exact matrix the solver sees). `None` — the production default —
+    /// costs one branch per solve.
+    fault: Option<FaultPlan>,
 }
 
 impl AssemblyWorkspace {
@@ -219,7 +224,38 @@ impl AssemblyWorkspace {
             nl_sites,
             mos_sites,
             solver: SparseLuSolver::with_ordering(ordering),
+            fault: None,
         }
+    }
+
+    /// Arms a deterministic fault-injection plan: each subsequent
+    /// factor-solve advances the plan by one call, applying whatever
+    /// faults are scheduled at that call number. Cloning the workspace
+    /// clones the plan's position, so sharded sweeps replay the same fault
+    /// schedule per chunk at every worker count.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// The armed fault plan, if any (for inspecting injected/missed
+    /// counters after a run).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Advances the armed fault plan (if any) against the assembled
+    /// matrix, returning an error for a scheduled singular pivot.
+    fn apply_faults(&mut self) -> nanosim_numeric::Result<()> {
+        if let Some(plan) = &mut self.fault {
+            let action = plan.advance(&mut self.a);
+            if let Some(pivot) = action.singular_pivot {
+                return Err(nanosim_numeric::NumericError::SingularMatrix { pivot });
+            }
+            if action.degrade {
+                self.solver.force_degraded();
+            }
+        }
+        Ok(())
     }
 
     /// Starts a fresh assembly: resets the matrix values to the linear part
@@ -270,6 +306,20 @@ impl AssemblyWorkspace {
         }
         if let Some(p) = sites.mp {
             vals[p] -= g;
+        }
+    }
+
+    /// Adds conductance `g` on the diagonal of the first `rows` rows (the
+    /// node rows) wherever the pattern has a diagonal slot — the shunt
+    /// behind the rescue ladder's gmin-stepping and pseudo-transient
+    /// rungs. Rows without a diagonal slot (possible for a node touched
+    /// only by branch-current constraints) are skipped, which is safe: the
+    /// shunt is a regularization aid, not a correctness requirement.
+    pub fn stamp_diag_shunt(&mut self, rows: usize, g: f64) {
+        for r in 0..rows.min(self.a.rows()) {
+            if let Some(p) = self.a.position(r, r) {
+                self.a.values_mut()[p] += g;
+            }
         }
     }
 
@@ -348,6 +398,7 @@ impl AssemblyWorkspace {
         x: &mut Vec<f64>,
         flops: &mut FlopCounter,
     ) -> nanosim_numeric::Result<()> {
+        self.apply_faults()?;
         self.solver.solve_into(&self.a, rhs, x, flops)
     }
 
@@ -368,6 +419,7 @@ impl AssemblyWorkspace {
         x: &mut Vec<f64>,
         flops: &mut FlopCounter,
     ) -> nanosim_numeric::Result<()> {
+        self.apply_faults()?;
         self.solver.solve_many_into(&self.a, rhs, nrhs, x, flops)
     }
 
@@ -565,6 +617,45 @@ mod tests {
         let m = CircuitMatrices::new(&ckt).unwrap();
         let err = require_sweepable_source(&m.mna, "E1").unwrap_err();
         assert!(err.to_string().contains("independent"), "{err}");
+    }
+
+    #[test]
+    fn armed_faults_fire_once_then_clear() {
+        let m = CircuitMatrices::new(&divider()).unwrap();
+        let mut ws = AssemblyWorkspace::new(&m, false, false, OrderingChoice::default());
+        ws.arm_faults(FaultPlan::new().with_singular_pivot(0, 1));
+        ws.begin();
+        let mut rhs = vec![0.0; 3];
+        m.mna.stamp_rhs(0.0, &mut rhs);
+        let mut x = Vec::new();
+        let mut flops = FlopCounter::new();
+        let err = ws.factor_solve(&rhs, &mut x, &mut flops).unwrap_err();
+        assert!(matches!(
+            err,
+            nanosim_numeric::NumericError::SingularMatrix { pivot: 1 }
+        ));
+        // The fault was one-shot: a clean re-assembly solves fine.
+        ws.begin();
+        ws.factor_solve(&rhs, &mut x, &mut flops).unwrap();
+        assert_eq!(ws.fault_plan().unwrap().injected(), 1);
+        // And the result matches an unfaulted workspace bit for bit.
+        let mut clean = AssemblyWorkspace::new(&m, false, false, OrderingChoice::default());
+        clean.begin();
+        let mut xc = Vec::new();
+        clean.factor_solve(&rhs, &mut xc, &mut flops).unwrap();
+        assert_eq!(x, xc);
+    }
+
+    #[test]
+    fn diag_shunt_stamps_node_rows() {
+        let m = CircuitMatrices::new(&divider()).unwrap();
+        let mut ws = AssemblyWorkspace::new(&m, false, false, OrderingChoice::default());
+        ws.begin();
+        let before: Vec<f64> = (0..2).map(|i| ws.matrix().get(i, i)).collect();
+        ws.stamp_diag_shunt(2, 1e-3);
+        for (i, b) in before.iter().enumerate() {
+            assert!((ws.matrix().get(i, i) - b - 1e-3).abs() < 1e-15);
+        }
     }
 
     #[test]

@@ -1,9 +1,41 @@
 //! Simulation engine errors.
 
+use crate::rescue::RescueTrace;
 use nanosim_circuit::CircuitError;
 use nanosim_numeric::NumericError;
 use std::error::Error;
 use std::fmt;
+
+/// Diagnostic payload attached to a terminal [`SimError::NonConvergence`]
+/// failure: enough to reconstruct *where* and *why* a solve died without
+/// re-running it under a debugger.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Forensics {
+    /// Nodes with the largest final residual magnitudes, worst first, as
+    /// `(node name, residual)` pairs.
+    pub worst_nodes: Vec<(String, f64)>,
+    /// Residual (or update) norm per nonlinear iteration of the failed
+    /// solve — the oscillation signature.
+    pub residual_history: Vec<f64>,
+    /// Every rescue-ladder rung attempted before giving up.
+    pub rescue_trace: RescueTrace,
+    /// Failing point index, when the failure occurred inside a sweep.
+    pub point_index: Option<usize>,
+    /// Sweep value at that point.
+    pub sweep_value: Option<f64>,
+}
+
+/// Summary of the last accepted state before a transient step-size
+/// collapse, attached to [`SimError::StepSizeUnderflow`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LastAccepted {
+    /// Time of the last accepted step.
+    pub time: f64,
+    /// Number of accepted steps before the collapse.
+    pub steps: usize,
+    /// Last accepted value of each tracked signal, as `(name, value)`.
+    pub state: Vec<(String, f64)>,
+}
 
 /// Errors raised by the simulation engines.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +51,9 @@ pub enum SimError {
         at: f64,
         /// Engine-specific description (oscillation, max iterations, ...).
         context: String,
+        /// Post-mortem payload (worst residual nodes, iteration history,
+        /// rescue trace); `None` when the failing engine collects none.
+        forensics: Option<Box<Forensics>>,
     },
     /// Adaptive step control pushed the time step below its minimum.
     StepSizeUnderflow {
@@ -26,6 +61,9 @@ pub enum SimError {
         time: f64,
         /// The offending step size.
         step: f64,
+        /// Where integration last succeeded; `None` when the failing
+        /// engine collects none.
+        last_accepted: Option<Box<LastAccepted>>,
     },
     /// The circuit shape is outside what this engine supports.
     UnsupportedCircuit {
@@ -47,16 +85,110 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// A [`SimError::NonConvergence`] without a forensics payload.
+    pub fn non_convergence(at: f64, context: impl Into<String>) -> Self {
+        SimError::NonConvergence {
+            at,
+            context: context.into(),
+            forensics: None,
+        }
+    }
+
+    /// A [`SimError::NonConvergence`] carrying a post-mortem payload.
+    pub fn non_convergence_with(at: f64, context: impl Into<String>, forensics: Forensics) -> Self {
+        SimError::NonConvergence {
+            at,
+            context: context.into(),
+            forensics: Some(Box::new(forensics)),
+        }
+    }
+
+    /// A [`SimError::StepSizeUnderflow`] without a last-accepted summary.
+    pub fn step_underflow(time: f64, step: f64) -> Self {
+        SimError::StepSizeUnderflow {
+            time,
+            step,
+            last_accepted: None,
+        }
+    }
+
+    /// A [`SimError::StepSizeUnderflow`] carrying the last accepted state.
+    pub fn step_underflow_with(time: f64, step: f64, last: LastAccepted) -> Self {
+        SimError::StepSizeUnderflow {
+            time,
+            step,
+            last_accepted: Some(Box::new(last)),
+        }
+    }
+
+    /// The forensics payload, when this is a [`SimError::NonConvergence`]
+    /// that carries one.
+    pub fn forensics(&self) -> Option<&Forensics> {
+        match self {
+            SimError::NonConvergence {
+                forensics: Some(fx),
+                ..
+            } => Some(fx),
+            _ => None,
+        }
+    }
+
+    /// The last-accepted summary, when this is a
+    /// [`SimError::StepSizeUnderflow`] that carries one.
+    pub fn last_accepted(&self) -> Option<&LastAccepted> {
+        match self {
+            SimError::StepSizeUnderflow {
+                last_accepted: Some(la),
+                ..
+            } => Some(la),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Circuit(e) => write!(f, "circuit error: {e}"),
             SimError::Numeric(e) => write!(f, "numeric error: {e}"),
-            SimError::NonConvergence { at, context } => {
-                write!(f, "no convergence at {at:.6e}: {context}")
+            SimError::NonConvergence {
+                at,
+                context,
+                forensics,
+            } => {
+                write!(f, "no convergence at {at:.6e}: {context}")?;
+                if let Some(fx) = forensics {
+                    if let Some(idx) = fx.point_index {
+                        write!(f, " [sweep point {idx}")?;
+                        if let Some(v) = fx.sweep_value {
+                            write!(f, " = {v:.6e}")?;
+                        }
+                        write!(f, "]")?;
+                    }
+                    if let Some((name, r)) = fx.worst_nodes.first() {
+                        write!(f, "; worst node {name} (residual {r:.3e})")?;
+                    }
+                    if !fx.rescue_trace.is_empty() {
+                        write!(f, "; rescue: {}", fx.rescue_trace)?;
+                    }
+                }
+                Ok(())
             }
-            SimError::StepSizeUnderflow { time, step } => {
-                write!(f, "time step underflow at t = {time:.6e} (h = {step:.3e})")
+            SimError::StepSizeUnderflow {
+                time,
+                step,
+                last_accepted,
+            } => {
+                write!(f, "time step underflow at t = {time:.6e} (h = {step:.3e})")?;
+                if let Some(la) = last_accepted {
+                    write!(
+                        f,
+                        "; last accepted t = {:.6e} after {} steps",
+                        la.time, la.steps
+                    )?;
+                }
+                Ok(())
             }
             SimError::UnsupportedCircuit { reason } => {
                 write!(f, "unsupported circuit: {reason}")
@@ -108,12 +240,50 @@ mod tests {
         assert!(e.source().is_some());
         let e = SimError::from(NumericError::SingularMatrix { pivot: 1 });
         assert!(e.source().is_some());
-        let e = SimError::NonConvergence {
-            at: 1e-9,
-            context: "oscillating".into(),
-        };
+        let e = SimError::non_convergence(1e-9, "oscillating");
         assert!(e.to_string().contains("oscillating"));
         assert!(e.source().is_none());
+        assert!(e.forensics().is_none());
+    }
+
+    #[test]
+    fn forensics_surface_in_display_and_accessor() {
+        use crate::rescue::RescueRung;
+        let mut fx = Forensics {
+            worst_nodes: vec![("mid".into(), 3.2e-2), ("in".into(), 1e-5)],
+            residual_history: vec![1.0, 0.9, 1.1],
+            point_index: Some(17),
+            sweep_value: Some(0.34),
+            ..Forensics::default()
+        };
+        fx.rescue_trace.record(RescueRung::DampedRetry, false, "");
+        fx.rescue_trace.record(RescueRung::GminStep, false, "");
+        let e = SimError::non_convergence_with(0.34, "fixed point stagnated", fx);
+        let s = e.to_string();
+        assert!(s.contains("sweep point 17"), "{s}");
+        assert!(s.contains("worst node mid"), "{s}");
+        assert!(s.contains("gmin-step"), "{s}");
+        let fx = e.forensics().unwrap();
+        assert_eq!(fx.residual_history.len(), 3);
+        assert_eq!(fx.rescue_trace.rungs(), 2);
+    }
+
+    #[test]
+    fn step_underflow_carries_last_accepted() {
+        let e = SimError::step_underflow(1e-9, 1e-18);
+        assert!(e.last_accepted().is_none());
+        let e = SimError::step_underflow_with(
+            1e-9,
+            1e-18,
+            LastAccepted {
+                time: 0.8e-9,
+                steps: 412,
+                state: vec![("out".into(), 0.55)],
+            },
+        );
+        let la = e.last_accepted().unwrap();
+        assert_eq!(la.steps, 412);
+        assert!(e.to_string().contains("after 412 steps"));
     }
 
     #[test]

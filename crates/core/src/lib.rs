@@ -67,13 +67,15 @@ pub mod mla;
 pub mod nr;
 pub mod pwl;
 pub mod report;
+pub mod rescue;
 pub mod sim;
 pub mod swec;
 pub mod waveform;
 
 pub use error::SimError;
 pub use nanosim_numeric::sparse::OrderingChoice;
-pub use report::EngineStats;
+pub use report::{EngineStats, HealthVerdict};
+pub use rescue::{RescueOptions, RescueRung, RescueTrace};
 pub use sim::{Analysis, AnalysisKind, Dataset, ExecPlan, SimOptions, Simulator};
 pub use waveform::{DcSweepResult, TransientResult, Waveform};
 

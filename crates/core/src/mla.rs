@@ -114,14 +114,30 @@ impl MlaEngine {
             .inner
             .run_dc_sweep(circuit, source, start, stop, step)?;
         if r.failures() > 0 {
-            return Err(SimError::NonConvergence {
-                at: start,
-                context: format!(
-                    "MLA failed on {} of {} points",
+            // Pinpoint the first failing point so the sweep can be triaged
+            // without re-running it.
+            let idx = r
+                .outcomes
+                .iter()
+                .position(|o| !o.is_converged())
+                .unwrap_or(0);
+            let value = r.sweep.sweep_values().get(idx).copied();
+            let at = value.unwrap_or(start);
+            let fx = crate::error::Forensics {
+                point_index: Some(idx),
+                sweep_value: value,
+                ..crate::error::Forensics::default()
+            };
+            return Err(SimError::non_convergence_with(
+                at,
+                format!(
+                    "MLA failed on {} of {} points (first at point {})",
                     r.failures(),
-                    r.outcomes.len()
+                    r.outcomes.len(),
+                    idx
                 ),
-            });
+                fx,
+            ));
         }
         Ok(r.sweep)
     }

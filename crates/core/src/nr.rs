@@ -21,7 +21,9 @@ use crate::assemble::{
     branch_voltage, mna_var_names, override_source_rhs, require_sweepable_source,
     AssemblyWorkspace, CircuitMatrices,
 };
+use crate::error::Forensics;
 use crate::report::EngineStats;
+use crate::rescue::{RescueRung, RescueTrace};
 use crate::waveform::{DcSweepResult, TransientResult};
 use crate::{Result, SimError};
 use nanosim_circuit::{Circuit, MnaSystem};
@@ -59,6 +61,20 @@ impl NrOutcome {
     pub fn is_converged(&self) -> bool {
         matches!(self, NrOutcome::Converged { .. })
     }
+}
+
+/// Result of [`NrEngine::solve_op_rescued`]: the operating point, the
+/// ladder trace (empty when the plain solve converged directly), and the
+/// work accounting.
+#[derive(Debug, Clone)]
+pub struct NrRescuedOp {
+    /// The converged operating-point solution.
+    pub x: Vec<f64>,
+    /// Rungs attempted; empty means no rescue was needed.
+    pub trace: RescueTrace,
+    /// Iterations, solves, flops, and the `rescues` / `rescue_rungs`
+    /// counters.
+    pub stats: EngineStats,
 }
 
 /// What a transient step does when Newton fails.
@@ -104,6 +120,11 @@ pub struct NrOptions {
     pub failure_policy: FailurePolicy,
     /// Minimum transient step for [`FailurePolicy::ReduceStep`].
     pub h_min: f64,
+    /// Convergence-rescue ladder for [`NrEngine::solve_op_rescued`].
+    /// **Disabled by default**: the NR engine's job is to *reproduce* the
+    /// paper's Newton failures (Figure 2 / 8(c)), so nothing rescues a
+    /// plain solve unless explicitly asked to.
+    pub rescue: crate::rescue::RescueOptions,
 }
 
 impl Default for NrOptions {
@@ -119,6 +140,7 @@ impl Default for NrOptions {
             cold_start: false,
             failure_policy: FailurePolicy::default(),
             h_min: 1e-18,
+            rescue: crate::rescue::RescueOptions::disabled(),
         }
     }
 }
@@ -355,14 +377,14 @@ impl NrEngine {
                         stats.rejected_steps += 1;
                         h *= 0.5;
                         if h < self.opts.h_min {
-                            return Err(SimError::StepSizeUnderflow { time: t, step: h });
+                            return Err(SimError::step_underflow(t, h));
                         }
                     }
                     FailurePolicy::Abort => {
-                        return Err(SimError::NonConvergence {
-                            at: t + h,
-                            context: format!("newton transient: {outcome:?}"),
-                        });
+                        return Err(SimError::non_convergence(
+                            t + h,
+                            format!("newton transient: {outcome:?}"),
+                        ));
                     }
                 }
             }
@@ -379,6 +401,184 @@ impl NrEngine {
             result: TransientResult::new(times, names, columns, stats),
             failures,
         })
+    }
+
+    /// DC operating point solved through the convergence-rescue ladder.
+    ///
+    /// A plain Newton solve runs first; when it fails (oscillation,
+    /// iteration exhaustion, or a singular Jacobian) and
+    /// [`NrOptions::rescue`] is enabled, the engine escalates
+    /// deterministically: damped retry → gmin stepping → source stepping →
+    /// pseudo-transient continuation. Every rung attempt lands in the
+    /// returned [`RescueTrace`] and the `rescues` / `rescue_rungs` stats
+    /// counters. With rescue disabled (the default) this behaves exactly
+    /// like a plain operating-point solve.
+    ///
+    /// # Errors
+    /// Structural and parameter errors propagate unchanged. A failed plain
+    /// solve with rescue disabled, or an exhausted ladder, returns
+    /// [`SimError::NonConvergence`] with the trace attached as forensics.
+    pub fn solve_op_rescued(&self, circuit: &Circuit) -> Result<NrRescuedOp> {
+        let t0 = Instant::now();
+        let mats = CircuitMatrices::new(circuit)?;
+        let dim = mats.mna.dim();
+        let mut ws = AssemblyWorkspace::new(&mats, true, true, OrderingChoice::default());
+        let mut stats = EngineStats::new();
+        let mut trace = RescueTrace::new();
+        let zeros = vec![0.0; dim];
+
+        let (x0, outcome) = self.solve_dc_ws(&mats, &mut ws, None, &zeros, None, &mut stats)?;
+        let x = if outcome.is_converged() {
+            x0
+        } else if !self.opts.rescue.enabled {
+            return Err(SimError::non_convergence(
+                0.0,
+                format!("newton operating point: {outcome:?} (rescue disabled)"),
+            ));
+        } else {
+            self.rescue_op(&mats, &mut ws, &zeros, &outcome, &mut trace, &mut stats)?
+        };
+        stats.absorb_lu(&LuStats::default(), &ws.lu_stats());
+        stats.elapsed = t0.elapsed();
+        Ok(NrRescuedOp { x, trace, stats })
+    }
+
+    /// Climbs the four-rung ladder for a failed Newton operating point.
+    /// Called only from [`NrEngine::solve_op_rescued`] after a plain-solve
+    /// failure with rescue enabled.
+    fn rescue_op(
+        &self,
+        mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
+        zeros: &[f64],
+        outcome: &NrOutcome,
+        trace: &mut RescueTrace,
+        stats: &mut EngineStats,
+    ) -> Result<Vec<f64>> {
+        let r = &self.opts.rescue;
+        let damped = NrEngine::new(NrOptions {
+            damping: r.damping,
+            ..self.opts.clone()
+        });
+
+        // Rung 1 — damped retry from a cold start.
+        stats.rescue_rungs += 1;
+        let (x1, o1) = damped.solve_dc_ws(mats, ws, None, zeros, None, stats)?;
+        if o1.is_converged() {
+            trace.record(
+                RescueRung::DampedRetry,
+                true,
+                format!("damping = {}", r.damping),
+            );
+            stats.rescues += 1;
+            return Ok(x1);
+        }
+        trace.record(RescueRung::DampedRetry, false, format!("{o1:?}"));
+        let mut last = o1;
+
+        // Rung 2 — gmin stepping: a diagonal shunt to ground relaxed a
+        // decade at a time, each solve warm-started from the previous one,
+        // then an unshunted confirmation solve.
+        stats.rescue_rungs += 1;
+        let mut x = zeros.to_vec();
+        let mut g = r.gmin_start;
+        let mut ok = true;
+        for _ in 0..r.gmin_steps.max(1) {
+            let (xi, oi) = damped.solve_dc_shunted_ws(mats, ws, &x, (g, zeros), stats)?;
+            ok = oi.is_converged();
+            last = oi;
+            if !ok {
+                break;
+            }
+            x = xi;
+            g *= 0.1;
+        }
+        if ok {
+            let (xf, of) = damped.solve_dc_ws(mats, ws, None, &x, None, stats)?;
+            if of.is_converged() {
+                trace.record(
+                    RescueRung::GminStep,
+                    true,
+                    format!(
+                        "{} decades from {:.1e} S",
+                        r.gmin_steps.max(1),
+                        r.gmin_start
+                    ),
+                );
+                stats.rescues += 1;
+                return Ok(xf);
+            }
+            last = of;
+        }
+        trace.record(RescueRung::GminStep, false, format!("{last:?}"));
+
+        // Rung 3 — source stepping: ramp every source 0 → 1, warm-started.
+        stats.rescue_rungs += 1;
+        let steps = r.source_steps.max(1);
+        let mut x = zeros.to_vec();
+        let mut ok = true;
+        for s in 1..=steps {
+            let scale = s as f64 / steps as f64;
+            let (xi, oi) = damped.solve_dc_ws(mats, ws, None, &x, Some(scale), stats)?;
+            ok = oi.is_converged();
+            last = oi;
+            if !ok {
+                break;
+            }
+            x = xi;
+        }
+        if ok {
+            trace.record(RescueRung::SourceStep, true, format!("{steps} substeps"));
+            stats.rescues += 1;
+            return Ok(x);
+        }
+        trace.record(RescueRung::SourceStep, false, format!("{last:?}"));
+
+        // Rung 4 — pseudo-transient continuation: a backward-Euler
+        // companion shunt decaying geometrically from 1 S to 1 pS,
+        // anchored at the previous pseudo-state, then an unshunted
+        // confirmation solve.
+        stats.rescue_rungs += 1;
+        let steps = r.ptran_steps.max(1);
+        let mut x = zeros.to_vec();
+        let mut g = 1.0_f64;
+        let decay = 1e-12_f64.powf(1.0 / steps as f64);
+        let mut ok = true;
+        for _ in 0..steps {
+            let anchor = x.clone();
+            let (xi, oi) = damped.solve_dc_shunted_ws(mats, ws, &anchor, (g, &anchor), stats)?;
+            ok = oi.is_converged();
+            last = oi;
+            if !ok {
+                break;
+            }
+            x = xi;
+            g *= decay;
+        }
+        if ok {
+            let (xf, of) = damped.solve_dc_ws(mats, ws, None, &x, None, stats)?;
+            if of.is_converged() {
+                trace.record(
+                    RescueRung::PseudoTransient,
+                    true,
+                    format!("{steps} pseudo-steps"),
+                );
+                stats.rescues += 1;
+                return Ok(xf);
+            }
+            last = of;
+        }
+        trace.record(RescueRung::PseudoTransient, false, format!("{last:?}"));
+
+        let fx = Forensics {
+            rescue_trace: std::mem::take(trace),
+            ..Forensics::default()
+        };
+        Err(SimError::non_convergence_with(
+            0.0,
+            format!("newton operating point: {outcome:?}; rescue ladder exhausted"),
+            fx,
+        ))
     }
 
     /// One Newton DC solve with a freshly built workspace. `override_src`
@@ -409,7 +609,7 @@ impl NrEngine {
         source_scale: Option<f64>,
         stats: &mut EngineStats,
     ) -> Result<(Vec<f64>, NrOutcome)> {
-        self.newton_loop(mats, ws, x0, stats, |mna, rhs, flops| {
+        self.newton_loop(mats, ws, x0, None, stats, |mna, rhs, flops| {
             mna.stamp_rhs(0.0, rhs);
             if let Some((name, value)) = override_src {
                 override_source_rhs(mna, name, value, 0.0, rhs);
@@ -424,6 +624,25 @@ impl NrEngine {
         })
     }
 
+    /// DC solve with a diagonal conductance shunt `g` from every node to
+    /// ground, anchored at `anchor` (`rhs += g * anchor`). With a zero
+    /// anchor this is classic gmin stepping; with the previous iterate as
+    /// anchor it is one pseudo-transient (backward-Euler companion) step.
+    /// Only the rescue ladder calls this.
+    fn solve_dc_shunted_ws(
+        &self,
+        mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
+        x0: &[f64],
+        shunt: (f64, &[f64]),
+        stats: &mut EngineStats,
+    ) -> Result<(Vec<f64>, NrOutcome)> {
+        self.newton_loop(mats, ws, x0, Some(shunt), stats, |mna, rhs, _flops| {
+            mna.stamp_rhs(0.0, rhs);
+            None
+        })
+    }
+
     /// One backward-Euler transient step solved with Newton.
     fn solve_transient_step(
         &self,
@@ -434,7 +653,7 @@ impl NrEngine {
         h: f64,
         stats: &mut EngineStats,
     ) -> Result<(Vec<f64>, NrOutcome)> {
-        self.newton_loop(mats, ws, x_prev, stats, |mna, rhs, flops| {
+        self.newton_loop(mats, ws, x_prev, None, stats, |mna, rhs, flops| {
             mna.stamp_rhs(t + h, rhs);
             // rhs += (C/h) x_prev; the matrix side adds C/h stamps.
             mats.c_csr
@@ -457,6 +676,7 @@ impl NrEngine {
         mats: &CircuitMatrices,
         ws: &mut AssemblyWorkspace,
         x0: &[f64],
+        shunt: Option<(f64, &[f64])>,
         stats: &mut EngineStats,
         prepare: F,
     ) -> Result<(Vec<f64>, NrOutcome)>
@@ -525,6 +745,15 @@ impl NrEngine {
                     rhs[s] += ieq;
                 }
                 flops.add(2);
+            }
+
+            if let Some((g, anchor)) = shunt {
+                ws.stamp_diag_shunt(mna.num_nodes(), g);
+                let n = mna.num_nodes().min(anchor.len());
+                for (r, a) in rhs.iter_mut().zip(anchor.iter()).take(n) {
+                    *r += g * a;
+                }
+                flops.fma(n as u64);
             }
 
             match ws.factor_solve(&rhs, &mut x_new, &mut flops) {
@@ -865,5 +1094,62 @@ mod tests {
         assert!(!NrOutcome::MaxIterations.is_converged());
         assert!(!NrOutcome::Oscillating { period: 2 }.is_converged());
         assert!(!NrOutcome::Singular.is_converged());
+    }
+
+    /// The NDR bias from [`rtd_ndr_from_cold_start_fails_plain_nr`], driven
+    /// at its DC value (no source override).
+    fn current_driven_rtd_biased() -> Circuit {
+        let mut ckt = Circuit::new();
+        let b = ckt.node("mid");
+        ckt.add_current_source("I1", Circuit::GROUND, b, SourceWaveform::dc(1e-3))
+            .unwrap();
+        ckt.add_rtd("X1", b, Circuit::GROUND, Rtd::sharp_valley())
+            .unwrap();
+        ckt.add_resistor("Rsh", b, Circuit::GROUND, 1e6).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn rescue_ladder_recovers_ndr_operating_point() {
+        let ckt = current_driven_rtd_biased();
+        let rescued = NrEngine::new(NrOptions {
+            rescue: crate::rescue::RescueOptions::default(),
+            ..NrOptions::default()
+        });
+        let op = rescued
+            .solve_op_rescued(&ckt)
+            .expect("ladder rescues NDR OP");
+        assert!(!op.trace.is_empty(), "plain solve should have failed");
+        assert!(op.trace.succeeded());
+        assert!(op.stats.rescues >= 1);
+        assert!(op.stats.rescue_rungs >= 1);
+        let v = op.x[0];
+        assert!(v > 0.0 && v < 10.0, "physical bias, got {v}");
+        let mut f = FlopCounter::new();
+        let i = Rtd::sharp_valley().current(v, &mut f) + v / 1e6;
+        assert!(approx_eq(i, 1e-3, 1e-3), "KCL: {i} at v={v}");
+    }
+
+    #[test]
+    fn rescue_disabled_keeps_op_failure_structured() {
+        // Default options: the ladder never runs and the failure surfaces
+        // as a structured NonConvergence, not a panic or silent wrong OP.
+        let err = engine()
+            .solve_op_rescued(&current_driven_rtd_biased())
+            .unwrap_err();
+        assert!(matches!(err, SimError::NonConvergence { .. }), "{err}");
+        assert!(err.to_string().contains("rescue disabled"), "{err}");
+    }
+
+    #[test]
+    fn rescue_ladder_is_inactive_on_healthy_deck() {
+        let rescued = NrEngine::new(NrOptions {
+            rescue: crate::rescue::RescueOptions::default(),
+            ..NrOptions::default()
+        });
+        let op = rescued.solve_op_rescued(&rtd_divider(50.0)).unwrap();
+        assert!(op.trace.is_empty());
+        assert_eq!(op.stats.rescues, 0);
+        assert_eq!(op.stats.rescue_rungs, 0);
     }
 }

@@ -240,7 +240,7 @@ impl PwlEngine {
             let mut h = tstep.min(tstop - t);
             loop {
                 if h < self.opts.h_min {
-                    return Err(SimError::StepSizeUnderflow { time: t, step: h });
+                    return Err(SimError::step_underflow(t, h));
                 }
                 let x_new = self.solve_step(&mats, &tables, &x, t, h, &mut stats)?;
                 // Segment-crossing control: each device may move at most one

@@ -10,7 +10,7 @@ use std::time::Duration;
 /// The floating point counts are gathered with the same rules in every
 /// engine (solver FLOPs via `nanosim-numeric`, model-evaluation FLOPs via
 /// the device implementations), so SWEC-vs-baseline ratios are meaningful.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineStats {
     /// Accepted time points / sweep points.
     pub steps: usize,
@@ -50,10 +50,75 @@ pub struct EngineStats {
     pub supernode_cols: u64,
     /// Nonlinear device model evaluations.
     pub device_evals: u64,
+    /// Convergence rescues: points/steps that initially failed and were
+    /// recovered by the rescue ladder (0 on a healthy run — the golden
+    /// decks gate on this in CI).
+    pub rescues: u64,
+    /// Total rescue-ladder rungs climbed across all rescues (a rescue that
+    /// needed damped-retry *and* gmin-stepping counts 2).
+    pub rescue_rungs: u64,
+    /// Smallest reciprocal pivot-growth ratio observed by the run's sparse
+    /// LU factorizations (`+inf` when the run never factored). Values near
+    /// 1.0 are well-conditioned pivot sequences; below `1e-6` the solver
+    /// switched to refinement; below `1e-12` it declared collapse.
+    pub min_recip_pivot: f64,
     /// Floating point operations (solves + model evaluations).
     pub flops: FlopCounter,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+}
+
+impl Default for EngineStats {
+    fn default() -> Self {
+        EngineStats {
+            steps: 0,
+            rejected_steps: 0,
+            iterations: 0,
+            linear_solves: 0,
+            full_factors: 0,
+            refactors: 0,
+            factor_flops: 0,
+            refactor_flops: 0,
+            solve_flops: 0,
+            refinement_steps: 0,
+            nnz_lu: 0,
+            fill_ratio: 0.0,
+            supernodes: 0,
+            supernode_cols: 0,
+            device_evals: 0,
+            rescues: 0,
+            rescue_rungs: 0,
+            min_recip_pivot: f64::INFINITY,
+            flops: FlopCounter::new(),
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
+/// Summary verdict of a run's numerical health, computed from the
+/// [`EngineStats`] counters by [`EngineStats::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthVerdict {
+    /// No rescues, no refinement, pivot ratios comfortably above the
+    /// degradation threshold.
+    Healthy,
+    /// The run completed but leaned on the numerical safety nets: pivot
+    /// decay forced iterative refinement, or the reciprocal pivot ratio
+    /// dipped below `1e-6`.
+    Degraded,
+    /// At least one point failed outright and was recovered by the
+    /// convergence-rescue ladder.
+    Rescued,
+}
+
+impl fmt::Display for HealthVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HealthVerdict::Healthy => "healthy",
+            HealthVerdict::Degraded => "degraded",
+            HealthVerdict::Rescued => "rescued",
+        })
+    }
 }
 
 impl EngineStats {
@@ -68,6 +133,21 @@ impl EngineStats {
             0.0
         } else {
             self.iterations as f64 / self.steps as f64
+        }
+    }
+
+    /// Classifies the run's numerical health from the recorded counters.
+    ///
+    /// `Rescued` dominates `Degraded` dominates `Healthy`: a run that
+    /// needed the ladder is flagged even when its final factorizations
+    /// were pristine.
+    pub fn health(&self) -> HealthVerdict {
+        if self.rescues > 0 {
+            HealthVerdict::Rescued
+        } else if self.refinement_steps > 0 || self.min_recip_pivot < 1e-6 {
+            HealthVerdict::Degraded
+        } else {
+            HealthVerdict::Healthy
         }
     }
 
@@ -96,6 +176,11 @@ impl EngineStats {
             self.supernode_cols = other.supernode_cols;
         }
         self.device_evals += other.device_evals;
+        self.rescues += other.rescues;
+        self.rescue_rungs += other.rescue_rungs;
+        // Health minima are not quantities of work: merging keeps the worst
+        // (smallest) ratio seen by either run.
+        self.min_recip_pivot = self.min_recip_pivot.min(other.min_recip_pivot);
         self.flops += other.flops;
         self.elapsed += other.elapsed;
     }
@@ -119,6 +204,10 @@ impl EngineStats {
             self.supernodes = after.supernodes;
             self.supernode_cols = after.supernode_cols;
         }
+        // `after.min_recip_pivot` is the solver's lifetime minimum, which
+        // already includes everything `before` saw — min-folding it is both
+        // correct and idempotent across repeated absorptions.
+        self.min_recip_pivot = self.min_recip_pivot.min(after.min_recip_pivot);
     }
 }
 
@@ -131,7 +220,8 @@ impl fmt::Display for EngineStats {
             f,
             "{} steps ({} rejected), {} iterations, {} solves ({} factor / {} refactor, \
              {} refinement), lu flops {} factor / {} refactor / {} solve, \
-             lu nnz {} (fill {:.2}x, {} supernodes over {} cols), {} device evals, {}, {:.3} ms",
+             lu nnz {} (fill {:.2}x, {} supernodes over {} cols), {} device evals, \
+             {} rescues ({} rungs), min pivot ratio {:.1e}, health {}, {}, {:.3} ms",
             self.steps,
             self.rejected_steps,
             self.iterations,
@@ -147,6 +237,10 @@ impl fmt::Display for EngineStats {
             self.supernodes,
             self.supernode_cols,
             self.device_evals,
+            self.rescues,
+            self.rescue_rungs,
+            self.min_recip_pivot,
+            self.health(),
             self.flops,
             self.elapsed.as_secs_f64() * 1e3
         )
@@ -205,6 +299,7 @@ mod tests {
             nnz_a: 20,
             supernodes: 3,
             supernode_cols: 9,
+            ..LuStats::default()
         };
         let after = LuStats {
             full_factors: 3,
@@ -217,6 +312,7 @@ mod tests {
             nnz_a: 20,
             supernodes: 3,
             supernode_cols: 9,
+            min_recip_pivot: 1e-3,
         };
         s.absorb_lu(&before, &after);
         assert_eq!(s.full_factors, 1);
@@ -229,6 +325,7 @@ mod tests {
         assert_eq!(s.supernode_cols, 9);
         assert_eq!(s.nnz_lu, 40);
         assert!((s.fill_ratio - 2.0).abs() < 1e-12);
+        assert_eq!(s.min_recip_pivot, 1e-3);
         // Merging keeps the largest analysis's coherent (nnz, fill) pair —
         // never the small analysis's higher ratio paired with the large
         // analysis's nnz — and sums the work.
@@ -257,5 +354,40 @@ mod tests {
         let out = s.to_string();
         assert!(out.contains("7 steps"));
         assert!(out.contains("3 device evals"));
+        assert!(out.contains("0 rescues"));
+        assert!(out.contains("health healthy"));
+    }
+
+    #[test]
+    fn health_verdict_ladder() {
+        let mut s = EngineStats::new();
+        assert_eq!(s.health(), HealthVerdict::Healthy);
+        assert_eq!(s.min_recip_pivot, f64::INFINITY);
+        s.min_recip_pivot = 0.5;
+        assert_eq!(s.health(), HealthVerdict::Healthy);
+        s.refinement_steps = 1;
+        assert_eq!(s.health(), HealthVerdict::Degraded);
+        s.refinement_steps = 0;
+        s.min_recip_pivot = 1e-9;
+        assert_eq!(s.health(), HealthVerdict::Degraded);
+        s.rescues = 1;
+        assert_eq!(s.health(), HealthVerdict::Rescued);
+    }
+
+    #[test]
+    fn merge_folds_health_counters() {
+        let mut a = EngineStats::new();
+        a.min_recip_pivot = 0.3;
+        let mut b = EngineStats::new();
+        b.rescues = 2;
+        b.rescue_rungs = 5;
+        b.min_recip_pivot = 1e-8;
+        a.merge(&b);
+        assert_eq!(a.rescues, 2);
+        assert_eq!(a.rescue_rungs, 5);
+        assert_eq!(a.min_recip_pivot, 1e-8);
+        // Merging a run that never factored leaves the minimum alone.
+        a.merge(&EngineStats::new());
+        assert_eq!(a.min_recip_pivot, 1e-8);
     }
 }

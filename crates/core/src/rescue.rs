@@ -1,0 +1,225 @@
+//! The convergence-rescue ladder.
+//!
+//! When an operating-point or sweep-point solve fails — Newton oscillation,
+//! fixed-point stagnation, or a singular/collapsed pivot — the engines do
+//! not give up immediately. They climb a deterministic ladder of
+//! progressively heavier continuation strategies, in a fixed order so two
+//! runs of the same deck always attempt the same rungs:
+//!
+//! 1. [`RescueRung::DampedRetry`] — re-run the failed solve from a cold
+//!    start with heavy iterate damping. Cheap; rescues mild oscillation.
+//! 2. [`RescueRung::GminStep`] — gmin-stepping homotopy: solve with a
+//!    large shunt conductance from every node to ground (which makes the
+//!    Jacobian diagonally dominant), then relax the shunt decade by decade
+//!    re-seeding each solve from the last.
+//! 3. [`RescueRung::SourceStep`] — source-stepping: ramp every independent
+//!    source from zero (where the zero solution is exact) up to full value
+//!    in small increments, warm-starting each solve.
+//! 4. [`RescueRung::PseudoTransient`] — pseudo-transient continuation:
+//!    treat the DC problem as the steady state of an artificial transient
+//!    and let the physical damping of the integration find the attractor.
+//!
+//! Every attempt is recorded in a [`RescueTrace`], which travels inside the
+//! [`crate::error::Forensics`] payload of a terminal failure and feeds the
+//! `rescues` / `rescue_rungs` counters of [`crate::EngineStats`]. The
+//! ladder is *inactive* on healthy decks: it only runs after a failure
+//! that would otherwise have been returned to the caller, so enabling it
+//! cannot change the results of a deck that already converges.
+
+use std::fmt;
+
+/// One strategy of the convergence-rescue ladder, in escalation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RescueRung {
+    /// Cold-start retry with heavy iterate damping.
+    DampedRetry,
+    /// Gmin-stepping homotopy (shunt conductance relaxed to zero).
+    GminStep,
+    /// Source-stepping (independent sources ramped from zero).
+    SourceStep,
+    /// Pseudo-transient continuation toward the DC attractor.
+    PseudoTransient,
+}
+
+impl RescueRung {
+    /// The full ladder, in the order the engines climb it.
+    pub const LADDER: [RescueRung; 4] = [
+        RescueRung::DampedRetry,
+        RescueRung::GminStep,
+        RescueRung::SourceStep,
+        RescueRung::PseudoTransient,
+    ];
+}
+
+impl fmt::Display for RescueRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RescueRung::DampedRetry => "damped-retry",
+            RescueRung::GminStep => "gmin-step",
+            RescueRung::SourceStep => "source-step",
+            RescueRung::PseudoTransient => "pseudo-transient",
+        })
+    }
+}
+
+/// The outcome of attempting one rung during a rescue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RescueEvent {
+    /// Which rung was attempted.
+    pub rung: RescueRung,
+    /// Whether this rung produced a converged solution.
+    pub succeeded: bool,
+    /// Short human-readable note (steps taken, last error, ...).
+    pub detail: String,
+}
+
+/// Ordered record of every rung attempted while rescuing one failed solve.
+///
+/// An empty trace means the ladder never ran (the healthy path).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RescueTrace {
+    events: Vec<RescueEvent>,
+}
+
+impl RescueTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        RescueTrace::default()
+    }
+
+    /// Appends one rung attempt.
+    pub fn record(&mut self, rung: RescueRung, succeeded: bool, detail: impl Into<String>) {
+        self.events.push(RescueEvent {
+            rung,
+            succeeded,
+            detail: detail.into(),
+        });
+    }
+
+    /// The recorded attempts, in order.
+    pub fn events(&self) -> &[RescueEvent] {
+        &self.events
+    }
+
+    /// Number of rungs attempted.
+    pub fn rungs(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no rung was ever attempted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// `true` when the rescue ended in a converged solution (i.e. the last
+    /// attempted rung succeeded).
+    pub fn succeeded(&self) -> bool {
+        self.events.last().is_some_and(|e| e.succeeded)
+    }
+}
+
+impl fmt::Display for RescueTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            return f.write_str("no rescue attempted");
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" -> ")?;
+            }
+            write!(
+                f,
+                "{} ({}{})",
+                e.rung,
+                if e.succeeded { "ok" } else { "failed" },
+                if e.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!(": {}", e.detail)
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Tuning knobs for the rescue ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RescueOptions {
+    /// Master switch. When `false` a failed solve returns its original
+    /// error untouched.
+    pub enabled: bool,
+    /// Iterate damping factor used by the damped-retry rung (0 < d ≤ 1;
+    /// smaller is heavier damping).
+    pub damping: f64,
+    /// Starting shunt conductance of the gmin-stepping rung (siemens).
+    pub gmin_start: f64,
+    /// Number of decades over which the gmin shunt is relaxed to zero.
+    pub gmin_steps: usize,
+    /// Number of increments of the source-stepping ramp.
+    pub source_steps: usize,
+    /// Number of artificial time steps of the pseudo-transient rung.
+    pub ptran_steps: usize,
+}
+
+impl Default for RescueOptions {
+    fn default() -> Self {
+        RescueOptions {
+            enabled: true,
+            damping: 0.25,
+            gmin_start: 1e-2,
+            gmin_steps: 8,
+            source_steps: 25,
+            ptran_steps: 40,
+        }
+    }
+}
+
+impl RescueOptions {
+    /// A ladder that never runs.
+    pub fn disabled() -> Self {
+        RescueOptions {
+            enabled: false,
+            ..RescueOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_order_is_fixed() {
+        assert_eq!(RescueRung::LADDER[0], RescueRung::DampedRetry);
+        assert_eq!(RescueRung::LADDER[3], RescueRung::PseudoTransient);
+        // Ord agrees with escalation order.
+        assert!(RescueRung::DampedRetry < RescueRung::GminStep);
+        assert!(RescueRung::SourceStep < RescueRung::PseudoTransient);
+    }
+
+    #[test]
+    fn trace_records_in_order_and_reports_outcome() {
+        let mut t = RescueTrace::new();
+        assert!(t.is_empty());
+        assert!(!t.succeeded());
+        t.record(RescueRung::DampedRetry, false, "still oscillating");
+        t.record(RescueRung::GminStep, true, "converged at gmin 1e-9");
+        assert_eq!(t.rungs(), 2);
+        assert!(t.succeeded());
+        assert_eq!(t.events()[0].rung, RescueRung::DampedRetry);
+        let s = t.to_string();
+        assert!(s.contains("damped-retry (failed"));
+        assert!(s.contains("gmin-step (ok"));
+    }
+
+    #[test]
+    fn default_options_are_sane() {
+        let o = RescueOptions::default();
+        assert!(o.enabled);
+        assert!(o.damping > 0.0 && o.damping <= 1.0);
+        assert!(o.gmin_start > 0.0);
+        assert!(o.source_steps > 1);
+        assert!(!RescueOptions::disabled().enabled);
+    }
+}

@@ -113,6 +113,9 @@ pub struct Dataset {
     columns: Vec<Vec<f64>>,
     /// Per-variable, per-path running maxima (EM ensembles only).
     maxima: Vec<Vec<f64>>,
+    /// `Some(t)` when the producing transient stopped early at `t`
+    /// (step-size underflow under `allow_partial`).
+    truncated_at: Option<f64>,
     /// Work accounting for the run that produced this dataset.
     pub stats: EngineStats,
 }
@@ -146,21 +149,37 @@ impl Dataset {
             names,
             columns,
             maxima: Vec::new(),
+            truncated_at: None,
             stats,
         }
     }
 
-    /// Wraps a legacy transient result.
+    /// Wraps a legacy transient result (including a truncated partial
+    /// prefix — see [`Dataset::truncated_at`]).
     pub fn from_transient(engine: &'static str, r: TransientResult) -> Self {
-        let (times, names, columns, stats) = r.into_parts();
-        Dataset::new(
+        let (times, names, columns, stats, truncated_at) = r.into_parts();
+        let mut ds = Dataset::new(
             AnalysisKind::Tran,
             engine,
             Axis::Time(times),
             names,
             columns,
             stats,
-        )
+        );
+        ds.truncated_at = truncated_at;
+        ds
+    }
+
+    /// Whether this dataset is the accepted prefix of a transient that
+    /// died of step-size underflow (only possible with
+    /// `SwecOptions::allow_partial` set).
+    pub fn is_truncated(&self) -> bool {
+        self.truncated_at.is_some()
+    }
+
+    /// The time at which a truncated transient gave up.
+    pub fn truncated_at(&self) -> Option<f64> {
+        self.truncated_at
     }
 
     /// Wraps a legacy DC sweep result (the sweep source name is not stored

@@ -150,6 +150,15 @@ impl Transient {
         self.options = options;
         self
     }
+
+    /// Opts into partial results: a run that dies of step-size underflow
+    /// returns its accepted prefix (marked truncated — see
+    /// [`crate::sim::Dataset::is_truncated`]) instead of an error.
+    #[must_use]
+    pub fn allow_partial(mut self) -> Self {
+        self.options.allow_partial = true;
+        self
+    }
 }
 
 /// Builder for an Euler–Maruyama ensemble.

@@ -5,6 +5,7 @@ use crate::assemble::{
     branch_voltage, mna_var_names, require_sweepable_source, AssemblyWorkspace, CircuitMatrices,
 };
 use crate::em::EmEngine;
+use crate::error::Forensics;
 use crate::mla::MlaEngine;
 use crate::pwl::PwlEngine;
 use crate::report::EngineStats;
@@ -94,6 +95,10 @@ pub struct Simulator {
     dc_ws: Option<AssemblyWorkspace>,
     /// Cached with-C assembly workspace (transients).
     tran_ws: Option<AssemblyWorkspace>,
+    /// Armed fault-injection plan; cloned onto every workspace the session
+    /// creates (testing/robustness harness — see
+    /// [`nanosim_numeric::FaultPlan`]).
+    fault: Option<nanosim_numeric::FaultPlan>,
 }
 
 impl Simulator {
@@ -119,7 +124,34 @@ impl Simulator {
             opts,
             dc_ws: None,
             tran_ws: None,
+            fault: None,
         })
+    }
+
+    /// Arms a deterministic fault-injection plan: every assembly workspace
+    /// the session uses (existing and future) gets its own clone, so the
+    /// scheduled faults fire at the same factorization calls regardless of
+    /// how analyses share or clone workspaces. Testing harness — see
+    /// [`nanosim_numeric::FaultPlan`].
+    pub fn arm_faults(&mut self, plan: nanosim_numeric::FaultPlan) {
+        if let Some(ws) = self.dc_ws.as_mut() {
+            ws.arm_faults(plan.clone());
+        }
+        if let Some(ws) = self.tran_ws.as_mut() {
+            ws.arm_faults(plan.clone());
+        }
+        self.fault = Some(plan);
+    }
+
+    /// Total faults actually injected so far across the session's
+    /// workspaces (zero when no plan is armed or nothing has fired yet).
+    pub fn injected_faults(&self) -> u64 {
+        self.dc_ws
+            .iter()
+            .chain(self.tran_ws.iter())
+            .filter_map(|ws| ws.fault_plan())
+            .map(|p| p.injected())
+            .sum()
     }
 
     /// The session's circuit.
@@ -168,16 +200,31 @@ impl Simulator {
         }
     }
 
+    /// Lazily creates the no-C workspace, arming any session fault plan.
+    fn ensure_dc_ws(&mut self) {
+        if self.dc_ws.is_none() {
+            let mut ws = AssemblyWorkspace::new(&self.mats, false, false, self.opts.ordering);
+            if let Some(plan) = &self.fault {
+                ws.arm_faults(plan.clone());
+            }
+            self.dc_ws = Some(ws);
+        }
+    }
+
+    /// Lazily creates the with-C workspace, arming any session fault plan.
+    fn ensure_tran_ws(&mut self) {
+        if self.tran_ws.is_none() {
+            let mut ws = AssemblyWorkspace::new(&self.mats, false, true, self.opts.ordering);
+            if let Some(plan) = &self.fault {
+                ws.arm_faults(plan.clone());
+            }
+            self.tran_ws = Some(ws);
+        }
+    }
+
     fn run_op(&mut self, op: Op) -> Result<Dataset> {
         let t0 = Instant::now();
-        if self.dc_ws.is_none() {
-            self.dc_ws = Some(AssemblyWorkspace::new(
-                &self.mats,
-                false,
-                false,
-                self.opts.ordering,
-            ));
-        }
+        self.ensure_dc_ws();
         let ws = self.dc_ws.as_mut().expect("created above");
         let lu0 = ws.lu_stats();
         let engine = SwecDcSweep::new(op.options);
@@ -191,22 +238,8 @@ impl Simulator {
     }
 
     fn run_transient(&mut self, tran: Transient) -> Result<Dataset> {
-        if self.tran_ws.is_none() {
-            self.tran_ws = Some(AssemblyWorkspace::new(
-                &self.mats,
-                false,
-                true,
-                self.opts.ordering,
-            ));
-        }
-        if self.dc_ws.is_none() {
-            self.dc_ws = Some(AssemblyWorkspace::new(
-                &self.mats,
-                false,
-                false,
-                self.opts.ordering,
-            ));
-        }
+        self.ensure_tran_ws();
+        self.ensure_dc_ws();
         let ws = self.tran_ws.as_mut().expect("created above");
         let op_ws = self.dc_ws.as_mut().expect("created above");
         let engine = SwecTransient::new(tran.options);
@@ -238,13 +271,13 @@ impl Simulator {
             BaselineRequest::Transient { tstep, tstop } => {
                 let r = engine.run_transient(&self.circuit, tstep, tstop)?;
                 if let Some((t, outcome)) = r.failures.first() {
-                    return Err(SimError::NonConvergence {
-                        at: *t,
-                        context: format!(
+                    return Err(SimError::non_convergence(
+                        *t,
+                        format!(
                             "MLA transient: {} steps failed (first: {outcome:?})",
                             r.failures.len()
                         ),
-                    });
+                    ));
                 }
                 Ok(Dataset::from_transient("mla", r.result))
             }
@@ -307,14 +340,7 @@ impl Simulator {
         }
         require_sweepable_source(&self.mats.mna, &source)?;
         let t0 = Instant::now();
-        if self.dc_ws.is_none() {
-            self.dc_ws = Some(AssemblyWorkspace::new(
-                &self.mats,
-                false,
-                false,
-                self.opts.ordering,
-            ));
-        }
+        self.ensure_dc_ws();
         let engine = SwecDcSweep::new(options);
         let mut warm_stats = EngineStats::new();
         let warm_lu = {
@@ -379,6 +405,7 @@ impl Simulator {
         let base_ws = self.dc_ws.as_ref().expect("created above");
         let mats = &self.mats;
 
+        let rescue_enabled = engine.options().rescue.enabled;
         let chunks = try_par_map(n_chunks, plan.workers(), |ci| {
             let lo = ci * SWEEP_CHUNK;
             let hi = n_points.min(lo + SWEEP_CHUNK);
@@ -387,9 +414,50 @@ impl Simulator {
             } else {
                 None
             };
-            sweep_chunk(
-                &engine, mats, base_ws, warm_lu, &source, start, &values, lo, hi, seed,
-            )
+            match sweep_chunk(
+                &engine,
+                mats,
+                base_ws,
+                warm_lu,
+                &source,
+                start,
+                &values,
+                lo,
+                hi,
+                seed,
+                WARM_START_RAMP,
+            ) {
+                Ok(c) => Ok(c),
+                Err(SimError::NonConvergence { .. } | SimError::Numeric(_)) if rescue_enabled => {
+                    // Rescue: retry the whole chunk with an 8x finer
+                    // continuation ramp, recomputed locally (the batched
+                    // seed only applies to the default ramp). Healthy
+                    // chunks never take this path, and the decision
+                    // depends only on the chunk index — never the worker
+                    // count — so sharded results stay bit-identical.
+                    match sweep_chunk(
+                        &engine,
+                        mats,
+                        base_ws,
+                        warm_lu,
+                        &source,
+                        start,
+                        &values,
+                        lo,
+                        hi,
+                        None,
+                        WARM_START_RAMP * 8,
+                    ) {
+                        Ok(mut c) => {
+                            c.stats.rescues += 1;
+                            c.stats.rescue_rungs += 1;
+                            Ok(c)
+                        }
+                        Err(e) => Err(tag_chunk_failure(e, ci)),
+                    }
+                }
+                Err(e) => Err(tag_chunk_failure(e, ci)),
+            }
         })?;
 
         // Deterministic stitch: solutions and statistics in chunk order.
@@ -449,6 +517,41 @@ struct SweepChunk {
     stats: EngineStats,
 }
 
+/// Annotates a failed chunk's error with the chunk index (the failing
+/// point index and sweep value ride in the forensics payload).
+fn tag_chunk_failure(e: SimError, ci: usize) -> SimError {
+    match e {
+        SimError::NonConvergence {
+            at,
+            context,
+            forensics,
+        } => SimError::NonConvergence {
+            at,
+            context: format!("{context} [sweep chunk {ci}]"),
+            forensics,
+        },
+        other => other,
+    }
+}
+
+/// Attaches the failing point index and sweep value to a per-point
+/// non-convergence error.
+fn tag_sweep_failure(e: SimError, k: usize, value: f64) -> SimError {
+    match e {
+        SimError::NonConvergence {
+            at,
+            context,
+            forensics,
+        } => {
+            let mut fx = forensics.map_or_else(Forensics::default, |b| *b);
+            fx.point_index = Some(k);
+            fx.sweep_value = Some(value);
+            SimError::non_convergence_with(at, context, fx)
+        }
+        other => other,
+    }
+}
+
 /// Solves sweep points `lo..hi` on a fresh clone of `base_ws` (see
 /// [`Simulator::run_dc_sweep`] for the warm-start contract).
 #[allow(clippy::too_many_arguments)]
@@ -463,6 +566,7 @@ fn sweep_chunk(
     lo: usize,
     hi: usize,
     warm_seed: Option<&[f64]>,
+    ramp_steps: usize,
 ) -> Result<SweepChunk> {
     let mut ws = base_ws.clone();
     let mut buf = DcBuffers::default();
@@ -482,23 +586,24 @@ fn sweep_chunk(
     let mut x = vec![0.0; dim];
     if lo > 0 {
         let prev = values[lo - 1];
-        // The first ramp point was computed centrally by the batched
-        // multi-RHS warm start (bit-identical to solving it here); the
-        // shard continues the ramp from that seed.
-        x = warm_seed
-            .expect("chunks past the first carry a seed")
-            .to_vec();
-        for s in 2..=WARM_START_RAMP {
-            let frac = s as f64 / WARM_START_RAMP as f64;
+        // The first ramp point is normally computed centrally by the
+        // batched multi-RHS warm start (bit-identical to solving it here);
+        // the shard continues the ramp from that seed. On the finer-ramp
+        // rescue retry there is no seed and the whole ramp is recomputed
+        // locally.
+        let first_step = match warm_seed {
+            Some(seed) => {
+                x = seed.to_vec();
+                2
+            }
+            None => 1,
+        };
+        for s in first_step..=ramp_steps {
+            let frac = s as f64 / ramp_steps as f64;
             let v = sweep_start + (prev - sweep_start) * frac;
-            x = engine.solve_noniterative_ws(
-                mats,
-                &mut ws,
-                &mut buf,
-                Some((source, v)),
-                &x,
-                &mut stats,
-            )?;
+            x = engine
+                .solve_noniterative_ws(mats, &mut ws, &mut buf, Some((source, v)), &x, &mut stats)
+                .map_err(|e| tag_sweep_failure(e, lo - 1, v))?;
         }
         match engine.solve_point_ws(
             mats,
@@ -511,7 +616,7 @@ fn sweep_chunk(
         ) {
             Ok(x_new) => x = x_new,
             Err(SimError::NonConvergence { .. }) => {}
-            Err(e) => return Err(e),
+            Err(e) => return Err(tag_sweep_failure(e, lo - 1, prev)),
         }
     }
 
@@ -534,25 +639,29 @@ fn sweep_chunk(
                 &mut stats,
             ) {
                 Ok(x_new) => x_new,
-                Err(SimError::NonConvergence { .. }) if k > 0 => engine.solve_noniterative_ws(
+                Err(SimError::NonConvergence { .. }) if k > 0 => engine
+                    .solve_noniterative_ws(
+                        mats,
+                        &mut ws,
+                        &mut buf,
+                        Some((source, value)),
+                        &x,
+                        &mut stats,
+                    )
+                    .map_err(|e| tag_sweep_failure(e, k, value))?,
+                Err(e) => return Err(tag_sweep_failure(e, k, value)),
+            }
+        } else {
+            engine
+                .solve_noniterative_ws(
                     mats,
                     &mut ws,
                     &mut buf,
                     Some((source, value)),
                     &x,
                     &mut stats,
-                )?,
-                Err(e) => return Err(e),
-            }
-        } else {
-            engine.solve_noniterative_ws(
-                mats,
-                &mut ws,
-                &mut buf,
-                Some((source, value)),
-                &x,
-                &mut stats,
-            )?
+                )
+                .map_err(|e| tag_sweep_failure(e, k, value))?
         };
         stats.steps += 1;
         xs.push(x.clone());

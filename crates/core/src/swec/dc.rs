@@ -14,7 +14,9 @@ use crate::assemble::{
     branch_voltage, mna_var_names, override_source_rhs, require_sweepable_source,
     AssemblyWorkspace, CircuitMatrices,
 };
+use crate::error::Forensics;
 use crate::report::EngineStats;
+use crate::rescue::{RescueRung, RescueTrace};
 use crate::swec::SwecOptions;
 use crate::waveform::DcSweepResult;
 use crate::{Result, SimError};
@@ -30,6 +32,9 @@ pub(crate) struct DcBuffers {
     rhs: Vec<f64>,
     x_new: Vec<f64>,
     best_x: Vec<f64>,
+    /// Per-iteration update norms of the most recent fixed-point solve;
+    /// becomes the forensics `residual_history` when the solve fails.
+    history: Vec<f64>,
 }
 
 /// The SWEC DC sweep engine.
@@ -185,10 +190,15 @@ impl SwecDcSweep {
         result
     }
 
-    /// Operating point with continuation fallback against a caller-owned
+    /// Operating point with rescue-ladder fallback against a caller-owned
     /// workspace. Factor/refactor accounting is the *caller's* job (the
     /// workspace counts are cumulative, so a reused session workspace must
     /// be delta-accounted).
+    ///
+    /// A converging deck never enters the ladder; a failing one escalates
+    /// deterministically through damped retry, gmin stepping, source
+    /// stepping (the paper's quasi-transient power-up) and pseudo-transient
+    /// continuation, in that order.
     pub(crate) fn solve_op_ws(
         &self,
         mats: &CircuitMatrices,
@@ -199,27 +209,196 @@ impl SwecDcSweep {
         let x0 = vec![0.0; mats.mna.dim()];
         match self.solve_point_ws(mats, ws, &mut buf, None, &x0, None, stats) {
             Ok(x) => Ok(x),
-            Err(SimError::NonConvergence { .. }) => {
-                // Source-ramp continuation: approach the bias from zero the
-                // way a power-up transient would, so bistable circuits land
-                // on the continuation branch.
-                let ramp_steps = 25;
-                let mut x = x0;
-                let mut ramped = Ok(());
-                for s in 1..=ramp_steps {
-                    let scale = s as f64 / ramp_steps as f64;
-                    match self.solve_point_ws(mats, ws, &mut buf, None, &x, Some(scale), stats) {
-                        Ok(xi) => x = xi,
-                        Err(e) => {
-                            ramped = Err(e);
-                            break;
-                        }
-                    }
-                }
-                ramped.map(|()| x)
+            Err(e @ (SimError::NonConvergence { .. } | SimError::Numeric(_)))
+                if self.opts.rescue.enabled =>
+            {
+                self.rescue_op(mats, ws, &mut buf, stats, e)
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// The convergence-rescue ladder for an operating point whose direct
+    /// solve failed with `original`. Each rung is attempted in order; the
+    /// first success returns its solution and counts one rescue. On
+    /// exhaustion the original error is returned, annotated (when it is a
+    /// [`SimError::NonConvergence`]) with the full [`RescueTrace`].
+    fn rescue_op(
+        &self,
+        mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
+        buf: &mut DcBuffers,
+        stats: &mut EngineStats,
+        original: SimError,
+    ) -> Result<Vec<f64>> {
+        let r = &self.opts.rescue;
+        let zeros = vec![0.0; mats.mna.dim()];
+        let mut trace = RescueTrace::new();
+
+        // Rung 1 — damped retry: same cold start, heavier initial damping.
+        stats.rescue_rungs += 1;
+        match self.solve_point_inner(mats, ws, buf, None, &zeros, None, r.damping, None, stats) {
+            Ok(x) => {
+                trace.record(
+                    RescueRung::DampedRetry,
+                    true,
+                    format!("lambda0 = {}", r.damping),
+                );
+                stats.rescues += 1;
+                return Ok(x);
+            }
+            Err(e) => trace.record(RescueRung::DampedRetry, false, e.to_string()),
+        }
+
+        // Rung 2 — gmin stepping: a shunt to ground on every node keeps the
+        // fixed-point map contractive; relax it a decade at a time, then
+        // confirm without it.
+        stats.rescue_rungs += 1;
+        match self.gmin_continuation(mats, ws, buf, stats) {
+            Ok(x) => {
+                trace.record(
+                    RescueRung::GminStep,
+                    true,
+                    format!("{} steps from {:.1e} S", r.gmin_steps, r.gmin_start),
+                );
+                stats.rescues += 1;
+                return Ok(x);
+            }
+            Err(e) => trace.record(RescueRung::GminStep, false, e.to_string()),
+        }
+
+        // Rung 3 — source stepping: approach the bias from zero the way a
+        // power-up transient would, so bistable circuits land on the
+        // continuation branch.
+        stats.rescue_rungs += 1;
+        match self.source_continuation(mats, ws, buf, stats) {
+            Ok(x) => {
+                trace.record(
+                    RescueRung::SourceStep,
+                    true,
+                    format!("{}-step ramp", r.source_steps.max(1)),
+                );
+                stats.rescues += 1;
+                return Ok(x);
+            }
+            Err(e) => trace.record(RescueRung::SourceStep, false, e.to_string()),
+        }
+
+        // Rung 4 — pseudo-transient continuation: anchor each solve to the
+        // previous pseudo-state through a decaying diagonal conductance
+        // (a backward-Euler march with a growing implicit time step).
+        stats.rescue_rungs += 1;
+        match self.ptran_continuation(mats, ws, buf, stats) {
+            Ok(x) => {
+                trace.record(
+                    RescueRung::PseudoTransient,
+                    true,
+                    format!("{} pseudo-steps", r.ptran_steps.max(1)),
+                );
+                stats.rescues += 1;
+                return Ok(x);
+            }
+            Err(e) => trace.record(RescueRung::PseudoTransient, false, e.to_string()),
+        }
+
+        match original {
+            SimError::NonConvergence {
+                at,
+                context,
+                forensics,
+            } => {
+                let mut fx = forensics.map_or_else(Forensics::default, |b| *b);
+                fx.rescue_trace = trace;
+                Err(SimError::non_convergence_with(at, context, fx))
+            }
+            // Keep the error type (e.g. a structurally singular matrix
+            // stays `SimError::Numeric`) so callers can still match on it.
+            other => Err(other),
+        }
+    }
+
+    /// Gmin-stepping rung: solve with a node-diagonal shunt relaxed one
+    /// decade per step, then confirm the solution with the shunt removed.
+    fn gmin_continuation(
+        &self,
+        mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
+        buf: &mut DcBuffers,
+        stats: &mut EngineStats,
+    ) -> Result<Vec<f64>> {
+        let r = &self.opts.rescue;
+        let zeros = vec![0.0; mats.mna.dim()];
+        let mut x = zeros.clone();
+        let mut g = r.gmin_start;
+        for _ in 0..r.gmin_steps.max(1) {
+            x = self.solve_point_inner(
+                mats,
+                ws,
+                buf,
+                None,
+                &x,
+                None,
+                r.damping,
+                Some((g, &zeros)),
+                stats,
+            )?;
+            g *= 0.1;
+        }
+        self.solve_point_inner(mats, ws, buf, None, &x, None, r.damping, None, stats)
+    }
+
+    /// Source-stepping rung: ramp every independent source from zero to its
+    /// full value, re-converging at each scale from the previous solution.
+    fn source_continuation(
+        &self,
+        mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
+        buf: &mut DcBuffers,
+        stats: &mut EngineStats,
+    ) -> Result<Vec<f64>> {
+        let steps = self.opts.rescue.source_steps.max(1);
+        let mut x = vec![0.0; mats.mna.dim()];
+        for s in 1..=steps {
+            let scale = s as f64 / steps as f64;
+            x = self.solve_point_ws(mats, ws, buf, None, &x, Some(scale), stats)?;
+        }
+        Ok(x)
+    }
+
+    /// Pseudo-transient rung: each pseudo-step solves the circuit with a
+    /// conductance `g` from every node to its previous pseudo-state (the
+    /// companion model of a grounded capacitor under backward Euler, so
+    /// `g = C/h`); `g` decays geometrically toward zero, equivalent to an
+    /// exponentially growing time step. A final unshunted solve confirms
+    /// the stationary point.
+    fn ptran_continuation(
+        &self,
+        mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
+        buf: &mut DcBuffers,
+        stats: &mut EngineStats,
+    ) -> Result<Vec<f64>> {
+        let r = &self.opts.rescue;
+        let steps = r.ptran_steps.max(1);
+        let mut x = vec![0.0; mats.mna.dim()];
+        let mut g = 1.0_f64;
+        let decay = (1e-12_f64).powf(1.0 / steps as f64);
+        for _ in 0..steps {
+            let anchor = x.clone();
+            x = self.solve_point_inner(
+                mats,
+                ws,
+                buf,
+                None,
+                &anchor,
+                None,
+                r.damping,
+                Some((g, &anchor)),
+                stats,
+            )?;
+            g *= decay;
+        }
+        self.solve_point_inner(mats, ws, buf, None, &x, None, r.damping, None, stats)
     }
 
     /// One non-iterative SWEC step: stamp `Geq` at the previous solution
@@ -366,11 +545,44 @@ impl SwecDcSweep {
         source_scale: Option<f64>,
         stats: &mut EngineStats,
     ) -> Result<Vec<f64>> {
+        self.solve_point_inner(
+            mats,
+            ws,
+            buf,
+            override_src,
+            x0,
+            source_scale,
+            1.0,
+            None,
+            stats,
+        )
+    }
+
+    /// The fixed-point kernel behind [`SwecDcSweep::solve_point_ws`], with
+    /// two extra knobs used only by the rescue ladder: `lambda0` is the
+    /// initial relaxation factor (healthy callers pass `1.0`), and `shunt`
+    /// adds a conductance `g` from every node to the `anchor` state —
+    /// `(g, zeros)` is gmin stepping, `(g, previous x)` a pseudo-transient
+    /// backward-Euler step. With `lambda0 = 1.0` and no shunt this is
+    /// bit-identical to the historical implementation.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn solve_point_inner(
+        &self,
+        mats: &CircuitMatrices,
+        ws: &mut AssemblyWorkspace,
+        buf: &mut DcBuffers,
+        override_src: Option<(&str, f64)>,
+        x0: &[f64],
+        source_scale: Option<f64>,
+        lambda0: f64,
+        shunt: Option<(f64, &[f64])>,
+        stats: &mut EngineStats,
+    ) -> Result<Vec<f64>> {
         let mna = &mats.mna;
         let dim = mna.dim();
         let mut x = x0.to_vec();
         let mut flops = FlopCounter::new();
-        let mut lambda: f64 = 1.0;
+        let mut lambda: f64 = lambda0;
         let mut prev_delta = f64::INFINITY;
         // Best (smallest-residual) iterate seen: at a bistability fold the
         // damped map can cycle between branches without ever meeting the
@@ -378,9 +590,13 @@ impl SwecDcSweep {
         let mut best_delta = f64::INFINITY;
         let mut have_best = false;
         let is_linear = mna.nonlinear_bindings().is_empty() && mna.mosfet_bindings().is_empty();
+        buf.history.clear();
         for iter in 0..self.opts.dc_max_iterations {
             // Stamp G with Geq at the current iterate.
             self.stamp_geq(mats, ws, &x, stats, &mut flops);
+            if let Some((g, _)) = shunt {
+                ws.stamp_diag_shunt(mna.num_nodes(), g);
+            }
             buf.rhs.resize(dim, 0.0);
             mna.stamp_rhs(0.0, &mut buf.rhs);
             if let Some((name, value)) = override_src {
@@ -391,6 +607,13 @@ impl SwecDcSweep {
                     *r *= scale;
                 }
                 flops.mul(dim as u64);
+            }
+            if let Some((g, anchor)) = shunt {
+                let n = mna.num_nodes().min(anchor.len());
+                for (r, a) in buf.rhs.iter_mut().zip(anchor.iter()).take(n) {
+                    *r += g * a;
+                }
+                flops.fma(n as u64);
             }
             ws.factor_solve(&buf.rhs, &mut buf.x_new, &mut flops)?;
             stats.linear_solves += 1;
@@ -403,6 +626,7 @@ impl SwecDcSweep {
                 .take(mna.num_nodes())
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0, f64::max);
+            buf.history.push(delta);
             if delta < self.opts.dc_tolerance || (is_linear && iter >= 1) {
                 stats.flops += flops;
                 return Ok(buf.x_new.clone());
@@ -434,13 +658,33 @@ impl SwecDcSweep {
         if have_best && best_delta < 1e-4 {
             return Ok(buf.best_x.clone());
         }
-        Err(SimError::NonConvergence {
-            at: override_src.map(|(_, v)| v).unwrap_or(0.0),
-            context: format!(
+        // Post-mortem: the nodes still moving the most, and the full
+        // per-iteration update history (the oscillation signature).
+        let names = mna_var_names(mna);
+        let mut worst: Vec<(String, f64)> = names
+            .into_iter()
+            .take(mna.num_nodes())
+            .enumerate()
+            .map(|(j, name)| {
+                let solved = buf.x_new.get(j).copied().unwrap_or(0.0);
+                (name, (solved - x[j]).abs())
+            })
+            .collect();
+        worst.sort_by(|a, b| b.1.total_cmp(&a.1));
+        worst.truncate(3);
+        let fx = Forensics {
+            worst_nodes: worst,
+            residual_history: buf.history.clone(),
+            ..Forensics::default()
+        };
+        Err(SimError::non_convergence_with(
+            override_src.map(|(_, v)| v).unwrap_or(0.0),
+            format!(
                 "SWEC fixed point: {} iterations without reaching {:.1e} V",
                 self.opts.dc_max_iterations, self.opts.dc_tolerance
             ),
-        })
+            fx,
+        ))
     }
 }
 

@@ -98,6 +98,14 @@ pub struct SwecOptions {
     pub dc_tolerance: f64,
     /// DC fixed-point: iteration cap per sweep point.
     pub dc_max_iterations: usize,
+    /// Convergence-rescue ladder configuration (see [`crate::rescue`]).
+    /// The ladder only runs after a solve has already failed, so enabling
+    /// it cannot change the results of a deck that converges directly.
+    pub rescue: crate::rescue::RescueOptions,
+    /// When `true`, a transient that dies of step-size underflow returns
+    /// the accepted prefix (marked truncated) instead of an error. Off by
+    /// default: partial data must be asked for explicitly.
+    pub allow_partial: bool,
 }
 
 impl Default for SwecOptions {
@@ -116,6 +124,8 @@ impl Default for SwecOptions {
             dc_relaxation: 0.5,
             dc_tolerance: 1e-9,
             dc_max_iterations: 400,
+            rescue: crate::rescue::RescueOptions::default(),
+            allow_partial: false,
         }
     }
 }

@@ -19,6 +19,7 @@
 //! stretch — `EngineStats::refinement_steps` counts those recoveries.
 
 use crate::assemble::{branch_voltage, mna_var_names, AssemblyWorkspace, CircuitMatrices};
+use crate::error::LastAccepted;
 use crate::report::EngineStats;
 use crate::swec::conductance::GeqTracker;
 use crate::swec::dc::SwecDcSweep;
@@ -263,9 +264,11 @@ impl SwecTransient {
             let mut error_ratio = 0.0f64;
             for _ in 0..MAX_REJECTIONS {
                 if h < self.opts.h_min {
-                    return Err(SimError::StepSizeUnderflow { time: t, step: h });
+                    return self.underflow_exit(
+                        t, h, &x, names, times, columns, stats, flops, &lu0, ws, t_start,
+                    );
                 }
-                self.step(
+                if let Err(e) = self.step(
                     mats,
                     ws,
                     &tracker,
@@ -277,7 +280,34 @@ impl SwecTransient {
                     &mut buf,
                     &mut stats,
                     &mut flops,
-                )?;
+                ) {
+                    match e {
+                        // A numeric fault (e.g. an injected pivot collapse or
+                        // NaN poison) may be transient: the step is fully
+                        // re-stamped from clean values, so one retry either
+                        // reproduces the failure deterministically or
+                        // produces a solution bit-identical to an unfaulted
+                        // step.
+                        SimError::Numeric(_) => {
+                            stats.rescue_rungs += 1;
+                            self.step(
+                                mats,
+                                ws,
+                                &tracker,
+                                &mos_state,
+                                &x,
+                                t,
+                                h,
+                                g_prev_vals.as_deref(),
+                                &mut buf,
+                                &mut stats,
+                                &mut flops,
+                            )?;
+                            stats.rescues += 1;
+                        }
+                        other => return Err(other),
+                    }
+                }
                 let solution = &buf.x_new;
                 // Hard guard: no *nonlinear device* may see its branch
                 // voltage move more than dv_max in one step — that is what
@@ -332,7 +362,9 @@ impl SwecTransient {
                 break;
             }
             if !accepted {
-                return Err(SimError::StepSizeUnderflow { time: t, step: h });
+                return self.underflow_exit(
+                    t, h, &x, names, times, columns, stats, flops, &lu0, ws, t_start,
+                );
             }
 
             // Commit device histories.
@@ -384,6 +416,45 @@ impl SwecTransient {
         stats.absorb_lu(&lu0, &ws.lu_stats());
         stats.elapsed = t_start.elapsed();
         Ok(TransientResult::new(times, names, columns, stats))
+    }
+
+    /// Terminal handling of a step-size underflow at `t`: with
+    /// `allow_partial` set, the accepted prefix is returned as a result
+    /// marked truncated; otherwise a [`SimError::StepSizeUnderflow`]
+    /// carrying the last accepted time/state summary is raised.
+    #[allow(clippy::too_many_arguments)]
+    fn underflow_exit(
+        &self,
+        t: f64,
+        h: f64,
+        x: &[f64],
+        names: Vec<String>,
+        times: Vec<f64>,
+        columns: Vec<Vec<f64>>,
+        mut stats: EngineStats,
+        flops: FlopCounter,
+        lu0: &nanosim_numeric::solve::LuStats,
+        ws: &AssemblyWorkspace,
+        t_start: Instant,
+    ) -> Result<TransientResult> {
+        if self.opts.allow_partial {
+            stats.flops += flops;
+            stats.absorb_lu(lu0, &ws.lu_stats());
+            stats.elapsed = t_start.elapsed();
+            return Ok(TransientResult::new_truncated(
+                times, names, columns, stats, t,
+            ));
+        }
+        let state = names.into_iter().zip(x.iter().copied()).collect();
+        Err(SimError::step_underflow_with(
+            t,
+            h,
+            LastAccepted {
+                time: t,
+                steps: stats.steps as usize,
+                state,
+            },
+        ))
     }
 
     /// Assembles and solves one candidate step in place: the workspace

@@ -256,6 +256,9 @@ pub struct TransientResult {
     columns: Vec<Vec<f64>>,
     /// Work accounting for the run.
     pub stats: EngineStats,
+    /// `Some(t)` when the run died of step-size underflow at `t` and the
+    /// caller opted into the accepted prefix (`allow_partial`).
+    truncated_at: Option<f64>,
 }
 
 impl TransientResult {
@@ -278,7 +281,36 @@ impl TransientResult {
             names,
             columns,
             stats,
+            truncated_at: None,
         }
+    }
+
+    /// Assembles a *partial* result whose integration stopped early at
+    /// `at` (step-size underflow with `allow_partial` set); the data is
+    /// the accepted prefix.
+    ///
+    /// # Panics
+    /// Panics if column lengths disagree with the time axis.
+    pub fn new_truncated(
+        times: Vec<f64>,
+        names: Vec<String>,
+        columns: Vec<Vec<f64>>,
+        stats: EngineStats,
+        at: f64,
+    ) -> Self {
+        let mut r = TransientResult::new(times, names, columns, stats);
+        r.truncated_at = Some(at);
+        r
+    }
+
+    /// Whether this result is an accepted prefix of a run that failed.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated_at.is_some()
+    }
+
+    /// The time at which integration gave up, for truncated results.
+    pub fn truncated_at(&self) -> Option<f64> {
+        self.truncated_at
     }
 
     /// The time axis.
@@ -339,10 +371,25 @@ impl TransientResult {
         String::from_utf8(buf).expect("csv is utf8")
     }
 
-    /// Decomposes into `(times, names, columns, stats)` — the
-    /// [`crate::sim::Dataset`] conversion path.
-    pub(crate) fn into_parts(self) -> (Vec<f64>, Vec<String>, Vec<Vec<f64>>, EngineStats) {
-        (self.times, self.names, self.columns, self.stats)
+    /// Decomposes into `(times, names, columns, stats, truncated_at)` —
+    /// the [`crate::sim::Dataset`] conversion path.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        Vec<f64>,
+        Vec<String>,
+        Vec<Vec<f64>>,
+        EngineStats,
+        Option<f64>,
+    ) {
+        (
+            self.times,
+            self.names,
+            self.columns,
+            self.stats,
+            self.truncated_at,
+        )
     }
 }
 
@@ -354,7 +401,11 @@ impl fmt::Display for TransientResult {
             self.names.len(),
             self.times.len(),
             self.stats
-        )
+        )?;
+        if let Some(at) = self.truncated_at {
+            write!(f, " [truncated at t = {at:.6e}]")?;
+        }
+        Ok(())
     }
 }
 

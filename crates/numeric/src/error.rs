@@ -41,6 +41,13 @@ pub enum NumericError {
         /// Human-readable description of the offending argument.
         context: String,
     },
+    /// A computed vector or matrix contained a NaN or infinity — the
+    /// numerical-health screens reject it before it can silently corrupt
+    /// downstream results.
+    NonFiniteValue {
+        /// Where the non-finite value was detected.
+        context: String,
+    },
     /// A refactorization was asked to reuse a cached symbolic analysis, but
     /// the matrix no longer matches it (new nonzero, different shape) or the
     /// cached pivot order went numerically bad. Callers normally respond by
@@ -78,6 +85,9 @@ impl fmt::Display for NumericError {
             ),
             NumericError::InvalidArgument { context } => {
                 write!(f, "invalid argument: {context}")
+            }
+            NumericError::NonFiniteValue { context } => {
+                write!(f, "non-finite value detected: {context}")
             }
             NumericError::PatternChanged { context } => {
                 write!(f, "sparse pattern changed: {context}")

@@ -1,0 +1,349 @@
+//! Deterministic fault-injection harness for the solver stack.
+//!
+//! Production solvers meet pathological numerics rarely and
+//! unreproducibly; this module makes those events *schedulable* so every
+//! recovery path in the stack (tolerant refactor, iterative refinement,
+//! the engine-level rescue ladder) is exercised by ordinary tests instead
+//! of waiting for a pathological deck to find them.
+//!
+//! A [`FaultPlan`] is an explicit list of [`FaultEvent`]s, each armed at a
+//! 0-based *call index*: the owner of the plan (the assembly workspace in
+//! `nanosim-core`) calls [`FaultPlan::advance`] once per factor-solve and
+//! applies the returned [`FaultAction`]. Every event fires exactly once,
+//! the call counter is the only state, and cloning a plan clones its
+//! position — so a plan embedded in a workspace that is cloned per sweep
+//! shard injects identically at every worker count. No wall clock, no
+//! global state: runs are bit-reproducible.
+//!
+//! Two fault families exist:
+//!
+//! * **Pivot faults** ([`Fault::SingularPivot`], [`Fault::DegradedPivot`])
+//!   simulate a factorization breakdown *without touching any
+//!   floating-point data* — the caller reports a singular matrix or routes
+//!   the solve through the degraded-pivot refinement path. Recovery from
+//!   these is bit-identical to the unfaulted run.
+//! * **Matrix faults** ([`Fault::ScaleEntry`], [`Fault::PoisonNan`])
+//!   corrupt one stamped entry of the assembled matrix — a conductance
+//!   collapsing by decades, or a NaN landing mid-transient. These exercise
+//!   the NaN/Inf screens and the pivot-health monitors downstream.
+//!
+//! # Example
+//! ```
+//! use nanosim_numeric::fault::{Fault, FaultPlan};
+//! use nanosim_numeric::sparse::TripletMatrix;
+//!
+//! let mut t = TripletMatrix::new(2, 2);
+//! t.push(0, 0, 2.0);
+//! t.push(1, 1, 4.0);
+//! let mut a = t.to_csr();
+//! let mut plan = FaultPlan::new()
+//!     .with_nan_entry(1, 0, 0)
+//!     .with_singular_pivot(2, 1);
+//!
+//! let act = plan.advance(&mut a); // call 0: nothing armed
+//! assert!(act.is_clean());
+//! let act = plan.advance(&mut a); // call 1: entry (0,0) poisoned
+//! assert!(a.get(0, 0).is_nan());
+//! assert!(act.is_clean(), "matrix faults carry no pivot action");
+//! let act = plan.advance(&mut a); // call 2: report singular pivot 1
+//! assert_eq!(act.singular_pivot, Some(1));
+//! assert!(plan.exhausted());
+//! ```
+
+use crate::rng::Pcg64;
+use crate::sparse::CsrMatrix;
+
+/// One injectable solver fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Report a singular factorization at pivot index `pivot` without
+    /// touching any floating-point data — models a pivot collapsing to
+    /// exactly zero at factorization time.
+    SingularPivot {
+        /// Pivot index reported in the synthesized
+        /// [`crate::NumericError::SingularMatrix`].
+        pivot: usize,
+    },
+    /// Mark the cached factors as numerically degraded so the next solve
+    /// takes the iterative-refinement path even though the matrix is
+    /// healthy.
+    DegradedPivot,
+    /// Multiply the stamped matrix entry at `(row, col)` by `factor` —
+    /// models a device conductance collapsing (tiny `factor`) or exploding
+    /// (huge `factor`) by decades. A position outside the sparsity pattern
+    /// is ignored (counted by [`FaultPlan::misses`]).
+    ScaleEntry {
+        /// Row of the perturbed entry.
+        row: usize,
+        /// Column of the perturbed entry.
+        col: usize,
+        /// Multiplier applied to the stamped value.
+        factor: f64,
+    },
+    /// Overwrite the stamped matrix entry at `(row, col)` with NaN. A
+    /// position outside the sparsity pattern is ignored (counted by
+    /// [`FaultPlan::misses`]).
+    PoisonNan {
+        /// Row of the poisoned entry.
+        row: usize,
+        /// Column of the poisoned entry.
+        col: usize,
+    },
+}
+
+/// One scheduled fault: `kind` fires when the owning [`FaultPlan`]'s call
+/// counter reaches `at` (0-based), exactly once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// 0-based index of the armed factor-solve call.
+    pub at: u64,
+    /// The fault injected at that call.
+    pub kind: Fault,
+}
+
+/// Pivot-level effects the caller must apply for the current call,
+/// returned by [`FaultPlan::advance`]. Matrix mutations (entry scaling,
+/// NaN poison) have already been applied to the matrix by the time this is
+/// returned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultAction {
+    /// When `Some(k)`, the caller must behave as if factorization failed
+    /// with a singular pivot at index `k`.
+    pub singular_pivot: Option<usize>,
+    /// When `true`, the caller must route the solve through its
+    /// degraded-pivot (iterative refinement) path.
+    pub degrade: bool,
+}
+
+impl FaultAction {
+    /// Whether this call carries no pivot-level fault.
+    pub fn is_clean(&self) -> bool {
+        self.singular_pivot.is_none() && !self.degrade
+    }
+}
+
+/// A bit-deterministic schedule of solver faults (see the module docs).
+///
+/// The plan is inert until its owner drives it with [`FaultPlan::advance`];
+/// an empty plan (the default) never injects anything and costs one integer
+/// increment per call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    calls: u64,
+    injected: u64,
+    misses: u64,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules a synthesized singular-pivot failure at call `at`.
+    pub fn with_singular_pivot(mut self, at: u64, pivot: usize) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: Fault::SingularPivot { pivot },
+        });
+        self
+    }
+
+    /// Schedules a forced degraded-pivot (refinement-path) solve at call
+    /// `at`.
+    pub fn with_degraded_pivot(mut self, at: u64) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: Fault::DegradedPivot,
+        });
+        self
+    }
+
+    /// Schedules a multiplicative perturbation of entry `(row, col)` at
+    /// call `at` — e.g. `factor = 1e-12` for a 12-decade conductance
+    /// collapse.
+    pub fn with_entry_scale(mut self, at: u64, row: usize, col: usize, factor: f64) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: Fault::ScaleEntry { row, col, factor },
+        });
+        self
+    }
+
+    /// Schedules a NaN poison of entry `(row, col)` at call `at`.
+    pub fn with_nan_entry(mut self, at: u64, row: usize, col: usize) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: Fault::PoisonNan { row, col },
+        });
+        self
+    }
+
+    /// Generates a seeded plan of `count` faults, each armed at a distinct
+    /// call index below `max_call`, targeting diagonal entries of an
+    /// `n`-unknown system. The same seed always yields the same plan —
+    /// this is the fuzzing entry point for the fault-recovery suites.
+    pub fn seeded(seed: u64, n: usize, max_call: u64, count: usize) -> Self {
+        let mut rng = Pcg64::seed_from_u64(seed ^ 0x5eed_fa17);
+        let mut plan = FaultPlan::new();
+        let span = max_call.max(1);
+        for _ in 0..count {
+            let at = rng.next_range(span);
+            let k = (rng.next_range(n.max(1) as u64)) as usize;
+            plan = match rng.next_range(4) {
+                0 => plan.with_singular_pivot(at, k),
+                1 => plan.with_degraded_pivot(at),
+                2 => plan.with_entry_scale(at, k, k, 1e-12),
+                _ => plan.with_nan_entry(at, k, k),
+            };
+        }
+        plan
+    }
+
+    /// Advances the call counter by one, applying any matrix faults armed
+    /// for this call to `a` and returning the pivot-level action the
+    /// caller must honor. Every event fires at most once.
+    pub fn advance(&mut self, a: &mut CsrMatrix) -> FaultAction {
+        let call = self.calls;
+        self.calls += 1;
+        let mut action = FaultAction::default();
+        if self.events.iter().all(|e| e.at != call) {
+            return action;
+        }
+        for ev in self.events.iter().filter(|e| e.at == call) {
+            match ev.kind {
+                Fault::SingularPivot { pivot } => {
+                    action.singular_pivot = Some(pivot);
+                    self.injected += 1;
+                }
+                Fault::DegradedPivot => {
+                    action.degrade = true;
+                    self.injected += 1;
+                }
+                Fault::ScaleEntry { row, col, factor } => match a.position(row, col) {
+                    Some(p) => {
+                        a.values_mut()[p] *= factor;
+                        self.injected += 1;
+                    }
+                    None => self.misses += 1,
+                },
+                Fault::PoisonNan { row, col } => match a.position(row, col) {
+                    Some(p) => {
+                        a.values_mut()[p] = f64::NAN;
+                        self.injected += 1;
+                    }
+                    None => self.misses += 1,
+                },
+            }
+        }
+        action
+    }
+
+    /// Number of calls observed so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Number of faults actually injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Scheduled matrix faults whose `(row, col)` fell outside the
+    /// sparsity pattern (nothing was injected for them).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Whether every scheduled event's call index has passed.
+    pub fn exhausted(&self) -> bool {
+        self.events.iter().all(|e| e.at < self.calls)
+    }
+
+    /// The scheduled events (armed and past).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::TripletMatrix;
+
+    fn small() -> CsrMatrix {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 2, 4.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn events_fire_once_at_their_call_index() {
+        let mut a = small();
+        let mut plan = FaultPlan::new()
+            .with_entry_scale(1, 1, 1, 1e-12)
+            .with_singular_pivot(1, 2);
+        assert!(plan.advance(&mut a).is_clean());
+        assert_eq!(a.get(1, 1), 3.0);
+        let act = plan.advance(&mut a);
+        assert_eq!(act.singular_pivot, Some(2));
+        assert!((a.get(1, 1) - 3e-12).abs() < 1e-24);
+        assert!(plan.advance(&mut a).is_clean(), "no re-fire");
+        assert_eq!(plan.injected(), 2);
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn off_pattern_faults_are_counted_as_misses() {
+        let mut a = small();
+        let mut plan = FaultPlan::new().with_nan_entry(0, 0, 2);
+        assert!(plan.advance(&mut a).is_clean());
+        assert_eq!(plan.misses(), 1);
+        assert_eq!(plan.injected(), 0);
+        assert!(a.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cloned_plans_replay_identically() {
+        let mut a1 = small();
+        let mut a2 = small();
+        let plan = FaultPlan::new()
+            .with_nan_entry(2, 0, 0)
+            .with_degraded_pivot(4);
+        let (mut p1, mut p2) = (plan.clone(), plan);
+        for _ in 0..5 {
+            assert_eq!(p1.advance(&mut a1), p2.advance(&mut a2));
+        }
+        // Bit-level comparison: NaN != NaN under `==`, but the replay must
+        // produce the exact same bytes.
+        let bits = |vals: &[f64]| vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(a1.values()), bits(a2.values()));
+        assert!(a1.get(0, 0).is_nan());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let p1 = FaultPlan::seeded(42, 10, 100, 4);
+        let p2 = FaultPlan::seeded(42, 10, 100, 4);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.events().len(), 4);
+        let p3 = FaultPlan::seeded(43, 10, 100, 4);
+        assert_ne!(p1, p3, "different seeds, different plans");
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let mut a = small();
+        let before = a.values().to_vec();
+        let mut plan = FaultPlan::new();
+        for _ in 0..10 {
+            assert!(plan.advance(&mut a).is_clean());
+        }
+        assert_eq!(a.values(), &before[..]);
+        assert!(plan.exhausted());
+        assert_eq!(plan.calls(), 10);
+    }
+}

@@ -11,6 +11,10 @@
 //!   the many nearly-identical solves of a transient run go through a
 //!   values-only [`sparse::SparseLu::refactor`] instead of a full
 //!   factorization.
+//! * [`fault`] — a deterministic fault-injection harness ([`FaultPlan`])
+//!   that schedules singular pivots, degraded pivots, conductance
+//!   collapses and NaN poisons at exact solver calls, so every recovery
+//!   path is testable on demand.
 //! * [`parallel`] — deterministic order-preserving scoped-thread map used
 //!   by the Monte-Carlo ensemble engine (offline stand-in for rayon).
 //! * [`solve`] — a [`solve::LinearSolver`] abstraction over the dense and
@@ -57,6 +61,7 @@
 
 pub mod dense;
 pub mod error;
+pub mod fault;
 pub mod flops;
 pub mod interp;
 pub mod parallel;
@@ -68,6 +73,7 @@ pub mod stats;
 
 pub use dense::DenseMatrix;
 pub use error::NumericError;
+pub use fault::FaultPlan;
 pub use flops::FlopCounter;
 pub use rng::Pcg64;
 pub use sparse::{CsrMatrix, OrderingChoice, TripletMatrix};

@@ -129,7 +129,7 @@ impl LinearSolver for DenseLuSolver {
 /// Cumulative factorization telemetry of one [`SparseLuSolver`]: counts,
 /// the factor-vs-refactor flop split, and the fill of the current cached
 /// factorization.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LuStats {
     /// Full (ordering + symbolic + numeric) factorizations performed.
     pub full_factors: u64,
@@ -155,6 +155,28 @@ pub struct LuStats {
     pub supernodes: u64,
     /// Factor columns covered by those supernodes (0 when cold).
     pub supernode_cols: u64,
+    /// Smallest `|pivot| / column-max` ratio seen across every numeric
+    /// pass this solver has run — the reciprocal pivot-growth health
+    /// monitor. `f64::INFINITY` when no factorization has run yet.
+    pub min_recip_pivot: f64,
+}
+
+impl Default for LuStats {
+    fn default() -> Self {
+        LuStats {
+            full_factors: 0,
+            refactors: 0,
+            factor_flops: 0,
+            refactor_flops: 0,
+            solve_flops: 0,
+            refinement_steps: 0,
+            nnz_lu: 0,
+            nnz_a: 0,
+            supernodes: 0,
+            supernode_cols: 0,
+            min_recip_pivot: f64::INFINITY,
+        }
+    }
 }
 
 impl LuStats {
@@ -181,6 +203,10 @@ pub struct SparseLuSolver {
     /// re-pivoting factorization only when refinement cannot restore
     /// accuracy.
     degraded: bool,
+    /// One-shot override armed by [`SparseLuSolver::force_degraded`]:
+    /// consumed by the next `ensure_factors`, which then reports the pass
+    /// degraded regardless of the measured pivot ratios.
+    force_degrade: bool,
     work: Vec<f64>,
     /// Residual / correction scratch of the refinement step.
     resid: Vec<f64>,
@@ -191,6 +217,9 @@ pub struct SparseLuSolver {
     refactor_flops: u64,
     solve_flops: u64,
     refinement_steps: u64,
+    /// Smallest reciprocal pivot-growth ratio seen across the solver's
+    /// lifetime (`None` before the first factorization).
+    min_recip_pivot: Option<f64>,
 }
 
 impl SparseLuSolver {
@@ -255,6 +284,7 @@ impl SparseLuSolver {
             nnz_a,
             supernodes,
             supernode_cols,
+            min_recip_pivot: self.min_recip_pivot.unwrap_or(f64::INFINITY),
         }
     }
 
@@ -271,6 +301,24 @@ impl SparseLuSolver {
     pub fn invalidate(&mut self) {
         self.cached = None;
         self.degraded = false;
+    }
+
+    /// Test-support hook for the fault-injection harness: routes the next
+    /// solve through the degraded-pivot refinement path as if its
+    /// factorization pass had reported pivot decay. One-shot — the flag is
+    /// consumed by the next solve and healthy passes after that clear it
+    /// as usual.
+    pub fn force_degraded(&mut self) {
+        self.force_degrade = true;
+    }
+
+    /// Folds a pass's worst reciprocal pivot ratio into the lifetime
+    /// minimum.
+    fn note_ratio(&mut self, ratio: f64) {
+        self.min_recip_pivot = Some(match self.min_recip_pivot {
+            Some(m) => m.min(ratio),
+            None => ratio,
+        });
     }
 }
 
@@ -289,9 +337,17 @@ impl SparseLuSolver {
                 // failed attempt is still refactor work, not factor work.
                 match lu.refactor_tolerant(a, flops) {
                     Ok(worst_ratio) => {
+                        let worst_col = lu.worst_pivot_col();
                         self.refactors += 1;
                         self.refactor_flops += flops.total() - before;
                         self.degraded = worst_ratio < crate::sparse::REFACTOR_PIVOT_RATIO;
+                        self.note_ratio(worst_ratio);
+                        // A pivot this far gone leaves no trustworthy
+                        // digits — refinement cannot rescue it, so the
+                        // failure surfaces for the engine-level ladder.
+                        if worst_ratio < crate::sparse::PIVOT_COLLAPSE_RATIO {
+                            return Err(crate::NumericError::SingularMatrix { pivot: worst_col });
+                        }
                     }
                     Err(crate::NumericError::PatternChanged { .. })
                     | Err(crate::NumericError::SingularMatrix { .. }) => {
@@ -302,16 +358,17 @@ impl SparseLuSolver {
                 }
             }
             None => {
-                self.cached = Some(SparseLu::factor_ordered(
-                    a,
-                    self.ordering,
-                    self.strategy,
-                    flops,
-                )?);
+                let lu = SparseLu::factor_ordered(a, self.ordering, self.strategy, flops)?;
+                let ratio = lu.min_recip_pivot();
+                self.cached = Some(lu);
                 self.full_factors += 1;
                 self.factor_flops += flops.total() - before;
                 self.degraded = false;
+                self.note_ratio(ratio);
             }
+        }
+        if std::mem::take(&mut self.force_degrade) {
+            self.degraded = true;
         }
         Ok(())
     }
@@ -327,11 +384,26 @@ impl SparseLuSolver {
             }
             _ => SparseLu::factor_ordered(a, self.ordering, self.strategy, flops)?,
         };
+        let ratio = fresh.min_recip_pivot();
         self.cached = Some(fresh);
         self.full_factors += 1;
         self.factor_flops += flops.total() - start;
         self.degraded = false;
+        self.note_ratio(ratio);
         Ok(())
+    }
+
+    /// NaN/Inf screen applied to every solution leaving the sparse
+    /// backend: a non-finite component is surfaced as a structured error
+    /// before it can silently corrupt an engine iterate. Read-only — no
+    /// floating-point behavior changes on healthy solves.
+    fn screen_finite(x: &[f64]) -> Result<()> {
+        match x.iter().position(|v| !v.is_finite()) {
+            Some(i) => Err(crate::NumericError::NonFiniteValue {
+                context: format!("sparse lu solution component {i}"),
+            }),
+            None => Ok(()),
+        }
     }
 
     /// One solve against the already-ensured factors, with the
@@ -358,11 +430,11 @@ impl SparseLuSolver {
                 let lu = self.cached.as_ref().expect("factors ensured");
                 lu.solve_into(b, x, &mut self.work, flops)?;
                 self.solve_flops += flops.total() - resolve_start;
-                return Ok(());
+                return Self::screen_finite(x);
             }
         }
         self.solve_flops += flops.total() - solve_start;
-        Ok(())
+        Self::screen_finite(x)
     }
 
     /// One iterative-refinement step on `x` (`r = b − A·x`, solve the
@@ -461,7 +533,7 @@ impl LinearSolver for SparseLuSolver {
         let lu = self.cached.as_ref().expect("factors ensured above");
         lu.solve_many_into(b, nrhs, x, &mut self.work, flops)?;
         self.solve_flops += flops.total() - solve_start;
-        Ok(())
+        Self::screen_finite(x)
     }
 
     fn name(&self) -> &'static str {
@@ -638,6 +710,90 @@ mod tests {
         // further refinement.
         solver.solve_into(&a1, &b, &mut x, &mut flops).unwrap();
         assert_eq!(solver.lu_stats().refinement_steps, 1);
+    }
+
+    #[test]
+    fn pivot_collapse_is_reported_as_singular() {
+        // Healthy factor, then values that collapse the cached pivot 13
+        // decades below its column max: refinement has no digits to work
+        // with, so the solver must surface a singular-matrix failure for
+        // the engine-level rescue ladder instead of solving garbage.
+        let entries = [(0, 0, 5.0), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 5.0)];
+        let a1 = CsrMatrix::from_triplets(2, 2, &entries);
+        let mut solver = SparseLuSolver::new();
+        let b = [1.0, 6.0];
+        let mut x = Vec::new();
+        let mut flops = FlopCounter::new();
+        solver.solve_into(&a1, &b, &mut x, &mut flops).unwrap();
+        let collapsed = [(0, 0, 1e-13), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 5.0)];
+        let a2 = CsrMatrix::from_triplets(2, 2, &collapsed);
+        let err = solver.solve_into(&a2, &b, &mut x, &mut flops).unwrap_err();
+        assert!(
+            matches!(err, crate::NumericError::SingularMatrix { .. }),
+            "{err:?}"
+        );
+        // The health monitor recorded the collapse.
+        assert!(solver.lu_stats().min_recip_pivot < 1e-12);
+        // A clean retry on the healthy values recovers bit-identically.
+        let mut fresh = SparseLuSolver::new();
+        let mut xf = Vec::new();
+        fresh.solve_into(&a1, &b, &mut xf, &mut flops).unwrap();
+        solver.solve_into(&a1, &b, &mut x, &mut flops).unwrap();
+        assert_eq!(x, xf);
+    }
+
+    #[test]
+    fn nan_poisoned_system_is_screened_not_solved() {
+        let (a, b) = test_system();
+        let mut solver = SparseLuSolver::new();
+        let mut x = Vec::new();
+        let mut flops = FlopCounter::new();
+        solver.solve_into(&a, &b, &mut x, &mut flops).unwrap();
+        // NaN in the rhs propagates into the solution: the screen must
+        // reject it as a structured error, never return NaN silently.
+        let bad = [1.0, f64::NAN, 3.0];
+        let err = solver.solve_into(&a, &bad, &mut x, &mut flops).unwrap_err();
+        assert!(
+            matches!(err, crate::NumericError::NonFiniteValue { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn min_recip_pivot_tracks_factorization_health() {
+        let (a, b) = test_system();
+        let mut solver = SparseLuSolver::new();
+        let mut flops = FlopCounter::new();
+        solver.solve(&a, &b, &mut flops).unwrap();
+        let r1 = solver.lu_stats().min_recip_pivot;
+        assert!(r1.is_finite() && r1 > 0.0 && r1 <= 1.0, "{r1}");
+        // A refactor with decayed (but not collapsed) pivots drags the
+        // lifetime minimum down.
+        let mut a2 = a.clone();
+        let p = a2.position(0, 0).unwrap();
+        a2.values_mut()[p] = 1e-4;
+        solver.solve(&a2, &b, &mut flops).unwrap();
+        let r2 = solver.lu_stats().min_recip_pivot;
+        assert!(r2 < r1, "{r2} !< {r1}");
+    }
+
+    #[test]
+    fn force_degraded_routes_through_refinement() {
+        let (a, b) = test_system();
+        let mut solver = SparseLuSolver::new();
+        let mut x = Vec::new();
+        let mut flops = FlopCounter::new();
+        solver.solve_into(&a, &b, &mut x, &mut flops).unwrap();
+        assert_eq!(solver.lu_stats().refinement_steps, 0);
+        // The one-shot flag must survive the (healthy) refactor the next
+        // solve performs and route that solve through refinement.
+        solver.force_degraded();
+        solver.solve_into(&a, &b, &mut x, &mut flops).unwrap();
+        assert!(solver.lu_stats().refinement_steps >= 1);
+        let ax = a.matvec(&x, &mut flops).unwrap();
+        for (l, r) in ax.iter().zip(b.iter()) {
+            assert!(approx_eq(*l, *r, 1e-9));
+        }
     }
 
     #[test]

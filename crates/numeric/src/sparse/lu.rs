@@ -84,6 +84,15 @@ impl Default for PivotStrategy {
 /// [`crate::solve::SparseLuSolver`] can try iterative refinement first.
 pub(crate) const REFACTOR_PIVOT_RATIO: f64 = 1e-6;
 
+/// A refactorization whose worst `|pivot| / column-max` ratio falls below
+/// this is treated as numerically singular by [`crate::solve::SparseLuSolver`]:
+/// a pivot twelve decades below its column leaves no trustworthy digits in
+/// f64, so iterative refinement is not attempted and the failure is
+/// surfaced for the engine-level rescue ladder instead. Full
+/// factorizations can never trip this — fresh pivoting bounds the ratio at
+/// the pivot threshold.
+pub const PIVOT_COLLAPSE_RATIO: f64 = 1e-12;
+
 /// Sparse LU factors of a square matrix under a fill-reducing ordering
 /// (`P·A(q,q) = L·U` with `q` the fill permutation and `P` the pivot
 /// permutation), with the symbolic analysis cached for cheap values-only
@@ -143,6 +152,12 @@ pub struct SparseLu {
     /// dense value panels mirroring the supernodal factor entries (see the
     /// internal `kernels` module).
     plan: SupernodePlan,
+    /// Smallest `|pivot| / column-max` ratio seen by the most recent
+    /// numeric pass (factor or refactor) — the reciprocal pivot-growth
+    /// health monitor.
+    worst_ratio: f64,
+    /// Pivot column at which `worst_ratio` occurred.
+    worst_col: usize,
 }
 
 impl SparseLu {
@@ -236,6 +251,8 @@ impl SparseLu {
         let mut topo: Vec<usize> = Vec::with_capacity(n);
         let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
         let mut ucol: Vec<(usize, f64)> = Vec::new();
+        let mut worst_ratio = f64::INFINITY;
+        let mut worst_col = 0usize;
 
         for j in 0..n {
             // Scatter A'(:, j) and collect the reachable pattern via DFS.
@@ -324,6 +341,13 @@ impl SparseLu {
                 }
             };
             let pivot_val = x[pivot_row];
+            // Health monitor: reciprocal pivot growth of the fresh pivot
+            // (observation only — no floating-point behavior changes).
+            let ratio = pivot_val.abs() / max_abs;
+            if ratio < worst_ratio {
+                worst_ratio = ratio;
+                worst_col = j;
+            }
             perm[j] = pivot_row;
             pinv[pivot_row] = j;
             u_diag[j] = pivot_val;
@@ -390,6 +414,8 @@ impl SparseLu {
             csc_vals: values,
             work: x,
             plan,
+            worst_ratio,
+            worst_col,
         })
     }
 
@@ -477,6 +503,7 @@ impl SparseLu {
             ..
         } = *self;
         let mut worst_ratio = f64::INFINITY;
+        let mut worst_col = 0usize;
         // Kernel scratch hoisted out of the hot loop (zeroing a 32-wide
         // stack array per supernode measurably hurts narrow supernodes).
         let mut uk = [0.0f64; MAX_SUPERNODE];
@@ -586,7 +613,10 @@ impl SparseLu {
                     ),
                 });
             }
-            worst_ratio = worst_ratio.min(ratio);
+            if ratio < worst_ratio {
+                worst_ratio = ratio;
+                worst_col = j;
+            }
             u_diag[j] = pivot_val;
             for p in l_colptr[j]..l_colptr[j + 1] {
                 l_vals[p] = work[plan.l_rows_piv[p] as usize] / pivot_val;
@@ -600,6 +630,8 @@ impl SparseLu {
                 plan.refresh_supernode(s, l_vals, u_vals);
             }
         }
+        self.worst_ratio = worst_ratio;
+        self.worst_col = worst_col;
         Ok(worst_ratio)
     }
 
@@ -645,6 +677,7 @@ impl SparseLu {
 
         let n = self.n;
         let mut worst_ratio = f64::INFINITY;
+        let mut worst_col = 0usize;
         for j in 0..n {
             // Zero the working column over this column's pattern, then
             // scatter A'(:, j). The pattern is exactly: the pivot rows of
@@ -702,7 +735,10 @@ impl SparseLu {
                     ),
                 });
             }
-            worst_ratio = worst_ratio.min(ratio);
+            if ratio < worst_ratio {
+                worst_ratio = ratio;
+                worst_col = j;
+            }
             self.u_diag[j] = pivot_val;
             for p in self.l_colptr[j]..self.l_colptr[j + 1] {
                 self.l_vals[p] = self.work[self.l_rows[p]] / pivot_val;
@@ -715,6 +751,8 @@ impl SparseLu {
         if self.plan.enabled {
             self.plan.refresh(&self.l_vals, &self.u_vals);
         }
+        self.worst_ratio = worst_ratio;
+        self.worst_col = worst_col;
         Ok(worst_ratio)
     }
 
@@ -815,6 +853,20 @@ impl SparseLu {
     /// The cached symbolic analysis.
     pub fn symbolic(&self) -> &SymbolicAnalysis {
         &self.sym
+    }
+
+    /// Smallest `|pivot| / column-max` ratio of the most recent numeric
+    /// pass — the reciprocal pivot-growth health monitor. `1.0` means
+    /// every pivot dominated its column; values below the `1e-6`
+    /// degradation threshold indicate decayed pivots, and below
+    /// [`PIVOT_COLLAPSE_RATIO`] the factors carry no trustworthy digits.
+    pub fn min_recip_pivot(&self) -> f64 {
+        self.worst_ratio
+    }
+
+    /// Pivot column at which [`SparseLu::min_recip_pivot`] occurred.
+    pub fn worst_pivot_col(&self) -> usize {
+        self.worst_col
     }
 
     /// Solves `A·x = b` with the stored factors.

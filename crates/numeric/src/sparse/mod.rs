@@ -24,7 +24,7 @@ mod triplet;
 
 pub use csr::CsrMatrix;
 pub(crate) use lu::REFACTOR_PIVOT_RATIO;
-pub use lu::{PivotStrategy, SparseLu};
+pub use lu::{PivotStrategy, SparseLu, PIVOT_COLLAPSE_RATIO};
 pub use order::{Amd, Natural, Ordering, OrderingChoice, Rcm};
 pub use symbolic::SymbolicAnalysis;
 pub use triplet::TripletMatrix;

@@ -82,12 +82,14 @@ pub mod prelude {
     pub use nanosim_core::swec::{DcMode, IntegrationMethod, SwecOptions};
     pub use nanosim_core::OrderingChoice;
     pub use nanosim_core::{DcSweepResult, EngineStats, SimError, TransientResult, Waveform};
+    pub use nanosim_core::{HealthVerdict, RescueOptions, RescueRung, RescueTrace};
     pub use nanosim_devices::mosfet::{MosType, Mosfet, MosfetParams};
     pub use nanosim_devices::nanowire::{Nanowire, NanowireParams};
     pub use nanosim_devices::rtd::{Rtd, RtdParams, RtdRegion};
     pub use nanosim_devices::rtt::Rtt;
     pub use nanosim_devices::sources::{PulseParams, SinParams, SourceWaveform};
     pub use nanosim_devices::NonlinearTwoTerminal;
+    pub use nanosim_numeric::fault::{Fault, FaultPlan};
     pub use nanosim_numeric::FlopCounter;
 
     // The engine types predating the session API (`SwecDcSweep`,
