@@ -110,7 +110,10 @@ fn bench_session_ordering(c: &mut Criterion) {
             b.iter(|| {
                 let mut sim = Simulator::with_options(
                     nanosim::workloads::rtd_mesh_n(20),
-                    SimOptions { ordering },
+                    SimOptions {
+                        ordering,
+                        ..Default::default()
+                    },
                 )
                 .expect("assembles");
                 sim.run(Analysis::dc_sweep("V1", 0.0, 1.0, 0.1))

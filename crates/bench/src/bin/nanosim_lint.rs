@@ -1,0 +1,263 @@
+//! `nanosim-lint` — preflight static analysis for netlist decks.
+//!
+//! Runs the `nanosim_circuit::lint` pass pipeline (connectivity,
+//! voltage-source loops, current-source cutsets, structural rank via
+//! bipartite matching, hygiene) over decks with **zero numeric solves**
+//! and reports diagnostics with source positions.
+//!
+//! ```text
+//! nanosim-lint [options] <deck.cir | dir>...
+//!
+//!   --json            machine-readable output (one JSON object per deck)
+//!   --deny-warnings   exit nonzero on warnings, not just errors
+//!   --corpus          verify `* @expect-lint <code> [line:col]` annotations:
+//!                     each annotated deck must produce exactly the expected
+//!                     error codes (at the expected positions when given),
+//!                     and unannotated decks must produce no errors
+//!   --codes           list every lint code with severity and description
+//!   -h, --help        this text
+//!
+//! exit status: 0 clean, 1 findings (or corpus mismatch), 2 usage/io error
+//! ```
+
+use nanosim::prelude::{lint_deck, LintCode};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!(
+        "usage: nanosim-lint [--json] [--deny-warnings] [--corpus] [--codes] <deck.cir | dir>..."
+    );
+}
+
+fn list_codes() {
+    println!("{:<22} {:<8} description", "code", "severity");
+    for code in LintCode::ALL {
+        println!(
+            "{:<22} {:<8} {}",
+            code.as_str(),
+            code.default_severity().to_string(),
+            code.description()
+        );
+    }
+}
+
+/// Expands directories into their sorted `.cir` members.
+fn collect_decks(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
+    let mut decks = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            let mut members: Vec<PathBuf> = std::fs::read_dir(p)
+                .map_err(|e| format!("{}: {e}", p.display()))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|f| f.extension().is_some_and(|ext| ext == "cir"))
+                .collect();
+            members.sort();
+            decks.extend(members);
+        } else {
+            decks.push(p.clone());
+        }
+    }
+    if decks.is_empty() {
+        return Err("no decks to lint".into());
+    }
+    Ok(decks)
+}
+
+/// An `@expect-lint` annotation: a code that must appear as an Error, with
+/// an optional required position.
+struct Expectation {
+    code: LintCode,
+    at: Option<(usize, usize)>,
+}
+
+/// Parses `* @expect-lint <code> [line:col]` comment lines.
+fn expectations(text: &str) -> Result<Vec<Expectation>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let t = line.trim();
+        let Some(rest) = t
+            .strip_prefix('*')
+            .map(str::trim)
+            .and_then(|t| t.strip_prefix("@expect-lint"))
+        else {
+            continue;
+        };
+        let mut fields = rest.split_whitespace();
+        let Some(code_str) = fields.next() else {
+            return Err("@expect-lint needs a lint code".into());
+        };
+        let code = LintCode::parse(code_str)
+            .ok_or_else(|| format!("@expect-lint names unknown code `{code_str}`"))?;
+        let at = match fields.next() {
+            None => None,
+            Some(pos) => {
+                let (l, c) = pos
+                    .split_once(':')
+                    .ok_or_else(|| format!("@expect-lint position `{pos}` is not line:col"))?;
+                Some((
+                    l.parse::<usize>().map_err(|e| e.to_string())?,
+                    c.parse::<usize>().map_err(|e| e.to_string())?,
+                ))
+            }
+        };
+        out.push(Expectation { code, at });
+    }
+    Ok(out)
+}
+
+/// Lints one deck in `--corpus` mode. Returns human-readable mismatch
+/// descriptions (empty = the deck meets its contract).
+fn check_corpus_deck(path: &Path, text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let expected = match expectations(text) {
+        Ok(e) => e,
+        Err(msg) => return vec![format!("{}: {msg}", path.display())],
+    };
+    let report = lint_deck(text);
+    let actual: Vec<_> = report.errors().collect();
+    for exp in &expected {
+        let hits: Vec<_> = actual.iter().filter(|d| d.code == exp.code).collect();
+        if hits.is_empty() {
+            problems.push(format!(
+                "{}: expected error[{}] was not reported",
+                path.display(),
+                exp.code
+            ));
+            continue;
+        }
+        if let Some((line, col)) = exp.at {
+            if !hits
+                .iter()
+                .any(|d| d.span.is_some_and(|s| (s.line, s.column) == (line, col)))
+            {
+                problems.push(format!(
+                    "{}: error[{}] expected at {line}:{col}, reported at {}",
+                    path.display(),
+                    exp.code,
+                    hits.iter()
+                        .map(|d| d.span.map_or("<no span>".into(), |s| s.to_string()))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+    }
+    for d in &actual {
+        if !expected.iter().any(|exp| exp.code == d.code) {
+            problems.push(format!("{}: unexpected {d}", path.display()));
+        }
+    }
+    problems
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut corpus = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--corpus" => corpus = true,
+            "--codes" => {
+                list_codes();
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+            file => paths.push(PathBuf::from(file)),
+        }
+    }
+    if paths.is_empty() {
+        usage();
+        return ExitCode::from(2);
+    }
+    let decks = match collect_decks(&paths) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("nanosim-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    for path in &decks {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("nanosim-lint: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        if corpus {
+            let problems = check_corpus_deck(path, &text);
+            if problems.is_empty() {
+                println!("{}: ok", path.display());
+            } else {
+                failed = true;
+                for p in &problems {
+                    println!("{p}");
+                }
+            }
+            continue;
+        }
+        let report = lint_deck(&text);
+        total_errors += report.error_count();
+        total_warnings += report.warning_count();
+        if json {
+            println!(
+                "{{\"file\":\"{}\",\"report\":{}}}",
+                path.display(),
+                report.to_json()
+            );
+            continue;
+        }
+        for d in report.diagnostics() {
+            match d.span {
+                Some(span) => println!(
+                    "{}:{}:{}: {}[{}]: {}",
+                    path.display(),
+                    span.line,
+                    span.column,
+                    d.severity,
+                    d.code,
+                    d.message
+                ),
+                None => println!(
+                    "{}: {}[{}]: {}",
+                    path.display(),
+                    d.severity,
+                    d.code,
+                    d.message
+                ),
+            }
+        }
+        println!("{}: {}", path.display(), report.summary());
+    }
+
+    if corpus {
+        if failed {
+            return ExitCode::from(1);
+        }
+        println!(
+            "corpus ok: {} decks match their lint expectations",
+            decks.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if total_errors > 0 || (deny_warnings && total_warnings > 0) {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

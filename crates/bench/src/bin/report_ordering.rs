@@ -13,7 +13,14 @@ use nanosim_bench::{row, rule};
 
 fn sweep_stats(n: usize, ordering: OrderingChoice) -> (usize, EngineStats) {
     let ckt = nanosim::workloads::rtd_mesh_n(n);
-    let mut sim = Simulator::with_options(ckt, SimOptions { ordering }).expect("assembles");
+    let mut sim = Simulator::with_options(
+        ckt,
+        SimOptions {
+            ordering,
+            ..Default::default()
+        },
+    )
+    .expect("assembles");
     let ds = sim
         .run(Analysis::dc_sweep("V1", 0.0, 1.0, 0.1))
         .expect("sweep runs");

@@ -20,6 +20,16 @@ pub enum CircuitError {
         /// The offending name.
         name: String,
     },
+    /// Two elements share a name, with the deck position of the second
+    /// occurrence (produced by the parser, where positions are known).
+    DuplicateElementAt {
+        /// The offending name.
+        name: String,
+        /// 1-based source line of the duplicate definition.
+        line: usize,
+        /// 1-based column of the duplicate definition.
+        column: usize,
+    },
     /// An element was connected with both terminals on the same node.
     DegenerateConnection {
         /// The offending element.
@@ -99,6 +109,12 @@ impl fmt::Display for CircuitError {
             }
             CircuitError::DuplicateElement { name } => {
                 write!(f, "duplicate element name {name}")
+            }
+            CircuitError::DuplicateElementAt { name, line, column } => {
+                write!(
+                    f,
+                    "duplicate element name {name} at line {line}, column {column}"
+                )
             }
             CircuitError::DegenerateConnection { element } => {
                 write!(f, "element {element} has both terminals on the same node")
@@ -196,6 +212,13 @@ mod tests {
         assert!(!e.to_string().contains("column"));
         let e = CircuitError::FloatingNode { node: "n3".into() };
         assert!(e.to_string().contains("n3"));
+        let e = CircuitError::DuplicateElementAt {
+            name: "R1".into(),
+            line: 4,
+            column: 1,
+        };
+        assert!(e.to_string().contains("R1"));
+        assert!(e.to_string().contains("line 4"));
     }
 
     #[test]

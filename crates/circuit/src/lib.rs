@@ -16,6 +16,9 @@
 //! * [`subckt`] — hierarchy: [`SubcktDef`] subcircuit templates with
 //!   parameter defaults, the [`CircuitBuilder`] front door, and flattening
 //!   with deterministic name mangling (`X1.n3` nodes, `R1.X1` elements).
+//! * [`lint`] — pass-based static analysis: connectivity, voltage-source
+//!   loops, current-source cutsets, structural rank via bipartite matching,
+//!   and deck hygiene — all pattern-only, no numeric solve.
 //! * [`parser`] — a SPICE-like netlist parser with `.model` cards for the
 //!   nano-devices (`YRTD`, `YNW`, `YRTT`), `.subckt`/`.ends`/`X` hierarchy,
 //!   `.param` scoping, E/G/F/H controlled sources and `.tran`/`.dc`
@@ -49,6 +52,7 @@
 
 pub mod element;
 pub mod error;
+pub mod lint;
 pub mod mna;
 pub mod netlist;
 pub mod node;
@@ -58,6 +62,10 @@ pub mod writer;
 
 pub use element::{Element, ElementKind};
 pub use error::CircuitError;
+pub use lint::{
+    lint_circuit, lint_circuit_with, lint_deck, Diagnostic, LintCode, LintReport, Severity,
+    SourceMap, Span,
+};
 pub use mna::MnaSystem;
 pub use netlist::Circuit;
 pub use node::{NodeId, NodeMap};

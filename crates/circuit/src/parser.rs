@@ -57,6 +57,7 @@
 //! token, so a bad value in a generated 500-line deck is locatable.
 
 use crate::error::CircuitError;
+use crate::lint::{SourceMap, Span};
 use crate::netlist::Circuit;
 use crate::subckt::{
     BodyElement, BodyKind, CircuitBuilder, ParamValue, SubcktDef, SubcktLib, WaveformTemplate,
@@ -68,7 +69,7 @@ use nanosim_devices::nanowire::{Nanowire, NanowireParams};
 use nanosim_devices::rtd::{Rtd, RtdParams};
 use nanosim_devices::rtt::Rtt;
 use nanosim_devices::sources::{PulseParams, SinParams, SourceWaveform};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// An analysis request found in the netlist.
@@ -108,6 +109,9 @@ pub struct ParsedDeck {
     pub subckts: SubcktLib,
     /// Global `.param` values (keys lowercased).
     pub params: HashMap<String, f64>,
+    /// Source position of every flattened element (elements produced by
+    /// instance flattening map to their `X` line), for lint diagnostics.
+    pub spans: SourceMap,
 }
 
 #[derive(Debug, Clone)]
@@ -224,6 +228,7 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck> {
     let mut consumed = vec![false; lines.len()];
     let mut open_def: Option<SubcktDef> = None;
     let mut open_line = (0usize, 0usize);
+    let mut open_names: HashSet<String> = HashSet::new();
     for (idx, line) in lines.iter().enumerate() {
         let toks = &line.toks;
         if toks.is_empty() {
@@ -248,7 +253,17 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck> {
                         }
                     }
                     let def = open_def.take().expect("checked above");
-                    builder.define(def)?;
+                    builder.define(def).map_err(|e| match e {
+                        // A redefinition is located at its `.subckt` line.
+                        CircuitError::DuplicateElement { name } => {
+                            CircuitError::DuplicateElementAt {
+                                name,
+                                line: open_line.0,
+                                column: open_line.1,
+                            }
+                        }
+                        other => other,
+                    })?;
                 }
                 ".MODEL" => {} // collected in pass 1; models are global
                 _ if head.starts_with('.') => {
@@ -260,6 +275,13 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck> {
                 }
                 _ => {
                     let be = parse_body_element(toks, &models)?;
+                    if !open_names.insert(be.name.clone()) {
+                        return Err(CircuitError::DuplicateElementAt {
+                            name: be.name,
+                            line: toks[0].line,
+                            column: toks[0].col,
+                        });
+                    }
                     def.push_body(be);
                 }
             }
@@ -304,6 +326,7 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck> {
             }
             open_def = Some(def);
             open_line = (toks[0].line, toks[0].col);
+            open_names.clear();
         } else if head == ".END" {
             break;
         }
@@ -318,6 +341,7 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck> {
 
     // Pass 2: top-level elements, instances and directives.
     let mut analyses = Vec::new();
+    let mut spans = SourceMap::new();
     let mut first_content_line = true;
     for (idx, line) in lines.iter().enumerate() {
         let toks = &line.toks;
@@ -366,11 +390,11 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck> {
                     continue;
                 }
                 let be = parse_body_element(toks, &models)?;
-                emit_top_level(&mut builder, be, &toks[0])?;
+                emit_top_level(&mut builder, be, &toks[0], &mut spans)?;
                 continue;
             }
             let be = parse_body_element(toks, &models)?;
-            emit_top_level(&mut builder, be, &toks[0])?;
+            emit_top_level(&mut builder, be, &toks[0], &mut spans)?;
             continue;
         }
         first_content_line = false;
@@ -475,7 +499,7 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck> {
         }
 
         let be = parse_body_element(toks, &models)?;
-        emit_top_level(&mut builder, be, &toks[0])?;
+        emit_top_level(&mut builder, be, &toks[0], &mut spans)?;
     }
 
     let (circuit, subckts, params) = builder.into_parts();
@@ -484,6 +508,7 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck> {
         analyses,
         subckts,
         params,
+        spans,
     })
 }
 
@@ -884,8 +909,32 @@ fn parse_body_element(toks: &[Tok], models: &HashMap<String, ModelCard>) -> Resu
 
 /// Adds a parsed top-level template to the builder: elements directly (with
 /// `{param}` references resolved against `.param` globals), instances via
-/// flattening.
-fn emit_top_level(builder: &mut CircuitBuilder, be: BodyElement, head: &Tok) -> Result<()> {
+/// flattening. Records the source position of every element the line
+/// produced (an `X` line owns all of its flattened elements) and upgrades
+/// duplicate-name errors with that position.
+fn emit_top_level(
+    builder: &mut CircuitBuilder,
+    be: BodyElement,
+    head: &Tok,
+    spans: &mut SourceMap,
+) -> Result<()> {
+    let n_before = builder.circuit().elements().len();
+    emit_top_level_inner(builder, be, head).map_err(|e| match e {
+        CircuitError::DuplicateElement { name } => CircuitError::DuplicateElementAt {
+            name,
+            line: head.line,
+            column: head.col,
+        },
+        other => other,
+    })?;
+    let span = Span::new(head.line, head.col);
+    for e in &builder.circuit().elements()[n_before..] {
+        spans.insert(e.name(), span);
+    }
+    Ok(())
+}
+
+fn emit_top_level_inner(builder: &mut CircuitBuilder, be: BodyElement, head: &Tok) -> Result<()> {
     let BodyElement {
         name,
         nodes: node_names,
@@ -1859,7 +1908,58 @@ mod tests {
              X1 a cell\nX1 b cell\n",
         )
         .unwrap_err();
-        assert!(matches!(err, CircuitError::DuplicateElement { .. }));
+        assert!(
+            matches!(
+                err,
+                CircuitError::DuplicateElementAt {
+                    line: 8,
+                    column: 1,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_top_level_elements_locate_the_second_line() {
+        let err = parse_netlist("V1 a 0 DC 1\nR1 a 0 1k\n  R1 a 0 2k\n.op\n").unwrap_err();
+        match err {
+            CircuitError::DuplicateElementAt { name, line, column } => {
+                assert_eq!(name, "R1");
+                assert_eq!((line, column), (3, 3));
+            }
+            other => panic!("expected DuplicateElementAt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_names_inside_a_subckt_body_are_located() {
+        let err = parse_netlist(
+            ".subckt cell p\nR1 p mid 50\nR1 mid 0 50\n.ends\nV1 a 0 1\nX1 a cell\n.op\n",
+        )
+        .unwrap_err();
+        match err {
+            CircuitError::DuplicateElementAt { name, line, column } => {
+                assert_eq!(name, "R1");
+                assert_eq!((line, column), (3, 1));
+            }
+            other => panic!("expected DuplicateElementAt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parsed_deck_records_element_spans() {
+        let deck = parse_netlist(
+            ".subckt cell p\nR1 p mid 50\nC1 mid 0 1p\n.ends\n\
+             V1 a 0 1\nR2 a 0 1k\nX1 a cell\n.op\n",
+        )
+        .unwrap();
+        assert_eq!(deck.spans.get("V1"), Some(crate::lint::Span::new(5, 1)));
+        assert_eq!(deck.spans.get("R2"), Some(crate::lint::Span::new(6, 1)));
+        // Flattened instance elements map to the X line.
+        assert_eq!(deck.spans.get("R1.X1"), Some(crate::lint::Span::new(7, 1)));
+        assert_eq!(deck.spans.get("C1.X1"), Some(crate::lint::Span::new(7, 1)));
     }
 
     #[test]

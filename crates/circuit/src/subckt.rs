@@ -395,6 +395,14 @@ impl SubcktDef {
         self.body.len()
     }
 
+    /// Iterates over every node name referenced by the body elements
+    /// (with repeats), for connectivity-style lint checks.
+    pub fn body_nodes(&self) -> impl Iterator<Item = &str> {
+        self.body
+            .iter()
+            .flat_map(|b| b.nodes.iter().map(String::as_str))
+    }
+
     /// Declares a parameter with a default value.
     pub fn param(&mut self, name: impl Into<String>, default: f64) -> &mut Self {
         self.params.push((name.into(), default));
@@ -691,6 +699,16 @@ impl SubcktLib {
             return Err(CircuitError::DuplicateElement {
                 name: format!("subckt {}", def.name()),
             });
+        }
+        // Reject duplicate body names at definition time (the parser does
+        // this with positions; this covers programmatic construction).
+        let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for b in &def.body {
+            if !seen.insert(b.name.as_str()) {
+                return Err(CircuitError::DuplicateElement {
+                    name: format!("{} (in subckt {})", b.name, def.name()),
+                });
+            }
         }
         self.defs.push(def);
         Ok(self)

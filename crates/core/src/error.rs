@@ -1,7 +1,7 @@
 //! Simulation engine errors.
 
 use crate::rescue::RescueTrace;
-use nanosim_circuit::CircuitError;
+use nanosim_circuit::{CircuitError, LintReport};
 use nanosim_numeric::NumericError;
 use std::error::Error;
 use std::fmt;
@@ -43,6 +43,10 @@ pub struct LastAccepted {
 pub enum SimError {
     /// The circuit failed validation or MNA construction.
     Circuit(CircuitError),
+    /// Preflight static analysis found error-severity diagnostics (a
+    /// structurally singular or otherwise doomed circuit) before any
+    /// matrix was assembled. The full report is attached.
+    Preflight(Box<LintReport>),
     /// A linear solve failed (singular matrix, shape mismatch).
     Numeric(NumericError),
     /// A nonlinear solve did not converge.
@@ -134,6 +138,14 @@ impl SimError {
         }
     }
 
+    /// The lint report, when this is a [`SimError::Preflight`].
+    pub fn preflight_report(&self) -> Option<&LintReport> {
+        match self {
+            SimError::Preflight(report) => Some(report),
+            _ => None,
+        }
+    }
+
     /// The last-accepted summary, when this is a
     /// [`SimError::StepSizeUnderflow`] that carries one.
     pub fn last_accepted(&self) -> Option<&LastAccepted> {
@@ -151,6 +163,13 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Circuit(e) => write!(f, "circuit error: {e}"),
+            SimError::Preflight(report) => {
+                write!(f, "preflight rejected the circuit ({})", report.summary())?;
+                if let Some(d) = report.errors().next() {
+                    write!(f, ": {d}")?;
+                }
+                Ok(())
+            }
             SimError::Numeric(e) => write!(f, "numeric error: {e}"),
             SimError::NonConvergence {
                 at,
@@ -284,6 +303,20 @@ mod tests {
         let la = e.last_accepted().unwrap();
         assert_eq!(la.steps, 412);
         assert!(e.to_string().contains("after 412 steps"));
+    }
+
+    #[test]
+    fn preflight_error_displays_report_summary() {
+        let report = nanosim_circuit::lint_deck("V1 a 0 DC 1\nR1 a 0 1k\nR3 x y 1k\n.op\n");
+        assert!(report.has_errors());
+        let e = SimError::Preflight(Box::new(report));
+        let s = e.to_string();
+        assert!(s.contains("preflight rejected"), "{s}");
+        assert!(s.contains("floating-node"), "{s}");
+        assert!(e.preflight_report().is_some());
+        assert!(SimError::from(CircuitError::EmptyCircuit)
+            .preflight_report()
+            .is_none());
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub use error::SimError;
 pub use nanosim_numeric::sparse::OrderingChoice;
 pub use report::{EngineStats, HealthVerdict};
 pub use rescue::{RescueOptions, RescueRung, RescueTrace};
-pub use sim::{Analysis, AnalysisKind, Dataset, ExecPlan, SimOptions, Simulator};
+pub use sim::{Analysis, AnalysisKind, Dataset, ExecPlan, PreflightMode, SimOptions, Simulator};
 pub use waveform::{DcSweepResult, TransientResult, Waveform};
 
 /// Convenience alias for fallible simulation results.

@@ -62,6 +62,10 @@ pub struct EngineStats {
     /// 1.0 are well-conditioned pivot sequences; below `1e-6` the solver
     /// switched to refinement; below `1e-12` it declared collapse.
     pub min_recip_pivot: f64,
+    /// Warning-severity diagnostics the session's preflight static
+    /// analyzer reported for the circuit (0 with preflight off or a clean
+    /// deck). A session property stamped onto every run, not per-run work.
+    pub preflight_warnings: u64,
     /// Floating point operations (solves + model evaluations).
     pub flops: FlopCounter,
     /// Wall-clock duration of the run.
@@ -89,6 +93,7 @@ impl Default for EngineStats {
             rescues: 0,
             rescue_rungs: 0,
             min_recip_pivot: f64::INFINITY,
+            preflight_warnings: 0,
             flops: FlopCounter::new(),
             elapsed: Duration::ZERO,
         }
@@ -181,6 +186,10 @@ impl EngineStats {
         // Health minima are not quantities of work: merging keeps the worst
         // (smallest) ratio seen by either run.
         self.min_recip_pivot = self.min_recip_pivot.min(other.min_recip_pivot);
+        // Preflight warnings describe the session's circuit, not work done
+        // by a run: shards of the same session all carry the same count,
+        // so max-folding (not summing) keeps the merged value truthful.
+        self.preflight_warnings = self.preflight_warnings.max(other.preflight_warnings);
         self.flops += other.flops;
         self.elapsed += other.elapsed;
     }
@@ -221,7 +230,8 @@ impl fmt::Display for EngineStats {
             "{} steps ({} rejected), {} iterations, {} solves ({} factor / {} refactor, \
              {} refinement), lu flops {} factor / {} refactor / {} solve, \
              lu nnz {} (fill {:.2}x, {} supernodes over {} cols), {} device evals, \
-             {} rescues ({} rungs), min pivot ratio {:.1e}, health {}, {}, {:.3} ms",
+             {} rescues ({} rungs), min pivot ratio {:.1e}, health {}, \
+             {} preflight warnings, {}, {:.3} ms",
             self.steps,
             self.rejected_steps,
             self.iterations,
@@ -241,6 +251,7 @@ impl fmt::Display for EngineStats {
             self.rescue_rungs,
             self.min_recip_pivot,
             self.health(),
+            self.preflight_warnings,
             self.flops,
             self.elapsed.as_secs_f64() * 1e3
         )
@@ -356,6 +367,20 @@ mod tests {
         assert!(out.contains("3 device evals"));
         assert!(out.contains("0 rescues"));
         assert!(out.contains("health healthy"));
+        assert!(out.contains("0 preflight warnings"));
+    }
+
+    #[test]
+    fn merge_max_folds_preflight_warnings() {
+        let mut a = EngineStats::new();
+        a.preflight_warnings = 2;
+        let mut b = EngineStats::new();
+        b.preflight_warnings = 2;
+        a.merge(&b);
+        // Same-session shards don't double-count the shared report.
+        assert_eq!(a.preflight_warnings, 2);
+        a.merge(&EngineStats::new());
+        assert_eq!(a.preflight_warnings, 2);
     }
 
     #[test]

@@ -40,4 +40,4 @@ pub mod session;
 pub use dataset::{AnalysisKind, Axis, Dataset};
 pub use plan::ExecPlan;
 pub use request::{Analysis, BaselineRequest, DcSweep, EmEnsemble, Mla, Op, Pwl, Transient};
-pub use session::{run_ensemble, SimOptions, Simulator, SWEEP_CHUNK};
+pub use session::{run_ensemble, PreflightMode, SimOptions, Simulator, SWEEP_CHUNK};

@@ -34,6 +34,26 @@ pub const SWEEP_CHUNK: usize = 16;
 /// point from the sweep's start value (the per-shard continuation ramp).
 const WARM_START_RAMP: usize = 8;
 
+/// What the session does with the preflight static-analysis report
+/// ([`nanosim_circuit::lint`]) computed when it opens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PreflightMode {
+    /// Run the analyzer; error-severity diagnostics abort session
+    /// construction with [`SimError::Preflight`] before any matrix is
+    /// assembled. Warnings are kept and surface in [`EngineStats`]. The
+    /// default.
+    #[default]
+    Enforce,
+    /// Run the analyzer and keep the report (warnings still surface), but
+    /// never refuse a circuit — structurally singular decks proceed and
+    /// fail numerically, which is what the `min_recip_pivot` cross-check
+    /// tests exercise.
+    WarnOnly,
+    /// Skip the analyzer entirely; [`Simulator::preflight`] returns an
+    /// empty report.
+    Off,
+}
+
 /// Session-wide options applying to every analysis run through one
 /// [`Simulator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,6 +69,10 @@ pub struct SimOptions {
     /// whatever the ordering, and [`crate::EngineStats`] reports the
     /// resulting `nnz_lu` / `fill_ratio`.
     pub ordering: OrderingChoice,
+    /// Preflight static-analysis behavior (default: run and enforce).
+    /// Preflight is pattern-only — it performs no factorization and no
+    /// numeric solve, so results are bit-identical with it on or off.
+    pub preflight: PreflightMode,
 }
 
 /// A simulation session bound to one circuit.
@@ -99,6 +123,9 @@ pub struct Simulator {
     /// creates (testing/robustness harness — see
     /// [`nanosim_numeric::FaultPlan`]).
     fault: Option<nanosim_numeric::FaultPlan>,
+    /// Preflight lint report computed at session construction (empty when
+    /// [`PreflightMode::Off`]).
+    preflight: nanosim_circuit::LintReport,
 }
 
 impl Simulator {
@@ -112,11 +139,28 @@ impl Simulator {
     }
 
     /// Opens a session with explicit [`SimOptions`] (e.g. a pinned
-    /// [`OrderingChoice`]).
+    /// [`OrderingChoice`] or a [`PreflightMode`]).
+    ///
+    /// Unless preflight is [`PreflightMode::Off`], the static analyzer
+    /// runs here — before any matrix is assembled — and, under
+    /// [`PreflightMode::Enforce`], error-severity diagnostics (guaranteed
+    /// singular topologies, duplicate names, ...) abort construction with
+    /// [`SimError::Preflight`].
     ///
     /// # Errors
-    /// Propagates circuit validation / MNA construction failures.
+    /// Returns [`SimError::Preflight`] for circuits the analyzer rejects,
+    /// and propagates circuit validation / MNA construction failures.
     pub fn with_options(circuit: Circuit, opts: SimOptions) -> Result<Simulator> {
+        let preflight = match opts.preflight {
+            PreflightMode::Off => nanosim_circuit::LintReport::default(),
+            PreflightMode::Enforce | PreflightMode::WarnOnly => {
+                let report = nanosim_circuit::lint_circuit(&circuit);
+                if opts.preflight == PreflightMode::Enforce && report.has_errors() {
+                    return Err(SimError::Preflight(Box::new(report)));
+                }
+                report
+            }
+        };
         let mats = CircuitMatrices::new(&circuit)?;
         Ok(Simulator {
             circuit,
@@ -125,7 +169,16 @@ impl Simulator {
             dc_ws: None,
             tran_ws: None,
             fault: None,
+            preflight,
         })
+    }
+
+    /// The preflight lint report computed when the session opened (empty
+    /// when preflight was [`PreflightMode::Off`]). Under
+    /// [`PreflightMode::Enforce`] the report never contains errors — a
+    /// session that constructed successfully passed.
+    pub fn preflight(&self) -> &nanosim_circuit::LintReport {
+        &self.preflight
     }
 
     /// Arms a deterministic fault-injection plan: every assembly workspace
@@ -190,14 +243,16 @@ impl Simulator {
     pub fn run(&mut self, analysis: impl Into<Analysis>) -> Result<Dataset> {
         let analysis = analysis.into();
         analysis.validate()?;
-        match analysis {
+        let mut ds = match analysis {
             Analysis::Op(op) => self.run_op(op),
             Analysis::DcSweep(sweep) => self.run_dc_sweep(sweep),
             Analysis::Transient(tran) => self.run_transient(tran),
             Analysis::EmEnsemble(em) => self.run_em(em),
             Analysis::Mla(mla) => self.run_mla(mla),
             Analysis::Pwl(pwl) => self.run_pwl(pwl),
-        }
+        }?;
+        ds.stats.preflight_warnings = self.preflight.warning_count() as u64;
+        Ok(ds)
     }
 
     /// Lazily creates the no-C workspace, arming any session fault plan.

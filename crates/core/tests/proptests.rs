@@ -261,7 +261,7 @@ proptest! {
     #[test]
     fn ordered_ops_match_natural_on_random_circuits(ckt in connected_circuit()) {
         let solve = |ordering| {
-            let mut sim = Simulator::with_options(ckt.clone(), SimOptions { ordering })
+            let mut sim = Simulator::with_options(ckt.clone(), SimOptions { ordering, ..Default::default() })
                 .expect("assembles");
             sim.run(Analysis::op()).expect("op solves")
         };
@@ -288,7 +288,7 @@ proptest! {
         let run = |workers: usize| {
             let mut sim = Simulator::with_options(
                 ckt.clone(),
-                SimOptions { ordering: OrderingChoice::Amd },
+                SimOptions { ordering: OrderingChoice::Amd, ..Default::default() },
             )
             .expect("assembles");
             let a = Analysis::dc_sweep("V1", 0.0, 1.0, 0.05);

@@ -67,6 +67,9 @@ pub mod workloads;
 /// Commonly used types, importable in one line.
 pub mod prelude {
     pub use nanosim_circuit::{
+        lint_circuit, lint_deck, Diagnostic, LintCode, LintReport, Severity,
+    };
+    pub use nanosim_circuit::{
         parse_netlist, write_netlist, AnalysisDirective, Circuit, CircuitBuilder, ParamValue,
         SubcktDef, SubcktLib,
     };
@@ -77,7 +80,8 @@ pub mod prelude {
     pub use nanosim_core::nr::{FailurePolicy, NrEngine, NrOptions};
     pub use nanosim_core::pwl::PwlOptions;
     pub use nanosim_core::sim::{
-        run_ensemble, Analysis, AnalysisKind, Axis, Dataset, ExecPlan, SimOptions, Simulator,
+        run_ensemble, Analysis, AnalysisKind, Axis, Dataset, ExecPlan, PreflightMode, SimOptions,
+        Simulator,
     };
     pub use nanosim_core::swec::{DcMode, IntegrationMethod, SwecOptions};
     pub use nanosim_core::OrderingChoice;

@@ -6,7 +6,14 @@
 //! ```text
 //! * @expect nodes=<n> elements=<m> subckts=<k> analyses=<j>
 //! * @op-check <column>=<value>        (op decks only, tol 1e-6)
+//! * @expect-lint <code> [line:col]    (known-bad decks only)
 //! ```
+//!
+//! Decks carrying an `@expect-lint` annotation are *known-bad*: the
+//! preflight linter must reject them with exactly the annotated error
+//! codes (at the annotated positions when given) and `Simulator::new`
+//! must refuse them before any factorization. All other decks are golden
+//! and must additionally lint clean.
 //!
 //! A frontend regression therefore fails with the *name* of the deck that
 //! broke, not an anonymous assertion.
@@ -19,7 +26,7 @@ fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/decks")
 }
 
-fn corpus() -> Vec<(String, String)> {
+fn all_decks() -> Vec<(String, String)> {
     let mut decks: Vec<(String, String)> = std::fs::read_dir(corpus_dir())
         .expect("tests/decks exists")
         .filter_map(|e| {
@@ -40,6 +47,53 @@ fn corpus() -> Vec<(String, String)> {
         decks.len()
     );
     decks
+}
+
+fn is_known_bad(text: &str) -> bool {
+    text.lines()
+        .any(|l| l.trim_start_matches(['*', ' ']).starts_with("@expect-lint"))
+}
+
+/// The golden decks: parse, validate, run, and lint clean.
+fn corpus() -> Vec<(String, String)> {
+    all_decks()
+        .into_iter()
+        .filter(|(_, text)| !is_known_bad(text))
+        .collect()
+}
+
+/// The known-bad decks: rejected by preflight with annotated codes.
+fn known_bad() -> Vec<(String, String)> {
+    all_decks()
+        .into_iter()
+        .filter(|(_, text)| is_known_bad(text))
+        .collect()
+}
+
+/// Parses `* @expect-lint <code> [line:col]` annotations.
+fn lint_expectations(text: &str) -> Vec<(LintCode, Option<(usize, usize)>)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line
+            .trim()
+            .strip_prefix('*')
+            .map(str::trim)
+            .and_then(|t| t.strip_prefix("@expect-lint"))
+        else {
+            continue;
+        };
+        let mut fields = rest.split_whitespace();
+        let code = LintCode::parse(fields.next().expect("@expect-lint needs a code"))
+            .expect("@expect-lint names a known code");
+        let at = fields.next().map(|pos| {
+            let (l, c) = pos
+                .split_once(':')
+                .expect("@expect-lint position is line:col");
+            (l.parse().unwrap(), c.parse().unwrap())
+        });
+        out.push((code, at));
+    }
+    out
 }
 
 /// Parses `* @expect k=v ...` and `* @op-check col=value` annotations.
@@ -141,5 +195,69 @@ fn every_deck_runs_its_first_analysis() {
                 "{name}: op value {col} = {got}, expected {want}"
             );
         }
+    }
+}
+
+#[test]
+fn every_golden_deck_lints_clean() {
+    for (name, text) in corpus() {
+        let report = lint_deck(&text);
+        assert!(
+            report.is_clean(),
+            "{name}: golden deck is not lint-clean:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn known_bad_decks_are_rejected_with_the_annotated_codes() {
+    let bad = known_bad();
+    assert!(
+        bad.len() >= 3,
+        "expected at least 3 known-bad decks, found {}",
+        bad.len()
+    );
+    for (name, text) in bad {
+        let expected = lint_expectations(&text);
+        assert!(!expected.is_empty(), "{name}: missing @expect-lint");
+        let report = lint_deck(&text);
+        let errors: Vec<&Diagnostic> = report.errors().collect();
+        for (code, at) in &expected {
+            let hits: Vec<_> = errors.iter().filter(|d| d.code == *code).collect();
+            assert!(
+                !hits.is_empty(),
+                "{name}: expected error[{code}]:\n{report}"
+            );
+            if let Some((line, col)) = at {
+                assert!(
+                    hits.iter()
+                        .any(|d| d.span.is_some_and(|s| (s.line, s.column) == (*line, *col))),
+                    "{name}: error[{code}] not at {line}:{col}:\n{report}"
+                );
+            }
+        }
+        for d in &errors {
+            assert!(
+                expected.iter().any(|(code, _)| *code == d.code),
+                "{name}: unexpected error: {d}"
+            );
+        }
+    }
+}
+
+#[test]
+fn known_bad_decks_are_refused_by_the_simulator_before_assembly() {
+    for (name, text) in known_bad() {
+        let deck = parse_netlist(&text).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        let err = Simulator::new(deck.circuit)
+            .err()
+            .unwrap_or_else(|| panic!("{name}: preflight accepted a known-bad deck"));
+        let report = err
+            .preflight_report()
+            .unwrap_or_else(|| panic!("{name}: expected SimError::Preflight, got: {err}"));
+        assert!(
+            report.has_errors(),
+            "{name}: preflight report has no errors"
+        );
     }
 }

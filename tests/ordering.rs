@@ -13,7 +13,14 @@ use nanosim::workloads;
 /// Runs one op through a session pinned to `ordering` and returns its
 /// engine statistics.
 fn op_stats(circuit: Circuit, ordering: OrderingChoice) -> EngineStats {
-    let mut sim = Simulator::with_options(circuit, SimOptions { ordering }).expect("assembles");
+    let mut sim = Simulator::with_options(
+        circuit,
+        SimOptions {
+            ordering,
+            ..Default::default()
+        },
+    )
+    .expect("assembles");
     let ds = sim.run(Analysis::op()).expect("op solves");
     ds.stats.clone()
 }
@@ -116,9 +123,14 @@ fn fill_regression_amd_vs_rcm_mesh40() {
 fn fig7_dc_sweep_matches_natural_under_any_ordering() {
     // Fig 7(a) workload: the RTD divider swept through its NDR region.
     let sweep = |ordering| {
-        let mut sim =
-            Simulator::with_options(workloads::rtd_divider(50.0), SimOptions { ordering })
-                .expect("assembles");
+        let mut sim = Simulator::with_options(
+            workloads::rtd_divider(50.0),
+            SimOptions {
+                ordering,
+                ..Default::default()
+            },
+        )
+        .expect("assembles");
         sim.run(Analysis::dc_sweep("V1", 0.0, 5.0, 0.05))
             .expect("sweep runs")
     };
@@ -145,9 +157,14 @@ fn fig7_dc_sweep_matches_natural_under_any_ordering() {
 fn fig8_transient_matches_natural_under_any_ordering() {
     // Fig 8(a) workload: the FET-RTD inverter transient.
     let tran = |ordering| {
-        let mut sim =
-            Simulator::with_options(workloads::fet_rtd_inverter(), SimOptions { ordering })
-                .expect("assembles");
+        let mut sim = Simulator::with_options(
+            workloads::fet_rtd_inverter(),
+            SimOptions {
+                ordering,
+                ..Default::default()
+            },
+        )
+        .expect("assembles");
         sim.run(Analysis::transient(0.5e-9, 20e-9))
             .expect("transient runs")
     };
@@ -190,8 +207,14 @@ fn mesh20_sweep_matches_natural_under_amd() {
     // The workload where fill actually differs: ordered solves must still
     // track natural-order physics point by point.
     let sweep = |ordering| {
-        let mut sim = Simulator::with_options(workloads::rtd_mesh_n(20), SimOptions { ordering })
-            .expect("assembles");
+        let mut sim = Simulator::with_options(
+            workloads::rtd_mesh_n(20),
+            SimOptions {
+                ordering,
+                ..Default::default()
+            },
+        )
+        .expect("assembles");
         sim.run(Analysis::dc_sweep("V1", 0.0, 1.0, 0.1))
             .expect("sweep runs")
     };
@@ -219,6 +242,7 @@ fn default_auto_is_bit_identical_to_natural_below_threshold() {
         workloads::rtd_mesh_n(10),
         SimOptions {
             ordering: OrderingChoice::Natural,
+            ..Default::default()
         },
     )
     .expect("assembles");
@@ -255,6 +279,7 @@ fn ordered_sharded_sweep_bit_identical_across_worker_counts() {
             workloads::rtd_mesh_n(12),
             SimOptions {
                 ordering: OrderingChoice::Amd,
+                ..Default::default()
             },
         )
         .expect("assembles");
@@ -288,6 +313,7 @@ fn telemetry_flows_through_datasets() {
         workloads::rtd_mesh_n(10),
         SimOptions {
             ordering: OrderingChoice::Amd,
+            ..Default::default()
         },
     )
     .expect("assembles");

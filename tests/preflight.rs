@@ -1,0 +1,187 @@
+//! Integration tests of the preflight static analyzer.
+//!
+//! The contract under test: a deck that passes preflight never hands a
+//! *structurally* singular matrix to the first factorization, injected
+//! voltage-source loops and current-source islands are always caught
+//! before assembly, `PreflightMode::WarnOnly` trades the early rejection
+//! for a numeric failure later, and the analyzer itself never perturbs
+//! results — golden workloads are bit-identical with preflight on or off.
+
+use nanosim::prelude::*;
+use proptest::prelude::*;
+
+/// A random *connected* resistor network: spanning tree + chords, a DC
+/// source at the root, and a shunt so every node has a DC path. All
+/// values sit inside the linter's plausible ranges.
+fn connected_network() -> impl Strategy<Value = Circuit> {
+    (3usize..14).prop_flat_map(|n| {
+        let parents = proptest::collection::vec(0usize..1_000_000, n - 1);
+        let chords = proptest::collection::vec((0usize..1_000_000, 0usize..1_000_000), 0..n);
+        let resistances = proptest::collection::vec(20.0f64..2e3, 2 * n);
+        (Just(n), parents, chords, resistances).prop_map(|(n, parents, chords, res)| {
+            let mut ckt = Circuit::new();
+            let nodes: Vec<_> = (0..n).map(|k| ckt.node(&format!("n{k}"))).collect();
+            ckt.add_voltage_source("V1", nodes[0], Circuit::GROUND, SourceWaveform::dc(1.0))
+                .unwrap();
+            let mut ri = 0usize;
+            let mut r = || {
+                let v = res[ri % res.len()];
+                ri += 1;
+                v
+            };
+            for k in 1..n {
+                let parent = parents[k - 1] % k;
+                ckt.add_resistor(&format!("Rt{k}"), nodes[parent], nodes[k], r())
+                    .unwrap();
+            }
+            for (idx, &(a, b)) in chords.iter().enumerate() {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    ckt.add_resistor(&format!("Rc{idx}"), nodes[a], nodes[b], r())
+                        .unwrap();
+                }
+            }
+            ckt.add_resistor("Rg", nodes[n - 1], Circuit::GROUND, 500.0)
+                .unwrap();
+            ckt
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Clean preflight implies the first factorization is structurally
+    /// sound: the operating point solves without a singular matrix.
+    #[test]
+    fn clean_preflight_means_first_factorization_succeeds(ckt in connected_network()) {
+        let report = lint_circuit(&ckt);
+        prop_assert!(!report.has_errors(), "{report}");
+        let mut sim = Simulator::new(ckt).expect("preflight is clean");
+        let data = sim.run(Analysis::op()).expect("OP solves");
+        prop_assert!(data.points() > 0);
+    }
+
+    /// A second source pinning the same node always forms a V-loop, and
+    /// preflight always refuses the circuit before assembly.
+    #[test]
+    fn injected_vsource_loop_is_always_caught(ckt in connected_network()) {
+        let mut ckt = ckt;
+        let top = ckt.find_node("n0").unwrap();
+        ckt.add_voltage_source("Vdup", top, Circuit::GROUND, SourceWaveform::dc(2.0))
+            .unwrap();
+        let report = lint_circuit(&ckt);
+        prop_assert!(
+            report.codes().contains(&LintCode::VsourceLoop),
+            "{report}"
+        );
+        let err = Simulator::new(ckt).expect_err("preflight rejects the loop");
+        prop_assert!(err.preflight_report().is_some(), "unexpected error: {err}");
+    }
+
+    /// A node reachable only through a current source is always flagged as
+    /// an I-cutset and refused.
+    #[test]
+    fn injected_isource_island_is_always_caught(ckt in connected_network()) {
+        let mut ckt = ckt;
+        let isl = ckt.node("island");
+        ckt.add_current_source("Iisl", Circuit::GROUND, isl, SourceWaveform::dc(1e-3))
+            .unwrap();
+        let report = lint_circuit(&ckt);
+        prop_assert!(
+            report.codes().contains(&LintCode::IsourceCutset),
+            "{report}"
+        );
+        let err = Simulator::new(ckt).expect_err("preflight rejects the island");
+        prop_assert!(err.preflight_report().is_some(), "unexpected error: {err}");
+    }
+}
+
+/// Two sources disagreeing about one node: the canonical V-loop.
+fn vloop_circuit() -> Circuit {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("in");
+    ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(1.0))
+        .unwrap();
+    ckt.add_voltage_source("V2", a, Circuit::GROUND, SourceWaveform::dc(2.0))
+        .unwrap();
+    ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+    ckt
+}
+
+/// WarnOnly keeps the session constructible (the report is still there to
+/// read) and the predicted singularity then shows up numerically — the
+/// static verdict and `min_recip_pivot` agree.
+#[test]
+fn warn_only_defers_the_vloop_to_a_numeric_failure() {
+    let opts = SimOptions {
+        preflight: PreflightMode::WarnOnly,
+        ..SimOptions::default()
+    };
+    let mut sim = Simulator::with_options(vloop_circuit(), opts).expect("WarnOnly constructs");
+    assert!(sim.preflight().has_errors(), "{}", sim.preflight());
+    let err = sim
+        .run(Analysis::op())
+        .expect_err("OP must fail numerically");
+    assert!(
+        err.preflight_report().is_none(),
+        "failure must be numeric, not preflight: {err}"
+    );
+}
+
+#[test]
+fn off_mode_skips_the_analysis_entirely() {
+    let opts = SimOptions {
+        preflight: PreflightMode::Off,
+        ..SimOptions::default()
+    };
+    let sim = Simulator::with_options(vloop_circuit(), opts).expect("Off constructs");
+    assert!(sim.preflight().is_clean());
+}
+
+#[test]
+fn enforce_mode_rejects_with_a_readable_report() {
+    let err = Simulator::new(vloop_circuit()).expect_err("rejected");
+    let report = err.preflight_report().expect("SimError::Preflight");
+    assert!(report.codes().contains(&LintCode::VsourceLoop));
+    let msg = err.to_string();
+    assert!(msg.contains("preflight"), "{msg}");
+    assert!(msg.contains("vsource-loop"), "{msg}");
+}
+
+/// Preflight is pattern-only: golden results are bit-identical whether the
+/// analyzer ran or not.
+#[test]
+fn preflight_never_perturbs_golden_results() {
+    let run = |mode: PreflightMode| {
+        let opts = SimOptions {
+            preflight: mode,
+            ..SimOptions::default()
+        };
+        let mut sim = Simulator::with_options(nanosim::workloads::rtd_divider(50.0), opts).unwrap();
+        sim.run(Analysis::dc_sweep("V1", 0.0, 2.5, 0.05)).unwrap()
+    };
+    let on = run(PreflightMode::Enforce);
+    let off = run(PreflightMode::Off);
+    assert_eq!(on.column("I(X1)"), off.column("I(X1)"));
+    assert_eq!(on.column("V(mid)"), off.column("V(mid)"));
+}
+
+/// Sensed cutsets survive preflight as warnings, and the warning count is
+/// stamped into the dataset's engine stats.
+#[test]
+fn preflight_warnings_are_stamped_into_engine_stats() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.add_current_source("I1", Circuit::GROUND, a, SourceWaveform::dc(1e-3))
+        .unwrap();
+    ckt.add_vccs("G1", a, Circuit::GROUND, b, Circuit::GROUND, 1e-3)
+        .unwrap();
+    ckt.add_vccs("G2", b, Circuit::GROUND, a, Circuit::GROUND, -1e-3)
+        .unwrap();
+    let mut sim = Simulator::new(ckt).expect("warnings do not block");
+    assert!(sim.preflight().warning_count() >= 1, "{}", sim.preflight());
+    let data = sim.run(Analysis::op()).expect("gyrator OP solves");
+    assert!(data.stats.preflight_warnings >= 1, "stats: {}", data.stats);
+}

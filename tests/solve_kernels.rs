@@ -122,8 +122,14 @@ proptest! {
 fn sharded_sweep_bit_identical_at_every_worker_count() {
     for ordering in ORDERINGS {
         let mk = || {
-            Simulator::with_options(workloads::rtd_mesh_n(6), SimOptions { ordering })
-                .expect("assembles")
+            Simulator::with_options(
+                workloads::rtd_mesh_n(6),
+                SimOptions {
+                    ordering,
+                    ..Default::default()
+                },
+            )
+            .expect("assembles")
         };
         let request = || Analysis::dc_sweep("V1", 0.0, 3.0, 0.05);
         let serial = mk().run(request()).unwrap();
