@@ -1,0 +1,151 @@
+//! `nanosim-serve` — JSON-lines front-end for the in-process simulation
+//! service ([`nanosim::serve`]).
+//!
+//! Each stdin line is one request object (`submit`, `batch`, `status`,
+//! `result`, `stats`, `evict`), each stdout line the matching response;
+//! malformed input produces a structured error response, never a panic or
+//! an early exit. See the protocol table in `nanosim_serve::proto`.
+//!
+//! ```text
+//! nanosim-serve [options]
+//!
+//!   (no options)     serve requests from stdin until EOF
+//!   --corpus <dir>   replay <dir>/requests.jsonl and compare volatile-
+//!                    masked responses against <dir>/expected.jsonl
+//!   --record <dir>   replay <dir>/requests.jsonl and rewrite
+//!                    <dir>/expected.jsonl with the masked responses
+//!   -h, --help       this text
+//!
+//! exit status: 0 ok, 1 corpus mismatch, 2 usage/io error
+//! ```
+
+use nanosim::serve::{handle_line, mask_volatile, ServiceOptions, SimService};
+use std::io::{BufRead, Write};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!("usage: nanosim-serve [--corpus <dir> | --record <dir>]");
+}
+
+/// Replays every request line through a fresh service and returns the
+/// volatile-masked response lines.
+fn replay(requests: &str) -> Vec<String> {
+    let mut svc = SimService::new(ServiceOptions::default());
+    requests
+        .lines()
+        .map(|line| mask_volatile(&handle_line(&mut svc, line)))
+        .collect()
+}
+
+/// `--corpus`: masked responses must match `expected.jsonl` line for line.
+fn check_corpus(dir: &Path) -> Result<bool, String> {
+    let requests = std::fs::read_to_string(dir.join("requests.jsonl"))
+        .map_err(|e| format!("{}: {e}", dir.join("requests.jsonl").display()))?;
+    let expected = std::fs::read_to_string(dir.join("expected.jsonl"))
+        .map_err(|e| format!("{}: {e}", dir.join("expected.jsonl").display()))?;
+    let got = replay(&requests);
+    let want: Vec<&str> = expected.lines().collect();
+    let mut ok = true;
+    if got.len() != want.len() {
+        ok = false;
+        println!(
+            "corpus length mismatch: {} responses, {} expected",
+            got.len(),
+            want.len()
+        );
+    }
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        if g != w {
+            ok = false;
+            println!("line {}:\n  expected: {w}\n  got:      {g}", i + 1);
+        }
+    }
+    if ok {
+        println!("corpus ok: {} responses match", got.len());
+    }
+    Ok(ok)
+}
+
+/// `--record`: regenerate `expected.jsonl` from the current responses.
+fn record_corpus(dir: &Path) -> Result<(), String> {
+    let requests = std::fs::read_to_string(dir.join("requests.jsonl"))
+        .map_err(|e| format!("{}: {e}", dir.join("requests.jsonl").display()))?;
+    let mut out = replay(&requests).join("\n");
+    out.push('\n');
+    let path = dir.join("expected.jsonl");
+    std::fs::write(&path, out).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("recorded {}", path.display());
+    Ok(())
+}
+
+/// Interactive mode: one response line per request line until EOF.
+fn serve_stdin() -> ExitCode {
+    let mut svc = SimService::new(ServiceOptions::default());
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("nanosim-serve: stdin: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let response = handle_line(&mut svc, &line);
+        if writeln!(out, "{response}")
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            // Reader hung up; nothing left to serve.
+            return ExitCode::SUCCESS;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut corpus: Option<(String, bool)> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--corpus" | "--record" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("{arg} needs a directory");
+                    usage();
+                    return ExitCode::from(2);
+                };
+                corpus = Some((dir, arg == "--record"));
+            }
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match corpus {
+        None => serve_stdin(),
+        Some((dir, record)) => {
+            let dir = Path::new(&dir);
+            let outcome = if record {
+                record_corpus(dir).map(|()| true)
+            } else {
+                check_corpus(dir)
+            };
+            match outcome {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::from(1),
+                Err(msg) => {
+                    eprintln!("nanosim-serve: {msg}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+    }
+}

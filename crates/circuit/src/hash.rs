@@ -1,0 +1,134 @@
+//! Canonical circuit fingerprints for cross-request caching.
+//!
+//! Two 64-bit FNV-1a fingerprints over a flattened [`Circuit`]:
+//!
+//! * [`deck_fingerprint`] — hashes the canonical netlist serialization
+//!   ([`crate::writer::write_netlist`]), so *any* value change (a resistor,
+//!   a waveform parameter, a model card) changes the fingerprint. This is
+//!   the full-result cache key: equal fingerprints mean equal circuits.
+//! * [`topology_fingerprint`] — hashes only the structure that determines
+//!   the MNA sparsity pattern: element type tags, terminal node ids,
+//!   branch-current bookkeeping and controlled-source references — never
+//!   component values. Circuits that differ only in values share a
+//!   topology fingerprint, and therefore share symbolic LU analyses and
+//!   supernode plans when sessions are pooled per topology.
+//!
+//! Both are deterministic across processes and platforms (no
+//! `DefaultHasher` seeds, no pointer identity), which keeps service-level
+//! caches and golden corpus tests stable.
+
+use crate::netlist::Circuit;
+use crate::writer::write_netlist;
+
+/// 64-bit FNV-1a over a byte slice — the same portable, dependency-free
+/// hash used across the workspace for deterministic fingerprints.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Folds more bytes into an existing FNV-1a state (chain with the result
+/// of a previous [`fnv1a`] / [`fnv1a_extend`] call to hash composites).
+#[must_use]
+pub fn fnv1a_extend(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(0x100_0000_01b3);
+    }
+    state
+}
+
+/// Value-sensitive fingerprint of a flattened circuit: FNV-1a over its
+/// canonical netlist serialization. Any change to values, waveforms,
+/// models, names or connectivity changes the fingerprint.
+///
+/// # Example
+/// ```
+/// use nanosim_circuit::{deck_fingerprint, parse_netlist};
+/// let a = parse_netlist("V1 in 0 DC 1\nR1 in 0 100\n.end\n")?;
+/// let b = parse_netlist("V1 in 0 DC 1\nR1 in 0 220\n.end\n")?;
+/// assert_ne!(deck_fingerprint(&a.circuit), deck_fingerprint(&b.circuit));
+/// # Ok::<(), nanosim_circuit::CircuitError>(())
+/// ```
+#[must_use]
+pub fn deck_fingerprint(circuit: &Circuit) -> u64 {
+    fnv1a(write_netlist(circuit).as_bytes())
+}
+
+/// Structure-only fingerprint: hashes exactly the inputs that determine
+/// the MNA variable layout and matrix sparsity pattern — node count,
+/// element type tags, terminal node ids, and controlled-source branch
+/// references — and none of the component values.
+///
+/// # Example
+/// ```
+/// use nanosim_circuit::{parse_netlist, topology_fingerprint};
+/// let a = parse_netlist("V1 in 0 DC 1\nR1 in 0 100\n.end\n")?;
+/// let b = parse_netlist("V1 in 0 DC 2\nR1 in 0 220\n.end\n")?;
+/// assert_eq!(topology_fingerprint(&a.circuit), topology_fingerprint(&b.circuit));
+/// # Ok::<(), nanosim_circuit::CircuitError>(())
+/// ```
+#[must_use]
+pub fn topology_fingerprint(circuit: &Circuit) -> u64 {
+    let mut h = fnv1a(b"nanosim-topology-v1");
+    h = fnv1a_extend(h, &(circuit.node_count() as u64).to_le_bytes());
+    for e in circuit.elements() {
+        h = fnv1a_extend(h, e.kind().type_tag().as_bytes());
+        h = fnv1a_extend(h, &[u8::from(e.kind().needs_branch_current())]);
+        for &n in e.nodes() {
+            h = fnv1a_extend(h, &(n.index() as u64).to_le_bytes());
+        }
+        if let Some(ctrl) = e.kind().control_name() {
+            // Controlled sources stamp the controlling element's branch
+            // column; which element that is, is structural.
+            h = fnv1a_extend(h, ctrl.as_bytes());
+        }
+        // Separator so adjacent elements cannot alias across boundaries.
+        h = fnv1a_extend(h, &[0xff]);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_netlist;
+
+    #[test]
+    fn value_change_moves_deck_but_not_topology() {
+        let a = parse_netlist("V1 in 0 DC 1\nR1 in mid 100\nR2 mid 0 50\n.end\n").unwrap();
+        let b = parse_netlist("V1 in 0 DC 1\nR1 in mid 101\nR2 mid 0 50\n.end\n").unwrap();
+        assert_ne!(deck_fingerprint(&a.circuit), deck_fingerprint(&b.circuit));
+        assert_eq!(
+            topology_fingerprint(&a.circuit),
+            topology_fingerprint(&b.circuit)
+        );
+    }
+
+    #[test]
+    fn connectivity_change_moves_topology() {
+        let a = parse_netlist("V1 in 0 DC 1\nR1 in mid 100\nR2 mid 0 50\n.end\n").unwrap();
+        let b = parse_netlist("V1 in 0 DC 1\nR1 in 0 100\nR2 in 0 50\n.end\n").unwrap();
+        assert_ne!(
+            topology_fingerprint(&a.circuit),
+            topology_fingerprint(&b.circuit)
+        );
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic() {
+        let a = parse_netlist("V1 in 0 DC 1\nR1 in 0 100\n.end\n").unwrap();
+        let b = parse_netlist("V1 in 0 DC 1\nR1 in 0 100\n.end\n").unwrap();
+        assert_eq!(deck_fingerprint(&a.circuit), deck_fingerprint(&b.circuit));
+        assert_eq!(
+            topology_fingerprint(&a.circuit),
+            topology_fingerprint(&b.circuit)
+        );
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vector() {
+        // FNV-1a 64 reference: empty input hashes to the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

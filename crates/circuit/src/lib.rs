@@ -16,6 +16,8 @@
 //! * [`subckt`] — hierarchy: [`SubcktDef`] subcircuit templates with
 //!   parameter defaults, the [`CircuitBuilder`] front door, and flattening
 //!   with deterministic name mangling (`X1.n3` nodes, `R1.X1` elements).
+//! * [`hash`] — deterministic FNV-1a deck/topology fingerprints used by
+//!   caching layers (value-sensitive vs. sparsity-pattern-only).
 //! * [`lint`] — pass-based static analysis: connectivity, voltage-source
 //!   loops, current-source cutsets, structural rank via bipartite matching,
 //!   and deck hygiene — all pattern-only, no numeric solve.
@@ -52,6 +54,7 @@
 
 pub mod element;
 pub mod error;
+pub mod hash;
 pub mod lint;
 pub mod mna;
 pub mod netlist;
@@ -62,6 +65,7 @@ pub mod writer;
 
 pub use element::{Element, ElementKind};
 pub use error::CircuitError;
+pub use hash::{deck_fingerprint, fnv1a, fnv1a_extend, topology_fingerprint};
 pub use lint::{
     lint_circuit, lint_circuit_with, lint_deck, Diagnostic, LintCode, LintReport, Severity,
     SourceMap, Span,
@@ -69,7 +73,7 @@ pub use lint::{
 pub use mna::MnaSystem;
 pub use netlist::Circuit;
 pub use node::{NodeId, NodeMap};
-pub use parser::{parse_netlist, AnalysisDirective, ParsedDeck};
+pub use parser::{parse_netlist, parse_netlist_with_params, AnalysisDirective, ParsedDeck};
 pub use subckt::{CircuitBuilder, ParamValue, SubcktDef, SubcktLib, WaveformTemplate};
 pub use writer::write_netlist;
 

@@ -178,6 +178,36 @@ struct Line {
 /// # Ok::<(), nanosim_circuit::CircuitError>(())
 /// ```
 pub fn parse_netlist(text: &str) -> Result<ParsedDeck> {
+    parse_netlist_with_params(text, &[])
+}
+
+/// Parses netlist text with global `.param` overrides applied.
+///
+/// Each `(name, value)` pair (names are case-insensitive) is installed as a
+/// global parameter *before* the deck body is read, and any `.param`
+/// assignment of the same name inside the deck is ignored (its value
+/// expression is still validated). Elements referencing `{name}` therefore
+/// see the override. This is the entry point for parameter-grid studies:
+/// the same deck text fans out into one parse per grid point.
+///
+/// # Errors
+/// Same contract as [`parse_netlist`].
+///
+/// # Example
+/// ```
+/// let deck = "\
+///     .param rload=100\n\
+///     V1 in 0 DC 1.0\n\
+///     R1 in out {rload}\n\
+///     R2 out 0 50\n\
+///     .op\n\
+///     .end\n";
+/// let parsed =
+///     nanosim_circuit::parse_netlist_with_params(deck, &[("rload".into(), 220.0)])?;
+/// assert_eq!(parsed.params["rload"], 220.0);
+/// # Ok::<(), nanosim_circuit::CircuitError>(())
+/// ```
+pub fn parse_netlist_with_params(text: &str, overrides: &[(String, f64)]) -> Result<ParsedDeck> {
     let lines = preprocess(text);
 
     // Pass 1: collect .model cards (they may be referenced before defined;
@@ -225,6 +255,11 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck> {
     // instances may appear before their definition. Consumed lines are
     // skipped by pass 2.
     let mut builder = CircuitBuilder::new();
+    let mut overridden: HashSet<String> = HashSet::new();
+    for (name, value) in overrides {
+        builder.set_param(name.clone(), *value);
+        overridden.insert(name.to_ascii_lowercase());
+    }
     let mut consumed = vec![false; lines.len()];
     let mut open_def: Option<SubcktDef> = None;
     let mut open_line = (0usize, 0usize);
@@ -439,7 +474,11 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck> {
                         // Values may reference previously defined globals.
                         let pv = parse_pvalue(&pair[1])?;
                         let v = builder.resolve_value(&pv, &format!(".param {}", pair[0].text))?;
-                        builder.set_param(pair[0].text.clone(), v);
+                        // A caller-supplied override wins over the deck's
+                        // own assignment (the expression is still checked).
+                        if !overridden.contains(&pair[0].text.to_ascii_lowercase()) {
+                            builder.set_param(pair[0].text.clone(), v);
+                        }
                     }
                 }
                 ".OP" => analyses.push(AnalysisDirective::Op),

@@ -114,21 +114,21 @@ pub(crate) struct AssemblyWorkspace {
     fault: Option<FaultPlan>,
 }
 
-impl AssemblyWorkspace {
-    /// Builds the workspace for a circuit. `with_mos_gm` reserves slots for
-    /// the Newton transconductance stamps (NR/MLA engines); `with_c` merges
-    /// the C pattern into the matrix so `G + C/h` systems assemble in place
-    /// (transient engines); `ordering` selects the fill-reducing ordering
-    /// the embedded sparse solver applies inside its cached symbolic
-    /// analysis (the scatter maps below are in original numbering either
-    /// way — the solver permutes on scatter-in/solve-out, so per-step
-    /// assembly stays zero-alloc and ordering-agnostic).
-    pub fn new(
-        mats: &CircuitMatrices,
-        with_mos_gm: bool,
-        with_c: bool,
-        ordering: OrderingChoice,
-    ) -> Self {
+/// The value-and-scatter half of a workspace: everything derived from the
+/// circuit's matrices except the caching solver. Split out so
+/// [`AssemblyWorkspace::rebind`] can rebuild it for a same-pattern circuit
+/// while the solver (and its symbolic analysis) survives.
+#[derive(Debug)]
+struct PatternParts {
+    a: CsrMatrix,
+    base_vals: Vec<f64>,
+    c_sites: Vec<(usize, f64)>,
+    nl_sites: Vec<CondSites>,
+    mos_sites: Vec<MosSites>,
+}
+
+impl PatternParts {
+    fn build(mats: &CircuitMatrices, with_mos_gm: bool, with_c: bool) -> Self {
         let mna = &mats.mna;
         let dim = mna.dim();
         let mut trip: Vec<(usize, usize, f64)> = mats.g_lin.iter().cloned().collect();
@@ -217,15 +217,61 @@ impl AssemblyWorkspace {
             })
             .collect();
 
-        AssemblyWorkspace {
+        PatternParts {
             a,
             base_vals,
             c_sites,
             nl_sites,
             mos_sites,
+        }
+    }
+}
+
+impl AssemblyWorkspace {
+    /// Builds the workspace for a circuit. `with_mos_gm` reserves slots for
+    /// the Newton transconductance stamps (NR/MLA engines); `with_c` merges
+    /// the C pattern into the matrix so `G + C/h` systems assemble in place
+    /// (transient engines); `ordering` selects the fill-reducing ordering
+    /// the embedded sparse solver applies inside its cached symbolic
+    /// analysis (the scatter maps are in original numbering either
+    /// way — the solver permutes on scatter-in/solve-out, so per-step
+    /// assembly stays zero-alloc and ordering-agnostic).
+    pub fn new(
+        mats: &CircuitMatrices,
+        with_mos_gm: bool,
+        with_c: bool,
+        ordering: OrderingChoice,
+    ) -> Self {
+        let parts = PatternParts::build(mats, with_mos_gm, with_c);
+        AssemblyWorkspace {
+            a: parts.a,
+            base_vals: parts.base_vals,
+            c_sites: parts.c_sites,
+            nl_sites: parts.nl_sites,
+            mos_sites: parts.mos_sites,
             solver: SparseLuSolver::with_ordering(ordering),
             fault: None,
         }
+    }
+
+    /// Rebinds the workspace to a *different circuit with the same sparsity
+    /// pattern*: rebuilds the base values and scatter maps from `mats`
+    /// (built with the same `with_mos_gm`/`with_c` flags as this workspace)
+    /// while keeping the cached solver — and with it the symbolic analysis
+    /// and supernode plan — alive, so the next solve refactors instead of
+    /// re-analyzing. Returns `false` (workspace untouched) when the new
+    /// pattern differs; the caller must then build a fresh workspace.
+    pub fn rebind(&mut self, mats: &CircuitMatrices, with_mos_gm: bool, with_c: bool) -> bool {
+        let parts = PatternParts::build(mats, with_mos_gm, with_c);
+        if parts.a.structure() != self.a.structure() {
+            return false;
+        }
+        self.a = parts.a;
+        self.base_vals = parts.base_vals;
+        self.c_sites = parts.c_sites;
+        self.nl_sites = parts.nl_sites;
+        self.mos_sites = parts.mos_sites;
+        true
     }
 
     /// Arms a deterministic fault-injection plan: each subsequent
@@ -656,6 +702,51 @@ mod tests {
         for (i, b) in before.iter().enumerate() {
             assert!((ws.matrix().get(i, i) - b - 1e-3).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn rebind_same_pattern_refactors_instead_of_reanalyzing() {
+        let m = CircuitMatrices::new(&divider()).unwrap();
+        let mut ws = AssemblyWorkspace::new(&m, false, false, OrderingChoice::default());
+        ws.begin();
+        let mut rhs = vec![0.0; 3];
+        m.mna.stamp_rhs(0.0, &mut rhs);
+        let mut x = Vec::new();
+        let mut flops = FlopCounter::new();
+        ws.factor_solve(&rhs, &mut x, &mut flops).unwrap();
+        assert_eq!(ws.lu_stats().full_factors, 1);
+
+        // Same topology, different values: rebind keeps the analysis.
+        let mut ckt2 = Circuit::new();
+        let a = ckt2.node("a");
+        let b = ckt2.node("b");
+        ckt2.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(2.0))
+            .unwrap();
+        ckt2.add_resistor("R1", a, b, 2e3).unwrap();
+        ckt2.add_resistor("R2", b, Circuit::GROUND, 2e3).unwrap();
+        ckt2.add_capacitor("C1", b, Circuit::GROUND, 2e-12).unwrap();
+        let m2 = CircuitMatrices::new(&ckt2).unwrap();
+        assert!(ws.rebind(&m2, false, false));
+        ws.begin();
+        let mut rhs2 = vec![0.0; 3];
+        m2.mna.stamp_rhs(0.0, &mut rhs2);
+        ws.factor_solve(&rhs2, &mut x, &mut flops).unwrap();
+        let stats = ws.lu_stats();
+        assert_eq!(stats.full_factors, 1, "rebind must not force a re-analysis");
+        assert_eq!(stats.refactors, 1);
+        assert!((x[1] - 1.0).abs() < 1e-12, "divider midpoint at 2 V supply");
+
+        // A different pattern is rejected and leaves the workspace intact.
+        let mut ckt3 = Circuit::new();
+        let a3 = ckt3.node("a");
+        ckt3.add_voltage_source("V1", a3, Circuit::GROUND, SourceWaveform::dc(1.0))
+            .unwrap();
+        ckt3.add_resistor("R1", a3, Circuit::GROUND, 1e3).unwrap();
+        let m3 = CircuitMatrices::new(&ckt3).unwrap();
+        assert!(!ws.rebind(&m3, false, false));
+        ws.begin();
+        ws.factor_solve(&rhs2, &mut x, &mut flops).unwrap();
+        assert_eq!(ws.lu_stats().full_factors, 1);
     }
 
     #[test]

@@ -173,6 +173,80 @@ impl Simulator {
         })
     }
 
+    /// Rebinds the session to a new circuit, preserving warm solver state
+    /// when the new circuit has the same MNA sparsity pattern.
+    ///
+    /// This is the cross-request session-reuse hook: a parameter study (or
+    /// a service-layer session pool) submits many circuits that differ
+    /// only in component values. Rebinding refreshes the assembled base
+    /// values and device scatter maps while keeping each cached workspace's
+    /// solver — symbolic analysis, fill ordering and supernode plan — so
+    /// the next analysis *refactors* instead of re-analyzing. Returns
+    /// `Ok(true)` when at least one warmed workspace survived the swap
+    /// (every subsequent solve reuses its analysis); `Ok(false)` means the
+    /// session was rebound cold (no warm workspaces, or a sparsity-pattern
+    /// mismatch forced a rebuild).
+    ///
+    /// Preflight runs on the new circuit under the session's configured
+    /// [`PreflightMode`] exactly as in [`Simulator::with_options`]; on a
+    /// preflight or assembly error the session keeps its previous circuit
+    /// and remains usable.
+    ///
+    /// # Errors
+    /// Returns [`SimError::Preflight`] for circuits the analyzer rejects
+    /// under [`PreflightMode::Enforce`], and propagates circuit validation
+    /// / MNA construction failures.
+    ///
+    /// # Example
+    /// ```
+    /// use nanosim_circuit::parse_netlist;
+    /// use nanosim_core::{Analysis, Simulator};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let a = parse_netlist("V1 in 0 DC 1\nR1 in out 100\nR2 out 0 100\n.end\n")?;
+    /// let b = parse_netlist("V1 in 0 DC 1\nR1 in out 220\nR2 out 0 100\n.end\n")?;
+    /// let mut sim = Simulator::new(a.circuit)?;
+    /// let cold = sim.run(Analysis::op())?;
+    /// assert_eq!(cold.stats.full_factors, 1);
+    /// assert!(sim.rebind(b.circuit)?); // warm: same sparsity pattern
+    /// let warm = sim.run(Analysis::op())?;
+    /// assert_eq!(warm.stats.full_factors, 0); // values-only refactor
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn rebind(&mut self, circuit: Circuit) -> Result<bool> {
+        let preflight = match self.opts.preflight {
+            PreflightMode::Off => nanosim_circuit::LintReport::default(),
+            PreflightMode::Enforce | PreflightMode::WarnOnly => {
+                let report = nanosim_circuit::lint_circuit(&circuit);
+                if self.opts.preflight == PreflightMode::Enforce && report.has_errors() {
+                    return Err(SimError::Preflight(Box::new(report)));
+                }
+                report
+            }
+        };
+        let mats = CircuitMatrices::new(&circuit)?;
+        let had_warm = self.dc_ws.is_some() || self.tran_ws.is_some();
+        let mut all_rebound = true;
+        if let Some(mut ws) = self.dc_ws.take() {
+            if ws.rebind(&mats, false, false) {
+                self.dc_ws = Some(ws);
+            } else {
+                all_rebound = false;
+            }
+        }
+        if let Some(mut ws) = self.tran_ws.take() {
+            if ws.rebind(&mats, false, true) {
+                self.tran_ws = Some(ws);
+            } else {
+                all_rebound = false;
+            }
+        }
+        self.circuit = circuit;
+        self.mats = mats;
+        self.preflight = preflight;
+        Ok(had_warm && all_rebound)
+    }
+
     /// The preflight lint report computed when the session opened (empty
     /// when preflight was [`PreflightMode::Off`]). Under
     /// [`PreflightMode::Enforce`] the report never contains errors — a

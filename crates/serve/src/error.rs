@@ -1,0 +1,184 @@
+//! Structured service errors.
+//!
+//! Every failure the service can produce — junk protocol input, a deck the
+//! parser or preflight linter rejects, an engine that fails to converge, a
+//! query for an unknown or evicted run — maps to a [`ServeError`] that
+//! renders as a structured JSON object (`kind` + `message` + optional
+//! detail). Nothing in the service path panics or exits the process; this
+//! type is the contract the junk-input property test locks.
+
+use crate::json::{self, Json};
+use nanosim_circuit::CircuitError;
+use nanosim_core::SimError;
+
+/// A structured, renderable service failure.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// Malformed request line: invalid JSON or a request-shape violation.
+    Protocol {
+        /// What was wrong with the request.
+        message: String,
+    },
+    /// The deck text failed netlist parsing or circuit validation.
+    Deck {
+        /// The underlying circuit error (with line/column when parsing).
+        error: CircuitError,
+    },
+    /// A simulation failure: preflight rejection (carries the full
+    /// [`nanosim_circuit::LintReport`]) or an engine error (carries
+    /// forensics when available).
+    Sim {
+        /// The underlying simulation error.
+        error: SimError,
+    },
+    /// The queried run id was never assigned.
+    UnknownRun {
+        /// The requested id.
+        run: u64,
+    },
+    /// The run finished, but its result payload was evicted from the store.
+    Evicted {
+        /// The requested id.
+        run: u64,
+    },
+}
+
+impl ServeError {
+    /// Shorthand for a protocol violation.
+    pub fn protocol(message: impl Into<String>) -> ServeError {
+        ServeError::Protocol {
+            message: message.into(),
+        }
+    }
+
+    /// Machine-readable error class.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Protocol { .. } => "protocol",
+            ServeError::Deck { .. } => "deck",
+            ServeError::Sim { error } => match error {
+                SimError::Preflight(_) => "preflight",
+                _ => "sim",
+            },
+            ServeError::UnknownRun { .. } => "unknown-run",
+            ServeError::Evicted { .. } => "evicted",
+        }
+    }
+
+    /// Renders the error as the JSON object embedded in `"error"` fields:
+    /// `kind`, `message`, and — when available — a `preflight` lint report
+    /// or a `forensics` object.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("kind".to_string(), Json::str(self.kind())),
+            ("message".to_string(), Json::str(self.to_string())),
+        ];
+        if let ServeError::Sim { error } = self {
+            if let Some(report) = error.preflight_report() {
+                // The lint report renders itself; its JSON is re-parsed
+                // into the value tree so the response stays one document.
+                if let Ok(v) = json::parse(&report.to_json()) {
+                    members.push(("preflight".to_string(), v));
+                }
+            }
+            if let Some(f) = error.forensics() {
+                let worst = f
+                    .worst_nodes
+                    .iter()
+                    .map(|(name, r)| {
+                        Json::Obj(vec![
+                            ("node".to_string(), Json::str(name.clone())),
+                            ("residual".to_string(), Json::Num(*r)),
+                        ])
+                    })
+                    .collect();
+                let mut fx = vec![
+                    ("worst_nodes".to_string(), Json::Arr(worst)),
+                    (
+                        "residual_history".to_string(),
+                        Json::Arr(f.residual_history.iter().map(|&r| Json::Num(r)).collect()),
+                    ),
+                    (
+                        "rescue_trace".to_string(),
+                        Json::str(format!("{:?}", f.rescue_trace)),
+                    ),
+                ];
+                if let Some(i) = f.point_index {
+                    fx.push(("point_index".to_string(), Json::from(i)));
+                }
+                if let Some(v) = f.sweep_value {
+                    fx.push(("sweep_value".to_string(), Json::Num(v)));
+                }
+                members.push(("forensics".to_string(), Json::Obj(fx)));
+            }
+        }
+        Json::Obj(members)
+    }
+
+    /// Wraps the error JSON into a complete failed-response line.
+    pub fn to_response(&self) -> Json {
+        Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(false)),
+            ("error".to_string(), self.to_json()),
+        ])
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Protocol { message } => write!(f, "{message}"),
+            ServeError::Deck { error } => write!(f, "{error}"),
+            ServeError::Sim { error } => write!(f, "{error}"),
+            ServeError::UnknownRun { run } => write!(f, "run {run} does not exist"),
+            ServeError::Evicted { run } => {
+                write!(f, "run {run} finished but its result was evicted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CircuitError> for ServeError {
+    fn from(error: CircuitError) -> ServeError {
+        ServeError::Deck { error }
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(error: SimError) -> ServeError {
+        ServeError::Sim { error }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_rendering() {
+        let e = ServeError::protocol("bad line");
+        assert_eq!(e.kind(), "protocol");
+        let r = e.to_response().render();
+        assert!(r.contains("\"ok\":false") && r.contains("bad line"), "{r}");
+
+        let e = ServeError::UnknownRun { run: 7 };
+        assert_eq!(e.kind(), "unknown-run");
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn preflight_errors_carry_the_report() {
+        // A deck with a floating island fails preflight under Enforce.
+        let deck = nanosim_circuit::parse_netlist(
+            "V1 in 0 DC 1\nR1 in 0 50\nR2 a b 10\nR3 b a 10\n.end\n",
+        )
+        .unwrap();
+        let err = nanosim_core::Simulator::new(deck.circuit).unwrap_err();
+        let serve: ServeError = err.into();
+        assert_eq!(serve.kind(), "preflight");
+        let rendered = serve.to_json().render();
+        assert!(rendered.contains("\"preflight\""), "{rendered}");
+    }
+}

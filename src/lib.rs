@@ -61,6 +61,7 @@ pub use nanosim_core as core;
 pub use nanosim_devices as devices;
 pub use nanosim_numeric as numeric;
 pub use nanosim_sde as sde;
+pub use nanosim_serve as serve;
 
 pub mod workloads;
 

@@ -410,6 +410,59 @@ pub fn rtd_mesh_deck(n: usize) -> String {
     deck
 }
 
+/// Parameterized variant of [`rtd_mesh_deck`]: the grid and feed
+/// resistances come from `.param rgrid`/`rfeed` globals referenced via
+/// `{name}`, and the deck carries a `.dc` sweep directive so it can be
+/// submitted to the service layer as-is. Override the parameters through
+/// [`nanosim_circuit::parse_netlist_with_params`] (or a service
+/// `BatchRequest`) to fan one topology into a whole resistance study —
+/// every grid point shares the same sparsity pattern, so pooled sessions
+/// stay warm across the sweep.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn rtd_mesh_param_deck(n: usize) -> String {
+    assert!(n > 0, "mesh needs at least one node");
+    let mut deck = String::new();
+    deck.push_str(&format!(
+        ".title rtd mesh {n}x{n} parameter study (table I)\n"
+    ));
+    deck.push_str(".param rgrid=100 rfeed=50\n");
+    deck.push_str(".subckt cell t\nYRTD1 t 0\n.ends cell\n");
+    deck.push_str("V1 in 0 DC 0\nRin in g0_0 {rfeed}\n");
+    for r in 0..n {
+        for c in 0..n {
+            deck.push_str(&format!("X{r}_{c} g{r}_{c} cell\n"));
+            if c + 1 < n {
+                deck.push_str(&format!("Rh{r}_{c} g{r}_{c} g{r}_{} {{rgrid}}\n", c + 1));
+            }
+            if r + 1 < n {
+                deck.push_str(&format!("Rv{r}_{c} g{r}_{c} g{}_{c} {{rgrid}}\n", r + 1));
+            }
+        }
+    }
+    deck.push_str(".dc V1 0 3 0.5\n.end\n");
+    deck
+}
+
+/// Cartesian parameter grid over named axes, first axis slowest — the
+/// batch front-end's fan-out order. Returns one `(name, value)` override
+/// list per grid point; feed each to
+/// [`nanosim_circuit::parse_netlist_with_params`] or a service
+/// `BatchRequest`'s `grid`.
+///
+/// ```
+/// let grid = nanosim::workloads::param_grid(&[
+///     ("rgrid".into(), vec![50.0, 100.0]),
+///     ("rfeed".into(), vec![25.0]),
+/// ]);
+/// assert_eq!(grid.len(), 2);
+/// assert_eq!(grid[0], vec![("rgrid".into(), 50.0), ("rfeed".into(), 25.0)]);
+/// ```
+pub fn param_grid(axes: &[(String, Vec<f64>)]) -> Vec<Vec<(String, f64)>> {
+    nanosim_serve::expand_axes(axes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,6 +508,56 @@ mod tests {
     #[should_panic(expected = "at least one section")]
     fn chain_rejects_zero() {
         rtd_chain(0);
+    }
+
+    #[test]
+    fn param_deck_matches_mesh_topology_and_honors_overrides() {
+        let n = 3;
+        let base = nanosim_circuit::parse_netlist(&rtd_mesh_param_deck(n)).unwrap();
+        let plain = nanosim_circuit::parse_netlist(&rtd_mesh_deck(n)).unwrap();
+        assert_eq!(
+            nanosim_circuit::topology_fingerprint(&base.circuit),
+            nanosim_circuit::topology_fingerprint(&plain.circuit),
+            "parameterized mesh must share the plain mesh's pattern"
+        );
+        assert_eq!(base.analyses.len(), 1, "deck carries its .dc directive");
+        let over = nanosim_circuit::parse_netlist_with_params(
+            &rtd_mesh_param_deck(n),
+            &[("rgrid".into(), 220.0)],
+        )
+        .unwrap();
+        assert_eq!(over.params["rgrid"], 220.0);
+        assert_ne!(
+            nanosim_circuit::deck_fingerprint(&base.circuit),
+            nanosim_circuit::deck_fingerprint(&over.circuit),
+            "override must change component values"
+        );
+        assert_eq!(
+            nanosim_circuit::topology_fingerprint(&base.circuit),
+            nanosim_circuit::topology_fingerprint(&over.circuit),
+            "override must not change the pattern"
+        );
+    }
+
+    #[test]
+    fn param_grid_is_cartesian_first_axis_slowest() {
+        let grid = param_grid(&[
+            ("rgrid".into(), vec![50.0, 100.0]),
+            ("rfeed".into(), vec![25.0, 75.0]),
+        ]);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(
+            grid[0],
+            vec![("rgrid".into(), 50.0), ("rfeed".into(), 25.0)]
+        );
+        assert_eq!(
+            grid[1],
+            vec![("rgrid".into(), 50.0), ("rfeed".into(), 75.0)]
+        );
+        assert_eq!(
+            grid[3],
+            vec![("rgrid".into(), 100.0), ("rfeed".into(), 75.0)]
+        );
     }
 
     #[test]

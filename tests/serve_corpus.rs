@@ -1,0 +1,50 @@
+//! Golden-corpus test for the JSON-lines service protocol.
+//!
+//! Replays `tests/serve/requests.jsonl` through [`handle_line`] and
+//! compares the volatile-masked responses against
+//! `tests/serve/expected.jsonl` line for line — the same contract the CI
+//! `nanosim-serve --corpus tests/serve` step enforces through the binary.
+//! Regenerate the expectations after an intentional protocol change with
+//! `cargo run -p nanosim-bench --bin nanosim-serve -- --record tests/serve`.
+
+use nanosim::serve::{handle_line, mask_volatile, ServiceOptions, SimService};
+use std::path::Path;
+
+#[test]
+fn golden_corpus_responses_are_stable() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/serve");
+    let requests = std::fs::read_to_string(dir.join("requests.jsonl")).unwrap();
+    let expected = std::fs::read_to_string(dir.join("expected.jsonl")).unwrap();
+
+    let mut svc = SimService::new(ServiceOptions::default());
+    let got: Vec<String> = requests
+        .lines()
+        .map(|line| mask_volatile(&handle_line(&mut svc, line)))
+        .collect();
+    let want: Vec<&str> = expected.lines().collect();
+    assert_eq!(got.len(), want.len(), "response count changed");
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(
+            g,
+            w,
+            "response {} diverged (regenerate with nanosim-serve --record if intentional)",
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn masking_is_idempotent_and_total() {
+    // Every expected line is already masked: re-masking is a fixpoint.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/serve");
+    let expected = std::fs::read_to_string(dir.join("expected.jsonl")).unwrap();
+    for line in expected.lines() {
+        assert_eq!(mask_volatile(line), line);
+        for key in nanosim::serve::proto::VOLATILE_KEYS {
+            assert!(
+                !line.contains(&format!("\"{key}\":{{")) && !line.contains(&format!("\"{key}\":[")),
+                "unmasked volatile `{key}` in corpus: {line}"
+            );
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Integration tests of the `nanosim-serve` service layer.
+//!
+//! The contracts under test: result-cache hits are **bit-identical** to
+//! cold runs (including across `ExecPlan` worker counts — the key
+//! deliberately excludes the plan because sharded engines are
+//! bit-identical to serial); value-only deck changes never collide on
+//! `DeckKey` but share a `TopologyKey`; a same-topology resubmit rides a
+//! warm session and pays **zero** new full factorizations; the store
+//! evicts by bytes without forgetting run metadata; batch fan-out shares
+//! one pooled session across a whole parameter grid; and the JSON-lines
+//! front-end answers junk and preflight-failing decks with structured
+//! errors, never a panic.
+
+use nanosim::serve::{
+    handle_line, BatchRequest, CacheDisposition, RunStatus, ServiceOptions, SimService,
+};
+use nanosim::workloads::{param_grid, rtd_mesh_param_deck};
+use proptest::prelude::*;
+
+/// Every column of both datasets, compared at the bit level.
+fn assert_bit_identical(a: &nanosim::core::sim::Dataset, b: &nanosim::core::sim::Dataset) {
+    assert_eq!(a.names(), b.names());
+    assert_eq!(a.points(), b.points());
+    for name in a.names() {
+        let ca = a.column(name).expect("column exists");
+        let cb = b.column(name).expect("column exists");
+        let bits_a: Vec<u64> = ca.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = cb.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "column {name} differs");
+    }
+}
+
+#[test]
+fn result_cache_hit_is_bit_identical_across_worker_counts() {
+    let deck = rtd_mesh_param_deck(4);
+
+    // Cold serial run.
+    let mut svc = SimService::new(ServiceOptions::default());
+    let ids = svc.submit_opts(&deck, &[], Some(1)).unwrap();
+    assert_eq!(ids.len(), 1);
+    let cold = {
+        let rec = svc.result(ids[0]).unwrap();
+        assert_eq!(rec.cache, CacheDisposition::Cold);
+        rec.result.as_ref().unwrap().dataset.clone()
+    };
+
+    // Same deck requested with a different worker count: the analysis key
+    // excludes the plan, so this answers from the result cache — and must
+    // be bit-identical anyway.
+    let ids = svc.submit_opts(&deck, &[], Some(4)).unwrap();
+    let rec = svc.result(ids[0]).unwrap();
+    assert_eq!(rec.cache, CacheDisposition::ResultHit);
+    assert_eq!(rec.full_factors, 0);
+    assert_bit_identical(&cold, &rec.result.as_ref().unwrap().dataset);
+    assert_eq!(svc.stats().result_hits, 1);
+
+    // And a genuinely cold sharded run in a fresh service agrees bit for
+    // bit, which is what makes the plan-free key sound.
+    let mut sharded = SimService::new(ServiceOptions::default());
+    let ids = sharded.submit_opts(&deck, &[], Some(4)).unwrap();
+    let rec = sharded.result(ids[0]).unwrap();
+    assert_eq!(rec.cache, CacheDisposition::Cold);
+    assert_bit_identical(&cold, &rec.result.as_ref().unwrap().dataset);
+}
+
+#[test]
+fn param_override_changes_deck_key_but_not_topology_key() {
+    let deck = rtd_mesh_param_deck(3);
+    let base = nanosim::circuit::parse_netlist(&deck).unwrap();
+    let over =
+        nanosim::circuit::parse_netlist_with_params(&deck, &[("rgrid".into(), 220.0)]).unwrap();
+    assert_ne!(
+        nanosim::serve::DeckKey::of(&base.circuit),
+        nanosim::serve::DeckKey::of(&over.circuit),
+        "value change must change the result-cache key"
+    );
+    assert_eq!(
+        nanosim::serve::TopologyKey::of(&base.circuit),
+        nanosim::serve::TopologyKey::of(&over.circuit),
+        "value change must keep the session-pool key"
+    );
+
+    // End to end: the override's runs must not answer from the base
+    // deck's result cache.
+    let mut svc = SimService::new(ServiceOptions::default());
+    let a = svc.submit(&deck).unwrap();
+    let b = svc
+        .submit_opts(&deck, &[("rgrid".into(), 220.0)], None)
+        .unwrap();
+    let rec_b = svc.result(b[0]).unwrap();
+    assert_ne!(rec_b.cache, CacheDisposition::ResultHit);
+    let rec_a = svc.result(a[0]).unwrap();
+    let va = rec_a.result.as_ref().unwrap().dataset.clone();
+    let vb = svc
+        .result(b[0])
+        .unwrap()
+        .result
+        .as_ref()
+        .unwrap()
+        .dataset
+        .clone();
+    assert_ne!(
+        va.column("g0_0").unwrap(),
+        vb.column("g0_0").unwrap(),
+        "different resistances must produce different node voltages"
+    );
+}
+
+#[test]
+fn warm_session_resubmit_pays_zero_full_factors() {
+    let deck = rtd_mesh_param_deck(4);
+    let mut svc = SimService::new(ServiceOptions::default());
+    let first = svc.submit(&deck).unwrap();
+    let cold_full_factors = svc.stats().full_factors;
+    assert!(cold_full_factors > 0, "cold run must factor at least once");
+    assert_eq!(svc.status(first[0]).unwrap().cache, CacheDisposition::Cold);
+
+    // New values, same pattern: the pooled session rebinds and only
+    // refactors — ServeStats reports zero *new* full factors.
+    let second = svc
+        .submit_opts(&deck, &[("rgrid".into(), 150.0)], None)
+        .unwrap();
+    let rec = svc.status(second[0]).unwrap();
+    assert_eq!(rec.cache, CacheDisposition::WarmSession);
+    assert_eq!(rec.full_factors, 0, "warm session must not re-factor");
+    assert!(rec.refactors > 0, "warm session refactors instead");
+    assert_eq!(
+        svc.stats().full_factors,
+        cold_full_factors,
+        "second same-topology submit reports 0 new full factors"
+    );
+    assert_eq!(svc.stats().session_warm, 1);
+    assert_eq!(svc.sessions(), 1, "one pooled session serves both decks");
+}
+
+#[test]
+fn store_evicts_payloads_by_bytes_but_keeps_run_metadata() {
+    let opts = ServiceOptions {
+        store_capacity_bytes: 1, // room for exactly one payload (min kept)
+        ..ServiceOptions::default()
+    };
+    let mut svc = SimService::new(opts);
+    let a = svc
+        .submit("V1 in 0 DC 1\nR1 in out 100\nR2 out 0 100\n.op\n.end\n")
+        .unwrap();
+    let b = svc
+        .submit("V1 in 0 DC 1\nR1 in out 100\nR2 out 0 220\n.op\n.end\n")
+        .unwrap();
+
+    // The first payload was evicted to admit the second.
+    let rec = svc.status(a[0]).unwrap();
+    assert!(rec.evicted, "status still answers for evicted runs");
+    assert!(matches!(rec.status, RunStatus::Done));
+    let err = svc.result(a[0]).expect_err("payload is gone");
+    assert_eq!(err.kind(), "evicted");
+    assert!(svc.result(b[0]).unwrap().result.is_some());
+    assert!(svc.stats().store_evictions > 0);
+
+    // Explicit eviction still works and is idempotent.
+    assert!(svc.evict(b[0]).unwrap());
+    assert!(!svc.evict(b[0]).unwrap());
+}
+
+#[test]
+fn batch_grid_shares_one_pooled_session() {
+    let deck = rtd_mesh_param_deck(3);
+    let grid = param_grid(&[("rgrid".into(), vec![50.0, 100.0, 150.0])]);
+    let mut svc = SimService::new(ServiceOptions::default());
+    let ids = svc
+        .batch(&BatchRequest {
+            deck,
+            grid,
+            workers: None,
+        })
+        .unwrap();
+    assert_eq!(ids.len(), 3, "one run per grid point");
+    for id in &ids {
+        let rec = svc.status(*id).unwrap();
+        assert!(matches!(rec.status, RunStatus::Done), "run {id:?} failed");
+    }
+    assert_eq!(svc.stats().session_cold, 1, "only the first point is cold");
+    assert_eq!(svc.stats().session_warm, 2, "the rest rebind the session");
+    assert_eq!(svc.sessions(), 1);
+    assert_eq!(svc.stats().batches, 1);
+}
+
+#[test]
+fn preflight_failing_deck_yields_structured_failed_run() {
+    // R2/R3 form a two-node island with no DC path to ground: parses fine,
+    // fails preflight at session construction.
+    let deck = "V1 a 0 DC 1\nR1 a 0 100\nR2 x y 100\nR3 y x 100\n.op\n.end\n";
+    let mut svc = SimService::new(ServiceOptions::default());
+    let ids = svc.submit(deck).unwrap();
+    let rec = svc.status(ids[0]).unwrap();
+    let RunStatus::Failed { error } = &rec.status else {
+        panic!("expected a failed run, got {:?}", rec.status);
+    };
+    assert!(
+        error.preflight_report().is_some(),
+        "failure must carry the lint report, got: {error}"
+    );
+
+    // Through the JSON-lines front-end the same deck is a structured
+    // "failed" run summary, not a transport error.
+    let mut svc = SimService::new(ServiceOptions::default());
+    let line = format!(
+        "{{\"cmd\":\"submit\",\"deck\":{}}}",
+        nanosim::serve::Json::Str(deck.to_string()).render()
+    );
+    let response = handle_line(&mut svc, &line);
+    assert!(response.contains("\"ok\":true"), "{response}");
+    assert!(response.contains("\"status\":\"failed\""), "{response}");
+    assert!(response.contains("\"preflight\""), "{response}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random junk lines — arbitrary ASCII, often unbalanced JSON — must
+    /// always produce a structured error response and leave the service
+    /// usable.
+    #[test]
+    fn junk_lines_get_structured_errors(bytes in proptest::collection::vec(0u32..128, 0..60)) {
+        let line: String = bytes
+            .iter()
+            .filter_map(|&b| char::from_u32(b))
+            .collect();
+        let mut svc = SimService::new(ServiceOptions::default());
+        let response = handle_line(&mut svc, &line);
+        let parsed = nanosim::serve::json::parse(&response)
+            .expect("response is always valid JSON");
+        prop_assert!(
+            parsed.get("ok").is_some(),
+            "response lacks ok field: {response}"
+        );
+        // The service survives: a well-formed submit still works.
+        let good = "{\"cmd\":\"submit\",\"deck\":\"V1 a 0 DC 1\\nR1 a 0 100\\n.op\\n.end\\n\"}";
+        let after = handle_line(&mut svc, good);
+        prop_assert!(after.contains("\"ok\":true"), "{after}");
+    }
+}
