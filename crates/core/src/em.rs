@@ -51,7 +51,7 @@ use crate::{Result, SimError};
 use nanosim_circuit::Circuit;
 use nanosim_numeric::parallel::try_par_map;
 use nanosim_numeric::rng::Pcg64;
-use nanosim_numeric::sparse::SparseLu;
+use nanosim_numeric::sparse::{BatchedLu, CsrMatrix, OrderingChoice, PivotStrategy, SparseLu};
 use nanosim_numeric::stats::{percentile, RunningStats};
 use nanosim_numeric::FlopCounter;
 use nanosim_sde::wiener::WienerPath;
@@ -80,6 +80,16 @@ pub struct EmOptions {
     /// `1` = serial. Results are bit-identical for every setting (see the
     /// module docs), so this is purely a wall-clock knob.
     pub threads: usize,
+    /// Relative per-path device-parameter spread `s` (`0 ≤ s < 1`). Each
+    /// Monte-Carlo path scales every capacitance entry and the conductance
+    /// stamp by independent factors drawn uniformly from `[1-s, 1+s]`
+    /// (path-ordered stream seeded from [`EmOptions::seed`]). With
+    /// `s > 0` every chunk factors its paths' distinct `C` matrices as one
+    /// interleaved [`BatchedLu`] batch and advances them in lockstep;
+    /// `s = 0` (the default) keeps the single shared factorization and is
+    /// bit-identical to previous behavior. Ignored by
+    /// [`EmEngine::run_with_paths`], which integrates nominal parameters.
+    pub param_spread: f64,
 }
 
 impl Default for EmOptions {
@@ -91,6 +101,7 @@ impl Default for EmOptions {
             update_geq: true,
             gmin: 1e-12,
             threads: 0,
+            param_spread: 0.0,
         }
     }
 }
@@ -273,6 +284,14 @@ impl EmEngine {
                 context: "em needs at least one path".into(),
             });
         }
+        if !(0.0..1.0).contains(&self.opts.param_spread) {
+            return Err(SimError::InvalidConfig {
+                context: format!(
+                    "em needs 0 <= param_spread < 1 (got {})",
+                    self.opts.param_spread
+                ),
+            });
+        }
         let t0 = Instant::now();
         let mats = self.prepare(circuit)?;
         let dim = mats.mna.dim();
@@ -281,9 +300,27 @@ impl EmEngine {
         let mut stats = EngineStats::new();
         let mut flops = FlopCounter::new();
 
-        // Factor C once; the factorization is immutable and shared by every
-        // worker (each solves into its own buffers).
-        let c_lu = SparseLu::factor(&mats.c_csr, &mut flops)?;
+        // Per-path parameter variation, drawn in path order from its own
+        // seed-derived stream so enabling it never perturbs the noise RNGs.
+        let variation = if self.opts.param_spread > 0.0 {
+            Some(PathVariation::build(
+                &mats,
+                paths,
+                self.opts.param_spread,
+                self.opts.seed,
+            ))
+        } else {
+            None
+        };
+        // Nominal parameters: factor C once; the factorization is immutable
+        // and shared by every worker (each solves into its own buffers).
+        // With per-path spread each chunk instead factors its paths' C
+        // matrices as one interleaved batch.
+        let c_lu = if variation.is_none() {
+            Some(SparseLu::factor(&mats.c_csr, &mut flops)?)
+        } else {
+            None
+        };
         let names = mna_var_names(&mats.mna);
         let times: Vec<f64> = (0..=steps).map(|k| k as f64 * self.opts.dt).collect();
 
@@ -296,7 +333,14 @@ impl EmEngine {
         let chunks = try_par_map(n_chunks, self.opts.threads, |ci| {
             let lo = ci * PATH_CHUNK;
             let hi = paths.min(lo + PATH_CHUNK);
-            self.simulate_chunk(&mats, &c_lu, steps, &path_rngs[lo..hi], lo == 0)
+            self.simulate_chunk(
+                &mats,
+                c_lu.as_ref(),
+                steps,
+                &path_rngs[lo..hi],
+                lo,
+                variation.as_ref(),
+            )
         })?;
 
         // Order-deterministic reduction: Welford-merge chunk accumulators
@@ -414,10 +458,11 @@ impl EmEngine {
         ))
     }
 
-    /// Simulates one chunk of consecutive paths, streaming every sample into
-    /// chunk-local Welford accumulators (`welford[i * (steps+1) + k]`) and
-    /// per-path running maxima. `record_sample` captures the first path's
-    /// series (the Figure 10 "one realization").
+    /// Simulates one chunk of consecutive paths (global indices
+    /// `lo..lo + path_rngs.len()`), streaming every sample into chunk-local
+    /// Welford accumulators (`welford[i * (steps+1) + k]`) and per-path
+    /// running maxima. The first chunk (`lo == 0`) captures the first
+    /// path's series (the Figure 10 "one realization").
     ///
     /// Paths advance in **lockstep**: at each time step every path's
     /// right-hand side is assembled (each with its own generator and
@@ -426,20 +471,48 @@ impl EmEngine {
     /// all — amortizing the factor traversal across the chunk. For every
     /// `(variable, step)` accumulator the paths still push in ascending
     /// path order, so the reduction is bit-identical to per-path stepping.
+    ///
+    /// With `variation` set the chunk instead factors its paths' distinct
+    /// capacitance matrices once as one interleaved [`BatchedLu`] batch and
+    /// each step runs a single lane-parallel batched solve — one elimination
+    /// traversal per step for the whole chunk instead of a refactor per
+    /// path switch.
     fn simulate_chunk(
         &self,
         mats: &CircuitMatrices,
-        c_lu: &SparseLu,
+        c_lu: Option<&SparseLu>,
         steps: usize,
         path_rngs: &[Pcg64],
-        record_sample: bool,
+        lo: usize,
+        variation: Option<&PathVariation>,
     ) -> Result<ChunkStats> {
+        let record_sample = lo == 0;
         let dim = mats.mna.dim();
         let npaths = path_rngs.len();
         let sqrt_dt = self.opts.dt.sqrt();
         let mut state = PathState::new(mats);
         let mut stats = EngineStats::new();
         let mut flops = FlopCounter::new();
+
+        // Per-path C factors advance as one interleaved batch.
+        let batch = match variation {
+            Some(var) => {
+                let before = flops.total();
+                let lane_mats: Vec<&CsrMatrix> = var.cap_mats[lo..lo + npaths].iter().collect();
+                let b = BatchedLu::factor_ordered(
+                    &lane_mats,
+                    OrderingChoice::Natural,
+                    PivotStrategy::default(),
+                    &mut flops,
+                )?;
+                stats.full_factors += 1;
+                stats.batched_factors += 1;
+                stats.factor_flops += flops.total() - before;
+                stats.min_recip_pivot = stats.min_recip_pivot.min(b.min_recip_pivot());
+                Some(b)
+            }
+            None => None,
+        };
         let mut welford = vec![RunningStats::new(); dim * (steps + 1)];
         let mut maxima: Vec<Vec<f64>> = vec![Vec::with_capacity(npaths); dim];
         let mut sample: Option<Vec<Vec<f64>>> = None;
@@ -471,17 +544,32 @@ impl EmEngine {
                     *dw = sqrt_dt * rng.next_gaussian();
                 }
                 state.x.copy_from_slice(x);
-                self.assemble_rhs(mats, &mut state, t, self.opts.dt, &mut stats, &mut flops)?;
+                let g_scale = variation.map_or(1.0, |v| v.g_scale[lo + p]);
+                self.assemble_rhs(
+                    mats,
+                    &mut state,
+                    t,
+                    self.opts.dt,
+                    g_scale,
+                    &mut stats,
+                    &mut flops,
+                )?;
                 rhs_block[p * dim..(p + 1) * dim].copy_from_slice(&state.rhs);
             }
             // One factor traversal advances the whole chunk.
-            c_lu.solve_many_into(
-                &rhs_block,
-                npaths,
-                &mut delta_block,
-                &mut solve_work,
-                &mut flops,
-            )?;
+            match (&batch, c_lu) {
+                (Some(b), _) => {
+                    b.solve_all_into(&rhs_block, &mut delta_block, &mut solve_work, &mut flops)?
+                }
+                (None, Some(lu)) => lu.solve_many_into(
+                    &rhs_block,
+                    npaths,
+                    &mut delta_block,
+                    &mut solve_work,
+                    &mut flops,
+                )?,
+                (None, None) => unreachable!("run() factors C when no per-path variation is set"),
+            }
             stats.linear_solves += npaths as u64;
             for (p, (x, mv)) in xs.iter_mut().zip(max_v.iter_mut()).enumerate() {
                 for (i, xi) in x.iter_mut().enumerate() {
@@ -517,15 +605,18 @@ impl EmEngine {
     }
 
     /// Assembles one path's right-hand side
-    /// `rhs = (b - G(x)·x)·dt + B·dW` into `state.rhs` (`G` re-stamped at
-    /// the path's current state; the increments already in `state.dws`).
-    /// Shared by the serial stepper and the lockstep batched chunks.
+    /// `rhs = (b - g_scale·G(x)·x)·dt + B·dW` into `state.rhs` (`G`
+    /// re-stamped at the path's current state; the increments already in
+    /// `state.dws`). `g_scale` is the path's conductance spread factor;
+    /// `1.0` (nominal) is bit-identical to the unscaled assembly. Shared
+    /// by the serial stepper and the lockstep batched chunks.
     fn assemble_rhs(
         &self,
         mats: &CircuitMatrices,
         state: &mut PathState,
         t: f64,
         dt: f64,
+        g_scale: f64,
         stats: &mut EngineStats,
         flops: &mut FlopCounter,
     ) -> Result<()> {
@@ -558,9 +649,13 @@ impl EmEngine {
             .matrix()
             .matvec_into(&state.x, &mut state.gx, flops)?;
         for i in 0..dim {
-            state.rhs[i] = (state.rhs[i] - state.gx[i]) * dt;
+            // `1.0 * x == x` bitwise, so the nominal path is unchanged.
+            state.rhs[i] = (state.rhs[i] - g_scale * state.gx[i]) * dt;
         }
         flops.fma(dim as u64);
+        if g_scale != 1.0 {
+            flops.mul(dim as u64);
+        }
         for (nb, &dw) in mna.noise_bindings().iter().zip(state.dws.iter()) {
             for &(row, coeff) in &nb.rows {
                 state.rhs[row] += coeff * dw;
@@ -585,7 +680,7 @@ impl EmEngine {
         flops: &mut FlopCounter,
     ) -> Result<()> {
         let dim = mats.mna.dim();
-        self.assemble_rhs(mats, state, t, dt, stats, flops)?;
+        self.assemble_rhs(mats, state, t, dt, 1.0, stats, flops)?;
         // x += C^{-1} rhs.
         c_lu.solve_into(&state.rhs, &mut state.delta, &mut state.solve_work, flops)?;
         stats.linear_solves += 1;
@@ -594,6 +689,37 @@ impl EmEngine {
         }
         flops.add(dim as u64);
         Ok(())
+    }
+}
+
+/// Per-path parameter realizations for [`EmOptions::param_spread`]: the
+/// jittered capacitance matrix and conductance scale of every path, drawn
+/// in path order from a dedicated seed-derived stream (independent of the
+/// noise generators, so enabling spread never shifts the Wiener paths).
+#[derive(Debug)]
+struct PathVariation {
+    /// One capacitance matrix per path, identical sparsity pattern to the
+    /// nominal `C` (values jittered, structure untouched) — the contract
+    /// [`BatchedLu`] needs to interleave them into one factor batch.
+    cap_mats: Vec<CsrMatrix>,
+    /// Per-path conductance scale applied to `G·x` during RHS assembly.
+    g_scale: Vec<f64>,
+}
+
+impl PathVariation {
+    fn build(mats: &CircuitMatrices, paths: usize, spread: f64, seed: u64) -> Self {
+        let mut rng = Pcg64::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut cap_mats = Vec::with_capacity(paths);
+        let mut g_scale = Vec::with_capacity(paths);
+        for _ in 0..paths {
+            let mut c = mats.c_csr.clone();
+            for v in c.values_mut() {
+                *v *= 1.0 + spread * rng.uniform(-1.0, 1.0);
+            }
+            cap_mats.push(c);
+            g_scale.push(1.0 + spread * rng.uniform(-1.0, 1.0));
+        }
+        PathVariation { cap_mats, g_scale }
     }
 }
 
@@ -709,6 +835,76 @@ mod tests {
             ..EmOptions::default()
         });
         assert!(e.run(&ckt, 1e-9).is_err());
+        let e = EmEngine::new(EmOptions {
+            param_spread: 1.0,
+            ..EmOptions::default()
+        });
+        assert!(e.run(&ckt, 1e-9).is_err());
+        let e = EmEngine::new(EmOptions {
+            param_spread: -0.1,
+            ..EmOptions::default()
+        });
+        assert!(e.run(&ckt, 1e-9).is_err());
+    }
+
+    #[test]
+    fn param_spread_batches_factors_and_stays_thread_deterministic() {
+        // 21 paths over PATH_CHUNK=8 -> 3 chunks, each factoring its lanes
+        // as one interleaved batch. The chunk decomposition depends only on
+        // path indices, so the spread ensemble is bit-identical at every
+        // worker count, exactly like the nominal path. A coupling cap makes
+        // C non-diagonal so the batched elimination does real work.
+        let mut ckt = noisy_rc(1e-9, 1e-3);
+        let n = ckt.node("v");
+        let n2 = ckt.node("v2");
+        ckt.add_capacitor("Cc", n, n2, 2e-13).unwrap();
+        ckt.add_capacitor("C2", n2, Circuit::GROUND, 1e-12).unwrap();
+        ckt.add_resistor("R2", n2, Circuit::GROUND, 1e3).unwrap();
+        let opts = EmOptions {
+            dt: 5e-12,
+            paths: 21,
+            seed: 77,
+            threads: 1,
+            param_spread: 0.05,
+            ..EmOptions::default()
+        };
+        let serial = EmEngine::new(opts.clone()).run(&ckt, 1e-10).unwrap();
+        assert_eq!(serial.stats.batched_factors, 3);
+        assert_eq!(serial.stats.full_factors, 3);
+        assert!(serial.stats.factor_flops > 0);
+        // Spread jitters C and scales G per path: with drive the paths now
+        // disagree even before noise does.
+        let sd = serial.std_waveform("v").unwrap();
+        assert!(sd.final_value() > 0.0);
+        for threads in [2, 3, 8] {
+            let par = EmEngine::new(EmOptions {
+                threads,
+                ..opts.clone()
+            })
+            .run(&ckt, 1e-10)
+            .unwrap();
+            for name in par.names() {
+                let a = serial.mean_waveform(name).unwrap();
+                let b = par.mean_waveform(name).unwrap();
+                assert_eq!(a.values(), b.values(), "threads={threads} {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_spread_is_bitwise_nominal() {
+        // `param_spread: 0.0` must take the shared-factor path and produce
+        // exactly the stats/values of a build without the feature.
+        let ckt = noisy_rc(2e-9, 0.0);
+        let opts = EmOptions {
+            dt: 5e-12,
+            paths: 9,
+            seed: 5,
+            ..EmOptions::default()
+        };
+        let r = EmEngine::new(opts).run(&ckt, 1e-10).unwrap();
+        assert_eq!(r.stats.batched_factors, 0);
+        assert_eq!(r.stats.full_factors, 0);
     }
 
     #[test]

@@ -1,0 +1,537 @@
+//! Ensemble-batched LU: `k` same-pattern factorizations advanced as one
+//! interleaved batch.
+//!
+//! Monte-Carlo ensembles over device-parameter variation (the
+//! Euler–Maruyama paths of `nanosim-core::em` with per-path conductance
+//! jitter) factor `k` matrices that share one sparsity pattern, one fill
+//! ordering, and one pivot order — only the values differ, and they differ
+//! by a few percent. [`BatchedLu`] exploits that: a single **template**
+//! [`SparseLu`] (factored from lane 0 with fresh pivoting) fixes the
+//! structure, and the batch stores the `k` factors **lane-major** —
+//! `l_vals[p * k + r]` is lane `r`'s value at factor position `p` — so
+//! the values-only batched refactorization and the batched solve walk the
+//! symbolic structure *once* and update all `k` lanes per entry with
+//! contiguous unit-stride inner loops, the CPU analogue of a GPU
+//! `batched_lu`. Against `k` independent [`SparseLu::refactor`] passes
+//! this removes `k − 1` structure traversals per step; the arithmetic is
+//! **bit-identical** per lane (locked by `tests/mixed_precision.rs`), so
+//! batching is a pure layout transformation.
+//!
+//! Pivot health mirrors the tolerant scalar refactor: the pass completes
+//! through degraded pivots and reports the worst `|pivot| / column-max`
+//! ratio across all lanes, so callers keep the usual
+//! refinement-then-refactor ladder per ensemble.
+
+use super::kernels::{count_col_fma, nonzero_lanes};
+use super::lu::{PivotStrategy, SparseLu};
+use super::order::OrderingChoice;
+use super::CsrMatrix;
+use crate::error::NumericError;
+use crate::flops::FlopCounter;
+use crate::Result;
+
+/// `k` same-pattern sparse LU factorizations stored lane-major and
+/// advanced in lockstep (see the module docs).
+///
+/// # Example
+/// ```
+/// use nanosim_numeric::sparse::{BatchedLu, OrderingChoice, PivotStrategy, TripletMatrix};
+/// use nanosim_numeric::flops::FlopCounter;
+/// # fn main() -> Result<(), nanosim_numeric::NumericError> {
+/// let mut mats = Vec::new();
+/// for r in 0..3u32 {
+///     let mut t = TripletMatrix::new(2, 2);
+///     t.push(0, 0, 2.0 + r as f64);
+///     t.push(1, 1, 4.0);
+///     mats.push(t.to_csr());
+/// }
+/// let refs: Vec<&_> = mats.iter().collect();
+/// let mut flops = FlopCounter::new();
+/// let batch = BatchedLu::factor_ordered(
+///     &refs,
+///     OrderingChoice::Natural,
+///     PivotStrategy::default(),
+///     &mut flops,
+/// )?;
+/// // Lane-major RHS block: lane r's vector at b[r*n..][..n].
+/// let b = [2.0, 4.0, 3.0, 4.0, 4.0, 4.0];
+/// let mut x = Vec::new();
+/// let mut work = Vec::new();
+/// batch.solve_all_into(&b, &mut x, &mut work, &mut flops)?;
+/// assert_eq!(&x[..2], &[1.0, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchedLu {
+    /// Batch width `k`.
+    lanes: usize,
+    /// Lane-0 factorization fixing ordering, pivot order, and structure
+    /// for every lane; also the source of the pivot-space index maps.
+    template: SparseLu,
+    /// Lane-major factor values: `l_vals[p * lanes + r]`.
+    l_vals: Vec<f64>,
+    u_vals: Vec<f64>,
+    u_diag: Vec<f64>,
+    /// Lane-major scratch: shuffled input values and the dense working
+    /// columns (pivot space).
+    csc_vals: Vec<f64>,
+    work: Vec<f64>,
+    /// Worst `|pivot| / column-max` ratio across all lanes of the most
+    /// recent batched pass, and the pivot column where it occurred.
+    worst_ratio: f64,
+    worst_col: usize,
+}
+
+impl BatchedLu {
+    /// Factors `mats` (all sharing one sparsity pattern) as one batch:
+    /// a full pivoting factorization of `mats[0]` fixes the structure,
+    /// then one batched values-only pass populates every lane — lane 0
+    /// included, so all lanes go through identical code.
+    ///
+    /// # Errors
+    /// [`NumericError::PatternChanged`] when the matrices do not share
+    /// `mats[0]`'s pattern, [`NumericError::DimensionMismatch`] for an
+    /// empty batch, and the usual factorization errors for lane 0.
+    pub fn factor_ordered(
+        mats: &[&CsrMatrix],
+        ordering: OrderingChoice,
+        strategy: PivotStrategy,
+        flops: &mut FlopCounter,
+    ) -> Result<Self> {
+        let Some(first) = mats.first() else {
+            return Err(NumericError::DimensionMismatch {
+                context: "batched lu: empty batch".to_string(),
+            });
+        };
+        let template = SparseLu::factor_ordered(first, ordering, strategy, flops)?;
+        let k = mats.len();
+        let mut batch = BatchedLu {
+            lanes: k,
+            l_vals: vec![0.0; template.l_vals.len() * k],
+            u_vals: vec![0.0; template.u_vals.len() * k],
+            u_diag: vec![0.0; template.n * k],
+            csc_vals: vec![0.0; template.csc_vals.len() * k],
+            work: vec![0.0; template.n * k],
+            worst_ratio: f64::INFINITY,
+            worst_col: 0,
+            template,
+        };
+        batch.refactor_all(mats, flops)?;
+        Ok(batch)
+    }
+
+    /// Batched values-only refactorization: one structure traversal
+    /// updates all `k` lanes. Tolerant of degraded pivots (like
+    /// [`SparseLu::refactor_tolerant`]); returns the worst
+    /// `|pivot| / column-max` ratio across every lane.
+    ///
+    /// Per lane the arithmetic — including the zero-multiplier column
+    /// skips — is exactly the scalar refactorization's, so each lane's
+    /// factors are bit-identical to an independent [`SparseLu::refactor`]
+    /// of that lane's matrix.
+    ///
+    /// # Errors
+    /// [`NumericError::DimensionMismatch`] when `mats.len()` differs from
+    /// the batch width, [`NumericError::PatternChanged`] on a pattern
+    /// mismatch (detected up front), and
+    /// [`NumericError::SingularMatrix`] on an exactly zero or non-finite
+    /// pivot in any lane (aborts mid-pass; re-factor before solving).
+    pub fn refactor_all(&mut self, mats: &[&CsrMatrix], flops: &mut FlopCounter) -> Result<f64> {
+        let k = self.lanes;
+        if mats.len() != k {
+            return Err(NumericError::DimensionMismatch {
+                context: format!("batched lu: {} matrices for {} lanes", mats.len(), k),
+            });
+        }
+        for a in mats {
+            if !self.template.sym.matches(a) {
+                return Err(NumericError::PatternChanged {
+                    context: format!(
+                        "batched refactor of {}x{} ({} nnz) against analysis of {}x{} ({} nnz)",
+                        a.rows(),
+                        a.cols(),
+                        a.nnz(),
+                        self.template.n,
+                        self.template.n,
+                        self.template.sym.nnz()
+                    ),
+                });
+            }
+        }
+
+        // Shuffle every lane's values into permuted CSC order, lane-major.
+        for (r, a) in mats.iter().enumerate() {
+            for (p, &v) in a.values().iter().enumerate() {
+                self.csc_vals[self.template.sym.csr_to_csc[p] * k + r] = v;
+            }
+        }
+
+        let n = self.template.n;
+        let tpl = &self.template;
+        let plan = &tpl.plan;
+        let work = &mut self.work;
+        let mut worst_ratio = f64::INFINITY;
+        let mut worst_col = 0usize;
+        for j in 0..n {
+            // Zero the pivot-space working columns over this column's
+            // pattern, then scatter A'(:, j) for every lane.
+            for p in tpl.u_colptr[j]..tpl.u_colptr[j + 1] {
+                let row = tpl.u_rows[p];
+                work[row * k..(row + 1) * k].fill(0.0);
+            }
+            work[j * k..(j + 1) * k].fill(0.0);
+            for p in tpl.l_colptr[j]..tpl.l_colptr[j + 1] {
+                let row = plan.l_rows_piv[p] as usize;
+                work[row * k..(row + 1) * k].fill(0.0);
+            }
+            for p in tpl.sym.csc_colptr[j]..tpl.sym.csc_colptr[j + 1] {
+                let row = plan.csc_rows_piv[p] as usize;
+                work[row * k..(row + 1) * k].copy_from_slice(&self.csc_vals[p * k..(p + 1) * k]);
+            }
+
+            // Eliminate with already-final columns in ascending pivot
+            // order, all lanes per source column. `split_at_mut` separates
+            // the finished source slot from the rows it updates (L is
+            // strictly below the pivot, so every target row is > kk).
+            for p in tpl.u_colptr[j]..tpl.u_colptr[j + 1] {
+                let kk = tpl.u_rows[p];
+                let (head, tail) = work.split_at_mut((kk + 1) * k);
+                let uk = &head[kk * k..];
+                self.u_vals[p * k..(p + 1) * k].copy_from_slice(uk);
+                let nz = nonzero_lanes(uk);
+                if nz == 0 {
+                    continue;
+                }
+                let col_len = tpl.l_colptr[kk + 1] - tpl.l_colptr[kk];
+                if nz == k as u64 {
+                    // Every lane live: unguarded unit-stride lane loop.
+                    for q in tpl.l_colptr[kk]..tpl.l_colptr[kk + 1] {
+                        let row = plan.l_rows_piv[q] as usize;
+                        let lv = &self.l_vals[q * k..(q + 1) * k];
+                        let dst = &mut tail[(row - kk - 1) * k..(row - kk) * k];
+                        for ((d, &u), &l) in dst.iter_mut().zip(uk).zip(lv) {
+                            *d -= u * l;
+                        }
+                    }
+                } else {
+                    // Partially live: guard per lane so a zero multiplier
+                    // skips its column exactly like the scalar refactor
+                    // (keeps lane factors bit-identical, `-0.0` included).
+                    for q in tpl.l_colptr[kk]..tpl.l_colptr[kk + 1] {
+                        let row = plan.l_rows_piv[q] as usize;
+                        let lv = &self.l_vals[q * k..(q + 1) * k];
+                        let dst = &mut tail[(row - kk - 1) * k..(row - kk) * k];
+                        for ((d, &u), &l) in dst.iter_mut().zip(uk).zip(lv) {
+                            if u != 0.0 {
+                                *d -= u * l;
+                            }
+                        }
+                    }
+                }
+                flops.fma(col_len as u64 * nz);
+            }
+
+            // Fixed pivots, one per lane: health check and normalization.
+            let col_len = tpl.l_colptr[j + 1] - tpl.l_colptr[j];
+            for r in 0..k {
+                let pivot_val = work[j * k + r];
+                let mut col_max = pivot_val.abs();
+                for p in tpl.l_colptr[j]..tpl.l_colptr[j + 1] {
+                    let row = plan.l_rows_piv[p] as usize;
+                    col_max = col_max.max(work[row * k + r].abs());
+                }
+                if !pivot_val.is_finite() || pivot_val == 0.0 {
+                    return Err(NumericError::SingularMatrix { pivot: j });
+                }
+                let ratio = pivot_val.abs() / col_max;
+                if ratio < worst_ratio {
+                    worst_ratio = ratio;
+                    worst_col = j;
+                }
+                self.u_diag[j * k + r] = pivot_val;
+            }
+            for p in tpl.l_colptr[j]..tpl.l_colptr[j + 1] {
+                let row = plan.l_rows_piv[p] as usize;
+                for r in 0..k {
+                    self.l_vals[p * k + r] = work[row * k + r] / self.u_diag[j * k + r];
+                }
+            }
+            flops.div(col_len as u64 * k as u64);
+        }
+        self.worst_ratio = worst_ratio;
+        self.worst_col = worst_col;
+        Ok(worst_ratio)
+    }
+
+    /// Batched solve: lane `r` solves `A_r · x_r = b_r` against its own
+    /// factors. `b` and `x` are lane-major blocks of `k` vectors —
+    /// `b[r*n..][..n]` is lane `r`'s RHS in original MNA numbering (the
+    /// layout of [`SparseLu::solve_many_into`]). One structure traversal
+    /// serves every lane; flop accounting mirrors `k` independent scalar
+    /// solves (zero-multiplier columns skipped per lane).
+    ///
+    /// # Errors
+    /// [`NumericError::DimensionMismatch`] if `b.len() != k * n`.
+    pub fn solve_all_into(
+        &self,
+        b: &[f64],
+        x: &mut Vec<f64>,
+        work: &mut Vec<f64>,
+        flops: &mut FlopCounter,
+    ) -> Result<()> {
+        let k = self.lanes;
+        let n = self.template.n;
+        if b.len() != n * k {
+            return Err(NumericError::DimensionMismatch {
+                context: format!(
+                    "batched lu solve: rhs block of {} for n={} x k={}",
+                    b.len(),
+                    n,
+                    k
+                ),
+            });
+        }
+        x.resize(n * k, 0.0);
+        work.resize(n * k, 0.0);
+        let z = &mut work[..n * k];
+        let plan = &self.template.plan;
+        for i in 0..n {
+            let src = plan.in_perm[i];
+            for r in 0..k {
+                z[i * k + r] = b[r * n + src];
+            }
+        }
+        // Forward solve L·z = b' in pivot space, per-lane factor values.
+        for kk in 0..n {
+            let (head, tail) = z.split_at_mut((kk + 1) * k);
+            let vals = &head[kk * k..];
+            let nz = nonzero_lanes(vals);
+            if nz > 0 {
+                for p in self.template.l_colptr[kk]..self.template.l_colptr[kk + 1] {
+                    let row = plan.l_rows_piv[p] as usize;
+                    let lv = &self.l_vals[p * k..(p + 1) * k];
+                    let dst = &mut tail[(row - kk - 1) * k..(row - kk) * k];
+                    for ((d, &v), &l) in dst.iter_mut().zip(vals).zip(lv) {
+                        *d -= v * l;
+                    }
+                }
+                count_col_fma(
+                    flops,
+                    self.template.l_colptr[kk + 1] - self.template.l_colptr[kk],
+                    nz,
+                );
+            }
+        }
+        // Backward solve U·y = z.
+        for kk in (0..n).rev() {
+            for (v, d) in z[kk * k..(kk + 1) * k]
+                .iter_mut()
+                .zip(&self.u_diag[kk * k..(kk + 1) * k])
+            {
+                *v /= d;
+            }
+            flops.div(k as u64);
+            let (head, tail) = z.split_at_mut(kk * k);
+            let vals = &tail[..k];
+            let nz = nonzero_lanes(vals);
+            if nz > 0 {
+                for p in self.template.u_colptr[kk]..self.template.u_colptr[kk + 1] {
+                    let row = self.template.u_rows[p];
+                    let uv = &self.u_vals[p * k..(p + 1) * k];
+                    let dst = &mut head[row * k..(row + 1) * k];
+                    for ((d, &v), &u) in dst.iter_mut().zip(vals).zip(uv) {
+                        *d -= u * v;
+                    }
+                }
+                count_col_fma(
+                    flops,
+                    self.template.u_colptr[kk + 1] - self.template.u_colptr[kk],
+                    nz,
+                );
+            }
+        }
+        // Scatter out, undoing the fill permutation per lane.
+        for i in 0..n {
+            let dst = self.template.sym.fill_perm[i];
+            for r in 0..k {
+                x[r * n + dst] = z[i * k + r];
+            }
+        }
+        Ok(())
+    }
+
+    /// Batch width `k`.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Dimension of each factored matrix.
+    pub fn dim(&self) -> usize {
+        self.template.n
+    }
+
+    /// The lane-0 template factorization (structure, ordering and fill
+    /// diagnostics are shared by every lane).
+    pub fn template(&self) -> &SparseLu {
+        &self.template
+    }
+
+    /// Worst `|pivot| / column-max` ratio across all lanes of the most
+    /// recent batched pass.
+    pub fn min_recip_pivot(&self) -> f64 {
+        self.worst_ratio
+    }
+
+    /// Pivot column at which [`BatchedLu::min_recip_pivot`] occurred.
+    pub fn worst_pivot_col(&self) -> usize {
+        self.worst_col
+    }
+
+    /// De-interleaves lane `r`'s factor values `(l_vals, u_vals, u_diag)`
+    /// (hidden: lets the bit-identity tests compare against an
+    /// independent [`SparseLu`] refactor of the same matrix).
+    #[doc(hidden)]
+    pub fn lane_factors(&self, r: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let k = self.lanes;
+        let l = self.l_vals.iter().skip(r).step_by(k).copied().collect();
+        let u = self.u_vals.iter().skip(r).step_by(k).copied().collect();
+        let d = self.u_diag.iter().skip(r).step_by(k).copied().collect();
+        (l, u, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::TripletMatrix;
+
+    /// A small mesh-like test pattern with per-lane value jitter.
+    fn lane_matrices(n_side: usize, k: usize) -> Vec<CsrMatrix> {
+        let n = n_side * n_side;
+        (0..k)
+            .map(|r| {
+                let jitter = 0.03 * r as f64;
+                let mut t = TripletMatrix::new(n, n);
+                for row in 0..n_side {
+                    for col in 0..n_side {
+                        let i = row * n_side + col;
+                        t.push(i, i, 4.0 + jitter * ((i % 5) as f64 - 2.0));
+                        if col + 1 < n_side {
+                            t.push(i, i + 1, -1.0 - jitter);
+                            t.push(i + 1, i, -1.0 + 0.5 * jitter);
+                        }
+                        if row + 1 < n_side {
+                            t.push(i, i + n_side, -1.0 + jitter);
+                            t.push(i + n_side, i, -1.0 - 0.5 * jitter);
+                        }
+                    }
+                }
+                t.to_csr()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lane_factors_bit_identical_to_independent_refactors() {
+        for ordering in [OrderingChoice::Natural, OrderingChoice::Amd] {
+            let mats = lane_matrices(6, 5);
+            let refs: Vec<&CsrMatrix> = mats.iter().collect();
+            let mut flops = FlopCounter::new();
+            let batch =
+                BatchedLu::factor_ordered(&refs, ordering, PivotStrategy::default(), &mut flops)
+                    .unwrap();
+            // Independent baseline: factor lane 0 for the pivot order,
+            // then values-only refactor per lane — the exact scalar path
+            // the batch replaces.
+            let mut single =
+                SparseLu::factor_ordered(&mats[0], ordering, PivotStrategy::default(), &mut flops)
+                    .unwrap();
+            for (r, a) in mats.iter().enumerate() {
+                single.refactor_tolerant(a, &mut flops).unwrap();
+                let (l, u, d) = single.factor_values();
+                let (bl, bu, bd) = batch.lane_factors(r);
+                assert!(
+                    l.iter().zip(&bl).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "L mismatch lane {r} ({ordering:?})"
+                );
+                assert!(
+                    u.iter().zip(&bu).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "U mismatch lane {r} ({ordering:?})"
+                );
+                assert!(
+                    d.iter().zip(&bd).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "diag mismatch lane {r} ({ordering:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_solve_matches_independent_solves() {
+        let mats = lane_matrices(5, 4);
+        let refs: Vec<&CsrMatrix> = mats.iter().collect();
+        let n = mats[0].rows();
+        let mut flops = FlopCounter::new();
+        let batch = BatchedLu::factor_ordered(
+            &refs,
+            OrderingChoice::Amd,
+            PivotStrategy::default(),
+            &mut flops,
+        )
+        .unwrap();
+        let b: Vec<f64> = (0..n * 4)
+            .map(|i| ((i * 7 + 3) % 11) as f64 - 5.0)
+            .collect();
+        let mut x = Vec::new();
+        let mut work = Vec::new();
+        batch
+            .solve_all_into(&b, &mut x, &mut work, &mut flops)
+            .unwrap();
+        let mut single = SparseLu::factor_ordered(
+            &mats[0],
+            OrderingChoice::Amd,
+            PivotStrategy::default(),
+            &mut flops,
+        )
+        .unwrap();
+        for (r, a) in mats.iter().enumerate() {
+            single.refactor_tolerant(a, &mut flops).unwrap();
+            let xr = single.solve(&b[r * n..(r + 1) * n], &mut flops).unwrap();
+            for (i, (got, want)) in x[r * n..(r + 1) * n].iter().zip(&xr).enumerate() {
+                assert!(
+                    (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                    "lane {r} entry {i}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let mats: Vec<&CsrMatrix> = Vec::new();
+        assert!(BatchedLu::factor_ordered(
+            &mats,
+            OrderingChoice::Natural,
+            PivotStrategy::default(),
+            &mut FlopCounter::new(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn pattern_mismatch_rejected() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 4.0)]);
+        let b = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, 1.0), (1, 1, 4.0)]);
+        let mats = [&a, &b];
+        match BatchedLu::factor_ordered(
+            &mats,
+            OrderingChoice::Natural,
+            PivotStrategy::default(),
+            &mut FlopCounter::new(),
+        ) {
+            Err(NumericError::PatternChanged { .. }) => {}
+            other => panic!("expected PatternChanged, got {other:?}"),
+        }
+    }
+}

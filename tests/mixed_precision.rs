@@ -1,0 +1,237 @@
+//! Mixed-precision and batched-factorization acceptance gates.
+//!
+//! Three contracts, all CI-gated:
+//! - the mixed-precision solver path (f32 panel sweeps + f64 iterative
+//!   refinement) matches the f64 path to `1e-12` of solution scale over
+//!   random patterns and every ordering, and never falls back on healthy
+//!   mesh workloads;
+//! - `BatchedLu` k-way factors are **bit-identical** to `k` independent
+//!   f64 refactors of the same matrices, lane by lane;
+//! - EM ensembles with per-path parameter spread pay at least 1.3× fewer
+//!   factor flops per path through the interleaved batch than a shared
+//!   solver re-refactoring at every path switch would.
+
+use nanosim::core::em::{EmEngine, EmOptions};
+use nanosim_circuit::Circuit;
+use nanosim_devices::sources::SourceWaveform;
+use nanosim_numeric::flops::FlopCounter;
+use nanosim_numeric::solve::{LinearSolver, PrecisionMode, SparseLuSolver};
+use nanosim_numeric::sparse::{BatchedLu, CsrMatrix, OrderingChoice, PivotStrategy, SparseLu};
+use proptest::prelude::*;
+
+const ORDERINGS: [OrderingChoice; 3] = [
+    OrderingChoice::Natural,
+    OrderingChoice::Rcm,
+    OrderingChoice::Amd,
+];
+
+/// Strategy: a random diagonally dominant n × n sparse system (guaranteed
+/// nonsingular), a batch width, and per-lane value jitters.
+#[allow(clippy::type_complexity)]
+fn dominant_system() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>, Vec<f64>, usize)> {
+    (4usize..24, 2usize..6).prop_flat_map(|(n, k)| {
+        let offdiag = proptest::collection::vec(((0..n), (0..n), -2.0f64..2.0), 0..(n * 3));
+        let rhs = proptest::collection::vec(-10.0f64..10.0, n);
+        (Just(n), offdiag, rhs, Just(k)).prop_map(|(n, off, rhs, k)| {
+            let mut entries: Vec<(usize, usize, f64)> = Vec::new();
+            let mut rowsum = vec![0.0f64; n];
+            for &(r, c, v) in &off {
+                if r != c {
+                    entries.push((r, c, v));
+                    rowsum[r] += v.abs();
+                }
+            }
+            for (i, rs) in rowsum.iter().enumerate() {
+                entries.push((i, i, rs + 1.0));
+            }
+            (n, entries, rhs, k)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mixed-precision solve + refinement matches the f64 solver to
+    /// `1e-12` of solution scale over random patterns and every ordering.
+    /// (Fallback to f64 is allowed here — random systems may be poorly
+    /// scaled — because the fallback *is* the f64 path; the no-fallback
+    /// guarantee on healthy decks is gated deterministically below.)
+    #[test]
+    fn mixed_solve_matches_f64((n, entries, rhs, _k) in dominant_system()) {
+        let a = CsrMatrix::from_triplets(n, n, &entries);
+        for choice in ORDERINGS {
+            let mut f64_solver = SparseLuSolver::with_ordering(choice);
+            let mut mixed = SparseLuSolver::with_ordering(choice);
+            mixed.set_precision(PrecisionMode::Mixed);
+            let mut flops = FlopCounter::new();
+            let (mut xf, mut xm) = (Vec::new(), Vec::new());
+            f64_solver.solve_into(&a, &rhs, &mut xf, &mut flops).unwrap();
+            mixed.solve_into(&a, &rhs, &mut xm, &mut flops).unwrap();
+            let scale = xf.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+            for (m, f) in xm.iter().zip(xf.iter()) {
+                prop_assert!(
+                    (m - f).abs() <= 1e-12 * scale,
+                    "{:?}: mixed {} vs f64 {} (scale {})", choice, m, f, scale
+                );
+            }
+            let stats = mixed.lu_stats();
+            prop_assert!(stats.f32_panel_solves > 0, "{:?}: f32 path never ran", choice);
+        }
+    }
+
+    /// `BatchedLu` k-way factors are bit-identical to `k` independent f64
+    /// refactors of the same matrices — values, diagonal, and pivot
+    /// health, lane by lane.
+    #[test]
+    fn batched_factors_bit_identical_to_independent((n, entries, _rhs, k) in dominant_system()) {
+        let base = CsrMatrix::from_triplets(n, n, &entries);
+        let lanes: Vec<CsrMatrix> = (0..k)
+            .map(|r| {
+                let mut m = base.clone();
+                for (i, v) in m.values_mut().iter_mut().enumerate() {
+                    *v *= 1.0 + 0.01 * (((i + r) % 7) as f64 - 3.0);
+                }
+                m
+            })
+            .collect();
+        let lane_refs: Vec<&CsrMatrix> = lanes.iter().collect();
+        for choice in ORDERINGS {
+            let batch = BatchedLu::factor_ordered(
+                &lane_refs, choice, PivotStrategy::default(), &mut FlopCounter::new(),
+            ).unwrap();
+            // Independent baseline: template factor of lane 0's matrix,
+            // then a values-only refactor per lane — the exact scalar
+            // work the batch interleaves.
+            for (r, mat) in lanes.iter().enumerate() {
+                let mut solo = SparseLu::factor_ordered(
+                    &lanes[0], choice, PivotStrategy::default(), &mut FlopCounter::new(),
+                ).unwrap();
+                solo.refactor_tolerant(mat, &mut FlopCounter::new()).unwrap();
+                let (bl, bu, bd) = batch.lane_factors(r);
+                let (sl, su, sd) = solo.factor_values();
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                prop_assert_eq!(bits(&bl), bits(sl), "{:?} lane {}: L values", choice, r);
+                prop_assert_eq!(bits(&bu), bits(su), "{:?} lane {}: U values", choice, r);
+                prop_assert_eq!(bits(&bd), bits(sd), "{:?} lane {}: U diagonal", choice, r);
+            }
+        }
+    }
+}
+
+/// Healthy golden-mesh workloads must never trip the precision fallback:
+/// the deterministic companion of the random-pattern accuracy proptest
+/// (and the same gate the CI bench smoke enforces on the full mesh
+/// family).
+#[test]
+fn mixed_precision_never_falls_back_on_healthy_mesh() {
+    // 12x12 five-point resistive mesh with dominant diagonal — the same
+    // structure as the Table I RTD mesh family.
+    let n = 12usize;
+    let dim = n * n;
+    let mut entries: Vec<(usize, usize, f64)> = Vec::new();
+    for r in 0..n {
+        for c in 0..n {
+            let i = r * n + c;
+            let mut diag = 4.0;
+            let link = |entries: &mut Vec<(usize, usize, f64)>, j: usize| {
+                entries.push((i, j, -1.0));
+            };
+            if c + 1 < n {
+                link(&mut entries, i + 1);
+            } else {
+                diag += 0.8;
+            }
+            if c > 0 {
+                link(&mut entries, i - 1);
+            }
+            if r + 1 < n {
+                link(&mut entries, i + n);
+            }
+            if r > 0 {
+                link(&mut entries, i - n);
+            }
+            entries.push((i, i, diag));
+        }
+    }
+    let a = CsrMatrix::from_triplets(dim, dim, &entries);
+    let b: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.37).sin()).collect();
+    for choice in ORDERINGS {
+        let mut mixed = SparseLuSolver::with_ordering(choice);
+        mixed.set_precision(PrecisionMode::Mixed);
+        let mut x = Vec::new();
+        let mut flops = FlopCounter::new();
+        for _ in 0..5 {
+            mixed.solve_into(&a, &b, &mut x, &mut flops).unwrap();
+        }
+        let stats = mixed.lu_stats();
+        assert_eq!(stats.precision_fallbacks, 0, "{choice:?}: fell back");
+        // Each solve pays one initial f32 sweep plus one f32 sweep per
+        // refinement iteration.
+        assert!(stats.f32_panel_solves >= 5, "{choice:?}: f32 path skipped");
+    }
+}
+
+/// EM ensembles with per-path parameter spread: the interleaved chunk
+/// batch must pay at least 1.3× fewer factor flops per path than the
+/// pre-batch alternative — a shared solver re-refactoring at every path
+/// switch, i.e. `steps × R` per path.
+#[test]
+fn em_param_spread_factor_flops_beat_path_switch_refactoring() {
+    // Two coupled RC nodes with a noise drive; the coupling capacitor
+    // makes C non-diagonal so factoring does real elimination work.
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.add_current_source(
+        "In",
+        Circuit::GROUND,
+        a,
+        SourceWaveform::white_noise(1e-3, 1e-9).unwrap(),
+    )
+    .unwrap();
+    ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+    ckt.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
+    ckt.add_capacitor("C1", a, Circuit::GROUND, 1e-12).unwrap();
+    ckt.add_capacitor("C2", b, Circuit::GROUND, 1e-12).unwrap();
+    ckt.add_capacitor("Cc", a, b, 2e-13).unwrap();
+
+    let dt = 1e-12;
+    let horizon = 1e-10; // 100 steps
+    let paths = 16usize; // 2 chunks of PATH_CHUNK = 8
+    let engine = EmEngine::new(EmOptions {
+        dt,
+        paths,
+        seed: 11,
+        threads: 1,
+        param_spread: 0.05,
+        ..EmOptions::default()
+    });
+    let result = engine.run(&ckt, horizon).unwrap();
+    let steps = (horizon / dt).round() as u64;
+    assert_eq!(result.stats.batched_factors, 2);
+    let per_path_batched = result.stats.factor_flops as f64 / paths as f64;
+
+    // Naive baseline: the same C pattern (node caps + coupling, MNA
+    // stamping), refactored once per path switch per step.
+    let c_mat = CsrMatrix::from_triplets(
+        2,
+        2,
+        &[
+            (0, 0, 1e-12 + 2e-13),
+            (1, 1, 1e-12 + 2e-13),
+            (0, 1, -2e-13),
+            (1, 0, -2e-13),
+        ],
+    );
+    let mut lu = SparseLu::factor(&c_mat, &mut FlopCounter::new()).unwrap();
+    let mut refac_flops = FlopCounter::new();
+    lu.refactor(&c_mat, &mut refac_flops).unwrap();
+    let per_path_naive = (steps * refac_flops.total()) as f64;
+
+    let ratio = per_path_naive / per_path_batched;
+    assert!(
+        ratio >= 1.3,
+        "batched {per_path_batched} vs per-switch {per_path_naive} flops/path ({ratio:.2}x)"
+    );
+}
