@@ -14,18 +14,24 @@
 //!                    masked responses against <dir>/expected.jsonl
 //!   --record <dir>   replay <dir>/requests.jsonl and rewrite
 //!                    <dir>/expected.jsonl with the masked responses
+//!   --chaos <dir>    replay <dir>/requests.jsonl through a service armed
+//!                    with seeded stall/pivot faults, tight run budgets and
+//!                    tiny admission limits; pass iff every line produces a
+//!                    response (zero panics) and the `budget_exceeded` and
+//!                    `shed` counters are both positive
 //!   -h, --help       this text
 //!
-//! exit status: 0 ok, 1 corpus mismatch, 2 usage/io error
+//! exit status: 0 ok, 1 corpus/chaos gate failure, 2 usage/io error
 //! ```
 
+use nanosim::core::Budget;
 use nanosim::serve::{handle_line, mask_volatile, ServiceOptions, SimService};
 use std::io::{BufRead, Write};
 use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() {
-    eprintln!("usage: nanosim-serve [--corpus <dir> | --record <dir>]");
+    eprintln!("usage: nanosim-serve [--corpus <dir> | --record <dir> | --chaos <dir>]");
 }
 
 /// Replays every request line through a fresh service and returns the
@@ -79,6 +85,47 @@ fn record_corpus(dir: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// `--chaos`: replay the corpus through a deliberately hostile service —
+/// seeded solver faults on every run, a tight default budget, and admission
+/// limits small enough to shed part of the corpus — and gate the robustness
+/// contract: every request line yields a structured response (no panics),
+/// at least one run dies on its budget, and at least one request is shed.
+fn chaos_corpus(dir: &Path) -> Result<bool, String> {
+    let requests = std::fs::read_to_string(dir.join("requests.jsonl"))
+        .map_err(|e| format!("{}: {e}", dir.join("requests.jsonl").display()))?;
+    let opts = ServiceOptions {
+        budget: Budget::unlimited()
+            .with_max_transient_steps(1)
+            .with_deadline(std::time::Duration::from_millis(250)),
+        max_deck_bytes: 64,
+        chaos_seed: Some(0xC4A0_5EED),
+        ..ServiceOptions::default()
+    };
+    let mut svc = SimService::new(opts);
+    let mut panics = 0usize;
+    let mut lines = 0usize;
+    for line in requests.lines() {
+        lines += 1;
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle_line(&mut svc, line)));
+        if outcome.is_err() {
+            panics += 1;
+            println!("line {lines} PANICKED: {line}");
+        }
+    }
+    let s = svc.stats();
+    println!(
+        "chaos: {lines} requests, {panics} panics, shed {}, budget_exceeded {}, \
+         deadline_timeouts {}, cancelled {}",
+        s.shed, s.budget_exceeded, s.deadline_timeouts, s.cancelled
+    );
+    let ok = panics == 0 && s.shed > 0 && s.budget_exceeded > 0;
+    if !ok {
+        println!("chaos gate FAILED (need zero panics, shed > 0, budget_exceeded > 0)");
+    }
+    Ok(ok)
+}
+
 /// Interactive mode: one response line per request line until EOF.
 fn serve_stdin() -> ExitCode {
     let mut svc = SimService::new(ServiceOptions::default());
@@ -107,16 +154,21 @@ fn serve_stdin() -> ExitCode {
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let mut corpus: Option<(String, bool)> = None;
+    let mut corpus: Option<(String, Mode)> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--corpus" | "--record" => {
+            "--corpus" | "--record" | "--chaos" => {
                 let Some(dir) = args.next() else {
                     eprintln!("{arg} needs a directory");
                     usage();
                     return ExitCode::from(2);
                 };
-                corpus = Some((dir, arg == "--record"));
+                let mode = match arg.as_str() {
+                    "--record" => Mode::Record,
+                    "--chaos" => Mode::Chaos,
+                    _ => Mode::Check,
+                };
+                corpus = Some((dir, mode));
             }
             "-h" | "--help" => {
                 usage();
@@ -131,12 +183,12 @@ fn main() -> ExitCode {
     }
     match corpus {
         None => serve_stdin(),
-        Some((dir, record)) => {
+        Some((dir, mode)) => {
             let dir = Path::new(&dir);
-            let outcome = if record {
-                record_corpus(dir).map(|()| true)
-            } else {
-                check_corpus(dir)
+            let outcome = match mode {
+                Mode::Record => record_corpus(dir).map(|()| true),
+                Mode::Check => check_corpus(dir),
+                Mode::Chaos => chaos_corpus(dir),
             };
             match outcome {
                 Ok(true) => ExitCode::SUCCESS,
@@ -148,4 +200,12 @@ fn main() -> ExitCode {
             }
         }
     }
+}
+
+/// Corpus-directory operating mode.
+#[derive(Clone, Copy)]
+enum Mode {
+    Check,
+    Record,
+    Chaos,
 }

@@ -53,7 +53,7 @@ use nanosim_numeric::parallel::try_par_map;
 use nanosim_numeric::rng::Pcg64;
 use nanosim_numeric::sparse::{BatchedLu, CsrMatrix, OrderingChoice, PivotStrategy, SparseLu};
 use nanosim_numeric::stats::{percentile, RunningStats};
-use nanosim_numeric::FlopCounter;
+use nanosim_numeric::{BudgetMeter, FlopCounter};
 use nanosim_sde::wiener::WienerPath;
 use std::time::Instant;
 
@@ -227,12 +227,25 @@ pub(crate) fn exceedance_of(maxima: &[f64], level: f64) -> f64 {
 #[derive(Debug, Clone, Default)]
 pub struct EmEngine {
     opts: EmOptions,
+    meter: BudgetMeter,
 }
 
 impl EmEngine {
     /// Creates the engine with the given options.
     pub fn new(opts: EmOptions) -> Self {
-        EmEngine { opts }
+        EmEngine {
+            opts,
+            meter: BudgetMeter::unlimited(),
+        }
+    }
+
+    /// Attaches a run budget. Checkpoints are placed per integration step
+    /// inside every path chunk, so cancellation and deadlines take effect
+    /// within one step's worth of work per worker.
+    #[must_use]
+    pub fn with_meter(mut self, meter: BudgetMeter) -> Self {
+        self.meter = meter;
+        self
     }
 
     /// The engine options.
@@ -300,6 +313,19 @@ impl EmEngine {
         let mut stats = EngineStats::new();
         let mut flops = FlopCounter::new();
 
+        // The result shape (mean + std-dev + sample series, per-path
+        // maxima) is known up front: charge it before any path work so a
+        // byte budget too small for the ensemble fails immediately and
+        // identically at every worker count.
+        let mut run_meter = self.meter.fork();
+        let result_f64s = (steps as u64 + 1) * (1 + 3 * dim as u64) + (paths as u64) * dim as u64;
+        run_meter.charge_bytes(8 * result_f64s).map_err(|stop| {
+            SimError::budget_exceeded(
+                stop,
+                format!("em ensemble of {paths} paths x {steps} steps"),
+            )
+        })?;
+
         // Per-path parameter variation, drawn in path order from its own
         // seed-derived stream so enabling it never perturbs the noise RNGs.
         let variation = if self.opts.param_spread > 0.0 {
@@ -330,6 +356,7 @@ impl EmEngine {
         let path_rngs: Vec<Pcg64> = (0..paths).map(|_| rng.split()).collect();
 
         let n_chunks = paths.div_ceil(PATH_CHUNK);
+        let chunk_meter = &run_meter;
         let chunks = try_par_map(n_chunks, self.opts.threads, |ci| {
             let lo = ci * PATH_CHUNK;
             let hi = paths.min(lo + PATH_CHUNK);
@@ -340,6 +367,7 @@ impl EmEngine {
                 &path_rngs[lo..hi],
                 lo,
                 variation.as_ref(),
+                chunk_meter,
             )
         })?;
 
@@ -431,12 +459,21 @@ impl EmEngine {
         let dt = wieners[0].dt();
         let mut stats = EngineStats::new();
         let mut flops = FlopCounter::new();
-        let c_lu = SparseLu::factor(&mats.c_csr, &mut flops)?;
         let dim = mats.mna.dim();
+        let mut run_meter = self.meter.fork();
+        run_meter
+            .charge_bytes(8 * (steps as u64 + 1) * (1 + dim as u64))
+            .map_err(|stop| {
+                SimError::budget_exceeded(stop, format!("em realization of {steps} steps"))
+            })?;
+        let c_lu = SparseLu::factor(&mats.c_csr, &mut flops)?;
         let mut state = PathState::new(&mats);
         let mut columns: Vec<Vec<f64>> = (0..dim).map(|i| vec![state.x[i]]).collect();
         let mut times = vec![0.0];
         for k in 0..steps {
+            run_meter.checkpoint().map_err(|stop| {
+                SimError::budget_exceeded(stop, format!("em realization at step {k}"))
+            })?;
             let t = k as f64 * dt;
             for (dw, w) in state.dws.iter_mut().zip(wieners.iter()) {
                 *dw = w.increment(k);
@@ -485,6 +522,7 @@ impl EmEngine {
         path_rngs: &[Pcg64],
         lo: usize,
         variation: Option<&PathVariation>,
+        meter: &BudgetMeter,
     ) -> Result<ChunkStats> {
         let record_sample = lo == 0;
         let dim = mats.mna.dim();
@@ -538,6 +576,12 @@ impl EmEngine {
             }
         }
         for k in 0..steps {
+            // Deterministic budget checkpoint: once per lockstep time step.
+            // `try_par_map` keeps the smallest failing chunk index, so a
+            // tripped budget reports the same chunk at every worker count.
+            meter.checkpoint().map_err(|stop| {
+                SimError::budget_exceeded(stop, format!("em paths {lo}.. at step {k}"))
+            })?;
             let t = k as f64 * self.opts.dt;
             for (p, (x, rng)) in xs.iter().zip(rngs.iter_mut()).enumerate() {
                 for dw in state.dws.iter_mut() {

@@ -2,7 +2,7 @@
 
 use crate::rescue::RescueTrace;
 use nanosim_circuit::{CircuitError, LintReport};
-use nanosim_numeric::NumericError;
+use nanosim_numeric::{BudgetStop, NumericError};
 use std::error::Error;
 use std::fmt;
 
@@ -59,6 +59,22 @@ pub enum SimError {
         /// rescue trace); `None` when the failing engine collects none.
         forensics: Option<Box<Forensics>>,
     },
+    /// The run was stopped at a budget checkpoint: cancelled, past its
+    /// deadline, or over an iteration/step/byte limit (see
+    /// [`nanosim_numeric::Budget`]). The payload names the tripped limit
+    /// and where the run stood; it carries no wall-clock values, so a run
+    /// killed by a deterministic budget produces a bit-identical error at
+    /// every worker count.
+    BudgetExceeded {
+        /// Which limit stopped the run.
+        stop: BudgetStop,
+        /// Deterministic checkpoint description ("dc sweep chunk 3",
+        /// "transient step", ...).
+        context: String,
+        /// Post-mortem payload (failing point/chunk, rescue trace);
+        /// `None` when the stopping checkpoint collects none.
+        forensics: Option<Box<Forensics>>,
+    },
     /// Adaptive step control pushed the time step below its minimum.
     StepSizeUnderflow {
         /// Simulation time at which the step collapsed.
@@ -108,6 +124,36 @@ impl SimError {
         }
     }
 
+    /// A [`SimError::BudgetExceeded`] without a forensics payload.
+    pub fn budget_exceeded(stop: BudgetStop, context: impl Into<String>) -> Self {
+        SimError::BudgetExceeded {
+            stop,
+            context: context.into(),
+            forensics: None,
+        }
+    }
+
+    /// A [`SimError::BudgetExceeded`] carrying a post-mortem payload.
+    pub fn budget_exceeded_with(
+        stop: BudgetStop,
+        context: impl Into<String>,
+        forensics: Forensics,
+    ) -> Self {
+        SimError::BudgetExceeded {
+            stop,
+            context: context.into(),
+            forensics: Some(Box::new(forensics)),
+        }
+    }
+
+    /// The budget stop reason, when this is a [`SimError::BudgetExceeded`].
+    pub fn budget_stop(&self) -> Option<BudgetStop> {
+        match self {
+            SimError::BudgetExceeded { stop, .. } => Some(*stop),
+            _ => None,
+        }
+    }
+
     /// A [`SimError::StepSizeUnderflow`] without a last-accepted summary.
     pub fn step_underflow(time: f64, step: f64) -> Self {
         SimError::StepSizeUnderflow {
@@ -131,6 +177,10 @@ impl SimError {
     pub fn forensics(&self) -> Option<&Forensics> {
         match self {
             SimError::NonConvergence {
+                forensics: Some(fx),
+                ..
+            }
+            | SimError::BudgetExceeded {
                 forensics: Some(fx),
                 ..
             } => Some(fx),
@@ -187,6 +237,26 @@ impl fmt::Display for SimError {
                     }
                     if let Some((name, r)) = fx.worst_nodes.first() {
                         write!(f, "; worst node {name} (residual {r:.3e})")?;
+                    }
+                    if !fx.rescue_trace.is_empty() {
+                        write!(f, "; rescue: {}", fx.rescue_trace)?;
+                    }
+                }
+                Ok(())
+            }
+            SimError::BudgetExceeded {
+                stop,
+                context,
+                forensics,
+            } => {
+                write!(f, "budget exceeded: {stop} at {context}")?;
+                if let Some(fx) = forensics {
+                    if let Some(idx) = fx.point_index {
+                        write!(f, " [sweep point {idx}")?;
+                        if let Some(v) = fx.sweep_value {
+                            write!(f, " = {v:.6e}")?;
+                        }
+                        write!(f, "]")?;
                     }
                     if !fx.rescue_trace.is_empty() {
                         write!(f, "; rescue: {}", fx.rescue_trace)?;
@@ -317,6 +387,42 @@ mod tests {
         assert!(SimError::from(CircuitError::EmptyCircuit)
             .preflight_report()
             .is_none());
+    }
+
+    #[test]
+    fn budget_exceeded_carries_stop_and_forensics() {
+        let e = SimError::budget_exceeded(BudgetStop::Cancelled, "dc sweep chunk 0");
+        assert_eq!(e.budget_stop(), Some(BudgetStop::Cancelled));
+        assert!(e.forensics().is_none());
+        assert!(
+            e.to_string().contains("cancelled at dc sweep chunk 0"),
+            "{e}"
+        );
+        let fx = Forensics {
+            point_index: Some(4),
+            sweep_value: Some(0.25),
+            ..Forensics::default()
+        };
+        let e = SimError::budget_exceeded_with(
+            BudgetStop::NewtonIterations { limit: 8 },
+            "dc sweep chunk 0",
+            fx,
+        );
+        assert_eq!(
+            e.budget_stop(),
+            Some(BudgetStop::NewtonIterations { limit: 8 })
+        );
+        assert_eq!(e.forensics().unwrap().point_index, Some(4));
+        let s = e.to_string();
+        assert!(s.contains("limit 8"), "{s}");
+        assert!(s.contains("sweep point 4"), "{s}");
+        // Identical stops compare equal — the determinism contract of
+        // budget-killed sharded runs.
+        let a = SimError::budget_exceeded(BudgetStop::DeadlineExceeded, "tran step");
+        let b = SimError::budget_exceeded(BudgetStop::DeadlineExceeded, "tran step");
+        assert_eq!(a, b);
+        assert!(a.budget_stop().is_some());
+        assert!(SimError::non_convergence(0.0, "x").budget_stop().is_none());
     }
 
     #[test]

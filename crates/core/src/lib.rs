@@ -74,6 +74,7 @@ pub mod waveform;
 
 pub use error::SimError;
 pub use nanosim_numeric::sparse::OrderingChoice;
+pub use nanosim_numeric::{Budget, BudgetMeter, BudgetStop, CancelToken, FaultPlan};
 pub use report::{EngineStats, HealthVerdict};
 pub use rescue::{RescueOptions, RescueRung, RescueTrace};
 pub use sim::{Analysis, AnalysisKind, Dataset, ExecPlan, PreflightMode, SimOptions, Simulator};

@@ -90,6 +90,13 @@ impl MlaEngine {
         }
     }
 
+    /// Attaches a run budget (forwarded to the underlying [`NrEngine`]).
+    #[must_use]
+    pub fn with_meter(mut self, meter: nanosim_numeric::BudgetMeter) -> Self {
+        self.inner = self.inner.with_meter(meter);
+        self
+    }
+
     /// The underlying Newton configuration.
     pub fn newton_options(&self) -> &NrOptions {
         self.inner.options()

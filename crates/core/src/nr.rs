@@ -29,7 +29,7 @@ use crate::{Result, SimError};
 use nanosim_circuit::{Circuit, MnaSystem};
 use nanosim_numeric::solve::LuStats;
 use nanosim_numeric::sparse::OrderingChoice;
-use nanosim_numeric::{FlopCounter, NumericError};
+use nanosim_numeric::{BudgetMeter, FlopCounter, NumericError};
 use std::time::Instant;
 
 /// Iterate-history window for cycle detection: [`detect_vector_cycle`]
@@ -183,12 +183,27 @@ pub struct NrTransientResult {
 #[derive(Debug, Clone, Default)]
 pub struct NrEngine {
     opts: NrOptions,
+    meter: BudgetMeter,
 }
 
 impl NrEngine {
     /// Creates the engine with the given options.
     pub fn new(opts: NrOptions) -> Self {
-        NrEngine { opts }
+        NrEngine {
+            opts,
+            meter: BudgetMeter::unlimited(),
+        }
+    }
+
+    /// Attaches a run budget / cancellation meter. Every analysis forks it,
+    /// so the deadline clock is shared with the caller while iteration and
+    /// step accounting stays local to each solve (see the determinism
+    /// contract in `nanosim_numeric::budget`). Without this the engine runs
+    /// on an inert unlimited meter.
+    #[must_use]
+    pub fn with_meter(mut self, meter: BudgetMeter) -> Self {
+        self.meter = meter;
+        self
     }
 
     /// The engine options.
@@ -234,8 +249,22 @@ impl NrEngine {
         let mut sweep = Vec::with_capacity(n_points);
         let mut outcomes = Vec::with_capacity(n_points);
 
+        // The result shape is known up front: charge it all before any work.
+        let mut run_meter = self.meter.fork();
+        run_meter
+            .charge_bytes(8 * (n_points as u64) * (1 + names.len() as u64))
+            .map_err(|stop| {
+                SimError::budget_exceeded(stop, format!("dc sweep of {n_points} points"))
+            })?;
+
         let mut x = vec![0.0; mats.mna.dim()];
         for k in 0..n_points {
+            run_meter
+                .checkpoint()
+                .map_err(|stop| SimError::budget_exceeded(stop, format!("dc sweep point {k}")))?;
+            // Iteration accounting restarts at every sweep point: the cap is
+            // per operating-point solve, a pure function of the point index.
+            let mut pm = run_meter.fork();
             let value = start + step * k as f64;
             let (mut x_new, mut outcome) = if self.opts.cold_start {
                 // Current/source stepping from zero at every point, as the
@@ -245,8 +274,15 @@ impl NrEngine {
                 let mut oc = NrOutcome::MaxIterations;
                 for s in 1..=ramp {
                     let v = value * s as f64 / ramp as f64;
-                    let (xi, oi) =
-                        self.solve_dc_ws(&mats, &mut ws, Some((source, v)), &xs, None, &mut stats)?;
+                    let (xi, oi) = self.solve_dc_ws(
+                        &mats,
+                        &mut ws,
+                        Some((source, v)),
+                        &xs,
+                        None,
+                        &mut stats,
+                        &mut pm,
+                    )?;
                     xs = xi;
                     oc = oi;
                     if !oc.is_converged() {
@@ -255,7 +291,15 @@ impl NrEngine {
                 }
                 (xs, oc)
             } else {
-                self.solve_dc_ws(&mats, &mut ws, Some((source, value)), &x, None, &mut stats)?
+                self.solve_dc_ws(
+                    &mats,
+                    &mut ws,
+                    Some((source, value)),
+                    &x,
+                    None,
+                    &mut stats,
+                    &mut pm,
+                )?
             };
             if !outcome.is_converged() && self.opts.source_steps > 1 {
                 // Source stepping: approach this point gradually from the
@@ -267,8 +311,15 @@ impl NrEngine {
                 for s in 1..=self.opts.source_steps {
                     let frac = s as f64 / self.opts.source_steps as f64;
                     let v = prev + (value - prev) * frac;
-                    let (xi, oi) =
-                        self.solve_dc_ws(&mats, &mut ws, Some((source, v)), &xs, None, &mut stats)?;
+                    let (xi, oi) = self.solve_dc_ws(
+                        &mats,
+                        &mut ws,
+                        Some((source, v)),
+                        &xs,
+                        None,
+                        &mut stats,
+                        &mut pm,
+                    )?;
                     xs = xi;
                     ok = oi.is_converged();
                     last_outcome = oi;
@@ -336,16 +387,27 @@ impl NrEngine {
         let mut stats = EngineStats::new();
         let mut ws = AssemblyWorkspace::new(&mats, true, true, OrderingChoice::default());
 
+        let mut run_meter = self.meter.fork();
+
         // DC operating point at t = 0 (with source stepping as fallback).
-        let (mut x, op_outcome) =
-            self.solve_dc_ws(&mats, &mut ws, None, &vec![0.0; dim], None, &mut stats)?;
+        let mut op_meter = run_meter.fork();
+        let (mut x, op_outcome) = self.solve_dc_ws(
+            &mats,
+            &mut ws,
+            None,
+            &vec![0.0; dim],
+            None,
+            &mut stats,
+            &mut op_meter,
+        )?;
         if !op_outcome.is_converged() {
             let mut xs = vec![0.0; dim];
             let steps = self.opts.source_steps.max(10);
             for s in 1..=steps {
                 let scale = s as f64 / steps as f64;
+                let mut sm = run_meter.fork();
                 let (xi, _) =
-                    self.solve_dc_ws(&mats, &mut ws, None, &xs, Some(scale), &mut stats)?;
+                    self.solve_dc_ws(&mats, &mut ws, None, &xs, Some(scale), &mut stats, &mut sm)?;
                 xs = xi;
             }
             x = xs;
@@ -361,8 +423,9 @@ impl NrEngine {
         while t < t_end {
             let mut h = tstep.min(tstop - t);
             loop {
+                let mut sm = run_meter.fork();
                 let (x_new, outcome) =
-                    self.solve_transient_step(&mats, &mut ws, &x, t, h, &mut stats)?;
+                    self.solve_transient_step(&mats, &mut ws, &x, t, h, &mut stats, &mut sm)?;
                 if outcome.is_converged() {
                     x = x_new;
                     break;
@@ -390,6 +453,12 @@ impl NrEngine {
             }
             t += h;
             stats.steps += 1;
+            run_meter
+                .tick_step()
+                .and_then(|()| run_meter.charge_bytes(8 * (1 + dim as u64)))
+                .map_err(|stop| {
+                    SimError::budget_exceeded(stop, format!("newton transient at t = {t:.3e} s"))
+                })?;
             times.push(t);
             for (i, c) in columns.iter_mut().enumerate() {
                 c.push(x[i]);
@@ -427,7 +496,10 @@ impl NrEngine {
         let mut trace = RescueTrace::new();
         let zeros = vec![0.0; dim];
 
-        let (x0, outcome) = self.solve_dc_ws(&mats, &mut ws, None, &zeros, None, &mut stats)?;
+        let run_meter = self.meter.fork();
+        let mut om = run_meter.fork();
+        let (x0, outcome) =
+            self.solve_dc_ws(&mats, &mut ws, None, &zeros, None, &mut stats, &mut om)?;
         let x = if outcome.is_converged() {
             x0
         } else if !self.opts.rescue.enabled {
@@ -436,7 +508,9 @@ impl NrEngine {
                 format!("newton operating point: {outcome:?} (rescue disabled)"),
             ));
         } else {
-            self.rescue_op(&mats, &mut ws, &zeros, &outcome, &mut trace, &mut stats)?
+            self.rescue_op(
+                &mats, &mut ws, &zeros, &outcome, &mut trace, &mut stats, &run_meter,
+            )?
         };
         stats.absorb_lu(&LuStats::default(), &ws.lu_stats());
         stats.elapsed = t0.elapsed();
@@ -454,16 +528,34 @@ impl NrEngine {
         outcome: &NrOutcome,
         trace: &mut RescueTrace,
         stats: &mut EngineStats,
+        meter: &BudgetMeter,
     ) -> Result<Vec<f64>> {
+        // Budget checkpoint at the foot of every rung: a cancelled or
+        // expired run stops *between* rungs, with the partial ladder trace
+        // attached as forensics.
+        let rung_gate = |rung: RescueRung, trace: &RescueTrace| -> Result<()> {
+            meter.checkpoint().map_err(|stop| {
+                SimError::budget_exceeded_with(
+                    stop,
+                    format!("rescue rung {rung}"),
+                    Forensics {
+                        rescue_trace: trace.clone(),
+                        ..Forensics::default()
+                    },
+                )
+            })
+        };
         let r = &self.opts.rescue;
         let damped = NrEngine::new(NrOptions {
             damping: r.damping,
             ..self.opts.clone()
-        });
+        })
+        .with_meter(meter.fork());
 
         // Rung 1 — damped retry from a cold start.
+        rung_gate(RescueRung::DampedRetry, trace)?;
         stats.rescue_rungs += 1;
-        let (x1, o1) = damped.solve_dc_ws(mats, ws, None, zeros, None, stats)?;
+        let (x1, o1) = damped.solve_dc_ws(mats, ws, None, zeros, None, stats, &mut meter.fork())?;
         if o1.is_converged() {
             trace.record(
                 RescueRung::DampedRetry,
@@ -479,12 +571,14 @@ impl NrEngine {
         // Rung 2 — gmin stepping: a diagonal shunt to ground relaxed a
         // decade at a time, each solve warm-started from the previous one,
         // then an unshunted confirmation solve.
+        rung_gate(RescueRung::GminStep, trace)?;
         stats.rescue_rungs += 1;
         let mut x = zeros.to_vec();
         let mut g = r.gmin_start;
         let mut ok = true;
         for _ in 0..r.gmin_steps.max(1) {
-            let (xi, oi) = damped.solve_dc_shunted_ws(mats, ws, &x, (g, zeros), stats)?;
+            let (xi, oi) =
+                damped.solve_dc_shunted_ws(mats, ws, &x, (g, zeros), stats, &mut meter.fork())?;
             ok = oi.is_converged();
             last = oi;
             if !ok {
@@ -494,7 +588,8 @@ impl NrEngine {
             g *= 0.1;
         }
         if ok {
-            let (xf, of) = damped.solve_dc_ws(mats, ws, None, &x, None, stats)?;
+            let (xf, of) =
+                damped.solve_dc_ws(mats, ws, None, &x, None, stats, &mut meter.fork())?;
             if of.is_converged() {
                 trace.record(
                     RescueRung::GminStep,
@@ -513,13 +608,15 @@ impl NrEngine {
         trace.record(RescueRung::GminStep, false, format!("{last:?}"));
 
         // Rung 3 — source stepping: ramp every source 0 → 1, warm-started.
+        rung_gate(RescueRung::SourceStep, trace)?;
         stats.rescue_rungs += 1;
         let steps = r.source_steps.max(1);
         let mut x = zeros.to_vec();
         let mut ok = true;
         for s in 1..=steps {
             let scale = s as f64 / steps as f64;
-            let (xi, oi) = damped.solve_dc_ws(mats, ws, None, &x, Some(scale), stats)?;
+            let (xi, oi) =
+                damped.solve_dc_ws(mats, ws, None, &x, Some(scale), stats, &mut meter.fork())?;
             ok = oi.is_converged();
             last = oi;
             if !ok {
@@ -538,6 +635,7 @@ impl NrEngine {
         // companion shunt decaying geometrically from 1 S to 1 pS,
         // anchored at the previous pseudo-state, then an unshunted
         // confirmation solve.
+        rung_gate(RescueRung::PseudoTransient, trace)?;
         stats.rescue_rungs += 1;
         let steps = r.ptran_steps.max(1);
         let mut x = zeros.to_vec();
@@ -546,7 +644,14 @@ impl NrEngine {
         let mut ok = true;
         for _ in 0..steps {
             let anchor = x.clone();
-            let (xi, oi) = damped.solve_dc_shunted_ws(mats, ws, &anchor, (g, &anchor), stats)?;
+            let (xi, oi) = damped.solve_dc_shunted_ws(
+                mats,
+                ws,
+                &anchor,
+                (g, &anchor),
+                stats,
+                &mut meter.fork(),
+            )?;
             ok = oi.is_converged();
             last = oi;
             if !ok {
@@ -556,7 +661,8 @@ impl NrEngine {
             g *= decay;
         }
         if ok {
-            let (xf, of) = damped.solve_dc_ws(mats, ws, None, &x, None, stats)?;
+            let (xf, of) =
+                damped.solve_dc_ws(mats, ws, None, &x, None, stats, &mut meter.fork())?;
             if of.is_converged() {
                 trace.record(
                     RescueRung::PseudoTransient,
@@ -595,11 +701,21 @@ impl NrEngine {
         stats: &mut EngineStats,
     ) -> Result<(Vec<f64>, NrOutcome)> {
         let mut ws = AssemblyWorkspace::new(mats, true, true, OrderingChoice::default());
-        self.solve_dc_ws(mats, &mut ws, override_src, x0, source_scale, stats)
+        let mut meter = self.meter.fork();
+        self.solve_dc_ws(
+            mats,
+            &mut ws,
+            override_src,
+            x0,
+            source_scale,
+            stats,
+            &mut meter,
+        )
     }
 
     /// [`NrEngine::solve_dc`] against a caller-owned [`AssemblyWorkspace`]
     /// (pattern, factorization and buffers reused across calls).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn solve_dc_ws(
         &self,
         mats: &CircuitMatrices,
@@ -608,8 +724,9 @@ impl NrEngine {
         x0: &[f64],
         source_scale: Option<f64>,
         stats: &mut EngineStats,
+        meter: &mut BudgetMeter,
     ) -> Result<(Vec<f64>, NrOutcome)> {
-        self.newton_loop(mats, ws, x0, None, stats, |mna, rhs, flops| {
+        self.newton_loop(mats, ws, x0, None, stats, meter, |mna, rhs, flops| {
             mna.stamp_rhs(0.0, rhs);
             if let Some((name, value)) = override_src {
                 override_source_rhs(mna, name, value, 0.0, rhs);
@@ -636,14 +753,24 @@ impl NrEngine {
         x0: &[f64],
         shunt: (f64, &[f64]),
         stats: &mut EngineStats,
+        meter: &mut BudgetMeter,
     ) -> Result<(Vec<f64>, NrOutcome)> {
-        self.newton_loop(mats, ws, x0, Some(shunt), stats, |mna, rhs, _flops| {
-            mna.stamp_rhs(0.0, rhs);
-            None
-        })
+        self.newton_loop(
+            mats,
+            ws,
+            x0,
+            Some(shunt),
+            stats,
+            meter,
+            |mna, rhs, _flops| {
+                mna.stamp_rhs(0.0, rhs);
+                None
+            },
+        )
     }
 
     /// One backward-Euler transient step solved with Newton.
+    #[allow(clippy::too_many_arguments)]
     fn solve_transient_step(
         &self,
         mats: &CircuitMatrices,
@@ -652,8 +779,9 @@ impl NrEngine {
         t: f64,
         h: f64,
         stats: &mut EngineStats,
+        meter: &mut BudgetMeter,
     ) -> Result<(Vec<f64>, NrOutcome)> {
-        self.newton_loop(mats, ws, x_prev, None, stats, |mna, rhs, flops| {
+        self.newton_loop(mats, ws, x_prev, None, stats, meter, |mna, rhs, flops| {
             mna.stamp_rhs(t + h, rhs);
             // rhs += (C/h) x_prev; the matrix side adds C/h stamps.
             mats.c_csr
@@ -671,6 +799,11 @@ impl NrEngine {
     /// matrix clone), reuses the cached LU via refactorization, and cycles a
     /// fixed set of buffers — zero heap allocations per iteration once the
     /// history window is warm.
+    ///
+    /// Every iteration charges `meter` before assembling, so a budgeted or
+    /// cancelled run stops at a deterministic iteration boundary with
+    /// [`SimError::BudgetExceeded`].
+    #[allow(clippy::too_many_arguments)]
     fn newton_loop<F>(
         &self,
         mats: &CircuitMatrices,
@@ -678,6 +811,7 @@ impl NrEngine {
         x0: &[f64],
         shunt: Option<(f64, &[f64])>,
         stats: &mut EngineStats,
+        meter: &mut BudgetMeter,
         prepare: F,
     ) -> Result<(Vec<f64>, NrOutcome)>
     where
@@ -701,6 +835,13 @@ impl NrEngine {
         let mut history: Vec<Vec<f64>> = vec![x.clone()];
 
         for iter in 0..self.opts.max_iterations {
+            if let Err(stop) = meter.tick_iteration() {
+                stats.flops += flops;
+                return Err(SimError::budget_exceeded(
+                    stop,
+                    format!("newton iteration {iter}"),
+                ));
+            }
             ws.begin();
             let h = prepare(mna, &mut rhs, &mut flops);
             if let Some(h) = h {

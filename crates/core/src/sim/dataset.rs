@@ -170,14 +170,25 @@ impl Dataset {
         ds
     }
 
-    /// Whether this dataset is the accepted prefix of a transient that
-    /// died of step-size underflow (only possible with
-    /// `SwecOptions::allow_partial` set).
+    /// Marks this dataset as the accepted prefix of a run that stopped
+    /// early (step-size underflow or an exhausted run budget under
+    /// `SwecOptions::allow_partial`); `at` is the last accepted axis value.
+    #[must_use]
+    pub fn truncated(mut self, at: f64) -> Self {
+        self.truncated_at = Some(at);
+        self
+    }
+
+    /// Whether this dataset is the accepted prefix of a run that stopped
+    /// early — a transient that died of step-size underflow or ran out of
+    /// budget, or a sharded sweep whose tail was budget-killed (only
+    /// possible with `SwecOptions::allow_partial` set).
     pub fn is_truncated(&self) -> bool {
         self.truncated_at.is_some()
     }
 
-    /// The time at which a truncated transient gave up.
+    /// The axis value (time, or last accepted sweep value) at which a
+    /// truncated run gave up.
     pub fn truncated_at(&self) -> Option<f64> {
         self.truncated_at
     }

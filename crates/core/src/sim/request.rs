@@ -120,6 +120,16 @@ impl DcSweep {
         self.plan = plan;
         self
     }
+
+    /// Opts into partial results: a sweep killed by a run budget returns
+    /// the accepted chunk prefix (marked truncated — see
+    /// [`crate::sim::Dataset::is_truncated`]) instead of an error, as long
+    /// as at least one chunk completed.
+    #[must_use]
+    pub fn allow_partial(mut self) -> Self {
+        self.options.allow_partial = true;
+        self
+    }
 }
 
 /// Builder for a SWEC transient.

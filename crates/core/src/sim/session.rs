@@ -18,10 +18,10 @@ use crate::swec::dc::DcBuffers;
 use crate::swec::{DcMode, SwecDcSweep, SwecTransient};
 use crate::{Result, SimError};
 use nanosim_circuit::Circuit;
-use nanosim_numeric::parallel::try_par_map;
+use nanosim_numeric::parallel::{try_par_map, try_par_map_partial};
 use nanosim_numeric::solve::{LuStats, PrecisionMode};
 use nanosim_numeric::sparse::OrderingChoice;
-use nanosim_numeric::FlopCounter;
+use nanosim_numeric::{Budget, BudgetMeter, CancelToken, FlopCounter};
 use std::time::Instant;
 
 /// Sweep points per shard chunk. Chunk boundaries are a function of the
@@ -135,6 +135,14 @@ pub struct Simulator {
     /// Preflight lint report computed at session construction (empty when
     /// [`PreflightMode::Off`]).
     preflight: nanosim_circuit::LintReport,
+    /// Run budget applied to every analysis (default: unlimited — the
+    /// budget machinery is completely inert and results are bit-identical
+    /// to an unbudgeted session).
+    budget: Budget,
+    /// Cooperative cancellation token shared with callers; tripping it
+    /// stops any running analysis at its next checkpoint with
+    /// [`SimError::BudgetExceeded`].
+    cancel: CancelToken,
 }
 
 impl Simulator {
@@ -179,7 +187,37 @@ impl Simulator {
             tran_ws: None,
             fault: None,
             preflight,
+            budget: Budget::unlimited(),
+            cancel: CancelToken::new(),
         })
+    }
+
+    /// Sets the run budget applied to every subsequent analysis. The
+    /// default is [`Budget::unlimited`]; with it, every checkpoint reduces
+    /// to one relaxed atomic load and results are bit-identical to an
+    /// unbudgeted session.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The session's run budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// The session's cancellation token. Clone it (cloning shares the
+    /// flag) and call [`CancelToken::cancel`] from another thread — or
+    /// before [`Simulator::run`] — to stop analyses at their next
+    /// deterministic checkpoint with [`SimError::BudgetExceeded`].
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Replaces the session's cancellation token (e.g. a service layer
+    /// installing one token per request so runs are individually
+    /// cancellable).
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
     }
 
     /// Rebinds the session to a new circuit, preserving warm solver state
@@ -326,12 +364,19 @@ impl Simulator {
     pub fn run(&mut self, analysis: impl Into<Analysis>) -> Result<Dataset> {
         let analysis = analysis.into();
         analysis.validate()?;
+        // One meter per run: the deadline clock starts here and is shared
+        // (via forks) by every engine, loop and sweep chunk the analysis
+        // spawns. A pre-cancelled token or zero deadline trips right away.
+        let meter = BudgetMeter::new(self.budget, self.cancel.clone());
+        meter
+            .checkpoint()
+            .map_err(|stop| SimError::budget_exceeded(stop, "analysis start"))?;
         let mut ds = match analysis {
-            Analysis::Op(op) => self.run_op(op),
-            Analysis::DcSweep(sweep) => self.run_dc_sweep(sweep),
-            Analysis::Transient(tran) => self.run_transient(tran),
-            Analysis::EmEnsemble(em) => self.run_em(em),
-            Analysis::Mla(mla) => self.run_mla(mla),
+            Analysis::Op(op) => self.run_op(op, &meter),
+            Analysis::DcSweep(sweep) => self.run_dc_sweep(sweep, &meter),
+            Analysis::Transient(tran) => self.run_transient(tran, &meter),
+            Analysis::EmEnsemble(em) => self.run_em(em, &meter),
+            Analysis::Mla(mla) => self.run_mla(mla, &meter),
             Analysis::Pwl(pwl) => self.run_pwl(pwl),
         }?;
         ds.stats.preflight_warnings = self.preflight.warning_count() as u64;
@@ -362,12 +407,12 @@ impl Simulator {
         }
     }
 
-    fn run_op(&mut self, op: Op) -> Result<Dataset> {
+    fn run_op(&mut self, op: Op, meter: &BudgetMeter) -> Result<Dataset> {
         let t0 = Instant::now();
         self.ensure_dc_ws();
         let ws = self.dc_ws.as_mut().expect("created above");
         let lu0 = ws.lu_stats();
-        let engine = SwecDcSweep::new(op.options);
+        let engine = SwecDcSweep::new(op.options).with_meter(meter.fork());
         let mut stats = EngineStats::new();
         let values = engine.solve_op_ws(&self.mats, ws, &mut stats)?;
         stats.absorb_lu(&lu0, &ws.lu_stats());
@@ -377,27 +422,29 @@ impl Simulator {
         Ok(Dataset::from_op("swec", names, values, stats))
     }
 
-    fn run_transient(&mut self, tran: Transient) -> Result<Dataset> {
+    fn run_transient(&mut self, tran: Transient, meter: &BudgetMeter) -> Result<Dataset> {
         self.ensure_tran_ws();
         self.ensure_dc_ws();
         let ws = self.tran_ws.as_mut().expect("created above");
         let op_ws = self.dc_ws.as_mut().expect("created above");
-        let engine = SwecTransient::new(tran.options);
+        let engine = SwecTransient::new(tran.options).with_meter(meter.fork());
         let result = engine.run_with(&self.mats, ws, Some(op_ws), tran.tstep, tran.tstop)?;
         Ok(Dataset::from_transient("swec", result))
     }
 
-    fn run_em(&mut self, em: EmEnsemble) -> Result<Dataset> {
+    fn run_em(&mut self, em: EmEnsemble, meter: &BudgetMeter) -> Result<Dataset> {
         let mut options = em.options;
         // The plan owns scheduling: Serial runs one worker, Sharded{n} runs
         // n (`ExecPlan::sharded(0)` already resolved auto at build time).
         options.threads = em.plan.workers();
-        let result = EmEngine::new(options).run(&self.circuit, em.horizon)?;
+        let result = EmEngine::new(options)
+            .with_meter(meter.fork())
+            .run(&self.circuit, em.horizon)?;
         Ok(Dataset::from_em(result))
     }
 
-    fn run_mla(&mut self, mla: Mla) -> Result<Dataset> {
-        let engine = MlaEngine::new(mla.options);
+    fn run_mla(&mut self, mla: Mla, meter: &BudgetMeter) -> Result<Dataset> {
+        let engine = MlaEngine::new(mla.options).with_meter(meter.fork());
         match mla.request {
             BaselineRequest::DcSweep {
                 source,
@@ -464,7 +511,7 @@ impl Simulator {
     /// batched multi-RHS solve ([`AssemblyWorkspace::factor_solve_many`])
     /// before the fan-out — one refactor and one factor traversal replace
     /// one refactor per chunk, bit-identically.
-    fn run_dc_sweep(&mut self, req: DcSweep) -> Result<Dataset> {
+    fn run_dc_sweep(&mut self, req: DcSweep, meter: &BudgetMeter) -> Result<Dataset> {
         let DcSweep {
             source,
             start,
@@ -482,6 +529,7 @@ impl Simulator {
         let t0 = Instant::now();
         self.ensure_dc_ws();
         let engine = SwecDcSweep::new(options);
+        let mut run_meter = meter.fork();
         let mut warm_stats = EngineStats::new();
         let warm_lu = {
             // Warm the session workspace with one assembly + solve at the
@@ -499,6 +547,7 @@ impl Simulator {
                 Some((&source, start)),
                 &x0,
                 &mut warm_stats,
+                &mut run_meter.fork(),
             )?;
             let warm_lu = ws.lu_stats();
             warm_stats.absorb_lu(&lu0, &warm_lu);
@@ -508,6 +557,20 @@ impl Simulator {
         let n_points = n_points.max(1) as usize;
         let values: Vec<f64> = (0..n_points).map(|k| start + step * k as f64).collect();
         let n_chunks = n_points.div_ceil(SWEEP_CHUNK);
+
+        // The result shape is known up front: charge the whole payload
+        // (axis + every output column) before any chunk work is fanned out,
+        // so a byte budget too small for the sweep fails immediately and
+        // identically at every worker count.
+        let n_cols = 1
+            + self.mats.mna.dim()
+            + self.mats.mna.nonlinear_bindings().len()
+            + self.mats.mna.mosfet_bindings().len();
+        run_meter
+            .charge_bytes(8 * (n_points as u64) * (n_cols as u64))
+            .map_err(|stop| {
+                SimError::budget_exceeded(stop, format!("dc sweep of {n_points} points"))
+            })?;
 
         // Every chunk past the first begins its continuation ramp at the
         // same state (`x = 0`, `Geq(0)` — exactly the warmed matrix), so
@@ -535,6 +598,7 @@ impl Simulator {
                 &ramp_values,
                 &x0,
                 &mut warm_stats,
+                &run_meter,
             )?;
             let warm_lu = ws.lu_stats();
             warm_stats.absorb_lu(&lu0, &warm_lu);
@@ -546,7 +610,8 @@ impl Simulator {
         let mats = &self.mats;
 
         let rescue_enabled = engine.options().rescue.enabled;
-        let chunks = try_par_map(n_chunks, plan.workers(), |ci| {
+        let chunk_meter = &run_meter;
+        let (chunks, failure) = try_par_map_partial(n_chunks, plan.workers(), |ci| {
             let lo = ci * SWEEP_CHUNK;
             let hi = n_points.min(lo + SWEEP_CHUNK);
             let seed = if ci > 0 {
@@ -566,6 +631,7 @@ impl Simulator {
                 hi,
                 seed,
                 WARM_START_RAMP,
+                chunk_meter,
             ) {
                 Ok(c) => Ok(c),
                 Err(SimError::NonConvergence { .. } | SimError::Numeric(_)) if rescue_enabled => {
@@ -575,6 +641,8 @@ impl Simulator {
                     // chunks never take this path, and the decision
                     // depends only on the chunk index — never the worker
                     // count — so sharded results stay bit-identical.
+                    // Budget stops are excluded: a chunk killed by the
+                    // budget must not burn 8x the work retrying.
                     match sweep_chunk(
                         &engine,
                         mats,
@@ -587,6 +655,7 @@ impl Simulator {
                         hi,
                         None,
                         WARM_START_RAMP * 8,
+                        chunk_meter,
                     ) {
                         Ok(mut c) => {
                             c.stats.rescues += 1;
@@ -598,15 +667,37 @@ impl Simulator {
                 }
                 Err(e) => Err(tag_chunk_failure(e, ci)),
             }
-        })?;
+        });
+
+        // Partial salvage: a sweep killed by its budget keeps the accepted
+        // chunk prefix when the caller opted in. `try_par_map_partial`
+        // reports the smallest failing chunk index, so chunks `0..fi` are
+        // all present and the salvaged prefix is bit-identical at every
+        // worker count. Non-budget failures (and budget stops with nothing
+        // accepted) propagate as errors exactly as before.
+        let (kept_chunks, truncated_after) = match failure {
+            None => (n_chunks, None),
+            Some((fi, e)) => {
+                let salvage = engine.options().allow_partial
+                    && matches!(e, SimError::BudgetExceeded { .. })
+                    && fi > 0;
+                if !salvage {
+                    return Err(e);
+                }
+                (fi, Some(values[fi * SWEEP_CHUNK - 1]))
+            }
+        };
 
         // Deterministic stitch: solutions and statistics in chunk order.
         let mut stats = warm_stats;
         let mut solutions: Vec<Vec<f64>> = Vec::with_capacity(n_points);
-        for chunk in chunks {
+        for chunk in chunks.into_iter().take(kept_chunks) {
+            let chunk = chunk.expect("chunks before the smallest failing index all succeeded");
             solutions.extend(chunk.xs);
             stats.merge(&chunk.stats);
         }
+        let mut values = values;
+        values.truncate(solutions.len());
 
         // Output columns: node voltages / branch currents, then per-device
         // currents (same layout as the legacy engine result).
@@ -640,14 +731,18 @@ impl Simulator {
         }
         stats.flops += flops;
         stats.elapsed = t0.elapsed();
-        Ok(Dataset::new(
+        let ds = Dataset::new(
             AnalysisKind::Dc,
             "swec",
             Axis::Sweep { source, values },
             names,
             columns,
             stats,
-        ))
+        );
+        Ok(match truncated_after {
+            Some(at) => ds.truncated(at),
+            None => ds,
+        })
     }
 }
 
@@ -670,6 +765,15 @@ fn tag_chunk_failure(e: SimError, ci: usize) -> SimError {
             context: format!("{context} [sweep chunk {ci}]"),
             forensics,
         },
+        SimError::BudgetExceeded {
+            stop,
+            context,
+            forensics,
+        } => SimError::BudgetExceeded {
+            stop,
+            context: format!("{context} [sweep chunk {ci}]"),
+            forensics,
+        },
         other => other,
     }
 }
@@ -687,6 +791,16 @@ fn tag_sweep_failure(e: SimError, k: usize, value: f64) -> SimError {
             fx.point_index = Some(k);
             fx.sweep_value = Some(value);
             SimError::non_convergence_with(at, context, fx)
+        }
+        SimError::BudgetExceeded {
+            stop,
+            context,
+            forensics,
+        } => {
+            let mut fx = forensics.map_or_else(Forensics::default, |b| *b);
+            fx.point_index = Some(k);
+            fx.sweep_value = Some(value);
+            SimError::budget_exceeded_with(stop, context, fx)
         }
         other => other,
     }
@@ -707,6 +821,7 @@ fn sweep_chunk(
     hi: usize,
     warm_seed: Option<&[f64]>,
     ramp_steps: usize,
+    meter: &BudgetMeter,
 ) -> Result<SweepChunk> {
     let mut ws = base_ws.clone();
     let mut buf = DcBuffers::default();
@@ -726,6 +841,9 @@ fn sweep_chunk(
     let mut x = vec![0.0; dim];
     if lo > 0 {
         let prev = values[lo - 1];
+        meter.checkpoint().map_err(|stop| {
+            SimError::budget_exceeded(stop, format!("dc sweep warm start for point {lo}"))
+        })?;
         // The first ramp point is normally computed centrally by the
         // batched multi-RHS warm start (bit-identical to solving it here);
         // the shard continues the ramp from that seed. On the finer-ramp
@@ -742,7 +860,15 @@ fn sweep_chunk(
             let frac = s as f64 / ramp_steps as f64;
             let v = sweep_start + (prev - sweep_start) * frac;
             x = engine
-                .solve_noniterative_ws(mats, &mut ws, &mut buf, Some((source, v)), &x, &mut stats)
+                .solve_noniterative_ws(
+                    mats,
+                    &mut ws,
+                    &mut buf,
+                    Some((source, v)),
+                    &x,
+                    &mut stats,
+                    &mut meter.fork(),
+                )
                 .map_err(|e| tag_sweep_failure(e, lo - 1, v))?;
         }
         match engine.solve_point_ws(
@@ -753,6 +879,7 @@ fn sweep_chunk(
             &x,
             None,
             &mut stats,
+            &mut meter.fork(),
         ) {
             Ok(x_new) => x = x_new,
             Err(SimError::NonConvergence { .. }) => {}
@@ -763,6 +890,9 @@ fn sweep_chunk(
     let mut xs = Vec::with_capacity(hi - lo);
     for k in lo..hi {
         let value = values[k];
+        meter
+            .checkpoint()
+            .map_err(|stop| SimError::budget_exceeded(stop, format!("dc sweep point {k}")))?;
         // Same per-point policy as the legacy serial engine: the very first
         // sweep point is always solved to self-consistency; afterwards the
         // non-iterative mode performs exactly one solve per point, and the
@@ -777,6 +907,7 @@ fn sweep_chunk(
                 &x,
                 None,
                 &mut stats,
+                &mut meter.fork(),
             ) {
                 Ok(x_new) => x_new,
                 Err(SimError::NonConvergence { .. }) if k > 0 => engine
@@ -787,6 +918,7 @@ fn sweep_chunk(
                         Some((source, value)),
                         &x,
                         &mut stats,
+                        &mut meter.fork(),
                     )
                     .map_err(|e| tag_sweep_failure(e, k, value))?,
                 Err(e) => return Err(tag_sweep_failure(e, k, value)),
@@ -800,6 +932,7 @@ fn sweep_chunk(
                     Some((source, value)),
                     &x,
                     &mut stats,
+                    &mut meter.fork(),
                 )
                 .map_err(|e| tag_sweep_failure(e, k, value))?
         };

@@ -23,7 +23,7 @@ use crate::{Result, SimError};
 use nanosim_circuit::Circuit;
 use nanosim_numeric::solve::LuStats;
 use nanosim_numeric::sparse::OrderingChoice;
-use nanosim_numeric::FlopCounter;
+use nanosim_numeric::{BudgetMeter, FlopCounter};
 use std::time::Instant;
 
 /// Reusable buffers of the DC fixed-point iteration; allocated once per run.
@@ -44,12 +44,25 @@ pub(crate) struct DcBuffers {
 #[derive(Debug, Clone, Default)]
 pub struct SwecDcSweep {
     opts: SwecOptions,
+    meter: BudgetMeter,
 }
 
 impl SwecDcSweep {
     /// Creates the engine with the given options.
     pub fn new(opts: SwecOptions) -> Self {
-        SwecDcSweep { opts }
+        SwecDcSweep {
+            opts,
+            meter: BudgetMeter::unlimited(),
+        }
+    }
+
+    /// Attaches a run budget / cancellation meter; analyses fork it so the
+    /// deadline clock is shared with the caller while iteration accounting
+    /// stays per-solve. Defaults to an inert unlimited meter.
+    #[must_use]
+    pub fn with_meter(mut self, meter: BudgetMeter) -> Self {
+        self.meter = meter;
+        self
     }
 
     /// The engine options.
@@ -96,8 +109,21 @@ impl SwecDcSweep {
         let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(n_points); names.len()];
         let mut sweep = Vec::with_capacity(n_points);
 
+        // The result shape is known up front: charge it all before any work.
+        let mut run_meter = self.meter.fork();
+        run_meter
+            .charge_bytes(8 * (n_points as u64) * (1 + names.len() as u64))
+            .map_err(|stop| {
+                SimError::budget_exceeded(stop, format!("dc sweep of {n_points} points"))
+            })?;
+
         let mut x = vec![0.0; mats.mna.dim()];
         for k in 0..n_points {
+            run_meter
+                .checkpoint()
+                .map_err(|stop| SimError::budget_exceeded(stop, format!("dc sweep point {k}")))?;
+            // Iteration accounting restarts at every point (per-solve cap).
+            let mut pm = run_meter.fork();
             let value = start + step * k as f64;
             // The first point is always solved to self-consistency (there is
             // no previous point to borrow Geq from); afterwards the
@@ -111,6 +137,7 @@ impl SwecDcSweep {
                     &x,
                     None,
                     &mut stats,
+                    &mut pm,
                 ) {
                     Ok(x_new) => x_new,
                     // At a genuine bistability fold the fixed point has no
@@ -123,6 +150,7 @@ impl SwecDcSweep {
                         Some((source, value)),
                         &x,
                         &mut stats,
+                        &mut run_meter.fork(),
                     )?,
                     Err(e) => return Err(e),
                 }
@@ -134,6 +162,7 @@ impl SwecDcSweep {
                     Some((source, value)),
                     &x,
                     &mut stats,
+                    &mut pm,
                 )?
             };
             sweep.push(value);
@@ -207,12 +236,22 @@ impl SwecDcSweep {
     ) -> Result<Vec<f64>> {
         let mut buf = DcBuffers::default();
         let x0 = vec![0.0; mats.mna.dim()];
-        match self.solve_point_ws(mats, ws, &mut buf, None, &x0, None, stats) {
+        let meter = self.meter.fork();
+        match self.solve_point_ws(
+            mats,
+            ws,
+            &mut buf,
+            None,
+            &x0,
+            None,
+            stats,
+            &mut meter.fork(),
+        ) {
             Ok(x) => Ok(x),
             Err(e @ (SimError::NonConvergence { .. } | SimError::Numeric(_)))
                 if self.opts.rescue.enabled =>
             {
-                self.rescue_op(mats, ws, &mut buf, stats, e)
+                self.rescue_op(mats, ws, &mut buf, stats, e, &meter)
             }
             Err(e) => Err(e),
         }
@@ -230,14 +269,41 @@ impl SwecDcSweep {
         buf: &mut DcBuffers,
         stats: &mut EngineStats,
         original: SimError,
+        meter: &BudgetMeter,
     ) -> Result<Vec<f64>> {
+        // Budget checkpoint at the foot of every rung: a cancelled or
+        // expired run stops *between* rungs with the partial trace attached.
+        let rung_gate = |rung: RescueRung, trace: &RescueTrace| -> Result<()> {
+            meter.checkpoint().map_err(|stop| {
+                SimError::budget_exceeded_with(
+                    stop,
+                    format!("rescue rung {rung}"),
+                    Forensics {
+                        rescue_trace: trace.clone(),
+                        ..Forensics::default()
+                    },
+                )
+            })
+        };
         let r = &self.opts.rescue;
         let zeros = vec![0.0; mats.mna.dim()];
         let mut trace = RescueTrace::new();
 
         // Rung 1 — damped retry: same cold start, heavier initial damping.
+        rung_gate(RescueRung::DampedRetry, &trace)?;
         stats.rescue_rungs += 1;
-        match self.solve_point_inner(mats, ws, buf, None, &zeros, None, r.damping, None, stats) {
+        match self.solve_point_inner(
+            mats,
+            ws,
+            buf,
+            None,
+            &zeros,
+            None,
+            r.damping,
+            None,
+            stats,
+            &mut meter.fork(),
+        ) {
             Ok(x) => {
                 trace.record(
                     RescueRung::DampedRetry,
@@ -247,14 +313,16 @@ impl SwecDcSweep {
                 stats.rescues += 1;
                 return Ok(x);
             }
+            Err(e @ SimError::BudgetExceeded { .. }) => return Err(e),
             Err(e) => trace.record(RescueRung::DampedRetry, false, e.to_string()),
         }
 
         // Rung 2 — gmin stepping: a shunt to ground on every node keeps the
         // fixed-point map contractive; relax it a decade at a time, then
         // confirm without it.
+        rung_gate(RescueRung::GminStep, &trace)?;
         stats.rescue_rungs += 1;
-        match self.gmin_continuation(mats, ws, buf, stats) {
+        match self.gmin_continuation(mats, ws, buf, stats, meter) {
             Ok(x) => {
                 trace.record(
                     RescueRung::GminStep,
@@ -264,14 +332,16 @@ impl SwecDcSweep {
                 stats.rescues += 1;
                 return Ok(x);
             }
+            Err(e @ SimError::BudgetExceeded { .. }) => return Err(e),
             Err(e) => trace.record(RescueRung::GminStep, false, e.to_string()),
         }
 
         // Rung 3 — source stepping: approach the bias from zero the way a
         // power-up transient would, so bistable circuits land on the
         // continuation branch.
+        rung_gate(RescueRung::SourceStep, &trace)?;
         stats.rescue_rungs += 1;
-        match self.source_continuation(mats, ws, buf, stats) {
+        match self.source_continuation(mats, ws, buf, stats, meter) {
             Ok(x) => {
                 trace.record(
                     RescueRung::SourceStep,
@@ -281,14 +351,16 @@ impl SwecDcSweep {
                 stats.rescues += 1;
                 return Ok(x);
             }
+            Err(e @ SimError::BudgetExceeded { .. }) => return Err(e),
             Err(e) => trace.record(RescueRung::SourceStep, false, e.to_string()),
         }
 
         // Rung 4 — pseudo-transient continuation: anchor each solve to the
         // previous pseudo-state through a decaying diagonal conductance
         // (a backward-Euler march with a growing implicit time step).
+        rung_gate(RescueRung::PseudoTransient, &trace)?;
         stats.rescue_rungs += 1;
-        match self.ptran_continuation(mats, ws, buf, stats) {
+        match self.ptran_continuation(mats, ws, buf, stats, meter) {
             Ok(x) => {
                 trace.record(
                     RescueRung::PseudoTransient,
@@ -298,6 +370,7 @@ impl SwecDcSweep {
                 stats.rescues += 1;
                 return Ok(x);
             }
+            Err(e @ SimError::BudgetExceeded { .. }) => return Err(e),
             Err(e) => trace.record(RescueRung::PseudoTransient, false, e.to_string()),
         }
 
@@ -325,6 +398,7 @@ impl SwecDcSweep {
         ws: &mut AssemblyWorkspace,
         buf: &mut DcBuffers,
         stats: &mut EngineStats,
+        meter: &BudgetMeter,
     ) -> Result<Vec<f64>> {
         let r = &self.opts.rescue;
         let zeros = vec![0.0; mats.mna.dim()];
@@ -341,10 +415,22 @@ impl SwecDcSweep {
                 r.damping,
                 Some((g, &zeros)),
                 stats,
+                &mut meter.fork(),
             )?;
             g *= 0.1;
         }
-        self.solve_point_inner(mats, ws, buf, None, &x, None, r.damping, None, stats)
+        self.solve_point_inner(
+            mats,
+            ws,
+            buf,
+            None,
+            &x,
+            None,
+            r.damping,
+            None,
+            stats,
+            &mut meter.fork(),
+        )
     }
 
     /// Source-stepping rung: ramp every independent source from zero to its
@@ -355,12 +441,22 @@ impl SwecDcSweep {
         ws: &mut AssemblyWorkspace,
         buf: &mut DcBuffers,
         stats: &mut EngineStats,
+        meter: &BudgetMeter,
     ) -> Result<Vec<f64>> {
         let steps = self.opts.rescue.source_steps.max(1);
         let mut x = vec![0.0; mats.mna.dim()];
         for s in 1..=steps {
             let scale = s as f64 / steps as f64;
-            x = self.solve_point_ws(mats, ws, buf, None, &x, Some(scale), stats)?;
+            x = self.solve_point_ws(
+                mats,
+                ws,
+                buf,
+                None,
+                &x,
+                Some(scale),
+                stats,
+                &mut meter.fork(),
+            )?;
         }
         Ok(x)
     }
@@ -377,6 +473,7 @@ impl SwecDcSweep {
         ws: &mut AssemblyWorkspace,
         buf: &mut DcBuffers,
         stats: &mut EngineStats,
+        meter: &BudgetMeter,
     ) -> Result<Vec<f64>> {
         let r = &self.opts.rescue;
         let steps = r.ptran_steps.max(1);
@@ -395,10 +492,22 @@ impl SwecDcSweep {
                 r.damping,
                 Some((g, &anchor)),
                 stats,
+                &mut meter.fork(),
             )?;
             g *= decay;
         }
-        self.solve_point_inner(mats, ws, buf, None, &x, None, r.damping, None, stats)
+        self.solve_point_inner(
+            mats,
+            ws,
+            buf,
+            None,
+            &x,
+            None,
+            r.damping,
+            None,
+            stats,
+            &mut meter.fork(),
+        )
     }
 
     /// One non-iterative SWEC step: stamp `Geq` at the previous solution
@@ -414,12 +523,14 @@ impl SwecDcSweep {
     ) -> Result<Vec<f64>> {
         let mut ws = AssemblyWorkspace::new(mats, false, false, OrderingChoice::default());
         let mut buf = DcBuffers::default();
-        self.solve_noniterative_ws(mats, &mut ws, &mut buf, override_src, x0, stats)
+        let mut meter = self.meter.fork();
+        self.solve_noniterative_ws(mats, &mut ws, &mut buf, override_src, x0, stats, &mut meter)
     }
 
     /// [`SwecDcSweep::solve_noniterative`] against caller-owned workspace
     /// and buffers (the sweep's per-point hot path; also the
     /// [`crate::sim`] sharded-sweep building block).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn solve_noniterative_ws(
         &self,
         mats: &CircuitMatrices,
@@ -428,9 +539,13 @@ impl SwecDcSweep {
         override_src: Option<(&str, f64)>,
         x0: &[f64],
         stats: &mut EngineStats,
+        meter: &mut BudgetMeter,
     ) -> Result<Vec<f64>> {
         let mna = &mats.mna;
         let dim = mna.dim();
+        meter
+            .tick_iteration()
+            .map_err(|stop| SimError::budget_exceeded(stop, "swec non-iterative solve"))?;
         let mut flops = FlopCounter::new();
         self.stamp_geq(mats, ws, x0, stats, &mut flops);
         buf.rhs.resize(dim, 0.0);
@@ -452,6 +567,7 @@ impl SwecDcSweep {
     /// with a single multi-RHS solve instead of one refactor per chunk —
     /// each returned solution is bit-identical to the corresponding
     /// [`SwecDcSweep::solve_noniterative_ws`] call from the same state.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn solve_noniterative_batch_ws(
         &self,
         mats: &CircuitMatrices,
@@ -461,6 +577,7 @@ impl SwecDcSweep {
         values: &[f64],
         x0: &[f64],
         stats: &mut EngineStats,
+        meter: &BudgetMeter,
     ) -> Result<Vec<Vec<f64>>> {
         let mna = &mats.mna;
         let dim = mna.dim();
@@ -468,6 +585,9 @@ impl SwecDcSweep {
         if k == 0 {
             return Ok(Vec::new());
         }
+        meter
+            .checkpoint()
+            .map_err(|stop| SimError::budget_exceeded(stop, "swec batched ramp solve"))?;
         let mut flops = FlopCounter::new();
         self.stamp_geq(mats, ws, x0, stats, &mut flops);
         buf.rhs.resize(dim, 0.0);
@@ -527,7 +647,17 @@ impl SwecDcSweep {
     ) -> Result<Vec<f64>> {
         let mut ws = AssemblyWorkspace::new(mats, false, false, OrderingChoice::default());
         let mut buf = DcBuffers::default();
-        self.solve_point_ws(mats, &mut ws, &mut buf, override_src, x0, None, stats)
+        let mut meter = self.meter.fork();
+        self.solve_point_ws(
+            mats,
+            &mut ws,
+            &mut buf,
+            override_src,
+            x0,
+            None,
+            stats,
+            &mut meter,
+        )
     }
 
     /// [`SwecDcSweep::solve_point`] against caller-owned workspace/buffers,
@@ -544,6 +674,7 @@ impl SwecDcSweep {
         x0: &[f64],
         source_scale: Option<f64>,
         stats: &mut EngineStats,
+        meter: &mut BudgetMeter,
     ) -> Result<Vec<f64>> {
         self.solve_point_inner(
             mats,
@@ -555,6 +686,7 @@ impl SwecDcSweep {
             1.0,
             None,
             stats,
+            meter,
         )
     }
 
@@ -577,6 +709,7 @@ impl SwecDcSweep {
         lambda0: f64,
         shunt: Option<(f64, &[f64])>,
         stats: &mut EngineStats,
+        meter: &mut BudgetMeter,
     ) -> Result<Vec<f64>> {
         let mna = &mats.mna;
         let dim = mna.dim();
@@ -592,6 +725,13 @@ impl SwecDcSweep {
         let is_linear = mna.nonlinear_bindings().is_empty() && mna.mosfet_bindings().is_empty();
         buf.history.clear();
         for iter in 0..self.opts.dc_max_iterations {
+            if let Err(stop) = meter.tick_iteration() {
+                stats.flops += flops;
+                return Err(SimError::budget_exceeded(
+                    stop,
+                    format!("swec fixed-point iteration {iter}"),
+                ));
+            }
             // Stamp G with Geq at the current iterate.
             self.stamp_geq(mats, ws, &x, stats, &mut flops);
             if let Some((g, _)) = shunt {

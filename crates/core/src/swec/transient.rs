@@ -30,7 +30,7 @@ use crate::{Result, SimError};
 use nanosim_circuit::element::ElementKind;
 use nanosim_circuit::{Circuit, MnaSystem};
 use nanosim_numeric::sparse::OrderingChoice;
-use nanosim_numeric::FlopCounter;
+use nanosim_numeric::{BudgetMeter, BudgetStop, FlopCounter};
 use std::time::Instant;
 
 /// Maximum consecutive step rejections before giving up.
@@ -76,12 +76,24 @@ struct StepBuffers {
 #[derive(Debug, Clone, Default)]
 pub struct SwecTransient {
     opts: SwecOptions,
+    meter: BudgetMeter,
 }
 
 impl SwecTransient {
     /// Creates the engine with the given options.
     pub fn new(opts: SwecOptions) -> Self {
-        SwecTransient { opts }
+        SwecTransient {
+            opts,
+            meter: BudgetMeter::unlimited(),
+        }
+    }
+
+    /// Attaches a run budget. The meter's deadline clock is shared with
+    /// every fork, so a session-created meter spans the whole request.
+    #[must_use]
+    pub fn with_meter(mut self, meter: BudgetMeter) -> Self {
+        self.meter = meter;
+        self
     }
 
     /// The engine options.
@@ -146,10 +158,11 @@ impl SwecTransient {
                 }
             )
         });
+        let mut run_meter = self.meter.fork();
         let mut x = if has_ics {
             mna.initial_state()
         } else {
-            let dc = SwecDcSweep::new(self.opts.clone());
+            let dc = SwecDcSweep::new(self.opts.clone()).with_meter(run_meter.fork());
             let mut op_stats = EngineStats::new();
             let op = match op_ws {
                 Some(ows) => {
@@ -220,9 +233,43 @@ impl SwecTransient {
         // Local-error mode's own step reference (starts conservative).
         let mut h_ref = h_max / 100.0;
 
+        // The initial point is already recorded; charge it before stepping.
+        if let Err(stop) = run_meter.charge_bytes(8 * (1 + dim as u64)) {
+            return self.budget_exit(
+                stop,
+                "swec transient initial point".to_string(),
+                0.0,
+                names,
+                times,
+                columns,
+                stats,
+                flops,
+                &lu0,
+                ws,
+                t_start,
+            );
+        }
+
         let mut t = 0.0f64;
         let t_end = tstop * (1.0 - 1e-12);
         while t < t_end {
+            // Deterministic budget checkpoint: once per candidate time
+            // point, before any step attempt.
+            if let Err(stop) = run_meter.checkpoint() {
+                return self.budget_exit(
+                    stop,
+                    format!("swec transient at t = {t:.3e} s"),
+                    t,
+                    names,
+                    times,
+                    columns,
+                    stats,
+                    flops,
+                    &lu0,
+                    ws,
+                    t_start,
+                );
+            }
             let next_bp = self.next_source_breakpoint(mna, t);
             let mut h = match self.opts.step_control {
                 StepControl::PaperConstraints => {
@@ -367,6 +414,30 @@ impl SwecTransient {
                 );
             }
 
+            // Budget accounting per *accepted* step (rejected attempts are
+            // bounded by MAX_REJECTIONS and carry no payload): the step cap
+            // and the result-byte cap both move here, before the step is
+            // committed, so a stopped run's prefix never contains the
+            // tripping step.
+            if let Err(stop) = run_meter
+                .tick_step()
+                .and_then(|()| run_meter.charge_bytes(8 * (1 + dim as u64)))
+            {
+                return self.budget_exit(
+                    stop,
+                    format!("swec transient at t = {t:.3e} s"),
+                    t,
+                    names,
+                    times,
+                    columns,
+                    stats,
+                    flops,
+                    &lu0,
+                    ws,
+                    t_start,
+                );
+            }
+
             // Commit device histories.
             for (i, b) in bindings.iter().enumerate() {
                 tracker.commit(i, branch_voltage(&buf.x_new, b.var_plus, b.var_minus), h);
@@ -455,6 +526,37 @@ impl SwecTransient {
                 state,
             },
         ))
+    }
+
+    /// Terminal handling of a budget stop at `t`: with `allow_partial` set,
+    /// the accepted prefix is returned as a result marked truncated;
+    /// otherwise a [`SimError::BudgetExceeded`] is raised. Mirrors
+    /// [`SwecTransient::underflow_exit`] so budget kills and step-size
+    /// underflows salvage through the same machinery.
+    #[allow(clippy::too_many_arguments)]
+    fn budget_exit(
+        &self,
+        stop: BudgetStop,
+        context: String,
+        t: f64,
+        names: Vec<String>,
+        times: Vec<f64>,
+        columns: Vec<Vec<f64>>,
+        mut stats: EngineStats,
+        flops: FlopCounter,
+        lu0: &nanosim_numeric::solve::LuStats,
+        ws: &AssemblyWorkspace,
+        t_start: Instant,
+    ) -> Result<TransientResult> {
+        if self.opts.allow_partial {
+            stats.flops += flops;
+            stats.absorb_lu(lu0, &ws.lu_stats());
+            stats.elapsed = t_start.elapsed();
+            return Ok(TransientResult::new_truncated(
+                times, names, columns, stats, t,
+            ));
+        }
+        Err(SimError::budget_exceeded(stop, context))
     }
 
     /// Assembles and solves one candidate step in place: the workspace

@@ -26,6 +26,10 @@
 //!   corrupt one stamped entry of the assembled matrix — a conductance
 //!   collapsing by decades, or a NaN landing mid-transient. These exercise
 //!   the NaN/Inf screens and the pivot-health monitors downstream.
+//! * **Stall faults** ([`Fault::Stall`]) burn a deterministic spin loop
+//!   during the armed call without touching any data — the way run-budget
+//!   deadline handling (see [`crate::budget`]) is tested without real
+//!   clocks or sleeps in tests.
 //!
 //! # Example
 //! ```
@@ -89,6 +93,27 @@ pub enum Fault {
         /// Column of the poisoned entry.
         col: usize,
     },
+    /// Burn `spins` iterations of a data-dependent spin loop *during* the
+    /// armed factor-solve call — a deterministic stand-in for "this solve
+    /// got slow" that makes wall-clock deadline handling testable without
+    /// sleeping in tests. The spin touches no matrix data, so recovery is
+    /// bit-identical to the unstalled run.
+    Stall {
+        /// Spin-loop iterations to burn.
+        spins: u64,
+    },
+}
+
+/// Burns `spins` iterations of an optimization-resistant integer spin loop.
+/// The result is fed through [`std::hint::black_box`] so the loop cannot be
+/// elided; used by [`Fault::Stall`] and available to tests that need a
+/// deterministic unit of "slow work".
+pub fn burn_spins(spins: u64) {
+    let mut acc = 0u64;
+    for i in 0..spins {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    std::hint::black_box(acc);
 }
 
 /// One scheduled fault: `kind` fires when the owning [`FaultPlan`]'s call
@@ -133,6 +158,7 @@ pub struct FaultPlan {
     calls: u64,
     injected: u64,
     misses: u64,
+    stalls: u64,
 }
 
 impl FaultPlan {
@@ -178,6 +204,33 @@ impl FaultPlan {
             kind: Fault::PoisonNan { row, col },
         });
         self
+    }
+
+    /// Schedules a deterministic stall of `spin_iters` spin-loop iterations
+    /// at call `call_index` — the factor-solve armed there burns the spins
+    /// before factoring, so a run under a wall-clock deadline observes the
+    /// slowdown at its next checkpoint. No matrix data is touched.
+    pub fn with_stall(mut self, call_index: u64, spin_iters: u64) -> Self {
+        self.events.push(FaultEvent {
+            at: call_index,
+            kind: Fault::Stall { spins: spin_iters },
+        });
+        self
+    }
+
+    /// Generates a seeded stall-only plan: `count` stalls of `spin_iters`
+    /// each, armed at distinct random call indices below `max_call`. The
+    /// chaos-under-deadline counterpart of [`FaultPlan::seeded`] (which is
+    /// left untouched so existing seeded corpora replay bit-identically).
+    pub fn seeded_stalls(seed: u64, max_call: u64, count: usize, spin_iters: u64) -> Self {
+        let mut rng = Pcg64::seed_from_u64(seed ^ 0x57a1_1fa1);
+        let mut plan = FaultPlan::new();
+        let span = max_call.max(1);
+        for _ in 0..count {
+            let at = rng.next_range(span);
+            plan = plan.with_stall(at, spin_iters);
+        }
+        plan
     }
 
     /// Generates a seeded plan of `count` faults, each armed at a distinct
@@ -235,6 +288,11 @@ impl FaultPlan {
                     }
                     None => self.misses += 1,
                 },
+                Fault::Stall { spins } => {
+                    burn_spins(spins);
+                    self.injected += 1;
+                    self.stalls += 1;
+                }
             }
         }
         action
@@ -254,6 +312,11 @@ impl FaultPlan {
     /// sparsity pattern (nothing was injected for them).
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Stall faults fired so far (a subset of [`FaultPlan::injected`]).
+    pub fn stalls(&self) -> u64 {
+        self.stalls
     }
 
     /// Whether every scheduled event's call index has passed.
@@ -332,6 +395,34 @@ mod tests {
         assert_eq!(p1.events().len(), 4);
         let p3 = FaultPlan::seeded(43, 10, 100, 4);
         assert_ne!(p1, p3, "different seeds, different plans");
+    }
+
+    #[test]
+    fn stall_burns_without_touching_data() {
+        let mut a = small();
+        let before = a.values().to_vec();
+        let mut plan = FaultPlan::new().with_stall(1, 10_000);
+        assert!(plan.advance(&mut a).is_clean());
+        assert_eq!(plan.stalls(), 0);
+        let act = plan.advance(&mut a);
+        assert!(act.is_clean(), "stalls carry no pivot action");
+        assert_eq!(plan.stalls(), 1);
+        assert_eq!(plan.injected(), 1);
+        assert_eq!(a.values(), &before[..], "stall leaves the matrix alone");
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn seeded_stall_plans_are_reproducible() {
+        let p1 = FaultPlan::seeded_stalls(9, 50, 3, 1000);
+        let p2 = FaultPlan::seeded_stalls(9, 50, 3, 1000);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.events().len(), 3);
+        assert!(p1
+            .events()
+            .iter()
+            .all(|e| matches!(e.kind, Fault::Stall { spins: 1000 }) && e.at < 50));
+        assert_ne!(p1, FaultPlan::seeded_stalls(10, 50, 3, 1000));
     }
 
     #[test]

@@ -13,8 +13,11 @@
 //!   factorization.
 //! * [`fault`] — a deterministic fault-injection harness ([`FaultPlan`])
 //!   that schedules singular pivots, degraded pivots, conductance
-//!   collapses and NaN poisons at exact solver calls, so every recovery
-//!   path is testable on demand.
+//!   collapses, NaN poisons and deterministic stalls at exact solver
+//!   calls, so every recovery path is testable on demand.
+//! * [`budget`] — run budgets ([`Budget`]) and cooperative cancellation
+//!   ([`CancelToken`]): deterministic checkpoints that bound any analysis
+//!   in wall-clock, iterations, steps or result bytes.
 //! * [`parallel`] — deterministic order-preserving scoped-thread map used
 //!   by the Monte-Carlo ensemble engine (offline stand-in for rayon).
 //! * [`solve`] — a [`solve::LinearSolver`] abstraction over the dense and
@@ -59,6 +62,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod budget;
 pub mod dense;
 pub mod error;
 pub mod fault;
@@ -71,6 +75,7 @@ pub mod solve;
 pub mod sparse;
 pub mod stats;
 
+pub use budget::{Budget, BudgetMeter, BudgetStop, CancelToken};
 pub use dense::DenseMatrix;
 pub use error::NumericError;
 pub use fault::FaultPlan;

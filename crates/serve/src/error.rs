@@ -41,12 +41,26 @@ pub enum ServeError {
         /// The requested id.
         run: u64,
     },
+    /// Admission control shed the request: accepting it would exceed a
+    /// configured load limit (queued runs, deck size, element count, or
+    /// store pressure). The client should back off and retry.
+    Overloaded {
+        /// Which limit tripped and the observed vs configured values.
+        message: String,
+    },
 }
 
 impl ServeError {
     /// Shorthand for a protocol violation.
     pub fn protocol(message: impl Into<String>) -> ServeError {
         ServeError::Protocol {
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for an admission-control shed.
+    pub fn overloaded(message: impl Into<String>) -> ServeError {
+        ServeError::Overloaded {
             message: message.into(),
         }
     }
@@ -62,6 +76,7 @@ impl ServeError {
             },
             ServeError::UnknownRun { .. } => "unknown-run",
             ServeError::Evicted { .. } => "evicted",
+            ServeError::Overloaded { .. } => "overloaded",
         }
     }
 
@@ -115,12 +130,16 @@ impl ServeError {
         Json::Obj(members)
     }
 
-    /// Wraps the error JSON into a complete failed-response line.
+    /// Wraps the error JSON into a complete failed-response line. Load
+    /// sheds additionally carry a top-level `"code":"overloaded"` member so
+    /// clients can back off without parsing the error body.
     pub fn to_response(&self) -> Json {
-        Json::Obj(vec![
-            ("ok".to_string(), Json::Bool(false)),
-            ("error".to_string(), self.to_json()),
-        ])
+        let mut members = vec![("ok".to_string(), Json::Bool(false))];
+        if let ServeError::Overloaded { .. } = self {
+            members.push(("code".to_string(), Json::str("overloaded")));
+        }
+        members.push(("error".to_string(), self.to_json()));
+        Json::Obj(members)
     }
 }
 
@@ -134,6 +153,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Evicted { run } => {
                 write!(f, "run {run} finished but its result was evicted")
             }
+            ServeError::Overloaded { message } => write!(f, "{message}"),
         }
     }
 }

@@ -23,6 +23,14 @@
 //!   JSON-lines protocol in [`proto`] makes the whole service scriptable
 //!   from any stdin/stdout transport (see the `nanosim-serve` binary in
 //!   the bench crate).
+//! * **Run budgets & admission control** ([`SubmitOptions`],
+//!   [`ServiceOptions`]) — per-request `timeout_ms`/`budget` limits are
+//!   enforced cooperatively inside the engines at deterministic
+//!   checkpoints (see [`nanosim_core::Budget`]), runs can be cancelled
+//!   mid-flight or held queued, budget-killed runs salvage their accepted
+//!   prefix under `allow_partial`, and configurable load limits (pending
+//!   runs, deck bytes, element count) shed excess work with structured
+//!   `overloaded` responses instead of queueing unboundedly.
 //!
 //! # Example
 //!
@@ -60,6 +68,6 @@ pub use json::Json;
 pub use key::{AnalysisKey, DeckKey, TopologyKey};
 pub use pool::SessionPool;
 pub use proto::{handle_line, mask_volatile};
-pub use service::{expand_axes, BatchRequest, ServiceOptions, SimService};
+pub use service::{expand_axes, BatchRequest, ServiceOptions, SimService, SubmitOptions};
 pub use stats::{Histogram, ServeStats};
 pub use store::{CacheDisposition, ResultStore, RunId, RunRecord, RunResult, RunStatus};

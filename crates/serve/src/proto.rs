@@ -5,12 +5,20 @@
 //!
 //! | cmd      | fields                                         | response |
 //! |----------|------------------------------------------------|----------|
-//! | `submit` | `deck`, opt. `params` (obj), opt. `workers`    | `runs`: per-directive `{run, analysis, status, cache, full_factors}` |
+//! | `submit` | `deck`, opt. `params` (obj), `workers`, `timeout_ms`, `budget` (obj), `allow_partial`, `hold` | `runs`: per-directive `{run, analysis, status, cache, full_factors}` |
 //! | `batch`  | `deck`, `grid` (array of objs) or `sweep` (obj of arrays), opt. `workers` | `runs` as above |
 //! | `status` | `run`                                          | `{run, analysis, status[, error]}` |
 //! | `result` | `run`, opt. `data` (bool, default true)        | status + dataset columns + engine stats |
+//! | `cancel` | `run`                                          | `{run, cancelled}` |
+//! | `run`    | `run`                                          | starts a held run; run summary |
 //! | `stats`  | —                                              | [`crate::stats::ServeStats`] rendering + gauges |
 //! | `evict`  | `run`                                          | `{run, evicted}` |
+//!
+//! The optional `budget` object takes `deadline_ms`, `max_newton_iterations`,
+//! `max_transient_steps`, and `max_result_bytes`; `timeout_ms` is shorthand
+//! for a deadline and intersects (minimum wins) with whichever budget
+//! applies. Requests past the service's admission limits answer
+//! `{"ok":false,"code":"overloaded",...}` without registering anything.
 //!
 //! Every response carries `"ok"`; failures are `{"ok":false,"error":{...}}`
 //! with a structured [`ServeError`] body — junk input can never panic this
@@ -18,8 +26,10 @@
 
 use crate::error::ServeError;
 use crate::json::{self, Json};
-use crate::service::{BatchRequest, SimService};
+use crate::service::{BatchRequest, SimService, SubmitOptions};
 use crate::store::{RunId, RunRecord, RunStatus};
+use nanosim_core::Budget;
+use std::time::Duration;
 
 /// Handles one request line, returning exactly one JSON response line
 /// (without trailing newline). Never panics; malformed input yields a
@@ -48,6 +58,8 @@ fn dispatch(svc: &mut SimService, line: &str) -> Result<Json, ServeError> {
         "batch" => batch(svc, &req),
         "status" => status(svc, &req),
         "result" => result(svc, &req),
+        "cancel" => cancel(svc, &req),
+        "run" => run_held(svc, &req),
         "stats" => Ok(stats(svc)),
         "evict" => evict(svc, &req),
         other => Err(ServeError::protocol(format!("unknown cmd `{other}`"))),
@@ -91,6 +103,51 @@ fn overrides_of(v: &Json) -> Result<Vec<(String, f64)>, ServeError> {
         .collect()
 }
 
+fn bool_of(req: &Json, key: &str) -> Result<bool, ServeError> {
+    match req.get(key) {
+        None => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| ServeError::protocol(format!("`{key}` must be a boolean"))),
+    }
+}
+
+fn budget_limit(obj: &Json, key: &str) -> Result<Option<u64>, ServeError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ServeError::protocol(format!("budget `{key}` must be an integer"))),
+    }
+}
+
+/// Parses the optional `budget` object and `timeout_ms` member of a submit
+/// request into [`SubmitOptions`] fields.
+fn budget_of(req: &Json) -> Result<(Option<Budget>, Option<Duration>), ServeError> {
+    let timeout = match req.get("timeout_ms") {
+        None => None,
+        Some(v) => Some(Duration::from_millis(v.as_u64().ok_or_else(|| {
+            ServeError::protocol("`timeout_ms` must be a non-negative integer")
+        })?)),
+    };
+    let budget = match req.get("budget") {
+        None => None,
+        Some(obj) => {
+            if obj.as_object().is_none() {
+                return Err(ServeError::protocol("`budget` must be an object"));
+            }
+            let mut b = Budget::unlimited();
+            b.max_newton_iterations = budget_limit(obj, "max_newton_iterations")?;
+            b.max_transient_steps = budget_limit(obj, "max_transient_steps")?;
+            b.max_result_bytes = budget_limit(obj, "max_result_bytes")?;
+            b.deadline = budget_limit(obj, "deadline_ms")?.map(Duration::from_millis);
+            Some(b)
+        }
+    };
+    Ok((budget, timeout))
+}
+
 fn submit(svc: &mut SimService, req: &Json) -> Result<Json, ServeError> {
     let deck = deck_of(req)?;
     let overrides = match req.get("params") {
@@ -98,8 +155,38 @@ fn submit(svc: &mut SimService, req: &Json) -> Result<Json, ServeError> {
         Some(v) => overrides_of(v)?,
     };
     let workers = workers_of(req)?;
-    let ids = svc.submit_opts(deck, &overrides, workers)?;
+    let (budget, timeout) = budget_of(req)?;
+    let opts = SubmitOptions {
+        overrides,
+        workers,
+        timeout,
+        budget,
+        allow_partial: bool_of(req, "allow_partial")?,
+        hold: bool_of(req, "hold")?,
+    };
+    let ids = svc.submit_with(deck, &opts)?;
     Ok(runs_response(svc, &ids))
+}
+
+fn cancel(svc: &mut SimService, req: &Json) -> Result<Json, ServeError> {
+    let id = run_of(req)?;
+    let cancelled = svc.cancel(id)?;
+    Ok(Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("run".to_string(), Json::from(id.0)),
+        ("cancelled".to_string(), Json::Bool(cancelled)),
+    ]))
+}
+
+fn run_held(svc: &mut SimService, req: &Json) -> Result<Json, ServeError> {
+    let id = run_of(req)?;
+    svc.run_queued(id)?;
+    let rec = svc.status(id)?;
+    let mut members = vec![("ok".to_string(), Json::Bool(true))];
+    if let Json::Obj(rest) = run_summary(rec) {
+        members.extend(rest);
+    }
+    Ok(Json::Obj(members))
 }
 
 fn batch(svc: &mut SimService, req: &Json) -> Result<Json, ServeError> {
@@ -189,7 +276,7 @@ fn run_summary(rec: &RunRecord) -> Json {
             };
             members.push(("error".to_string(), serve_err.to_json()));
         }
-        RunStatus::Queued | RunStatus::Running => {}
+        RunStatus::Queued | RunStatus::Running | RunStatus::Cancelled => {}
     }
     members.push(("evicted".to_string(), Json::Bool(rec.evicted)));
     Json::Obj(members)

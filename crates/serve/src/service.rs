@@ -6,12 +6,12 @@ use crate::error::ServeError;
 use crate::key::{AnalysisKey, DeckKey, TopologyKey};
 use crate::pool::SessionPool;
 use crate::stats::ServeStats;
-use crate::store::{CacheDisposition, ResultStore, RunId, RunRecord, RunResult};
+use crate::store::{CacheDisposition, ResultStore, RunId, RunRecord, RunResult, RunStatus};
 use nanosim_circuit::{parse_netlist_with_params, AnalysisDirective, ParsedDeck};
 use nanosim_core::swec::SwecOptions;
-use nanosim_core::{Analysis, Dataset, ExecPlan, SimOptions};
+use nanosim_core::{Analysis, Budget, BudgetStop, CancelToken, Dataset, ExecPlan, SimOptions};
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -27,6 +27,24 @@ pub struct ServiceOptions {
     /// Default execution plan for sweep analyses ([`ExecPlan::Serial`]
     /// unless configured; per-request `workers` overrides it).
     pub plan: ExecPlan,
+    /// Default run budget applied to every engine run; unlimited unless
+    /// configured. Per-request `timeout_ms` / `budget` members tighten it.
+    pub budget: Budget,
+    /// Admission control: maximum pending (queued + running) runs,
+    /// counting the runs the incoming request would register. Requests
+    /// past the limit are shed with an `overloaded` response.
+    pub max_pending_runs: usize,
+    /// Admission control: maximum deck text size in bytes.
+    pub max_deck_bytes: usize,
+    /// Admission control: maximum circuit elements per deck.
+    pub max_deck_elements: usize,
+    /// Chaos-testing seed: when set, every engine run is armed with a
+    /// seeded [`nanosim_core::FaultPlan`] (stalls on even run ids, pivot/
+    /// matrix faults on odd ones) derived from this seed and the run id.
+    /// Results are never cached under chaos. CI uses this to prove the
+    /// service degrades structurally — never panics — under fault storms
+    /// combined with tight budgets.
+    pub chaos_seed: Option<u64>,
 }
 
 impl Default for ServiceOptions {
@@ -37,8 +55,46 @@ impl Default for ServiceOptions {
             store_capacity_bytes: 64 << 20,
             result_cache_capacity: 256,
             plan: ExecPlan::Serial,
+            budget: Budget::unlimited(),
+            max_pending_runs: 256,
+            max_deck_bytes: 1 << 20,
+            max_deck_elements: 100_000,
+            chaos_seed: None,
         }
     }
+}
+
+/// Per-request submit options: `.param` overrides, worker counts, run
+/// budgets, and queue-only registration.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// `.param` overrides applied during parsing.
+    pub overrides: Vec<(String, f64)>,
+    /// Worker-count override for sweep analyses (`Some(0)` = auto).
+    pub workers: Option<usize>,
+    /// Per-request deadline, intersected with the service budget's.
+    pub timeout: Option<Duration>,
+    /// Per-request budget (replaces the service default; `timeout` still
+    /// applies on top).
+    pub budget: Option<Budget>,
+    /// Opt into partial results: a budget-killed run salvages its accepted
+    /// prefix as a truncated dataset instead of failing.
+    pub allow_partial: bool,
+    /// Register the runs [`crate::store::RunStatus::Queued`] without
+    /// executing them; start each later with [`SimService::run_queued`]
+    /// (or drop it with [`SimService::cancel`]).
+    pub hold: bool,
+}
+
+/// A held (queued, not yet executed) run's replay context.
+#[derive(Debug, Clone)]
+struct HeldRun {
+    deck: String,
+    overrides: Vec<(String, f64)>,
+    directive: usize,
+    plan: ExecPlan,
+    budget: Budget,
+    allow_partial: bool,
 }
 
 /// A batch request: one deck fanned out over a parameter grid. Every grid
@@ -86,6 +142,8 @@ pub struct SimService {
     result_cache: HashMap<(DeckKey, AnalysisKey), Dataset>,
     /// Result-cache keys, least-recently-used first.
     cache_lru: Vec<(DeckKey, AnalysisKey)>,
+    /// Replay context of held (queued-only) runs.
+    held: HashMap<RunId, HeldRun>,
     stats: ServeStats,
 }
 
@@ -103,6 +161,7 @@ impl SimService {
             store: ResultStore::new(opts.store_capacity_bytes),
             result_cache: HashMap::new(),
             cache_lru: Vec::new(),
+            held: HashMap::new(),
             stats: ServeStats::default(),
             opts,
         }
@@ -130,16 +189,72 @@ impl SimService {
         overrides: &[(String, f64)],
         workers: Option<usize>,
     ) -> Result<Vec<RunId>, ServeError> {
-        let parsed = parse_netlist_with_params(deck, overrides)?;
+        self.submit_with(
+            deck,
+            &SubmitOptions {
+                overrides: overrides.to_vec(),
+                workers,
+                ..SubmitOptions::default()
+            },
+        )
+    }
+
+    /// Sheds the request and counts it in the telemetry.
+    fn shed(&mut self, message: String) -> ServeError {
+        self.stats.shed += 1;
+        ServeError::overloaded(message)
+    }
+
+    /// The effective budget of one request: the per-request budget (or the
+    /// service default) intersected with the per-request deadline.
+    fn effective_budget(&self, opts: &SubmitOptions) -> Budget {
+        let mut b = opts.budget.unwrap_or(self.opts.budget);
+        if let Some(t) = opts.timeout {
+            b.deadline = Some(b.deadline.map_or(t, |d| d.min(t)));
+        }
+        b
+    }
+
+    /// Full submit entry point: admission control, registration, and —
+    /// unless `opts.hold` is set — execution of every directive.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] when an admission limit trips (nothing
+    /// is registered), plus the [`SimService::submit`] contract.
+    pub fn submit_with(
+        &mut self,
+        deck: &str,
+        opts: &SubmitOptions,
+    ) -> Result<Vec<RunId>, ServeError> {
+        // Admission control, cheapest gate first: everything is checked
+        // before any run is registered, so a shed request leaves no trace
+        // beyond the counter.
+        if deck.len() > self.opts.max_deck_bytes {
+            let (got, max) = (deck.len(), self.opts.max_deck_bytes);
+            return Err(self.shed(format!("deck is {got} bytes (limit {max})")));
+        }
+        let parsed = parse_netlist_with_params(deck, &opts.overrides)?;
         if parsed.analyses.is_empty() {
             return Err(ServeError::protocol(
                 "deck declares no analyses (.op/.dc/.tran)",
             ));
         }
-        let plan = match workers {
+        let elements = parsed.circuit.elements().len();
+        if elements > self.opts.max_deck_elements {
+            let max = self.opts.max_deck_elements;
+            return Err(self.shed(format!("deck has {elements} elements (limit {max})")));
+        }
+        let pending = self.store.pending() + parsed.analyses.len();
+        if pending > self.opts.max_pending_runs {
+            let max = self.opts.max_pending_runs;
+            return Err(self.shed(format!("{pending} runs pending (limit {max})")));
+        }
+
+        let plan = match opts.workers {
             Some(n) => ExecPlan::sharded(n),
             None => self.opts.plan,
         };
+        let budget = self.effective_budget(opts);
         let deck_key = DeckKey::of(&parsed.circuit);
         let topology = TopologyKey::of(&parsed.circuit);
 
@@ -155,10 +270,108 @@ impl SimService {
                     .create(deck_key, AnalysisKey::of(d), directive_tag(d))
             })
             .collect();
+        if opts.hold {
+            for (di, id) in ids.iter().enumerate() {
+                self.held.insert(
+                    *id,
+                    HeldRun {
+                        deck: deck.to_string(),
+                        overrides: opts.overrides.clone(),
+                        directive: di,
+                        plan,
+                        budget,
+                        allow_partial: opts.allow_partial,
+                    },
+                );
+            }
+            return Ok(ids);
+        }
         for (id, directive) in ids.iter().zip(parsed.analyses.iter()) {
-            self.run_one(*id, &parsed, directive, deck_key, topology, plan);
+            self.run_one(
+                *id,
+                &parsed,
+                directive,
+                deck_key,
+                topology,
+                plan,
+                budget,
+                opts.allow_partial,
+            );
         }
         Ok(ids)
+    }
+
+    /// Starts a held (queued) run registered via [`SubmitOptions::hold`].
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownRun`] for never-assigned ids; a protocol error
+    /// when the run is not a held queued run (already started, finished,
+    /// or cancelled).
+    pub fn run_queued(&mut self, id: RunId) -> Result<(), ServeError> {
+        let rec = self
+            .store
+            .get(id)
+            .ok_or(ServeError::UnknownRun { run: id.0 })?;
+        if !matches!(rec.status, RunStatus::Queued) {
+            return Err(ServeError::protocol(format!(
+                "run {id} is not queued (status: {})",
+                rec.status.tag()
+            )));
+        }
+        let held = self
+            .held
+            .remove(&id)
+            .ok_or_else(|| ServeError::protocol(format!("run {id} was not submitted with hold")))?;
+        // Replay the parse; the deck was accepted at submit time, so this
+        // can only fail if the service is misused across incompatible
+        // versions — surface that as a failed run, not a panic.
+        let parsed = match parse_netlist_with_params(&held.deck, &held.overrides) {
+            Ok(p) => p,
+            Err(e) => {
+                self.store.fail(id, nanosim_core::SimError::from(e));
+                return Ok(());
+            }
+        };
+        let Some(directive) = parsed.analyses.get(held.directive).cloned() else {
+            self.store.fail(
+                id,
+                nanosim_core::SimError::InvalidConfig {
+                    context: format!("held directive {} vanished on replay", held.directive),
+                },
+            );
+            return Ok(());
+        };
+        let deck_key = DeckKey::of(&parsed.circuit);
+        let topology = TopologyKey::of(&parsed.circuit);
+        self.run_one(
+            id,
+            &parsed,
+            &directive,
+            deck_key,
+            topology,
+            held.plan,
+            held.budget,
+            held.allow_partial,
+        );
+        Ok(())
+    }
+
+    /// Cancels a pending (queued or running) run: held runs are dropped
+    /// from the queue and marked [`RunStatus::Cancelled`]. Returns whether
+    /// the run transitioned (terminal runs return `false`).
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownRun`] when the id was never assigned.
+    pub fn cancel(&mut self, id: RunId) -> Result<bool, ServeError> {
+        self.store
+            .get(id)
+            .ok_or(ServeError::UnknownRun { run: id.0 })?;
+        let cancelled = self.store.cancel(id);
+        if cancelled {
+            self.held.remove(&id);
+            self.stats.cancelled += 1;
+        }
+        Ok(cancelled)
     }
 
     /// Fans a batch request's parameter grid into individual runs: one
@@ -182,6 +395,7 @@ impl SimService {
         Ok(ids)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_one(
         &mut self,
         id: RunId,
@@ -190,10 +404,13 @@ impl SimService {
         deck_key: DeckKey,
         topology: TopologyKey,
         plan: ExecPlan,
+        budget: Budget,
+        allow_partial: bool,
     ) {
         let analysis_key = AnalysisKey::of(directive);
         let tag = directive_tag(directive);
-        self.store.start(id);
+        let reserve = projected_bytes(directive, parsed.circuit.elements().len());
+        self.store.start(id, reserve);
         let t0 = Instant::now();
 
         // Level 1: the full-result cache. Hits are bit-identical to cold
@@ -228,11 +445,30 @@ impl SimService {
             CacheDisposition::ResultHit => unreachable!("pool never reports result hits"),
         }
 
-        let mut analysis = Analysis::from_directive(directive, &SwecOptions::default());
+        let swec = SwecOptions {
+            allow_partial,
+            ..SwecOptions::default()
+        };
+        let mut analysis = Analysis::from_directive(directive, &swec);
         if let Analysis::DcSweep(ref mut sweep) = analysis {
             sweep.plan = plan;
         }
-        match sim.run(analysis) {
+        if let Some(seed) = self.opts.chaos_seed {
+            let n = parsed.circuit.elements().len().max(1);
+            let plan = if id.0 % 2 == 0 {
+                nanosim_core::FaultPlan::seeded_stalls(seed ^ id.0, 8, 2, 200_000)
+            } else {
+                nanosim_core::FaultPlan::seeded(seed ^ id.0, n, 8, 2)
+            };
+            sim.arm_faults(plan);
+        }
+        sim.set_budget(budget);
+        sim.set_cancel_token(CancelToken::new());
+        let outcome = sim.run(analysis);
+        // Pooled sessions outlive the request; never let one run's budget
+        // leak into the next checkout.
+        sim.set_budget(Budget::unlimited());
+        match outcome {
             Ok(dataset) => {
                 let elapsed = t0.elapsed();
                 self.stats.full_factors += dataset.stats.full_factors;
@@ -242,12 +478,34 @@ impl SimService {
                 self.stats.batched_factors += dataset.stats.batched_factors;
                 self.stats.record_run(tag, elapsed);
                 let (ff, rf) = (dataset.stats.full_factors, dataset.stats.refactors);
-                self.insert_cached((deck_key, analysis_key), dataset.clone());
+                // Only complete, unbudgeted runs may seed the result cache:
+                // a truncated prefix or a budget-limited dataset answering a
+                // later unlimited submit would poison bit-identity.
+                if budget.is_unlimited()
+                    && !dataset.is_truncated()
+                    && self.opts.chaos_seed.is_none()
+                {
+                    self.insert_cached((deck_key, analysis_key), dataset.clone());
+                }
                 self.store
                     .finish(id, RunResult { dataset }, disposition, ff, rf);
                 self.stats.store_evictions = self.store.evictions();
             }
             Err(e) => {
+                match e.budget_stop() {
+                    Some(BudgetStop::Cancelled) => {
+                        self.stats.cancelled += 1;
+                        self.store.cancel(id);
+                        return;
+                    }
+                    Some(stop) => {
+                        self.stats.budget_exceeded += 1;
+                        if matches!(stop, BudgetStop::DeadlineExceeded) {
+                            self.stats.deadline_timeouts += 1;
+                        }
+                    }
+                    None => {}
+                }
                 self.store.fail(id, e);
             }
         }
@@ -348,6 +606,37 @@ impl SimService {
     pub fn cached_results(&self) -> usize {
         self.result_cache.len()
     }
+}
+
+/// Projected result-payload size of a directive, reserved in the store
+/// while the run executes so concurrent submissions see the pressure. An
+/// estimate (the adaptive transient controller picks its own step count),
+/// so it only has to be the right order of magnitude: points × columns ×
+/// 8 bytes, plus a fixed overhead for names and stats.
+fn projected_bytes(d: &AnalysisDirective, elements: usize) -> usize {
+    let points = match d {
+        AnalysisDirective::Op => 1.0,
+        AnalysisDirective::Tran { tstep, tstop } => {
+            if *tstep > 0.0 {
+                (tstop / tstep).round().max(1.0)
+            } else {
+                1.0
+            }
+        }
+        AnalysisDirective::Dc {
+            start, stop, step, ..
+        } => {
+            if *step != 0.0 {
+                ((stop - start) / step).abs().round() + 1.0
+            } else {
+                1.0
+            }
+        }
+    };
+    let cols = elements + 2;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let points = points.min(1e9) as usize;
+    points.saturating_mul(cols).saturating_mul(8) + 512
 }
 
 /// Analysis tag of a parsed directive, aligned with

@@ -91,6 +91,16 @@ pub struct ServeStats {
     pub precision_fallbacks: u64,
     /// Ensemble chunks factored as one interleaved multi-matrix batch.
     pub batched_factors: u64,
+    /// Requests shed by admission control (`overloaded` responses).
+    pub shed: u64,
+    /// Runs that failed with [`nanosim_core::SimError::BudgetExceeded`].
+    pub budget_exceeded: u64,
+    /// Budget-exceeded runs whose stop was specifically the wall-clock
+    /// deadline (a subset of `budget_exceeded`).
+    pub deadline_timeouts: u64,
+    /// Runs cancelled before completion (explicit `cancel` command or a
+    /// tripped cancel token).
+    pub cancelled: u64,
     /// Per-analysis wall-clock histograms (key: analysis tag).
     pub wall_clock: BTreeMap<&'static str, Histogram>,
 }
@@ -140,6 +150,16 @@ impl ServeStats {
                 "batched_factors".to_string(),
                 Json::from(self.batched_factors),
             ),
+            ("shed".to_string(), Json::from(self.shed)),
+            (
+                "budget_exceeded".to_string(),
+                Json::from(self.budget_exceeded),
+            ),
+            (
+                "deadline_timeouts".to_string(),
+                Json::from(self.deadline_timeouts),
+            ),
+            ("cancelled".to_string(), Json::from(self.cancelled)),
             ("wall_clock".to_string(), histograms),
         ])
     }

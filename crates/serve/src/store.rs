@@ -23,7 +23,7 @@ impl std::fmt::Display for RunId {
 /// Lifecycle state of one run.
 #[derive(Debug, Clone)]
 pub enum RunStatus {
-    /// Accepted, not yet started (batch points wait here).
+    /// Accepted, not yet started (batch points and held submits wait here).
     Queued,
     /// Currently executing.
     Running,
@@ -34,17 +34,28 @@ pub enum RunStatus {
         /// The engine/preflight error that ended the run.
         error: Box<SimError>,
     },
+    /// Cancelled before completion (explicit `cancel` or a tripped
+    /// [`nanosim_core::CancelToken`]); produced no payload.
+    Cancelled,
 }
 
 impl RunStatus {
-    /// Protocol tag: `queued` / `running` / `done` / `failed`.
+    /// Protocol tag: `queued` / `running` / `done` / `failed` /
+    /// `cancelled`.
     pub fn tag(&self) -> &'static str {
         match self {
             RunStatus::Queued => "queued",
             RunStatus::Running => "running",
             RunStatus::Done => "done",
             RunStatus::Failed { .. } => "failed",
+            RunStatus::Cancelled => "cancelled",
         }
+    }
+
+    /// Whether the run is still pending (queued or running) — the states a
+    /// cancel can take effect in and the ones admission control counts.
+    pub fn is_pending(&self) -> bool {
+        matches!(self, RunStatus::Queued | RunStatus::Running)
     }
 }
 
@@ -115,6 +126,11 @@ pub struct RunRecord {
     pub result: Option<RunResult>,
     /// Whether a once-present payload was evicted.
     pub evicted: bool,
+    /// Projected payload bytes reserved against the store capacity while
+    /// the run executes. Always settled back to zero on every terminal
+    /// transition (finish / fail / cancel), so a run that dies `Running`
+    /// can never strand reservation in the eviction budget.
+    pub reserved: usize,
 }
 
 /// The run registry with LRU-by-bytes payload eviction.
@@ -126,6 +142,8 @@ pub struct ResultStore {
     lru: Vec<RunId>,
     capacity_bytes: usize,
     bytes: usize,
+    /// Sum of in-flight reservations (see [`RunRecord::reserved`]).
+    reserved: usize,
     evictions: u64,
 }
 
@@ -139,6 +157,7 @@ impl ResultStore {
             lru: Vec::new(),
             capacity_bytes,
             bytes: 0,
+            reserved: 0,
             evictions: 0,
         }
     }
@@ -163,6 +182,7 @@ impl ResultStore {
             refactors: 0,
             result: None,
             evicted: false,
+            reserved: 0,
         });
         id
     }
@@ -178,15 +198,29 @@ impl ResultStore {
         self.index(id).map(|i| &self.records[i])
     }
 
-    /// Marks a run as running.
-    pub fn start(&mut self, id: RunId) {
+    /// Marks a run as running, reserving `reserve_bytes` of projected
+    /// payload against the store capacity until the run settles. The
+    /// reservation participates in the LRU budget (old payloads are
+    /// evicted to make room for in-flight work) and is released on every
+    /// terminal transition.
+    pub fn start(&mut self, id: RunId, reserve_bytes: usize) {
         if let Some(i) = self.index(id) {
             self.records[i].status = RunStatus::Running;
+            self.records[i].reserved = reserve_bytes;
+            self.reserved += reserve_bytes;
+            self.enforce_capacity();
         }
     }
 
+    /// Releases a run's in-flight reservation (idempotent).
+    fn release_reservation(&mut self, i: usize) {
+        self.reserved -= self.records[i].reserved;
+        self.records[i].reserved = 0;
+    }
+
     /// Completes a run with its payload and cache provenance, then evicts
-    /// LRU payloads until the store fits its capacity again.
+    /// LRU payloads until the store fits its capacity again. The run's
+    /// reservation is settled against the actual payload size.
     pub fn finish(
         &mut self,
         id: RunId,
@@ -196,6 +230,7 @@ impl ResultStore {
         refactors: u64,
     ) {
         let Some(i) = self.index(id) else { return };
+        self.release_reservation(i);
         self.bytes += result.approx_bytes();
         let rec = &mut self.records[i];
         rec.status = RunStatus::Done;
@@ -207,13 +242,38 @@ impl ResultStore {
         self.enforce_capacity();
     }
 
-    /// Fails a run with the structured engine error.
+    /// Fails a run with the structured engine error, releasing its
+    /// reservation.
     pub fn fail(&mut self, id: RunId, error: SimError) {
         if let Some(i) = self.index(id) {
+            self.release_reservation(i);
             self.records[i].status = RunStatus::Failed {
                 error: Box::new(error),
             };
         }
+    }
+
+    /// Cancels a pending (queued or running) run, releasing its
+    /// reservation. Returns whether the run transitioned; terminal runs
+    /// (done / failed / already cancelled) and unknown ids return `false`.
+    pub fn cancel(&mut self, id: RunId) -> bool {
+        let Some(i) = self.index(id) else {
+            return false;
+        };
+        if !self.records[i].status.is_pending() {
+            return false;
+        }
+        self.release_reservation(i);
+        self.records[i].status = RunStatus::Cancelled;
+        true
+    }
+
+    /// Pending (queued or running) runs — the admission-control gauge.
+    pub fn pending(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.status.is_pending())
+            .count()
     }
 
     /// Fetches a finished run's record, refreshing its LRU position.
@@ -247,7 +307,7 @@ impl ResultStore {
     }
 
     fn enforce_capacity(&mut self) {
-        while self.bytes > self.capacity_bytes && self.lru.len() > 1 {
+        while self.bytes + self.reserved > self.capacity_bytes && self.lru.len() > 1 {
             let victim = self.lru.remove(0);
             if let Some(i) = self.index(victim) {
                 if let Some(payload) = self.records[i].result.take() {
@@ -267,6 +327,16 @@ impl ResultStore {
     /// Approximate bytes of live result payloads.
     pub fn bytes(&self) -> usize {
         self.bytes
+    }
+
+    /// Bytes reserved by in-flight (running) runs.
+    pub fn reserved(&self) -> usize {
+        self.reserved
+    }
+
+    /// Store payload capacity in approximate bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
     }
 
     /// Payloads evicted by the capacity policy (not explicit `evict`s).
@@ -316,7 +386,7 @@ mod tests {
         let (dk, ak) = key();
         let mut store = ResultStore::new(usize::MAX);
         let id = store.create(dk, ak, "op");
-        store.start(id);
+        store.start(id, 0);
         assert_eq!(store.get(id).unwrap().status.tag(), "running");
         store.finish(
             id,
@@ -374,5 +444,65 @@ mod tests {
         );
         assert!(store.get(c).unwrap().evicted);
         assert!(store.get(b).unwrap().result.is_some());
+    }
+
+    #[test]
+    fn failed_and_cancelled_runs_release_their_reservation() {
+        let (dk, ak) = key();
+        let mut store = ResultStore::new(usize::MAX);
+        let a = store.create(dk, ak, "op");
+        let b = store.create(dk, ak, "op");
+        let c = store.create(dk, ak, "op");
+        store.start(a, 1000);
+        store.start(b, 2000);
+        store.start(c, 4000);
+        assert_eq!(store.reserved(), 7000);
+        store.fail(
+            a,
+            nanosim_core::SimError::InvalidConfig {
+                context: "x".into(),
+            },
+        );
+        assert_eq!(store.reserved(), 6000, "fail releases the reservation");
+        assert!(store.cancel(b));
+        assert_eq!(store.reserved(), 4000, "cancel releases the reservation");
+        assert_eq!(store.get(b).unwrap().status.tag(), "cancelled");
+        assert!(!store.cancel(b), "cancel is terminal");
+        store.finish(
+            c,
+            RunResult { dataset: dataset() },
+            CacheDisposition::Cold,
+            1,
+            0,
+        );
+        assert_eq!(store.reserved(), 0, "finish settles the reservation");
+        assert!(store.bytes() > 0);
+        assert!(!store.cancel(c), "done runs cannot be cancelled");
+    }
+
+    #[test]
+    fn reservations_pressure_the_lru_budget() {
+        let (dk, ak) = key();
+        // Capacity fits about two finished op payloads (~536 bytes each).
+        let mut store = ResultStore::new(1200);
+        let a = store.create(dk, ak, "op");
+        let b = store.create(dk, ak, "op");
+        for id in [a, b] {
+            store.start(id, 0);
+            store.finish(
+                id,
+                RunResult { dataset: dataset() },
+                CacheDisposition::Cold,
+                1,
+                0,
+            );
+        }
+        assert_eq!(store.evictions(), 0);
+        // A large in-flight reservation evicts the oldest payload to make
+        // room for the run in progress.
+        let c = store.create(dk, ak, "op");
+        store.start(c, 600);
+        assert!(store.get(a).unwrap().evicted, "reservation evicts LRU");
+        assert_eq!(store.pending(), 1);
     }
 }

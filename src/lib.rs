@@ -86,7 +86,8 @@ pub mod prelude {
     };
     pub use nanosim_core::swec::{DcMode, IntegrationMethod, SwecOptions};
     pub use nanosim_core::OrderingChoice;
-    pub use nanosim_core::{DcSweepResult, EngineStats, SimError, TransientResult, Waveform};
+    pub use nanosim_core::{Budget, BudgetStop, CancelToken, SimError};
+    pub use nanosim_core::{DcSweepResult, EngineStats, TransientResult, Waveform};
     pub use nanosim_core::{HealthVerdict, RescueOptions, RescueRung, RescueTrace};
     pub use nanosim_devices::mosfet::{MosType, Mosfet, MosfetParams};
     pub use nanosim_devices::nanowire::{Nanowire, NanowireParams};

@@ -11,8 +11,10 @@
 //! front-end answers junk and preflight-failing decks with structured
 //! errors, never a panic.
 
+use nanosim::core::Budget;
 use nanosim::serve::{
     handle_line, BatchRequest, CacheDisposition, RunStatus, ServiceOptions, SimService,
+    SubmitOptions,
 };
 use nanosim::workloads::{param_grid, rtd_mesh_param_deck};
 use proptest::prelude::*;
@@ -238,4 +240,147 @@ proptest! {
         let after = handle_line(&mut svc, good);
         prop_assert!(after.contains("\"ok\":true"), "{after}");
     }
+}
+
+#[test]
+fn admission_limits_shed_with_structured_overloaded_responses() {
+    const OP_DECK: &str = "V1 a 0 DC 1\nR1 a 0 100\n.op\n.end\n";
+
+    // Deck-size limit.
+    let mut svc = SimService::new(ServiceOptions {
+        max_deck_bytes: 16,
+        ..ServiceOptions::default()
+    });
+    let err = svc.submit(OP_DECK).unwrap_err();
+    assert_eq!(err.kind(), "overloaded");
+    assert_eq!(svc.runs(), 0, "a shed request registers nothing");
+    assert_eq!(svc.stats().shed, 1);
+
+    // Element-count limit.
+    let mut svc = SimService::new(ServiceOptions {
+        max_deck_elements: 1,
+        ..ServiceOptions::default()
+    });
+    let err = svc.submit(OP_DECK).unwrap_err();
+    assert_eq!(err.kind(), "overloaded");
+    assert_eq!(svc.stats().shed, 1);
+
+    // Pending-run limit: a held run occupies the queue.
+    let mut svc = SimService::new(ServiceOptions {
+        max_pending_runs: 1,
+        ..ServiceOptions::default()
+    });
+    let held = svc
+        .submit_with(
+            OP_DECK,
+            &SubmitOptions {
+                hold: true,
+                ..SubmitOptions::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(held.len(), 1);
+    let err = svc.submit(OP_DECK).unwrap_err();
+    assert_eq!(err.kind(), "overloaded");
+    assert_eq!(svc.stats().shed, 1);
+    // Draining the queue restores admission.
+    assert!(svc.cancel(held[0]).unwrap());
+    svc.submit(OP_DECK).unwrap();
+
+    // The protocol renders sheds with a top-level back-off code.
+    let mut svc = SimService::new(ServiceOptions {
+        max_deck_bytes: 16,
+        ..ServiceOptions::default()
+    });
+    let r = handle_line(
+        &mut svc,
+        "{\"cmd\":\"submit\",\"deck\":\"V1 a 0 DC 1\\nR1 a 0 100\\n.op\\n.end\\n\"}",
+    );
+    assert!(
+        r.contains("\"ok\":false") && r.contains("\"code\":\"overloaded\""),
+        "{r}"
+    );
+}
+
+#[test]
+fn hold_run_and_cancel_lifecycle() {
+    const OP_DECK: &str = "V1 a 0 DC 1\nR1 a 0 100\n.op\n.end\n";
+    let mut svc = SimService::default();
+    let opts = SubmitOptions {
+        hold: true,
+        ..SubmitOptions::default()
+    };
+
+    // Held runs stay queued until explicitly started…
+    let ids = svc.submit_with(OP_DECK, &opts).unwrap();
+    assert_eq!(svc.status(ids[0]).unwrap().status.tag(), "queued");
+    svc.run_queued(ids[0]).unwrap();
+    assert_eq!(svc.status(ids[0]).unwrap().status.tag(), "done");
+    // …and a second start is a structured protocol error.
+    assert!(svc.run_queued(ids[0]).is_err());
+
+    // Cancelled held runs never execute.
+    let ids = svc.submit_with(OP_DECK, &opts).unwrap();
+    assert!(svc.cancel(ids[0]).unwrap());
+    assert_eq!(svc.status(ids[0]).unwrap().status.tag(), "cancelled");
+    assert!(svc.run_queued(ids[0]).is_err());
+    assert!(!svc.cancel(ids[0]).unwrap(), "cancel is not re-entrant");
+    assert_eq!(svc.stats().cancelled, 1);
+
+    // Cancelling a finished run is a no-op, unknown ids are structured.
+    let done = svc.submit(OP_DECK).unwrap();
+    assert!(!svc.cancel(done[0]).unwrap());
+    assert!(svc.cancel(nanosim::serve::RunId(999)).is_err());
+}
+
+#[test]
+fn budget_limited_runs_count_stats_and_never_poison_the_result_cache() {
+    const TRAN_DECK: &str = "V1 in 0 DC 1\nR1 in out 1000\nC1 out 0 1e-6\n.tran 1e-6 1e-4\n.end\n";
+    let mut svc = SimService::default();
+    let capped = SubmitOptions {
+        budget: Some(Budget::unlimited().with_max_transient_steps(2)),
+        ..SubmitOptions::default()
+    };
+
+    // Without allow_partial the run fails and is counted.
+    let ids = svc.submit_with(TRAN_DECK, &capped).unwrap();
+    assert_eq!(svc.status(ids[0]).unwrap().status.tag(), "failed");
+    assert_eq!(svc.stats().budget_exceeded, 1);
+    assert_eq!(svc.stats().deadline_timeouts, 0);
+
+    // With allow_partial the accepted prefix is salvaged…
+    let partial = SubmitOptions {
+        allow_partial: true,
+        ..capped.clone()
+    };
+    let ids = svc.submit_with(TRAN_DECK, &partial).unwrap();
+    let rec = svc.result(ids[0]).unwrap();
+    assert_eq!(rec.status.tag(), "done");
+    let truncated_points = rec.result.as_ref().unwrap().dataset.points();
+    assert!(rec.result.as_ref().unwrap().dataset.is_truncated());
+
+    // …but never seeds the result cache: a later unlimited submit of the
+    // same deck re-runs the engine and gets the full waveform.
+    let misses_before = svc.stats().result_misses;
+    let ids = svc.submit(TRAN_DECK).unwrap();
+    {
+        let rec = svc.result(ids[0]).unwrap();
+        let full = &rec.result.as_ref().unwrap().dataset;
+        assert!(!full.is_truncated());
+        assert!(full.points() > truncated_points);
+    }
+    assert_eq!(svc.stats().result_misses, misses_before + 1);
+
+    // A zero timeout trips the deadline deterministically at the first
+    // checkpoint and is counted as a timeout.
+    let timed_out = SubmitOptions {
+        timeout: Some(std::time::Duration::ZERO),
+        ..SubmitOptions::default()
+    };
+    let ids = svc
+        .submit_with("V1 z 0 DC 1\nR1 z 0 77\n.op\n.end\n", &timed_out)
+        .unwrap();
+    assert_eq!(svc.status(ids[0]).unwrap().status.tag(), "failed");
+    assert_eq!(svc.stats().budget_exceeded, 2);
+    assert_eq!(svc.stats().deadline_timeouts, 1);
 }
